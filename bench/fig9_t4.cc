@@ -1,0 +1,55 @@
+// Figure 9: sampling time on the weaker T4-class device for GraphSAGE and
+// LADIES, gSampler vs DGL. The expected shape: gSampler still wins on every
+// dataset, but by smaller factors than on V100 (T4 has 30% of the memory
+// bandwidth and 51.6% of the FLOPS).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+namespace gs::bench {
+namespace {
+
+void Run() {
+  RunConfig config;
+  config.dataset_scale = 0.5;
+  config.max_batches = 16;
+  BenchContext ctx(config);
+  const std::vector<std::string> datasets = graph::BenchmarkDatasetNames();
+
+  for (const device::DeviceProfile& gpu : {device::T4Sim(), device::V100Sim()}) {
+    for (const std::string& algo : {std::string("GraphSAGE"), std::string("LADIES")}) {
+      PrintTitle("Figure 9 — " + algo + " on " + gpu.name + " (epoch ms)");
+      PrintRow("system", datasets);
+      std::map<std::string, double> gsampler_ms;
+      std::vector<std::string> row;
+      for (const std::string& ds : datasets) {
+        CellResult r = ctx.RunGsampler(ds, algo, gpu);
+        gsampler_ms[ds] = r.epoch_ms;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f", r.epoch_ms);
+        row.push_back(buf);
+      }
+      PrintRow("gSampler", row);
+      row.clear();
+      for (const std::string& ds : datasets) {
+        CellResult r = ctx.RunBaseline("DGL-GPU", ds, algo, gpu);
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.1f (%.2fx)", r.epoch_ms,
+                      r.epoch_ms / gsampler_ms[ds]);
+        row.push_back(buf);
+      }
+      PrintRow("DGL", row, 14, 16);
+    }
+  }
+  std::printf("\n(Paper shape: gSampler beats DGL on T4 for every dataset, but the\n"
+              " speedup factors are smaller than on V100.)\n");
+}
+
+}  // namespace
+}  // namespace gs::bench
+
+int main() {
+  gs::bench::Run();
+  return 0;
+}

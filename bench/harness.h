@@ -1,0 +1,90 @@
+// Shared benchmark harness for the paper-reproduction binaries.
+//
+// Measures *simulated device time* (the virtual clock, see
+// device/stream.h): every (system, hardware) cell runs on its own Device
+// whose profile models that configuration; graphs are generated once per
+// (dataset, device) and cached. Epochs are capped at `max_batches`
+// mini-batches and extrapolated to the full epoch, which preserves the
+// steady-state per-batch cost the paper measures while keeping single-core
+// runtimes sane (documented in EXPERIMENTS.md).
+
+#ifndef GSAMPLER_BENCH_HARNESS_H_
+#define GSAMPLER_BENCH_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baselines.h"
+#include "core/engine.h"
+#include "device/device.h"
+#include "graph/datasets.h"
+
+namespace gs::bench {
+
+struct RunConfig {
+  int64_t batch_size = 256;
+  int64_t max_batches = 32;  // per measured epoch; extrapolated to the full epoch
+  int warmup_batches = 4;
+  double dataset_scale = 1.0;
+  core::SamplerOptions gs_options;  // defaults: all optimizations on
+
+  RunConfig() {
+    gs_options.super_batch = 0;  // auto grid search
+    gs_options.memory_budget_bytes = int64_t{2} * 1024 * 1024 * 1024;
+  }
+};
+
+struct CellResult {
+  enum class Status { kOk, kNotAvailable, kTimeout };
+  Status status = Status::kNotAvailable;
+  double epoch_ms = 0.0;  // extrapolated full-epoch simulated time
+
+  static CellResult Ok(double ms) { return {Status::kOk, ms}; }
+  static CellResult NotAvailable() { return {Status::kNotAvailable, 0.0}; }
+  static CellResult Timeout() { return {Status::kTimeout, 0.0}; }
+};
+
+// Formats a cell as a fixed-width string ("123.4", "N/A", "TO").
+std::string FormatCell(const CellResult& cell, int width = 10);
+
+// Owns one Device per profile and one Graph per (dataset, profile), so
+// arrays never outlive their allocator.
+class BenchContext {
+ public:
+  explicit BenchContext(RunConfig config) : config_(std::move(config)) {}
+
+  const RunConfig& config() const { return config_; }
+
+  device::Device& DeviceFor(const device::DeviceProfile& profile);
+  const graph::Graph& GraphFor(const std::string& dataset,
+                               const device::DeviceProfile& profile);
+
+  // One sampling epoch with gSampler on the given profile.
+  CellResult RunGsampler(const std::string& dataset, const std::string& algorithm,
+                         const device::DeviceProfile& gpu_profile);
+  // Same, with explicit sampler options (ablation studies).
+  CellResult RunGsampler(const std::string& dataset, const std::string& algorithm,
+                         const device::DeviceProfile& gpu_profile,
+                         const core::SamplerOptions& options);
+  // One sampling epoch with a baseline system ("DGL-GPU", "SkyWalker", ...).
+  // CPU systems automatically run on their calibrated CPU profile.
+  CellResult RunBaseline(const std::string& system, const std::string& dataset,
+                         const std::string& algorithm,
+                         const device::DeviceProfile& gpu_profile);
+
+ private:
+  RunConfig config_;
+  std::map<std::string, std::unique_ptr<device::Device>> devices_;
+  std::map<std::string, std::unique_ptr<graph::Graph>> graphs_;
+};
+
+// Table printing helpers.
+void PrintTitle(const std::string& title);
+void PrintRow(const std::string& label, const std::vector<std::string>& cells,
+              int label_width = 14, int cell_width = 11);
+
+}  // namespace gs::bench
+
+#endif  // GSAMPLER_BENCH_HARNESS_H_

@@ -1,0 +1,75 @@
+// Baseline graph-sampling systems (Table 3 / Section 5.1 of the paper),
+// re-implemented from their published designs on the same simulated-device
+// substrate so the comparison isolates exactly what the paper isolates:
+//
+//  - DGL      (GPU/CPU): message-passing APIs, eager per-operator execution,
+//              greedy per-operator format conversion, explicit message
+//              materialization for compute steps; supports all 7 evaluated
+//              algorithms (except Node2Vec on GPU) but times out on CPU for
+//              the complex algorithms on the large graphs.
+//  - PyG      (GPU/CPU): GPU support only for DeepWalk; CPU implementations
+//              for the simple algorithms and ShaDow; no UVA.
+//  - SkyWalker: vertex-centric GPU walker with alias sampling; walks and
+//              GraphSAGE only; per-step walker-queue management kernels.
+//  - GunRock  : frontier advance/filter model; GraphSAGE only; no UVA.
+//  - cuGraph  : bulk-oriented library; pays full-graph renumbering per call,
+//              which is what makes it slow for mini-batch sampling
+//              (Section 5.2); cannot load the UVA-resident PP graph.
+//
+// Every baseline runs the *same algorithm logic* (validated against
+// gSampler's samplers in the tests); they differ in the system-level
+// behaviours above.
+
+#ifndef GSAMPLER_BASELINES_BASELINES_H_
+#define GSAMPLER_BASELINES_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/profile.h"
+#include "graph/graph.h"
+#include "sparse/matrix.h"
+#include "tensor/tensor.h"
+
+namespace gs::baselines {
+
+// Why a (system, algorithm, graph) cell is empty in Figures 7/8.
+enum class Availability {
+  kSupported,
+  kNotImplemented,  // "N/A" — the system lacks the algorithm (or UVA)
+  kTimeout,         // "TO"  — the paper reports >10h; we don't run it
+};
+
+struct BaselineResult {
+  std::vector<sparse::Matrix> layers;  // per-layer samples (empty for walks)
+  std::vector<tensor::IdArray> traces;  // per-step walk traces
+};
+
+class Baseline {
+ public:
+  virtual ~Baseline() = default;
+
+  virtual const std::string& system() const = 0;
+  virtual Availability Check(const std::string& algorithm) const = 0;
+  // Samples one mini-batch; Check() must have returned kSupported.
+  virtual BaselineResult SampleBatch(const std::string& algorithm,
+                                     const tensor::IdArray& frontier, Rng& rng) = 0;
+};
+
+// All baseline system names in paper order.
+std::vector<std::string> AllBaselineSystems();
+
+// Creates a baseline bound to `g`. Valid systems: "DGL-GPU", "DGL-CPU",
+// "PyG-GPU", "PyG-CPU", "SkyWalker", "GunRock", "cuGraph".
+std::unique_ptr<Baseline> MakeBaseline(const std::string& system, const graph::Graph& g);
+
+// The device profile a system executes on ("GPU" systems -> the given GPU
+// profile; CPU systems -> their calibrated CpuSim profile).
+device::DeviceProfile ProfileFor(const std::string& system,
+                                 const device::DeviceProfile& gpu_profile);
+
+}  // namespace gs::baselines
+
+#endif  // GSAMPLER_BASELINES_BASELINES_H_

@@ -1,0 +1,51 @@
+// Eager (per-operator, no IR) implementations of the seven evaluated
+// algorithms, shared by the DGL- and PyG-style baselines. The `Style` knobs
+// model the system-level behaviours the paper attributes to those systems:
+// greedy per-operator format conversion and message materialization
+// (update_all's copy_e / u_mul_v stages write edge data to memory before
+// reducing it).
+
+#ifndef GSAMPLER_BASELINES_EAGER_H_
+#define GSAMPLER_BASELINES_EAGER_H_
+
+#include "baselines/baselines.h"
+
+namespace gs::baselines::eager {
+
+struct Style {
+  // Convert each operator's input matrix to that operator's single best
+  // format before running it (conversion cost charged), as DGL does.
+  bool greedy_formats = true;
+  // Materialize intermediate edge messages (copy_e / gathered endpoint
+  // features) instead of fusing into the consumer.
+  bool message_materialization = true;
+};
+
+struct EagerModel {
+  // Lazily initialized model tensors for the model-driven algorithms.
+  tensor::Tensor pass_w1, pass_w2, pass_w3;
+  tensor::Tensor as_w;
+};
+
+BaselineResult DeepWalk(const graph::Graph& g, const tensor::IdArray& frontier,
+                        int walk_length, Rng& rng, const Style& style);
+BaselineResult Node2Vec(const graph::Graph& g, const tensor::IdArray& frontier,
+                        int walk_length, float p, float q, Rng& rng, const Style& style);
+BaselineResult GraphSage(const graph::Graph& g, const tensor::IdArray& frontier,
+                         const std::vector<int64_t>& fanouts, Rng& rng, const Style& style,
+                         bool include_seeds = false);
+BaselineResult Ladies(const graph::Graph& g, const tensor::IdArray& frontier, int num_layers,
+                      int64_t width, Rng& rng, const Style& style);
+BaselineResult FastGcn(const graph::Graph& g, const tensor::IdArray& frontier, int num_layers,
+                       int64_t width, Rng& rng, const Style& style);
+BaselineResult Asgcn(const graph::Graph& g, const tensor::IdArray& frontier, int num_layers,
+                     int64_t width, EagerModel& model, Rng& rng, const Style& style);
+BaselineResult Pass(const graph::Graph& g, const tensor::IdArray& frontier,
+                    const std::vector<int64_t>& fanouts, int hidden, EagerModel& model,
+                    Rng& rng, const Style& style);
+BaselineResult Shadow(const graph::Graph& g, const tensor::IdArray& frontier, int depth,
+                      int64_t fanout, Rng& rng, const Style& style);
+
+}  // namespace gs::baselines::eager
+
+#endif  // GSAMPLER_BASELINES_EAGER_H_

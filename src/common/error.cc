@@ -1,0 +1,14 @@
+#include "common/error.h"
+
+namespace gs {
+namespace internal {
+
+void ThrowCheckFailure(const char* file, int line, const char* expr,
+                       const std::string& message) {
+  std::ostringstream out;
+  out << "GS_CHECK failed at " << file << ":" << line << ": `" << expr << "` " << message;
+  throw Error(out.str());
+}
+
+}  // namespace internal
+}  // namespace gs

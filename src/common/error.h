@@ -1,0 +1,78 @@
+// Error handling primitives for gSampler.
+//
+// The library reports unrecoverable API misuse and internal invariant
+// violations via gs::Error (derived from std::runtime_error) thrown by the
+// GS_CHECK family of macros. Checks are always on: graph sampling programs
+// are driven by user-provided inputs (frontiers, fanouts, probability
+// tensors), and silently corrupting a sample is far worse than the cost of a
+// branch per check.
+
+#ifndef GSAMPLER_COMMON_ERROR_H_
+#define GSAMPLER_COMMON_ERROR_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gs {
+
+// Exception type thrown for all gSampler failures (shape mismatches, invalid
+// programs, allocation budget violations, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+// Builds the final message and throws. Out-of-line so the macro below stays
+// cheap at call sites.
+[[noreturn]] void ThrowCheckFailure(const char* file, int line, const char* expr,
+                                    const std::string& message);
+
+// Stream-style message collector used by GS_CHECK's `<<` tail. The throw
+// happens in the destructor (end of the full expression), after all context
+// has been streamed — the same shape as glog's fatal message sinks.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  ~CheckMessageBuilder() noexcept(false) {
+    ThrowCheckFailure(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gs
+
+// Verifies `condition`; on failure throws gs::Error with file/line/expr and
+// any streamed context: GS_CHECK(a == b) << "a=" << a;
+#define GS_CHECK(condition) \
+  if (condition) {          \
+  } else                    \
+    ::gs::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define GS_CHECK_EQ(a, b) GS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GS_CHECK_NE(a, b) GS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GS_CHECK_LT(a, b) GS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GS_CHECK_LE(a, b) GS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GS_CHECK_GT(a, b) GS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define GS_CHECK_GE(a, b) GS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+// Marks internal invariants (bugs in gSampler itself rather than API misuse).
+#define GS_INTERNAL(condition) GS_CHECK(condition) << "[internal invariant] "
+
+#endif  // GSAMPLER_COMMON_ERROR_H_

@@ -1,0 +1,53 @@
+// Minimal leveled logger.
+//
+// gSampler is a library; by default only warnings and errors are printed.
+// Benchmarks and examples raise the level to Info to narrate progress.
+
+#ifndef GSAMPLER_COMMON_LOGGING_H_
+#define GSAMPLER_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+
+namespace gs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Process-wide minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) {
+      stream_ << value;
+    }
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace gs
+
+#define GS_LOG(level) ::gs::internal::LogMessage(::gs::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // GSAMPLER_COMMON_LOGGING_H_

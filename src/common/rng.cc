@@ -1,0 +1,91 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gs {
+namespace {
+
+// SplitMix64: used only to expand seeds into xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = SplitMix64(sm);
+  }
+}
+
+Rng::Rng(const uint64_t state[4]) {
+  for (int i = 0; i < 4; ++i) {
+    state_[i] = state[i];
+  }
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Mixes the stream id into a fresh seed derived from the current state
+  // (without advancing it), yielding independent substreams.
+  uint64_t sm = state_[0] ^ Rotl(state_[3], 17) ^ (stream * 0xD1B54A32D192ED03ull + 1);
+  uint64_t fresh[4];
+  for (auto& word : fresh) {
+    word = SplitMix64(sm);
+  }
+  return Rng(fresh);
+}
+
+uint64_t Rng::NextU64() {
+  // xoshiro256**
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::Uniform() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+float Rng::UniformF() { return static_cast<float>(NextU64() >> 40) * 0x1.0p-24f; }
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  GS_CHECK_GT(bound, 0u) << "UniformInt bound must be positive";
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+  uint64_t low = static_cast<uint64_t>(m);
+  if (low < bound) {
+    const uint64_t threshold = (0u - bound) % bound;
+    while (low < threshold) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(bound);
+      low = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; discards the second variate for simplicity.
+  double u1 = Uniform();
+  double u2 = Uniform();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace gs

@@ -1,0 +1,144 @@
+#include "common/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+
+namespace gs {
+
+void SampleUniformWithoutReplacement(int64_t n, int64_t k, Rng& rng, std::vector<int32_t>& out) {
+  GS_CHECK_GE(n, 0);
+  GS_CHECK_GE(k, 0);
+  if (k >= n) {
+    for (int64_t i = 0; i < n; ++i) {
+      out.push_back(static_cast<int32_t>(i));
+    }
+    return;
+  }
+  // Floyd's algorithm: k iterations, O(k) expected set operations. For the
+  // small k typical of fanouts we use a linear-scan membership test over the
+  // freshly appended tail, which beats hashing for k <= ~64.
+  const size_t base = out.size();
+  for (int64_t j = n - k; j < n; ++j) {
+    const int32_t t = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(j + 1)));
+    bool seen = false;
+    for (size_t i = base; i < out.size(); ++i) {
+      if (out[i] == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? static_cast<int32_t>(j) : t);
+  }
+}
+
+void SampleWeightedWithoutReplacement(std::span<const float> weights, int64_t k, Rng& rng,
+                                      std::vector<int32_t>& out) {
+  GS_CHECK_GE(k, 0);
+  const int64_t n = static_cast<int64_t>(weights.size());
+  if (k <= 0 || n == 0) {
+    return;
+  }
+  // Efraimidis-Spirakis: each item draws key u^(1/w) (equivalently
+  // log(u)/w); the k largest keys form a without-replacement sample with the
+  // desired inclusion behaviour. Zero weights get -inf keys.
+  std::vector<std::pair<double, int32_t>> keys;
+  keys.reserve(static_cast<size_t>(n));
+  int64_t positive = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    const float w = weights[static_cast<size_t>(i)];
+    GS_CHECK_GE(w, 0.0f) << "negative sampling weight at index " << i;
+    if (w > 0.0f) {
+      double u = rng.Uniform();
+      if (u <= 0.0) {
+        u = 0x1.0p-53;
+      }
+      keys.emplace_back(std::log(u) / static_cast<double>(w), static_cast<int32_t>(i));
+      ++positive;
+    }
+  }
+  const int64_t take = std::min<int64_t>(k, positive);
+  if (take == 0) {
+    return;
+  }
+  auto mid = keys.begin() + static_cast<ptrdiff_t>(take);
+  std::nth_element(keys.begin(), mid - 1, keys.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int64_t i = 0; i < take; ++i) {
+    out.push_back(keys[static_cast<size_t>(i)].second);
+  }
+}
+
+int32_t SampleWeightedOne(std::span<const float> weights, Rng& rng) {
+  double total = 0.0;
+  for (float w : weights) {
+    total += w;
+  }
+  if (total <= 0.0) {
+    return -1;
+  }
+  double r = rng.Uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) {
+      return static_cast<int32_t>(i);
+    }
+  }
+  return static_cast<int32_t>(weights.size() - 1);
+}
+
+AliasTable::AliasTable(std::span<const float> weights) {
+  const int64_t n = static_cast<int64_t>(weights.size());
+  if (n == 0) {
+    return;
+  }
+  double total = 0.0;
+  for (float w : weights) {
+    GS_CHECK_GE(w, 0.0f);
+    total += w;
+  }
+  if (total <= 0.0) {
+    return;
+  }
+  prob_.resize(static_cast<size_t>(n));
+  alias_.resize(static_cast<size_t>(n), 0);
+  std::vector<double> scaled(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    scaled[static_cast<size_t>(i)] = static_cast<double>(weights[static_cast<size_t>(i)]) *
+                                     static_cast<double>(n) / total;
+  }
+  std::vector<int32_t> small;
+  std::vector<int32_t> large;
+  for (int64_t i = 0; i < n; ++i) {
+    (scaled[static_cast<size_t>(i)] < 1.0 ? small : large).push_back(static_cast<int32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const int32_t s = small.back();
+    small.pop_back();
+    const int32_t l = large.back();
+    large.pop_back();
+    prob_[static_cast<size_t>(s)] = static_cast<float>(scaled[static_cast<size_t>(s)]);
+    alias_[static_cast<size_t>(s)] = l;
+    scaled[static_cast<size_t>(l)] -= 1.0 - scaled[static_cast<size_t>(s)];
+    (scaled[static_cast<size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  for (int32_t rest : small) {
+    prob_[static_cast<size_t>(rest)] = 1.0f;
+  }
+  for (int32_t rest : large) {
+    prob_[static_cast<size_t>(rest)] = 1.0f;
+  }
+}
+
+int32_t AliasTable::Sample(Rng& rng) const {
+  if (prob_.empty()) {
+    return -1;
+  }
+  const uint64_t slot = rng.UniformInt(prob_.size());
+  const float u = rng.UniformF();
+  return u < prob_[slot] ? static_cast<int32_t>(slot) : alias_[slot];
+}
+
+}  // namespace gs

@@ -1,0 +1,60 @@
+// Low-level sampling primitives shared by the sparse kernels and the
+// baseline samplers.
+//
+// These mirror the device-side building blocks of GPU sampling systems:
+//  - uniform without-replacement selection (Floyd / partial Fisher-Yates),
+//  - weighted without-replacement selection (Efraimidis-Spirakis keys),
+//  - alias tables for O(1) biased with-replacement draws (SkyWalker's core).
+
+#ifndef GSAMPLER_COMMON_SAMPLING_H_
+#define GSAMPLER_COMMON_SAMPLING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace gs {
+
+// Selects k distinct indices uniformly from [0, n) and appends them to `out`.
+// If k >= n appends all of [0, n). Order of the selected indices is
+// unspecified but deterministic for a given rng state.
+void SampleUniformWithoutReplacement(int64_t n, int64_t k, Rng& rng, std::vector<int32_t>& out);
+
+// Selects k distinct indices from [0, weights.size()) with probability
+// proportional to `weights` (without replacement), appending to `out`.
+// Zero-weight entries are never selected; if fewer than k entries have
+// positive weight, all positive-weight entries are selected. Weights must be
+// non-negative.
+void SampleWeightedWithoutReplacement(std::span<const float> weights, int64_t k, Rng& rng,
+                                      std::vector<int32_t>& out);
+
+// Selects one index in [0, weights.size()) with probability proportional to
+// `weights` (linear scan; used for single draws on short rows). Returns -1 if
+// the total weight is zero.
+int32_t SampleWeightedOne(std::span<const float> weights, Rng& rng);
+
+// Walker alias table for O(1) biased sampling with replacement.
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  // Builds the table from non-negative weights. Empty or all-zero input
+  // leaves the table empty (Sample returns -1).
+  explicit AliasTable(std::span<const float> weights);
+
+  int64_t size() const { return static_cast<int64_t>(prob_.size()); }
+  bool empty() const { return prob_.empty(); }
+
+  // Draws one index with probability proportional to the build weights.
+  int32_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<float> prob_;
+  std::vector<int32_t> alias_;
+};
+
+}  // namespace gs
+
+#endif  // GSAMPLER_COMMON_SAMPLING_H_

@@ -1,0 +1,34 @@
+// Wall-clock timing helpers used by benchmarks and the layout-selection
+// calibration pass.
+
+#ifndef GSAMPLER_COMMON_TIMER_H_
+#define GSAMPLER_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gs {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gs
+
+#endif  // GSAMPLER_COMMON_TIMER_H_

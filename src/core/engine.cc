@@ -1,0 +1,420 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.h"
+#include "core/passes.h"
+#include "device/device.h"
+#include "sparse/batch.h"
+
+namespace gs::core {
+namespace {
+
+bool HasWalkOps(const Program& p) {
+  for (const Node& n : p.nodes()) {
+    if (n.kind == OpKind::kWalkStep || n.kind == OpKind::kWalkRestartStep ||
+        n.kind == OpKind::kNode2VecStep || n.kind == OpKind::kTopKVisited) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Pure walk programs (DeepWalk, Node2Vec): only inputs and walk steps, all
+// outputs positionally aligned with the frontier. Super-batching these is
+// plain concatenation — every walker is independent — so no labeled id
+// spaces are needed.
+bool IsPureWalkProgram(const Program& p) {
+  bool has_walk = false;
+  for (const Node& n : p.nodes()) {
+    switch (n.kind) {
+      case OpKind::kGraphInput:
+      case OpKind::kFrontierInput:
+      case OpKind::kTensorInput:
+        break;
+      case OpKind::kWalkStep:
+      case OpKind::kWalkRestartStep:
+      case OpKind::kNode2VecStep:
+        has_walk = true;
+        break;
+      default:
+        return false;
+    }
+  }
+  return has_walk;
+}
+
+bool HasTensorOutput(const Program& p) {
+  for (int out : p.outputs()) {
+    if (p.node(out).output_kind() == ValueKind::kTensor) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Splits labeled ids into per-segment arrays of original node ids.
+std::vector<tensor::IdArray> SplitLabeledIds(const tensor::IdArray& labeled, int64_t n,
+                                             int64_t num_segments) {
+  std::vector<std::vector<int32_t>> per_segment(static_cast<size_t>(num_segments));
+  for (int64_t i = 0; i < labeled.size(); ++i) {
+    const int32_t id = labeled[i];
+    if (id < 0) {
+      continue;
+    }
+    per_segment[static_cast<size_t>(id / n)].push_back(static_cast<int32_t>(id % n));
+  }
+  std::vector<tensor::IdArray> out;
+  out.reserve(per_segment.size());
+  for (auto& ids : per_segment) {
+    out.push_back(tensor::IdArray::FromVector(ids));
+  }
+  return out;
+}
+
+}  // namespace
+
+CompiledSampler::CompiledSampler(Program program, const graph::Graph& graph,
+                                 std::map<std::string, tensor::Tensor> tensors,
+                                 SamplerOptions options)
+    : program_(std::move(program)),
+      graph_(&graph),
+      options_(options),
+      rng_(options.seed),
+      executor_(program_, ExecOptions{}) {
+  bindings_.graph = &graph.adj();
+  bindings_.tensors = std::move(tensors);
+
+  program_.Verify();
+  if (options_.enable_fusion && options_.rewrite_sddmm) {
+    report_.sddmm_rewrites = RewriteSddmm(program_);
+  }
+  if (options_.enable_preprocessing) {
+    report_.hoisted_ops = HoistOverExtract(program_);
+  }
+  if (options_.enable_fusion) {
+    if (options_.fuse_extract_select) {
+      report_.extract_select_fusions = FuseExtractSelect(program_);
+    }
+    if (options_.fuse_edge_maps) {
+      report_.edge_map_reduce_fusions = FuseEdgeMapReduce(program_);
+      report_.edge_map_fusions = FuseEdgeMaps(program_);
+      report_.edge_map_reduce_fusions += FuseEdgeMapReduce(program_);
+    }
+  }
+  report_.cse_merged = EliminateCommonSubexpressions(program_);
+  DeadCodeElimination(program_);
+  MarkInvariant(program_);
+  program_.Verify();
+
+  const LayoutMode mode = options_.enable_layout_selection
+                              ? LayoutMode::kPlanned
+                              : (options_.greedy_when_layout_disabled ? LayoutMode::kGreedy
+                                                                      : LayoutMode::kAsIs);
+  executor_ = Executor(program_, ExecOptions{.layout = mode});
+  Precompute();
+}
+
+void CompiledSampler::Precompute() {
+  if (!options_.enable_preprocessing) {
+    return;
+  }
+  try {
+    precomputed_ = executor_.RunInvariant(bindings_);
+  } catch (const Error& e) {
+    // A named graph or tensor binding is still missing; retry on first use.
+    GS_LOG(Debug) << "pre-computation deferred: " << e.what();
+    precomputed_.clear();
+    needs_precompute_ = true;
+    return;
+  }
+  needs_precompute_ = false;
+  // Inputs are trivially invariant; caching them buys nothing.
+  for (const Node& n : program_.nodes()) {
+    if (n.kind == OpKind::kGraphInput || n.kind == OpKind::kTensorInput ||
+        n.kind == OpKind::kFrontierInput) {
+      precomputed_.erase(n.id);
+    }
+  }
+  for (const auto& [id, value] : precomputed_) {
+    executor_.SetPrecomputed(id, value);
+  }
+}
+
+void CompiledSampler::BindTensor(const std::string& name, tensor::Tensor value) {
+  bindings_.tensors[name] = std::move(value);
+  // Invariant values may depend on the re-bound tensor; refresh them.
+  if (options_.enable_preprocessing && !precomputed_.empty()) {
+    executor_.ClearPrecomputed();
+    Precompute();
+  }
+}
+
+void CompiledSampler::BindGraph(const std::string& name, const sparse::Matrix* matrix) {
+  GS_CHECK(matrix != nullptr);
+  bindings_.named_graphs[name] = matrix;
+  if (options_.enable_preprocessing) {
+    executor_.ClearPrecomputed();
+    Precompute();
+  }
+}
+
+void CompiledSampler::EnsureCalibrated(const tensor::IdArray& frontier) {
+  if (needs_precompute_) {
+    Precompute();
+    GS_CHECK(!needs_precompute_) << "pre-computation failed; missing bindings?";
+  }
+  if (calibrated_) {
+    return;
+  }
+  calibrated_ = true;
+  if (!options_.enable_layout_selection) {
+    return;
+  }
+  std::vector<tensor::IdArray> calib(static_cast<size_t>(
+                                         std::max(1, options_.calibration_batches)),
+                                     frontier);
+  SelectDataLayout(program_, bindings_, calib, precomputed_, rng_);
+}
+
+std::vector<Value> CompiledSampler::Sample(const tensor::IdArray& frontier) {
+  EnsureCalibrated(frontier);
+  Bindings b = bindings_;
+  b.frontier = frontier;
+  Rng rng = rng_.Fork(batch_counter_++);
+  return executor_.Run(b, rng);
+}
+
+bool CompiledSampler::SuperBatchEligible() const {
+  if (IsPureWalkProgram(program_)) {
+    return true;
+  }
+  return !HasWalkOps(program_) && !HasTensorOutput(program_);
+}
+
+void CompiledSampler::RunSuperBatch(const std::vector<tensor::IdArray>& group,
+                                    int64_t first_index, const BatchCallback& callback) {
+  const int64_t n = graph_->num_nodes();
+  const int64_t segments = static_cast<int64_t>(group.size());
+
+  if (IsPureWalkProgram(program_)) {
+    // Walk super-batch: concatenate the walkers, run once, split the traces
+    // positionally.
+    std::vector<int32_t> merged;
+    std::vector<int64_t> offsets = {0};
+    for (const tensor::IdArray& batch : group) {
+      merged.insert(merged.end(), batch.data(), batch.data() + batch.size());
+      offsets.push_back(static_cast<int64_t>(merged.size()));
+    }
+    Bindings bind = bindings_;
+    bind.frontier = tensor::IdArray::FromVector(merged);
+    Rng rng = rng_.Fork(batch_counter_);
+    batch_counter_ += static_cast<uint64_t>(segments);
+    std::vector<Value> outputs = executor_.Run(bind, rng);
+    if (callback == nullptr) {
+      return;
+    }
+    for (int64_t b = 0; b < segments; ++b) {
+      std::vector<Value> batch_outputs;
+      for (const Value& v : outputs) {
+        GS_INTERNAL(v.kind == ValueKind::kIds);
+        const int64_t len = offsets[b + 1] - offsets[b];
+        tensor::IdArray part = tensor::IdArray::Empty(len);
+        std::copy_n(v.ids.data() + offsets[b], len, part.data());
+        batch_outputs.push_back(Value::OfIds(std::move(part)));
+      }
+      callback(first_index + b, batch_outputs);
+    }
+    return;
+  }
+
+  // Label each mini-batch's frontiers into its own id space: b * N + v.
+  std::vector<int32_t> labeled;
+  std::vector<int64_t> col_offsets = {0};
+  for (int64_t b = 0; b < segments; ++b) {
+    for (int64_t i = 0; i < group[static_cast<size_t>(b)].size(); ++i) {
+      labeled.push_back(static_cast<int32_t>(b * n + group[static_cast<size_t>(b)][i]));
+    }
+    col_offsets.push_back(static_cast<int64_t>(labeled.size()));
+  }
+
+  Bindings bind = bindings_;
+  bind.frontier = tensor::IdArray::FromVector(labeled);
+  ExecOptions opts = executor_.options();
+  opts.super_batch = true;
+  opts.num_segments = segments;
+  opts.graph_num_nodes = n;
+  Executor seg_executor(program_, opts);
+  for (const auto& [id, value] : precomputed_) {
+    seg_executor.SetPrecomputed(id, value);
+  }
+  Rng rng = rng_.Fork(batch_counter_);
+  batch_counter_ += static_cast<uint64_t>(segments);
+  std::vector<Value> outputs = seg_executor.Run(bind, rng);
+
+  if (callback == nullptr) {
+    return;
+  }
+
+  // Split every output back into per-mini-batch values.
+  for (int64_t b = 0; b < segments; ++b) {
+    std::vector<Value> batch_outputs;
+    batch_outputs.reserve(outputs.size());
+    for (Value& v : outputs) {
+      switch (v.kind) {
+        case ValueKind::kIds: {
+          std::vector<tensor::IdArray> parts = SplitLabeledIds(v.ids, n, segments);
+          batch_outputs.push_back(Value::OfIds(parts[static_cast<size_t>(b)]));
+          break;
+        }
+        case ValueKind::kMatrix: {
+          // Column segments are contiguous (labeled ids ascend per segment);
+          // find this batch's column range from the labeled col ids.
+          const sparse::IdArray& col_ids = v.matrix.col_ids();
+          int64_t begin = 0;
+          while (begin < col_ids.size() && col_ids[begin] / n < b) {
+            ++begin;
+          }
+          int64_t end = begin;
+          while (end < col_ids.size() && col_ids[end] / n == b) {
+            ++end;
+          }
+          sparse::Matrix part = sparse::SliceColumnRange(v.matrix, begin, end);
+          part = sparse::CompactRows(part);
+          part.SetRowIds(sparse::MapIdsModulo(part.row_ids(), n));
+          part.SetColIds(sparse::MapIdsModulo(part.col_ids(), n));
+          batch_outputs.push_back(Value::OfMatrix(std::move(part)));
+          break;
+        }
+        case ValueKind::kTensor:
+          GS_CHECK(false) << "super-batch programs cannot return raw tensors";
+      }
+    }
+    callback(first_index + b, batch_outputs);
+  }
+}
+
+int CompiledSampler::AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batches) {
+  // Grid search (Section 4.4): grow the super-batch geometrically while the
+  // peak memory of a trial group stays within the budget AND per-batch
+  // throughput keeps improving.
+  device::CachingAllocator& allocator = device::Current().allocator();
+  device::Stream& stream = device::Current().stream();
+  int best = 1;
+  double best_per_batch = -1.0;
+  for (int b = 1; b <= static_cast<int>(batches.size()) && b <= 64; b *= 2) {
+    // Two trial groups (disjoint where enough batches exist); score by the
+    // worse reading so one lucky trial cannot lock in a bad size.
+    double per_batch = 0.0;
+    int64_t peak = 0;
+    bool failed = false;
+    for (int trial = 0; trial < 2 && !failed; ++trial) {
+      const size_t begin = std::min(static_cast<size_t>(trial) * static_cast<size_t>(b),
+                                    batches.size() - static_cast<size_t>(b));
+      std::vector<tensor::IdArray> group(batches.begin() + static_cast<ptrdiff_t>(begin),
+                                         batches.begin() + static_cast<ptrdiff_t>(begin + b));
+      allocator.ResetPeak();
+      const int64_t mem_before = allocator.stats().bytes_in_use;
+      const int64_t t_before = stream.counters().virtual_ns;
+      try {
+        RunSuperBatch(group, 0, nullptr);
+      } catch (const Error& e) {
+        GS_LOG(Warning) << "super-batch " << b << " failed: " << e.what();
+        failed = true;
+        break;
+      }
+      peak = std::max(peak, allocator.stats().peak_bytes_in_use - mem_before);
+      per_batch = std::max(per_batch,
+                           static_cast<double>(stream.counters().virtual_ns - t_before) /
+                               static_cast<double>(b));
+    }
+    if (failed || peak > options_.memory_budget_bytes) {
+      break;
+    }
+    // Require a clear win to grow: a marginal reading must not lock in a
+    // larger super-batch.
+    if (best_per_batch < 0 || per_batch < best_per_batch * 0.95) {
+      best_per_batch = per_batch;
+      best = b;
+    }
+  }
+  GS_LOG(Info) << "auto-tuned super-batch size: " << best;
+  return best;
+}
+
+void CompiledSampler::SampleEpoch(const tensor::IdArray& frontiers, int64_t batch_size,
+                                  const BatchCallback& callback) {
+  GS_CHECK_GT(batch_size, 0);
+  std::vector<tensor::IdArray> batches;
+  for (int64_t begin = 0; begin < frontiers.size(); begin += batch_size) {
+    const int64_t end = std::min(frontiers.size(), begin + batch_size);
+    tensor::IdArray batch = tensor::IdArray::Empty(end - begin);
+    std::copy_n(frontiers.data() + begin, end - begin, batch.data());
+    batches.push_back(std::move(batch));
+  }
+  if (batches.empty()) {
+    return;
+  }
+  EnsureCalibrated(batches.front());
+
+  int group_size = options_.super_batch;
+  if (!SuperBatchEligible()) {
+    group_size = 1;
+  } else if (group_size == 0) {
+    if (tuned_super_batch_ == 0) {
+      tuned_super_batch_ = AutoTuneSuperBatch(batches);
+    }
+    group_size = tuned_super_batch_;
+  }
+  group_size = std::max(group_size, 1);
+
+  if (group_size == 1) {
+    for (size_t i = 0; i < batches.size(); ++i) {
+      std::vector<Value> outputs = Sample(batches[i]);
+      if (callback != nullptr) {
+        callback(static_cast<int64_t>(i), outputs);
+      }
+    }
+    return;
+  }
+  for (size_t begin = 0; begin < batches.size(); begin += static_cast<size_t>(group_size)) {
+    const size_t end = std::min(batches.size(), begin + static_cast<size_t>(group_size));
+    std::vector<tensor::IdArray> group(batches.begin() + static_cast<ptrdiff_t>(begin),
+                                       batches.begin() + static_cast<ptrdiff_t>(end));
+    RunSuperBatch(group, static_cast<int64_t>(begin), callback);
+  }
+}
+
+OptimizationReport CompiledSampler::report() const {
+  OptimizationReport r = report_;
+  r.precomputed_values = static_cast<int>(precomputed_.size());
+  for (const Node& n : program_.nodes()) {
+    r.annotated_layouts += n.has_format_choice ? 1 : 0;
+    r.compacted_extracts += n.compact_rows ? 1 : 0;
+  }
+  return r;
+}
+
+std::string OptimizationReport::ToString() const {
+  std::ostringstream out;
+  out << "sddmm=" << sddmm_rewrites << " hoisted=" << hoisted_ops
+      << " extract-select=" << extract_select_fusions << " edge-map=" << edge_map_fusions
+      << " map-reduce=" << edge_map_reduce_fusions << " cse=" << cse_merged
+      << " precomputed=" << precomputed_values << " layouts=" << annotated_layouts
+      << " compacted=" << compacted_extracts;
+  return out.str();
+}
+
+std::string CompiledSampler::DebugString() const {
+  std::ostringstream out;
+  out << "CompiledSampler(fusion=" << options_.enable_fusion
+      << ", preprocess=" << options_.enable_preprocessing
+      << ", layout=" << options_.enable_layout_selection
+      << ", super_batch=" << options_.super_batch << ", precomputed=" << precomputed_.size()
+      << ")\n"
+      << program_.ToString();
+  return out.str();
+}
+
+}  // namespace gs::core

@@ -1,0 +1,122 @@
+// CompiledSampler: the gSampler engine (Figure 4).
+//
+// Takes a traced Program plus the input graph and named tensors, runs the
+// optimization pass pipeline, pre-computes batch-invariant values,
+// calibrates data layouts on the first mini-batches, and executes sampling
+// per mini-batch — optionally as super-batches (Section 4.4) with automatic
+// size selection under a memory budget.
+
+#ifndef GSAMPLER_CORE_ENGINE_H_
+#define GSAMPLER_CORE_ENGINE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/ir.h"
+#include "graph/graph.h"
+
+namespace gs::core {
+
+struct SamplerOptions {
+  // Section 4.2: SDDMM rewrite + Extract-Select / Edge-Map / Edge-MapReduce
+  // fusion + CSE + DCE. The per-rule flags below allow ablating individual
+  // rules; they only apply while enable_fusion is set.
+  bool enable_fusion = true;
+  bool fuse_extract_select = true;
+  bool fuse_edge_maps = true;
+  bool rewrite_sddmm = true;
+  // Section 4.2: hoist + compile-time evaluation of batch-invariant nodes.
+  bool enable_preprocessing = true;
+  // Section 4.3: measured format/compaction selection (kPlanned mode). When
+  // off, execution uses the greedy DGL-like per-operator format policy —
+  // unless greedy_when_layout_disabled is cleared, which yields the plain
+  // "use whatever format the kernel produced" behaviour (Figure 10's 'P').
+  bool enable_layout_selection = true;
+  bool greedy_when_layout_disabled = true;
+  // Section 4.4: number of mini-batches sampled per kernel sequence. 1
+  // disables; 0 requests a grid search bounded by memory_budget_bytes.
+  // Ignored (forced to 1) for programs containing walk operators or
+  // per-batch model updates (e.g. PASS).
+  int super_batch = 1;
+  int64_t memory_budget_bytes = int64_t{2} * 1024 * 1024 * 1024;
+  // Layout calibration batches taken from the first Sample calls.
+  int calibration_batches = 1;
+  uint64_t seed = 0x5EED;
+};
+
+// Summary of what the pass pipeline did to a program (for logging,
+// debugging, and the optimization-walkthrough example).
+struct OptimizationReport {
+  int sddmm_rewrites = 0;
+  int hoisted_ops = 0;
+  int extract_select_fusions = 0;
+  int edge_map_fusions = 0;
+  int edge_map_reduce_fusions = 0;
+  int cse_merged = 0;
+  int precomputed_values = 0;
+  int annotated_layouts = 0;   // structure nodes with a chosen format
+  int compacted_extracts = 0;  // structure nodes with row compaction
+  std::string ToString() const;
+};
+
+class CompiledSampler {
+ public:
+  CompiledSampler(Program program, const graph::Graph& graph,
+                  std::map<std::string, tensor::Tensor> tensors, SamplerOptions options);
+
+  // Runs one mini-batch; returns one Value per program output.
+  std::vector<Value> Sample(const tensor::IdArray& frontier);
+
+  // Runs a full epoch: partitions `frontiers` into mini-batches of
+  // `batch_size` and samples them, using super-batches when enabled. The
+  // callback (optional) receives every mini-batch result.
+  using BatchCallback = std::function<void(int64_t batch_index, std::vector<Value>& outputs)>;
+  void SampleEpoch(const tensor::IdArray& frontiers, int64_t batch_size,
+                   const BatchCallback& callback = nullptr);
+
+  // Re-binds a named tensor (model-driven algorithms update weights between
+  // batches; doing so keeps the compiled program).
+  void BindTensor(const std::string& name, tensor::Tensor value);
+
+  // Binds a named relation matrix (heterogeneous programs). The matrix must
+  // outlive the sampler.
+  void BindGraph(const std::string& name, const sparse::Matrix* matrix);
+
+  const Program& program() const { return program_; }
+  // What the pass pipeline did (layout fields are populated after the first
+  // Sample call triggers calibration).
+  OptimizationReport report() const;
+  // Effective super-batch size after auto-tuning (0 until tuned).
+  int effective_super_batch() const { return tuned_super_batch_; }
+  std::string DebugString() const;
+
+ private:
+  void Precompute();
+  void EnsureCalibrated(const tensor::IdArray& frontier);
+  bool SuperBatchEligible() const;
+  // Runs `group` mini-batches as one labeled super-batch and appends the
+  // per-batch split results via the callback.
+  void RunSuperBatch(const std::vector<tensor::IdArray>& group, int64_t first_index,
+                     const BatchCallback& callback);
+  int AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batches);
+
+  Program program_;
+  OptimizationReport report_;
+  const graph::Graph* graph_;
+  Bindings bindings_;
+  SamplerOptions options_;
+  Rng rng_;
+  uint64_t batch_counter_ = 0;
+  Executor executor_;
+  std::map<int, Value> precomputed_;
+  bool needs_precompute_ = false;  // deferred until all bindings are present
+  bool calibrated_ = false;
+  int tuned_super_batch_ = 0;
+};
+
+}  // namespace gs::core
+
+#endif  // GSAMPLER_CORE_ENGINE_H_

@@ -1,0 +1,380 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "sparse/batch.h"
+#include "sparse/fused.h"
+#include "tensor/ops.h"
+
+namespace gs::core {
+namespace {
+
+// Rebuilds a matrix carrying only `format` (structure arrays are shared, so
+// this is cheap); used to enforce layout annotations.
+sparse::Matrix KeepOnlyFormat(const sparse::Matrix& m, sparse::Format format) {
+  sparse::Matrix out;
+  switch (format) {
+    case sparse::Format::kCsc: {
+      sparse::Compressed csc = m.Csc();
+      out = sparse::Matrix::FromCsc(m.num_rows(), m.num_cols(), std::move(csc));
+      break;
+    }
+    case sparse::Format::kCsr: {
+      sparse::Compressed csr = m.Csr();
+      out = sparse::Matrix::FromCsr(m.num_rows(), m.num_cols(), std::move(csr));
+      break;
+    }
+    case sparse::Format::kCoo: {
+      sparse::Coo coo = m.GetCoo();
+      out = sparse::Matrix::FromCoo(m.num_rows(), m.num_cols(), std::move(coo));
+      break;
+    }
+  }
+  out.SetRowIds(m.row_ids());
+  out.SetColIds(m.col_ids());
+  out.SetRowsCompact(m.rows_compact());
+  out.SetUvaCache(m.uva_cache());
+  return out;
+}
+
+// The single best input format per operator, used by the greedy (DGL-like)
+// layout mode.
+sparse::Format GreedyPreferredFormat(const Node& node) {
+  switch (node.kind) {
+    case OpKind::kSliceCols:
+    case OpKind::kIndividualSample:
+    case OpKind::kIndividualSampleP:
+    case OpKind::kFusedSliceSample:
+    case OpKind::kWalkStep:
+    case OpKind::kNode2VecStep:
+      return sparse::Format::kCsc;
+    case OpKind::kSliceRows:
+    case OpKind::kCollectiveSample:
+    case OpKind::kSpMM:
+      return sparse::Format::kCsr;
+    case OpKind::kSumAxis:
+      return node.attrs.axis == 0 ? sparse::Format::kCsr : sparse::Format::kCsc;
+    case OpKind::kRowIds:
+      return sparse::Format::kCoo;
+    default:
+      return sparse::Format::kCsc;
+  }
+}
+
+void EnsureFormat(const sparse::Matrix& m, sparse::Format format) {
+  switch (format) {
+    case sparse::Format::kCsc:
+      m.Csc();
+      break;
+    case sparse::Format::kCsr:
+      m.Csr();
+      break;
+    case sparse::Format::kCoo:
+      m.GetCoo();
+      break;
+  }
+}
+
+}  // namespace
+
+Value Value::OfMatrix(sparse::Matrix m) {
+  Value v;
+  v.kind = ValueKind::kMatrix;
+  v.matrix = std::move(m);
+  return v;
+}
+
+Value Value::OfTensor(tensor::Tensor t) {
+  Value v;
+  v.kind = ValueKind::kTensor;
+  v.tensor = std::move(t);
+  return v;
+}
+
+Value Value::OfIds(tensor::IdArray i) {
+  Value v;
+  v.kind = ValueKind::kIds;
+  v.ids = std::move(i);
+  return v;
+}
+
+Executor::Executor(const Program& program, ExecOptions options)
+    : program_(&program), options_(options) {
+  last_use_.assign(static_cast<size_t>(program.size()), -1);
+  for (const Node& n : program.nodes()) {
+    for (int in : n.inputs) {
+      last_use_[static_cast<size_t>(in)] = std::max(last_use_[static_cast<size_t>(in)], n.id);
+    }
+  }
+  for (int out : program.outputs()) {
+    last_use_[static_cast<size_t>(out)] = program.size();  // never freed
+  }
+}
+
+void Executor::SetPrecomputed(int node_id, Value value) {
+  precomputed_[node_id] = std::move(value);
+}
+
+std::vector<Value> Executor::Run(const Bindings& bindings, Rng& rng) const {
+  GS_CHECK(bindings.graph != nullptr) << "bindings must provide the base graph";
+  std::vector<Value> values(static_cast<size_t>(program_->size()));
+  for (const Node& n : program_->nodes()) {
+    auto pre = precomputed_.find(n.id);
+    if (pre != precomputed_.end()) {
+      values[static_cast<size_t>(n.id)] = pre->second;
+    } else {
+      values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng);
+    }
+    // Free inputs whose last consumer just ran (keeps simulated device
+    // memory accounting tight, like stream-ordered frees on GPU).
+    for (int in : n.inputs) {
+      if (last_use_[static_cast<size_t>(in)] == n.id) {
+        values[static_cast<size_t>(in)] = Value{};
+      }
+    }
+  }
+  std::vector<Value> outputs;
+  outputs.reserve(program_->outputs().size());
+  for (int out : program_->outputs()) {
+    outputs.push_back(values[static_cast<size_t>(out)]);
+  }
+  return outputs;
+}
+
+std::map<int, Value> Executor::RunInvariant(const Bindings& bindings) const {
+  GS_CHECK(bindings.graph != nullptr);
+  Rng rng(uint64_t{0});  // invariant nodes are deterministic; rng is never consumed
+  std::vector<Value> values(static_cast<size_t>(program_->size()));
+  std::map<int, Value> result;
+  for (const Node& n : program_->nodes()) {
+    if (!n.invariant) {
+      continue;
+    }
+    values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng);
+    result[n.id] = values[static_cast<size_t>(n.id)];
+  }
+  return result;
+}
+
+Value Executor::Evaluate(const Node& node, std::vector<Value>& values,
+                         const Bindings& bindings, Rng& rng) const {
+  auto matrix_in = [&](int slot) -> const sparse::Matrix& {
+    const Value& v = values[static_cast<size_t>(node.inputs[static_cast<size_t>(slot)])];
+    GS_CHECK(v.kind == ValueKind::kMatrix && v.matrix.defined())
+        << "node " << node.id << " expects a matrix input";
+    return v.matrix;
+  };
+  auto tensor_in = [&](int slot) -> const tensor::Tensor& {
+    const Value& v = values[static_cast<size_t>(node.inputs[static_cast<size_t>(slot)])];
+    GS_CHECK(v.kind == ValueKind::kTensor && v.tensor.defined())
+        << "node " << node.id << " expects a tensor input";
+    return v.tensor;
+  };
+  auto ids_in = [&](int slot) -> const tensor::IdArray& {
+    const Value& v = values[static_cast<size_t>(node.inputs[static_cast<size_t>(slot)])];
+    GS_CHECK(v.kind == ValueKind::kIds && v.ids.defined())
+        << "node " << node.id << " expects an ids input";
+    return v.ids;
+  };
+
+  // Greedy layout: convert the primary matrix input to the op's favorite
+  // format up front, conversion cost be damned (the DGL-like policy).
+  if (options_.layout == LayoutMode::kGreedy && !node.inputs.empty()) {
+    const Value& first = values[static_cast<size_t>(node.inputs[0])];
+    if (first.kind == ValueKind::kMatrix && first.matrix.defined()) {
+      EnsureFormat(first.matrix, GreedyPreferredFormat(node));
+    }
+  }
+
+  // Finalizes a structure-op result according to layout annotations.
+  auto finish_structure = [&](sparse::Matrix m) -> Value {
+    if (options_.layout == LayoutMode::kPlanned) {
+      if (node.compact_rows && !m.rows_compact()) {
+        m = sparse::CompactRows(m);
+      }
+      if (node.has_format_choice) {
+        EnsureFormat(m, node.chosen_format);
+        m = KeepOnlyFormat(m, node.chosen_format);
+      }
+    }
+    return Value::OfMatrix(std::move(m));
+  };
+
+  const bool seg = options_.super_batch;
+
+  switch (node.kind) {
+    case OpKind::kGraphInput: {
+      if (node.attrs.name.empty()) {
+        return Value::OfMatrix(*bindings.graph);
+      }
+      auto it = bindings.named_graphs.find(node.attrs.name);
+      GS_CHECK(it != bindings.named_graphs.end() && it->second != nullptr)
+          << "missing graph binding '" << node.attrs.name << "'";
+      return Value::OfMatrix(*it->second);
+    }
+    case OpKind::kFrontierInput:
+      GS_CHECK(bindings.frontier.defined()) << "bindings must provide frontiers";
+      return Value::OfIds(bindings.frontier);
+    case OpKind::kTensorInput: {
+      auto it = bindings.tensors.find(node.attrs.name);
+      GS_CHECK(it != bindings.tensors.end())
+          << "missing tensor binding '" << node.attrs.name << "'";
+      return Value::OfTensor(it->second);
+    }
+
+    case OpKind::kSliceCols:
+      if (seg) {
+        return finish_structure(sparse::SegmentedSliceColumns(matrix_in(0), ids_in(1),
+                                                              options_.num_segments));
+      }
+      return finish_structure(sparse::SliceColumns(matrix_in(0), ids_in(1)));
+    case OpKind::kSliceRows:
+      return finish_structure(sparse::SliceRows(matrix_in(0), ids_in(1)));
+
+    case OpKind::kSumAxis:
+      return Value::OfTensor(tensor::Tensor::FromArray(
+          {node.attrs.axis == 0 ? matrix_in(0).num_rows() : matrix_in(0).num_cols()},
+          sparse::SumAxis(matrix_in(0), node.attrs.axis)));
+    case OpKind::kBroadcast:
+      return Value::OfMatrix(sparse::Broadcast(matrix_in(0), node.attrs.bop,
+                                               tensor_in(1).array(), node.attrs.axis));
+    case OpKind::kEltwiseScalar:
+      return Value::OfMatrix(
+          sparse::EltwiseScalar(matrix_in(0), node.attrs.bop, node.attrs.scalar));
+    case OpKind::kEltwiseBinary:
+      return Value::OfMatrix(sparse::EltwiseBinary(matrix_in(0), node.attrs.bop, matrix_in(1)));
+    case OpKind::kDenseEltwise:
+      return Value::OfMatrix(sparse::DenseEltwise(matrix_in(0), node.attrs.bop, tensor_in(1)));
+    case OpKind::kSpMM:
+      return Value::OfTensor(sparse::SpMM(matrix_in(0), tensor_in(1)));
+    case OpKind::kSddmm:
+      return Value::OfMatrix(
+          sparse::Sddmm(matrix_in(0), tensor_in(1), tensor_in(2), node.attrs.flag));
+    case OpKind::kEdgeValues:
+      return Value::OfTensor(tensor::Tensor::FromArray(
+          {matrix_in(0).nnz()}, matrix_in(0).ValuesFor(sparse::Format::kCsc)));
+    case OpKind::kWithValues: {
+      const tensor::Tensor& t = tensor_in(1);
+      GS_CHECK_EQ(t.numel(), matrix_in(0).nnz()) << "WithValues size mismatch";
+      return Value::OfMatrix(matrix_in(0).WithValues(sparse::Format::kCsc, t.array()));
+    }
+
+    case OpKind::kMatMul:
+      return Value::OfTensor(tensor::MatMul(tensor_in(0), tensor_in(1)));
+    case OpKind::kTranspose:
+      return Value::OfTensor(tensor::Transpose(tensor_in(0)));
+    case OpKind::kRelu:
+      return Value::OfTensor(tensor::Relu(tensor_in(0)));
+    case OpKind::kSoftmax:
+      return Value::OfTensor(tensor::Softmax(tensor_in(0)));
+    case OpKind::kTensorBinary:
+      return Value::OfTensor(tensor::Binary(node.attrs.bop, tensor_in(0), tensor_in(1)));
+    case OpKind::kTensorBinaryScalar:
+      return Value::OfTensor(
+          tensor::BinaryScalar(node.attrs.bop, tensor_in(0), node.attrs.scalar));
+    case OpKind::kGatherRows: {
+      const tensor::Tensor& t = tensor_in(0);
+      tensor::IdArray index = ids_in(1);
+      if (seg && options_.graph_num_nodes > 0 && t.rows() == options_.graph_num_nodes) {
+        // Labeled id space -> original node ids for graph-sized tensors.
+        index = sparse::MapIdsModulo(index, options_.graph_num_nodes);
+      }
+      return Value::OfTensor(tensor::GatherRows(t, index));
+    }
+    case OpKind::kStackColumns: {
+      std::vector<tensor::Tensor> columns;
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        columns.push_back(tensor_in(static_cast<int>(i)));
+      }
+      return Value::OfTensor(tensor::StackColumns(columns));
+    }
+    case OpKind::kTensorSum:
+      return Value::OfTensor(tensor::SumAxis(tensor_in(0), node.attrs.axis));
+
+    case OpKind::kIndividualSample:
+      return finish_structure(
+          sparse::IndividualSample(matrix_in(0), node.attrs.k, sparse::ValueArray{}, rng));
+    case OpKind::kIndividualSampleP: {
+      const sparse::Matrix& m = matrix_in(0);
+      const sparse::Matrix& probs = matrix_in(1);
+      GS_CHECK(m.SharesPatternWith(probs))
+          << "individual_sample probs must share the matrix's sparsity pattern";
+      return finish_structure(
+          sparse::IndividualSample(m, node.attrs.k, probs.ValuesFor(sparse::Format::kCsc), rng));
+    }
+    case OpKind::kCollectiveSample:
+      if (seg) {
+        return finish_structure(sparse::SegmentedCollectiveSample(
+            matrix_in(0), node.attrs.k, tensor_in(1).array(), options_.graph_num_nodes, rng));
+      }
+      return finish_structure(
+          sparse::CollectiveSample(matrix_in(0), node.attrs.k, tensor_in(1).array(), rng));
+
+    case OpKind::kRowIds:
+      return Value::OfIds(sparse::RowIds(matrix_in(0)));
+    case OpKind::kColIds:
+      return Value::OfIds(sparse::ColIds(matrix_in(0)));
+    case OpKind::kCompactRows:
+      return finish_structure(sparse::CompactRows(matrix_in(0)));
+    case OpKind::kUnique: {
+      std::vector<tensor::IdArray> arrays;
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        arrays.push_back(ids_in(static_cast<int>(i)));
+      }
+      return Value::OfIds(sparse::Unique(arrays));
+    }
+
+    case OpKind::kWalkStep:
+      return Value::OfIds(sparse::UniformWalkStep(matrix_in(0), ids_in(1), rng));
+    case OpKind::kWalkRestartStep:
+      return Value::OfIds(sparse::UniformWalkStepRestart(matrix_in(0), ids_in(1), ids_in(2),
+                                                         node.attrs.p, rng));
+    case OpKind::kNode2VecStep:
+      return Value::OfIds(sparse::Node2VecStep(matrix_in(0), ids_in(1), ids_in(2),
+                                               node.attrs.p, node.attrs.q, rng));
+    case OpKind::kTopKVisited: {
+      std::vector<tensor::IdArray> steps;
+      for (size_t i = 1; i < node.inputs.size(); ++i) {
+        steps.push_back(ids_in(static_cast<int>(i)));
+      }
+      return Value::OfMatrix(
+          sparse::TopKVisited(steps, ids_in(0), node.attrs.k, bindings.graph->num_rows()));
+    }
+
+    case OpKind::kFusedSliceSample:
+      if (seg) {
+        return finish_structure(sparse::SegmentedFusedSliceSample(
+            matrix_in(0), ids_in(1), options_.num_segments, node.attrs.k, rng));
+      }
+      return finish_structure(
+          sparse::FusedSliceSample(matrix_in(0), ids_in(1), node.attrs.k, rng));
+    case OpKind::kFusedEdgeMap: {
+      std::vector<tensor::Tensor> operands;
+      for (size_t i = 1; i < node.inputs.size(); ++i) {
+        operands.push_back(tensor_in(static_cast<int>(i)));
+      }
+      return Value::OfMatrix(sparse::FusedEdgeMap(matrix_in(0), node.attrs.stages, operands));
+    }
+    case OpKind::kFusedEdgeMapReduce: {
+      std::vector<tensor::Tensor> operands;
+      for (size_t i = 1; i < node.inputs.size(); ++i) {
+        operands.push_back(tensor_in(static_cast<int>(i)));
+      }
+      const sparse::Matrix& m = matrix_in(0);
+      sparse::ValueArray reduced =
+          sparse::FusedEdgeMapReduce(m, node.attrs.stages, operands, node.attrs.axis);
+      return Value::OfTensor(tensor::Tensor::FromArray(
+          {node.attrs.axis == 0 ? m.num_rows() : m.num_cols()}, std::move(reduced)));
+    }
+    case OpKind::kConvertFormat: {
+      const sparse::Matrix& m = matrix_in(0);
+      EnsureFormat(m, node.attrs.format);
+      return Value::OfMatrix(KeepOnlyFormat(m, node.attrs.format));
+    }
+  }
+  GS_CHECK(false) << "unhandled op " << OpKindName(node.kind);
+  return {};
+}
+
+}  // namespace gs::core

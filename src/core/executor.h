@@ -1,0 +1,99 @@
+// IR interpreter: runs a Program per mini-batch against the sparse/tensor
+// kernels on the simulated device.
+//
+// The executor supports three layout modes (Section 4.3 / Figure 10):
+//  - kAsIs:    kernels use whatever format their inputs already have (the
+//              "plain" configuration);
+//  - kGreedy:  before each operator, inputs are converted to that operator's
+//              single best format, ignoring conversion cost — the DGL-like
+//              strategy the paper compares against;
+//  - kPlanned: structure-producing nodes carry format/compaction
+//              annotations chosen by the data-layout-selection pass.
+//
+// Super-batch execution (Section 4.4) swaps extract/select operators for
+// their segmented counterparts; mini-batch b's node v travels through the
+// program as the labeled id `b * N + v`, which keeps batches independent.
+
+#ifndef GSAMPLER_CORE_EXECUTOR_H_
+#define GSAMPLER_CORE_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ir.h"
+#include "sparse/kernels.h"
+#include "tensor/tensor.h"
+
+namespace gs::core {
+
+// A runtime value (tagged by the producing node's ValueKind).
+struct Value {
+  ValueKind kind = ValueKind::kTensor;
+  sparse::Matrix matrix;
+  tensor::Tensor tensor;
+  tensor::IdArray ids;
+
+  static Value OfMatrix(sparse::Matrix m);
+  static Value OfTensor(tensor::Tensor t);
+  static Value OfIds(tensor::IdArray i);
+};
+
+// Per-program inputs.
+struct Bindings {
+  const sparse::Matrix* graph = nullptr;  // base adjacency (required)
+  tensor::IdArray frontier;               // per-batch frontiers
+  std::map<std::string, tensor::Tensor> tensors;
+  // Additional relation matrices for heterogeneous programs (Section 4.5:
+  // each edge type is its own sparse matrix); keyed by GraphNamed() name.
+  std::map<std::string, const sparse::Matrix*> named_graphs;
+};
+
+enum class LayoutMode {
+  kAsIs,
+  kGreedy,
+  kPlanned,
+};
+
+struct ExecOptions {
+  LayoutMode layout = LayoutMode::kAsIs;
+  // Super-batch mode: the frontier carries labeled ids (b * N + v) spanning
+  // `num_segments` mini-batches over a graph of `graph_num_nodes` nodes.
+  bool super_batch = false;
+  int64_t num_segments = 1;
+  int64_t graph_num_nodes = 0;
+};
+
+class Executor {
+ public:
+  Executor(const Program& program, ExecOptions options);
+
+  // Injects a compile-time value for a batch-invariant node (the
+  // pre-processing optimization); the node is skipped during Run.
+  void SetPrecomputed(int node_id, Value value);
+  void ClearPrecomputed() { precomputed_.clear(); }
+
+  // Executes the program and returns one Value per program output.
+  std::vector<Value> Run(const Bindings& bindings, Rng& rng) const;
+
+  // Executes only the batch-invariant prefix (nodes marked invariant) and
+  // returns their values; used by the engine to populate SetPrecomputed.
+  std::map<int, Value> RunInvariant(const Bindings& bindings) const;
+
+  const ExecOptions& options() const { return options_; }
+  void set_options(const ExecOptions& options) { options_ = options; }
+
+ private:
+  Value Evaluate(const Node& node, std::vector<Value>& values, const Bindings& bindings,
+                 Rng& rng) const;
+
+  const Program* program_;
+  ExecOptions options_;
+  std::map<int, Value> precomputed_;
+  std::vector<int> last_use_;  // node id -> index of its last consumer
+};
+
+}  // namespace gs::core
+
+#endif  // GSAMPLER_CORE_EXECUTOR_H_

@@ -1,0 +1,270 @@
+#include "core/trace.h"
+
+#include "common/error.h"
+
+namespace gs::core {
+namespace {
+
+Builder* SameBuilder(const internal::ValBase& a, const internal::ValBase& b) {
+  GS_CHECK(a.defined() && b.defined()) << "use of an undefined traced value";
+  GS_CHECK(a.builder() == b.builder()) << "values belong to different Builders";
+  return a.builder();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MVal
+
+MVal MVal::Cols(const IVal& ids) const {
+  Builder* b = SameBuilder(*this, ids);
+  return {b, b->Emit(OpKind::kSliceCols, {id(), ids.id()})};
+}
+
+MVal MVal::Rows(const IVal& ids) const {
+  Builder* b = SameBuilder(*this, ids);
+  return {b, b->Emit(OpKind::kSliceRows, {id(), ids.id()})};
+}
+
+TVal MVal::Sum(int axis) const {
+  Attrs a;
+  a.axis = axis;
+  return {builder(), builder()->Emit(OpKind::kSumAxis, {id()}, a)};
+}
+
+MVal MVal::Broadcast(BinaryOp op, const TVal& vec, int axis) const {
+  Builder* b = SameBuilder(*this, vec);
+  Attrs a;
+  a.bop = op;
+  a.axis = axis;
+  return {b, b->Emit(OpKind::kBroadcast, {id(), vec.id()}, a)};
+}
+
+MVal MVal::Pow(float exponent) const {
+  Attrs a;
+  a.bop = BinaryOp::kPow;
+  a.scalar = exponent;
+  return {builder(), builder()->Emit(OpKind::kEltwiseScalar, {id()}, a)};
+}
+
+MVal MVal::operator*(float scalar) const {
+  Attrs a;
+  a.bop = BinaryOp::kMul;
+  a.scalar = scalar;
+  return {builder(), builder()->Emit(OpKind::kEltwiseScalar, {id()}, a)};
+}
+
+MVal MVal::operator*(const MVal& other) const {
+  Builder* b = SameBuilder(*this, other);
+  Attrs a;
+  a.bop = BinaryOp::kMul;
+  return {b, b->Emit(OpKind::kEltwiseBinary, {id(), other.id()}, a)};
+}
+
+MVal MVal::MulDense(const TVal& dense) const {
+  Builder* b = SameBuilder(*this, dense);
+  Attrs a;
+  a.bop = BinaryOp::kMul;
+  return {b, b->Emit(OpKind::kDenseEltwise, {id(), dense.id()}, a)};
+}
+
+TVal MVal::MM(const TVal& dense) const {
+  Builder* b = SameBuilder(*this, dense);
+  return {b, b->Emit(OpKind::kSpMM, {id(), dense.id()})};
+}
+
+TVal MVal::EdgeValues() const {
+  return {builder(), builder()->Emit(OpKind::kEdgeValues, {id()})};
+}
+
+MVal MVal::WithEdgeValues(const TVal& values) const {
+  Builder* b = SameBuilder(*this, values);
+  return {b, b->Emit(OpKind::kWithValues, {id(), values.id()})};
+}
+
+MVal MVal::IndividualSample(int64_t k) const {
+  Attrs a;
+  a.k = k;
+  return {builder(), builder()->Emit(OpKind::kIndividualSample, {id()}, a)};
+}
+
+MVal MVal::IndividualSample(int64_t k, const MVal& probs) const {
+  Builder* b = SameBuilder(*this, probs);
+  Attrs a;
+  a.k = k;
+  return {b, b->Emit(OpKind::kIndividualSampleP, {id(), probs.id()}, a)};
+}
+
+MVal MVal::CollectiveSample(int64_t k, const TVal& row_probs) const {
+  Builder* b = SameBuilder(*this, row_probs);
+  Attrs a;
+  a.k = k;
+  return {b, b->Emit(OpKind::kCollectiveSample, {id(), row_probs.id()}, a)};
+}
+
+IVal MVal::Row() const { return {builder(), builder()->Emit(OpKind::kRowIds, {id()})}; }
+
+IVal MVal::Col() const { return {builder(), builder()->Emit(OpKind::kColIds, {id()})}; }
+
+MVal MVal::Compact() const {
+  return {builder(), builder()->Emit(OpKind::kCompactRows, {id()})};
+}
+
+// ---------------------------------------------------------------- TVal
+
+TVal TVal::MM(const TVal& other) const {
+  Builder* b = SameBuilder(*this, other);
+  return {b, b->Emit(OpKind::kMatMul, {id(), other.id()})};
+}
+
+TVal TVal::T() const { return {builder(), builder()->Emit(OpKind::kTranspose, {id()})}; }
+
+TVal TVal::Relu() const { return {builder(), builder()->Emit(OpKind::kRelu, {id()})}; }
+
+TVal TVal::Softmax() const { return {builder(), builder()->Emit(OpKind::kSoftmax, {id()})}; }
+
+TVal TVal::Sum(int axis) const {
+  Attrs a;
+  a.axis = axis;
+  return {builder(), builder()->Emit(OpKind::kTensorSum, {id()}, a)};
+}
+
+TVal TVal::Gather(const IVal& ids) const {
+  Builder* b = SameBuilder(*this, ids);
+  return {b, b->Emit(OpKind::kGatherRows, {id(), ids.id()})};
+}
+
+TVal TVal::Pow(float exponent) const {
+  Attrs a;
+  a.bop = BinaryOp::kPow;
+  a.scalar = exponent;
+  return {builder(), builder()->Emit(OpKind::kTensorBinaryScalar, {id()}, a)};
+}
+
+namespace {
+
+TVal TensorBinary(const TVal& a, BinaryOp op, const TVal& b) {
+  Builder* builder = SameBuilder(a, b);
+  Attrs attrs;
+  attrs.bop = op;
+  return {builder, builder->Emit(OpKind::kTensorBinary, {a.id(), b.id()}, attrs)};
+}
+
+TVal TensorScalar(const TVal& a, BinaryOp op, float s) {
+  Attrs attrs;
+  attrs.bop = op;
+  attrs.scalar = s;
+  return {a.builder(), a.builder()->Emit(OpKind::kTensorBinaryScalar, {a.id()}, attrs)};
+}
+
+}  // namespace
+
+TVal TVal::operator+(const TVal& o) const { return TensorBinary(*this, BinaryOp::kAdd, o); }
+TVal TVal::operator-(const TVal& o) const { return TensorBinary(*this, BinaryOp::kSub, o); }
+TVal TVal::operator*(const TVal& o) const { return TensorBinary(*this, BinaryOp::kMul, o); }
+TVal TVal::operator/(const TVal& o) const { return TensorBinary(*this, BinaryOp::kDiv, o); }
+TVal TVal::operator+(float s) const { return TensorScalar(*this, BinaryOp::kAdd, s); }
+TVal TVal::operator*(float s) const { return TensorScalar(*this, BinaryOp::kMul, s); }
+TVal TVal::operator/(float s) const { return TensorScalar(*this, BinaryOp::kDiv, s); }
+
+// ---------------------------------------------------------------- Builder
+
+MVal Builder::Graph() {
+  GS_CHECK(!has_graph_) << "Graph() may be declared once per program";
+  has_graph_ = true;
+  return {this, Emit(OpKind::kGraphInput, {})};
+}
+
+IVal Builder::Frontier() {
+  GS_CHECK(!has_frontier_) << "Frontier() may be declared once per program";
+  has_frontier_ = true;
+  return {this, Emit(OpKind::kFrontierInput, {})};
+}
+
+TVal Builder::Input(const std::string& name) {
+  GS_CHECK(!name.empty()) << "tensor inputs need a name";
+  Attrs a;
+  a.name = name;
+  return {this, Emit(OpKind::kTensorInput, {}, a)};
+}
+
+int Builder::Output(const MVal& v) {
+  outputs_.push_back(v.id());
+  return static_cast<int>(outputs_.size()) - 1;
+}
+
+int Builder::Output(const TVal& v) {
+  outputs_.push_back(v.id());
+  return static_cast<int>(outputs_.size()) - 1;
+}
+
+int Builder::Output(const IVal& v) {
+  outputs_.push_back(v.id());
+  return static_cast<int>(outputs_.size()) - 1;
+}
+
+TVal Builder::Stack(std::span<const TVal> columns) {
+  GS_CHECK(!columns.empty());
+  std::vector<int> inputs;
+  for (const TVal& t : columns) {
+    inputs.push_back(t.id());
+  }
+  return {this, Emit(OpKind::kStackColumns, std::move(inputs))};
+}
+
+IVal Builder::Unique(std::span<const IVal> ids) {
+  GS_CHECK(!ids.empty());
+  std::vector<int> inputs;
+  for (const IVal& v : ids) {
+    inputs.push_back(v.id());
+  }
+  return {this, Emit(OpKind::kUnique, std::move(inputs))};
+}
+
+MVal Builder::GraphNamed(const std::string& name) {
+  GS_CHECK(!name.empty()) << "named graphs need a name";
+  Attrs a;
+  a.name = name;
+  return {this, Emit(OpKind::kGraphInput, {}, a)};
+}
+
+IVal Builder::WalkStep(const MVal& graph, const IVal& cur) {
+  return {this, Emit(OpKind::kWalkStep, {graph.id(), cur.id()})};
+}
+
+IVal Builder::WalkStepRestart(const MVal& graph, const IVal& cur, const IVal& root,
+                              float restart_prob) {
+  Attrs a;
+  a.p = restart_prob;
+  return {this, Emit(OpKind::kWalkRestartStep, {graph.id(), cur.id(), root.id()}, a)};
+}
+
+MVal Builder::TopKVisited(const IVal& roots, std::span<const IVal> steps, int64_t k) {
+  GS_CHECK(!steps.empty());
+  std::vector<int> inputs = {roots.id()};
+  for (const IVal& s : steps) {
+    inputs.push_back(s.id());
+  }
+  Attrs a;
+  a.k = k;
+  return {this, Emit(OpKind::kTopKVisited, std::move(inputs), a)};
+}
+
+IVal Builder::Node2VecStep(const MVal& graph, const IVal& cur, const IVal& prev, float p,
+                           float q) {
+  Attrs a;
+  a.p = p;
+  a.q = q;
+  return {this, Emit(OpKind::kNode2VecStep, {graph.id(), cur.id(), prev.id()}, a)};
+}
+
+Program Builder::Build() && {
+  program_.SetOutputs(std::move(outputs_));
+  program_.Verify();
+  return std::move(program_);
+}
+
+int Builder::Emit(OpKind kind, std::vector<int> inputs, Attrs attrs) {
+  return program_.Add(kind, std::move(inputs), std::move(attrs));
+}
+
+}  // namespace gs::core

@@ -1,0 +1,160 @@
+// Tracing front-end: the user-facing matrix-centric API (Table 4).
+//
+// Sampling programs are written once against symbolic handles (MVal =
+// matrix, TVal = dense tensor, IVal = id array); every operation records an
+// IR node. This is the role torch.fx plays in the paper: the same Pythonic
+// surface, captured as a data-flow graph for whole-program optimization.
+//
+// Example (GraphSAGE one layer, Figure 3a):
+//
+//   Builder b;
+//   MVal a = b.Graph();
+//   IVal frontiers = b.Frontier();
+//   MVal sub_a = a.Cols(frontiers);                  // A[:, frontiers]
+//   MVal sample_a = sub_a.IndividualSample(k);
+//   IVal next = sample_a.Row();
+//   b.Output(sample_a); b.Output(next);
+//   Program p = std::move(b).Build();
+
+#ifndef GSAMPLER_CORE_TRACE_H_
+#define GSAMPLER_CORE_TRACE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/ir.h"
+
+namespace gs::core {
+
+class Builder;
+
+namespace internal {
+
+class ValBase {
+ public:
+  ValBase() = default;
+  ValBase(Builder* builder, int id) : builder_(builder), id_(id) {}
+
+  int id() const { return id_; }
+  Builder* builder() const { return builder_; }
+  bool defined() const { return builder_ != nullptr; }
+
+ protected:
+  Builder* builder_ = nullptr;
+  int id_ = -1;
+};
+
+}  // namespace internal
+
+class TVal;
+class IVal;
+
+// Symbolic sparse matrix (a graph / subgraph).
+class MVal : public internal::ValBase {
+ public:
+  using ValBase::ValBase;
+
+  // ---- Extract ----
+  MVal Cols(const IVal& ids) const;  // A[:, ids]
+  MVal Rows(const IVal& ids) const;  // A[ids, :]
+
+  // ---- Compute ----
+  TVal Sum(int axis) const;
+  MVal Broadcast(BinaryOp op, const TVal& vec, int axis) const;
+  MVal Div(const TVal& vec, int axis) const { return Broadcast(BinaryOp::kDiv, vec, axis); }
+  MVal Mul(const TVal& vec, int axis) const { return Broadcast(BinaryOp::kMul, vec, axis); }
+  MVal Pow(float exponent) const;
+  MVal operator*(float scalar) const;
+  MVal operator*(const MVal& other) const;  // same-pattern elementwise
+  MVal MulDense(const TVal& dense) const;   // sub_A * D, D dense (rows x cols)
+  TVal MM(const TVal& dense) const;         // A @ D (SpMM)
+  TVal EdgeValues() const;                  // edge values as a (nnz,) tensor
+  MVal WithEdgeValues(const TVal& values) const;
+
+  // ---- Select ----
+  MVal IndividualSample(int64_t k) const;                     // uniform
+  MVal IndividualSample(int64_t k, const MVal& probs) const;  // biased
+  MVal CollectiveSample(int64_t k, const TVal& row_probs) const;
+
+  // ---- Finalize ----
+  IVal Row() const;
+  IVal Col() const;
+  MVal Compact() const;
+};
+
+// Symbolic dense tensor.
+class TVal : public internal::ValBase {
+ public:
+  using ValBase::ValBase;
+
+  TVal MM(const TVal& other) const;  // dense matmul
+  TVal T() const;
+  TVal Relu() const;
+  TVal Softmax() const;
+  TVal Sum(int axis) const;
+  TVal Gather(const IVal& ids) const;  // rows/elements by index
+  TVal Pow(float exponent) const;
+
+  TVal operator+(const TVal& o) const;
+  TVal operator-(const TVal& o) const;
+  TVal operator*(const TVal& o) const;
+  TVal operator/(const TVal& o) const;
+  TVal operator+(float s) const;
+  TVal operator*(float s) const;
+  TVal operator/(float s) const;
+};
+
+// Symbolic id array.
+class IVal : public internal::ValBase {
+ public:
+  using ValBase::ValBase;
+};
+
+class Builder {
+ public:
+  Builder() = default;
+
+  // Declares the base graph input (call once).
+  MVal Graph();
+  // Declares an additional named relation matrix (heterogeneous programs);
+  // bound via Bindings::named_graphs.
+  MVal GraphNamed(const std::string& name);
+  // Declares the per-batch frontier input (call once).
+  IVal Frontier();
+  // Declares a named dense tensor input bound at execution time.
+  TVal Input(const std::string& name);
+
+  // Marks a value as a program output; returns its position.
+  int Output(const MVal& v);
+  int Output(const TVal& v);
+  int Output(const IVal& v);
+
+  // Free-standing ops.
+  TVal Stack(std::span<const TVal> columns);
+  IVal Unique(std::span<const IVal> ids);
+  IVal WalkStep(const MVal& graph, const IVal& cur);
+  // Walk step with restart-to-root probability (PinSAGE/HetGNN).
+  IVal WalkStepRestart(const MVal& graph, const IVal& cur, const IVal& root,
+                       float restart_prob);
+  IVal Node2VecStep(const MVal& graph, const IVal& cur, const IVal& prev, float p, float q);
+  // Per-root top-k visit counts from walk traces; returns a matrix whose
+  // values are the counts (PinSAGE importance pooling).
+  MVal TopKVisited(const IVal& roots, std::span<const IVal> steps, int64_t k);
+
+  // Finishes tracing; the Builder must not be used afterwards.
+  Program Build() &&;
+
+  // Internal: records a node (used by the value handles).
+  int Emit(OpKind kind, std::vector<int> inputs, Attrs attrs = {});
+
+ private:
+  Program program_;
+  std::vector<int> outputs_;
+  bool has_graph_ = false;
+  bool has_frontier_ = false;
+};
+
+}  // namespace gs::core
+
+#endif  // GSAMPLER_CORE_TRACE_H_

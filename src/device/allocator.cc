@@ -1,0 +1,94 @@
+#include "device/allocator.h"
+
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace gs::device {
+
+CachingAllocator::CachingAllocator(int64_t capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  GS_CHECK_GT(capacity_bytes, 0);
+}
+
+CachingAllocator::~CachingAllocator() {
+  ReleaseCache();
+  // Live allocations at destruction indicate a leak in the caller; free the
+  // host memory anyway to keep tests sanitizer-clean.
+  for (auto& [ptr, size] : live_) {
+    (void)size;
+    std::free(ptr);
+  }
+}
+
+int64_t CachingAllocator::RoundToClass(int64_t bytes) {
+  // 512-byte granularity below 4 KiB, power-of-two classes above — the same
+  // shape as the PyTorch caching allocator's block rounding.
+  if (bytes <= 0) {
+    return 512;
+  }
+  if (bytes <= 4096) {
+    return (bytes + 511) / 512 * 512;
+  }
+  int64_t cls = 8192;
+  while (cls < bytes) {
+    cls *= 2;
+  }
+  return cls;
+}
+
+void* CachingAllocator::Allocate(int64_t bytes) {
+  const int64_t rounded = RoundToClass(bytes);
+  ++stats_.alloc_calls;
+
+  auto it = pool_.find(rounded);
+  if (it != pool_.end() && !it->second.empty()) {
+    void* ptr = it->second.back();
+    it->second.pop_back();
+    stats_.bytes_cached -= rounded;
+    ++stats_.cache_hits;
+    stats_.bytes_in_use += rounded;
+    stats_.peak_bytes_in_use = std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+    live_.emplace(ptr, rounded);
+    return ptr;
+  }
+
+  if (stats_.bytes_in_use + rounded > capacity_bytes_) {
+    // Mimic cudaMalloc retry-after-empty-cache before declaring OOM.
+    ReleaseCache();
+  }
+  GS_CHECK(stats_.bytes_in_use + rounded <= capacity_bytes_)
+      << "simulated device out of memory: in-use " << stats_.bytes_in_use << " + request "
+      << rounded << " exceeds capacity " << capacity_bytes_;
+
+  void* ptr = std::malloc(static_cast<size_t>(rounded));
+  GS_CHECK(ptr != nullptr) << "host allocation of " << rounded << " bytes failed";
+  stats_.bytes_in_use += rounded;
+  stats_.peak_bytes_in_use = std::max(stats_.peak_bytes_in_use, stats_.bytes_in_use);
+  live_.emplace(ptr, rounded);
+  return ptr;
+}
+
+void CachingAllocator::Free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  auto it = live_.find(ptr);
+  GS_CHECK(it != live_.end()) << "Free of unknown pointer";
+  const int64_t rounded = it->second;
+  live_.erase(it);
+  stats_.bytes_in_use -= rounded;
+  stats_.bytes_cached += rounded;
+  pool_[rounded].push_back(ptr);
+}
+
+void CachingAllocator::ReleaseCache() {
+  for (auto& [cls, blocks] : pool_) {
+    for (void* ptr : blocks) {
+      std::free(ptr);
+      stats_.bytes_cached -= cls;
+    }
+    blocks.clear();
+  }
+}
+
+}  // namespace gs::device

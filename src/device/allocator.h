@@ -1,0 +1,62 @@
+// Caching device-memory allocator.
+//
+// Models the PyTorch CUDA caching allocator the paper builds on (Section
+// 4.5): freed blocks are kept in per-size-class free lists instead of being
+// returned to the OS, so steady-state sampling loops allocate without
+// malloc/cudaMalloc cost. The allocator also provides the accounting used by
+// Table 9 ("extra GPU memory") and enforces the simulated device capacity.
+
+#ifndef GSAMPLER_DEVICE_ALLOCATOR_H_
+#define GSAMPLER_DEVICE_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace gs::device {
+
+struct AllocatorStats {
+  int64_t bytes_in_use = 0;       // live allocations
+  int64_t peak_bytes_in_use = 0;  // high-water mark since last ResetPeak
+  int64_t bytes_cached = 0;       // free blocks held in the pool
+  int64_t alloc_calls = 0;
+  int64_t cache_hits = 0;
+};
+
+class CachingAllocator {
+ public:
+  explicit CachingAllocator(int64_t capacity_bytes);
+  ~CachingAllocator();
+
+  CachingAllocator(const CachingAllocator&) = delete;
+  CachingAllocator& operator=(const CachingAllocator&) = delete;
+
+  // Allocates at least `bytes` (rounded up to the size class). Throws
+  // gs::Error if in-use + requested would exceed the device capacity even
+  // after releasing the cache.
+  void* Allocate(int64_t bytes);
+  void Free(void* ptr);
+
+  // Returns all cached blocks to the host (cudaEmptyCache analogue).
+  void ReleaseCache();
+
+  const AllocatorStats& stats() const { return stats_; }
+  void ResetPeak() { stats_.peak_bytes_in_use = stats_.bytes_in_use; }
+  int64_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  static int64_t RoundToClass(int64_t bytes);
+
+  int64_t capacity_bytes_;
+  AllocatorStats stats_;
+  // size class -> free blocks of exactly that (rounded) size
+  std::map<int64_t, std::vector<void*>> pool_;
+  // live pointer -> rounded size
+  std::map<void*, int64_t> live_;
+};
+
+}  // namespace gs::device
+
+#endif  // GSAMPLER_DEVICE_ALLOCATOR_H_

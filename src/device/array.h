@@ -1,0 +1,122 @@
+// Typed, shared, device- or host-resident flat arrays.
+//
+// Array<T> is the storage primitive under tensors and sparse matrices. It
+// has shared-handle semantics (copies alias the same buffer, like
+// torch.Tensor); use Clone() for a deep copy. Device-resident arrays draw
+// from the current Device's caching allocator so peak-memory accounting
+// (Table 9) sees them; host-resident arrays model UVA-pinned graph storage.
+
+#ifndef GSAMPLER_DEVICE_ARRAY_H_
+#define GSAMPLER_DEVICE_ARRAY_H_
+
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "device/device.h"
+
+namespace gs::device {
+
+enum class MemorySpace {
+  kDevice,  // simulated GPU memory (counted against capacity)
+  kHost,    // host memory accessed via simulated UVA
+};
+
+template <typename T>
+class Array {
+ public:
+  Array() = default;
+
+  static Array Empty(int64_t n, MemorySpace space = MemorySpace::kDevice) {
+    GS_CHECK_GE(n, 0);
+    Array a;
+    a.storage_ = std::make_shared<Storage>(n, space);
+    return a;
+  }
+
+  static Array Full(int64_t n, T value, MemorySpace space = MemorySpace::kDevice) {
+    Array a = Empty(n, space);
+    for (auto& x : a.span()) {
+      x = value;
+    }
+    return a;
+  }
+
+  static Array FromVector(const std::vector<T>& values,
+                          MemorySpace space = MemorySpace::kDevice) {
+    Array a = Empty(static_cast<int64_t>(values.size()), space);
+    if (!values.empty()) {
+      std::memcpy(a.data(), values.data(), values.size() * sizeof(T));
+    }
+    return a;
+  }
+
+  bool defined() const { return storage_ != nullptr; }
+  int64_t size() const { return storage_ != nullptr ? storage_->count : 0; }
+  bool empty() const { return size() == 0; }
+  MemorySpace space() const {
+    return storage_ != nullptr ? storage_->space : MemorySpace::kDevice;
+  }
+  int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(T)); }
+
+  T* data() { return storage_ != nullptr ? static_cast<T*>(storage_->ptr) : nullptr; }
+  const T* data() const {
+    return storage_ != nullptr ? static_cast<const T*>(storage_->ptr) : nullptr;
+  }
+
+  std::span<T> span() { return {data(), static_cast<size_t>(size())}; }
+  std::span<const T> span() const { return {data(), static_cast<size_t>(size())}; }
+
+  T& operator[](int64_t i) { return data()[i]; }
+  const T& operator[](int64_t i) const { return data()[i]; }
+
+  Array Clone() const {
+    Array a = Empty(size(), space());
+    if (size() > 0) {
+      std::memcpy(a.data(), data(), static_cast<size_t>(bytes()));
+    }
+    return a;
+  }
+
+  std::vector<T> ToVector() const {
+    return std::vector<T>(data(), data() + size());
+  }
+
+ private:
+  struct Storage {
+    Storage(int64_t n, MemorySpace s) : count(n), space(s) {
+      if (space == MemorySpace::kDevice) {
+        device = &Current();
+        ptr = n > 0 ? device->allocator().Allocate(n * static_cast<int64_t>(sizeof(T)))
+                    : nullptr;
+      } else {
+        ptr = n > 0 ? ::operator new(static_cast<size_t>(n) * sizeof(T)) : nullptr;
+      }
+    }
+    ~Storage() {
+      if (ptr == nullptr) {
+        return;
+      }
+      if (space == MemorySpace::kDevice) {
+        device->allocator().Free(ptr);
+      } else {
+        ::operator delete(ptr);
+      }
+    }
+    Storage(const Storage&) = delete;
+    Storage& operator=(const Storage&) = delete;
+
+    void* ptr = nullptr;
+    int64_t count = 0;
+    MemorySpace space;
+    Device* device = nullptr;  // set iff space == kDevice
+  };
+
+  std::shared_ptr<Storage> storage_;
+};
+
+}  // namespace gs::device
+
+#endif  // GSAMPLER_DEVICE_ARRAY_H_

@@ -1,0 +1,23 @@
+#include "device/device.h"
+
+namespace gs::device {
+namespace {
+
+Device* g_current = nullptr;
+
+Device& DefaultDevice() {
+  static Device device(V100Sim());
+  return device;
+}
+
+}  // namespace
+
+Device& Current() { return g_current != nullptr ? *g_current : DefaultDevice(); }
+
+Device* SetCurrent(Device* device) {
+  Device* previous = g_current;
+  g_current = device;
+  return previous;
+}
+
+}  // namespace gs::device

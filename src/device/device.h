@@ -1,0 +1,59 @@
+// Device context: profile + allocator + default stream.
+//
+// Mirrors CUDA's "current device" model: operators allocate from and launch
+// on the current device, which callers switch with DeviceGuard. The default
+// device is a V100Sim instance created on first use.
+
+#ifndef GSAMPLER_DEVICE_DEVICE_H_
+#define GSAMPLER_DEVICE_DEVICE_H_
+
+#include <memory>
+
+#include "device/allocator.h"
+#include "device/profile.h"
+#include "device/stream.h"
+
+namespace gs::device {
+
+class Device {
+ public:
+  explicit Device(DeviceProfile profile)
+      : profile_(std::move(profile)),
+        allocator_(profile_.memory_capacity_bytes),
+        stream_(profile_) {}
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  const DeviceProfile& profile() const { return profile_; }
+  CachingAllocator& allocator() { return allocator_; }
+  Stream& stream() { return stream_; }
+
+ private:
+  DeviceProfile profile_;
+  CachingAllocator allocator_;
+  Stream stream_;
+};
+
+// The device new work runs on. Never null.
+Device& Current();
+// Replaces the current device; returns the previous one (may be null for the
+// implicit default).
+Device* SetCurrent(Device* device);
+
+// Scoped switch of the current device.
+class DeviceGuard {
+ public:
+  explicit DeviceGuard(Device& device) : previous_(SetCurrent(&device)) {}
+  ~DeviceGuard() { SetCurrent(previous_); }
+
+  DeviceGuard(const DeviceGuard&) = delete;
+  DeviceGuard& operator=(const DeviceGuard&) = delete;
+
+ private:
+  Device* previous_;
+};
+
+}  // namespace gs::device
+
+#endif  // GSAMPLER_DEVICE_DEVICE_H_

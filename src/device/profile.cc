@@ -1,0 +1,44 @@
+#include "device/profile.h"
+
+namespace gs::device {
+
+DeviceProfile V100Sim() {
+  DeviceProfile p;
+  p.name = "V100Sim";
+  p.launch_overhead_ns = 6000;
+  p.compute_scale = 1.0;
+  p.dense_compute_scale = 0.08;
+  p.hbm_penalty_ns_per_byte = 0.0;
+  p.pcie_ns_per_byte = 0.083;
+  p.sm_saturation_items = 80 * 2048;  // 80 SMs
+  return p;
+}
+
+DeviceProfile T4Sim() {
+  DeviceProfile p;
+  p.name = "T4Sim";
+  p.launch_overhead_ns = 6000;
+  // T4 FLOPS = 51.6% of V100 -> compute takes ~1.94x as long.
+  p.compute_scale = 1.0 / 0.516;
+  p.dense_compute_scale = 0.08;
+  // T4 HBM bandwidth = 30% of V100 (900 GB/s -> 270 GB/s). Charge the
+  // difference in per-byte cost: 1/270e9 - 1/900e9 seconds per byte.
+  p.hbm_penalty_ns_per_byte = (1.0 / 270.0 - 1.0 / 900.0);  // ns per byte (GB/s -> ns/B)
+  p.pcie_ns_per_byte = 0.083;
+  p.sm_saturation_items = 40 * 1024;  // 40 SMs, fewer threads
+  return p;
+}
+
+DeviceProfile CpuSim(const std::string& name, double compute_scale) {
+  DeviceProfile p;
+  p.name = name;
+  p.launch_overhead_ns = 300;  // a function call, not a kernel launch
+  p.compute_scale = compute_scale;
+  p.dense_compute_scale = 0.05;  // BLAS-backed dense math vs naive loops
+  p.hbm_penalty_ns_per_byte = 0.0;
+  p.pcie_ns_per_byte = 0.0;  // graph lives in host memory already
+  p.sm_saturation_items = 1;
+  return p;
+}
+
+}  // namespace gs::device

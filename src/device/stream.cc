@@ -1,0 +1,27 @@
+#include "device/stream.h"
+
+#include <algorithm>
+
+namespace gs::device {
+
+void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
+  const DeviceProfile& p = profile_;
+  double virtual_ns = static_cast<double>(cpu_ns) * p.compute_scale *
+                      (stats.dense ? p.dense_compute_scale : 1.0);
+  virtual_ns += static_cast<double>(p.launch_overhead_ns);
+  virtual_ns += static_cast<double>(stats.hbm_bytes) * p.hbm_penalty_ns_per_byte;
+  virtual_ns += static_cast<double>(stats.pcie_bytes) * p.pcie_ns_per_byte;
+
+  const double occupancy =
+      std::min(1.0, static_cast<double>(std::max<int64_t>(stats.parallel_items, 1)) /
+                        static_cast<double>(p.sm_saturation_items));
+
+  ++counters_.kernels_launched;
+  counters_.cpu_ns += cpu_ns;
+  counters_.virtual_ns += static_cast<int64_t>(virtual_ns);
+  counters_.hbm_bytes += stats.hbm_bytes;
+  counters_.pcie_bytes += stats.pcie_bytes;
+  counters_.occupancy_ns += occupancy * virtual_ns;
+}
+
+}  // namespace gs::device

@@ -1,0 +1,102 @@
+// Virtual-clock execution stream.
+//
+// Every sparse/tensor operator in this repository executes as a "kernel"
+// bracketed by a KernelScope. The scope measures the real CPU time of the
+// operator body, then advances the stream's virtual clock by the simulated
+// device cost (see device/profile.h) and updates resource counters:
+// launches, HBM/PCIe bytes, and the time-weighted SM-occupancy proxy that
+// backs Table 9's SM% column.
+//
+// Benchmarks report *virtual* time deltas; correctness code ignores time.
+
+#ifndef GSAMPLER_DEVICE_STREAM_H_
+#define GSAMPLER_DEVICE_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/timer.h"
+#include "device/profile.h"
+
+namespace gs::device {
+
+// Per-kernel cost inputs reported by the operator implementation.
+struct KernelStats {
+  // Regular dense kernel (GEMM-like): charged at the profile's
+  // dense_compute_scale instead of the irregular-kernel rate. Declared
+  // first so designated initializers may combine it with the other fields.
+  bool dense = false;
+  // Work items that could run concurrently (edges touched, rows processed,
+  // ...). Drives the SM-occupancy proxy.
+  int64_t parallel_items = 1;
+  // Bytes moved through simulated device memory (reads + writes).
+  int64_t hbm_bytes = 0;
+  // Bytes gathered from host memory via UVA.
+  int64_t pcie_bytes = 0;
+};
+
+struct StreamCounters {
+  int64_t kernels_launched = 0;
+  int64_t virtual_ns = 0;  // simulated device time
+  int64_t cpu_ns = 0;      // raw measured host time
+  int64_t hbm_bytes = 0;
+  int64_t pcie_bytes = 0;
+  // sum over kernels of occupancy * kernel_virtual_ns; SM% = this / virtual_ns
+  double occupancy_ns = 0.0;
+
+  double SmUtilizationPercent() const {
+    return virtual_ns > 0 ? 100.0 * occupancy_ns / static_cast<double>(virtual_ns) : 0.0;
+  }
+};
+
+class Stream {
+ public:
+  explicit Stream(DeviceProfile profile) : profile_(std::move(profile)) {}
+
+  const StreamCounters& counters() const { return counters_; }
+  void ResetCounters() { counters_ = StreamCounters{}; }
+  const DeviceProfile& profile() const { return profile_; }
+
+  // Records one completed kernel; called by KernelScope.
+  void RecordKernel(int64_t cpu_ns, const KernelStats& stats);
+
+ private:
+  DeviceProfile profile_;
+  StreamCounters counters_;
+};
+
+// RAII bracket around one kernel body.
+//
+//   KernelScope k(stream);
+//   ... operator body ...
+//   k.Finish({.parallel_items = nnz, .hbm_bytes = bytes});
+//
+// If Finish is not called the destructor records with default stats.
+class KernelScope {
+ public:
+  explicit KernelScope(Stream& stream) : stream_(&stream) {}
+
+  ~KernelScope() {
+    if (!finished_) {
+      Finish(KernelStats{});
+    }
+  }
+
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+  void Finish(const KernelStats& stats) {
+    stream_->RecordKernel(timer_.ElapsedNanos(), stats);
+    finished_ = true;
+  }
+
+ private:
+  Stream* stream_;
+  gs::Timer timer_;
+  bool finished_ = false;
+};
+
+}  // namespace gs::device
+
+#endif  // GSAMPLER_DEVICE_STREAM_H_

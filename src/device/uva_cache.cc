@@ -1,0 +1,41 @@
+#include "device/uva_cache.h"
+
+#include "common/error.h"
+
+namespace gs::device {
+namespace {
+
+constexpr uint64_t kEmptyTag = ~uint64_t{0};
+
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+UvaCache::UvaCache(int64_t slots) {
+  GS_CHECK_GT(slots, 0);
+  tags_.assign(static_cast<size_t>(slots), kEmptyTag);
+}
+
+int64_t UvaCache::Access(uint64_t key, int64_t bytes) {
+  const size_t slot = static_cast<size_t>(MixHash(key) % tags_.size());
+  if (tags_[slot] == key) {
+    ++hits_;
+    return 0;
+  }
+  ++misses_;
+  tags_[slot] = key;
+  return bytes;
+}
+
+void UvaCache::Reset() {
+  tags_.assign(tags_.size(), kEmptyTag);
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace gs::device

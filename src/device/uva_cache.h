@@ -1,0 +1,40 @@
+// Hot-entry cache simulator for UVA graph access.
+//
+// The paper observes (Section 5.2, "Speedups on large-scale graphs") that
+// graph sampling has skewed node access, so the adjacency lists of popular
+// nodes are effectively cached on the GPU and PCIe traffic is reduced. This
+// direct-mapped cache model reproduces that effect: kernels ask the cache
+// how many bytes an access actually costs; hits cost nothing, misses cost
+// the full transfer and install the entry.
+
+#ifndef GSAMPLER_DEVICE_UVA_CACHE_H_
+#define GSAMPLER_DEVICE_UVA_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gs::device {
+
+class UvaCache {
+ public:
+  // `slots` entries, each caching one key (e.g., one node's adjacency list).
+  explicit UvaCache(int64_t slots);
+
+  // Returns the PCIe bytes to charge for touching `bytes` worth of data
+  // identified by `key`, updating the cache.
+  int64_t Access(uint64_t key, int64_t bytes);
+
+  void Reset();
+
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  std::vector<uint64_t> tags_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace gs::device
+
+#endif  // GSAMPLER_DEVICE_UVA_CACHE_H_

@@ -1,0 +1,20 @@
+#include "gnn/minibatch.h"
+
+#include "common/error.h"
+
+namespace gs::gnn {
+
+MiniBatch FromSamplerOutputs(const std::vector<core::Value>& outputs,
+                             const tensor::IdArray& seeds) {
+  MiniBatch batch;
+  batch.seeds = seeds;
+  for (const core::Value& v : outputs) {
+    if (v.kind == core::ValueKind::kMatrix) {
+      batch.layers.push_back(v.matrix);
+    }
+  }
+  GS_CHECK(!batch.layers.empty()) << "sampler produced no layer matrices";
+  return batch;
+}
+
+}  // namespace gs::gnn

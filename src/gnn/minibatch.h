@@ -1,0 +1,34 @@
+// Mini-batch containers bridging sampler outputs to the trainer — the
+// analogue of the paper's to_dgl_graph/to_pyg_graph conversion (Section
+// 4.5): a list of per-layer sampled matrices ordered from the seeds outward
+// (layers[0]'s columns are the seed nodes).
+
+#ifndef GSAMPLER_GNN_MINIBATCH_H_
+#define GSAMPLER_GNN_MINIBATCH_H_
+
+#include <vector>
+
+#include "core/executor.h"
+#include "sparse/matrix.h"
+#include "tensor/tensor.h"
+
+namespace gs::gnn {
+
+struct MiniBatch {
+  // layers[l]: sampled bipartite matrix of layer l (columns = that layer's
+  // target nodes, rows = sampled source nodes, original-graph ids via the
+  // matrices' id maps).
+  std::vector<sparse::Matrix> layers;
+  // Seed (output) node ids of the batch.
+  tensor::IdArray seeds;
+};
+
+// Builds a MiniBatch from a sampling program whose outputs are the
+// per-layer matrices (in seed-to-depth order) followed by the final
+// frontier ids, i.e. the shape produced by the algorithm factories.
+MiniBatch FromSamplerOutputs(const std::vector<core::Value>& outputs,
+                             const tensor::IdArray& seeds);
+
+}  // namespace gs::gnn
+
+#endif  // GSAMPLER_GNN_MINIBATCH_H_

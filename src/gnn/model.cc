@@ -1,0 +1,413 @@
+#include "gnn/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "device/device.h"
+#include "device/stream.h"
+#include "sparse/kernels.h"
+#include "tensor/ops.h"
+
+namespace gs::gnn {
+namespace {
+
+using device::KernelScope;
+using sparse::Matrix;
+using tensor::IdArray;
+using tensor::Tensor;
+
+device::Stream& CurrentStream() { return device::Current().stream(); }
+
+// Finds the position of `global` in the source node list backing a layer's
+// rows: direct index for compact rows aligned with the list, binary search
+// in the (sorted) list otherwise.
+struct SourceIndex {
+  SourceIndex(const Matrix& m, const IdArray& src_list)
+      : matrix(&m), list(&src_list) {
+    aligned = m.rows_compact() && m.num_rows() == src_list.size() && m.has_row_ids() &&
+              std::equal(m.row_ids().data(), m.row_ids().data() + m.num_rows(),
+                         src_list.data());
+  }
+
+  int64_t OfRow(int32_t local_row) const {
+    if (aligned) {
+      return local_row;
+    }
+    const int32_t global = matrix->GlobalRowId(local_row);
+    const int32_t* begin = list->data();
+    const int32_t* end = begin + list->size();
+    const int32_t* it = std::lower_bound(begin, end, global);
+    GS_CHECK(it != end && *it == global)
+        << "source node " << global << " missing from the layer's node list";
+    return it - begin;
+  }
+
+  const Matrix* matrix;
+  const IdArray* list;
+  bool aligned;
+};
+
+// Mean aggregation: out[c] = mean over edges (r, c) of h_src[pos(r)].
+// Returns per-column counts for the backward pass.
+Tensor MeanAggregate(const Matrix& m, const Tensor& h_src, const IdArray& src_list,
+                     std::vector<float>& counts) {
+  const sparse::Compressed& csc = m.Csc();
+  const int64_t d = h_src.cols();
+  KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Zeros({m.num_cols(), d});
+  counts.assign(static_cast<size_t>(m.num_cols()), 0.0f);
+  SourceIndex index(m, src_list);
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      const float* src = h_src.data() + index.OfRow(csc.indices[e]) * d;
+      float* dst = out.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] += src[j];
+      }
+      counts[static_cast<size_t>(c)] += 1.0f;
+    }
+    if (counts[static_cast<size_t>(c)] > 0.0f) {
+      const float inv = 1.0f / counts[static_cast<size_t>(c)];
+      float* dst = out.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] *= inv;
+      }
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = m.nnz() * d,
+                 .hbm_bytes = (m.nnz() + m.num_cols()) * d * int64_t{4}});
+  return out;
+}
+
+// Backward of MeanAggregate: dh_src[pos(r)] += dOut[c] / count[c].
+void MeanAggregateBackward(const Matrix& m, const Tensor& d_out, const IdArray& src_list,
+                           const std::vector<float>& counts, Tensor& d_src) {
+  const sparse::Compressed& csc = m.Csc();
+  const int64_t d = d_out.cols();
+  KernelScope kernel(CurrentStream());
+  SourceIndex index(m, src_list);
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    if (counts[static_cast<size_t>(c)] <= 0.0f) {
+      continue;
+    }
+    const float inv = 1.0f / counts[static_cast<size_t>(c)];
+    const float* grad = d_out.data() + c * d;
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      float* dst = d_src.data() + index.OfRow(csc.indices[e]) * d;
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] += grad[j] * inv;
+      }
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = m.nnz() * d, .hbm_bytes = 2 * m.nnz() * d * int64_t{4}});
+}
+
+// Weighted aggregation (GCN over LADIES-adjusted weights): out[c] = sum over
+// edges of w_e * h_src[pos(r)].
+Tensor WeightedAggregate(const Matrix& m, const Tensor& h_src, const IdArray& src_list) {
+  const sparse::Compressed& csc = m.Csc();
+  const sparse::ValueArray values = m.ValuesFor(sparse::Format::kCsc);
+  const int64_t d = h_src.cols();
+  KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Zeros({m.num_cols(), d});
+  SourceIndex index(m, src_list);
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      const float w = values[e];
+      const float* src = h_src.data() + index.OfRow(csc.indices[e]) * d;
+      float* dst = out.data() + c * d;
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] += w * src[j];
+      }
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = m.nnz() * d,
+                 .hbm_bytes = (m.nnz() + m.num_cols()) * d * int64_t{4}});
+  return out;
+}
+
+void WeightedAggregateBackward(const Matrix& m, const Tensor& d_out, const IdArray& src_list,
+                               Tensor& d_src) {
+  const sparse::Compressed& csc = m.Csc();
+  const sparse::ValueArray values = m.ValuesFor(sparse::Format::kCsc);
+  const int64_t d = d_out.cols();
+  KernelScope kernel(CurrentStream());
+  SourceIndex index(m, src_list);
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    const float* grad = d_out.data() + c * d;
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      const float w = values[e];
+      float* dst = d_src.data() + index.OfRow(csc.indices[e]) * d;
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] += w * grad[j];
+      }
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = m.nnz() * d, .hbm_bytes = 2 * m.nnz() * d * int64_t{4}});
+}
+
+// Horizontal concat [a | b].
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  GS_CHECK_EQ(a.rows(), b.rows());
+  KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty({a.rows(), a.cols() + b.cols()});
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    std::copy_n(a.data() + r * a.cols(), a.cols(), out.data() + r * out.cols());
+    std::copy_n(b.data() + r * b.cols(), b.cols(), out.data() + r * out.cols() + a.cols());
+  }
+  kernel.Finish({.dense = true, .parallel_items = out.numel(), .hbm_bytes = 2 * out.numel() * int64_t{4}});
+  return out;
+}
+
+void SplitCols(const Tensor& cat, Tensor& a, Tensor& b) {
+  KernelScope kernel(CurrentStream());
+  for (int64_t r = 0; r < cat.rows(); ++r) {
+    std::copy_n(cat.data() + r * cat.cols(), a.cols(), a.data() + r * a.cols());
+    std::copy_n(cat.data() + r * cat.cols() + a.cols(), b.cols(), b.data() + r * b.cols());
+  }
+  kernel.Finish({.dense = true, .parallel_items = cat.numel(), .hbm_bytes = 2 * cat.numel() * int64_t{4}});
+}
+
+// Softmax cross-entropy: fills `d_logits` (already divided by batch size)
+// and returns loss/accuracy.
+StepStats SoftmaxCrossEntropy(const Tensor& logits, const device::Array<int32_t>& labels,
+                              const IdArray& seeds, Tensor* d_logits) {
+  KernelScope kernel(CurrentStream());
+  StepStats stats;
+  stats.count = logits.rows();
+  const int64_t classes = logits.cols();
+  double loss = 0.0;
+  for (int64_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.data() + r * classes;
+    float maxv = row[0];
+    int64_t argmax = 0;
+    for (int64_t c = 1; c < classes; ++c) {
+      if (row[c] > maxv) {
+        maxv = row[c];
+        argmax = c;
+      }
+    }
+    double total = 0.0;
+    for (int64_t c = 0; c < classes; ++c) {
+      total += std::exp(row[c] - maxv);
+    }
+    const int32_t label = labels[seeds[r]];
+    GS_CHECK(label >= 0 && label < classes);
+    loss += -(row[label] - maxv - std::log(total));
+    if (argmax == label) {
+      ++stats.correct;
+    }
+    if (d_logits != nullptr) {
+      float* grad = d_logits->data() + r * classes;
+      for (int64_t c = 0; c < classes; ++c) {
+        grad[c] = static_cast<float>(std::exp(row[c] - maxv) / total) / logits.rows();
+      }
+      grad[label] -= 1.0f / static_cast<float>(logits.rows());
+    }
+  }
+  stats.loss = static_cast<float>(loss / std::max<int64_t>(logits.rows(), 1));
+  kernel.Finish({.dense = true, .parallel_items = logits.rows(), .hbm_bytes = 2 * logits.numel() * int64_t{4}});
+  return stats;
+}
+
+Tensor ReluBackward(const Tensor& pre, const Tensor& grad) {
+  KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty(grad.shape());
+  for (int64_t i = 0; i < grad.numel(); ++i) {
+    out.at(i) = pre.at(i) > 0.0f ? grad.at(i) : 0.0f;
+  }
+  kernel.Finish({.dense = true, .parallel_items = grad.numel(), .hbm_bytes = 3 * grad.numel() * int64_t{4}});
+  return out;
+}
+
+void SgdStep(Tensor& param, const Tensor& grad, float lr) {
+  KernelScope kernel(CurrentStream());
+  for (int64_t i = 0; i < param.numel(); ++i) {
+    param.at(i) -= lr * grad.at(i);
+  }
+  kernel.Finish({.dense = true, .parallel_items = param.numel(), .hbm_bytes = 3 * param.numel() * int64_t{4}});
+}
+
+Tensor InitWeight(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  const float std = std::sqrt(2.0f / static_cast<float>(rows));
+  return Tensor::Randn({rows, cols}, rng, std);
+}
+
+// Node lists per layer: list[0] = seeds (= cols of layers[0]); list[l] =
+// cols of layers[l]; list[L] = source list of the deepest layer (unique row
+// ids of layers[L-1] merged with its cols for seed-inclusive batches).
+std::vector<IdArray> NodeLists(const MiniBatch& batch) {
+  std::vector<IdArray> lists;
+  lists.push_back(batch.seeds);
+  for (size_t l = 1; l < batch.layers.size(); ++l) {
+    lists.push_back(sparse::ColIds(batch.layers[l]));
+  }
+  const Matrix& deepest = batch.layers.back();
+  lists.push_back(sparse::RowIds(deepest));
+  return lists;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- SageModel
+
+struct SageModel::Activations {
+  std::vector<IdArray> lists;
+  Tensor x_deep;                     // features at the deepest node list
+  Tensor x_mid;                      // features at node list 1
+  Tensor cat1, pre1, h1;             // layer-1 intermediates (at list 1)
+  std::vector<float> counts1;
+  Tensor cat2, logits;               // output layer (at seeds)
+  std::vector<float> counts2;
+};
+
+SageModel::SageModel(int64_t in_dim, int64_t hidden, int num_classes, uint64_t seed)
+    : w1_(InitWeight(2 * in_dim, hidden, seed)),
+      w2_(InitWeight(2 * hidden, num_classes, seed ^ 0x9E37u)) {}
+
+SageModel::Activations SageModel::Forward(const MiniBatch& batch,
+                                          const Tensor& features) const {
+  GS_CHECK_EQ(batch.layers.size(), 2u) << "SageModel expects 2-layer batches";
+  Activations a;
+  a.lists = NodeLists(batch);
+  const Matrix& s1 = batch.layers[0];  // cols = seeds,   rows in lists[1] ∪ ...
+  const Matrix& s2 = batch.layers[1];  // cols = lists[1], rows in lists[2]
+
+  // Layer 1: representations for every node in lists[1].
+  a.x_deep = tensor::GatherRows(features, a.lists[2]);
+  a.x_mid = tensor::GatherRows(features, a.lists[1]);
+  Tensor neigh1 = MeanAggregate(s2, a.x_deep, a.lists[2], a.counts1);
+  a.cat1 = ConcatCols(a.x_mid, neigh1);
+  a.pre1 = tensor::MatMul(a.cat1, w1_);
+  a.h1 = tensor::Relu(a.pre1);
+
+  // Layer 2: logits at the seeds. Self representations come from lists[1]
+  // (the seed-inclusive node list guarantees membership).
+  Tensor h1_self = Tensor::Empty({s1.num_cols(), a.h1.cols()});
+  {
+    KernelScope kernel(CurrentStream());
+    for (int64_t c = 0; c < s1.num_cols(); ++c) {
+      const int32_t global = batch.seeds[c];
+      const int32_t* begin = a.lists[1].data();
+      const int32_t* end = begin + a.lists[1].size();
+      const int32_t* it = std::lower_bound(begin, end, global);
+      GS_CHECK(it != end && *it == global) << "seed missing from layer-1 node list";
+      std::copy_n(a.h1.data() + (it - begin) * a.h1.cols(), a.h1.cols(),
+                  h1_self.data() + c * a.h1.cols());
+    }
+    kernel.Finish({.dense = true, .parallel_items = s1.num_cols(),
+                   .hbm_bytes = 2 * h1_self.numel() * int64_t{4}});
+  }
+  Tensor neigh2 = MeanAggregate(s1, a.h1, a.lists[1], a.counts2);
+  a.cat2 = ConcatCols(h1_self, neigh2);
+  a.logits = tensor::MatMul(a.cat2, w2_);
+  return a;
+}
+
+StepStats SageModel::TrainStep(const MiniBatch& batch, const Tensor& features,
+                               const device::Array<int32_t>& labels, float lr) {
+  Activations a = Forward(batch, features);
+  Tensor d_logits = Tensor::Empty(a.logits.shape());
+  StepStats stats = SoftmaxCrossEntropy(a.logits, labels, batch.seeds, &d_logits);
+
+  // Output layer gradients.
+  Tensor d_w2 = tensor::MatMul(tensor::Transpose(a.cat2), d_logits);
+  Tensor d_cat2 = tensor::MatMul(d_logits, tensor::Transpose(w2_));
+  const int64_t hidden = a.h1.cols();
+  Tensor d_h1_self = Tensor::Empty({a.cat2.rows(), hidden});
+  Tensor d_neigh2 = Tensor::Empty({a.cat2.rows(), hidden});
+  SplitCols(d_cat2, d_h1_self, d_neigh2);
+
+  // Gradient w.r.t. layer-1 representations: scatter the self part at the
+  // seeds' positions, backprop the neighbor part through the aggregation.
+  Tensor d_h1 = Tensor::Zeros(a.h1.shape());
+  {
+    KernelScope kernel(CurrentStream());
+    for (int64_t c = 0; c < batch.seeds.size(); ++c) {
+      const int32_t* begin = a.lists[1].data();
+      const int32_t* it =
+          std::lower_bound(begin, begin + a.lists[1].size(), batch.seeds[c]);
+      float* dst = d_h1.data() + (it - begin) * hidden;
+      const float* src = d_h1_self.data() + c * hidden;
+      for (int64_t j = 0; j < hidden; ++j) {
+        dst[j] += src[j];
+      }
+    }
+    kernel.Finish({.dense = true, .parallel_items = batch.seeds.size(),
+                   .hbm_bytes = 2 * d_h1_self.numel() * int64_t{4}});
+  }
+  MeanAggregateBackward(batch.layers[0], d_neigh2, a.lists[1], a.counts2, d_h1);
+
+  // Layer-1 gradients.
+  Tensor d_pre1 = ReluBackward(a.pre1, d_h1);
+  Tensor d_w1 = tensor::MatMul(tensor::Transpose(a.cat1), d_pre1);
+
+  SgdStep(w1_, d_w1, lr);
+  SgdStep(w2_, d_w2, lr);
+  return stats;
+}
+
+StepStats SageModel::Evaluate(const MiniBatch& batch, const Tensor& features,
+                              const device::Array<int32_t>& labels) {
+  Activations a = Forward(batch, features);
+  return SoftmaxCrossEntropy(a.logits, labels, batch.seeds, nullptr);
+}
+
+// --------------------------------------------------------------- GcnModel
+
+struct GcnModel::Activations {
+  std::vector<IdArray> lists;
+  Tensor x_deep;
+  Tensor agg1, pre1, h1;
+  Tensor logits;
+};
+
+GcnModel::GcnModel(int64_t in_dim, int64_t hidden, int num_classes, uint64_t seed)
+    : w1_(InitWeight(in_dim, hidden, seed)),
+      w2_(InitWeight(hidden, num_classes, seed ^ 0x9E37u)) {}
+
+GcnModel::Activations GcnModel::Forward(const MiniBatch& batch,
+                                        const Tensor& features) const {
+  GS_CHECK_EQ(batch.layers.size(), 2u) << "GcnModel expects 2-layer batches";
+  Activations a;
+  a.lists = NodeLists(batch);
+  const Matrix& s1 = batch.layers[0];
+  const Matrix& s2 = batch.layers[1];
+
+  a.x_deep = tensor::GatherRows(features, a.lists[2]);
+  a.agg1 = WeightedAggregate(s2, a.x_deep, a.lists[2]);
+  a.pre1 = tensor::MatMul(a.agg1, w1_);
+  a.h1 = tensor::Relu(a.pre1);
+  Tensor agg2 = WeightedAggregate(s1, a.h1, a.lists[1]);
+  a.logits = tensor::MatMul(agg2, w2_);
+  return a;
+}
+
+StepStats GcnModel::TrainStep(const MiniBatch& batch, const Tensor& features,
+                              const device::Array<int32_t>& labels, float lr) {
+  Activations a = Forward(batch, features);
+  Tensor d_logits = Tensor::Empty(a.logits.shape());
+  StepStats stats = SoftmaxCrossEntropy(a.logits, labels, batch.seeds, &d_logits);
+
+  Tensor agg2 = WeightedAggregate(batch.layers[0], a.h1, a.lists[1]);
+  Tensor d_w2 = tensor::MatMul(tensor::Transpose(agg2), d_logits);
+  Tensor d_agg2 = tensor::MatMul(d_logits, tensor::Transpose(w2_));
+  Tensor d_h1 = Tensor::Zeros(a.h1.shape());
+  WeightedAggregateBackward(batch.layers[0], d_agg2, a.lists[1], d_h1);
+  Tensor d_pre1 = ReluBackward(a.pre1, d_h1);
+  Tensor d_w1 = tensor::MatMul(tensor::Transpose(a.agg1), d_pre1);
+
+  SgdStep(w1_, d_w1, lr);
+  SgdStep(w2_, d_w2, lr);
+  return stats;
+}
+
+StepStats GcnModel::Evaluate(const MiniBatch& batch, const Tensor& features,
+                             const device::Array<int32_t>& labels) {
+  Activations a = Forward(batch, features);
+  return SoftmaxCrossEntropy(a.logits, labels, batch.seeds, nullptr);
+}
+
+}  // namespace gs::gnn

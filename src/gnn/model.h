@@ -1,0 +1,68 @@
+// Minimal GNN models with manual backpropagation, sufficient to reproduce
+// the end-to-end training experiment (Table 8): training compute runs
+// through the same simulated-device kernels as sampling, so the
+// sampling-vs-training time split (Table 1) falls out of the stream
+// counters.
+//
+//  - SageModel: 2-layer GraphSAGE, mean aggregator, concat(self, neigh),
+//    ReLU, softmax cross-entropy. Consumes uniform neighbor-sample batches
+//    whose node lists include the seed nodes (algorithms::SageParams::
+//    include_seeds).
+//  - GcnModel: 2-layer weighted GCN consuming LADIES/FastGCN-style
+//    layer-wise batches (edge weights = the algorithms' adjusted weights).
+
+#ifndef GSAMPLER_GNN_MODEL_H_
+#define GSAMPLER_GNN_MODEL_H_
+
+#include <vector>
+
+#include "gnn/minibatch.h"
+#include "tensor/tensor.h"
+
+namespace gs::gnn {
+
+struct StepStats {
+  float loss = 0.0f;
+  int64_t correct = 0;
+  int64_t count = 0;
+};
+
+class SageModel {
+ public:
+  SageModel(int64_t in_dim, int64_t hidden, int num_classes, uint64_t seed);
+
+  // One SGD step on the batch; returns loss/accuracy stats.
+  StepStats TrainStep(const MiniBatch& batch, const tensor::Tensor& features,
+                      const device::Array<int32_t>& labels, float lr);
+  // Forward-only evaluation.
+  StepStats Evaluate(const MiniBatch& batch, const tensor::Tensor& features,
+                     const device::Array<int32_t>& labels);
+
+ private:
+  struct Activations;
+  Activations Forward(const MiniBatch& batch, const tensor::Tensor& features) const;
+
+  tensor::Tensor w1_;  // (2 * in_dim, hidden)
+  tensor::Tensor w2_;  // (2 * hidden, classes)
+};
+
+class GcnModel {
+ public:
+  GcnModel(int64_t in_dim, int64_t hidden, int num_classes, uint64_t seed);
+
+  StepStats TrainStep(const MiniBatch& batch, const tensor::Tensor& features,
+                      const device::Array<int32_t>& labels, float lr);
+  StepStats Evaluate(const MiniBatch& batch, const tensor::Tensor& features,
+                     const device::Array<int32_t>& labels);
+
+ private:
+  struct Activations;
+  Activations Forward(const MiniBatch& batch, const tensor::Tensor& features) const;
+
+  tensor::Tensor w1_;  // (in_dim, hidden)
+  tensor::Tensor w2_;  // (hidden, classes)
+};
+
+}  // namespace gs::gnn
+
+#endif  // GSAMPLER_GNN_MODEL_H_

@@ -1,0 +1,98 @@
+#include "gnn/trainer.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/error.h"
+#include "device/device.h"
+
+namespace gs::gnn {
+namespace {
+
+using tensor::IdArray;
+
+std::vector<IdArray> MakeBatches(const IdArray& ids, int64_t begin, int64_t end,
+                                 int64_t batch_size) {
+  std::vector<IdArray> batches;
+  for (int64_t b = begin; b < end; b += batch_size) {
+    const int64_t stop = std::min(end, b + batch_size);
+    IdArray batch = IdArray::Empty(stop - b);
+    std::copy_n(ids.data() + b, stop - b, batch.data());
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+double VirtualMs() {
+  return static_cast<double>(device::Current().stream().counters().virtual_ns) / 1e6;
+}
+
+}  // namespace
+
+TrainOutcome Train(const graph::Graph& g, const SampleFn& sampler,
+                   const TrainerConfig& config) {
+  GS_CHECK(g.features().defined() && g.labels().defined())
+      << "training needs features and labels";
+  GS_CHECK_GT(g.num_classes(), 1);
+
+  const IdArray& ids = g.train_ids();
+  const int64_t val_count =
+      std::max<int64_t>(1, static_cast<int64_t>(static_cast<double>(ids.size()) *
+                                                config.val_fraction));
+  const int64_t train_count = ids.size() - val_count;
+  GS_CHECK_GT(train_count, 0);
+  std::vector<IdArray> train_batches = MakeBatches(ids, 0, train_count, config.batch_size);
+  std::vector<IdArray> val_batches =
+      MakeBatches(ids, train_count, ids.size(), config.batch_size);
+
+  std::unique_ptr<SageModel> sage;
+  std::unique_ptr<GcnModel> gcn;
+  if (config.model == ModelKind::kSage) {
+    sage = std::make_unique<SageModel>(g.features().cols(), config.hidden, g.num_classes(),
+                                       config.seed);
+  } else {
+    gcn = std::make_unique<GcnModel>(g.features().cols(), config.hidden, g.num_classes(),
+                                     config.seed);
+  }
+
+  auto evaluate = [&](Rng& rng) {
+    int64_t correct = 0;
+    int64_t count = 0;
+    for (const IdArray& batch_ids : val_batches) {
+      MiniBatch batch = sampler(batch_ids, rng);
+      StepStats s = sage != nullptr ? sage->Evaluate(batch, g.features(), g.labels())
+                                    : gcn->Evaluate(batch, g.features(), g.labels());
+      correct += s.correct;
+      count += s.count;
+    }
+    return count > 0 ? static_cast<float>(correct) / static_cast<float>(count) : 0.0f;
+  };
+
+  TrainOutcome outcome;
+  Rng rng(config.seed);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    for (size_t b = 0; b < train_batches.size(); ++b) {
+      Rng batch_rng = rng.Fork(static_cast<uint64_t>(epoch) * 131071u + b);
+      const double t0 = VirtualMs();
+      MiniBatch batch = sampler(train_batches[b], batch_rng);
+      const double t1 = VirtualMs();
+      if (sage != nullptr) {
+        sage->TrainStep(batch, g.features(), g.labels(), config.learning_rate);
+      } else {
+        gcn->TrainStep(batch, g.features(), g.labels(), config.learning_rate);
+      }
+      const double t2 = VirtualMs();
+      outcome.sample_ms += t1 - t0;
+      outcome.model_ms += t2 - t1;
+    }
+    // Validation runs outside the timed training loop.
+    Rng eval_rng = rng.Fork(0xE0A1u + static_cast<uint64_t>(epoch));
+    outcome.epoch_accuracy.push_back(evaluate(eval_rng));
+  }
+  outcome.total_ms = outcome.sample_ms + outcome.model_ms;
+  outcome.final_accuracy =
+      outcome.epoch_accuracy.empty() ? 0.0f : outcome.epoch_accuracy.back();
+  return outcome;
+}
+
+}  // namespace gs::gnn

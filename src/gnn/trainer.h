@@ -1,0 +1,54 @@
+// Mini-batch training loop for the end-to-end experiments (Tables 1 and 8).
+// The sampler is injected as a callback, so the same loop trains from
+// gSampler's engine or any baseline; sampling and model time are split via
+// the simulated device's virtual clock.
+
+#ifndef GSAMPLER_GNN_TRAINER_H_
+#define GSAMPLER_GNN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "gnn/minibatch.h"
+#include "gnn/model.h"
+#include "graph/graph.h"
+
+namespace gs::gnn {
+
+enum class ModelKind {
+  kSage,  // GraphSAGE batches (uniform neighbor samples, seed-inclusive)
+  kGcn,   // LADIES/FastGCN batches (weight-adjusted layer-wise samples)
+};
+
+struct TrainerConfig {
+  ModelKind model = ModelKind::kSage;
+  int epochs = 10;
+  int64_t batch_size = 256;
+  float learning_rate = 0.5f;
+  int hidden = 64;
+  double val_fraction = 0.2;
+  uint64_t seed = 17;
+};
+
+struct TrainOutcome {
+  // Virtual device time spent in the training loop, split by phase.
+  double sample_ms = 0.0;
+  double model_ms = 0.0;
+  double total_ms = 0.0;
+  double SamplingRatio() const { return total_ms > 0 ? sample_ms / total_ms : 0.0; }
+  // Validation accuracy after the final epoch, and its per-epoch history.
+  float final_accuracy = 0.0f;
+  std::vector<float> epoch_accuracy;
+};
+
+// Samples a mini-batch for the given seeds.
+using SampleFn = std::function<MiniBatch(const tensor::IdArray& seeds, Rng& rng)>;
+
+// Trains on g.train_ids() (split into train/validation); the graph must
+// carry features and labels.
+TrainOutcome Train(const graph::Graph& g, const SampleFn& sampler,
+                   const TrainerConfig& config);
+
+}  // namespace gs::gnn
+
+#endif  // GSAMPLER_GNN_TRAINER_H_

@@ -1,0 +1,42 @@
+// Scaled-down synthetic analogues of the paper's evaluation graphs
+// (Table 6). The generator parameters preserve the properties the
+// evaluation depends on: relative sizes, degree skew, PD's high average
+// degree, residency (PP/FS exceed simulated device memory and use UVA), and
+// FS's 1% frontier sampling (Section 5.1). Absolute sizes are scaled to
+// single-core runtime budgets; see DESIGN.md.
+
+#ifndef GSAMPLER_GRAPH_DATASETS_H_
+#define GSAMPLER_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace gs::graph {
+
+// Dataset scale knob: 1.0 = the default benchmark sizes. Tests use smaller
+// scales for speed.
+struct DatasetOptions {
+  double scale = 1.0;
+  bool weighted = true;  // LADIES/AS-GCN need edge weights
+};
+
+// "LJ": LiveJournal analogue — directed social graph.
+Graph MakeLJ(const DatasetOptions& options = {});
+// "PD": Ogbn-Products analogue — undirected, highest average degree.
+Graph MakePD(const DatasetOptions& options = {});
+// "PP": Ogbn-Papers100M analogue — large, directed, UVA-resident.
+Graph MakePP(const DatasetOptions& options = {});
+// "FS": Friendster analogue — large, undirected, UVA-resident, 1% frontiers.
+Graph MakeFS(const DatasetOptions& options = {});
+
+// Lookup by abbreviation ("LJ", "PD", "PP", "FS").
+Graph MakeDataset(const std::string& abbr, const DatasetOptions& options = {});
+
+// The four benchmark datasets in paper order.
+std::vector<std::string> BenchmarkDatasetNames();
+
+}  // namespace gs::graph
+
+#endif  // GSAMPLER_GRAPH_DATASETS_H_

@@ -1,0 +1,185 @@
+#include "graph/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace gs::graph {
+namespace {
+
+int64_t CeilPow2(int64_t n) {
+  int64_t p = 1;
+  while (p < n) {
+    p *= 2;
+  }
+  return p;
+}
+
+// Gaussian features plus, when labels are provided, a per-community signal
+// in a dedicated coordinate block so the labels are learnable.
+tensor::Tensor MakeFeatures(int64_t num_nodes, int dim, const device::Array<int32_t>* labels,
+                            int num_classes, float noise, Rng& rng,
+                            device::MemorySpace space = device::MemorySpace::kDevice) {
+  tensor::Tensor f = tensor::Tensor::Empty({num_nodes, dim}, space);
+  for (int64_t i = 0; i < f.numel(); ++i) {
+    f.at(i) = static_cast<float>(rng.Gaussian()) * noise;
+  }
+  if (labels != nullptr) {
+    GS_CHECK_LE(num_classes, dim) << "feature_dim must be >= num_communities";
+    for (int64_t v = 0; v < num_nodes; ++v) {
+      f.at(v, (*labels)[v]) += 2.0f;
+    }
+  }
+  return f;
+}
+
+device::Array<int32_t> SampleFrontiers(int64_t num_nodes, double fraction, Rng& rng) {
+  if (fraction >= 1.0) {
+    device::Array<int32_t> ids = device::Array<int32_t>::Empty(num_nodes);
+    for (int64_t v = 0; v < num_nodes; ++v) {
+      ids[v] = static_cast<int32_t>(v);
+    }
+    return ids;
+  }
+  const int64_t count = std::max<int64_t>(1, static_cast<int64_t>(
+                                                 static_cast<double>(num_nodes) * fraction));
+  std::vector<int32_t> picked;
+  picked.reserve(static_cast<size_t>(count));
+  // Deterministic reservoir-free pick: step through with random offsets.
+  std::vector<uint8_t> used(static_cast<size_t>(num_nodes), 0);
+  while (static_cast<int64_t>(picked.size()) < count) {
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(num_nodes)));
+    if (used[static_cast<size_t>(v)] == 0) {
+      used[static_cast<size_t>(v)] = 1;
+      picked.push_back(static_cast<int32_t>(v));
+    }
+  }
+  std::sort(picked.begin(), picked.end());
+  return device::Array<int32_t>::FromVector(picked);
+}
+
+}  // namespace
+
+Graph MakeRMatGraph(const RMatParams& params) {
+  GS_CHECK_GT(params.num_nodes, 1);
+  Rng rng(params.seed);
+  const int64_t scale_nodes = CeilPow2(params.num_nodes);
+  const int levels = static_cast<int>(std::log2(static_cast<double>(scale_nodes)));
+
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  edges.reserve(static_cast<size_t>(params.num_edges) * (params.undirected ? 2 : 1));
+  std::vector<float> weights;
+  if (params.weighted) {
+    weights.reserve(edges.capacity());
+  }
+
+  const double ab = params.a + params.b;
+  const double abc = params.a + params.b + params.c;
+  for (int64_t e = 0; e < params.num_edges; ++e) {
+    int64_t src = 0;
+    int64_t dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double r = rng.Uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (r >= ab) {
+        src |= 1;
+      }
+      if (r >= params.a && (r < ab || r >= abc)) {
+        dst |= 1;
+      }
+    }
+    // Fold the power-of-two id space down onto [0, num_nodes).
+    src %= params.num_nodes;
+    dst %= params.num_nodes;
+    if (src == dst) {
+      continue;
+    }
+    const float w =
+        params.weighted ? 0.5f + rng.UniformF() : 0.0f;  // uniform(0.5, 1.5)
+    edges.emplace_back(static_cast<int32_t>(src), static_cast<int32_t>(dst));
+    if (params.weighted) {
+      weights.push_back(w);
+    }
+    if (params.undirected) {
+      edges.emplace_back(static_cast<int32_t>(dst), static_cast<int32_t>(src));
+      if (params.weighted) {
+        weights.push_back(w);
+      }
+    }
+  }
+
+  Graph g = Graph::FromEdges(params.name, params.num_nodes, std::move(edges),
+                             params.weighted ? &weights : nullptr, params.uva);
+  Rng feature_rng = rng.Fork(1);
+  // UVA-resident graphs keep their features in host memory too (gathers
+  // charge PCIe).
+  g.SetFeatures(MakeFeatures(params.num_nodes, params.feature_dim, nullptr, 0, 1.0f,
+                             feature_rng,
+                             params.uva ? device::MemorySpace::kHost
+                                        : device::MemorySpace::kDevice));
+  Rng frontier_rng = rng.Fork(2);
+  g.SetTrainIds(SampleFrontiers(params.num_nodes, params.frontier_fraction, frontier_rng));
+  return g;
+}
+
+Graph MakePlantedPartitionGraph(const PlantedPartitionParams& params) {
+  GS_CHECK_GT(params.num_communities, 1);
+  Rng rng(params.seed);
+  const int64_t n = params.num_nodes;
+  const int c = params.num_communities;
+
+  device::Array<int32_t> labels = device::Array<int32_t>::Empty(n);
+  for (int64_t v = 0; v < n; ++v) {
+    labels[v] = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(c)));
+  }
+  // Bucket nodes by community for intra-community edge endpoints.
+  std::vector<std::vector<int32_t>> members(static_cast<size_t>(c));
+  for (int64_t v = 0; v < n; ++v) {
+    members[static_cast<size_t>(labels[v])].push_back(static_cast<int32_t>(v));
+  }
+
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  std::vector<float> weights;
+  const int64_t intra_total = static_cast<int64_t>(params.intra_degree * static_cast<double>(n));
+  const int64_t inter_total = static_cast<int64_t>(params.inter_degree * static_cast<double>(n));
+  edges.reserve(static_cast<size_t>(2 * (intra_total + inter_total)));
+
+  for (int64_t e = 0; e < intra_total; ++e) {
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const auto& bucket = members[static_cast<size_t>(labels[v])];
+    if (bucket.size() < 2) {
+      continue;
+    }
+    const int32_t u = bucket[rng.UniformInt(bucket.size())];
+    edges.emplace_back(static_cast<int32_t>(v), u);
+    edges.emplace_back(u, static_cast<int32_t>(v));
+  }
+  for (int64_t e = 0; e < inter_total; ++e) {
+    const int64_t v = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    const int64_t u = static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+    edges.emplace_back(static_cast<int32_t>(v), static_cast<int32_t>(u));
+    edges.emplace_back(static_cast<int32_t>(u), static_cast<int32_t>(v));
+  }
+  if (params.weighted) {
+    weights.resize(edges.size());
+    for (float& w : weights) {
+      w = 0.5f + rng.UniformF();
+    }
+  }
+
+  Graph g = Graph::FromEdges(params.name, n, std::move(edges),
+                             params.weighted ? &weights : nullptr, /*uva=*/false);
+  g.SetLabels(labels, c);
+  Rng feature_rng = rng.Fork(1);
+  g.SetFeatures(MakeFeatures(n, params.feature_dim, &g.labels(), c, params.feature_noise,
+                             feature_rng));
+  Rng frontier_rng = rng.Fork(2);
+  g.SetTrainIds(SampleFrontiers(n, 1.0, frontier_rng));
+  return g;
+}
+
+}  // namespace gs::graph

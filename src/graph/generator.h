@@ -1,0 +1,49 @@
+// Synthetic graph generators standing in for the paper's public datasets
+// (see DESIGN.md, substitutions table). R-MAT reproduces the skewed degree
+// distributions of social/product graphs; the planted-partition generator
+// produces a community structure with learnable labels for the end-to-end
+// training experiment (Table 8).
+
+#ifndef GSAMPLER_GRAPH_GENERATOR_H_
+#define GSAMPLER_GRAPH_GENERATOR_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gs::graph {
+
+struct RMatParams {
+  std::string name = "rmat";
+  int64_t num_nodes = 1024;   // rounded up to a power of two internally
+  int64_t num_edges = 8192;   // directed edge draws before dedup
+  double a = 0.57, b = 0.19, c = 0.19;  // R-MAT quadrant probabilities
+  bool undirected = false;    // add the reverse of every edge
+  bool weighted = false;      // uniform(0.5, 1.5) edge weights
+  int feature_dim = 32;       // gaussian node features
+  double frontier_fraction = 1.0;  // fraction of nodes used as frontiers
+  bool uva = false;           // host-resident adjacency (UVA access)
+  uint64_t seed = 42;
+};
+
+Graph MakeRMatGraph(const RMatParams& params);
+
+struct PlantedPartitionParams {
+  std::string name = "planted";
+  int64_t num_nodes = 10000;
+  int num_communities = 8;
+  double intra_degree = 12.0;  // expected intra-community out-degree
+  double inter_degree = 3.0;   // expected cross-community out-degree
+  int feature_dim = 32;
+  float feature_noise = 1.0f;  // gaussian noise added to the community signal
+  bool weighted = false;
+  uint64_t seed = 7;
+};
+
+// Community-labelled graph: features carry a noisy community indicator, so a
+// GNN that aggregates neighborhoods can recover the label.
+Graph MakePlantedPartitionGraph(const PlantedPartitionParams& params);
+
+}  // namespace gs::graph
+
+#endif  // GSAMPLER_GRAPH_GENERATOR_H_

@@ -1,0 +1,94 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace gs::graph {
+
+Graph Graph::FromEdges(std::string name, int64_t num_nodes,
+                       std::vector<std::pair<int32_t, int32_t>> edges,
+                       const std::vector<float>* weights, bool uva) {
+  GS_CHECK_GT(num_nodes, 0);
+  if (weights != nullptr) {
+    GS_CHECK_EQ(weights->size(), edges.size());
+  }
+
+  // Sort by (dst, src) so CSC columns come out sorted, then deduplicate.
+  std::vector<int64_t> order(edges.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int64_t>(i);
+  }
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    const auto& ea = edges[static_cast<size_t>(a)];
+    const auto& eb = edges[static_cast<size_t>(b)];
+    if (ea.second != eb.second) {
+      return ea.second < eb.second;
+    }
+    return ea.first < eb.first;
+  });
+
+  const device::MemorySpace space =
+      uva ? device::MemorySpace::kHost : device::MemorySpace::kDevice;
+
+  // First pass: count unique in-edges per column.
+  std::vector<int64_t> degree(static_cast<size_t>(num_nodes) + 1, 0);
+  int64_t unique_edges = 0;
+  int32_t prev_src = -1;
+  int32_t prev_dst = -1;
+  for (int64_t idx : order) {
+    const auto& [src, dst] = edges[static_cast<size_t>(idx)];
+    GS_CHECK(src >= 0 && src < num_nodes && dst >= 0 && dst < num_nodes)
+        << "edge (" << src << "," << dst << ") out of range";
+    if (src == dst || (src == prev_src && dst == prev_dst)) {
+      continue;
+    }
+    ++degree[static_cast<size_t>(dst) + 1];
+    ++unique_edges;
+    prev_src = src;
+    prev_dst = dst;
+  }
+
+  sparse::Compressed csc;
+  csc.indptr = sparse::OffsetArray::Empty(num_nodes + 1, space);
+  csc.indptr[0] = 0;
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    csc.indptr[v + 1] = csc.indptr[v] + degree[static_cast<size_t>(v) + 1];
+  }
+  csc.indices = sparse::IdArray::Empty(unique_edges, space);
+  if (weights != nullptr) {
+    csc.values = sparse::ValueArray::Empty(unique_edges, space);
+  }
+
+  int64_t cursor = 0;
+  prev_src = -1;
+  prev_dst = -1;
+  for (int64_t idx : order) {
+    const auto& [src, dst] = edges[static_cast<size_t>(idx)];
+    if (src == dst || (src == prev_src && dst == prev_dst)) {
+      continue;
+    }
+    csc.indices[cursor] = src;
+    if (weights != nullptr) {
+      csc.values[cursor] = (*weights)[static_cast<size_t>(idx)];
+    }
+    ++cursor;
+    prev_src = src;
+    prev_dst = dst;
+  }
+  GS_INTERNAL(cursor == unique_edges);
+
+  Graph g;
+  g.name_ = std::move(name);
+  g.num_nodes_ = num_nodes;
+  g.adj_ = sparse::Matrix::FromCsc(num_nodes, num_nodes, std::move(csc));
+  if (uva) {
+    // One cache slot per ~32 nodes models a GPU-side cache that can hold the
+    // hot fraction of the adjacency structure.
+    g.uva_cache_ = std::make_shared<device::UvaCache>(std::max<int64_t>(num_nodes / 32, 1024));
+    g.adj_.SetUvaCache(g.uva_cache_.get());
+  }
+  return g;
+}
+
+}  // namespace gs::graph

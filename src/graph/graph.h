@@ -1,0 +1,70 @@
+// Input graphs for sampling: adjacency matrix + node features/labels +
+// frontier set, with optional UVA residency for graphs that "exceed device
+// memory" (the paper's PP and FS configurations).
+
+#ifndef GSAMPLER_GRAPH_GRAPH_H_
+#define GSAMPLER_GRAPH_GRAPH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/uva_cache.h"
+#include "sparse/matrix.h"
+#include "tensor/tensor.h"
+
+namespace gs::graph {
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Builds a graph from directed edges (src -> dst). The adjacency matrix is
+  // stored so that column v holds the in-neighbors of v (A[:, v]), matching
+  // the paper's convention. Edges are deduplicated, self-loops dropped, and
+  // per-column indices sorted (required by Node2Vec's adjacency test).
+  // `weights` (optional, aligned with `edges`) become edge values; after
+  // dedup the first occurrence wins.
+  static Graph FromEdges(std::string name, int64_t num_nodes,
+                         std::vector<std::pair<int32_t, int32_t>> edges,
+                         const std::vector<float>* weights = nullptr, bool uva = false);
+
+  const std::string& name() const { return name_; }
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return adj_.nnz(); }
+  bool uva() const { return uva_cache_ != nullptr; }
+
+  // Adjacency as a sparse matrix with CSC materialized (CSR on demand).
+  const sparse::Matrix& adj() const { return adj_; }
+  // Mutable access for experiment harnesses (e.g. swapping the UVA cache).
+  sparse::Matrix& mutable_adj() { return adj_; }
+
+  const tensor::Tensor& features() const { return features_; }
+  const device::Array<int32_t>& labels() const { return labels_; }
+  int num_classes() const { return num_classes_; }
+  // Nodes used as sampling frontiers / training seeds.
+  const device::Array<int32_t>& train_ids() const { return train_ids_; }
+
+  void SetFeatures(tensor::Tensor features) { features_ = std::move(features); }
+  void SetLabels(device::Array<int32_t> labels, int num_classes) {
+    labels_ = std::move(labels);
+    num_classes_ = num_classes;
+  }
+  void SetTrainIds(device::Array<int32_t> ids) { train_ids_ = std::move(ids); }
+
+  device::UvaCache* uva_cache() const { return uva_cache_.get(); }
+
+ private:
+  std::string name_;
+  int64_t num_nodes_ = 0;
+  sparse::Matrix adj_;
+  tensor::Tensor features_;
+  device::Array<int32_t> labels_;
+  int num_classes_ = 0;
+  device::Array<int32_t> train_ids_;
+  std::shared_ptr<device::UvaCache> uva_cache_;
+};
+
+}  // namespace gs::graph
+
+#endif  // GSAMPLER_GRAPH_GRAPH_H_

@@ -1,0 +1,174 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.h"
+
+namespace gs::graph {
+namespace {
+
+constexpr char kMagic[4] = {'G', 'S', 'G', '1'};
+
+template <typename T>
+void WriteArray(std::ofstream& out, const device::Array<T>& a) {
+  const int64_t n = a.size();
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  if (n > 0) {
+    out.write(reinterpret_cast<const char*>(a.data()), n * sizeof(T));
+  }
+}
+
+template <typename T>
+device::Array<T> ReadArray(std::ifstream& in, device::MemorySpace space) {
+  int64_t n = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof(n));
+  GS_CHECK(in.good() && n >= 0) << "corrupt array header";
+  device::Array<T> a = device::Array<T>::Empty(n, space);
+  if (n > 0) {
+    in.read(reinterpret_cast<char*>(a.data()), n * sizeof(T));
+    GS_CHECK(in.good()) << "truncated array body";
+  }
+  return a;
+}
+
+}  // namespace
+
+Graph LoadEdgeList(const std::string& path, std::string name,
+                   const EdgeListOptions& options) {
+  std::ifstream in(path);
+  GS_CHECK(in.is_open()) << "cannot open edge list: " << path;
+
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  std::vector<float> weights;
+  int64_t max_id = -1;
+  std::string line;
+  int64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == options.comment) {
+      continue;
+    }
+    std::istringstream fields(line);
+    int64_t src = -1;
+    int64_t dst = -1;
+    fields >> src >> dst;
+    GS_CHECK(!fields.fail()) << path << ":" << line_no << ": expected 'src dst'";
+    float w = 1.0f;
+    if (options.weighted) {
+      fields >> w;
+      GS_CHECK(!fields.fail()) << path << ":" << line_no << ": expected a weight column";
+    }
+    GS_CHECK(src >= 0 && dst >= 0) << path << ":" << line_no << ": negative node id";
+    max_id = std::max({max_id, src, dst});
+    edges.emplace_back(static_cast<int32_t>(src), static_cast<int32_t>(dst));
+    if (options.weighted) {
+      weights.push_back(w);
+    }
+    if (options.undirected) {
+      edges.emplace_back(static_cast<int32_t>(dst), static_cast<int32_t>(src));
+      if (options.weighted) {
+        weights.push_back(w);
+      }
+    }
+  }
+  const int64_t num_nodes = options.num_nodes > 0 ? options.num_nodes : max_id + 1;
+  GS_CHECK_GT(num_nodes, 0) << "empty edge list: " << path;
+  Graph g = Graph::FromEdges(std::move(name), num_nodes, std::move(edges),
+                             options.weighted ? &weights : nullptr, options.uva);
+  // Default frontier set: every node.
+  device::Array<int32_t> ids = device::Array<int32_t>::Empty(num_nodes);
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    ids[v] = static_cast<int32_t>(v);
+  }
+  g.SetTrainIds(std::move(ids));
+  return g;
+}
+
+void SaveBinary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  GS_CHECK(out.is_open()) << "cannot write: " << path;
+  out.write(kMagic, sizeof(kMagic));
+
+  const sparse::Compressed& csc = g.adj().Csc();
+  const int64_t num_nodes = g.num_nodes();
+  const int32_t num_classes = g.num_classes();
+  const int64_t feature_cols = g.features().defined() ? g.features().cols() : 0;
+  out.write(reinterpret_cast<const char*>(&num_nodes), sizeof(num_nodes));
+  out.write(reinterpret_cast<const char*>(&num_classes), sizeof(num_classes));
+  out.write(reinterpret_cast<const char*>(&feature_cols), sizeof(feature_cols));
+
+  WriteArray(out, csc.indptr);
+  WriteArray(out, csc.indices);
+  WriteArray(out, csc.values.defined() ? csc.values
+                                       : sparse::ValueArray{});  // empty = unweighted
+  WriteArray(out, g.features().defined() ? g.features().array()
+                                         : device::Array<float>{});
+  WriteArray(out, g.labels().defined() ? g.labels() : device::Array<int32_t>{});
+  WriteArray(out, g.train_ids().defined() ? g.train_ids() : device::Array<int32_t>{});
+  GS_CHECK(out.good()) << "write failed: " << path;
+}
+
+Graph LoadBinary(const std::string& path, bool uva) {
+  std::ifstream in(path, std::ios::binary);
+  GS_CHECK(in.is_open()) << "cannot open: " << path;
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  GS_CHECK(in.good() && std::equal(magic, magic + 4, kMagic))
+      << path << " is not a gSampler graph snapshot";
+
+  int64_t num_nodes = 0;
+  int32_t num_classes = 0;
+  int64_t feature_cols = 0;
+  in.read(reinterpret_cast<char*>(&num_nodes), sizeof(num_nodes));
+  in.read(reinterpret_cast<char*>(&num_classes), sizeof(num_classes));
+  in.read(reinterpret_cast<char*>(&feature_cols), sizeof(feature_cols));
+  GS_CHECK(in.good() && num_nodes > 0) << "corrupt header in " << path;
+
+  const device::MemorySpace space =
+      uva ? device::MemorySpace::kHost : device::MemorySpace::kDevice;
+  sparse::Compressed csc;
+  csc.indptr = ReadArray<int64_t>(in, space);
+  csc.indices = ReadArray<int32_t>(in, space);
+  sparse::ValueArray values = ReadArray<float>(in, space);
+  if (values.size() > 0) {
+    GS_CHECK_EQ(values.size(), csc.indices.size()) << "weight/edge count mismatch";
+    csc.values = std::move(values);
+  }
+  device::Array<float> features = ReadArray<float>(in, space);
+  device::Array<int32_t> labels = ReadArray<int32_t>(in, device::MemorySpace::kDevice);
+  device::Array<int32_t> train_ids = ReadArray<int32_t>(in, device::MemorySpace::kDevice);
+  GS_CHECK_EQ(csc.indptr.size(), num_nodes + 1) << "indptr size mismatch";
+
+  // Rebuild through the edge-list constructor to keep every invariant
+  // (dedup, sorted columns, UVA cache wiring) in one place.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  std::vector<float> weights;
+  edges.reserve(static_cast<size_t>(csc.indices.size()));
+  for (int64_t c = 0; c < num_nodes; ++c) {
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      edges.emplace_back(csc.indices[e], static_cast<int32_t>(c));
+      if (csc.values.defined()) {
+        weights.push_back(csc.values[e]);
+      }
+    }
+  }
+  Graph g = Graph::FromEdges("snapshot", num_nodes, std::move(edges),
+                             csc.values.defined() ? &weights : nullptr, uva);
+  if (features.size() > 0) {
+    GS_CHECK_EQ(features.size(), num_nodes * feature_cols) << "feature size mismatch";
+    g.SetFeatures(tensor::Tensor::FromArray({num_nodes, feature_cols}, std::move(features)));
+  }
+  if (labels.size() > 0) {
+    g.SetLabels(std::move(labels), num_classes);
+  }
+  if (train_ids.size() > 0) {
+    g.SetTrainIds(std::move(train_ids));
+  }
+  return g;
+}
+
+}  // namespace gs::graph

@@ -1,0 +1,39 @@
+// Graph persistence: a plain-text edge-list loader (the format SNAP/OGB
+// dumps reduce to) and a fast binary snapshot format for pre-processed
+// graphs, so real datasets can be plugged into the benchmark harness in
+// place of the synthetic analogues.
+
+#ifndef GSAMPLER_GRAPH_IO_H_
+#define GSAMPLER_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace gs::graph {
+
+struct EdgeListOptions {
+  // Lines starting with this character are skipped ('#' for SNAP dumps).
+  char comment = '#';
+  // Add the reverse of every edge (undirected input).
+  bool undirected = false;
+  // Expect a third column with the edge weight.
+  bool weighted = false;
+  // Nodes beyond the max id seen (0 means infer from the edges).
+  int64_t num_nodes = 0;
+  // Host-resident adjacency accessed via simulated UVA.
+  bool uva = false;
+};
+
+// Reads "src dst [weight]" lines. Throws gs::Error on malformed input.
+Graph LoadEdgeList(const std::string& path, std::string name,
+                   const EdgeListOptions& options = {});
+
+// Binary snapshot of a graph's structure + features/labels/frontiers.
+// Format: magic "GSG1", counts, then the raw arrays; see io.cc.
+void SaveBinary(const Graph& g, const std::string& path);
+Graph LoadBinary(const std::string& path, bool uva = false);
+
+}  // namespace gs::graph
+
+#endif  // GSAMPLER_GRAPH_IO_H_

@@ -1,0 +1,249 @@
+#include "sparse/batch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.h"
+#include "common/sampling.h"
+#include "sparse/kernels_internal.h"
+
+namespace gs::sparse {
+
+using internal::CurrentStream;
+using internal::PickFormat;
+
+namespace {
+
+// Decodes a labeled id against the base graph's node count.
+struct Labeled {
+  int64_t segment;
+  int32_t node;
+};
+
+Labeled Decode(int32_t labeled, int64_t num_nodes) {
+  GS_CHECK_GE(labeled, 0);
+  return {labeled / num_nodes, static_cast<int32_t>(labeled % num_nodes)};
+}
+
+}  // namespace
+
+Matrix SegmentedSliceColumns(const Matrix& base, const IdArray& labeled_cols,
+                             int64_t num_segments) {
+  GS_CHECK(!base.has_col_ids()) << "super-batch extract requires the base graph";
+  const Compressed& csc = base.Csc();
+  const int64_t n = base.num_cols();
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = csc.values.defined();
+  const int64_t t = labeled_cols.size();
+
+  Compressed sub;
+  sub.indptr = OffsetArray::Empty(t + 1);
+  sub.indptr[0] = 0;
+  for (int64_t i = 0; i < t; ++i) {
+    const Labeled lc = Decode(labeled_cols[i], n);
+    GS_CHECK_LT(lc.segment, num_segments);
+    sub.indptr[i + 1] = sub.indptr[i] + (csc.indptr[lc.node + 1] - csc.indptr[lc.node]);
+  }
+  const int64_t out_nnz = sub.indptr[t];
+  sub.indices = IdArray::Empty(out_nnz);
+  if (weighted) {
+    sub.values = ValueArray::Empty(out_nnz);
+  }
+  int64_t pcie = 0;
+  for (int64_t i = 0; i < t; ++i) {
+    const Labeled lc = Decode(labeled_cols[i], n);
+    const int64_t begin = csc.indptr[lc.node];
+    const int64_t len = csc.indptr[lc.node + 1] - begin;
+    const int32_t offset = static_cast<int32_t>(lc.segment * n);
+    for (int64_t e = 0; e < len; ++e) {
+      sub.indices[sub.indptr[i] + e] = csc.indices[begin + e] + offset;
+    }
+    if (weighted) {
+      std::copy_n(csc.values.data() + begin, len, sub.values.data() + sub.indptr[i]);
+    }
+    pcie += internal::UvaCharge(base, static_cast<uint64_t>(lc.node),
+                                len * static_cast<int64_t>(weighted ? 8 : 4));
+  }
+
+  Matrix out = Matrix::FromCsc(num_segments * n, t, std::move(sub));
+  out.SetColIds(labeled_cols.Clone());
+  kernel.Finish({.parallel_items = std::max<int64_t>(out_nnz, 1),
+                 .hbm_bytes = 2 * out_nnz * int64_t{8},
+                 .pcie_bytes = pcie});
+  return out;
+}
+
+Matrix SegmentedFusedSliceSample(const Matrix& base, const IdArray& labeled_cols,
+                                 int64_t num_segments, int64_t k, Rng& rng) {
+  GS_CHECK(!base.has_col_ids()) << "super-batch extract requires the base graph";
+  GS_CHECK_GT(k, 0);
+  const Compressed& csc = base.Csc();
+  const int64_t n = base.num_cols();
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = csc.values.defined();
+  const int64_t t = labeled_cols.size();
+
+  Compressed sub;
+  sub.indptr = OffsetArray::Empty(t + 1);
+  sub.indptr[0] = 0;
+  std::vector<int32_t> picked;
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  indices.reserve(static_cast<size_t>(k * t));
+  int64_t pcie = 0;
+
+  for (int64_t i = 0; i < t; ++i) {
+    const Labeled lc = Decode(labeled_cols[i], n);
+    GS_CHECK_LT(lc.segment, num_segments);
+    const int64_t begin = csc.indptr[lc.node];
+    const int64_t deg = csc.indptr[lc.node + 1] - begin;
+    const int32_t offset = static_cast<int32_t>(lc.segment * n);
+    picked.clear();
+    SampleUniformWithoutReplacement(deg, k, rng, picked);
+    for (int32_t slot : picked) {
+      indices.push_back(csc.indices[begin + slot] + offset);
+      if (weighted) {
+        values.push_back(csc.values[begin + slot]);
+      }
+    }
+    sub.indptr[i + 1] = static_cast<int64_t>(indices.size());
+    pcie += internal::UvaCharge(base, static_cast<uint64_t>(lc.node),
+                                static_cast<int64_t>(picked.size()) * 4);
+  }
+
+  const int64_t out_nnz = static_cast<int64_t>(indices.size());
+  sub.indices = IdArray::FromVector(indices);
+  if (weighted) {
+    sub.values = ValueArray::FromVector(values);
+  }
+  Matrix out = Matrix::FromCsc(num_segments * n, t, std::move(sub));
+  out.SetColIds(labeled_cols.Clone());
+  kernel.Finish({.parallel_items = std::max<int64_t>(out_nnz, 1),
+                 .hbm_bytes = out_nnz * int64_t{8},
+                 .pcie_bytes = pcie});
+  return out;
+}
+
+Matrix SegmentedCollectiveSample(const Matrix& m, int64_t k, const ValueArray& row_probs,
+                                 int64_t num_nodes, Rng& rng) {
+  GS_CHECK_GT(k, 0);
+  GS_CHECK_EQ(row_probs.size(), m.num_rows());
+  device::KernelScope kernel(CurrentStream());
+
+  // A row's segment comes from its labeled id (works both for the full
+  // labeled space and for compacted matrices whose row_ids carry labels).
+  int64_t num_segments = 0;
+  std::vector<int64_t> segment_of(static_cast<size_t>(m.num_rows()));
+  for (int64_t r = 0; r < m.num_rows(); ++r) {
+    const int64_t s = m.GlobalRowId(static_cast<int32_t>(r)) / num_nodes;
+    segment_of[static_cast<size_t>(r)] = s;
+    num_segments = std::max(num_segments, s + 1);
+  }
+
+  // Gather positive-probability candidates per segment, then sample each
+  // segment independently (the "segmented collective sample" operator).
+  std::vector<int32_t> selected;
+  {
+    std::vector<std::vector<int32_t>> candidates(static_cast<size_t>(num_segments));
+    std::vector<std::vector<float>> weights(static_cast<size_t>(num_segments));
+    for (int64_t r = 0; r < m.num_rows(); ++r) {
+      if (row_probs[r] > 0.0f) {
+        const size_t s = static_cast<size_t>(segment_of[static_cast<size_t>(r)]);
+        candidates[s].push_back(static_cast<int32_t>(r));
+        weights[s].push_back(row_probs[r]);
+      }
+    }
+    for (int64_t s = 0; s < num_segments; ++s) {
+      std::vector<int32_t> picked;
+      SampleWeightedWithoutReplacement(weights[static_cast<size_t>(s)], k, rng, picked);
+      for (int32_t slot : picked) {
+        selected.push_back(candidates[static_cast<size_t>(s)][static_cast<size_t>(slot)]);
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  const int64_t s = static_cast<int64_t>(selected.size());
+
+  // Filter edges to the selected rows, preserving CSC column grouping.
+  const Compressed& csc = m.Csc();
+  const bool weighted = csc.values.defined();
+  std::vector<int32_t> row_map(static_cast<size_t>(m.num_rows()), -1);
+  IdArray row_ids = IdArray::Empty(s);
+  for (int64_t i = 0; i < s; ++i) {
+    row_map[static_cast<size_t>(selected[static_cast<size_t>(i)])] = static_cast<int32_t>(i);
+    row_ids[i] = m.GlobalRowId(selected[static_cast<size_t>(i)]);
+  }
+  Compressed out;
+  out.indptr = OffsetArray::Empty(m.num_cols() + 1);
+  out.indptr[0] = 0;
+  std::vector<int32_t> idx;
+  std::vector<float> vals;
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      const int32_t mapped = row_map[static_cast<size_t>(csc.indices[e])];
+      if (mapped >= 0) {
+        idx.push_back(mapped);
+        if (weighted) {
+          vals.push_back(csc.values[e]);
+        }
+      }
+    }
+    out.indptr[c + 1] = static_cast<int64_t>(idx.size());
+  }
+  out.indices = IdArray::FromVector(idx);
+  if (weighted) {
+    out.values = ValueArray::FromVector(vals);
+  }
+  Matrix result = Matrix::FromCsc(s, m.num_cols(), std::move(out));
+  result.SetRowIds(std::move(row_ids));
+  result.SetRowsCompact(true);
+  result.SetColIds(m.col_ids());
+  kernel.Finish({.parallel_items = m.nnz(), .hbm_bytes = m.nnz() * int64_t{12}});
+  return result;
+}
+
+Matrix SliceColumnRange(const Matrix& m, int64_t begin, int64_t end) {
+  GS_CHECK(begin >= 0 && begin <= end && end <= m.num_cols());
+  const Compressed& csc = m.Csc();
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = csc.values.defined();
+  const int64_t t = end - begin;
+  const int64_t e_begin = csc.indptr[begin];
+  const int64_t e_end = csc.indptr[end];
+  const int64_t out_nnz = e_end - e_begin;
+
+  Compressed sub;
+  sub.indptr = OffsetArray::Empty(t + 1);
+  for (int64_t i = 0; i <= t; ++i) {
+    sub.indptr[i] = csc.indptr[begin + i] - e_begin;
+  }
+  sub.indices = IdArray::Empty(out_nnz);
+  std::copy_n(csc.indices.data() + e_begin, out_nnz, sub.indices.data());
+  if (weighted) {
+    sub.values = ValueArray::Empty(out_nnz);
+    std::copy_n(csc.values.data() + e_begin, out_nnz, sub.values.data());
+  }
+
+  Matrix out = Matrix::FromCsc(m.num_rows(), t, std::move(sub));
+  out.SetRowIds(m.row_ids());
+  out.SetRowsCompact(false);
+  if (m.has_col_ids()) {
+    IdArray col_ids = IdArray::Empty(t);
+    std::copy_n(m.col_ids().data() + begin, t, col_ids.data());
+    out.SetColIds(std::move(col_ids));
+  }
+  kernel.Finish({.parallel_items = t, .hbm_bytes = 2 * out_nnz * int64_t{8}});
+  return out;
+}
+
+IdArray MapIdsModulo(const IdArray& ids, int64_t n) {
+  device::KernelScope kernel(CurrentStream());
+  IdArray out = IdArray::Empty(ids.size());
+  for (int64_t i = 0; i < ids.size(); ++i) {
+    out[i] = ids[i] >= 0 ? static_cast<int32_t>(ids[i] % n) : ids[i];
+  }
+  kernel.Finish({.parallel_items = ids.size(), .hbm_bytes = 2 * ids.bytes()});
+  return out;
+}
+
+}  // namespace gs::sparse

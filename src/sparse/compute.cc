@@ -1,0 +1,206 @@
+// Compute-step kernels: reductions, broadcasts, elementwise ops, SpMM and
+// SDDMM over sparse matrices.
+
+#include <vector>
+
+#include "sparse/kernels.h"
+#include "sparse/kernels_internal.h"
+#include "tensor/tensor.h"
+
+namespace gs::sparse {
+
+using internal::CurrentStream;
+using internal::PickFormat;
+
+namespace {
+
+// Invokes fn(edge_slot, row_local, col_local) for every edge, with
+// `edge_slot` indexing value arrays aligned to `format`.
+template <typename Fn>
+void ForEachEdge(const Matrix& m, Format format, Fn&& fn) {
+  switch (format) {
+    case Format::kCsc: {
+      const Compressed& csc = m.Csc();
+      for (int64_t c = 0; c < m.num_cols(); ++c) {
+        for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+          fn(e, csc.indices[e], static_cast<int32_t>(c));
+        }
+      }
+      break;
+    }
+    case Format::kCsr: {
+      const Compressed& csr = m.Csr();
+      for (int64_t r = 0; r < m.num_rows(); ++r) {
+        for (int64_t e = csr.indptr[r]; e < csr.indptr[r + 1]; ++e) {
+          fn(e, static_cast<int32_t>(r), csr.indices[e]);
+        }
+      }
+      break;
+    }
+    case Format::kCoo: {
+      const Coo& coo = m.GetCoo();
+      for (int64_t e = 0; e < m.nnz(); ++e) {
+        fn(e, coo.row[e], coo.col[e]);
+      }
+      break;
+    }
+  }
+}
+
+int64_t EdgePassBytes(const Matrix& m, bool weighted) {
+  return m.nnz() * static_cast<int64_t>(weighted ? 12 : 8);
+}
+
+}  // namespace
+
+ValueArray SumAxis(const Matrix& m, int axis) {
+  GS_CHECK(axis == 0 || axis == 1) << "axis must be 0 (rows) or 1 (columns)";
+  const Format format = axis == 0 ? PickFormat(m, {Format::kCsr, Format::kCoo, Format::kCsc})
+                                  : PickFormat(m, {Format::kCsc, Format::kCoo, Format::kCsr});
+  device::KernelScope kernel(CurrentStream());
+  const int64_t n = axis == 0 ? m.num_rows() : m.num_cols();
+  ValueArray out = ValueArray::Full(n, 0.0f);
+  const bool weighted = m.HasValues();
+  ValueArray values;
+  if (weighted) {
+    values = m.ValuesFor(format);
+  }
+  ForEachEdge(m, format, [&](int64_t e, int32_t r, int32_t c) {
+    out[axis == 0 ? r : c] += weighted ? values[e] : 1.0f;
+  });
+  kernel.Finish({.parallel_items = m.nnz(),
+                 .hbm_bytes = EdgePassBytes(m, weighted) + out.bytes(),
+                 .pcie_bytes = m.IsUva() ? EdgePassBytes(m, weighted) : 0});
+  return out;
+}
+
+Matrix Broadcast(const Matrix& m, BinaryOp op, const ValueArray& vec, int axis) {
+  GS_CHECK(axis == 0 || axis == 1);
+  if (axis == 1) {
+    GS_CHECK_EQ(vec.size(), m.num_cols()) << "broadcast vector length must match columns";
+  }
+  // Row-aligned operands may be local (length num_rows) or global (indexed
+  // through row_ids); see kernels_internal.h.
+  const internal::RowOperand row_op =
+      axis == 0 ? internal::RowOperand(m, vec.size()) : internal::RowOperand(m, m.num_rows());
+  const Format format = PickFormat(m, {Format::kCsc, Format::kCoo, Format::kCsr});
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = m.HasValues();
+  ValueArray values;
+  if (weighted) {
+    values = m.ValuesFor(format);
+  }
+  ValueArray out = ValueArray::Empty(m.nnz());
+  ForEachEdge(m, format, [&](int64_t e, int32_t r, int32_t c) {
+    const float lhs = weighted ? values[e] : 1.0f;
+    out[e] = ApplyBinaryOp(op, lhs, vec[axis == 0 ? row_op.Index(r) : c]);
+  });
+  kernel.Finish({.parallel_items = m.nnz(),
+                 .hbm_bytes = EdgePassBytes(m, weighted) + out.bytes() + vec.bytes()});
+  return m.WithValues(format, std::move(out));
+}
+
+Matrix EltwiseScalar(const Matrix& m, BinaryOp op, float scalar) {
+  const Format format = PickFormat(m, {Format::kCsc, Format::kCoo, Format::kCsr});
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = m.HasValues();
+  ValueArray values;
+  if (weighted) {
+    values = m.ValuesFor(format);
+  }
+  ValueArray out = ValueArray::Empty(m.nnz());
+  for (int64_t e = 0; e < m.nnz(); ++e) {
+    out[e] = ApplyBinaryOp(op, weighted ? values[e] : 1.0f, scalar);
+  }
+  kernel.Finish({.parallel_items = m.nnz(),
+                 .hbm_bytes = (weighted ? 2 : 1) * m.nnz() * int64_t{4}});
+  return m.WithValues(format, std::move(out));
+}
+
+Matrix EltwiseBinary(const Matrix& a, BinaryOp op, const Matrix& b) {
+  GS_CHECK(a.SharesPatternWith(b)) << "elementwise sparse ops require a shared pattern";
+  const Format format = PickFormat(a, {Format::kCsc, Format::kCoo, Format::kCsr});
+  device::KernelScope kernel(CurrentStream());
+  ValueArray va = a.ValuesFor(format);
+  ValueArray vb = b.ValuesFor(format);
+  ValueArray out = ValueArray::Empty(a.nnz());
+  for (int64_t e = 0; e < a.nnz(); ++e) {
+    out[e] = ApplyBinaryOp(op, va[e], vb[e]);
+  }
+  kernel.Finish({.parallel_items = a.nnz(), .hbm_bytes = 3 * a.nnz() * int64_t{4}});
+  return a.WithValues(format, std::move(out));
+}
+
+Matrix DenseEltwise(const Matrix& m, BinaryOp op, const tensor::Tensor& dense) {
+  const internal::RowOperand row_op(m, dense.rows());
+  GS_CHECK_EQ(dense.cols(), m.num_cols());
+  const Format format = PickFormat(m, {Format::kCsc, Format::kCoo, Format::kCsr});
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = m.HasValues();
+  ValueArray values;
+  if (weighted) {
+    values = m.ValuesFor(format);
+  }
+  ValueArray out = ValueArray::Empty(m.nnz());
+  ForEachEdge(m, format, [&](int64_t e, int32_t r, int32_t c) {
+    out[e] = ApplyBinaryOp(op, weighted ? values[e] : 1.0f, dense.at(row_op.Index(r), c));
+  });
+  kernel.Finish({.parallel_items = m.nnz(),
+                 .hbm_bytes = EdgePassBytes(m, weighted) + out.bytes() +
+                              dense.numel() * int64_t{4}});
+  return m.WithValues(format, std::move(out));
+}
+
+tensor::Tensor SpMM(const Matrix& m, const tensor::Tensor& dense) {
+  GS_CHECK_EQ(dense.rows(), m.num_cols()) << "SpMM inner dimension";
+  const int64_t k = dense.cols();
+  const Format format = PickFormat(m, {Format::kCsr, Format::kCoo, Format::kCsc});
+  device::KernelScope kernel(CurrentStream());
+  tensor::Tensor out = tensor::Tensor::Zeros({m.num_rows(), k});
+  const bool weighted = m.HasValues();
+  ValueArray values;
+  if (weighted) {
+    values = m.ValuesFor(format);
+  }
+  ForEachEdge(m, format, [&](int64_t e, int32_t r, int32_t c) {
+    const float w = weighted ? values[e] : 1.0f;
+    const float* src = dense.data() + static_cast<int64_t>(c) * k;
+    float* dst = out.data() + static_cast<int64_t>(r) * k;
+    for (int64_t j = 0; j < k; ++j) {
+      dst[j] += w * src[j];
+    }
+  });
+  kernel.Finish({.parallel_items = m.nnz() * k,
+                 .hbm_bytes = EdgePassBytes(m, weighted) + 2 * m.nnz() * k * int64_t{4}});
+  return out;
+}
+
+Matrix Sddmm(const Matrix& m, const tensor::Tensor& u, const tensor::Tensor& v,
+             bool mul_existing) {
+  const internal::RowOperand row_op(m, u.rows());
+  GS_CHECK_EQ(v.rows(), m.num_cols());
+  GS_CHECK_EQ(u.cols(), v.cols()) << "SDDMM factor widths must match";
+  const int64_t h = u.cols();
+  const Format format = PickFormat(m, {Format::kCsc, Format::kCoo, Format::kCsr});
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = mul_existing && m.HasValues();
+  ValueArray values;
+  if (weighted) {
+    values = m.ValuesFor(format);
+  }
+  ValueArray out = ValueArray::Empty(m.nnz());
+  ForEachEdge(m, format, [&](int64_t e, int32_t r, int32_t c) {
+    const float* pu = u.data() + row_op.Index(r) * h;
+    const float* pv = v.data() + static_cast<int64_t>(c) * h;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < h; ++j) {
+      dot += pu[j] * pv[j];
+    }
+    out[e] = weighted ? values[e] * dot : dot;
+  });
+  kernel.Finish({.parallel_items = m.nnz() * h,
+                 .hbm_bytes = m.nnz() * (2 * h + 2) * int64_t{4}});
+  return m.WithValues(format, std::move(out));
+}
+
+}  // namespace gs::sparse

@@ -1,0 +1,153 @@
+#include "sparse/fused.h"
+
+#include "common/error.h"
+#include "sparse/kernels_internal.h"
+
+namespace gs::sparse {
+
+using internal::CurrentStream;
+
+namespace {
+
+// Pre-resolved per-stage row addressing: row-aligned operands may be local
+// (length num_rows) or global (indexed through row_ids); see
+// kernels_internal.h::RowOperand.
+struct StagePlan {
+  std::vector<internal::RowOperand> row_ops;  // one per stage (dummy for col/edge)
+};
+
+// Validates operand shapes once and resolves row addressing.
+StagePlan CheckStages(const Matrix& m, const std::vector<EdgeMapStage>& stages,
+                      std::span<const tensor::Tensor> operands) {
+  StagePlan plan;
+  for (const EdgeMapStage& stage : stages) {
+    auto operand_of = [&](int index) -> const tensor::Tensor& {
+      GS_CHECK(index >= 0 && index < static_cast<int>(operands.size()))
+          << "stage operand index " << index << " out of range";
+      return operands[static_cast<size_t>(index)];
+    };
+    internal::RowOperand row_op(m, m.num_rows());
+    switch (stage.kind) {
+      case EdgeMapStage::OperandKind::kScalar:
+        break;
+      case EdgeMapStage::OperandKind::kRowVector:
+        row_op = internal::RowOperand(m, operand_of(stage.operand).numel());
+        break;
+      case EdgeMapStage::OperandKind::kColVector:
+        GS_CHECK_EQ(operand_of(stage.operand).numel(), m.num_cols());
+        break;
+      case EdgeMapStage::OperandKind::kDense: {
+        const tensor::Tensor& d = operand_of(stage.operand);
+        row_op = internal::RowOperand(m, d.rows());
+        GS_CHECK_EQ(d.cols(), m.num_cols());
+        break;
+      }
+      case EdgeMapStage::OperandKind::kEdgeTensor:
+        GS_CHECK_EQ(operand_of(stage.operand).numel(), m.nnz());
+        break;
+      case EdgeMapStage::OperandKind::kDot: {
+        const tensor::Tensor& u = operand_of(stage.operand);
+        const tensor::Tensor& v = operand_of(stage.operand2);
+        row_op = internal::RowOperand(m, u.rows());
+        GS_CHECK_EQ(v.rows(), m.num_cols());
+        GS_CHECK_EQ(u.cols(), v.cols());
+        break;
+      }
+    }
+    plan.row_ops.push_back(row_op);
+  }
+  return plan;
+}
+
+float ApplyStages(const std::vector<EdgeMapStage>& stages, const StagePlan& plan,
+                  std::span<const tensor::Tensor> operands, float value, int32_t row,
+                  int32_t col, int64_t edge) {
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const EdgeMapStage& stage = stages[s];
+    float rhs = 0.0f;
+    switch (stage.kind) {
+      case EdgeMapStage::OperandKind::kScalar:
+        rhs = stage.scalar;
+        break;
+      case EdgeMapStage::OperandKind::kRowVector:
+        rhs = operands[static_cast<size_t>(stage.operand)].at(plan.row_ops[s].Index(row));
+        break;
+      case EdgeMapStage::OperandKind::kColVector:
+        rhs = operands[static_cast<size_t>(stage.operand)].at(col);
+        break;
+      case EdgeMapStage::OperandKind::kDense:
+        rhs = operands[static_cast<size_t>(stage.operand)].at(plan.row_ops[s].Index(row), col);
+        break;
+      case EdgeMapStage::OperandKind::kEdgeTensor:
+        rhs = operands[static_cast<size_t>(stage.operand)].at(edge);
+        break;
+      case EdgeMapStage::OperandKind::kDot: {
+        const tensor::Tensor& u = operands[static_cast<size_t>(stage.operand)];
+        const tensor::Tensor& v = operands[static_cast<size_t>(stage.operand2)];
+        const int64_t h = u.cols();
+        const float* pu = u.data() + plan.row_ops[s].Index(row) * h;
+        const float* pv = v.data() + static_cast<int64_t>(col) * h;
+        float dot = 0.0f;
+        for (int64_t j = 0; j < h; ++j) {
+          dot += pu[j] * pv[j];
+        }
+        rhs = dot;
+        break;
+      }
+    }
+    value = ApplyBinaryOp(stage.op, value, rhs);
+  }
+  return value;
+}
+
+int64_t OperandBytes(std::span<const tensor::Tensor> operands) {
+  int64_t bytes = 0;
+  for (const tensor::Tensor& t : operands) {
+    bytes += t.numel() * static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Matrix FusedEdgeMap(const Matrix& m, const std::vector<EdgeMapStage>& stages,
+                    std::span<const tensor::Tensor> operands) {
+  const Compressed& csc = m.Csc();
+  const StagePlan plan = CheckStages(m, stages, operands);
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = csc.values.defined();
+  ValueArray out = ValueArray::Empty(m.nnz());
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      const float base = weighted ? csc.values[e] : 1.0f;
+      out[e] =
+          ApplyStages(stages, plan, operands, base, csc.indices[e], static_cast<int32_t>(c), e);
+    }
+  }
+  kernel.Finish({.parallel_items = m.nnz(),
+                 .hbm_bytes = m.nnz() * int64_t{12} + OperandBytes(operands)});
+  return m.WithValues(Format::kCsc, std::move(out));
+}
+
+ValueArray FusedEdgeMapReduce(const Matrix& m, const std::vector<EdgeMapStage>& stages,
+                              std::span<const tensor::Tensor> operands, int axis) {
+  GS_CHECK(axis == 0 || axis == 1);
+  const Compressed& csc = m.Csc();
+  const StagePlan plan = CheckStages(m, stages, operands);
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = csc.values.defined();
+  ValueArray out = ValueArray::Full(axis == 0 ? m.num_rows() : m.num_cols(), 0.0f);
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      const float base = weighted ? csc.values[e] : 1.0f;
+      const float mapped =
+          ApplyStages(stages, plan, operands, base, csc.indices[e], static_cast<int32_t>(c), e);
+      out[axis == 0 ? csc.indices[e] : c] += mapped;
+    }
+  }
+  kernel.Finish({.parallel_items = m.nnz(),
+                 .hbm_bytes = m.nnz() * int64_t{8} + out.bytes() + OperandBytes(operands)});
+  return out;
+}
+
+}  // namespace gs::sparse

@@ -1,0 +1,53 @@
+// Fused edge-map / edge-map-reduce kernels (Section 4.2 of the paper).
+//
+// The fusion passes collapse chains of edge-map operators (broadcast,
+// scalar elementwise, pattern-aligned elementwise, dense elementwise, SDDMM
+// dot) into a single pass over the edges described by a stage list. The
+// fused kernels never write intermediate edge values to memory:
+// FusedEdgeMap writes only the final values; FusedEdgeMapReduce writes only
+// the reduced vector.
+
+#ifndef GSAMPLER_SPARSE_FUSED_H_
+#define GSAMPLER_SPARSE_FUSED_H_
+
+#include <vector>
+
+#include "common/binary_op.h"
+#include "sparse/matrix.h"
+#include "tensor/tensor.h"
+
+namespace gs::sparse {
+
+// One step of an edge-value computation: value = op(value, operand) where
+// the operand is resolved per edge according to `kind`.
+struct EdgeMapStage {
+  enum class OperandKind {
+    kScalar,      // attrs.scalar
+    kRowVector,   // operand tensor indexed by the edge's row
+    kColVector,   // operand tensor indexed by the edge's column
+    kDense,       // operand tensor (num_rows x num_cols) at (row, col)
+    kEdgeTensor,  // operand tensor aligned with the matrix's CSC edge order
+    kDot,         // dot(u[row], v[col]) — the SDDMM stage (uses operand/operand2)
+  };
+
+  BinaryOp op = BinaryOp::kMul;
+  OperandKind kind = OperandKind::kScalar;
+  float scalar = 0.0f;
+  // Indices into the `operands` span passed to the kernel; -1 when unused.
+  int operand = -1;
+  int operand2 = -1;  // kDot only (v factor)
+};
+
+// Applies the stage pipeline to every edge of m, returning a matrix that
+// shares m's structure with the final values (CSC-aligned).
+Matrix FusedEdgeMap(const Matrix& m, const std::vector<EdgeMapStage>& stages,
+                    std::span<const tensor::Tensor> operands);
+
+// Applies the stage pipeline and immediately reduces the per-edge results
+// onto rows (axis=0) or columns (axis=1) without materializing them.
+ValueArray FusedEdgeMapReduce(const Matrix& m, const std::vector<EdgeMapStage>& stages,
+                              std::span<const tensor::Tensor> operands, int axis);
+
+}  // namespace gs::sparse
+
+#endif  // GSAMPLER_SPARSE_FUSED_H_

@@ -1,0 +1,141 @@
+// Shared helpers for the sparse kernel implementations. Internal to
+// src/sparse; not part of the public API.
+
+#ifndef GSAMPLER_SPARSE_KERNELS_INTERNAL_H_
+#define GSAMPLER_SPARSE_KERNELS_INTERNAL_H_
+
+#include <initializer_list>
+#include <unordered_map>
+
+#include "common/error.h"
+#include "device/device.h"
+#include "device/stream.h"
+#include "sparse/matrix.h"
+
+namespace gs::sparse::internal {
+
+inline device::Stream& CurrentStream() { return device::Current().stream(); }
+
+// First format in `preference` that is already materialized on m; falls back
+// to whatever exists.
+inline Format PickFormat(const Matrix& m, std::initializer_list<Format> preference) {
+  for (Format f : preference) {
+    if (m.HasFormat(f)) {
+      return f;
+    }
+  }
+  for (Format f : {Format::kCsc, Format::kCsr, Format::kCoo}) {
+    if (m.HasFormat(f)) {
+      return f;
+    }
+  }
+  GS_CHECK(false) << "matrix has no materialized format";
+  return Format::kCoo;
+}
+
+// Translates original-graph ids to local indices of m's column space.
+// Identity maps pass through; otherwise builds a hash lookup.
+class ColLocalizer {
+ public:
+  explicit ColLocalizer(const Matrix& m) {
+    if (m.has_col_ids()) {
+      const IdArray& ids = m.col_ids();
+      map_.reserve(static_cast<size_t>(ids.size()));
+      for (int64_t i = 0; i < ids.size(); ++i) {
+        map_.emplace(ids[i], static_cast<int32_t>(i));
+      }
+      identity_ = false;
+    }
+    num_cols_ = m.num_cols();
+  }
+
+  int32_t ToLocal(int32_t global) const {
+    if (identity_) {
+      GS_CHECK(global >= 0 && global < num_cols_)
+          << "column id " << global << " out of range " << num_cols_;
+      return global;
+    }
+    auto it = map_.find(global);
+    GS_CHECK(it != map_.end()) << "column id " << global << " not present in matrix";
+    return it->second;
+  }
+
+ private:
+  bool identity_ = true;
+  int64_t num_cols_ = 0;
+  std::unordered_map<int32_t, int32_t> map_;
+};
+
+class RowLocalizer {
+ public:
+  explicit RowLocalizer(const Matrix& m) {
+    if (m.has_row_ids()) {
+      const IdArray& ids = m.row_ids();
+      map_.reserve(static_cast<size_t>(ids.size()));
+      for (int64_t i = 0; i < ids.size(); ++i) {
+        map_.emplace(ids[i], static_cast<int32_t>(i));
+      }
+      identity_ = false;
+    }
+    num_rows_ = m.num_rows();
+  }
+
+  // Returns -1 when the id is valid for the original graph but absent from
+  // this (possibly compacted) matrix: slicing such a row yields an empty
+  // row, not an error.
+  int32_t ToLocal(int32_t global) const {
+    GS_CHECK_GE(global, 0) << "negative row id";
+    if (identity_) {
+      GS_CHECK_LT(global, num_rows_) << "row id out of range";
+      return global;
+    }
+    auto it = map_.find(global);
+    return it != map_.end() ? it->second : -1;
+  }
+
+ private:
+  bool identity_ = true;
+  int64_t num_rows_ = 0;
+  std::unordered_map<int32_t, int32_t> map_;
+};
+
+// PCIe bytes for touching `bytes` of adjacency data of node `key` on a
+// UVA-resident matrix; 0 for device-resident matrices.
+inline int64_t UvaCharge(const Matrix& m, uint64_t key, int64_t bytes) {
+  return m.IsUva() ? m.uva_cache()->Access(key, bytes) : 0;
+}
+
+// Propagates identity-like metadata from input to a sliced/sampled result.
+inline void InheritRowSpace(const Matrix& in, Matrix& out) {
+  out.SetRowIds(in.row_ids());
+  out.SetRowsCompact(in.rows_compact());
+}
+
+// Resolves a row-aligned vector operand that may live in either the
+// matrix's local row space (length == num_rows) or the original graph's
+// global node space (anything else, indexed through row_ids). This is the
+// global-to-local id translation that row compaction (Section 4.3)
+// otherwise forces on users.
+class RowOperand {
+ public:
+  RowOperand(const Matrix& m, int64_t operand_rows) : matrix_(&m) {
+    local_ = operand_rows == m.num_rows();
+    GS_CHECK(local_ || m.has_row_ids())
+        << "row operand length " << operand_rows << " does not match num_rows "
+        << m.num_rows() << " and the matrix has no row id map";
+  }
+
+  int64_t Index(int32_t local_row) const {
+    return local_ ? local_row : matrix_->row_ids()[local_row];
+  }
+
+  bool local() const { return local_; }
+
+ private:
+  const Matrix* matrix_;
+  bool local_;
+};
+
+}  // namespace gs::sparse::internal
+
+#endif  // GSAMPLER_SPARSE_KERNELS_INTERNAL_H_

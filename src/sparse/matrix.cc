@@ -1,0 +1,300 @@
+#include "sparse/matrix.h"
+
+#include <sstream>
+
+#include "common/error.h"
+#include "device/device.h"
+#include "device/stream.h"
+
+namespace gs::sparse {
+namespace {
+
+device::Stream& CurrentStream() { return device::Current().stream(); }
+
+template <typename T>
+int64_t PcieBytesIfHost(const device::Array<T>& a) {
+  return a.defined() && a.space() == device::MemorySpace::kHost ? a.bytes() : 0;
+}
+
+// Expands a compressed indptr into one id per edge (the uncompressed axis).
+IdArray ExpandIndptr(const OffsetArray& indptr, int64_t nnz) {
+  IdArray out = IdArray::Empty(nnz);
+  const int64_t n = indptr.size() - 1;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t e = indptr[i]; e < indptr[i + 1]; ++e) {
+      out[e] = static_cast<int32_t>(i);
+    }
+  }
+  return out;
+}
+
+// Stable counting sort of COO edges by `keys` (values in [0, num_keys)),
+// producing compressed storage. `minor` supplies the per-edge index stored
+// in Compressed::indices.
+Compressed CompressBy(const IdArray& keys, const IdArray& minor, const ValueArray& values,
+                      int64_t num_keys) {
+  const int64_t nnz = keys.size();
+  Compressed out;
+  out.indptr = OffsetArray::Full(num_keys + 1, 0);
+  for (int64_t e = 0; e < nnz; ++e) {
+    GS_CHECK(keys[e] >= 0 && keys[e] < num_keys)
+        << "edge endpoint " << keys[e] << " out of range " << num_keys;
+    ++out.indptr[keys[e] + 1];
+  }
+  for (int64_t i = 0; i < num_keys; ++i) {
+    out.indptr[i + 1] += out.indptr[i];
+  }
+  out.indices = IdArray::Empty(nnz);
+  if (values.defined()) {
+    out.values = ValueArray::Empty(nnz);
+  }
+  OffsetArray cursor = out.indptr.Clone();
+  for (int64_t e = 0; e < nnz; ++e) {
+    const int64_t slot = cursor[keys[e]]++;
+    out.indices[slot] = minor[e];
+    if (values.defined()) {
+      out.values[slot] = values[e];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FormatName(Format format) {
+  switch (format) {
+    case Format::kCsc:
+      return "CSC";
+    case Format::kCsr:
+      return "CSR";
+    case Format::kCoo:
+      return "COO";
+  }
+  return "?";
+}
+
+Matrix Matrix::FromCsc(int64_t num_rows, int64_t num_cols, Compressed csc) {
+  GS_CHECK_EQ(csc.indptr.size(), num_cols + 1);
+  Matrix m;
+  m.impl_ = std::make_shared<Impl>();
+  m.impl_->num_rows = num_rows;
+  m.impl_->num_cols = num_cols;
+  m.impl_->nnz = csc.indices.size();
+  m.impl_->csc = std::move(csc);
+  return m;
+}
+
+Matrix Matrix::FromCsr(int64_t num_rows, int64_t num_cols, Compressed csr) {
+  GS_CHECK_EQ(csr.indptr.size(), num_rows + 1);
+  Matrix m;
+  m.impl_ = std::make_shared<Impl>();
+  m.impl_->num_rows = num_rows;
+  m.impl_->num_cols = num_cols;
+  m.impl_->nnz = csr.indices.size();
+  m.impl_->csr = std::move(csr);
+  return m;
+}
+
+Matrix Matrix::FromCoo(int64_t num_rows, int64_t num_cols, Coo coo) {
+  GS_CHECK_EQ(coo.row.size(), coo.col.size());
+  Matrix m;
+  m.impl_ = std::make_shared<Impl>();
+  m.impl_->num_rows = num_rows;
+  m.impl_->num_cols = num_cols;
+  m.impl_->nnz = coo.row.size();
+  m.impl_->coo = std::move(coo);
+  return m;
+}
+
+bool Matrix::HasFormat(Format format) const {
+  switch (format) {
+    case Format::kCsc:
+      return impl_->csc.has_value();
+    case Format::kCsr:
+      return impl_->csr.has_value();
+    case Format::kCoo:
+      return impl_->coo.has_value();
+  }
+  return false;
+}
+
+const Coo& Matrix::GetCoo() const {
+  if (!impl_->coo.has_value()) {
+    device::KernelScope kernel(CurrentStream());
+    Coo coo;
+    int64_t pcie = 0;
+    if (impl_->csc.has_value()) {
+      // COO in CSC edge order: the row array aliases csc.indices.
+      coo.row = impl_->csc->indices;
+      coo.col = ExpandIndptr(impl_->csc->indptr, impl_->nnz);
+      coo.values = impl_->csc->values;
+      pcie = PcieBytesIfHost(impl_->csc->indptr) + PcieBytesIfHost(impl_->csc->indices);
+    } else {
+      GS_CHECK(impl_->csr.has_value()) << "matrix has no format";
+      coo.col = impl_->csr->indices;
+      coo.row = ExpandIndptr(impl_->csr->indptr, impl_->nnz);
+      coo.values = impl_->csr->values;
+      pcie = PcieBytesIfHost(impl_->csr->indptr) + PcieBytesIfHost(impl_->csr->indices);
+    }
+    impl_->coo = std::move(coo);
+    kernel.Finish({.parallel_items = impl_->nnz,
+                   .hbm_bytes = impl_->nnz * int64_t{8},
+                   .pcie_bytes = pcie});
+  }
+  return *impl_->coo;
+}
+
+const Compressed& Matrix::Csc() const {
+  if (!impl_->csc.has_value()) {
+    const Coo& coo = GetCoo();  // may itself convert from CSR
+    device::KernelScope kernel(CurrentStream());
+    impl_->csc = CompressBy(coo.col, coo.row, coo.values, impl_->num_cols);
+    kernel.Finish({.parallel_items = impl_->nnz,
+                   .hbm_bytes = impl_->nnz * int64_t{16} + impl_->num_cols * int64_t{8},
+                   .pcie_bytes = PcieBytesIfHost(coo.row) + PcieBytesIfHost(coo.col)});
+  }
+  return *impl_->csc;
+}
+
+const Compressed& Matrix::Csr() const {
+  if (!impl_->csr.has_value()) {
+    const Coo& coo = GetCoo();
+    device::KernelScope kernel(CurrentStream());
+    impl_->csr = CompressBy(coo.row, coo.col, coo.values, impl_->num_rows);
+    kernel.Finish({.parallel_items = impl_->nnz,
+                   .hbm_bytes = impl_->nnz * int64_t{16} + impl_->num_rows * int64_t{8},
+                   .pcie_bytes = PcieBytesIfHost(coo.row) + PcieBytesIfHost(coo.col)});
+  }
+  return *impl_->csr;
+}
+
+bool Matrix::HasValues() const {
+  return (impl_->csc.has_value() && impl_->csc->values.defined()) ||
+         (impl_->csr.has_value() && impl_->csr->values.defined()) ||
+         (impl_->coo.has_value() && impl_->coo->values.defined());
+}
+
+ValueArray Matrix::ValuesFor(Format format) const {
+  ValueArray values;
+  switch (format) {
+    case Format::kCsc:
+      values = Csc().values;
+      break;
+    case Format::kCsr:
+      values = Csr().values;
+      break;
+    case Format::kCoo:
+      values = GetCoo().values;
+      break;
+  }
+  if (!values.defined()) {
+    // Unweighted matrix: materialize unit weights.
+    values = ValueArray::Full(impl_->nnz, 1.0f);
+  }
+  return values;
+}
+
+Matrix Matrix::WithValues(Format format, ValueArray values) const {
+  GS_CHECK_EQ(values.size(), impl_->nnz);
+  Matrix m;
+  m.impl_ = std::make_shared<Impl>();
+  m.impl_->num_rows = impl_->num_rows;
+  m.impl_->num_cols = impl_->num_cols;
+  m.impl_->nnz = impl_->nnz;
+  m.impl_->row_ids = impl_->row_ids;
+  m.impl_->col_ids = impl_->col_ids;
+  m.impl_->rows_compact = impl_->rows_compact;
+  m.impl_->uva_cache = impl_->uva_cache;
+  switch (format) {
+    case Format::kCsc: {
+      const Compressed& csc = Csc();
+      m.impl_->csc = Compressed{csc.indptr, csc.indices, std::move(values)};
+      break;
+    }
+    case Format::kCsr: {
+      const Compressed& csr = Csr();
+      m.impl_->csr = Compressed{csr.indptr, csr.indices, std::move(values)};
+      break;
+    }
+    case Format::kCoo: {
+      const Coo& coo = GetCoo();
+      m.impl_->coo = Coo{coo.row, coo.col, std::move(values)};
+      break;
+    }
+  }
+  return m;
+}
+
+bool Matrix::SharesPatternWith(const Matrix& other) const {
+  if (impl_ == other.impl_) {
+    return true;
+  }
+  if (impl_->nnz != other.impl_->nnz || impl_->num_rows != other.impl_->num_rows ||
+      impl_->num_cols != other.impl_->num_cols) {
+    return false;
+  }
+  // Fast path: structural sharing of index arrays.
+  if (impl_->csc.has_value() && other.impl_->csc.has_value() &&
+      impl_->csc->indices.data() == other.impl_->csc->indices.data()) {
+    return true;
+  }
+  if (impl_->csr.has_value() && other.impl_->csr.has_value() &&
+      impl_->csr->indices.data() == other.impl_->csr->indices.data()) {
+    return true;
+  }
+  if (impl_->coo.has_value() && other.impl_->coo.has_value() &&
+      impl_->coo->row.data() == other.impl_->coo->row.data() &&
+      impl_->coo->col.data() == other.impl_->coo->col.data()) {
+    return true;
+  }
+  // Slow path: pattern-equal matrices built independently (e.g. slices of a
+  // base matrix and of its hoisted, pre-computed transform) compare equal by
+  // content in CSC order.
+  const Compressed& a = Csc();
+  const Compressed& b = other.Csc();
+  for (int64_t i = 0; i < a.indptr.size(); ++i) {
+    if (a.indptr[i] != b.indptr[i]) {
+      return false;
+    }
+  }
+  for (int64_t e = 0; e < impl_->nnz; ++e) {
+    if (a.indices[e] != b.indices[e]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Matrix::SetRowIds(IdArray ids) {
+  if (ids.defined()) {
+    GS_CHECK_EQ(ids.size(), impl_->num_rows);
+  }
+  impl_->row_ids = std::move(ids);
+}
+
+void Matrix::SetColIds(IdArray ids) {
+  if (ids.defined()) {
+    GS_CHECK_EQ(ids.size(), impl_->num_cols);
+  }
+  impl_->col_ids = std::move(ids);
+}
+
+std::string Matrix::DebugString() const {
+  std::ostringstream out;
+  out << "Matrix(" << num_rows() << "x" << num_cols() << ", nnz=" << nnz() << ", formats=[";
+  bool first = true;
+  for (Format f : {Format::kCsc, Format::kCsr, Format::kCoo}) {
+    if (HasFormat(f)) {
+      if (!first) {
+        out << ",";
+      }
+      out << FormatName(f);
+      first = false;
+    }
+  }
+  out << "]" << (HasValues() ? ", weighted" : "") << (rows_compact() ? ", rows-compact" : "")
+      << ")";
+  return out.str();
+}
+
+}  // namespace gs::sparse

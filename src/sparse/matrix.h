@@ -1,0 +1,145 @@
+// Sparse matrix storage with multi-format caching.
+//
+// A gs::sparse::Matrix is the physical object behind the paper's
+// matrix-as-graph abstraction (Section 3.1): rows are source nodes (an edge
+// (r, c) is an in-edge of column node c), columns are frontier nodes, and
+// the optional `values` array carries edge weights / sampling bias.
+//
+// A matrix can cache any subset of the three sparse formats the paper uses
+// (Section 4.3): CSC (in-neighbors consecutive), CSR (out-neighbors
+// consecutive), and COO (edge list). Conversions are explicit kernels so the
+// data-layout-selection pass can account for their cost; once materialized a
+// format stays cached (all copies of a Matrix share the cache).
+//
+// Row/column id maps translate local indices to original-graph node ids so
+// that row()/column() never expose local ids (Section 3.1, finalize step).
+// An undefined id map means "identity" (the matrix spans the whole graph
+// dimension).
+
+#ifndef GSAMPLER_SPARSE_MATRIX_H_
+#define GSAMPLER_SPARSE_MATRIX_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "device/array.h"
+#include "device/uva_cache.h"
+
+namespace gs::sparse {
+
+using IdArray = device::Array<int32_t>;
+using OffsetArray = device::Array<int64_t>;
+using ValueArray = device::Array<float>;
+
+enum class Format {
+  kCsc,
+  kCsr,
+  kCoo,
+};
+
+const char* FormatName(Format format);
+
+// Compressed-sparse data for one axis: CSC when compressed by column (then
+// `indices` holds row ids), CSR when compressed by row (then `indices` holds
+// column ids). `values` is aligned with `indices`; undefined means the
+// matrix is unweighted (implicit 1.0 per edge).
+struct Compressed {
+  OffsetArray indptr;
+  IdArray indices;
+  ValueArray values;
+};
+
+struct Coo {
+  IdArray row;
+  IdArray col;
+  ValueArray values;  // aligned with row/col; undefined = unweighted
+};
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  static Matrix FromCsc(int64_t num_rows, int64_t num_cols, Compressed csc);
+  static Matrix FromCsr(int64_t num_rows, int64_t num_cols, Compressed csr);
+  static Matrix FromCoo(int64_t num_rows, int64_t num_cols, Coo coo);
+
+  bool defined() const { return impl_ != nullptr; }
+  int64_t num_rows() const { return impl_->num_rows; }
+  int64_t num_cols() const { return impl_->num_cols; }
+  int64_t nnz() const { return impl_->nnz; }
+
+  bool HasFormat(Format format) const;
+  // Returns the requested format, converting (and caching) if necessary.
+  // Conversions run as kernels on the current stream.
+  const Compressed& Csc() const;
+  const Compressed& Csr() const;
+  const Coo& GetCoo() const;
+
+  // True when edge weights are materialized in at least one format.
+  bool HasValues() const;
+  // Returns values aligned with the given format's edge order, materializing
+  // a unit-weight array if the matrix is unweighted.
+  ValueArray ValuesFor(Format format) const;
+
+  // Local -> original-graph id maps. Undefined means identity.
+  const IdArray& row_ids() const { return impl_->row_ids; }
+  const IdArray& col_ids() const { return impl_->col_ids; }
+  bool has_row_ids() const { return impl_->row_ids.defined(); }
+  bool has_col_ids() const { return impl_->col_ids.defined(); }
+  // Maps a local row/col index to its original-graph id.
+  int32_t GlobalRowId(int32_t local) const {
+    return has_row_ids() ? impl_->row_ids[local] : local;
+  }
+  int32_t GlobalColId(int32_t local) const {
+    return has_col_ids() ? impl_->col_ids[local] : local;
+  }
+
+  // True when row_ids directly enumerates the matrix's row node set (set by
+  // row slicing, collective sampling, and compaction): finalize's row() can
+  // return row_ids without scanning for non-empty rows.
+  bool rows_compact() const { return impl_->rows_compact; }
+
+  // UVA: set on host-resident base graphs; kernels consult the cache to
+  // charge PCIe bytes for adjacency access.
+  device::UvaCache* uva_cache() const { return impl_->uva_cache; }
+  bool IsUva() const { return impl_->uva_cache != nullptr; }
+
+  // Returns a matrix sharing this matrix's structure but carrying `values`
+  // aligned with `format`'s edge order (other formats' caches are dropped so
+  // values stay consistent).
+  Matrix WithValues(Format format, ValueArray values) const;
+
+  // True if `other` shares this matrix's sparsity structure (same underlying
+  // index arrays) — required for pattern-aligned ops like individual_sample
+  // with a probability matrix.
+  bool SharesPatternWith(const Matrix& other) const;
+
+  // Mutators used by matrix factories / kernels.
+  void SetRowIds(IdArray ids);
+  void SetColIds(IdArray ids);
+  void SetRowsCompact(bool value) { impl_->rows_compact = value; }
+  void SetUvaCache(device::UvaCache* cache) { impl_->uva_cache = cache; }
+
+  std::string DebugString() const;
+
+ private:
+  struct Impl {
+    int64_t num_rows = 0;
+    int64_t num_cols = 0;
+    int64_t nnz = 0;
+    std::optional<Compressed> csc;
+    std::optional<Compressed> csr;
+    std::optional<Coo> coo;
+    IdArray row_ids;
+    IdArray col_ids;
+    bool rows_compact = false;
+    device::UvaCache* uva_cache = nullptr;
+  };
+
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace gs::sparse
+
+#endif  // GSAMPLER_SPARSE_MATRIX_H_

@@ -1,0 +1,438 @@
+// Select-step kernels: node-wise (individual) and layer-wise (collective)
+// sampling, the fused extract+sample kernel, and random-walk steps.
+
+#include <algorithm>
+#include <vector>
+
+#include "common/sampling.h"
+#include "sparse/kernels.h"
+#include "sparse/kernels_internal.h"
+
+namespace gs::sparse {
+
+using internal::CurrentStream;
+using internal::PickFormat;
+
+Matrix IndividualSample(const Matrix& m, int64_t k, const ValueArray& probs, Rng& rng) {
+  GS_CHECK_GT(k, 0) << "fanout must be positive";
+  if (probs.defined()) {
+    GS_CHECK_EQ(probs.size(), m.nnz()) << "probs must align with the matrix's CSC edge order";
+  }
+  const Compressed& csc = m.Csc();
+  const bool weighted = csc.values.defined();
+  device::KernelScope kernel(CurrentStream());
+
+  const int64_t t = m.num_cols();
+  Compressed out;
+  out.indptr = OffsetArray::Empty(t + 1);
+  out.indptr[0] = 0;
+  std::vector<int32_t> picked;  // per-column scratch of selected slots
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  indices.reserve(static_cast<size_t>(std::min(m.nnz(), k * t)));
+  int64_t pcie = 0;
+
+  for (int64_t c = 0; c < t; ++c) {
+    const int64_t begin = csc.indptr[c];
+    const int64_t deg = csc.indptr[c + 1] - begin;
+    picked.clear();
+    if (probs.defined()) {
+      SampleWeightedWithoutReplacement(
+          std::span<const float>(probs.data() + begin, static_cast<size_t>(deg)), k, rng,
+          picked);
+    } else {
+      SampleUniformWithoutReplacement(deg, k, rng, picked);
+    }
+    for (int32_t slot : picked) {
+      indices.push_back(csc.indices[begin + slot]);
+      if (weighted) {
+        values.push_back(csc.values[begin + slot]);
+      }
+    }
+    out.indptr[c + 1] = static_cast<int64_t>(indices.size());
+    if (m.IsUva()) {
+      // Selection needs the full candidate list (degrees + weights).
+      pcie += internal::UvaCharge(m, static_cast<uint64_t>(m.GlobalColId(static_cast<int32_t>(c))),
+                                  deg * int64_t{4});
+    }
+  }
+
+  const int64_t out_nnz = static_cast<int64_t>(indices.size());
+  out.indices = IdArray::FromVector(indices);
+  if (weighted) {
+    out.values = ValueArray::FromVector(values);
+  }
+  Matrix result = Matrix::FromCsc(m.num_rows(), t, std::move(out));
+  internal::InheritRowSpace(m, result);
+  result.SetColIds(m.col_ids());
+  kernel.Finish({.parallel_items = std::max<int64_t>(m.nnz(), 1),
+                 .hbm_bytes = m.nnz() * int64_t{4} + out_nnz * int64_t{8},
+                 .pcie_bytes = pcie});
+  return result;
+}
+
+Matrix CollectiveSample(const Matrix& m, int64_t k, const ValueArray& row_probs, Rng& rng) {
+  GS_CHECK_GT(k, 0);
+  const internal::RowOperand row_op(m, row_probs.size());
+  const Format format = PickFormat(m, {Format::kCsr, Format::kCoo, Format::kCsc});
+  device::KernelScope kernel(CurrentStream());
+
+  std::vector<int32_t> selected;
+  if (row_op.local()) {
+    SampleWeightedWithoutReplacement(row_probs.span(), k, rng, selected);
+  } else {
+    // Global-space probabilities: gather into the local row space first.
+    std::vector<float> local(static_cast<size_t>(m.num_rows()));
+    for (int64_t r = 0; r < m.num_rows(); ++r) {
+      local[static_cast<size_t>(r)] = row_probs[row_op.Index(static_cast<int32_t>(r))];
+    }
+    SampleWeightedWithoutReplacement(local, k, rng, selected);
+  }
+  std::sort(selected.begin(), selected.end());
+  const int64_t s = static_cast<int64_t>(selected.size());
+
+  IdArray row_ids = IdArray::Empty(s);
+  for (int64_t i = 0; i < s; ++i) {
+    row_ids[i] = m.GlobalRowId(selected[static_cast<size_t>(i)]);
+  }
+
+  Matrix result;
+  int64_t hbm = 0;
+
+  switch (format) {
+    case Format::kCsr: {
+      // Fast path: gather only the selected rows.
+      const Compressed& csr = m.Csr();
+      const bool weighted = csr.values.defined();
+      Compressed out;
+      out.indptr = OffsetArray::Empty(s + 1);
+      out.indptr[0] = 0;
+      for (int64_t i = 0; i < s; ++i) {
+        const int32_t r = selected[static_cast<size_t>(i)];
+        out.indptr[i + 1] = out.indptr[i] + (csr.indptr[r + 1] - csr.indptr[r]);
+      }
+      const int64_t out_nnz = out.indptr[s];
+      out.indices = IdArray::Empty(out_nnz);
+      if (weighted) {
+        out.values = ValueArray::Empty(out_nnz);
+      }
+      for (int64_t i = 0; i < s; ++i) {
+        const int32_t r = selected[static_cast<size_t>(i)];
+        const int64_t begin = csr.indptr[r];
+        const int64_t len = csr.indptr[r + 1] - begin;
+        std::copy_n(csr.indices.data() + begin, len, out.indices.data() + out.indptr[i]);
+        if (weighted) {
+          std::copy_n(csr.values.data() + begin, len, out.values.data() + out.indptr[i]);
+        }
+      }
+      hbm = 2 * out_nnz * int64_t{8} + m.num_rows() * int64_t{4};
+      result = Matrix::FromCsr(s, m.num_cols(), std::move(out));
+      break;
+    }
+    case Format::kCoo: {
+      // Scan path over the edge list.
+      const Coo& coo = m.GetCoo();
+      const bool weighted = coo.values.defined();
+      std::vector<int32_t> row_map(static_cast<size_t>(m.num_rows()), -1);
+      for (int64_t i = 0; i < s; ++i) {
+        row_map[static_cast<size_t>(selected[static_cast<size_t>(i)])] =
+            static_cast<int32_t>(i);
+      }
+      std::vector<int32_t> rows_kept;
+      std::vector<int32_t> cols_kept;
+      std::vector<float> vals_kept;
+      for (int64_t e = 0; e < m.nnz(); ++e) {
+        const int32_t mapped = row_map[static_cast<size_t>(coo.row[e])];
+        if (mapped >= 0) {
+          rows_kept.push_back(mapped);
+          cols_kept.push_back(coo.col[e]);
+          if (weighted) {
+            vals_kept.push_back(coo.values[e]);
+          }
+        }
+      }
+      Coo out;
+      out.row = IdArray::FromVector(rows_kept);
+      out.col = IdArray::FromVector(cols_kept);
+      if (weighted) {
+        out.values = ValueArray::FromVector(vals_kept);
+      }
+      hbm = m.nnz() * int64_t{8};
+      result = Matrix::FromCoo(s, m.num_cols(), std::move(out));
+      break;
+    }
+    case Format::kCsc: {
+      // Slowest path: per-column scans with row filtering (preserves CSC).
+      const Compressed& csc = m.Csc();
+      const bool weighted = csc.values.defined();
+      std::vector<int32_t> row_map(static_cast<size_t>(m.num_rows()), -1);
+      for (int64_t i = 0; i < s; ++i) {
+        row_map[static_cast<size_t>(selected[static_cast<size_t>(i)])] =
+            static_cast<int32_t>(i);
+      }
+      Compressed out;
+      out.indptr = OffsetArray::Empty(m.num_cols() + 1);
+      out.indptr[0] = 0;
+      std::vector<int32_t> idx;
+      std::vector<float> vals;
+      for (int64_t c = 0; c < m.num_cols(); ++c) {
+        for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+          const int32_t mapped = row_map[static_cast<size_t>(csc.indices[e])];
+          if (mapped >= 0) {
+            idx.push_back(mapped);
+            if (weighted) {
+              vals.push_back(csc.values[e]);
+            }
+          }
+        }
+        out.indptr[c + 1] = static_cast<int64_t>(idx.size());
+      }
+      out.indices = IdArray::FromVector(idx);
+      if (weighted) {
+        out.values = ValueArray::FromVector(vals);
+      }
+      hbm = m.nnz() * int64_t{12};
+      result = Matrix::FromCsc(s, m.num_cols(), std::move(out));
+      break;
+    }
+  }
+
+  result.SetRowIds(std::move(row_ids));
+  result.SetRowsCompact(true);
+  result.SetColIds(m.col_ids());
+  kernel.Finish({.parallel_items = m.nnz(),
+                 .hbm_bytes = hbm,
+                 .pcie_bytes = m.IsUva() ? m.nnz() * int64_t{8} : 0});
+  return result;
+}
+
+Matrix FusedSliceSample(const Matrix& m, const IdArray& cols, int64_t k, Rng& rng) {
+  GS_CHECK_GT(k, 0);
+  const Compressed& csc = m.Csc();
+  const bool weighted = csc.values.defined();
+  device::KernelScope kernel(CurrentStream());
+  internal::ColLocalizer localizer(m);
+
+  const int64_t t = cols.size();
+  Compressed out;
+  out.indptr = OffsetArray::Empty(t + 1);
+  out.indptr[0] = 0;
+  std::vector<int32_t> picked;
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  indices.reserve(static_cast<size_t>(k * t));
+  int64_t pcie = 0;
+
+  for (int64_t i = 0; i < t; ++i) {
+    const int32_t c = localizer.ToLocal(cols[i]);
+    const int64_t begin = csc.indptr[c];
+    const int64_t deg = csc.indptr[c + 1] - begin;
+    picked.clear();
+    SampleUniformWithoutReplacement(deg, k, rng, picked);
+    for (int32_t slot : picked) {
+      indices.push_back(csc.indices[begin + slot]);
+      if (weighted) {
+        values.push_back(csc.values[begin + slot]);
+      }
+    }
+    out.indptr[i + 1] = static_cast<int64_t>(indices.size());
+    if (m.IsUva()) {
+      // Uniform selection touches only the chosen slots, not the whole
+      // adjacency list — one of the wins of Extract-Select fusion on UVA.
+      pcie += internal::UvaCharge(m, static_cast<uint64_t>(cols[i]),
+                                  static_cast<int64_t>(picked.size()) * 4);
+    }
+  }
+
+  const int64_t out_nnz = static_cast<int64_t>(indices.size());
+  out.indices = IdArray::FromVector(indices);
+  if (weighted) {
+    out.values = ValueArray::FromVector(values);
+  }
+  Matrix result = Matrix::FromCsc(m.num_rows(), t, std::move(out));
+  internal::InheritRowSpace(m, result);
+  result.SetColIds(cols.Clone());
+  kernel.Finish({.parallel_items = std::max<int64_t>(out_nnz, 1),
+                 .hbm_bytes = out_nnz * int64_t{8},
+                 .pcie_bytes = pcie});
+  return result;
+}
+
+IdArray UniformWalkStep(const Matrix& m, const IdArray& cur, Rng& rng) {
+  const Compressed& csc = m.Csc();
+  device::KernelScope kernel(CurrentStream());
+  IdArray out = IdArray::Empty(cur.size());
+  int64_t pcie = 0;
+  for (int64_t i = 0; i < cur.size(); ++i) {
+    const int32_t c = cur[i];
+    if (c < 0) {
+      out[i] = -1;
+      continue;
+    }
+    GS_CHECK_LT(c, m.num_cols());
+    const int64_t begin = csc.indptr[c];
+    const int64_t deg = csc.indptr[c + 1] - begin;
+    if (deg == 0) {
+      out[i] = -1;
+      continue;
+    }
+    out[i] = csc.indices[begin + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(deg)))];
+    if (m.IsUva()) {
+      pcie += internal::UvaCharge(m, static_cast<uint64_t>(c), 4);
+    }
+  }
+  kernel.Finish({.parallel_items = cur.size(),
+                 .hbm_bytes = cur.size() * int64_t{12},
+                 .pcie_bytes = pcie});
+  return out;
+}
+
+IdArray UniformWalkStepRestart(const Matrix& m, const IdArray& cur, const IdArray& root,
+                               float restart_prob, Rng& rng) {
+  GS_CHECK_EQ(cur.size(), root.size());
+  GS_CHECK(restart_prob >= 0.0f && restart_prob <= 1.0f);
+  const Compressed& csc = m.Csc();
+  device::KernelScope kernel(CurrentStream());
+  IdArray out = IdArray::Empty(cur.size());
+  int64_t pcie = 0;
+  for (int64_t i = 0; i < cur.size(); ++i) {
+    const int32_t c = cur[i];
+    if (c < 0 || rng.UniformF() < restart_prob) {
+      out[i] = root[i];
+      continue;
+    }
+    GS_CHECK_LT(c, m.num_cols());
+    const int64_t begin = csc.indptr[c];
+    const int64_t deg = csc.indptr[c + 1] - begin;
+    if (deg == 0) {
+      out[i] = root[i];  // dead end: restart
+      continue;
+    }
+    out[i] = csc.indices[begin + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(deg)))];
+    if (m.IsUva()) {
+      pcie += internal::UvaCharge(m, static_cast<uint64_t>(c), 4);
+    }
+  }
+  kernel.Finish({.parallel_items = cur.size(),
+                 .hbm_bytes = cur.size() * int64_t{16},
+                 .pcie_bytes = pcie});
+  return out;
+}
+
+Matrix TopKVisited(std::span<const IdArray> steps, const IdArray& roots, int64_t k,
+                   int64_t num_rows) {
+  GS_CHECK_GT(k, 0);
+  device::KernelScope kernel(CurrentStream());
+  const int64_t t = roots.size();
+  for (const IdArray& step : steps) {
+    GS_CHECK_EQ(step.size(), t) << "walk traces must align with roots";
+  }
+
+  Compressed out;
+  out.indptr = OffsetArray::Empty(t + 1);
+  out.indptr[0] = 0;
+  std::vector<int32_t> indices;
+  std::vector<float> counts;
+  std::vector<std::pair<int32_t, int32_t>> visits;  // (node, count) scratch
+  for (int64_t i = 0; i < t; ++i) {
+    visits.clear();
+    for (const IdArray& step : steps) {
+      const int32_t v = step[i];
+      if (v < 0 || v == roots[i]) {
+        continue;
+      }
+      visits.emplace_back(v, 1);
+    }
+    std::sort(visits.begin(), visits.end());
+    // Merge duplicates into counts, then keep the k most visited.
+    std::vector<std::pair<int32_t, int32_t>> merged;  // (count, node)
+    for (size_t j = 0; j < visits.size();) {
+      size_t end = j;
+      while (end < visits.size() && visits[end].first == visits[j].first) {
+        ++end;
+      }
+      merged.emplace_back(static_cast<int32_t>(end - j), visits[j].first);
+      j = end;
+    }
+    std::sort(merged.begin(), merged.end(), std::greater<>());
+    const size_t take = std::min<size_t>(static_cast<size_t>(k), merged.size());
+    for (size_t j = 0; j < take; ++j) {
+      indices.push_back(merged[j].second);
+      counts.push_back(static_cast<float>(merged[j].first));
+    }
+    out.indptr[i + 1] = static_cast<int64_t>(indices.size());
+  }
+  out.indices = IdArray::FromVector(indices);
+  out.values = ValueArray::FromVector(counts);
+  const int64_t out_nnz = static_cast<int64_t>(indices.size());
+  Matrix result = Matrix::FromCsc(num_rows, t, std::move(out));
+  result.SetColIds(roots.Clone());
+  kernel.Finish({.parallel_items = t,
+                 .hbm_bytes = static_cast<int64_t>(steps.size()) * t * 4 + out_nnz * 8});
+  return result;
+}
+
+IdArray Node2VecStep(const Matrix& m, const IdArray& cur, const IdArray& prev, float p,
+                     float q, Rng& rng) {
+  GS_CHECK_EQ(cur.size(), prev.size());
+  GS_CHECK_GT(p, 0.0f);
+  GS_CHECK_GT(q, 0.0f);
+  const Compressed& csc = m.Csc();
+  device::KernelScope kernel(CurrentStream());
+
+  // Membership test: is `node` an in-neighbor of `anchor`? Requires sorted
+  // per-column indices (guaranteed by the graph builders).
+  auto is_neighbor = [&](int32_t anchor, int32_t node) {
+    const int64_t begin = csc.indptr[anchor];
+    const int64_t end = csc.indptr[anchor + 1];
+    return std::binary_search(csc.indices.data() + begin, csc.indices.data() + end, node);
+  };
+
+  IdArray out = IdArray::Empty(cur.size());
+  std::vector<float> bias;
+  int64_t edges_scored = 0;
+  int64_t pcie = 0;
+  for (int64_t i = 0; i < cur.size(); ++i) {
+    const int32_t c = cur[i];
+    if (c < 0) {
+      out[i] = -1;
+      continue;
+    }
+    const int64_t begin = csc.indptr[c];
+    const int64_t deg = csc.indptr[c + 1] - begin;
+    if (deg == 0) {
+      out[i] = -1;
+      continue;
+    }
+    if (prev[i] < 0) {
+      out[i] =
+          csc.indices[begin + static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(deg)))];
+    } else {
+      bias.clear();
+      for (int64_t e = begin; e < begin + deg; ++e) {
+        const int32_t r = csc.indices[e];
+        float b;
+        if (r == prev[i]) {
+          b = 1.0f / p;
+        } else if (is_neighbor(prev[i], r)) {
+          b = 1.0f;
+        } else {
+          b = 1.0f / q;
+        }
+        bias.push_back(b);
+      }
+      const int32_t slot = SampleWeightedOne(bias, rng);
+      out[i] = slot >= 0 ? csc.indices[begin + slot] : -1;
+      edges_scored += deg;
+    }
+    if (m.IsUva()) {
+      pcie += internal::UvaCharge(m, static_cast<uint64_t>(c), deg * int64_t{4});
+    }
+  }
+  kernel.Finish({.parallel_items = cur.size(),
+                 .hbm_bytes = edges_scored * int64_t{8} + cur.size() * int64_t{8},
+                 .pcie_bytes = pcie});
+  return out;
+}
+
+}  // namespace gs::sparse

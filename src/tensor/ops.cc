@@ -1,0 +1,243 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "device/device.h"
+#include "device/stream.h"
+
+namespace gs::tensor {
+namespace {
+
+device::Stream& CurrentStream() { return device::Current().stream(); }
+
+int64_t IoBytes(std::initializer_list<const Tensor*> tensors) {
+  int64_t bytes = 0;
+  for (const Tensor* t : tensors) {
+    bytes += t->numel() * static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  GS_CHECK_EQ(a.dim(), 2);
+  GS_CHECK_EQ(b.dim(), 2);
+  GS_CHECK_EQ(a.cols(), b.rows()) << "matmul inner dimensions";
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Zeros({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order for streaming access to b and out.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) {
+        continue;
+      }
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        orow[j] += av * brow[j];
+      }
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = m * n, .hbm_bytes = IoBytes({&a, &b, &out})});
+  return out;
+}
+
+Tensor Binary(BinaryOp op, const Tensor& a, const Tensor& b) {
+  // A 1-element right operand broadcasts (h / h.sum() style normalization).
+  GS_CHECK(a.shape() == b.shape() || b.numel() == 1) << "elementwise shape mismatch";
+  const bool scalar_rhs = b.numel() == 1 && a.numel() != 1;
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = ApplyBinaryOp(op, pa[i], scalar_rhs ? pb[0] : pb[i]);
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &b, &out})});
+  return out;
+}
+
+Tensor BinaryScalar(BinaryOp op, const Tensor& a, float b) {
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    po[i] = ApplyBinaryOp(op, pa[i], b);
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &out})});
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out.at(i) = std::max(0.0f, a.at(i));
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &out})});
+  return out;
+}
+
+Tensor Exp(const Tensor& a) {
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out.at(i) = std::exp(a.at(i));
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &out})});
+  return out;
+}
+
+Tensor Abs(const Tensor& a) {
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty(a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    out.at(i) = std::fabs(a.at(i));
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &out})});
+  return out;
+}
+
+Tensor Softmax(const Tensor& a) {
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty(a.shape());
+  const int64_t rows = a.dim() == 2 ? a.rows() : 1;
+  const int64_t cols = a.dim() == 2 ? a.cols() : a.numel();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* in = a.data() + r * cols;
+    float* res = out.data() + r * cols;
+    float maxv = -INFINITY;
+    for (int64_t c = 0; c < cols; ++c) {
+      maxv = std::max(maxv, in[c]);
+    }
+    double total = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      res[c] = std::exp(in[c] - maxv);
+      total += res[c];
+    }
+    const float inv = total > 0.0 ? static_cast<float>(1.0 / total) : 0.0f;
+    for (int64_t c = 0; c < cols; ++c) {
+      res[c] *= inv;
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = rows, .hbm_bytes = IoBytes({&a, &out})});
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const IdArray& index) {
+  const int64_t d = a.dim() == 2 ? a.cols() : 1;
+  const int64_t n = index.size();
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = a.dim() == 2 ? Tensor::Empty({n, d}) : Tensor::Empty({n});
+  int64_t pcie = 0;
+  const bool uva = a.array().space() == device::MemorySpace::kHost;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t r = index[i];
+    GS_CHECK(r >= 0 && r < a.rows()) << "gather index " << r << " out of range " << a.rows();
+    std::copy_n(a.data() + r * d, d, out.data() + i * d);
+  }
+  if (uva) {
+    pcie = n * d * static_cast<int64_t>(sizeof(float));
+  }
+  kernel.Finish({.dense = true, .parallel_items = n,
+                 .hbm_bytes = 2 * n * d * static_cast<int64_t>(sizeof(float)),
+                 .pcie_bytes = pcie});
+  return out;
+}
+
+Tensor SumAxis(const Tensor& a, int axis) {
+  device::KernelScope kernel(CurrentStream());
+  if (a.dim() == 1) {
+    Tensor out = Tensor::Zeros({1});
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      out.at(0) += a.at(i);
+    }
+    kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &out})});
+    return out;
+  }
+  GS_CHECK(axis == 0 || axis == 1);
+  const int64_t rows = a.rows();
+  const int64_t cols = a.cols();
+  Tensor out = Tensor::Zeros({axis == 0 ? cols : rows});
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      out.at(axis == 0 ? c : r) += a.at(r, c);
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &out})});
+  return out;
+}
+
+float SumAll(const Tensor& a) {
+  device::KernelScope kernel(CurrentStream());
+  double total = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    total += a.at(i);
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a})});
+  return static_cast<float>(total);
+}
+
+Tensor Transpose(const Tensor& a) {
+  GS_CHECK_EQ(a.dim(), 2);
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty({a.cols(), a.rows()});
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      out.at(c, r) = a.at(r, c);
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.numel(), .hbm_bytes = IoBytes({&a, &out})});
+  return out;
+}
+
+Tensor StackColumns(std::span<const Tensor> xs) {
+  GS_CHECK(!xs.empty());
+  const int64_t n = xs[0].numel();
+  for (const Tensor& x : xs) {
+    GS_CHECK_EQ(x.dim(), 1);
+    GS_CHECK_EQ(x.numel(), n);
+  }
+  const int64_t k = static_cast<int64_t>(xs.size());
+  device::KernelScope kernel(CurrentStream());
+  Tensor out = Tensor::Empty({n, k});
+  for (int64_t j = 0; j < k; ++j) {
+    for (int64_t i = 0; i < n; ++i) {
+      out.at(i, j) = xs[static_cast<size_t>(j)].at(i);
+    }
+  }
+  kernel.Finish({.dense = true, .parallel_items = n * k,
+                 .hbm_bytes = 2 * n * k * static_cast<int64_t>(sizeof(float))});
+  return out;
+}
+
+IdArray ArgmaxRows(const Tensor& a) {
+  GS_CHECK_EQ(a.dim(), 2);
+  device::KernelScope kernel(CurrentStream());
+  IdArray out = IdArray::Empty(a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    int64_t best = 0;
+    for (int64_t c = 1; c < a.cols(); ++c) {
+      if (a.at(r, c) > a.at(r, best)) {
+        best = c;
+      }
+    }
+    out[r] = static_cast<int32_t>(best);
+  }
+  kernel.Finish({.dense = true, .parallel_items = a.rows(), .hbm_bytes = IoBytes({&a})});
+  return out;
+}
+
+}  // namespace gs::tensor

@@ -1,0 +1,56 @@
+// Dense tensor operators.
+//
+// Every function launches exactly one simulated kernel on the current
+// device's stream (see device/stream.h); shapes are validated with
+// GS_CHECK. The operator set mirrors what the paper's compute steps need
+// from PyTorch: matmul, elementwise arithmetic, softmax, relu, gathers,
+// reductions, and stacking.
+
+#ifndef GSAMPLER_TENSOR_OPS_H_
+#define GSAMPLER_TENSOR_OPS_H_
+
+#include <span>
+
+#include "common/binary_op.h"
+#include "tensor/tensor.h"
+
+namespace gs::tensor {
+
+// (M, K) @ (K, N) -> (M, N).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// Elementwise op on tensors of identical shape.
+Tensor Binary(BinaryOp op, const Tensor& a, const Tensor& b);
+// Elementwise op with a scalar right operand.
+Tensor BinaryScalar(BinaryOp op, const Tensor& a, float b);
+
+Tensor Relu(const Tensor& a);
+Tensor Exp(const Tensor& a);
+Tensor Abs(const Tensor& a);
+
+// Row-wise softmax for 2-D input; full softmax for 1-D input.
+Tensor Softmax(const Tensor& a);
+
+// Selects rows of a (2-D) or elements of a (1-D) by index. Indices must be
+// within range. When `a` lives in host memory the gather charges PCIe bytes
+// (UVA feature access).
+Tensor GatherRows(const Tensor& a, const IdArray& index);
+
+// Sum over an axis of a 2-D tensor: axis=0 sums rows away -> (cols,),
+// axis=1 sums cols away -> (rows,). For 1-D input (axis ignored) returns a
+// 1-element tensor.
+Tensor SumAxis(const Tensor& a, int axis);
+
+float SumAll(const Tensor& a);
+
+Tensor Transpose(const Tensor& a);
+
+// Stacks k same-length 1-D tensors into an (n, k) matrix (column j = xs[j]).
+Tensor StackColumns(std::span<const Tensor> xs);
+
+// Row-wise argmax of a 2-D tensor.
+IdArray ArgmaxRows(const Tensor& a);
+
+}  // namespace gs::tensor
+
+#endif  // GSAMPLER_TENSOR_OPS_H_

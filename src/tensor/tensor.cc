@@ -1,0 +1,77 @@
+#include "tensor/tensor.h"
+
+namespace gs::tensor {
+namespace {
+
+int64_t NumelOf(const std::vector<int64_t>& shape) {
+  GS_CHECK(!shape.empty() && shape.size() <= 2) << "tensors are 1-D or 2-D";
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    GS_CHECK_GE(d, 0);
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor Tensor::Empty(std::vector<int64_t> shape, device::MemorySpace space) {
+  Tensor t;
+  const int64_t n = NumelOf(shape);
+  t.shape_ = std::move(shape);
+  t.data_ = device::Array<float>::Empty(n, space);
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape, device::MemorySpace space) {
+  return Full(std::move(shape), 0.0f, space);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value, device::MemorySpace space) {
+  Tensor t = Empty(std::move(shape), space);
+  for (auto& x : t.span()) {
+    x = value;
+  }
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float std) {
+  Tensor t = Empty(std::move(shape));
+  for (auto& x : t.span()) {
+    x = static_cast<float>(rng.Gaussian()) * std;
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape, const std::vector<float>& values) {
+  GS_CHECK_EQ(NumelOf(shape), static_cast<int64_t>(values.size()));
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = device::Array<float>::FromVector(values);
+  return t;
+}
+
+Tensor Tensor::FromArray(std::vector<int64_t> shape, device::Array<float> data) {
+  GS_CHECK_EQ(NumelOf(shape), data.size());
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = std::move(data);
+  return t;
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_ = data_.Clone();
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> shape) const {
+  GS_CHECK_EQ(NumelOf(shape), numel());
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.data_ = data_;
+  return t;
+}
+
+}  // namespace gs::tensor

@@ -1,0 +1,71 @@
+// Dense tensors (1-D / 2-D, float32) on the simulated device.
+//
+// This is the PyTorch-tensor stand-in used by the compute step of sampling
+// programs (PASS projections, AS-GCN bias models, LADIES probability
+// vectors) and by the gs::gnn trainer. Shared-handle semantics like
+// device::Array.
+
+#ifndef GSAMPLER_TENSOR_TENSOR_H_
+#define GSAMPLER_TENSOR_TENSOR_H_
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "device/array.h"
+
+namespace gs::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Uninitialized tensor of the given shape (1 or 2 dims).
+  static Tensor Empty(std::vector<int64_t> shape,
+                      device::MemorySpace space = device::MemorySpace::kDevice);
+  static Tensor Zeros(std::vector<int64_t> shape,
+                      device::MemorySpace space = device::MemorySpace::kDevice);
+  static Tensor Full(std::vector<int64_t> shape, float value,
+                     device::MemorySpace space = device::MemorySpace::kDevice);
+  // Gaussian(0, std) initialization, deterministic from rng.
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng, float std = 1.0f);
+  static Tensor FromVector(std::vector<int64_t> shape, const std::vector<float>& values);
+  // Wraps an existing array (shares storage).
+  static Tensor FromArray(std::vector<int64_t> shape, device::Array<float> data);
+
+  bool defined() const { return data_.defined(); }
+  int dim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t numel() const { return data_.size(); }
+  // Row/col view: 1-D tensors are treated as (n, 1) where convenient.
+  int64_t rows() const { return shape_.empty() ? 0 : shape_[0]; }
+  int64_t cols() const { return dim() == 2 ? shape_[1] : 1; }
+
+  device::Array<float>& array() { return data_; }
+  const device::Array<float>& array() const { return data_; }
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> span() { return data_.span(); }
+  std::span<const float> span() const { return data_.span(); }
+
+  float& at(int64_t i) { return data_[i]; }
+  float at(int64_t i) const { return data_[i]; }
+  float& at(int64_t r, int64_t c) { return data_[r * cols() + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * cols() + c]; }
+
+  Tensor Clone() const;
+  // Reinterprets the buffer with a new shape of equal numel (shares storage).
+  Tensor Reshape(std::vector<int64_t> shape) const;
+
+ private:
+  std::vector<int64_t> shape_;
+  device::Array<float> data_;
+};
+
+// Node-id arrays are plain int32 device arrays throughout the codebase.
+using IdArray = device::Array<int32_t>;
+
+}  // namespace gs::tensor
+
+#endif  // GSAMPLER_TENSOR_TENSOR_H_

@@ -1,0 +1,151 @@
+// Tests for the baseline-system simulators: availability matrix matches the
+// paper's N/A and timeout cells, and every supported cell actually samples.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.h"
+#include "graph/datasets.h"
+#include "common/error.h"
+#include "device/device.h"
+#include "tests/testing.h"
+
+namespace gs::baselines {
+namespace {
+
+using tensor::IdArray;
+
+IdArray Frontier() { return IdArray::FromVector({1, 2, 3, 4, 5, 6, 7, 8}); }
+
+TEST(Availability, MatchesPaperMatrix) {
+  graph::Graph resident = gs::testing::SmallRmat();
+  graph::RMatParams uva_params;
+  uva_params.num_nodes = 200;
+  uva_params.num_edges = 1500;
+  uva_params.uva = true;
+  graph::Graph uva = graph::MakeRMatGraph(uva_params);
+
+  // DGL-GPU: everything except Node2Vec.
+  auto dgl_gpu = MakeBaseline("DGL-GPU", resident);
+  EXPECT_EQ(dgl_gpu->Check("GraphSAGE"), Availability::kSupported);
+  EXPECT_EQ(dgl_gpu->Check("LADIES"), Availability::kSupported);
+  EXPECT_EQ(dgl_gpu->Check("Node2Vec"), Availability::kNotImplemented);
+  EXPECT_EQ(dgl_gpu->Check("FastGCN"), Availability::kNotImplemented);
+
+  // DGL-CPU: complex algorithms time out on UVA-resident (large) graphs.
+  auto dgl_cpu_small = MakeBaseline("DGL-CPU", resident);
+  EXPECT_EQ(dgl_cpu_small->Check("LADIES"), Availability::kSupported);
+  auto dgl_cpu_large = MakeBaseline("DGL-CPU", uva);
+  EXPECT_EQ(dgl_cpu_large->Check("LADIES"), Availability::kTimeout);
+  EXPECT_EQ(dgl_cpu_large->Check("PASS"), Availability::kTimeout);
+  EXPECT_EQ(dgl_cpu_large->Check("ShaDow"), Availability::kSupported);
+
+  // PyG-GPU: DeepWalk only, no UVA.
+  auto pyg_gpu = MakeBaseline("PyG-GPU", resident);
+  EXPECT_EQ(pyg_gpu->Check("DeepWalk"), Availability::kSupported);
+  EXPECT_EQ(pyg_gpu->Check("GraphSAGE"), Availability::kNotImplemented);
+  auto pyg_gpu_uva = MakeBaseline("PyG-GPU", uva);
+  EXPECT_EQ(pyg_gpu_uva->Check("DeepWalk"), Availability::kNotImplemented);
+
+  // PyG-CPU: simple algorithms + ShaDow.
+  auto pyg_cpu = MakeBaseline("PyG-CPU", resident);
+  EXPECT_EQ(pyg_cpu->Check("ShaDow"), Availability::kSupported);
+  EXPECT_EQ(pyg_cpu->Check("LADIES"), Availability::kNotImplemented);
+
+  // SkyWalker: walks + GraphSAGE, UVA fine.
+  auto skywalker = MakeBaseline("SkyWalker", uva);
+  EXPECT_EQ(skywalker->Check("Node2Vec"), Availability::kSupported);
+  EXPECT_EQ(skywalker->Check("PASS"), Availability::kNotImplemented);
+
+  // GunRock: GraphSAGE only, no UVA.
+  auto gunrock = MakeBaseline("GunRock", resident);
+  EXPECT_EQ(gunrock->Check("GraphSAGE"), Availability::kSupported);
+  EXPECT_EQ(gunrock->Check("DeepWalk"), Availability::kNotImplemented);
+  auto gunrock_uva = MakeBaseline("GunRock", uva);
+  EXPECT_EQ(gunrock_uva->Check("GraphSAGE"), Availability::kNotImplemented);
+
+  EXPECT_THROW(MakeBaseline("Nonexistent", resident), Error);
+}
+
+TEST(Availability, CuGraphCannotLoadPP) {
+  graph::Graph pp = graph::MakeDataset("PP", {.scale = 0.02});
+  auto cugraph = MakeBaseline("cuGraph", pp);
+  EXPECT_EQ(cugraph->Check("GraphSAGE"), Availability::kTimeout);
+  graph::Graph lj = graph::MakeDataset("LJ", {.scale = 0.02});
+  auto cugraph_lj = MakeBaseline("cuGraph", lj);
+  EXPECT_EQ(cugraph_lj->Check("GraphSAGE"), Availability::kSupported);
+}
+
+struct Cell {
+  const char* system;
+  const char* algorithm;
+};
+
+class SupportedCells : public ::testing::TestWithParam<Cell> {};
+
+TEST_P(SupportedCells, SamplesValidStructure) {
+  const Cell cell = GetParam();
+  graph::Graph g = gs::testing::SmallRmat(250, 2500, 44, true);
+  auto baseline = MakeBaseline(cell.system, g);
+  ASSERT_EQ(baseline->Check(cell.algorithm), Availability::kSupported);
+  Rng rng(7);
+  BaselineResult result = baseline->SampleBatch(cell.algorithm, Frontier(), rng);
+  EXPECT_TRUE(!result.layers.empty() || !result.traces.empty());
+  for (const sparse::Matrix& m : result.layers) {
+    for (const auto& [edge, w] : gs::testing::EdgeSet(m)) {
+      EXPECT_LT(edge.first, g.num_nodes());
+      EXPECT_LT(edge.second, g.num_nodes());
+      (void)w;
+    }
+  }
+  for (const tensor::IdArray& t : result.traces) {
+    for (int64_t i = 0; i < t.size(); ++i) {
+      EXPECT_LT(t[i], g.num_nodes());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SupportedCells,
+    ::testing::Values(Cell{"DGL-GPU", "DeepWalk"}, Cell{"DGL-GPU", "GraphSAGE"},
+                      Cell{"DGL-GPU", "LADIES"}, Cell{"DGL-GPU", "AS-GCN"},
+                      Cell{"DGL-GPU", "PASS"}, Cell{"DGL-GPU", "ShaDow"},
+                      Cell{"DGL-CPU", "Node2Vec"}, Cell{"DGL-CPU", "LADIES"},
+                      Cell{"PyG-GPU", "DeepWalk"}, Cell{"PyG-CPU", "GraphSAGE"},
+                      Cell{"PyG-CPU", "ShaDow"}, Cell{"SkyWalker", "DeepWalk"},
+                      Cell{"SkyWalker", "Node2Vec"}, Cell{"SkyWalker", "GraphSAGE"},
+                      Cell{"GunRock", "GraphSAGE"}, Cell{"cuGraph", "DeepWalk"},
+                      Cell{"cuGraph", "GraphSAGE"}));
+
+TEST(Profiles, CpuSystemsGetCpuProfiles) {
+  const device::DeviceProfile gpu = device::V100Sim();
+  EXPECT_EQ(ProfileFor("DGL-GPU", gpu).name, "V100Sim");
+  EXPECT_EQ(ProfileFor("DGL-CPU", gpu).name, "DGL-CPU");
+  EXPECT_GT(ProfileFor("PyG-CPU", gpu).compute_scale,
+            ProfileFor("DGL-CPU", gpu).compute_scale);
+}
+
+TEST(Baselines, SageFanoutBoundsHold) {
+  graph::Graph g = gs::testing::SmallRmat();
+  auto dgl = MakeBaseline("DGL-GPU", g);
+  Rng rng(11);
+  BaselineResult r = dgl->SampleBatch("GraphSAGE", Frontier(), rng);
+  ASSERT_EQ(r.layers.size(), 2u);  // default fanouts {25, 10}
+  const sparse::Compressed& csc = r.layers[0].Csc();
+  for (int64_t c = 0; c < r.layers[0].num_cols(); ++c) {
+    EXPECT_LE(csc.indptr[c + 1] - csc.indptr[c], 25);
+  }
+}
+
+TEST(Baselines, UnsupportedSampleThrows) {
+  graph::Graph g = gs::testing::SmallRmat();
+  auto gunrock = MakeBaseline("GunRock", g);
+  Rng rng(13);
+  EXPECT_THROW(gunrock->SampleBatch("LADIES", Frontier(), rng), Error);
+}
+
+TEST(Baselines, AllSystemsListed) {
+  EXPECT_EQ(AllBaselineSystems().size(), 7u);
+}
+
+}  // namespace
+}  // namespace gs::baselines

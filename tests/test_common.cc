@@ -1,0 +1,247 @@
+// Unit tests for common/: error macros, RNG, sampling primitives.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/sampling.h"
+#include "tests/testing.h"
+
+namespace gs {
+namespace {
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    GS_CHECK(1 == 2) << "context " << 42;
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("context 42"), std::string::npos);
+  }
+}
+
+TEST(Error, ComparisonMacros) {
+  EXPECT_THROW(GS_CHECK_EQ(1, 2), Error);
+  EXPECT_THROW(GS_CHECK_LT(3, 2), Error);
+  EXPECT_THROW(GS_CHECK_GE(1, 2), Error);
+  EXPECT_NO_THROW(GS_CHECK_LE(2, 2));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += a.NextU64() == b.NextU64() ? 1 : 0;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIndependentAndStable) {
+  Rng base(7);
+  Rng f1 = base.Fork(1);
+  Rng f1_again = base.Fork(1);
+  Rng f2 = base.Fork(2);
+  EXPECT_EQ(f1.NextU64(), f1_again.NextU64());
+  EXPECT_NE(f1.NextU64(), f2.NextU64());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reachable
+  EXPECT_THROW(rng.UniformInt(0), Error);
+}
+
+TEST(Rng, UniformIntUnbiased) {
+  Rng rng(11);
+  const int64_t trials = 70000;
+  std::vector<int64_t> counts(10, 0);
+  for (int64_t i = 0; i < trials; ++i) {
+    ++counts[rng.UniformInt(10)];
+  }
+  const double stat = testing::ChiSquare(counts, std::vector<double>(10, 0.1), trials);
+  EXPECT_LT(stat, 27.9);  // chi2(9 dof) at p=0.001
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+// --- SampleUniformWithoutReplacement ---
+
+class UniformWorParam : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(UniformWorParam, DistinctAndInRange) {
+  const auto [n, k] = GetParam();
+  Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<int32_t> out;
+    SampleUniformWithoutReplacement(n, k, rng, out);
+    EXPECT_EQ(static_cast<int64_t>(out.size()), std::min(n, k));
+    std::set<int32_t> unique(out.begin(), out.end());
+    EXPECT_EQ(unique.size(), out.size());
+    for (int32_t v : out) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, n);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UniformWorParam,
+                         ::testing::Values(std::pair<int64_t, int64_t>{10, 3},
+                                           std::pair<int64_t, int64_t>{10, 10},
+                                           std::pair<int64_t, int64_t>{5, 9},
+                                           std::pair<int64_t, int64_t>{1, 1},
+                                           std::pair<int64_t, int64_t>{100, 1},
+                                           std::pair<int64_t, int64_t>{64, 63},
+                                           std::pair<int64_t, int64_t>{0, 4}));
+
+TEST(UniformWor, UnbiasedInclusion) {
+  Rng rng(19);
+  const int64_t n = 12;
+  const int64_t k = 4;
+  const int64_t trials = 30000;
+  std::vector<int64_t> counts(n, 0);
+  for (int64_t t = 0; t < trials; ++t) {
+    std::vector<int32_t> out;
+    SampleUniformWithoutReplacement(n, k, rng, out);
+    for (int32_t v : out) {
+      ++counts[v];
+    }
+  }
+  // Each element included with probability k/n.
+  for (int64_t v = 0; v < n; ++v) {
+    EXPECT_NEAR(static_cast<double>(counts[v]) / trials, static_cast<double>(k) / n, 0.02);
+  }
+}
+
+// --- SampleWeightedWithoutReplacement ---
+
+TEST(WeightedWor, ZeroWeightNeverSelected) {
+  Rng rng(23);
+  std::vector<float> w = {1.0f, 0.0f, 2.0f, 0.0f, 3.0f};
+  for (int t = 0; t < 200; ++t) {
+    std::vector<int32_t> out;
+    SampleWeightedWithoutReplacement(w, 3, rng, out);
+    EXPECT_EQ(out.size(), 3u);
+    for (int32_t v : out) {
+      EXPECT_NE(v, 1);
+      EXPECT_NE(v, 3);
+    }
+  }
+}
+
+TEST(WeightedWor, FewerPositiveThanK) {
+  Rng rng(29);
+  std::vector<float> w = {0.0f, 5.0f, 0.0f};
+  std::vector<int32_t> out;
+  SampleWeightedWithoutReplacement(w, 3, rng, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1);
+}
+
+TEST(WeightedWor, NegativeWeightRejected) {
+  Rng rng(31);
+  std::vector<float> w = {1.0f, -0.5f};
+  std::vector<int32_t> out;
+  EXPECT_THROW(SampleWeightedWithoutReplacement(w, 1, rng, out), Error);
+}
+
+TEST(WeightedWor, SingleDrawFollowsWeights) {
+  Rng rng(37);
+  // k=1 without replacement is exactly proportional sampling.
+  std::vector<float> w = {1.0f, 2.0f, 3.0f, 4.0f};
+  const int64_t trials = 40000;
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t t = 0; t < trials; ++t) {
+    std::vector<int32_t> out;
+    SampleWeightedWithoutReplacement(w, 1, rng, out);
+    ++counts[out[0]];
+  }
+  const double stat = testing::ChiSquare(counts, {0.1, 0.2, 0.3, 0.4}, trials);
+  EXPECT_LT(stat, 16.3);  // chi2(3 dof) at p=0.001
+}
+
+TEST(WeightedWor, HeavierWeightsIncludedMoreOften) {
+  Rng rng(41);
+  std::vector<float> w = {1.0f, 1.0f, 1.0f, 10.0f};
+  int64_t heavy = 0;
+  int64_t light = 0;
+  for (int t = 0; t < 5000; ++t) {
+    std::vector<int32_t> out;
+    SampleWeightedWithoutReplacement(w, 2, rng, out);
+    for (int32_t v : out) {
+      (v == 3 ? heavy : light) += 1;
+    }
+  }
+  EXPECT_GT(heavy, light / 3 * 2);  // index 3 dominates inclusion
+}
+
+// --- SampleWeightedOne / AliasTable ---
+
+TEST(WeightedOne, ZeroTotalReturnsMinusOne) {
+  Rng rng(43);
+  std::vector<float> w = {0.0f, 0.0f};
+  EXPECT_EQ(SampleWeightedOne(w, rng), -1);
+}
+
+TEST(AliasTable, EmptyAndZero) {
+  Rng rng(47);
+  AliasTable empty;
+  EXPECT_EQ(empty.Sample(rng), -1);
+  std::vector<float> zeros = {0.0f, 0.0f};
+  AliasTable zero_table{std::span<const float>(zeros)};
+  EXPECT_EQ(zero_table.Sample(rng), -1);
+}
+
+TEST(AliasTable, MatchesWeights) {
+  Rng rng(53);
+  std::vector<float> w = {0.5f, 1.5f, 3.0f, 5.0f};
+  AliasTable table{std::span<const float>(w)};
+  const int64_t trials = 50000;
+  std::vector<int64_t> counts(4, 0);
+  for (int64_t t = 0; t < trials; ++t) {
+    ++counts[table.Sample(rng)];
+  }
+  const double stat = testing::ChiSquare(counts, {0.05, 0.15, 0.30, 0.50}, trials);
+  EXPECT_LT(stat, 16.3);
+}
+
+}  // namespace
+}  // namespace gs

@@ -1,0 +1,183 @@
+// Unit tests for device/: caching allocator, virtual-clock stream, device
+// profiles, UVA cache.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/allocator.h"
+#include "device/array.h"
+#include "device/device.h"
+#include "device/profile.h"
+#include "device/stream.h"
+#include "device/uva_cache.h"
+
+namespace gs::device {
+namespace {
+
+TEST(Allocator, ReusesFreedBlocks) {
+  CachingAllocator alloc(1 << 20);
+  void* a = alloc.Allocate(1000);
+  alloc.Free(a);
+  void* b = alloc.Allocate(900);  // same 1024-byte class
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(alloc.stats().cache_hits, 1);
+  alloc.Free(b);
+}
+
+TEST(Allocator, PeakTracksHighWater) {
+  CachingAllocator alloc(1 << 20);
+  void* a = alloc.Allocate(4096);
+  void* b = alloc.Allocate(4096);
+  const int64_t peak = alloc.stats().peak_bytes_in_use;
+  EXPECT_GE(peak, 8192);
+  alloc.Free(a);
+  alloc.Free(b);
+  EXPECT_EQ(alloc.stats().bytes_in_use, 0);
+  EXPECT_EQ(alloc.stats().peak_bytes_in_use, peak);
+  alloc.ResetPeak();
+  EXPECT_EQ(alloc.stats().peak_bytes_in_use, 0);
+}
+
+TEST(Allocator, SizeClassesRoundUp) {
+  CachingAllocator alloc(1 << 22);
+  void* a = alloc.Allocate(1);
+  alloc.Free(a);
+  EXPECT_EQ(alloc.stats().bytes_cached, 512);  // minimum class
+  void* b = alloc.Allocate(5000);
+  alloc.Free(b);
+  EXPECT_EQ(alloc.stats().bytes_cached, 512 + 8192);  // pow2 class above 4K
+}
+
+TEST(Allocator, OutOfMemoryThrowsAfterCacheRelease) {
+  CachingAllocator alloc(16 * 1024);
+  void* a = alloc.Allocate(8 * 1024);
+  EXPECT_THROW(alloc.Allocate(12 * 1024), Error);
+  alloc.Free(a);
+  // Freed block is cached; a different-class allocation must still succeed
+  // by releasing the cache.
+  void* b = alloc.Allocate(16 * 1024);
+  EXPECT_NE(b, nullptr);
+  alloc.Free(b);
+}
+
+TEST(Allocator, FreeUnknownPointerThrows) {
+  CachingAllocator alloc(1 << 20);
+  int x = 0;
+  EXPECT_THROW(alloc.Free(&x), Error);
+}
+
+TEST(Stream, LaunchOverheadCharged) {
+  DeviceProfile p = V100Sim();
+  Stream stream(p);
+  stream.RecordKernel(/*cpu_ns=*/1000, KernelStats{});
+  EXPECT_EQ(stream.counters().kernels_launched, 1);
+  EXPECT_GE(stream.counters().virtual_ns, 1000 + p.launch_overhead_ns);
+}
+
+TEST(Stream, T4SlowerThanV100) {
+  Stream v100(V100Sim());
+  Stream t4(T4Sim());
+  KernelStats stats{.parallel_items = 1000, .hbm_bytes = 1 << 20, .pcie_bytes = 0};
+  v100.RecordKernel(100000, stats);
+  t4.RecordKernel(100000, stats);
+  EXPECT_GT(t4.counters().virtual_ns, v100.counters().virtual_ns);
+}
+
+TEST(Stream, PcieBytesCharged) {
+  DeviceProfile p = V100Sim();
+  Stream with_pcie(p);
+  Stream without(p);
+  with_pcie.RecordKernel(1000, {.parallel_items = 1, .hbm_bytes = 0, .pcie_bytes = 1 << 20});
+  without.RecordKernel(1000, {.parallel_items = 1, .hbm_bytes = 0, .pcie_bytes = 0});
+  EXPECT_GT(with_pcie.counters().virtual_ns, without.counters().virtual_ns);
+}
+
+TEST(Stream, OccupancyProxy) {
+  DeviceProfile p = V100Sim();
+  Stream low(p);
+  Stream high(p);
+  low.RecordKernel(10000, {.parallel_items = 16});
+  high.RecordKernel(10000, {.parallel_items = p.sm_saturation_items * 2});
+  EXPECT_LT(low.counters().SmUtilizationPercent(), 5.0);
+  EXPECT_GT(high.counters().SmUtilizationPercent(), 90.0);
+}
+
+TEST(Device, GuardSwitchesCurrent) {
+  Device& before = Current();
+  {
+    Device t4(T4Sim());
+    DeviceGuard guard(t4);
+    EXPECT_EQ(&Current(), &t4);
+  }
+  EXPECT_EQ(&Current(), &before);
+}
+
+TEST(Array, DeviceAllocationCounted) {
+  Device dev(V100Sim());
+  DeviceGuard guard(dev);
+  const int64_t before = dev.allocator().stats().bytes_in_use;
+  {
+    auto a = Array<float>::Empty(1000);
+    EXPECT_GT(dev.allocator().stats().bytes_in_use, before);
+    (void)a;
+  }
+  EXPECT_EQ(dev.allocator().stats().bytes_in_use, before);
+}
+
+TEST(Array, SharedHandleSemantics) {
+  auto a = Array<int32_t>::FromVector({1, 2, 3});
+  Array<int32_t> alias = a;
+  alias[0] = 42;
+  EXPECT_EQ(a[0], 42);
+  Array<int32_t> deep = a.Clone();
+  deep[0] = 7;
+  EXPECT_EQ(a[0], 42);
+}
+
+TEST(Array, HostSpaceBypassesAllocator) {
+  Device dev(V100Sim());
+  DeviceGuard guard(dev);
+  const int64_t before = dev.allocator().stats().bytes_in_use;
+  auto a = Array<float>::Empty(4096, MemorySpace::kHost);
+  EXPECT_EQ(dev.allocator().stats().bytes_in_use, before);
+  EXPECT_EQ(a.space(), MemorySpace::kHost);
+}
+
+TEST(UvaCache, HitAfterInstall) {
+  UvaCache cache(64);
+  EXPECT_EQ(cache.Access(5, 100), 100);  // miss: full charge
+  EXPECT_EQ(cache.Access(5, 100), 0);    // hit
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(UvaCache, ConflictEvicts) {
+  UvaCache cache(1);  // single slot: every distinct key conflicts
+  EXPECT_EQ(cache.Access(1, 10), 10);
+  EXPECT_EQ(cache.Access(2, 10), 10);
+  EXPECT_EQ(cache.Access(1, 10), 10);  // evicted by key 2
+}
+
+TEST(UvaCache, ResetClears) {
+  UvaCache cache(64);
+  cache.Access(3, 8);
+  cache.Reset();
+  EXPECT_EQ(cache.Access(3, 8), 8);
+  EXPECT_EQ(cache.misses(), 1);
+}
+
+TEST(Profile, T4RatiosMatchPaper) {
+  DeviceProfile t4 = T4Sim();
+  // T4 FLOPS = 51.6% of V100 -> compute_scale ~ 1.94.
+  EXPECT_NEAR(t4.compute_scale, 1.0 / 0.516, 1e-6);
+  EXPECT_GT(t4.hbm_penalty_ns_per_byte, 0.0);
+}
+
+TEST(Profile, CpuSimHasNoPcie) {
+  DeviceProfile cpu = CpuSim("test-cpu", 40.0);
+  EXPECT_EQ(cpu.pcie_ns_per_byte, 0.0);
+  EXPECT_EQ(cpu.compute_scale, 40.0);
+}
+
+}  // namespace
+}  // namespace gs::device

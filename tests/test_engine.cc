@@ -1,0 +1,324 @@
+// Tests for the CompiledSampler engine: compiling and running all 15
+// algorithms, pre-computation, super-batch execution, memory budgeting, and
+// tensor re-binding.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algorithms/algorithms.h"
+#include "core/engine.h"
+#include "core/trace.h"
+#include "device/device.h"
+#include "tests/testing.h"
+
+namespace gs::core {
+namespace {
+
+using tensor::IdArray;
+
+IdArray Iota(int n, int start = 0) {
+  std::vector<int32_t> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(start + i);
+  }
+  return IdArray::FromVector(v);
+}
+
+class AllAlgorithms : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllAlgorithms, CompilesAndSamples) {
+  const std::string name = GetParam();
+  graph::Graph g = gs::testing::SmallRmat(250, 2500, 33, true);
+  algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm(name, g);
+  SamplerOptions opts;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  if (name == "HetGNN") {
+    sampler.BindGraph("rel0", &g.adj());
+    sampler.BindGraph("rel1", &g.adj());
+  }
+  std::vector<Value> out = sampler.Sample(Iota(16));
+  EXPECT_FALSE(out.empty());
+  // Any matrix output must reference valid original-graph ids.
+  for (const Value& v : out) {
+    if (v.kind == ValueKind::kMatrix) {
+      for (const auto& [edge, w] : gs::testing::EdgeSet(v.matrix)) {
+        EXPECT_GE(edge.first, 0);
+        EXPECT_LT(edge.first, g.num_nodes());
+        EXPECT_GE(edge.second, 0);
+        EXPECT_LT(edge.second, g.num_nodes());
+        (void)w;
+      }
+    }
+    if (v.kind == ValueKind::kIds) {
+      for (int64_t i = 0; i < v.ids.size(); ++i) {
+        EXPECT_LT(v.ids[i], g.num_nodes());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, AllAlgorithms,
+                         ::testing::ValuesIn(algorithms::AllAlgorithmNames()));
+
+TEST(Engine, PrecomputesInvariantNodes) {
+  graph::Graph g = gs::testing::SmallRmat();
+  algorithms::AlgorithmProgram ap = algorithms::Ladies(g, {.num_layers = 2, .layer_width = 16});
+  SamplerOptions opts;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  // The hoisted A**2 must be marked invariant in the compiled program.
+  int invariant_compute = 0;
+  for (const Node& n : sampler.program().nodes()) {
+    if (n.invariant && n.kind == OpKind::kEltwiseScalar) {
+      ++invariant_compute;
+    }
+  }
+  EXPECT_GE(invariant_compute, 1);
+  EXPECT_NE(sampler.DebugString().find("precomputed="), std::string::npos);
+}
+
+TEST(Engine, OptimizationReportCountsPasses) {
+  graph::Graph g = gs::testing::SmallRmat();
+  algorithms::AlgorithmProgram ap = algorithms::Ladies(g, {.num_layers = 2, .layer_width = 16});
+  SamplerOptions opts;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  OptimizationReport before = sampler.report();
+  EXPECT_GE(before.hoisted_ops, 2);             // A**2 hoisted in both layers
+  EXPECT_GE(before.edge_map_reduce_fusions, 2); // normalization chains fused
+  EXPECT_GE(before.cse_merged, 1);              // the hoisted A**2 deduped
+  EXPECT_GE(before.precomputed_values, 1);
+  EXPECT_EQ(before.annotated_layouts, 0);       // layouts not calibrated yet
+  sampler.Sample(Iota(8));
+  EXPECT_FALSE(sampler.report().ToString().empty());
+
+  algorithms::AlgorithmProgram sage = algorithms::GraphSage(g, {.fanouts = {4}});
+  SamplerOptions off;
+  off.enable_fusion = false;
+  off.enable_preprocessing = false;
+  CompiledSampler plain(std::move(sage.program), g, std::move(sage.tensors), off);
+  OptimizationReport none = plain.report();
+  EXPECT_EQ(none.extract_select_fusions, 0);
+  EXPECT_EQ(none.hoisted_ops, 0);
+}
+
+TEST(Engine, SuperBatchSplitsMatchFrontiers) {
+  graph::Graph g = gs::testing::SmallRmat(400, 4000, 55, true);
+  algorithms::AlgorithmProgram ap =
+      algorithms::GraphSage(g, {.fanouts = {3, 2}, .include_seeds = false});
+  SamplerOptions opts;
+  opts.super_batch = 4;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+
+  int batches = 0;
+  sampler.SampleEpoch(Iota(64), 8, [&](int64_t index, std::vector<Value>& out) {
+    ++batches;
+    ASSERT_EQ(out.size(), 3u);
+    // Layer-1 columns must be exactly this mini-batch's seeds.
+    const sparse::Matrix& layer1 = out[0].matrix;
+    ASSERT_EQ(layer1.num_cols(), 8);
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(layer1.GlobalColId(static_cast<int32_t>(c)),
+                static_cast<int32_t>(index * 8 + c));
+    }
+    // Fanout bound per column.
+    const sparse::Compressed& csc = layer1.Csc();
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_LE(csc.indptr[c + 1] - csc.indptr[c], 3);
+    }
+    // All ids are back in the original space.
+    for (const auto& [edge, w] : gs::testing::EdgeSet(out[1].matrix)) {
+      EXPECT_LT(edge.first, g.num_nodes());
+      (void)w;
+    }
+    for (int64_t i = 0; i < out[2].ids.size(); ++i) {
+      EXPECT_LT(out[2].ids[i], g.num_nodes());
+    }
+  });
+  EXPECT_EQ(batches, 8);
+}
+
+TEST(Engine, SuperBatchLayerWise) {
+  graph::Graph g = gs::testing::SmallRmat(300, 3000, 77, true);
+  algorithms::AlgorithmProgram ap = algorithms::Ladies(g, {.num_layers = 2, .layer_width = 12});
+  SamplerOptions opts;
+  opts.super_batch = 2;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  int batches = 0;
+  sampler.SampleEpoch(Iota(32), 8, [&](int64_t, std::vector<Value>& out) {
+    ++batches;
+    // Layer width bound holds per batch (not 2x): batches stay independent.
+    const sparse::Matrix& w2 = out[0].matrix;
+    EXPECT_LE(w2.num_rows(), 12);
+  });
+  EXPECT_EQ(batches, 4);
+}
+
+TEST(Engine, WalkProgramsSuperBatchByConcatenation) {
+  graph::Graph g = gs::testing::SmallRmat();
+  algorithms::AlgorithmProgram ap = algorithms::DeepWalk(g, {.walk_length = 5});
+  SamplerOptions opts;
+  opts.super_batch = 8;  // pure walk programs batch by concatenation
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  int batches = 0;
+  const auto edges = gs::testing::EdgeSet(g.adj());
+  sampler.SampleEpoch(Iota(32), 8, [&](int64_t index, std::vector<Value>& out) {
+    ++batches;
+    ASSERT_EQ(out.size(), 5u);
+    // Traces stay aligned per batch: step 1 must be an in-neighbor of the
+    // batch's own frontier (or -1).
+    for (int64_t i = 0; i < 8; ++i) {
+      const int32_t start = static_cast<int32_t>(index * 8 + i);
+      const int32_t step1 = out[0].ids[i];
+      if (step1 >= 0) {
+        EXPECT_NE(edges.find({step1, start}), edges.end());
+      }
+    }
+  });
+  EXPECT_EQ(batches, 4);
+}
+
+TEST(Engine, MixedWalkProgramsSkipSuperBatch) {
+  // GraphSAINT mixes walks with matrix outputs: not batchable.
+  graph::Graph g = gs::testing::SmallRmat();
+  algorithms::AlgorithmProgram ap = algorithms::GraphSaint(g, {.walk_length = 3});
+  SamplerOptions opts;
+  opts.super_batch = 4;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  int batches = 0;
+  sampler.SampleEpoch(Iota(32), 8, [&](int64_t, std::vector<Value>& out) {
+    ++batches;
+    EXPECT_EQ(out.size(), 2u);
+  });
+  EXPECT_EQ(batches, 4);
+}
+
+TEST(Engine, AutoSuperBatchRespectsMemoryBudget) {
+  graph::Graph g = gs::testing::SmallRmat(300, 3000, 88, true);
+  algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = {3, 2}});
+  SamplerOptions opts;
+  opts.super_batch = 0;                  // auto grid search
+  opts.memory_budget_bytes = 64 * 1024;  // tiny budget -> small super-batch
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  sampler.SampleEpoch(Iota(64), 8, nullptr);
+  EXPECT_GE(sampler.effective_super_batch(), 1);
+  EXPECT_LE(sampler.effective_super_batch(), 8);
+}
+
+TEST(Engine, BindTensorRefreshesBias) {
+  // GCN-BS with bandit weights concentrated on a single edge per column
+  // must sample exactly that edge when k=1.
+  graph::Graph g = gs::testing::SmallRmat(100, 1200, 99, false);
+  algorithms::AlgorithmProgram ap = algorithms::GcnBs(g, {.fanouts = {1}});
+  SamplerOptions opts;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+
+  // Weight vector: ~0 everywhere except the first edge of each column.
+  tensor::Tensor biased = tensor::Tensor::Full({g.num_edges()}, 1e-8f);
+  const sparse::Compressed& csc = g.adj().Csc();
+  for (int64_t c = 0; c < g.num_nodes(); ++c) {
+    if (csc.indptr[c + 1] > csc.indptr[c]) {
+      biased.at(csc.indptr[c]) = 1.0f;
+    }
+  }
+  sampler.BindTensor("bandit_w", biased);
+  std::vector<Value> out = sampler.Sample(Iota(10, 1));
+  const sparse::Matrix& sample = out[0].matrix;
+  const sparse::Compressed& s = sample.Csc();
+  for (int64_t c = 0; c < sample.num_cols(); ++c) {
+    const int32_t col_global = sample.GlobalColId(static_cast<int32_t>(c));
+    if (s.indptr[c + 1] > s.indptr[c]) {
+      EXPECT_EQ(s.indices[s.indptr[c]], csc.indices[csc.indptr[col_global]]);
+    }
+  }
+}
+
+TEST(Engine, EpochWithoutSuperBatchEqualsPerBatchSampling) {
+  // SampleEpoch with super_batch = 1 must behave exactly like calling
+  // Sample per mini-batch (same rng stream, same results).
+  graph::Graph g = gs::testing::SmallRmat();
+  SamplerOptions opts;
+  opts.super_batch = 1;
+
+  algorithms::AlgorithmProgram ap1 = algorithms::GraphSage(g, {.fanouts = {3}});
+  CompiledSampler epoch_sampler(std::move(ap1.program), g, std::move(ap1.tensors), opts);
+  std::vector<std::map<std::pair<int32_t, int32_t>, float>> from_epoch;
+  epoch_sampler.SampleEpoch(Iota(24), 8, [&](int64_t, std::vector<Value>& out) {
+    from_epoch.push_back(gs::testing::EdgeSet(out[0].matrix));
+  });
+
+  algorithms::AlgorithmProgram ap2 = algorithms::GraphSage(g, {.fanouts = {3}});
+  CompiledSampler batch_sampler(std::move(ap2.program), g, std::move(ap2.tensors), opts);
+  for (int b = 0; b < 3; ++b) {
+    std::vector<Value> out = batch_sampler.Sample(Iota(8, b * 8));
+    EXPECT_EQ(gs::testing::EdgeSet(out[0].matrix), from_epoch[static_cast<size_t>(b)])
+        << "batch " << b;
+  }
+}
+
+TEST(Engine, SuperBatchStatisticallyMatchesPerBatch) {
+  // Super-batched GraphSAGE must sample the same expected number of edges
+  // per mini-batch as sequential sampling (independence across segments).
+  graph::Graph g = gs::testing::SmallRmat(300, 6000, 3, true);
+  auto mean_edges = [&](int super_batch) {
+    algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = {5}});
+    SamplerOptions opts;
+    opts.super_batch = super_batch;
+    opts.seed = 99 + static_cast<uint64_t>(super_batch);
+    CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+    int64_t edges = 0;
+    int64_t batches = 0;
+    sampler.SampleEpoch(Iota(128), 16, [&](int64_t, std::vector<Value>& out) {
+      edges += out[0].matrix.nnz();
+      ++batches;
+    });
+    EXPECT_EQ(batches, 8);
+    return static_cast<double>(edges) / static_cast<double>(batches);
+  };
+  const double sequential = mean_edges(1);
+  const double batched = mean_edges(8);
+  EXPECT_NEAR(batched, sequential, sequential * 0.05);
+}
+
+TEST(Engine, MissingTensorBindingThrows) {
+  graph::Graph g = gs::testing::SmallRmat();
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  TVal w = b.Input("missing");
+  b.Output(a.Cols(f).Mul(w, 0));
+  Program p = std::move(b).Build();
+  SamplerOptions opts;
+  opts.enable_preprocessing = false;
+  opts.enable_layout_selection = false;
+  CompiledSampler sampler(std::move(p), g, {}, opts);
+  EXPECT_THROW(sampler.Sample(Iota(4)), Error);
+}
+
+TEST(Engine, EmptyFrontierProducesEmptySample) {
+  graph::Graph g = gs::testing::SmallRmat();
+  algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = {3}});
+  SamplerOptions opts;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  std::vector<Value> out = sampler.Sample(IdArray::FromVector(std::vector<int32_t>{}));
+  EXPECT_EQ(out[0].matrix.num_cols(), 0);
+  EXPECT_EQ(out[0].matrix.nnz(), 0);
+}
+
+TEST(Engine, UvaGraphChargesPcie) {
+  graph::RMatParams params;
+  params.num_nodes = 300;
+  params.num_edges = 3000;
+  params.uva = true;
+  params.seed = 3;
+  graph::Graph g = graph::MakeRMatGraph(params);
+  ASSERT_TRUE(g.uva());
+  algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = {3, 2}});
+  SamplerOptions opts;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  const int64_t before = device::Current().stream().counters().pcie_bytes;
+  sampler.Sample(Iota(16));
+  EXPECT_GT(device::Current().stream().counters().pcie_bytes, before);
+}
+
+}  // namespace
+}  // namespace gs::core

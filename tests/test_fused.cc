@@ -1,0 +1,173 @@
+// Tests for the fused edge-map / edge-map-reduce kernels: every stage kind
+// matches its unfused reference, chains compose, and reductions never
+// materialize intermediates yet agree with the two-kernel result.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sparse/fused.h"
+#include "sparse/kernels.h"
+#include "tensor/ops.h"
+#include "tests/testing.h"
+
+namespace gs::sparse {
+namespace {
+
+using gs::testing::EdgeSet;
+using tensor::Tensor;
+
+EdgeMapStage ScalarStage(BinaryOp op, float s) {
+  EdgeMapStage stage;
+  stage.op = op;
+  stage.kind = EdgeMapStage::OperandKind::kScalar;
+  stage.scalar = s;
+  return stage;
+}
+
+TEST(FusedEdgeMap, ScalarStageMatchesEltwise) {
+  graph::Graph g = gs::testing::ToyGraph();
+  std::vector<EdgeMapStage> stages = {ScalarStage(BinaryOp::kPow, 2.0f)};
+  Matrix fused = FusedEdgeMap(g.adj(), stages, {});
+  Matrix reference = EltwiseScalar(g.adj(), BinaryOp::kPow, 2.0f);
+  EXPECT_EQ(EdgeSet(fused), EdgeSet(reference));
+}
+
+TEST(FusedEdgeMap, RowAndColVectorStages) {
+  graph::Graph g = gs::testing::ToyGraph();
+  const Matrix& m = g.adj();
+  Rng rng(3);
+  Tensor row_vec = Tensor::Randn({m.num_rows()}, rng);
+  Tensor col_vec = Tensor::Randn({m.num_cols()}, rng);
+  for (auto& v : row_vec.span()) {
+    v = std::abs(v) + 0.1f;
+  }
+  for (auto& v : col_vec.span()) {
+    v = std::abs(v) + 0.1f;
+  }
+
+  EdgeMapStage by_row;
+  by_row.op = BinaryOp::kMul;
+  by_row.kind = EdgeMapStage::OperandKind::kRowVector;
+  by_row.operand = 0;
+  EdgeMapStage by_col;
+  by_col.op = BinaryOp::kDiv;
+  by_col.kind = EdgeMapStage::OperandKind::kColVector;
+  by_col.operand = 1;
+  std::vector<EdgeMapStage> stages = {by_row, by_col};
+  std::vector<Tensor> operands = {row_vec, col_vec};
+  Matrix fused = FusedEdgeMap(m, stages, operands);
+
+  Matrix reference =
+      Broadcast(Broadcast(m, BinaryOp::kMul, row_vec.array(), 0), BinaryOp::kDiv,
+                col_vec.array(), 1);
+  const auto ref = EdgeSet(reference);
+  for (const auto& [edge, w] : EdgeSet(fused)) {
+    EXPECT_NEAR(w, ref.at(edge), 1e-5);
+  }
+}
+
+TEST(FusedEdgeMap, DotStageMatchesSddmm) {
+  graph::Graph g = gs::testing::ToyGraph();
+  const Matrix& m = g.adj();
+  Rng rng(5);
+  Tensor u = Tensor::Randn({m.num_rows(), 4}, rng);
+  Tensor v = Tensor::Randn({m.num_cols(), 4}, rng);
+
+  EdgeMapStage dot;
+  dot.op = BinaryOp::kMul;
+  dot.kind = EdgeMapStage::OperandKind::kDot;
+  dot.operand = 0;
+  dot.operand2 = 1;
+  std::vector<EdgeMapStage> stages = {dot};
+  std::vector<Tensor> operands = {u, v};
+  Matrix fused = FusedEdgeMap(m, stages, operands);
+  Matrix reference = Sddmm(m, u, v, /*mul_existing=*/true);
+  const auto ref = EdgeSet(reference);
+  for (const auto& [edge, w] : EdgeSet(fused)) {
+    EXPECT_NEAR(w, ref.at(edge), 1e-4);
+  }
+}
+
+TEST(FusedEdgeMap, EdgeTensorStage) {
+  graph::Graph g = gs::testing::ToyGraph();
+  const Matrix& m = g.adj();
+  Tensor edge_vals = Tensor::Full({m.nnz()}, 3.0f);
+  EdgeMapStage stage;
+  stage.op = BinaryOp::kAdd;
+  stage.kind = EdgeMapStage::OperandKind::kEdgeTensor;
+  stage.operand = 0;
+  std::vector<EdgeMapStage> stages = {stage};
+  std::vector<Tensor> operands = {edge_vals};
+  Matrix fused = FusedEdgeMap(m, stages, operands);
+  const auto base = EdgeSet(m);
+  for (const auto& [edge, w] : EdgeSet(fused)) {
+    EXPECT_NEAR(w, base.at(edge) + 3.0f, 1e-5);
+  }
+}
+
+class ReduceAxis : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReduceAxis, FusedReduceMatchesMapThenSum) {
+  const int axis = GetParam();
+  graph::Graph g = gs::testing::SmallRmat();
+  tensor::IdArray cols = tensor::IdArray::FromVector({1, 5, 9, 13});
+  Matrix sub = SliceColumns(g.adj(), cols);
+
+  std::vector<EdgeMapStage> stages = {ScalarStage(BinaryOp::kPow, 2.0f),
+                                      ScalarStage(BinaryOp::kMul, 0.5f)};
+  ValueArray fused = FusedEdgeMapReduce(sub, stages, {}, axis);
+
+  Matrix mapped = EltwiseScalar(EltwiseScalar(sub, BinaryOp::kPow, 2.0f), BinaryOp::kMul, 0.5f);
+  ValueArray reference = SumAxis(mapped, axis);
+  ASSERT_EQ(fused.size(), reference.size());
+  for (int64_t i = 0; i < fused.size(); ++i) {
+    EXPECT_NEAR(fused[i], reference[i], 1e-3);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Axes, ReduceAxis, ::testing::Values(0, 1));
+
+TEST(FusedEdgeMap, GlobalRowOperandThroughRowIds) {
+  graph::Graph g = gs::testing::SmallRmat();
+  tensor::IdArray cols = tensor::IdArray::FromVector({2, 3});
+  Matrix sub = CompactRows(SliceColumns(g.adj(), cols));
+  Tensor global = Tensor::Empty({g.num_nodes()});
+  for (int64_t i = 0; i < global.numel(); ++i) {
+    global.at(i) = static_cast<float>(i);
+  }
+  EdgeMapStage stage;
+  stage.op = BinaryOp::kMul;
+  stage.kind = EdgeMapStage::OperandKind::kRowVector;
+  stage.operand = 0;
+  std::vector<EdgeMapStage> stages = {stage};
+  std::vector<Tensor> operands = {global};
+  Matrix fused = FusedEdgeMap(sub, stages, operands);
+  const auto base = EdgeSet(sub);
+  for (const auto& [edge, w] : EdgeSet(fused)) {
+    EXPECT_NEAR(w, base.at(edge) * static_cast<float>(edge.first), 1e-4);
+  }
+}
+
+TEST(FusedEdgeMap, BadOperandIndexThrows) {
+  graph::Graph g = gs::testing::ToyGraph();
+  EdgeMapStage stage;
+  stage.op = BinaryOp::kMul;
+  stage.kind = EdgeMapStage::OperandKind::kRowVector;
+  stage.operand = 2;  // no such operand
+  std::vector<EdgeMapStage> stages = {stage};
+  EXPECT_THROW(FusedEdgeMap(g.adj(), stages, {}), Error);
+}
+
+TEST(FusedEdgeMapReduce, WrongOperandLengthThrows) {
+  graph::Graph g = gs::testing::ToyGraph();
+  EdgeMapStage stage;
+  stage.op = BinaryOp::kMul;
+  stage.kind = EdgeMapStage::OperandKind::kColVector;
+  stage.operand = 0;
+  std::vector<EdgeMapStage> stages = {stage};
+  std::vector<Tensor> operands = {Tensor::Full({3}, 1.0f)};  // num_cols is 7
+  EXPECT_THROW(FusedEdgeMapReduce(g.adj(), stages, operands, 0), Error);
+}
+
+}  // namespace
+}  // namespace gs::sparse

@@ -1,0 +1,161 @@
+// Tests for graph/: edge-list construction, generators, dataset registry.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "graph/datasets.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "sparse/kernels.h"
+#include "tests/testing.h"
+
+namespace gs::graph {
+namespace {
+
+TEST(Graph, FromEdgesDeduplicatesAndDropsSelfLoops) {
+  std::vector<std::pair<int32_t, int32_t>> edges = {{0, 1}, {0, 1}, {2, 2}, {1, 0}};
+  Graph g = Graph::FromEdges("t", 3, edges);
+  EXPECT_EQ(g.num_edges(), 2);
+  const auto set = gs::testing::EdgeSet(g.adj());
+  EXPECT_EQ(set.count({0, 1}), 1u);
+  EXPECT_EQ(set.count({1, 0}), 1u);
+  EXPECT_EQ(set.count({2, 2}), 0u);
+}
+
+TEST(Graph, CscColumnsSorted) {
+  Graph g = gs::testing::SmallRmat();
+  const sparse::Compressed& csc = g.adj().Csc();
+  for (int64_t c = 0; c < g.num_nodes(); ++c) {
+    for (int64_t e = csc.indptr[c] + 1; e < csc.indptr[c + 1]; ++e) {
+      EXPECT_LT(csc.indices[e - 1], csc.indices[e]);
+    }
+  }
+}
+
+TEST(Graph, WeightsFollowFirstOccurrence) {
+  std::vector<std::pair<int32_t, int32_t>> edges = {{0, 1}, {2, 1}};
+  std::vector<float> weights = {0.25f, 0.75f};
+  Graph g = Graph::FromEdges("t", 3, edges, &weights);
+  const auto set = gs::testing::EdgeSet(g.adj());
+  EXPECT_FLOAT_EQ(set.at({0, 1}), 0.25f);
+  EXPECT_FLOAT_EQ(set.at({2, 1}), 0.75f);
+}
+
+TEST(Graph, OutOfRangeEdgeThrows) {
+  std::vector<std::pair<int32_t, int32_t>> edges = {{0, 5}};
+  EXPECT_THROW(Graph::FromEdges("t", 3, edges), Error);
+}
+
+TEST(RMat, DeterministicForSeed) {
+  RMatParams p;
+  p.num_nodes = 128;
+  p.num_edges = 1000;
+  p.seed = 4;
+  Graph a = MakeRMatGraph(p);
+  Graph b = MakeRMatGraph(p);
+  EXPECT_EQ(gs::testing::EdgeSet(a.adj()), gs::testing::EdgeSet(b.adj()));
+}
+
+TEST(RMat, SkewedDegreeDistribution) {
+  RMatParams p;
+  p.num_nodes = 1024;
+  p.num_edges = 10000;
+  p.seed = 5;
+  Graph g = MakeRMatGraph(p);
+  sparse::ValueArray deg = sparse::SumAxis(g.adj(), 1);
+  float max_deg = 0;
+  double total = 0;
+  for (int64_t i = 0; i < deg.size(); ++i) {
+    max_deg = std::max(max_deg, deg[i]);
+    total += deg[i];
+  }
+  const double mean = total / static_cast<double>(deg.size());
+  EXPECT_GT(max_deg, 8 * mean) << "R-MAT should produce a heavy-tailed degree distribution";
+}
+
+TEST(RMat, UndirectedAddsReverseEdges) {
+  RMatParams p;
+  p.num_nodes = 128;
+  p.num_edges = 500;
+  p.undirected = true;
+  p.seed = 6;
+  Graph g = MakeRMatGraph(p);
+  const auto set = gs::testing::EdgeSet(g.adj());
+  for (const auto& [edge, w] : set) {
+    EXPECT_EQ(set.count({edge.second, edge.first}), 1u);
+    (void)w;
+  }
+}
+
+TEST(RMat, FeaturesAndFrontiers) {
+  RMatParams p;
+  p.num_nodes = 128;
+  p.num_edges = 500;
+  p.feature_dim = 16;
+  p.frontier_fraction = 0.25;
+  p.seed = 7;
+  Graph g = MakeRMatGraph(p);
+  EXPECT_EQ(g.features().rows(), 128);
+  EXPECT_EQ(g.features().cols(), 16);
+  EXPECT_EQ(g.train_ids().size(), 32);
+  std::set<int32_t> unique;
+  for (int64_t i = 0; i < g.train_ids().size(); ++i) {
+    unique.insert(g.train_ids()[i]);
+  }
+  EXPECT_EQ(unique.size(), 32u);
+}
+
+TEST(PlantedPartition, LabelsLearnableStructure) {
+  PlantedPartitionParams p;
+  p.num_nodes = 600;
+  p.num_communities = 4;
+  p.seed = 8;
+  Graph g = MakePlantedPartitionGraph(p);
+  EXPECT_EQ(g.num_classes(), 4);
+  ASSERT_EQ(g.labels().size(), 600);
+  // Most edges are intra-community by construction.
+  int64_t intra = 0;
+  int64_t total = 0;
+  for (const auto& [edge, w] : gs::testing::EdgeSet(g.adj())) {
+    intra += g.labels()[edge.first] == g.labels()[edge.second] ? 1 : 0;
+    ++total;
+    (void)w;
+  }
+  EXPECT_GT(static_cast<double>(intra) / static_cast<double>(total), 0.6);
+}
+
+TEST(Datasets, RegistryProperties) {
+  const DatasetOptions tiny{.scale = 0.02, .weighted = true};
+  Graph lj = MakeDataset("LJ", tiny);
+  Graph pd = MakeDataset("PD", tiny);
+  Graph pp = MakeDataset("PP", tiny);
+  Graph fs = MakeDataset("FS", tiny);
+
+  EXPECT_FALSE(lj.uva());
+  EXPECT_FALSE(pd.uva());
+  EXPECT_TRUE(pp.uva());  // "exceeds device memory" -> host + UVA
+  EXPECT_TRUE(fs.uva());
+
+  // PD has the highest average degree (the paper's explanation for its
+  // smaller speedups).
+  const double pd_deg = static_cast<double>(pd.num_edges()) / pd.num_nodes();
+  const double lj_deg = static_cast<double>(lj.num_edges()) / lj.num_nodes();
+  EXPECT_GT(pd_deg, lj_deg);
+
+  // FS samples 1% of nodes as frontiers.
+  EXPECT_LT(fs.train_ids().size(), fs.num_nodes() / 50);
+
+  EXPECT_THROW(MakeDataset("XX", tiny), Error);
+  EXPECT_EQ(BenchmarkDatasetNames().size(), 4u);
+}
+
+TEST(Datasets, UvaGraphStoredInHostMemory) {
+  Graph pp = MakeDataset("PP", {.scale = 0.02, .weighted = false});
+  EXPECT_EQ(pp.adj().Csc().indices.space(), device::MemorySpace::kHost);
+  EXPECT_NE(pp.uva_cache(), nullptr);
+}
+
+}  // namespace
+}  // namespace gs::graph

@@ -1,0 +1,118 @@
+// Tests for graph I/O: edge-list parsing and binary snapshot round trips.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.h"
+#include "graph/io.h"
+#include "tests/testing.h"
+
+namespace gs::graph {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& contents = "") {
+    char name[] = "/tmp/gs_io_test_XXXXXX";
+    const int fd = mkstemp(name);
+    GS_CHECK(fd >= 0);
+    close(fd);
+    path_ = name;
+    if (!contents.empty()) {
+      std::ofstream out(path_);
+      out << contents;
+    }
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(EdgeList, ParsesCommentsAndWeights) {
+  TempFile file("# snap-style header\n0 1 0.5\n2 1 0.25\n\n1 0 0.75\n");
+  EdgeListOptions options;
+  options.weighted = true;
+  Graph g = LoadEdgeList(file.path(), "t", options);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  const auto set = gs::testing::EdgeSet(g.adj());
+  EXPECT_FLOAT_EQ(set.at({0, 1}), 0.5f);
+  EXPECT_FLOAT_EQ(set.at({1, 0}), 0.75f);
+  EXPECT_EQ(g.train_ids().size(), 3);
+}
+
+TEST(EdgeList, UndirectedAddsReverse) {
+  TempFile file("0 1\n1 2\n");
+  EdgeListOptions options;
+  options.undirected = true;
+  Graph g = LoadEdgeList(file.path(), "t", options);
+  const auto set = gs::testing::EdgeSet(g.adj());
+  EXPECT_EQ(set.count({1, 0}), 1u);
+  EXPECT_EQ(set.count({2, 1}), 1u);
+}
+
+TEST(EdgeList, ExplicitNodeCount) {
+  TempFile file("0 1\n");
+  EdgeListOptions options;
+  options.num_nodes = 10;
+  Graph g = LoadEdgeList(file.path(), "t", options);
+  EXPECT_EQ(g.num_nodes(), 10);
+}
+
+TEST(EdgeList, MalformedLinesThrow) {
+  TempFile missing_col("0\n");
+  EXPECT_THROW(LoadEdgeList(missing_col.path(), "t", {}), Error);
+  TempFile missing_weight("0 1\n");
+  EdgeListOptions weighted;
+  weighted.weighted = true;
+  EXPECT_THROW(LoadEdgeList(missing_weight.path(), "t", weighted), Error);
+  EXPECT_THROW(LoadEdgeList("/nonexistent/file", "t", {}), Error);
+}
+
+TEST(Binary, RoundTripsStructureAndMetadata) {
+  graph::PlantedPartitionParams params;
+  params.num_nodes = 200;
+  params.num_communities = 3;
+  params.weighted = true;
+  params.seed = 12;
+  Graph original = MakePlantedPartitionGraph(params);
+
+  TempFile file;
+  SaveBinary(original, file.path());
+  Graph loaded = LoadBinary(file.path());
+
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(gs::testing::EdgeSet(loaded.adj()), gs::testing::EdgeSet(original.adj()));
+  EXPECT_EQ(loaded.num_classes(), 3);
+  ASSERT_EQ(loaded.labels().size(), original.labels().size());
+  for (int64_t i = 0; i < loaded.labels().size(); ++i) {
+    EXPECT_EQ(loaded.labels()[i], original.labels()[i]);
+  }
+  ASSERT_EQ(loaded.features().numel(), original.features().numel());
+  for (int64_t i = 0; i < loaded.features().numel(); ++i) {
+    EXPECT_FLOAT_EQ(loaded.features().at(i), original.features().at(i));
+  }
+}
+
+TEST(Binary, UvaLoadPlacesArraysOnHost) {
+  Graph original = gs::testing::SmallRmat(100, 500, 3, true);
+  TempFile file;
+  SaveBinary(original, file.path());
+  Graph loaded = LoadBinary(file.path(), /*uva=*/true);
+  EXPECT_TRUE(loaded.uva());
+  EXPECT_EQ(loaded.adj().Csc().indices.space(), device::MemorySpace::kHost);
+  EXPECT_EQ(gs::testing::EdgeSet(loaded.adj()), gs::testing::EdgeSet(original.adj()));
+}
+
+TEST(Binary, RejectsForeignFiles) {
+  TempFile file("definitely not a snapshot");
+  EXPECT_THROW(LoadBinary(file.path()), Error);
+}
+
+}  // namespace
+}  // namespace gs::graph

@@ -1,0 +1,288 @@
+// Tests for the optimization passes: each rewrite produces the expected IR
+// shape, and optimized programs sample identically to unoptimized ones.
+
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithms.h"
+#include "core/engine.h"
+#include "core/passes.h"
+#include "core/trace.h"
+#include "tests/testing.h"
+
+namespace gs::core {
+namespace {
+
+int CountKind(const Program& p, OpKind kind) {
+  int count = 0;
+  for (const Node& n : p.nodes()) {
+    count += n.kind == kind ? 1 : 0;
+  }
+  return count;
+}
+
+Program TraceLadiesLayer() {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal sub = a.Cols(f);
+  TVal row_probs = sub.Pow(2.0f).Sum(0);
+  MVal sample = sub.CollectiveSample(8, row_probs);
+  TVal selected = sample.Pow(2.0f).Sum(0);
+  MVal w1 = sample.Div(selected, 0);
+  MVal w2 = w1.Div(w1.Sum(1), 1);
+  b.Output(w2);
+  b.Output(sample.Row());
+  return std::move(b).Build();
+}
+
+TEST(HoistOverExtract, MovesInvariantOpsAboveSlice) {
+  Program p = TraceLadiesLayer();
+  ASSERT_GT(HoistOverExtract(p), 0);
+  p.Verify();
+  // The squared weights are now computed on the full graph (invariant) and
+  // sliced afterwards.
+  bool found = false;
+  for (const Node& n : p.nodes()) {
+    if (n.kind == OpKind::kEltwiseScalar && n.invariant) {
+      EXPECT_EQ(p.node(n.inputs[0]).kind, OpKind::kGraphInput);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(HoistOverExtract, ChainsHoistCompletely) {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal scaled = (a.Cols(f).Pow(2.0f)) * 3.0f;  // two hoistable stages
+  b.Output(scaled.Sum(0));
+  Program p = std::move(b).Build();
+  EXPECT_EQ(HoistOverExtract(p), 2);
+  p.Verify();
+}
+
+TEST(HoistOverExtract, SkipsBatchDependentOperands) {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal sub = a.Cols(f);
+  // The broadcast operand depends on the batch -> not hoistable.
+  TVal batch_dep = sub.Sum(0);
+  MVal scaled = sub.Mul(batch_dep, 0);
+  b.Output(scaled);
+  Program p = std::move(b).Build();
+  EXPECT_EQ(HoistOverExtract(p), 0);
+}
+
+TEST(MarkInvariant, SamplingNeverInvariant) {
+  Program p = TraceLadiesLayer();
+  MarkInvariant(p);
+  for (const Node& n : p.nodes()) {
+    if (n.kind == OpKind::kCollectiveSample || n.kind == OpKind::kFrontierInput) {
+      EXPECT_FALSE(n.invariant);
+    }
+    if (n.kind == OpKind::kGraphInput) {
+      EXPECT_TRUE(n.invariant);
+    }
+  }
+}
+
+TEST(FuseExtractSelect, FusesSingleConsumerOnly) {
+  // GraphSAGE: slice feeds only the sample -> fused.
+  Builder b1;
+  MVal a1 = b1.Graph();
+  IVal f1 = b1.Frontier();
+  MVal s1 = a1.Cols(f1).IndividualSample(4);
+  b1.Output(s1);
+  Program p1 = std::move(b1).Build();
+  EXPECT_EQ(FuseExtractSelect(p1), 1);
+  EXPECT_EQ(CountKind(p1, OpKind::kFusedSliceSample), 1);
+  EXPECT_EQ(CountKind(p1, OpKind::kSliceCols), 0);
+
+  // Slice with a second consumer -> not fused.
+  Builder b2;
+  MVal a2 = b2.Graph();
+  IVal f2 = b2.Frontier();
+  MVal sub = a2.Cols(f2);
+  b2.Output(sub.IndividualSample(4));
+  b2.Output(sub.Sum(0));
+  Program p2 = std::move(b2).Build();
+  EXPECT_EQ(FuseExtractSelect(p2), 0);
+}
+
+TEST(FuseEdgeMapReduce, AbsorbsMapIntoReduce) {
+  Program p = TraceLadiesLayer();
+  const int fused = FuseEdgeMapReduce(p);
+  EXPECT_GE(fused, 2);  // both Pow+Sum pairs at least
+  p.Verify();
+  EXPECT_GT(CountKind(p, OpKind::kFusedEdgeMapReduce), 0);
+}
+
+TEST(FuseEdgeMaps, CollapsesChains) {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal sub = a.Cols(f);
+  MVal chained = (sub.Pow(2.0f) * 3.0f).Div(sub.Sum(1), 1);
+  b.Output(chained);
+  Program p = std::move(b).Build();
+  EXPECT_GE(FuseEdgeMaps(p), 2);
+  p.Verify();
+  // One fused node with 3 stages replaces the chain.
+  bool found = false;
+  for (const Node& n : p.nodes()) {
+    if (n.kind == OpKind::kFusedEdgeMap) {
+      EXPECT_EQ(n.attrs.stages.size(), 3u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RewriteSddmm, MatchesMulOfTransposedMatmul) {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal sub = a.Cols(f);
+  TVal u = b.Input("u");
+  TVal v = b.Input("v");
+  MVal att = sub.MulDense(u.MM(v.T()));
+  b.Output(att);
+  Program p = std::move(b).Build();
+  EXPECT_EQ(RewriteSddmm(p), 1);
+  p.Verify();
+  EXPECT_EQ(CountKind(p, OpKind::kSddmm), 1);
+  EXPECT_EQ(CountKind(p, OpKind::kDenseEltwise), 0);
+  EXPECT_EQ(CountKind(p, OpKind::kMatMul), 0);  // dead after rewrite
+}
+
+TEST(Cse, MergesIdenticalPureOps) {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal sub1 = a.Cols(f);
+  MVal sub2 = a.Cols(f);  // duplicate
+  b.Output(sub1.Sum(0));
+  b.Output(sub2.Sum(1));
+  Program p = std::move(b).Build();
+  EXPECT_EQ(EliminateCommonSubexpressions(p), 1);
+  EXPECT_EQ(CountKind(p, OpKind::kSliceCols), 1);
+  p.Verify();
+}
+
+TEST(Cse, NeverMergesSamplingOps) {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal sub = a.Cols(f);
+  MVal s1 = sub.IndividualSample(3);
+  MVal s2 = sub.IndividualSample(3);  // same shape, different randomness
+  b.Output(s1);
+  b.Output(s2);
+  Program p = std::move(b).Build();
+  EliminateCommonSubexpressions(p);
+  EXPECT_EQ(CountKind(p, OpKind::kIndividualSample), 2);
+}
+
+TEST(Dce, CountsRemoved) {
+  Builder b;
+  MVal a = b.Graph();
+  IVal f = b.Frontier();
+  MVal sub = a.Cols(f);
+  (void)sub.Pow(2.0f);
+  (void)sub.Sum(0);
+  b.Output(sub);
+  Program p = std::move(b).Build();
+  EXPECT_EQ(DeadCodeElimination(p), 2);
+}
+
+// --- End-to-end equivalence: for the same seed, every optimization
+// configuration must produce the identical sampled subgraphs (the passes
+// preserve both semantics and randomness consumption order). ---
+
+struct OptConfig {
+  bool fusion;
+  bool preprocess;
+  bool layout;
+};
+
+class OptEquivalence : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(OptEquivalence, AllConfigurationsSampleIdentically) {
+  const std::string algo = GetParam();
+  graph::Graph g = gs::testing::SmallRmat(200, 2000, 21, true);
+  std::vector<int32_t> fr = {1, 2, 3, 4, 5, 6, 7, 8};
+  const tensor::IdArray frontier = tensor::IdArray::FromVector(fr);
+
+  const std::vector<OptConfig> configs = {
+      {false, false, false}, {true, false, false}, {false, true, false},
+      {true, true, false},   {true, true, true},
+  };
+
+  std::vector<std::vector<std::map<std::pair<int32_t, int32_t>, float>>> results;
+  for (const OptConfig& c : configs) {
+    algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm(algo, g);
+    SamplerOptions opts;
+    opts.enable_fusion = c.fusion;
+    opts.enable_preprocessing = c.preprocess;
+    opts.enable_layout_selection = c.layout;
+    opts.seed = 0xABCD;
+    CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+    std::vector<Value> out = sampler.Sample(frontier);
+    std::vector<std::map<std::pair<int32_t, int32_t>, float>> edge_sets;
+    for (const Value& v : out) {
+      if (v.kind == ValueKind::kMatrix) {
+        edge_sets.push_back(gs::testing::EdgeSet(v.matrix));
+      }
+    }
+    results.push_back(std::move(edge_sets));
+  }
+  for (size_t i = 1; i < results.size(); ++i) {
+    ASSERT_EQ(results[i].size(), results[0].size());
+    for (size_t m = 0; m < results[0].size(); ++m) {
+      // Compare structure exactly; values within float tolerance.
+      ASSERT_EQ(results[i][m].size(), results[0][m].size()) << "config " << i;
+      auto it0 = results[0][m].begin();
+      auto iti = results[i][m].begin();
+      for (; it0 != results[0][m].end(); ++it0, ++iti) {
+        EXPECT_EQ(it0->first, iti->first) << "config " << i;
+        EXPECT_NEAR(it0->second, iti->second, 1e-3f) << "config " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, OptEquivalence,
+                         ::testing::Values("GraphSAGE", "LADIES", "FastGCN", "ShaDow",
+                                           "SEAL", "AS-GCN", "PASS", "GCN-BS", "Thanos",
+                                           "VR-GCN", "GraphSAINT", "PinSAGE", "DeepWalk",
+                                           "Node2Vec"));
+
+TEST(OptEquivalenceIds, WalkTracesIdenticalAcrossConfigs) {
+  // Walk programs return only id arrays; verify those too (the matrix-based
+  // parameterized test above only compares matrix outputs).
+  graph::Graph g = gs::testing::SmallRmat(200, 2000, 29, false);
+  std::vector<int32_t> fr = {3, 4, 5, 6};
+  const tensor::IdArray frontier = tensor::IdArray::FromVector(fr);
+  std::vector<std::vector<std::vector<int32_t>>> results;
+  for (bool optimized : {false, true}) {
+    algorithms::AlgorithmProgram ap = algorithms::DeepWalk(g, {.walk_length = 12});
+    SamplerOptions opts;
+    opts.enable_fusion = optimized;
+    opts.enable_preprocessing = optimized;
+    opts.enable_layout_selection = optimized;
+    opts.seed = 0x77;
+    CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+    std::vector<Value> out = sampler.Sample(frontier);
+    std::vector<std::vector<int32_t>> traces;
+    for (const Value& v : out) {
+      traces.push_back(v.ids.ToVector());
+    }
+    results.push_back(std::move(traces));
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+}  // namespace
+}  // namespace gs::core

@@ -1,0 +1,143 @@
+// Property tests for sparse format storage and conversions: every format
+// round-trips to the same logical edge set (with values) on random graphs.
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "sparse/matrix.h"
+#include "tests/testing.h"
+
+namespace gs::sparse {
+namespace {
+
+struct RoundTripCase {
+  int64_t nodes;
+  int64_t edges;
+  uint64_t seed;
+  bool weighted;
+};
+
+class FormatRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(FormatRoundTrip, AllConversionsPreserveEdges) {
+  const RoundTripCase c = GetParam();
+  graph::Graph g = gs::testing::SmallRmat(c.nodes, c.edges, c.seed, c.weighted);
+  const Matrix& m = g.adj();
+  const auto reference = gs::testing::EdgeSet(m);
+  ASSERT_FALSE(reference.empty());
+
+  // Materialize every format and rebuild single-format matrices; all must
+  // agree with the CSC reference.
+  Matrix from_coo = Matrix::FromCoo(m.num_rows(), m.num_cols(), m.GetCoo());
+  EXPECT_EQ(gs::testing::EdgeSet(from_coo), reference);
+
+  Matrix from_csr = Matrix::FromCsr(m.num_rows(), m.num_cols(), m.Csr());
+  EXPECT_EQ(gs::testing::EdgeSet(from_csr), reference);
+
+  // CSR -> COO -> CSC round trip.
+  Matrix back_to_csc = Matrix::FromCoo(m.num_rows(), m.num_cols(), from_csr.GetCoo());
+  EXPECT_EQ(gs::testing::EdgeSet(Matrix::FromCsc(m.num_rows(), m.num_cols(),
+                                                 back_to_csc.Csc())),
+            reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, FormatRoundTrip,
+    ::testing::Values(RoundTripCase{50, 200, 1, true}, RoundTripCase{50, 200, 1, false},
+                      RoundTripCase{300, 3000, 2, true}, RoundTripCase{300, 3000, 3, false},
+                      RoundTripCase{1000, 500, 4, true},  // sparser than nodes
+                      RoundTripCase{64, 4000, 5, true}));
+
+TEST(Matrix, NnzConsistentAcrossFormats) {
+  graph::Graph g = gs::testing::SmallRmat();
+  const Matrix& m = g.adj();
+  const int64_t nnz = m.nnz();
+  EXPECT_EQ(m.GetCoo().row.size(), nnz);
+  EXPECT_EQ(m.Csr().indices.size(), nnz);
+  EXPECT_EQ(m.Csc().indices.size(), nnz);
+}
+
+TEST(Matrix, FormatCachingIsSticky) {
+  graph::Graph g = gs::testing::SmallRmat();
+  const Matrix& m = g.adj();
+  EXPECT_TRUE(m.HasFormat(Format::kCsc));
+  EXPECT_FALSE(m.HasFormat(Format::kCsr));
+  m.Csr();
+  EXPECT_TRUE(m.HasFormat(Format::kCsr));
+  // Copies share the cache.
+  Matrix alias = m;
+  EXPECT_TRUE(alias.HasFormat(Format::kCsr));
+}
+
+TEST(Matrix, UnweightedValuesMaterializeAsOnes) {
+  graph::Graph g = gs::testing::SmallRmat(100, 500, 6, /*weighted=*/false);
+  EXPECT_FALSE(g.adj().HasValues());
+  ValueArray values = g.adj().ValuesFor(Format::kCsc);
+  ASSERT_EQ(values.size(), g.adj().nnz());
+  for (int64_t e = 0; e < values.size(); ++e) {
+    EXPECT_FLOAT_EQ(values[e], 1.0f);
+  }
+}
+
+TEST(Matrix, WithValuesSharesStructure) {
+  graph::Graph g = gs::testing::SmallRmat();
+  const Matrix& m = g.adj();
+  ValueArray doubled = ValueArray::Empty(m.nnz());
+  const ValueArray original = m.ValuesFor(Format::kCsc);
+  for (int64_t e = 0; e < m.nnz(); ++e) {
+    doubled[e] = 2.0f * original[e];
+  }
+  Matrix m2 = m.WithValues(Format::kCsc, doubled);
+  EXPECT_TRUE(m.SharesPatternWith(m2));
+  EXPECT_EQ(m2.nnz(), m.nnz());
+  EXPECT_FLOAT_EQ(m2.Csc().values[0], 2.0f * original[0]);
+}
+
+TEST(Matrix, SharesPatternWithByContent) {
+  // Two structurally identical matrices built independently.
+  Compressed a;
+  a.indptr = OffsetArray::FromVector({0, 2, 3});
+  a.indices = IdArray::FromVector({0, 1, 1});
+  Compressed b;
+  b.indptr = OffsetArray::FromVector({0, 2, 3});
+  b.indices = IdArray::FromVector({0, 1, 1});
+  Matrix ma = Matrix::FromCsc(2, 2, std::move(a));
+  Matrix mb = Matrix::FromCsc(2, 2, std::move(b));
+  EXPECT_TRUE(ma.SharesPatternWith(mb));
+
+  Compressed c;
+  c.indptr = OffsetArray::FromVector({0, 1, 3});
+  c.indices = IdArray::FromVector({0, 0, 1});
+  Matrix mc = Matrix::FromCsc(2, 2, std::move(c));
+  EXPECT_FALSE(ma.SharesPatternWith(mc));
+}
+
+TEST(Matrix, FromCscValidatesShape) {
+  Compressed bad;
+  bad.indptr = OffsetArray::FromVector({0, 1});
+  bad.indices = IdArray::FromVector({0});
+  EXPECT_THROW(Matrix::FromCsc(2, 5, std::move(bad)), Error);
+}
+
+TEST(Matrix, IdMapsTranslateGlobals) {
+  graph::Graph g = gs::testing::SmallRmat();
+  Matrix m = g.adj();
+  EXPECT_FALSE(m.has_row_ids());
+  EXPECT_EQ(m.GlobalRowId(13), 13);
+  IdArray ids = IdArray::FromVector(std::vector<int32_t>(m.num_rows(), 0));
+  for (int64_t i = 0; i < m.num_rows(); ++i) {
+    ids[i] = static_cast<int32_t>(m.num_rows() - 1 - i);
+  }
+  m.SetRowIds(ids);
+  EXPECT_EQ(m.GlobalRowId(0), static_cast<int32_t>(m.num_rows() - 1));
+}
+
+TEST(Matrix, DebugStringMentionsFormats) {
+  graph::Graph g = gs::testing::SmallRmat();
+  const std::string s = g.adj().DebugString();
+  EXPECT_NE(s.find("CSC"), std::string::npos);
+  EXPECT_NE(s.find("weighted"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gs::sparse

@@ -1,0 +1,282 @@
+// Tests for the randomized sparse kernels: individual/collective/fused
+// sampling, walks, restart walks, top-k visit counting — structural
+// invariants plus statistical checks on the sampling distributions.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.h"
+#include "sparse/kernels.h"
+#include "tests/testing.h"
+
+namespace gs::sparse {
+namespace {
+
+using gs::testing::EdgeSet;
+using tensor::IdArray;
+
+class FanoutParam : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FanoutParam, IndividualSampleRespectsFanout) {
+  const int64_t k = GetParam();
+  graph::Graph g = gs::testing::SmallRmat();
+  IdArray cols = IdArray::FromVector({1, 2, 3, 4, 5, 6, 7, 8});
+  Matrix sub = SliceColumns(g.adj(), cols);
+  Rng rng(101);
+  Matrix sample = IndividualSample(sub, k, ValueArray{}, rng);
+  EXPECT_EQ(sample.num_cols(), sub.num_cols());
+  const Compressed& sub_csc = sub.Csc();
+  const Compressed& s_csc = sample.Csc();
+  const auto full = EdgeSet(sub);
+  for (int64_t c = 0; c < sample.num_cols(); ++c) {
+    const int64_t deg = sub_csc.indptr[c + 1] - sub_csc.indptr[c];
+    const int64_t got = s_csc.indptr[c + 1] - s_csc.indptr[c];
+    EXPECT_EQ(got, std::min(deg, k)) << "column " << c;
+    // Without replacement: distinct rows per column.
+    std::set<int32_t> rows;
+    for (int64_t e = s_csc.indptr[c]; e < s_csc.indptr[c + 1]; ++e) {
+      rows.insert(s_csc.indices[e]);
+    }
+    EXPECT_EQ(static_cast<int64_t>(rows.size()), got);
+  }
+  // Every sampled edge exists in the parent with the same weight.
+  for (const auto& [edge, w] : EdgeSet(sample)) {
+    auto it = full.find(edge);
+    ASSERT_NE(it, full.end());
+    EXPECT_FLOAT_EQ(it->second, w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, FanoutParam, ::testing::Values(1, 2, 5, 25, 1000));
+
+TEST(IndividualSample, ZeroProbEdgesNeverChosen) {
+  graph::Graph g = gs::testing::ToyGraph();
+  IdArray cols = IdArray::FromVector({0});  // in-neighbors {1, 2, 4}
+  Matrix sub = SliceColumns(g.adj(), cols);
+  ASSERT_EQ(sub.nnz(), 3);
+  // Zero out the probability of the first edge.
+  ValueArray probs = ValueArray::FromVector({0.0f, 1.0f, 1.0f});
+  Rng rng(103);
+  for (int t = 0; t < 100; ++t) {
+    Matrix sample = IndividualSample(sub, 2, probs, rng);
+    const Compressed& csc = sample.Csc();
+    for (int64_t e = 0; e < sample.nnz(); ++e) {
+      EXPECT_NE(csc.indices[e], sub.Csc().indices[0]);
+    }
+  }
+}
+
+TEST(IndividualSample, BiasedDistribution) {
+  // Single frontier, k=1: edge picked proportional to probs.
+  graph::Graph g = gs::testing::ToyGraph();
+  IdArray cols = IdArray::FromVector({0});
+  Matrix sub = SliceColumns(g.adj(), cols);
+  ValueArray probs = ValueArray::FromVector({1.0f, 2.0f, 7.0f});
+  Rng rng(107);
+  const int64_t trials = 30000;
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t t = 0; t < trials; ++t) {
+    Matrix sample = IndividualSample(sub, 1, probs, rng);
+    ASSERT_EQ(sample.nnz(), 1);
+    for (int64_t e = 0; e < 3; ++e) {
+      if (sample.Csc().indices[0] == sub.Csc().indices[e]) {
+        ++counts[e];
+      }
+    }
+  }
+  const double stat = gs::testing::ChiSquare(counts, {0.1, 0.2, 0.7}, trials);
+  EXPECT_LT(stat, 13.8);  // chi2(2 dof) at p=0.001
+}
+
+TEST(IndividualSample, InvalidArgsThrow) {
+  graph::Graph g = gs::testing::ToyGraph();
+  Rng rng(1);
+  EXPECT_THROW(IndividualSample(g.adj(), 0, ValueArray{}, rng), Error);
+  ValueArray short_probs = ValueArray::Full(2, 1.0f);
+  EXPECT_THROW(IndividualSample(g.adj(), 1, short_probs, rng), Error);
+}
+
+TEST(CollectiveSample, SamplesAtMostKDistinctRows) {
+  graph::Graph g = gs::testing::SmallRmat();
+  IdArray cols = IdArray::FromVector({0, 1, 2, 3});
+  Matrix sub = SliceColumns(g.adj(), cols);
+  ValueArray probs = SumAxis(sub, 0);
+  Rng rng(109);
+  Matrix sample = CollectiveSample(sub, 5, probs, rng);
+  EXPECT_LE(sample.num_rows(), 5);
+  EXPECT_TRUE(sample.rows_compact());
+  std::set<int32_t> ids;
+  for (int64_t i = 0; i < sample.row_ids().size(); ++i) {
+    ids.insert(sample.row_ids()[i]);
+    // Selected rows must have positive bias (an edge to some frontier).
+    EXPECT_GT(probs[sample.row_ids()[i]], 0.0f);
+  }
+  EXPECT_EQ(static_cast<int64_t>(ids.size()), sample.num_rows());
+}
+
+TEST(CollectiveSample, LayerWiseSharedNeighbors) {
+  // The paper's Figure 1(c) point: layer-wise sampling never duplicates a
+  // node even when several frontiers share it.
+  graph::Graph g = gs::testing::ToyGraph();
+  IdArray cols = IdArray::FromVector({1, 4});  // share in-neighbor f=5
+  Matrix sub = SliceColumns(g.adj(), cols);
+  ValueArray probs = SumAxis(sub, 0);
+  Rng rng(113);
+  Matrix sample = CollectiveSample(sub, 4, probs, rng);
+  std::set<int32_t> ids;
+  for (int64_t i = 0; i < sample.row_ids().size(); ++i) {
+    EXPECT_TRUE(ids.insert(sample.row_ids()[i]).second) << "duplicate sampled node";
+  }
+}
+
+TEST(CollectiveSample, InclusionProportionalForK1) {
+  // k = 1 collective sampling selects each candidate with probability
+  // proportional to its bias.
+  graph::Graph g = gs::testing::ToyGraph();
+  IdArray cols = IdArray::FromVector({0});
+  Matrix sub = SliceColumns(g.adj(), cols);  // candidates {1, 2, 4}
+  ValueArray probs = ValueArray::Full(g.num_nodes(), 0.0f);
+  probs[1] = 1.0f;
+  probs[2] = 3.0f;
+  probs[4] = 6.0f;
+  Rng rng(211);
+  const int64_t trials = 30000;
+  std::map<int32_t, int64_t> counts;
+  for (int64_t t = 0; t < trials; ++t) {
+    Matrix sample = CollectiveSample(sub, 1, probs, rng);
+    ASSERT_EQ(sample.row_ids().size(), 1);
+    ++counts[sample.row_ids()[0]];
+  }
+  const double stat = gs::testing::ChiSquare({counts[1], counts[2], counts[4]},
+                                             {0.1, 0.3, 0.6}, trials);
+  EXPECT_LT(stat, 13.8);  // chi2(2 dof) at p=0.001
+}
+
+TEST(CollectiveSample, DeterministicForSeed) {
+  graph::Graph g = gs::testing::SmallRmat();
+  IdArray cols = IdArray::FromVector({3, 4, 5});
+  Matrix sub = SliceColumns(g.adj(), cols);
+  ValueArray probs = SumAxis(sub, 0);
+  Rng a(77);
+  Rng b(77);
+  Matrix s1 = CollectiveSample(sub, 10, probs, a);
+  Matrix s2 = CollectiveSample(sub, 10, probs, b);
+  EXPECT_EQ(gs::testing::EdgeSet(s1), gs::testing::EdgeSet(s2));
+}
+
+TEST(FusedSliceSample, EquivalentToSliceThenSample) {
+  // The fused kernel consumes randomness identically to the unfused pair,
+  // so the sampled subgraphs are bit-identical for the same seed.
+  graph::Graph g = gs::testing::SmallRmat();
+  IdArray cols = IdArray::FromVector({2, 4, 8, 16, 32});
+  Rng rng_fused(127);
+  Rng rng_unfused(127);
+  Matrix fused = FusedSliceSample(g.adj(), cols, 3, rng_fused);
+  Matrix sub = SliceColumns(g.adj(), cols);
+  Matrix unfused = IndividualSample(sub, 3, ValueArray{}, rng_unfused);
+  EXPECT_EQ(EdgeSet(fused), EdgeSet(unfused));
+}
+
+TEST(UniformWalkStep, StepsToInNeighbors) {
+  graph::Graph g = gs::testing::SmallRmat();
+  IdArray cur = IdArray::FromVector({0, 1, 2, 3, 4, 5, 6, 7});
+  Rng rng(131);
+  IdArray next = UniformWalkStep(g.adj(), cur, rng);
+  const auto edges = EdgeSet(g.adj());
+  for (int64_t i = 0; i < cur.size(); ++i) {
+    if (next[i] >= 0) {
+      EXPECT_NE(edges.find({next[i], cur[i]}), edges.end())
+          << next[i] << " is not an in-neighbor of " << cur[i];
+    }
+  }
+}
+
+TEST(UniformWalkStep, DeadEndsAndTombstones) {
+  // Node with no in-neighbors -> -1; -1 propagates.
+  std::vector<std::pair<int32_t, int32_t>> edges = {{0, 1}};
+  graph::Graph g = graph::Graph::FromEdges("line", 3, edges);
+  IdArray cur = IdArray::FromVector({0, -1});
+  Rng rng(137);
+  IdArray next = UniformWalkStep(g.adj(), cur, rng);
+  EXPECT_EQ(next[0], -1);  // node 0 has no in-neighbors
+  EXPECT_EQ(next[1], -1);
+}
+
+TEST(Node2VecStep, ExtremeParamsSteerWalk) {
+  // Triangle 0-1-2 plus pendant 3 attached to 1: from node 1 with prev=0,
+  // neighbor 0 has bias 1/p, neighbor 2 (a neighbor of 0) bias 1, pendant 3
+  // (not a neighbor of 0) bias 1/q.
+  std::vector<std::pair<int32_t, int32_t>> edges = {{0, 1}, {1, 0}, {1, 2}, {2, 1},
+                                                    {0, 2}, {2, 0}, {3, 1}, {1, 3}};
+  graph::Graph g = graph::Graph::FromEdges("tri", 4, edges);
+  Rng rng(139);
+  IdArray cur = IdArray::FromVector({1});
+  IdArray prev = IdArray::FromVector({0});
+  // Huge p, huge q: must go to the common neighbor 2.
+  for (int t = 0; t < 50; ++t) {
+    IdArray next = Node2VecStep(g.adj(), cur, prev, 1e6f, 1e6f, rng);
+    EXPECT_EQ(next[0], 2);
+  }
+  // Tiny p: must return to prev = 0.
+  for (int t = 0; t < 50; ++t) {
+    IdArray next = Node2VecStep(g.adj(), cur, prev, 1e-6f, 1.0f, rng);
+    EXPECT_EQ(next[0], 0);
+  }
+  // prev = -1 behaves uniformly (just check validity).
+  IdArray no_prev = IdArray::FromVector({-1});
+  IdArray next = Node2VecStep(g.adj(), cur, no_prev, 2.0f, 0.5f, rng);
+  EXPECT_GE(next[0], 0);
+}
+
+TEST(WalkRestart, AlwaysRestartsAtProbabilityOne) {
+  graph::Graph g = gs::testing::SmallRmat();
+  IdArray cur = IdArray::FromVector({10, 20, 30});
+  IdArray root = IdArray::FromVector({1, 2, 3});
+  Rng rng(149);
+  IdArray next = UniformWalkStepRestart(g.adj(), cur, root, 1.0f, rng);
+  EXPECT_EQ(next[0], 1);
+  EXPECT_EQ(next[1], 2);
+  EXPECT_EQ(next[2], 3);
+}
+
+TEST(WalkRestart, NeverRestartsAtZeroFollowsEdges) {
+  graph::Graph g = gs::testing::SmallRmat();
+  IdArray cur = IdArray::FromVector({5, 6});
+  IdArray root = IdArray::FromVector({0, 0});
+  Rng rng(151);
+  IdArray next = UniformWalkStepRestart(g.adj(), cur, root, 0.0f, rng);
+  const auto edges = EdgeSet(g.adj());
+  for (int64_t i = 0; i < 2; ++i) {
+    const bool is_edge = edges.find({next[i], cur[i]}) != edges.end();
+    const bool is_dead_end_restart = next[i] == root[i];
+    EXPECT_TRUE(is_edge || is_dead_end_restart);
+  }
+}
+
+TEST(TopKVisited, CountsAndRanks) {
+  IdArray roots = IdArray::FromVector({0});
+  IdArray s1 = IdArray::FromVector({5});
+  IdArray s2 = IdArray::FromVector({5});
+  IdArray s3 = IdArray::FromVector({7});
+  IdArray s4 = IdArray::FromVector({0});   // the root itself: excluded
+  IdArray s5 = IdArray::FromVector({-1});  // dead: skipped
+  std::vector<IdArray> steps = {s1, s2, s3, s4, s5};
+  Matrix top = TopKVisited(steps, roots, 1, 10);
+  ASSERT_EQ(top.nnz(), 1);
+  EXPECT_EQ(top.Csc().indices[0], 5);
+  EXPECT_FLOAT_EQ(top.Csc().values[0], 2.0f);  // visited twice
+
+  Matrix top2 = TopKVisited(steps, roots, 5, 10);
+  EXPECT_EQ(top2.nnz(), 2);  // only two distinct non-root nodes visited
+}
+
+TEST(TopKVisited, MisalignedTracesThrow) {
+  IdArray roots = IdArray::FromVector({0, 1});
+  IdArray bad = IdArray::FromVector({5});
+  std::vector<IdArray> steps = {bad};
+  EXPECT_THROW(TopKVisited(steps, roots, 2, 10), Error);
+}
+
+}  // namespace
+}  // namespace gs::sparse

@@ -1,0 +1,191 @@
+// Unit tests for tensor/: dense tensor math against naive references.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace gs::tensor {
+namespace {
+
+TEST(Tensor, ShapesAndAccess) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 6.0f);
+  Tensor v = Tensor::FromVector({4}, {1, 2, 3, 4});
+  EXPECT_EQ(v.dim(), 1);
+  EXPECT_EQ(v.cols(), 1);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({3, 2});
+  r.at(0, 0) = 99.0f;
+  EXPECT_FLOAT_EQ(t.at(0, 0), 99.0f);
+  EXPECT_THROW(t.Reshape({4, 2}), Error);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t = Tensor::FromVector({2}, {1, 2});
+  Tensor c = t.Clone();
+  c.at(0) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(0), 1.0f);
+}
+
+TEST(MatMul, MatchesNaive) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({7, 5}, rng);
+  Tensor b = Tensor::Randn({5, 4}, rng);
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.rows(), 7);
+  ASSERT_EQ(c.cols(), 4);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 4; ++j) {
+      float ref = 0.0f;
+      for (int64_t k = 0; k < 5; ++k) {
+        ref += a.at(i, k) * b.at(k, j);
+      }
+      EXPECT_NEAR(c.at(i, j), ref, 1e-4);
+    }
+  }
+}
+
+TEST(MatMul, ShapeMismatchThrows) {
+  Tensor a = Tensor::Zeros({2, 3});
+  Tensor b = Tensor::Zeros({4, 2});
+  EXPECT_THROW(MatMul(a, b), Error);
+}
+
+class BinaryOpParam : public ::testing::TestWithParam<BinaryOp> {};
+
+TEST_P(BinaryOpParam, ElementwiseMatchesScalarFormula) {
+  const BinaryOp op = GetParam();
+  Tensor a = Tensor::FromVector({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor b = Tensor::FromVector({2, 2}, {2.0f, 2.0f, 0.5f, 3.0f});
+  Tensor c = Binary(op, a, b);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(c.at(i), ApplyBinaryOp(op, a.at(i), b.at(i)), 1e-5);
+  }
+  Tensor s = BinaryScalar(op, a, 2.0f);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(s.at(i), ApplyBinaryOp(op, a.at(i), 2.0f), 1e-5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, BinaryOpParam,
+                         ::testing::Values(BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul,
+                                           BinaryOp::kDiv, BinaryOp::kPow));
+
+TEST(Softmax, RowsSumToOne) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn({6, 9}, rng, 3.0f);
+  Tensor s = Softmax(a);
+  for (int64_t r = 0; r < 6; ++r) {
+    double total = 0.0;
+    for (int64_t c = 0; c < 9; ++c) {
+      EXPECT_GE(s.at(r, c), 0.0f);
+      total += s.at(r, c);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-5);
+  }
+}
+
+TEST(Softmax, OneDimensional) {
+  Tensor a = Tensor::FromVector({3}, {1.0f, 1.0f, 1.0f});
+  Tensor s = Softmax(a);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(s.at(i), 1.0f / 3.0f, 1e-6);
+  }
+}
+
+TEST(Relu, ClampsNegatives) {
+  Tensor a = Tensor::FromVector({4}, {-1.0f, 0.0f, 2.0f, -3.0f});
+  Tensor r = Relu(a);
+  EXPECT_FLOAT_EQ(r.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(r.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(r.at(2), 2.0f);
+  EXPECT_FLOAT_EQ(r.at(3), 0.0f);
+}
+
+TEST(GatherRows, SelectsRows) {
+  Tensor a = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  IdArray idx = IdArray::FromVector({2, 0, 2});
+  Tensor g = GatherRows(a, idx);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.at(2, 1), 6.0f);
+}
+
+TEST(GatherRows, OutOfRangeThrows) {
+  Tensor a = Tensor::Zeros({3, 2});
+  IdArray idx = IdArray::FromVector({3});
+  EXPECT_THROW(GatherRows(a, idx), Error);
+  IdArray neg = IdArray::FromVector({-1});
+  EXPECT_THROW(GatherRows(a, neg), Error);
+}
+
+TEST(SumAxis, BothAxes) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor rows = SumAxis(a, 1);  // sum columns away -> per row
+  EXPECT_FLOAT_EQ(rows.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(rows.at(1), 15.0f);
+  Tensor cols = SumAxis(a, 0);
+  EXPECT_FLOAT_EQ(cols.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(cols.at(2), 9.0f);
+  EXPECT_FLOAT_EQ(SumAll(a), 21.0f);
+}
+
+TEST(Transpose, RoundTrip) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({4, 6}, rng);
+  Tensor t = Transpose(a);
+  ASSERT_EQ(t.rows(), 6);
+  for (int64_t i = 0; i < 4; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_FLOAT_EQ(t.at(j, i), a.at(i, j));
+    }
+  }
+}
+
+TEST(StackColumns, BuildsMatrix) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({3}, {4, 5, 6});
+  std::vector<Tensor> cols = {a, b};
+  Tensor s = StackColumns(cols);
+  ASSERT_EQ(s.rows(), 3);
+  ASSERT_EQ(s.cols(), 2);
+  EXPECT_FLOAT_EQ(s.at(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 5.0f);
+}
+
+TEST(StackColumns, MismatchedLengthsThrow) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor b = Tensor::FromVector({2}, {4, 5});
+  std::vector<Tensor> cols = {a, b};
+  EXPECT_THROW(StackColumns(cols), Error);
+}
+
+TEST(ArgmaxRows, PicksLargest) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 9, 2, 7, 1, 3});
+  IdArray m = ArgmaxRows(a);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 0);
+}
+
+TEST(Randn, Deterministic) {
+  Rng a(99);
+  Rng b(99);
+  Tensor x = Tensor::Randn({5}, a);
+  Tensor y = Tensor::Randn({5}, b);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_FLOAT_EQ(x.at(i), y.at(i));
+  }
+}
+
+}  // namespace
+}  // namespace gs::tensor
