@@ -39,15 +39,14 @@ Sweep RunWithCache(double cache_fraction) {
   std::copy_n(g.train_ids().data(), slice.size(), slice.data());
   sampler.SampleEpoch(slice, 256, nullptr);  // warmup fills the cache
 
-  const auto& counters = dev.stream().counters();
-  const double t0 = static_cast<double>(counters.virtual_ns) / 1e6;
-  const int64_t p0 = counters.pcie_bytes;
+  const device::StreamCounters before = dev.stream().counters();
   cache.Reset();
   sampler.SampleEpoch(slice, 256, nullptr);
+  const device::StreamCounters after = dev.stream().counters();
   Sweep s;
   s.cache_fraction = cache_fraction;
-  s.epoch_ms = static_cast<double>(counters.virtual_ns) / 1e6 - t0;
-  s.pcie_mb = static_cast<double>(counters.pcie_bytes - p0) / 1e6;
+  s.epoch_ms = static_cast<double>(after.virtual_ns - before.virtual_ns) / 1e6;
+  s.pcie_mb = static_cast<double>(after.pcie_bytes - before.pcie_bytes) / 1e6;
   s.hit_rate = cache.hits() + cache.misses() > 0
                    ? static_cast<double>(cache.hits()) /
                          static_cast<double>(cache.hits() + cache.misses())

@@ -1,0 +1,105 @@
+// Pipeline overlap study: epoch time vs prefetch depth for GraphSAGE and
+// LADIES training on the PD-like labelled graph. Depth 0 is the synchronous
+// reference (sample, extract, train back-to-back on one timeline); deeper
+// prefetch queues overlap the stages on independent virtual timelines, so
+// the simulated epoch time drops toward the slowest stage's busy time. The
+// table reports the overlap efficiency and where the remaining stall time
+// sits (producer-starved vs consumer-backpressured), which is how one reads
+// off whether sampling or training is the bottleneck.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/train_util.h"
+
+namespace gs::bench {
+namespace {
+
+struct DepthResult {
+  int depth;
+  double epoch_ms;        // simulated time per epoch (averaged)
+  double speedup;         // sync epoch time / this epoch time
+  double efficiency;      // overlap speedup / stage count
+  double starved_ms;      // stall waiting for upstream data
+  double backpressure_ms; // stall waiting for a free prefetch slot
+  float accuracy;
+};
+
+DepthResult RunAtDepth(const std::string& kind, int depth) {
+  device::Device dev(device::V100Sim());
+  device::DeviceGuard guard(dev);
+  graph::Graph g = MakeTrainingGraph(0.5);
+
+  // Timing-dependent knobs off: every depth must sample identical batches
+  // so the comparison isolates the schedule.
+  core::SamplerOptions opts;
+  opts.enable_layout_selection = false;
+  opts.super_batch = 1;
+
+  gnn::TrainerConfig config;
+  config.model = kind == "sage" ? gnn::ModelKind::kSage : gnn::ModelKind::kGcn;
+  config.epochs = 4;
+  config.batch_size = 256;
+  config.hidden = 64;
+  config.learning_rate = 0.4f;
+  config.pipeline_depth = depth;
+
+  const gnn::TrainOutcome outcome = gnn::Train(g, MakeGsamplerFn(g, kind, opts), config);
+  const pipeline::Metrics& m = outcome.pipeline;
+  DepthResult r;
+  r.depth = depth;
+  r.epoch_ms = m.runs > 0 ? m.EpochMs() / static_cast<double>(m.runs) : 0.0;
+  r.speedup = 1.0;  // filled against the depth-0 row by the caller
+  r.efficiency = m.OverlapEfficiency();
+  r.starved_ms = 0.0;
+  r.backpressure_ms = 0.0;
+  for (const pipeline::StageMetrics& s : m.stages) {
+    r.starved_ms += s.StarvedMs();
+    r.backpressure_ms += s.BackpressureMs();
+  }
+  r.accuracy = outcome.final_accuracy;
+  return r;
+}
+
+void Run() {
+  PrintTitle("Pipeline overlap — epoch time vs prefetch depth (simulated ms)");
+  PrintRow("algorithm", {"depth", "epoch ms", "vs sync", "overlap eff",
+                         "starved ms", "backpr. ms", "accuracy"});
+  for (const std::string& kind : {std::string("sage"), std::string("ladies")}) {
+    const std::string label = kind == "sage" ? "GraphSAGE" : "LADIES";
+    double sync_ms = 0.0;
+    bool first = true;
+    for (int depth : {0, 1, 2, 4}) {
+      DepthResult r = RunAtDepth(kind, depth);
+      if (depth == 0) {
+        sync_ms = r.epoch_ms;
+      }
+      r.speedup = r.epoch_ms > 0 ? sync_ms / r.epoch_ms : 0.0;
+      char c0[32], c1[32], c2[32], c3[32], c4[32], c5[32], c6[32];
+      std::snprintf(c0, sizeof(c0), "%d", r.depth);
+      std::snprintf(c1, sizeof(c1), "%.2f", r.epoch_ms);
+      std::snprintf(c2, sizeof(c2), "%.2fx", r.speedup);
+      std::snprintf(c3, sizeof(c3), "%.0f%%", 100.0 * r.efficiency);
+      std::snprintf(c4, sizeof(c4), "%.2f", r.starved_ms);
+      std::snprintf(c5, sizeof(c5), "%.2f", r.backpressure_ms);
+      std::snprintf(c6, sizeof(c6), "%.2f%%", 100.0 * r.accuracy);
+      PrintRow(first ? label : "", {c0, c1, c2, c3, c4, c5, c6});
+      first = false;
+    }
+  }
+  std::printf("\n(Shape to check: identical accuracy at every depth — the pipeline is\n"
+              " bit-deterministic — and epoch time dropping from depth 0 to 2, then\n"
+              " flat: once the slowest stage is saturated, extra prefetch depth only\n"
+              " adds queued batches, not speed. Stall time shifts from starved to\n"
+              " backpressured as depth grows.)\n");
+}
+
+}  // namespace
+}  // namespace gs::bench
+
+int main() {
+  gs::bench::Run();
+  return 0;
+}

@@ -78,11 +78,11 @@ int main() {
 
     // The novel sampler gets every optimization automatically — including
     // super-batched epochs.
-    const auto& counters = device::Current().stream().counters();
-    const double t0 = static_cast<double>(counters.virtual_ns) / 1e6;
+    device::Stream& stream = device::Current().stream();
+    const double t0 = static_cast<double>(stream.counters().virtual_ns) / 1e6;
     sampler.SampleEpoch(g.train_ids(), 256, nullptr);
     std::printf("epoch: %.2f ms simulated (super-batch %d)\n",
-                static_cast<double>(counters.virtual_ns) / 1e6 - t0,
+                static_cast<double>(stream.counters().virtual_ns) / 1e6 - t0,
                 sampler.effective_super_batch());
   }
   return 0;

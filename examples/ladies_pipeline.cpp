@@ -25,10 +25,10 @@ double EpochMs(const gs::graph::Graph& g, const gs::core::SamplerOptions& option
                                                                     256 * 8));
   std::copy_n(g.train_ids().data(), prefix.size(), prefix.data());
   sampler.SampleEpoch(prefix, 256, nullptr);
-  const auto& counters = device::Current().stream().counters();
-  const double t0 = static_cast<double>(counters.virtual_ns) / 1e6;
+  device::Stream& stream = device::Current().stream();
+  const double t0 = static_cast<double>(stream.counters().virtual_ns) / 1e6;
   sampler.SampleEpoch(g.train_ids(), 256, nullptr);
-  return static_cast<double>(counters.virtual_ns) / 1e6 - t0;
+  return static_cast<double>(stream.counters().virtual_ns) / 1e6 - t0;
 }
 
 }  // namespace

@@ -50,12 +50,12 @@ int main() {
   std::printf("final frontier: %lld nodes\n", static_cast<long long>(out[2].ids.size()));
 
   // 5. Sample a full epoch and report the simulated device time.
-  const auto& counters = device::Current().stream().counters();
-  const double t0 = static_cast<double>(counters.virtual_ns) / 1e6;
+  device::Stream& stream = device::Current().stream();
+  const double t0 = static_cast<double>(stream.counters().virtual_ns) / 1e6;
   int64_t batches = 0;
   sampler.SampleEpoch(g.train_ids(), 512,
                       [&](int64_t, std::vector<core::Value>&) { ++batches; });
-  const double t1 = static_cast<double>(counters.virtual_ns) / 1e6;
+  const double t1 = static_cast<double>(stream.counters().virtual_ns) / 1e6;
   std::printf("epoch: %lld mini-batches in %.2f ms simulated device time "
               "(super-batch size %d)\n",
               static_cast<long long>(batches), t1 - t0, sampler.effective_super_batch());

@@ -1,11 +1,18 @@
 // Wall-clock timing helpers used by benchmarks and the layout-selection
-// calibration pass.
+// calibration pass, plus a per-thread CPU timer for kernel cost
+// measurement (immune to scheduling delays when pipeline stages share
+// cores).
 
 #ifndef GSAMPLER_COMMON_TIMER_H_
 #define GSAMPLER_COMMON_TIMER_H_
 
 #include <chrono>
 #include <cstdint>
+
+#if defined(__linux__) || defined(__APPLE__)
+#include <time.h>
+#define GSAMPLER_HAS_THREAD_CPUTIME 1
+#endif
 
 namespace gs {
 
@@ -27,6 +34,34 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+// Measures CPU time consumed by the calling thread. KernelScope uses this
+// so that a kernel's simulated cost reflects the work it did, not how long
+// the OS happened to deschedule the stage thread; falls back to wall time
+// where the clock is unavailable.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(Now()) {}
+
+  void Reset() { start_ = Now(); }
+
+  int64_t ElapsedNanos() const { return Now() - start_; }
+
+ private:
+  static int64_t Now() {
+#ifdef GSAMPLER_HAS_THREAD_CPUTIME
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+      return int64_t{ts.tv_sec} * 1000000000 + ts.tv_nsec;
+    }
+#endif
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  int64_t start_;
 };
 
 }  // namespace gs

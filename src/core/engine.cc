@@ -345,45 +345,74 @@ int CompiledSampler::AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batc
 
 void CompiledSampler::SampleEpoch(const tensor::IdArray& frontiers, int64_t batch_size,
                                   const BatchCallback& callback) {
+  BatchProducer producer(*this, frontiers, batch_size);
+  EpochBatch batch;
+  while (producer.Next(&batch)) {
+    if (callback != nullptr) {
+      callback(batch.index, batch.outputs);
+    }
+  }
+}
+
+BatchProducer::BatchProducer(CompiledSampler& sampler, const tensor::IdArray& frontiers,
+                             int64_t batch_size)
+    : sampler_(sampler) {
   GS_CHECK_GT(batch_size, 0);
-  std::vector<tensor::IdArray> batches;
   for (int64_t begin = 0; begin < frontiers.size(); begin += batch_size) {
     const int64_t end = std::min(frontiers.size(), begin + batch_size);
     tensor::IdArray batch = tensor::IdArray::Empty(end - begin);
     std::copy_n(frontiers.data() + begin, end - begin, batch.data());
-    batches.push_back(std::move(batch));
+    batches_.push_back(std::move(batch));
   }
-  if (batches.empty()) {
+  if (batches_.empty()) {
     return;
   }
-  EnsureCalibrated(batches.front());
+  sampler_.EnsureCalibrated(batches_.front());
 
-  int group_size = options_.super_batch;
-  if (!SuperBatchEligible()) {
-    group_size = 1;
-  } else if (group_size == 0) {
-    if (tuned_super_batch_ == 0) {
-      tuned_super_batch_ = AutoTuneSuperBatch(batches);
+  group_size_ = sampler_.options_.super_batch;
+  if (!sampler_.SuperBatchEligible()) {
+    group_size_ = 1;
+  } else if (group_size_ == 0) {
+    if (sampler_.tuned_super_batch_ == 0) {
+      sampler_.tuned_super_batch_ = sampler_.AutoTuneSuperBatch(batches_);
     }
-    group_size = tuned_super_batch_;
+    group_size_ = sampler_.tuned_super_batch_;
   }
-  group_size = std::max(group_size, 1);
+  group_size_ = std::max(group_size_, 1);
+}
 
-  if (group_size == 1) {
-    for (size_t i = 0; i < batches.size(); ++i) {
-      std::vector<Value> outputs = Sample(batches[i]);
-      if (callback != nullptr) {
-        callback(static_cast<int64_t>(i), outputs);
-      }
+bool BatchProducer::Next(EpochBatch* out) {
+  GS_CHECK(out != nullptr);
+  if (ready_.empty()) {
+    if (next_ >= batches_.size()) {
+      return false;
     }
-    return;
+    if (group_size_ == 1) {
+      EpochBatch batch;
+      batch.index = static_cast<int64_t>(next_);
+      batch.seeds = batches_[next_];
+      batch.outputs = sampler_.Sample(batches_[next_]);
+      ready_.push_back(std::move(batch));
+      ++next_;
+    } else {
+      const size_t end = std::min(batches_.size(), next_ + static_cast<size_t>(group_size_));
+      std::vector<tensor::IdArray> group(batches_.begin() + static_cast<ptrdiff_t>(next_),
+                                         batches_.begin() + static_cast<ptrdiff_t>(end));
+      sampler_.RunSuperBatch(group, static_cast<int64_t>(next_),
+                             [&](int64_t index, std::vector<Value>& outputs) {
+                               EpochBatch batch;
+                               batch.index = index;
+                               batch.seeds = batches_[static_cast<size_t>(index)];
+                               batch.outputs = std::move(outputs);
+                               ready_.push_back(std::move(batch));
+                             });
+      next_ = end;
+    }
   }
-  for (size_t begin = 0; begin < batches.size(); begin += static_cast<size_t>(group_size)) {
-    const size_t end = std::min(batches.size(), begin + static_cast<size_t>(group_size));
-    std::vector<tensor::IdArray> group(batches.begin() + static_cast<ptrdiff_t>(begin),
-                                       batches.begin() + static_cast<ptrdiff_t>(end));
-    RunSuperBatch(group, static_cast<int64_t>(begin), callback);
-  }
+  GS_INTERNAL(!ready_.empty());
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
 }
 
 OptimizationReport CompiledSampler::report() const {

@@ -9,6 +9,7 @@
 #ifndef GSAMPLER_CORE_ENGINE_H_
 #define GSAMPLER_CORE_ENGINE_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <string>
@@ -62,6 +63,8 @@ struct OptimizationReport {
   std::string ToString() const;
 };
 
+class BatchProducer;
+
 class CompiledSampler {
  public:
   CompiledSampler(Program program, const graph::Graph& graph,
@@ -103,6 +106,8 @@ class CompiledSampler {
                      const BatchCallback& callback);
   int AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batches);
 
+  friend class BatchProducer;
+
   Program program_;
   OptimizationReport report_;
   const graph::Graph* graph_;
@@ -115,6 +120,40 @@ class CompiledSampler {
   bool needs_precompute_ = false;  // deferred until all bindings are present
   bool calibrated_ = false;
   int tuned_super_batch_ = 0;
+};
+
+// One sampled mini-batch as produced by BatchProducer.
+struct EpochBatch {
+  int64_t index = 0;
+  tensor::IdArray seeds;
+  std::vector<Value> outputs;
+};
+
+// Pull-style batch producer over one epoch: splits `frontiers` into
+// mini-batches, triggers calibration / super-batch auto-tuning exactly like
+// SampleEpoch, and yields sampled batches one at a time via Next(). This is
+// the producer end the pipeline executor's sample stage drives — the caller
+// controls pacing, so bounded prefetch queues can apply backpressure between
+// sampling and training. Super-batch groups are sampled as a unit and the
+// per-batch splits buffered internally, so batch identity (and the RNG
+// stream consumed per batch) is identical to SampleEpoch.
+class BatchProducer {
+ public:
+  BatchProducer(CompiledSampler& sampler, const tensor::IdArray& frontiers, int64_t batch_size);
+
+  // Total mini-batches this epoch.
+  int64_t num_batches() const { return static_cast<int64_t>(batches_.size()); }
+
+  // Samples (or pops a buffered) next batch into `out`; false when the epoch
+  // is exhausted.
+  bool Next(EpochBatch* out);
+
+ private:
+  CompiledSampler& sampler_;
+  std::vector<tensor::IdArray> batches_;
+  int group_size_ = 1;
+  size_t next_ = 0;  // next batch index not yet sampled
+  std::deque<EpochBatch> ready_;
 };
 
 }  // namespace gs::core

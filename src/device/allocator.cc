@@ -11,7 +11,8 @@ CachingAllocator::CachingAllocator(int64_t capacity_bytes) : capacity_bytes_(cap
 }
 
 CachingAllocator::~CachingAllocator() {
-  ReleaseCache();
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReleaseCacheLocked();
   // Live allocations at destruction indicate a leak in the caller; free the
   // host memory anyway to keep tests sanitizer-clean.
   for (auto& [ptr, size] : live_) {
@@ -38,6 +39,7 @@ int64_t CachingAllocator::RoundToClass(int64_t bytes) {
 
 void* CachingAllocator::Allocate(int64_t bytes) {
   const int64_t rounded = RoundToClass(bytes);
+  std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.alloc_calls;
 
   auto it = pool_.find(rounded);
@@ -54,7 +56,7 @@ void* CachingAllocator::Allocate(int64_t bytes) {
 
   if (stats_.bytes_in_use + rounded > capacity_bytes_) {
     // Mimic cudaMalloc retry-after-empty-cache before declaring OOM.
-    ReleaseCache();
+    ReleaseCacheLocked();
   }
   GS_CHECK(stats_.bytes_in_use + rounded <= capacity_bytes_)
       << "simulated device out of memory: in-use " << stats_.bytes_in_use << " + request "
@@ -72,6 +74,7 @@ void CachingAllocator::Free(void* ptr) {
   if (ptr == nullptr) {
     return;
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = live_.find(ptr);
   GS_CHECK(it != live_.end()) << "Free of unknown pointer";
   const int64_t rounded = it->second;
@@ -82,6 +85,11 @@ void CachingAllocator::Free(void* ptr) {
 }
 
 void CachingAllocator::ReleaseCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ReleaseCacheLocked();
+}
+
+void CachingAllocator::ReleaseCacheLocked() {
   for (auto& [cls, blocks] : pool_) {
     for (void* ptr : blocks) {
       std::free(ptr);

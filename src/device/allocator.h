@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace gs::device {
@@ -35,21 +36,31 @@ class CachingAllocator {
 
   // Allocates at least `bytes` (rounded up to the size class). Throws
   // gs::Error if in-use + requested would exceed the device capacity even
-  // after releasing the cache.
+  // after releasing the cache. Thread-safe: pipeline stages allocate and
+  // free concurrently, and a buffer allocated by one stage is freed by the
+  // stage that consumes it.
   void* Allocate(int64_t bytes);
   void Free(void* ptr);
 
   // Returns all cached blocks to the host (cudaEmptyCache analogue).
   void ReleaseCache();
 
-  const AllocatorStats& stats() const { return stats_; }
-  void ResetPeak() { stats_.peak_bytes_in_use = stats_.bytes_in_use; }
+  AllocatorStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+  void ResetPeak() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.peak_bytes_in_use = stats_.bytes_in_use;
+  }
   int64_t capacity_bytes() const { return capacity_bytes_; }
 
  private:
   static int64_t RoundToClass(int64_t bytes);
+  void ReleaseCacheLocked();
 
   int64_t capacity_bytes_;
+  mutable std::mutex mutex_;
   AllocatorStats stats_;
   // size class -> free blocks of exactly that (rounded) size
   std::map<int64_t, std::vector<void*>> pool_;

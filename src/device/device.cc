@@ -1,9 +1,15 @@
 #include "device/device.h"
 
+#include <atomic>
+
 namespace gs::device {
 namespace {
 
-Device* g_current = nullptr;
+// The current device is process-global (a DeviceGuard on the main thread
+// covers the pipeline's stage workers too); the current *stream* is
+// per-thread so overlapped stages record to independent timelines.
+std::atomic<Device*> g_current{nullptr};
+thread_local Stream* t_stream = nullptr;
 
 Device& DefaultDevice() {
   static Device device(V100Sim());
@@ -12,11 +18,20 @@ Device& DefaultDevice() {
 
 }  // namespace
 
-Device& Current() { return g_current != nullptr ? *g_current : DefaultDevice(); }
+Stream& Device::stream() { return t_stream != nullptr ? *t_stream : stream_; }
+
+Device& Current() {
+  Device* current = g_current.load(std::memory_order_acquire);
+  return current != nullptr ? *current : DefaultDevice();
+}
 
 Device* SetCurrent(Device* device) {
-  Device* previous = g_current;
-  g_current = device;
+  return g_current.exchange(device, std::memory_order_acq_rel);
+}
+
+Stream* SetThreadStream(Stream* stream) {
+  Stream* previous = t_stream;
+  t_stream = stream;
   return previous;
 }
 

@@ -27,7 +27,11 @@ class Device {
 
   const DeviceProfile& profile() const { return profile_; }
   CachingAllocator& allocator() { return allocator_; }
-  Stream& stream() { return stream_; }
+  // The stream work on this thread records to: the thread's StreamGuard
+  // override if one is active (pipeline stage workers), else the device's
+  // default stream. Mirrors CUDA's per-thread current stream.
+  Stream& stream();
+  Stream& default_stream() { return stream_; }
 
  private:
   DeviceProfile profile_;
@@ -40,6 +44,25 @@ Device& Current();
 // Replaces the current device; returns the previous one (may be null for the
 // implicit default).
 Device* SetCurrent(Device* device);
+
+// Replaces the calling thread's stream override (nullptr clears it);
+// returns the previous override.
+Stream* SetThreadStream(Stream* stream);
+
+// Scoped per-thread stream override. Pipeline stage workers install their
+// stage stream so every kernel the stage runs is recorded on — and advances
+// the timeline of — that stream.
+class StreamGuard {
+ public:
+  explicit StreamGuard(Stream& stream) : previous_(SetThreadStream(&stream)) {}
+  ~StreamGuard() { SetThreadStream(previous_); }
+
+  StreamGuard(const StreamGuard&) = delete;
+  StreamGuard& operator=(const StreamGuard&) = delete;
+
+ private:
+  Stream* previous_;
+};
 
 // Scoped switch of the current device.
 class DeviceGuard {

@@ -3,6 +3,23 @@
 #include <algorithm>
 
 namespace gs::device {
+namespace {
+
+// All counter updates use relaxed ordering: counters are statistics, and
+// cross-thread happens-before for the values they describe is provided by
+// the pipeline queues' mutexes.
+constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+
+// Atomic max for the timeline (compare-exchange loop; timelines only move
+// forward).
+int64_t FetchMax(std::atomic<int64_t>& target, int64_t value) {
+  int64_t observed = target.load(kRelaxed);
+  while (observed < value && !target.compare_exchange_weak(observed, value, kRelaxed)) {
+  }
+  return observed;
+}
+
+}  // namespace
 
 void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
   const DeviceProfile& p = profile_;
@@ -16,12 +33,61 @@ void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
       std::min(1.0, static_cast<double>(std::max<int64_t>(stats.parallel_items, 1)) /
                         static_cast<double>(p.sm_saturation_items));
 
-  ++counters_.kernels_launched;
-  counters_.cpu_ns += cpu_ns;
-  counters_.virtual_ns += static_cast<int64_t>(virtual_ns);
-  counters_.hbm_bytes += stats.hbm_bytes;
-  counters_.pcie_bytes += stats.pcie_bytes;
-  counters_.occupancy_ns += occupancy * virtual_ns;
+  const int64_t v = static_cast<int64_t>(virtual_ns);
+  kernels_launched_.fetch_add(1, kRelaxed);
+  cpu_ns_.fetch_add(cpu_ns, kRelaxed);
+  virtual_ns_.fetch_add(v, kRelaxed);
+  now_ns_.fetch_add(v, kRelaxed);
+  hbm_bytes_.fetch_add(stats.hbm_bytes, kRelaxed);
+  pcie_bytes_.fetch_add(stats.pcie_bytes, kRelaxed);
+  occupancy_ns_.fetch_add(occupancy * virtual_ns, kRelaxed);
+}
+
+void Stream::WaitEvent(const Event& event, StallKind kind) {
+  const int64_t before = FetchMax(now_ns_, event.ready_at_ns);
+  const int64_t jump = event.ready_at_ns - before;
+  if (jump <= 0) {
+    return;
+  }
+  (kind == StallKind::kStarved ? starved_ns_ : backpressure_ns_).fetch_add(jump, kRelaxed);
+}
+
+void Stream::AlignTo(int64_t origin_ns) { FetchMax(now_ns_, origin_ns); }
+
+void Stream::MergeOverlapped(const StreamCounters& child, int64_t elapsed_virtual_ns) {
+  kernels_launched_.fetch_add(child.kernels_launched, kRelaxed);
+  cpu_ns_.fetch_add(child.cpu_ns, kRelaxed);
+  hbm_bytes_.fetch_add(child.hbm_bytes, kRelaxed);
+  pcie_bytes_.fetch_add(child.pcie_bytes, kRelaxed);
+  occupancy_ns_.fetch_add(child.occupancy_ns, kRelaxed);
+  virtual_ns_.fetch_add(elapsed_virtual_ns, kRelaxed);
+  now_ns_.fetch_add(elapsed_virtual_ns, kRelaxed);
+}
+
+StreamCounters Stream::counters() const {
+  StreamCounters c;
+  c.kernels_launched = kernels_launched_.load(kRelaxed);
+  c.virtual_ns = virtual_ns_.load(kRelaxed);
+  c.cpu_ns = cpu_ns_.load(kRelaxed);
+  c.hbm_bytes = hbm_bytes_.load(kRelaxed);
+  c.pcie_bytes = pcie_bytes_.load(kRelaxed);
+  c.timeline_ns = now_ns_.load(kRelaxed);
+  c.starved_ns = starved_ns_.load(kRelaxed);
+  c.backpressure_ns = backpressure_ns_.load(kRelaxed);
+  c.occupancy_ns = occupancy_ns_.load(kRelaxed);
+  return c;
+}
+
+void Stream::ResetCounters() {
+  kernels_launched_.store(0, kRelaxed);
+  virtual_ns_.store(0, kRelaxed);
+  cpu_ns_.store(0, kRelaxed);
+  hbm_bytes_.store(0, kRelaxed);
+  pcie_bytes_.store(0, kRelaxed);
+  now_ns_.store(0, kRelaxed);
+  starved_ns_.store(0, kRelaxed);
+  backpressure_ns_.store(0, kRelaxed);
+  occupancy_ns_.store(0.0, kRelaxed);
 }
 
 }  // namespace gs::device

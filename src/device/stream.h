@@ -7,11 +7,26 @@
 // launches, HBM/PCIe bytes, and the time-weighted SM-occupancy proxy that
 // backs Table 9's SM% column.
 //
+// Streams are asynchronous in the CUDA sense: each stream carries its own
+// virtual *timeline* (`now_ns`), completion is observed through Event
+// objects recorded on one stream and waited on by another, and
+// `Synchronize()` reports the timeline position at which all work submitted
+// so far has completed. The pipeline executor (src/pipeline/) runs each
+// stage on its own stream so overlapped stages advance independent
+// timelines; cross-stage data dependencies become event waits, which is what
+// makes a pipelined epoch's simulated makespan shorter than the sum of the
+// per-stage busy times.
+//
+// All counters are atomics: concurrent pipeline stages record kernels on
+// their own streams, but metrics snapshots (and the merged device totals)
+// are read from other threads.
+//
 // Benchmarks report *virtual* time deltas; correctness code ignores time.
 
 #ifndef GSAMPLER_DEVICE_STREAM_H_
 #define GSAMPLER_DEVICE_STREAM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -36,12 +51,33 @@ struct KernelStats {
   int64_t pcie_bytes = 0;
 };
 
+// A point on a stream's virtual timeline: all work submitted to the stream
+// before RecordEvent() has completed by `ready_at_ns`. Plain value type —
+// safe to pass between threads.
+struct Event {
+  int64_t ready_at_ns = 0;
+};
+
+// How a timeline stall should be attributed in the counters (the pipeline
+// distinguishes waiting for upstream data from waiting for a downstream
+// queue slot).
+enum class StallKind {
+  kStarved,       // producer-starved: waiting on an upstream event
+  kBackpressure,  // consumer-backpressured: waiting for a queue slot
+};
+
+// Snapshot of a stream's accumulated counters. `virtual_ns` is *busy*
+// simulated time; `timeline_ns` is the stream's current timeline position
+// (busy time plus event-wait stalls plus any AlignTo jumps).
 struct StreamCounters {
   int64_t kernels_launched = 0;
-  int64_t virtual_ns = 0;  // simulated device time
+  int64_t virtual_ns = 0;  // simulated device busy time
   int64_t cpu_ns = 0;      // raw measured host time
   int64_t hbm_bytes = 0;
   int64_t pcie_bytes = 0;
+  int64_t timeline_ns = 0;         // current virtual timeline position
+  int64_t starved_ns = 0;          // stalls waiting on upstream events
+  int64_t backpressure_ns = 0;     // stalls waiting on downstream slots
   // sum over kernels of occupancy * kernel_virtual_ns; SM% = this / virtual_ns
   double occupancy_ns = 0.0;
 
@@ -54,16 +90,55 @@ class Stream {
  public:
   explicit Stream(DeviceProfile profile) : profile_(std::move(profile)) {}
 
-  const StreamCounters& counters() const { return counters_; }
-  void ResetCounters() { counters_ = StreamCounters{}; }
+  // Streams own atomic counters and a timeline; they are not copyable.
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  StreamCounters counters() const;
+  void ResetCounters();
   const DeviceProfile& profile() const { return profile_; }
 
-  // Records one completed kernel; called by KernelScope.
+  // Records one completed kernel; called by KernelScope. Thread-safe.
   void RecordKernel(int64_t cpu_ns, const KernelStats& stats);
+
+  // Current virtual timeline position.
+  int64_t now_ns() const { return now_ns_.load(std::memory_order_relaxed); }
+
+  // Marks a completion point: all work submitted so far is done by the
+  // returned event's timestamp.
+  Event RecordEvent() const { return Event{now_ns()}; }
+
+  // Advances this stream's timeline to the event's completion time (no-op
+  // if already past it); the jump is charged as stall time of the given
+  // kind. The analogue of cudaStreamWaitEvent.
+  void WaitEvent(const Event& event, StallKind kind);
+
+  // Virtual completion timestamp of all submitted work. In the simulation
+  // every kernel's cost is known at submission, so synchronizing is
+  // observing the timeline rather than blocking.
+  int64_t Synchronize() const { return now_ns(); }
+
+  // Jumps the timeline forward to `origin_ns` without charging stall time.
+  // Used when a fresh stage stream joins an epoch already in progress.
+  void AlignTo(int64_t origin_ns);
+
+  // Folds a concurrent child stream's counters into this stream after the
+  // child's work (overlapped with other children) completed: resource
+  // counters add, but busy/timeline advance only by `elapsed_virtual_ns`,
+  // the overlapped makespan — which is the point of pipelining.
+  void MergeOverlapped(const StreamCounters& child, int64_t elapsed_virtual_ns);
 
  private:
   DeviceProfile profile_;
-  StreamCounters counters_;
+  std::atomic<int64_t> kernels_launched_{0};
+  std::atomic<int64_t> virtual_ns_{0};
+  std::atomic<int64_t> cpu_ns_{0};
+  std::atomic<int64_t> hbm_bytes_{0};
+  std::atomic<int64_t> pcie_bytes_{0};
+  std::atomic<int64_t> now_ns_{0};
+  std::atomic<int64_t> starved_ns_{0};
+  std::atomic<int64_t> backpressure_ns_{0};
+  std::atomic<double> occupancy_ns_{0.0};
 };
 
 // RAII bracket around one kernel body.
@@ -73,6 +148,8 @@ class Stream {
 //   k.Finish({.parallel_items = nnz, .hbm_bytes = bytes});
 //
 // If Finish is not called the destructor records with default stats.
+// Measures per-thread CPU time so concurrent pipeline stages sharing cores
+// do not inflate each other's simulated kernel costs.
 class KernelScope {
  public:
   explicit KernelScope(Stream& stream) : stream_(&stream) {}
@@ -93,7 +170,7 @@ class KernelScope {
 
  private:
   Stream* stream_;
-  gs::Timer timer_;
+  gs::ThreadCpuTimer timer_;
   bool finished_ = false;
 };
 

@@ -1,6 +1,8 @@
 #include "gnn/minibatch.h"
 
 #include "common/error.h"
+#include "sparse/kernels.h"
+#include "tensor/ops.h"
 
 namespace gs::gnn {
 
@@ -15,6 +17,25 @@ MiniBatch FromSamplerOutputs(const std::vector<core::Value>& outputs,
   }
   GS_CHECK(!batch.layers.empty()) << "sampler produced no layer matrices";
   return batch;
+}
+
+std::vector<tensor::IdArray> NodeLists(const MiniBatch& batch) {
+  std::vector<tensor::IdArray> lists;
+  lists.push_back(batch.seeds);
+  for (size_t l = 1; l < batch.layers.size(); ++l) {
+    lists.push_back(sparse::ColIds(batch.layers[l]));
+  }
+  lists.push_back(sparse::RowIds(batch.layers.back()));
+  return lists;
+}
+
+void ExtractFeatures(MiniBatch& batch, const tensor::Tensor& features, bool gather_mid) {
+  batch.lists = NodeLists(batch);
+  batch.x_deep = tensor::GatherRows(features, batch.lists.back());
+  if (gather_mid) {
+    GS_CHECK_GE(batch.lists.size(), 2u);
+    batch.x_mid = tensor::GatherRows(features, batch.lists[1]);
+  }
 }
 
 }  // namespace gs::gnn

@@ -21,6 +21,13 @@ struct MiniBatch {
   std::vector<sparse::Matrix> layers;
   // Seed (output) node ids of the batch.
   tensor::IdArray seeds;
+
+  // Optional prefetched state filled by ExtractFeatures (the pipeline's
+  // feature-extract stage). When present, model Forward passes reuse these
+  // instead of recomputing node lists / re-gathering feature rows.
+  std::vector<tensor::IdArray> lists;  // NodeLists(*this), empty if not prefetched
+  tensor::Tensor x_deep;               // features gathered at lists.back()
+  tensor::Tensor x_mid;                // features gathered at lists[1] (SAGE only)
 };
 
 // Builds a MiniBatch from a sampling program whose outputs are the
@@ -28,6 +35,17 @@ struct MiniBatch {
 // frontier ids, i.e. the shape produced by the algorithm factories.
 MiniBatch FromSamplerOutputs(const std::vector<core::Value>& outputs,
                              const tensor::IdArray& seeds);
+
+// Per-layer node lists of a batch: lists[0] = seeds, lists[l] = column ids
+// of layer l for l >= 1, plus the deepest layer's row (source) ids last.
+std::vector<tensor::IdArray> NodeLists(const MiniBatch& batch);
+
+// Feature-extract stage: computes batch.lists and gathers the input-feature
+// rows the models need (x_deep always; x_mid only when `gather_mid`, i.e.
+// for SAGE-style models that also use features at node list 1). Kernel
+// costs are charged to the calling thread's current stream, so under the
+// pipeline executor this work lands on the feature stage's timeline.
+void ExtractFeatures(MiniBatch& batch, const tensor::Tensor& features, bool gather_mid);
 
 }  // namespace gs::gnn
 

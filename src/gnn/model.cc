@@ -235,20 +235,6 @@ Tensor InitWeight(int64_t rows, int64_t cols, uint64_t seed) {
   return Tensor::Randn({rows, cols}, rng, std);
 }
 
-// Node lists per layer: list[0] = seeds (= cols of layers[0]); list[l] =
-// cols of layers[l]; list[L] = source list of the deepest layer (unique row
-// ids of layers[L-1] merged with its cols for seed-inclusive batches).
-std::vector<IdArray> NodeLists(const MiniBatch& batch) {
-  std::vector<IdArray> lists;
-  lists.push_back(batch.seeds);
-  for (size_t l = 1; l < batch.layers.size(); ++l) {
-    lists.push_back(sparse::ColIds(batch.layers[l]));
-  }
-  const Matrix& deepest = batch.layers.back();
-  lists.push_back(sparse::RowIds(deepest));
-  return lists;
-}
-
 }  // namespace
 
 // -------------------------------------------------------------- SageModel
@@ -271,13 +257,16 @@ SageModel::Activations SageModel::Forward(const MiniBatch& batch,
                                           const Tensor& features) const {
   GS_CHECK_EQ(batch.layers.size(), 2u) << "SageModel expects 2-layer batches";
   Activations a;
-  a.lists = NodeLists(batch);
+  a.lists = batch.lists.empty() ? NodeLists(batch) : batch.lists;
   const Matrix& s1 = batch.layers[0];  // cols = seeds,   rows in lists[1] ∪ ...
   const Matrix& s2 = batch.layers[1];  // cols = lists[1], rows in lists[2]
 
-  // Layer 1: representations for every node in lists[1].
-  a.x_deep = tensor::GatherRows(features, a.lists[2]);
-  a.x_mid = tensor::GatherRows(features, a.lists[1]);
+  // Layer 1: representations for every node in lists[1], prefetched by the
+  // pipeline's feature stage when available.
+  a.x_deep = batch.x_deep.defined() ? batch.x_deep
+                                    : tensor::GatherRows(features, a.lists[2]);
+  a.x_mid = batch.x_mid.defined() ? batch.x_mid
+                                  : tensor::GatherRows(features, a.lists[1]);
   Tensor neigh1 = MeanAggregate(s2, a.x_deep, a.lists[2], a.counts1);
   a.cat1 = ConcatCols(a.x_mid, neigh1);
   a.pre1 = tensor::MatMul(a.cat1, w1_);
@@ -372,11 +361,12 @@ GcnModel::Activations GcnModel::Forward(const MiniBatch& batch,
                                         const Tensor& features) const {
   GS_CHECK_EQ(batch.layers.size(), 2u) << "GcnModel expects 2-layer batches";
   Activations a;
-  a.lists = NodeLists(batch);
+  a.lists = batch.lists.empty() ? NodeLists(batch) : batch.lists;
   const Matrix& s1 = batch.layers[0];
   const Matrix& s2 = batch.layers[1];
 
-  a.x_deep = tensor::GatherRows(features, a.lists[2]);
+  a.x_deep = batch.x_deep.defined() ? batch.x_deep
+                                    : tensor::GatherRows(features, a.lists[2]);
   a.agg1 = WeightedAggregate(s2, a.x_deep, a.lists[2]);
   a.pre1 = tensor::MatMul(a.agg1, w1_);
   a.h1 = tensor::Relu(a.pre1);

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
+#include <utility>
 
 #include "common/error.h"
 #include "device/device.h"
+#include "pipeline/executor.h"
 
 namespace gs::gnn {
 namespace {
@@ -21,10 +23,6 @@ std::vector<IdArray> MakeBatches(const IdArray& ids, int64_t begin, int64_t end,
     batches.push_back(std::move(batch));
   }
   return batches;
-}
-
-double VirtualMs() {
-  return static_cast<double>(device::Current().stream().counters().virtual_ns) / 1e6;
 }
 
 }  // namespace
@@ -70,26 +68,56 @@ TrainOutcome Train(const graph::Graph& g, const SampleFn& sampler,
 
   TrainOutcome outcome;
   Rng rng(config.seed);
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
-    for (size_t b = 0; b < train_batches.size(); ++b) {
-      Rng batch_rng = rng.Fork(static_cast<uint64_t>(epoch) * 131071u + b);
-      const double t0 = VirtualMs();
-      MiniBatch batch = sampler(train_batches[b], batch_rng);
-      const double t1 = VirtualMs();
-      if (sage != nullptr) {
-        sage->TrainStep(batch, g.features(), g.labels(), config.learning_rate);
-      } else {
-        gcn->TrainStep(batch, g.features(), g.labels(), config.learning_rate);
-      }
-      const double t2 = VirtualMs();
-      outcome.sample_ms += t1 - t0;
-      outcome.model_ms += t2 - t1;
-    }
+
+  // The training loop runs as a 3-stage pipeline: sample -> feature-extract
+  // -> train, one worker thread per stage, bounded prefetch queues in
+  // between. Items cycle through a slot ring sized for the maximum number
+  // of batches in flight (stage s runs at most `depth` items ahead of its
+  // consumer, so at most 2*depth+1 items are live at once). depth 0 runs
+  // the same stages inline on this thread — same kernels, same order, same
+  // results; only the simulated timeline differs.
+  const int depth = std::max(config.pipeline_depth, 0);
+  const size_t slot_count = static_cast<size_t>(2 * depth + 3);
+  std::vector<MiniBatch> slots(slot_count);
+  const bool gather_mid = config.model == ModelKind::kSage;
+  int epoch = 0;  // captured by the stage closures, bumped per Run
+
+  std::vector<pipeline::Stage> stages;
+  stages.push_back({"sample", [&](int64_t i) {
+                      Rng batch_rng = rng.Fork(static_cast<uint64_t>(epoch) * 131071u +
+                                               static_cast<uint64_t>(i));
+                      slots[static_cast<size_t>(i) % slot_count] =
+                          sampler(train_batches[static_cast<size_t>(i)], batch_rng);
+                    }});
+  stages.push_back({"feature", [&](int64_t i) {
+                      ExtractFeatures(slots[static_cast<size_t>(i) % slot_count],
+                                      g.features(), gather_mid);
+                    }});
+  stages.push_back({"train", [&](int64_t i) {
+                      MiniBatch& batch = slots[static_cast<size_t>(i) % slot_count];
+                      const StepStats s =
+                          sage != nullptr
+                              ? sage->TrainStep(batch, g.features(), g.labels(),
+                                                config.learning_rate)
+                              : gcn->TrainStep(batch, g.features(), g.labels(),
+                                               config.learning_rate);
+                      outcome.step_loss.push_back(s.loss);
+                      batch = MiniBatch{};  // free the slot's sample + features
+                    }});
+  pipeline::Executor executor(std::move(stages), pipeline::Options{depth});
+
+  for (epoch = 0; epoch < config.epochs; ++epoch) {
+    executor.Run(static_cast<int64_t>(train_batches.size()));
     // Validation runs outside the timed training loop.
     Rng eval_rng = rng.Fork(0xE0A1u + static_cast<uint64_t>(epoch));
     outcome.epoch_accuracy.push_back(evaluate(eval_rng));
   }
-  outcome.total_ms = outcome.sample_ms + outcome.model_ms;
+
+  outcome.pipeline = executor.metrics();
+  const pipeline::Metrics& m = outcome.pipeline;
+  outcome.sample_ms = m.stages[0].BusyMs();
+  outcome.model_ms = m.stages[1].BusyMs() + m.stages[2].BusyMs();
+  outcome.total_ms = m.EpochMs();
   outcome.final_accuracy =
       outcome.epoch_accuracy.empty() ? 0.0f : outcome.epoch_accuracy.back();
   return outcome;

@@ -12,6 +12,7 @@
 #include "gnn/minibatch.h"
 #include "gnn/model.h"
 #include "graph/graph.h"
+#include "pipeline/metrics.h"
 
 namespace gs::gnn {
 
@@ -28,6 +29,11 @@ struct TrainerConfig {
   int hidden = 64;
   double val_fraction = 0.2;
   uint64_t seed = 17;
+  // Prefetch depth for the pipelined training loop (sample -> feature ->
+  // train stages with bounded queues). 0 runs the stages synchronously on
+  // the calling thread; any depth produces bit-identical samples and losses
+  // — only the simulated timeline changes.
+  int pipeline_depth = 0;
 };
 
 struct TrainOutcome {
@@ -39,6 +45,11 @@ struct TrainOutcome {
   // Validation accuracy after the final epoch, and its per-epoch history.
   float final_accuracy = 0.0f;
   std::vector<float> epoch_accuracy;
+  // Training loss of every step across all epochs, in step order (used by
+  // the pipelined-vs-synchronous equivalence tests).
+  std::vector<float> step_loss;
+  // Per-stage pipeline metrics accumulated over all epochs.
+  pipeline::Metrics pipeline;
 };
 
 // Samples a mini-batch for the given seeds.

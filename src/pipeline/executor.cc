@@ -1,0 +1,276 @@
+#include "pipeline/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/error.h"
+#include "device/device.h"
+#include "pipeline/queue.h"
+
+namespace gs::pipeline {
+namespace {
+
+// Data token handed downstream: stage s finished `index`; its output is
+// complete at `ready_ns` on stage s's timeline.
+struct Token {
+  int64_t index = 0;
+  int64_t ready_ns = 0;
+};
+
+// Backpressure credit handed upstream: the consumer freed a prefetch slot
+// at virtual time `ns`.
+struct Credit {
+  int64_t ns = 0;
+};
+
+device::StreamCounters Diff(const device::StreamCounters& after,
+                            const device::StreamCounters& before) {
+  device::StreamCounters d;
+  d.kernels_launched = after.kernels_launched - before.kernels_launched;
+  d.virtual_ns = after.virtual_ns - before.virtual_ns;
+  d.cpu_ns = after.cpu_ns - before.cpu_ns;
+  d.hbm_bytes = after.hbm_bytes - before.hbm_bytes;
+  d.pcie_bytes = after.pcie_bytes - before.pcie_bytes;
+  d.timeline_ns = after.timeline_ns - before.timeline_ns;
+  d.starved_ns = after.starved_ns - before.starved_ns;
+  d.backpressure_ns = after.backpressure_ns - before.backpressure_ns;
+  d.occupancy_ns = after.occupancy_ns - before.occupancy_ns;
+  return d;
+}
+
+Metrics EmptyRunMetrics(const std::vector<Stage>& stages, int depth) {
+  Metrics m;
+  m.depth = depth;
+  m.runs = 1;
+  m.stages.resize(stages.size());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    m.stages[s].name = stages[s].name;
+  }
+  return m;
+}
+
+[[noreturn]] void RethrowWithStage(const std::string& stage,
+                                   const std::exception_ptr& error) {
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    throw Error("pipeline stage '" + stage + "' failed: " + e.what());
+  } catch (...) {
+    throw Error("pipeline stage '" + stage + "' failed: unknown exception");
+  }
+}
+
+}  // namespace
+
+Executor::Executor(std::vector<Stage> stages, Options options)
+    : stages_(std::move(stages)), options_(options) {
+  GS_CHECK(!stages_.empty()) << "pipeline needs at least one stage";
+  GS_CHECK_GE(options_.depth, 0);
+  for (const Stage& s : stages_) {
+    GS_CHECK(s.fn != nullptr) << "stage '" << s.name << "' has no function";
+  }
+  metrics_ = EmptyRunMetrics(stages_, options_.depth);
+  metrics_.runs = 0;
+}
+
+void Executor::Run(int64_t num_items) {
+  GS_CHECK_GE(num_items, 0);
+  if (options_.depth == 0) {
+    RunInline(num_items);
+  } else {
+    RunPipelined(num_items);
+  }
+}
+
+void Executor::RunInline(int64_t num_items) {
+  device::Stream& stream = device::Current().stream();
+  Metrics run = EmptyRunMetrics(stages_, 0);
+  device::StreamCounters last = stream.counters();
+  const int64_t origin = last.timeline_ns;
+
+  auto finish = [&](const std::exception_ptr& error, const std::string& stage) {
+    const device::StreamCounters end = stream.counters();
+    run.epoch_virtual_ns = end.timeline_ns - origin;
+    run.serial_virtual_ns = end.timeline_ns - origin;
+    metrics_.Accumulate(run);
+    if (error != nullptr) {
+      RethrowWithStage(stage, error);
+    }
+  };
+
+  for (int64_t i = 0; i < num_items; ++i) {
+    for (size_t s = 0; s < stages_.size(); ++s) {
+      try {
+        stages_[s].fn(i);
+      } catch (...) {
+        finish(std::current_exception(), stages_[s].name);
+      }
+      const device::StreamCounters cur = stream.counters();
+      const device::StreamCounters d = Diff(cur, last);
+      run.stages[s].items += 1;
+      run.stages[s].busy_virtual_ns += d.virtual_ns;
+      run.stages[s].busy_cpu_ns += d.cpu_ns;
+      run.stages[s].kernels_launched += d.kernels_launched;
+      last = cur;
+    }
+    run.items += 1;
+  }
+  finish(nullptr, "");
+}
+
+void Executor::RunPipelined(int64_t num_items) {
+  const size_t num_stages = stages_.size();
+  const int64_t depth = options_.depth;
+  device::Device& dev = device::Current();
+  device::Stream& parent = dev.stream();
+  const int64_t origin = parent.now_ns();
+
+  if (streams_.empty()) {
+    for (size_t s = 0; s < num_stages; ++s) {
+      streams_.push_back(std::make_unique<device::Stream>(dev.profile()));
+    }
+  }
+  std::vector<device::StreamCounters> before(num_stages);
+  for (size_t s = 0; s < num_stages; ++s) {
+    streams_[s]->AlignTo(origin);
+    before[s] = streams_[s]->counters();
+  }
+
+  // data[s]: stage s -> s+1 output tokens; credits[s]: free prefetch slots
+  // of data[s] flowing back upstream. A stage acquires a slot credit before
+  // processing, so it runs at most `depth` items ahead of its consumer;
+  // credit capacity has headroom because at most depth + 1 credits are ever
+  // outstanding.
+  std::vector<std::unique_ptr<BoundedQueue<Token>>> data;
+  std::vector<std::unique_ptr<BoundedQueue<Credit>>> credits;
+  for (size_t s = 0; s + 1 < num_stages; ++s) {
+    data.push_back(std::make_unique<BoundedQueue<Token>>(depth));
+    credits.push_back(std::make_unique<BoundedQueue<Credit>>(depth + 2));
+    for (int64_t k = 0; k < depth; ++k) {
+      credits.back()->Push(Credit{origin});
+    }
+  }
+
+  std::atomic<bool> aborted{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::string failed_stage;
+  std::vector<int64_t> processed(num_stages, 0);
+
+  auto fail = [&](size_t s, std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error == nullptr) {
+        first_error = std::move(error);
+        failed_stage = stages_[s].name;
+      }
+    }
+    aborted.store(true, std::memory_order_release);
+    for (auto& q : data) {
+      q->Cancel();
+    }
+    for (auto& q : credits) {
+      q->Cancel();
+    }
+  };
+
+  auto worker = [&](size_t s) {
+    device::StreamGuard guard(*streams_[s]);
+    device::Stream& stream = *streams_[s];
+    try {
+      for (int64_t i = 0;; ++i) {
+        int64_t ready_ns = origin;
+        if (s == 0) {
+          if (i >= num_items || aborted.load(std::memory_order_acquire)) {
+            break;
+          }
+        } else {
+          std::optional<Token> token = data[s - 1]->Pop();
+          if (!token.has_value()) {
+            break;  // upstream closed (done) or cancelled (abort)
+          }
+          GS_INTERNAL(token->index == i);
+          // Popping freed a prefetch slot; tell the producer when.
+          credits[s - 1]->Push(Credit{stream.now_ns()});
+          ready_ns = token->ready_ns;
+        }
+        std::optional<Credit> slot;
+        if (s + 1 < num_stages) {
+          slot = credits[s]->Pop();
+          if (!slot.has_value()) {
+            break;  // cancelled while waiting for a slot
+          }
+        }
+        stream.WaitEvent(device::Event{ready_ns}, device::StallKind::kStarved);
+        if (slot.has_value()) {
+          stream.WaitEvent(device::Event{slot->ns}, device::StallKind::kBackpressure);
+        }
+        stages_[s].fn(i);
+        processed[s] += 1;
+        if (s + 1 < num_stages) {
+          if (!data[s]->Push(Token{i, stream.RecordEvent().ready_at_ns})) {
+            break;
+          }
+        }
+      }
+    } catch (...) {
+      fail(s, std::current_exception());
+    }
+    if (s + 1 < num_stages) {
+      data[s]->Close();
+    }
+    if (s > 0) {
+      credits[s - 1]->Close();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_stages);
+  for (size_t s = 0; s < num_stages; ++s) {
+    threads.emplace_back(worker, s);
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  // Account the run even if it aborted: per-stage busy/stall from the stage
+  // streams, queue stats from the data queues, and the overlapped makespan
+  // folded once into the caller's stream.
+  Metrics run = EmptyRunMetrics(stages_, options_.depth);
+  device::StreamCounters total;
+  int64_t end_ns = origin;
+  for (size_t s = 0; s < num_stages; ++s) {
+    const device::StreamCounters after = streams_[s]->counters();
+    const device::StreamCounters d = Diff(after, before[s]);
+    StageMetrics& m = run.stages[s];
+    m.items = processed[s];
+    m.busy_virtual_ns = d.virtual_ns;
+    m.busy_cpu_ns = d.cpu_ns;
+    m.starved_ns = d.starved_ns;
+    m.backpressure_ns = d.backpressure_ns;
+    m.kernels_launched = d.kernels_launched;
+    if (s + 1 < num_stages) {
+      m.out_queue = data[s]->stats();
+    }
+    total.kernels_launched += d.kernels_launched;
+    total.cpu_ns += d.cpu_ns;
+    total.hbm_bytes += d.hbm_bytes;
+    total.pcie_bytes += d.pcie_bytes;
+    total.occupancy_ns += d.occupancy_ns;
+    run.serial_virtual_ns += d.virtual_ns;
+    end_ns = std::max(end_ns, after.timeline_ns);
+  }
+  run.items = processed[num_stages - 1];
+  run.epoch_virtual_ns = end_ns - origin;
+  parent.MergeOverlapped(total, run.epoch_virtual_ns);
+  metrics_.Accumulate(run);
+
+  if (first_error != nullptr) {
+    RethrowWithStage(failed_stage, first_error);
+  }
+}
+
+}  // namespace gs::pipeline

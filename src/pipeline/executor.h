@@ -1,0 +1,89 @@
+// Asynchronous pipelined executor: decomposes per-item work into stages
+// (sample -> feature-extract -> train) connected by bounded prefetch queues
+// with backpressure, one worker thread per stage (DALI's prefetch-queue
+// executor shape; stages overlap, items stay ordered).
+//
+// Items are identified by their index in [0, num_items); payloads live in
+// caller-owned slots that stage functions index into. Exactly one stage
+// touches an item at a time — the handoff through the stage queues provides
+// the happens-before edge — so stage functions need no locking of their
+// own.
+//
+// Virtual-clock integration: every stage runs on its own device::Stream
+// whose timeline starts at the caller's stream position. Data dependencies
+// (stage s+1 needs stage s's output for item i) become Event waits charged
+// as *starved* stall time; the bounded prefetch depth is enforced by credits
+// flowing upstream (a stage may run at most `depth` items ahead of its
+// consumer) and charged as *backpressure* stall time. After a run the
+// overlapped makespan — not the sum of stage busy times — is folded into
+// the caller's stream, so epoch timings read from the device reflect the
+// overlap.
+//
+// Determinism: stages process items strictly in order on a single worker
+// each, so a pipelined run performs exactly the same kernel sequence per
+// stage as depth 0 (synchronous in-thread execution) and produces
+// bit-identical outputs; only the simulated timeline differs.
+//
+// A stage exception aborts the run: the queues are cancelled (upstream
+// producers stop, downstream consumers drain out), every worker joins, and
+// Run rethrows a gs::Error naming the failing stage.
+
+#ifndef GSAMPLER_PIPELINE_EXECUTOR_H_
+#define GSAMPLER_PIPELINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "device/stream.h"
+#include "pipeline/metrics.h"
+
+namespace gs::pipeline {
+
+struct Stage {
+  std::string name;
+  // Processes item `index`. Runs with the stage's stream installed as the
+  // thread's current stream; may throw.
+  std::function<void(int64_t index)> fn;
+};
+
+struct Options {
+  // Prefetch-queue depth between stages (DALI's prefetch_queue_depth): each
+  // stage may run at most `depth` items ahead of its consumer. 0 executes
+  // the stages inline on the calling thread (synchronous reference mode).
+  int depth = 2;
+};
+
+class Executor {
+ public:
+  Executor(std::vector<Stage> stages, Options options);
+
+  // Processes items [0, num_items) through every stage. May be called
+  // repeatedly (once per epoch); metrics accumulate across runs. Throws
+  // gs::Error if a stage fails.
+  void Run(int64_t num_items);
+
+  // Accumulated metrics snapshot (totals over all runs so far).
+  const Metrics& metrics() const { return metrics_; }
+
+  int depth() const { return options_.depth; }
+
+ private:
+  void RunInline(int64_t num_items);
+  void RunPipelined(int64_t num_items);
+
+  std::vector<Stage> stages_;
+  Options options_;
+  // Per-stage streams, created from the current device's profile on the
+  // first pipelined run and reused (timelines re-aligned) afterwards.
+  std::vector<std::unique_ptr<device::Stream>> streams_;
+  Metrics metrics_;
+};
+
+}  // namespace gs::pipeline
+
+#endif  // GSAMPLER_PIPELINE_EXECUTOR_H_

@@ -1,0 +1,100 @@
+#include "pipeline/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gs::pipeline {
+namespace {
+
+void AccumulateQueue(QueueStats& into, const QueueStats& from) {
+  into.capacity = std::max(into.capacity, from.capacity);
+  into.pushes += from.pushes;
+  into.pops += from.pops;
+  into.push_blocked += from.push_blocked;
+  into.pop_blocked += from.pop_blocked;
+  into.push_blocked_wall_ns += from.push_blocked_wall_ns;
+  into.pop_blocked_wall_ns += from.pop_blocked_wall_ns;
+  if (into.occupancy_hist.size() < from.occupancy_hist.size()) {
+    into.occupancy_hist.resize(from.occupancy_hist.size(), 0);
+  }
+  for (size_t i = 0; i < from.occupancy_hist.size(); ++i) {
+    into.occupancy_hist[i] += from.occupancy_hist[i];
+  }
+}
+
+std::string HistString(const std::vector<int64_t>& hist) {
+  // Trailing all-zero buckets (deep queues that never fill) are compressed
+  // so wide prefetch depths keep the table readable.
+  size_t last = hist.size();
+  while (last > 1 && hist[last - 1] == 0) {
+    --last;
+  }
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < last; ++i) {
+    out << (i > 0 ? " " : "") << i << ":" << hist[i];
+  }
+  if (last < hist.size()) {
+    out << " ..." << (hist.size() - 1) << ":0";
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace
+
+void Metrics::Accumulate(const Metrics& other) {
+  if (stages.empty()) {
+    *this = other;
+    return;
+  }
+  GS_CHECK_EQ(stages.size(), other.stages.size())
+      << "cannot accumulate metrics of pipelines with different stage counts";
+  depth = other.depth;
+  items += other.items;
+  runs += other.runs;
+  epoch_virtual_ns += other.epoch_virtual_ns;
+  serial_virtual_ns += other.serial_virtual_ns;
+  for (size_t s = 0; s < stages.size(); ++s) {
+    StageMetrics& into = stages[s];
+    const StageMetrics& from = other.stages[s];
+    into.items += from.items;
+    into.busy_virtual_ns += from.busy_virtual_ns;
+    into.busy_cpu_ns += from.busy_cpu_ns;
+    into.starved_ns += from.starved_ns;
+    into.backpressure_ns += from.backpressure_ns;
+    into.kernels_launched += from.kernels_launched;
+    AccumulateQueue(into.out_queue, from.out_queue);
+  }
+}
+
+std::string Metrics::ToString() const {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "pipeline metrics: depth %d, %lld stages, %lld items, %lld run(s)\n",
+                depth, static_cast<long long>(stages.size()), static_cast<long long>(items),
+                static_cast<long long>(runs));
+  out << line;
+  std::snprintf(line, sizeof(line), "  %-12s %7s %10s %11s %14s  %s\n", "stage", "items",
+                "busy ms", "starved ms", "backpress. ms", "queue occupancy");
+  out << line;
+  for (const StageMetrics& s : stages) {
+    std::snprintf(line, sizeof(line), "  %-12s %7lld %10.2f %11.2f %14.2f  ",
+                  s.name.c_str(), static_cast<long long>(s.items), s.BusyMs(), s.StarvedMs(),
+                  s.BackpressureMs());
+    out << line;
+    out << (s.out_queue.capacity > 0 ? HistString(s.out_queue.occupancy_hist) : "-") << "\n";
+  }
+  std::snprintf(line, sizeof(line),
+                "  epoch %.2f ms pipelined vs %.2f ms serial -> overlap speedup %.2fx "
+                "(efficiency %.0f%%)\n",
+                EpochMs(), SerialMs(), OverlapSpeedup(), 100.0 * OverlapEfficiency());
+  out << line;
+  return out.str();
+}
+
+}  // namespace gs::pipeline

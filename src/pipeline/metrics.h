@@ -1,0 +1,69 @@
+// Per-stage metrics exported by the pipeline executor: busy/stall virtual
+// time per stage, prefetch-queue occupancy histograms, and the pipelined
+// epoch makespan vs the serial (sum-of-stages) cost. gsampler_cli and the
+// benches print these; the stall split attributes lost time to
+// producer-starved (waiting on upstream data) vs consumer-backpressured
+// (waiting for a free prefetch slot downstream).
+
+#ifndef GSAMPLER_PIPELINE_METRICS_H_
+#define GSAMPLER_PIPELINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pipeline/queue.h"
+
+namespace gs::pipeline {
+
+struct StageMetrics {
+  std::string name;
+  int64_t items = 0;
+  int64_t busy_virtual_ns = 0;       // simulated time spent doing stage work
+  int64_t busy_cpu_ns = 0;           // measured host time of the stage's kernels
+  int64_t starved_ns = 0;            // stalled waiting for upstream output
+  int64_t backpressure_ns = 0;       // stalled waiting for a downstream slot
+  int64_t kernels_launched = 0;
+  // Stats of the prefetch queue this stage feeds (unset for the last stage).
+  QueueStats out_queue;
+
+  double BusyMs() const { return static_cast<double>(busy_virtual_ns) / 1e6; }
+  double StarvedMs() const { return static_cast<double>(starved_ns) / 1e6; }
+  double BackpressureMs() const { return static_cast<double>(backpressure_ns) / 1e6; }
+};
+
+// Snapshot of a pipeline's accumulated metrics (sums over every Run since
+// construction).
+struct Metrics {
+  int depth = 0;
+  int64_t items = 0;  // items through the full pipeline
+  int64_t runs = 0;   // Run() invocations (epochs)
+  std::vector<StageMetrics> stages;
+  // Simulated makespan of the pipelined execution (what the epoch costs).
+  int64_t epoch_virtual_ns = 0;
+  // Sum of per-stage busy time — what strictly serial execution would cost.
+  int64_t serial_virtual_ns = 0;
+
+  double EpochMs() const { return static_cast<double>(epoch_virtual_ns) / 1e6; }
+  double SerialMs() const { return static_cast<double>(serial_virtual_ns) / 1e6; }
+  // serial / pipelined simulated time: 1.0 = no overlap, num_stages = ideal.
+  double OverlapSpeedup() const {
+    return epoch_virtual_ns > 0 ? static_cast<double>(serial_virtual_ns) /
+                                      static_cast<double>(epoch_virtual_ns)
+                                : 1.0;
+  }
+  // OverlapSpeedup normalized by stage count into [~1/S, 1].
+  double OverlapEfficiency() const {
+    return stages.empty() ? 0.0 : OverlapSpeedup() / static_cast<double>(stages.size());
+  }
+
+  // Merges another snapshot stage-wise (used to total across pipelines).
+  void Accumulate(const Metrics& other);
+
+  // Multi-line human-readable table.
+  std::string ToString() const;
+};
+
+}  // namespace gs::pipeline
+
+#endif  // GSAMPLER_PIPELINE_METRICS_H_
