@@ -36,12 +36,23 @@ void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+namespace {
+thread_local std::string t_log_tag;
+}  // namespace
+
+void SetLogTag(const std::string& tag) { t_log_tag = tag; }
+
+const std::string& GetLogTag() { return t_log_tag; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(level >= GetLogLevel()) {
   if (enabled_) {
     stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+    if (!GetLogTag().empty()) {
+      stream_ << "[" << GetLogTag() << "] ";
+    }
   }
 }
 

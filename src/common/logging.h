@@ -8,6 +8,7 @@
 
 #include <iostream>
 #include <sstream>
+#include <string>
 
 namespace gs {
 
@@ -21,6 +22,25 @@ enum class LogLevel : int {
 // Process-wide minimum level; messages below it are discarded.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Thread-local tag prefixed to every log message this thread emits (the
+// serving workers set it to the request id so a request's whole lifecycle
+// greps by one token). Empty = no prefix.
+void SetLogTag(const std::string& tag);
+const std::string& GetLogTag();
+
+// RAII tag for the duration of handling one request.
+class ScopedLogTag {
+ public:
+  explicit ScopedLogTag(const std::string& tag) : previous_(GetLogTag()) { SetLogTag(tag); }
+  ~ScopedLogTag() { SetLogTag(previous_); }
+
+  ScopedLogTag(const ScopedLogTag&) = delete;
+  ScopedLogTag& operator=(const ScopedLogTag&) = delete;
+
+ private:
+  std::string previous_;
+};
 
 namespace internal {
 

@@ -195,7 +195,6 @@ bool CompiledSampler::SuperBatchEligible() const {
 
 void CompiledSampler::RunSuperBatch(const std::vector<tensor::IdArray>& group,
                                     int64_t first_index, const BatchCallback& callback) {
-  const int64_t n = graph_->num_nodes();
   const int64_t segments = static_cast<int64_t>(group.size());
 
   if (IsPureWalkProgram(program_)) {
@@ -229,14 +228,32 @@ void CompiledSampler::RunSuperBatch(const std::vector<tensor::IdArray>& group,
     return;
   }
 
+  // Per-segment RNG streams forked at the same indices solo Sample() would
+  // use, so a batch's result is independent of the super-batch grouping —
+  // including the final partial group of an epoch.
+  std::vector<Rng> segment_rngs;
+  segment_rngs.reserve(static_cast<size_t>(segments));
+  for (int64_t b = 0; b < segments; ++b) {
+    segment_rngs.push_back(rng_.Fork(batch_counter_ + static_cast<uint64_t>(b)));
+  }
+  Rng rng = rng_.Fork(batch_counter_);
+  batch_counter_ += static_cast<uint64_t>(segments);
+  ExecuteLabeled(group, first_index, rng, segment_rngs, callback);
+}
+
+void CompiledSampler::ExecuteLabeled(const std::vector<tensor::IdArray>& group,
+                                     int64_t first_index, Rng& rng,
+                                     std::span<Rng> segment_rngs,
+                                     const BatchCallback& callback) const {
+  const int64_t n = graph_->num_nodes();
+  const int64_t segments = static_cast<int64_t>(group.size());
+
   // Label each mini-batch's frontiers into its own id space: b * N + v.
   std::vector<int32_t> labeled;
-  std::vector<int64_t> col_offsets = {0};
   for (int64_t b = 0; b < segments; ++b) {
     for (int64_t i = 0; i < group[static_cast<size_t>(b)].size(); ++i) {
       labeled.push_back(static_cast<int32_t>(b * n + group[static_cast<size_t>(b)][i]));
     }
-    col_offsets.push_back(static_cast<int64_t>(labeled.size()));
   }
 
   Bindings bind = bindings_;
@@ -249,50 +266,175 @@ void CompiledSampler::RunSuperBatch(const std::vector<tensor::IdArray>& group,
   for (const auto& [id, value] : precomputed_) {
     seg_executor.SetPrecomputed(id, value);
   }
-  Rng rng = rng_.Fork(batch_counter_);
-  batch_counter_ += static_cast<uint64_t>(segments);
-  std::vector<Value> outputs = seg_executor.Run(bind, rng);
+  std::vector<Value> outputs = seg_executor.Run(bind, rng, segment_rngs);
 
   if (callback == nullptr) {
     return;
   }
 
-  // Split every output back into per-mini-batch values.
+  // Pre-split every output once — id parts and per-segment column ranges
+  // are computed in a single pass over each output, so the whole scatter is
+  // linear in the super-batch instead of per-member.
+  struct OutputSplit {
+    std::vector<tensor::IdArray> id_parts;                  // kIds
+    std::vector<std::pair<int64_t, int64_t>> col_ranges;    // kMatrix
+  };
+  std::vector<OutputSplit> splits(outputs.size());
+  for (size_t o = 0; o < outputs.size(); ++o) {
+    Value& v = outputs[o];
+    switch (v.kind) {
+      case ValueKind::kIds:
+        splits[o].id_parts = SplitLabeledIds(v.ids, n, segments);
+        break;
+      case ValueKind::kMatrix: {
+        // Column segments are contiguous (labeled ids ascend per segment);
+        // one sweep over the labeled col ids yields every batch's range.
+        const sparse::IdArray& col_ids = v.matrix.col_ids();
+        auto& ranges = splits[o].col_ranges;
+        ranges.assign(static_cast<size_t>(segments), {0, 0});
+        int64_t cursor = 0;
+        for (int64_t b = 0; b < segments; ++b) {
+          const int64_t begin = cursor;
+          while (cursor < col_ids.size() && col_ids[cursor] / n == b) {
+            ++cursor;
+          }
+          ranges[static_cast<size_t>(b)] = {begin, cursor};
+        }
+        break;
+      }
+      case ValueKind::kTensor:
+        GS_CHECK(false) << "super-batch programs cannot return raw tensors";
+    }
+  }
+
   for (int64_t b = 0; b < segments; ++b) {
     std::vector<Value> batch_outputs;
     batch_outputs.reserve(outputs.size());
-    for (Value& v : outputs) {
+    for (size_t o = 0; o < outputs.size(); ++o) {
+      Value& v = outputs[o];
       switch (v.kind) {
-        case ValueKind::kIds: {
-          std::vector<tensor::IdArray> parts = SplitLabeledIds(v.ids, n, segments);
-          batch_outputs.push_back(Value::OfIds(parts[static_cast<size_t>(b)]));
+        case ValueKind::kIds:
+          batch_outputs.push_back(Value::OfIds(splits[o].id_parts[static_cast<size_t>(b)]));
           break;
-        }
         case ValueKind::kMatrix: {
-          // Column segments are contiguous (labeled ids ascend per segment);
-          // find this batch's column range from the labeled col ids.
-          const sparse::IdArray& col_ids = v.matrix.col_ids();
-          int64_t begin = 0;
-          while (begin < col_ids.size() && col_ids[begin] / n < b) {
-            ++begin;
-          }
-          int64_t end = begin;
-          while (end < col_ids.size() && col_ids[end] / n == b) {
-            ++end;
-          }
+          const auto [begin, end] = splits[o].col_ranges[static_cast<size_t>(b)];
           sparse::Matrix part = sparse::SliceColumnRange(v.matrix, begin, end);
-          part = sparse::CompactRows(part);
+          // When rows still span the full labeled space, member b's rows
+          // live in [b*N, (b+1)*N); windowed compaction keeps the scatter
+          // independent of how many segments share that row dimension.
+          // Layer-wise programs compact rows mid-program, leaving a small
+          // row space where the generic kernel is already cheap.
+          if (!v.matrix.rows_compact() && v.matrix.num_rows() == segments * n) {
+            part = sparse::CompactRowsInWindow(part, b * n, (b + 1) * n);
+          } else {
+            part = sparse::CompactRows(part);
+          }
           part.SetRowIds(sparse::MapIdsModulo(part.row_ids(), n));
           part.SetColIds(sparse::MapIdsModulo(part.col_ids(), n));
           batch_outputs.push_back(Value::OfMatrix(std::move(part)));
           break;
         }
         case ValueKind::kTensor:
-          GS_CHECK(false) << "super-batch programs cannot return raw tensors";
+          GS_CHECK(false) << "unreachable";
       }
     }
     callback(first_index + b, batch_outputs);
   }
+}
+
+bool CompiledSampler::Coalescable() const {
+  return SuperBatchEligible() && !IsPureWalkProgram(program_);
+}
+
+void CompiledSampler::Warmup(const tensor::IdArray& frontier) {
+  EnsureCalibrated(frontier);
+  warmed_up_ = true;
+  // One throwaway execution materializes every lazily cached structure the
+  // concurrent path would otherwise race to build: format conversions on
+  // the (shared) base graph and on the pre-computed invariant matrices.
+  if (Coalescable()) {
+    SampleGrouped({frontier}, {uint64_t{0}}, nullptr);
+  } else {
+    (void)SampleSeeded(frontier, uint64_t{0});
+  }
+}
+
+std::vector<Value> CompiledSampler::SampleSeeded(const tensor::IdArray& frontier,
+                                                 uint64_t seed) const {
+  GS_CHECK(warmed_up_) << "Warmup() must run before concurrent sampling";
+  if (!Coalescable()) {
+    Bindings b = bindings_;
+    b.frontier = frontier;
+    Rng rng = rng_.Fork(seed);
+    return executor_.Run(b, rng);
+  }
+  // Always go through the one-segment super-batch path so a request's
+  // results do not depend on whether it was coalesced with others.
+  std::vector<Value> result;
+  SampleGrouped({frontier}, {seed},
+                [&result](int64_t, std::vector<Value>& outputs) { result = std::move(outputs); });
+  return result;
+}
+
+void CompiledSampler::SampleGrouped(const std::vector<tensor::IdArray>& group,
+                                    const std::vector<uint64_t>& seeds,
+                                    const BatchCallback& callback) const {
+  GS_CHECK(Coalescable()) << "program cannot run with per-segment rng streams";
+  GS_CHECK_EQ(group.size(), seeds.size()) << "one seed per group member";
+  GS_CHECK(!group.empty());
+  GS_CHECK(calibrated_ && !needs_precompute_) << "Warmup() must run before SampleGrouped";
+  std::vector<Rng> segment_rngs;
+  segment_rngs.reserve(seeds.size());
+  for (uint64_t seed : seeds) {
+    segment_rngs.push_back(rng_.Fork(seed));
+  }
+  // All random draws route through the segment rngs (walk ops are excluded
+  // by Coalescable); the shared rng is never consumed.
+  Rng unused(uint64_t{0});
+  ExecuteLabeled(group, 0, unused, segment_rngs, callback);
+}
+
+int64_t CompiledSampler::ResidentBytes() const {
+  auto matrix_bytes = [](const sparse::Matrix& m) {
+    int64_t total = 0;
+    if (!m.defined()) {
+      return total;
+    }
+    if (m.HasFormat(sparse::Format::kCsc)) {
+      const sparse::Compressed& c = m.Csc();
+      total += c.indptr.bytes() + c.indices.bytes() + (c.values.defined() ? c.values.bytes() : 0);
+    }
+    if (m.HasFormat(sparse::Format::kCsr)) {
+      const sparse::Compressed& c = m.Csr();
+      total += c.indptr.bytes() + c.indices.bytes() + (c.values.defined() ? c.values.bytes() : 0);
+    }
+    if (m.HasFormat(sparse::Format::kCoo)) {
+      const sparse::Coo& c = m.GetCoo();
+      total += c.row.bytes() + c.col.bytes() + (c.values.defined() ? c.values.bytes() : 0);
+    }
+    if (m.has_row_ids()) {
+      total += m.row_ids().bytes();
+    }
+    if (m.has_col_ids()) {
+      total += m.col_ids().bytes();
+    }
+    return total;
+  };
+  int64_t total = 0;
+  for (const auto& [id, value] : precomputed_) {
+    switch (value.kind) {
+      case ValueKind::kMatrix:
+        total += matrix_bytes(value.matrix);
+        break;
+      case ValueKind::kTensor:
+        total += value.tensor.defined() ? value.tensor.array().bytes() : 0;
+        break;
+      case ValueKind::kIds:
+        total += value.ids.defined() ? value.ids.bytes() : 0;
+        break;
+    }
+  }
+  return total;
 }
 
 int CompiledSampler::AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batches) {

@@ -12,6 +12,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,48 @@ class CompiledSampler {
   // outlive the sampler.
   void BindGraph(const std::string& name, const sparse::Matrix* matrix);
 
+  // --- Serving hooks (gs::serving) -----------------------------------------
+  //
+  // The serving path runs one compiled plan from many threads at once, so it
+  // needs entry points that (a) touch no mutable sampler state and (b) make
+  // results a pure function of (frontier, seed) — independent of request
+  // arrival order and of which other requests share the execution.
+
+  // True when requests against this plan can be merged into one segmented
+  // super-batch with bit-identical per-request results (per-segment RNG
+  // streams). Pure walk programs are super-batch *eligible* but their steps
+  // interleave draws across the whole frontier, so they serve uncoalesced.
+  bool Coalescable() const;
+
+  // One-time preparation for concurrent serving: runs calibration and
+  // pre-computation, then executes once so every lazily cached structure
+  // (format conversions on the base graph and precomputed matrices) is
+  // materialized. After Warmup, SampleSeeded / SampleGrouped are const and
+  // safe to call concurrently from multiple threads.
+  void Warmup(const tensor::IdArray& frontier);
+
+  // Thread-safe seeded sampling: the RNG stream derives from `seed` instead
+  // of the internal batch counter. For coalescable plans this runs through
+  // the one-segment super-batch path, so the result is bit-identical to the
+  // same request served inside any coalesced group. Requires Warmup.
+  std::vector<Value> SampleSeeded(const tensor::IdArray& frontier, uint64_t seed) const;
+
+  // Thread-safe coalesced sampling: runs `group` as one segmented
+  // super-batch where segment b draws exclusively from a stream derived
+  // from seeds[b]. The callback receives (b, outputs) for every member, and
+  // each member's outputs are bit-identical to
+  // SampleSeeded(group[b], seeds[b]). Requires Warmup and Coalescable.
+  void SampleGrouped(const std::vector<tensor::IdArray>& group,
+                     const std::vector<uint64_t>& seeds,
+                     const BatchCallback& callback) const;
+
+  // Analytic device-memory footprint of the plan's resident state (the
+  // pre-computed batch-invariant values); used by the serving plan cache to
+  // enforce its byte budget.
+  int64_t ResidentBytes() const;
+
+  bool warmed_up() const { return warmed_up_; }
+
   const Program& program() const { return program_; }
   // What the pass pipeline did (layout fields are populated after the first
   // Sample call triggers calibration).
@@ -104,6 +147,13 @@ class CompiledSampler {
   // per-batch split results via the callback.
   void RunSuperBatch(const std::vector<tensor::IdArray>& group, int64_t first_index,
                      const BatchCallback& callback);
+  // Shared labeled-super-batch body: labels frontiers, runs a segmented
+  // executor (per-segment rngs when `segment_rngs` is non-empty, the shared
+  // `rng` otherwise), and splits outputs per mini-batch. Const so the
+  // serving path can run it concurrently after Warmup.
+  void ExecuteLabeled(const std::vector<tensor::IdArray>& group, int64_t first_index,
+                      Rng& rng, std::span<Rng> segment_rngs,
+                      const BatchCallback& callback) const;
   int AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batches);
 
   friend class BatchProducer;
@@ -119,6 +169,7 @@ class CompiledSampler {
   std::map<int, Value> precomputed_;
   bool needs_precompute_ = false;  // deferred until all bindings are present
   bool calibrated_ = false;
+  bool warmed_up_ = false;
   int tuned_super_batch_ = 0;
 };
 

@@ -116,15 +116,21 @@ void Executor::SetPrecomputed(int node_id, Value value) {
   precomputed_[node_id] = std::move(value);
 }
 
-std::vector<Value> Executor::Run(const Bindings& bindings, Rng& rng) const {
+std::vector<Value> Executor::Run(const Bindings& bindings, Rng& rng,
+                                 std::span<Rng> segment_rngs) const {
   GS_CHECK(bindings.graph != nullptr) << "bindings must provide the base graph";
+  if (!segment_rngs.empty()) {
+    GS_CHECK(options_.super_batch) << "per-segment rngs require super-batch mode";
+    GS_CHECK_GE(static_cast<int64_t>(segment_rngs.size()), options_.num_segments)
+        << "need one rng per segment";
+  }
   std::vector<Value> values(static_cast<size_t>(program_->size()));
   for (const Node& n : program_->nodes()) {
     auto pre = precomputed_.find(n.id);
     if (pre != precomputed_.end()) {
       values[static_cast<size_t>(n.id)] = pre->second;
     } else {
-      values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng);
+      values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng, segment_rngs);
     }
     // Free inputs whose last consumer just ran (keeps simulated device
     // memory accounting tight, like stream-ordered frees on GPU).
@@ -151,14 +157,15 @@ std::map<int, Value> Executor::RunInvariant(const Bindings& bindings) const {
     if (!n.invariant) {
       continue;
     }
-    values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng);
+    values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng, {});
     result[n.id] = values[static_cast<size_t>(n.id)];
   }
   return result;
 }
 
 Value Executor::Evaluate(const Node& node, std::vector<Value>& values,
-                         const Bindings& bindings, Rng& rng) const {
+                         const Bindings& bindings, Rng& rng,
+                         std::span<Rng> segment_rngs) const {
   auto matrix_in = [&](int slot) -> const sparse::Matrix& {
     const Value& v = values[static_cast<size_t>(node.inputs[static_cast<size_t>(slot)])];
     GS_CHECK(v.kind == ValueKind::kMatrix && v.matrix.defined())
@@ -293,6 +300,11 @@ Value Executor::Evaluate(const Node& node, std::vector<Value>& values,
       return Value::OfTensor(tensor::SumAxis(tensor_in(0), node.attrs.axis));
 
     case OpKind::kIndividualSample:
+      if (seg && !segment_rngs.empty()) {
+        return finish_structure(sparse::SegmentedIndividualSample(
+            matrix_in(0), node.attrs.k, sparse::ValueArray{}, options_.graph_num_nodes,
+            segment_rngs));
+      }
       return finish_structure(
           sparse::IndividualSample(matrix_in(0), node.attrs.k, sparse::ValueArray{}, rng));
     case OpKind::kIndividualSampleP: {
@@ -300,11 +312,21 @@ Value Executor::Evaluate(const Node& node, std::vector<Value>& values,
       const sparse::Matrix& probs = matrix_in(1);
       GS_CHECK(m.SharesPatternWith(probs))
           << "individual_sample probs must share the matrix's sparsity pattern";
+      if (seg && !segment_rngs.empty()) {
+        return finish_structure(sparse::SegmentedIndividualSample(
+            m, node.attrs.k, probs.ValuesFor(sparse::Format::kCsc), options_.graph_num_nodes,
+            segment_rngs));
+      }
       return finish_structure(
           sparse::IndividualSample(m, node.attrs.k, probs.ValuesFor(sparse::Format::kCsc), rng));
     }
     case OpKind::kCollectiveSample:
       if (seg) {
+        if (!segment_rngs.empty()) {
+          return finish_structure(sparse::SegmentedCollectiveSample(
+              matrix_in(0), node.attrs.k, tensor_in(1).array(), options_.graph_num_nodes,
+              segment_rngs));
+        }
         return finish_structure(sparse::SegmentedCollectiveSample(
             matrix_in(0), node.attrs.k, tensor_in(1).array(), options_.graph_num_nodes, rng));
       }
@@ -326,11 +348,14 @@ Value Executor::Evaluate(const Node& node, std::vector<Value>& values,
     }
 
     case OpKind::kWalkStep:
+      GS_CHECK(segment_rngs.empty()) << "walk ops cannot use per-segment rngs";
       return Value::OfIds(sparse::UniformWalkStep(matrix_in(0), ids_in(1), rng));
     case OpKind::kWalkRestartStep:
+      GS_CHECK(segment_rngs.empty()) << "walk ops cannot use per-segment rngs";
       return Value::OfIds(sparse::UniformWalkStepRestart(matrix_in(0), ids_in(1), ids_in(2),
                                                          node.attrs.p, rng));
     case OpKind::kNode2VecStep:
+      GS_CHECK(segment_rngs.empty()) << "walk ops cannot use per-segment rngs";
       return Value::OfIds(sparse::Node2VecStep(matrix_in(0), ids_in(1), ids_in(2),
                                                node.attrs.p, node.attrs.q, rng));
     case OpKind::kTopKVisited: {
@@ -344,6 +369,10 @@ Value Executor::Evaluate(const Node& node, std::vector<Value>& values,
 
     case OpKind::kFusedSliceSample:
       if (seg) {
+        if (!segment_rngs.empty()) {
+          return finish_structure(sparse::SegmentedFusedSliceSample(
+              matrix_in(0), ids_in(1), options_.num_segments, node.attrs.k, segment_rngs));
+        }
         return finish_structure(sparse::SegmentedFusedSliceSample(
             matrix_in(0), ids_in(1), options_.num_segments, node.attrs.k, rng));
       }

@@ -18,6 +18,7 @@
 #define GSAMPLER_CORE_EXECUTOR_H_
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -75,7 +76,18 @@ class Executor {
   void ClearPrecomputed() { precomputed_.clear(); }
 
   // Executes the program and returns one Value per program output.
-  std::vector<Value> Run(const Bindings& bindings, Rng& rng) const;
+  //
+  // `segment_rngs` (super-batch mode only) gives every segment its own RNG
+  // stream: all random draws attributed to mini-batch b come exclusively
+  // from segment_rngs[b], making segment b's output bit-identical to a
+  // one-segment run seeded with the same stream. This is what lets the
+  // serving coalescer merge concurrent requests without changing any
+  // tenant's results. Empty span = legacy behavior (one shared rng,
+  // statistically equivalent only). Programs with walk operators cannot be
+  // run with per-segment rngs (walk steps interleave draws across the whole
+  // frontier).
+  std::vector<Value> Run(const Bindings& bindings, Rng& rng,
+                         std::span<Rng> segment_rngs = {}) const;
 
   // Executes only the batch-invariant prefix (nodes marked invariant) and
   // returns their values; used by the engine to populate SetPrecomputed.
@@ -86,7 +98,7 @@ class Executor {
 
  private:
   Value Evaluate(const Node& node, std::vector<Value>& values, const Bindings& bindings,
-                 Rng& rng) const;
+                 Rng& rng, std::span<Rng> segment_rngs) const;
 
   const Program* program_;
   ExecOptions options_;

@@ -89,6 +89,15 @@ void CachingAllocator::ReleaseCache() {
   ReleaseCacheLocked();
 }
 
+void CachingAllocator::AdjustReserved(int64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Validate before mutating: a rejected over-release must not poison the
+  // running total for subsequent balanced adjustments.
+  GS_CHECK_GE(stats_.bytes_reserved + delta, 0)
+      << "reserved-bytes accounting went negative";
+  stats_.bytes_reserved += delta;
+}
+
 void CachingAllocator::ReleaseCacheLocked() {
   for (auto& [cls, blocks] : pool_) {
     for (void* ptr : blocks) {

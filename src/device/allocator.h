@@ -22,6 +22,11 @@ struct AllocatorStats {
   int64_t bytes_in_use = 0;       // live allocations
   int64_t peak_bytes_in_use = 0;  // high-water mark since last ResetPeak
   int64_t bytes_cached = 0;       // free blocks held in the pool
+  // Bytes pinned by long-lived subsystems (the serving plan cache charges
+  // its resident plans here). Informational: the bytes are already counted
+  // in bytes_in_use — this attributes who holds them, it does not reserve
+  // extra capacity.
+  int64_t bytes_reserved = 0;
   int64_t alloc_calls = 0;
   int64_t cache_hits = 0;
 };
@@ -44,6 +49,12 @@ class CachingAllocator {
 
   // Returns all cached blocks to the host (cudaEmptyCache analogue).
   void ReleaseCache();
+
+  // Adjusts the reserved-bytes attribution (see AllocatorStats). Positive
+  // delta pins bytes, negative releases; releasing more than is currently
+  // pinned throws — an unbalanced charge/release pair is an accounting bug
+  // in the caller, not something to clamp over. Thread-safe.
+  void AdjustReserved(int64_t delta);
 
   AllocatorStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -16,26 +16,31 @@ uint64_t MixHash(uint64_t x) {
 
 }  // namespace
 
-UvaCache::UvaCache(int64_t slots) {
+UvaCache::UvaCache(int64_t slots) : num_slots_(slots) {
   GS_CHECK_GT(slots, 0);
-  tags_.assign(static_cast<size_t>(slots), kEmptyTag);
+  tags_ = std::make_unique<std::atomic<uint64_t>[]>(static_cast<size_t>(slots));
+  for (int64_t i = 0; i < slots; ++i) {
+    tags_[static_cast<size_t>(i)].store(kEmptyTag, std::memory_order_relaxed);
+  }
 }
 
 int64_t UvaCache::Access(uint64_t key, int64_t bytes) {
-  const size_t slot = static_cast<size_t>(MixHash(key) % tags_.size());
-  if (tags_[slot] == key) {
-    ++hits_;
+  const size_t slot = static_cast<size_t>(MixHash(key) % static_cast<uint64_t>(num_slots_));
+  if (tags_[slot].load(std::memory_order_relaxed) == key) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return 0;
   }
-  ++misses_;
-  tags_[slot] = key;
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  tags_[slot].store(key, std::memory_order_relaxed);
   return bytes;
 }
 
 void UvaCache::Reset() {
-  tags_.assign(tags_.size(), kEmptyTag);
-  hits_ = 0;
-  misses_ = 0;
+  for (int64_t i = 0; i < num_slots_; ++i) {
+    tags_[static_cast<size_t>(i)].store(kEmptyTag, std::memory_order_relaxed);
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace gs::device

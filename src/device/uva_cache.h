@@ -6,12 +6,19 @@
 // direct-mapped cache model reproduces that effect: kernels ask the cache
 // how many bytes an access actually costs; hits cost nothing, misses cost
 // the full transfer and install the entry.
+//
+// Thread-safe: the serving worker pool samples one shared UVA graph from
+// many threads, so tags and counters are atomics. Races on a tag behave
+// like real cache races — a concurrent install may evict the other
+// thread's entry — which only perturbs the simulated hit rate, never
+// correctness.
 
 #ifndef GSAMPLER_DEVICE_UVA_CACHE_H_
 #define GSAMPLER_DEVICE_UVA_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
-#include <vector>
+#include <memory>
 
 namespace gs::device {
 
@@ -26,13 +33,14 @@ class UvaCache {
 
   void Reset();
 
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
-  std::vector<uint64_t> tags_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> tags_;
+  int64_t num_slots_ = 0;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
 };
 
 }  // namespace gs::device

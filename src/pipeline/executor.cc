@@ -128,15 +128,13 @@ void Executor::RunPipelined(int64_t num_items) {
   device::Stream& parent = dev.stream();
   const int64_t origin = parent.now_ns();
 
-  if (streams_.empty()) {
-    for (size_t s = 0; s < num_stages; ++s) {
-      streams_.push_back(std::make_unique<device::Stream>(dev.profile()));
-    }
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(dev.profile(), static_cast<int>(num_stages));
   }
   std::vector<device::StreamCounters> before(num_stages);
   for (size_t s = 0; s < num_stages; ++s) {
-    streams_[s]->AlignTo(origin);
-    before[s] = streams_[s]->counters();
+    pool_->stream(static_cast<int>(s)).AlignTo(origin);
+    before[s] = pool_->stream(static_cast<int>(s)).counters();
   }
 
   // data[s]: stage s -> s+1 output tokens; credits[s]: free prefetch slots
@@ -177,9 +175,9 @@ void Executor::RunPipelined(int64_t num_items) {
     }
   };
 
-  auto worker = [&](size_t s) {
-    device::StreamGuard guard(*streams_[s]);
-    device::Stream& stream = *streams_[s];
+  auto worker = [&](int worker_index) {
+    const size_t s = static_cast<size_t>(worker_index);
+    device::Stream& stream = pool_->stream(worker_index);
     try {
       for (int64_t i = 0;; ++i) {
         int64_t ready_ns = origin;
@@ -227,14 +225,8 @@ void Executor::RunPipelined(int64_t num_items) {
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(num_stages);
-  for (size_t s = 0; s < num_stages; ++s) {
-    threads.emplace_back(worker, s);
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
+  pool_->Start(worker);
+  pool_->Join();
 
   // Account the run even if it aborted: per-stage busy/stall from the stage
   // streams, queue stats from the data queues, and the overlapped makespan
@@ -243,7 +235,7 @@ void Executor::RunPipelined(int64_t num_items) {
   device::StreamCounters total;
   int64_t end_ns = origin;
   for (size_t s = 0; s < num_stages; ++s) {
-    const device::StreamCounters after = streams_[s]->counters();
+    const device::StreamCounters after = pool_->stream(static_cast<int>(s)).counters();
     const device::StreamCounters d = Diff(after, before[s]);
     StageMetrics& m = run.stages[s];
     m.items = processed[s];

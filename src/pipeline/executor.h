@@ -41,6 +41,7 @@
 
 #include "device/stream.h"
 #include "pipeline/metrics.h"
+#include "pipeline/worker_pool.h"
 
 namespace gs::pipeline {
 
@@ -78,9 +79,10 @@ class Executor {
 
   std::vector<Stage> stages_;
   Options options_;
-  // Per-stage streams, created from the current device's profile on the
-  // first pipelined run and reused (timelines re-aligned) afterwards.
-  std::vector<std::unique_ptr<device::Stream>> streams_;
+  // One worker (thread + stream) per stage, created from the current
+  // device's profile on the first pipelined run and reused (timelines
+  // re-aligned) afterwards.
+  std::unique_ptr<WorkerPool> pool_;
   Metrics metrics_;
 };
 

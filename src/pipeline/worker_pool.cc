@@ -1,0 +1,41 @@
+#include "pipeline/worker_pool.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "device/device.h"
+
+namespace gs::pipeline {
+
+WorkerPool::WorkerPool(const device::DeviceProfile& profile, int count) {
+  GS_CHECK_GT(count, 0) << "worker pool needs at least one worker";
+  streams_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    streams_.push_back(std::make_unique<device::Stream>(profile));
+  }
+}
+
+WorkerPool::~WorkerPool() { Join(); }
+
+void WorkerPool::Start(std::function<void(int)> body) {
+  GS_CHECK(threads_.empty()) << "worker pool already running; Join() first";
+  GS_CHECK(body != nullptr);
+  threads_.reserve(streams_.size());
+  for (size_t i = 0; i < streams_.size(); ++i) {
+    threads_.emplace_back([this, i, body] {
+      device::StreamGuard guard(*streams_[i]);
+      body(static_cast<int>(i));
+    });
+  }
+}
+
+void WorkerPool::Join() {
+  for (std::thread& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+}
+
+}  // namespace gs::pipeline

@@ -1,0 +1,30 @@
+#include "serving/coalescer.h"
+
+#include "common/error.h"
+#include "common/timer.h"
+
+namespace gs::serving {
+
+GroupResult ExecuteGroup(const core::CompiledSampler& plan,
+                         const std::vector<tensor::IdArray>& frontiers,
+                         const std::vector<uint64_t>& seeds) {
+  GS_CHECK_EQ(frontiers.size(), seeds.size());
+  GS_CHECK(!frontiers.empty());
+  GroupResult result;
+  result.outputs.resize(frontiers.size());
+  Timer timer;
+  if (plan.Coalescable()) {
+    plan.SampleGrouped(frontiers, seeds,
+                       [&result](int64_t b, std::vector<core::Value>& outputs) {
+                         result.outputs[static_cast<size_t>(b)] = std::move(outputs);
+                       });
+  } else {
+    GS_CHECK_EQ(frontiers.size(), size_t{1})
+        << "non-coalescable plans must be served one request at a time";
+    result.outputs[0] = plan.SampleSeeded(frontiers[0], seeds[0]);
+  }
+  result.execute_ns = timer.ElapsedNanos();
+  return result;
+}
+
+}  // namespace gs::serving

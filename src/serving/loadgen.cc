@@ -1,0 +1,106 @@
+#include "serving/loadgen.h"
+
+#include <algorithm>
+#include <future>
+#include <random>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "serving/stats.h"
+
+namespace gs::serving {
+
+std::string LoadGenReport::ToString() const {
+  std::ostringstream out;
+  out << "loadgen: " << submitted << " submitted | " << ok << " ok, " << rejected
+      << " rejected, " << deadline_exceeded << " expired, " << failed << " failed | "
+      << degraded << " degraded, " << coalesced << " coalesced | p50 " << p50_ns / 1000
+      << " us, p95 " << p95_ns / 1000 << " us, p99 " << p99_ns / 1000 << " us | "
+      << achieved_rps << " req/s over " << wall_seconds << " s";
+  return out.str();
+}
+
+LoadGenReport RunOpenLoop(Server& server, const graph::Graph& graph,
+                          const LoadGenOptions& options) {
+  GS_CHECK_GT(options.num_requests, 0);
+  GS_CHECK_GT(options.offered_rps, 0.0);
+  GS_CHECK_GT(options.batch_size, 0);
+  GS_CHECK_GT(options.num_tenants, 0);
+
+  std::mt19937_64 rng(options.seed);
+  std::exponential_distribution<double> inter_arrival(options.offered_rps);
+
+  const tensor::IdArray& train = graph.train_ids();
+  const int64_t pool = train.size() > 0 ? train.size() : graph.num_nodes();
+  GS_CHECK_GT(pool, 0);
+  std::uniform_int_distribution<int64_t> pick(0, pool - 1);
+  auto make_seeds = [&]() {
+    std::vector<int32_t> ids(static_cast<size_t>(options.batch_size));
+    for (auto& id : ids) {
+      const int64_t i = pick(rng);
+      id = train.size() > 0 ? train[i] : static_cast<int32_t>(i);
+    }
+    return tensor::IdArray::FromVector(ids);
+  };
+
+  std::vector<std::future<SampleResponse>> futures;
+  futures.reserve(static_cast<size_t>(options.num_requests));
+  Timer wall;
+  auto next_arrival = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < options.num_requests; ++i) {
+    std::this_thread::sleep_until(next_arrival);
+    next_arrival += std::chrono::nanoseconds(
+        static_cast<int64_t>(inter_arrival(rng) * 1e9));
+
+    SampleRequest request;
+    request.algorithm = options.algorithm;
+    request.dataset = options.dataset;
+    request.seeds = make_seeds();
+    request.seed = options.seed + static_cast<uint64_t>(i);
+    request.fanouts = options.fanouts;
+    request.tenant = "tenant-" + std::to_string(i % options.num_tenants);
+    request.deadline = options.deadline;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+
+  LoadGenReport report;
+  report.submitted = options.num_requests;
+  LatencyHistogram latency;
+  for (auto& future : futures) {
+    SampleResponse response = future.get();
+    switch (response.status) {
+      case Status::kOk:
+        ++report.ok;
+        latency.Record(response.stages.total_ns);
+        break;
+      case Status::kRejected:
+        ++report.rejected;
+        break;
+      case Status::kDeadlineExceeded:
+        ++report.deadline_exceeded;
+        break;
+      case Status::kFailed:
+        ++report.failed;
+        break;
+    }
+    if (response.degraded) {
+      ++report.degraded;
+    }
+    if (response.group_size > 1) {
+      ++report.coalesced;
+    }
+  }
+  report.wall_seconds = static_cast<double>(wall.ElapsedNanos()) / 1e9;
+  report.p50_ns = latency.Percentile(50);
+  report.p95_ns = latency.Percentile(95);
+  report.p99_ns = latency.Percentile(99);
+  report.max_ns = latency.max_ns();
+  report.achieved_rps =
+      report.wall_seconds > 0 ? static_cast<double>(report.ok) / report.wall_seconds : 0.0;
+  return report;
+}
+
+}  // namespace gs::serving

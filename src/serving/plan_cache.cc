@@ -1,0 +1,149 @@
+#include "serving/plan_cache.h"
+
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gs::serving {
+
+std::string PlanKey::Canonical() const {
+  std::ostringstream out;
+  out << algorithm << '|' << dataset << '|' << device << '|' << pass_config << '|';
+  for (int64_t f : fanouts) {
+    out << f << ',';
+  }
+  return out.str();
+}
+
+std::string PassConfigDigest(const core::SamplerOptions& options) {
+  std::ostringstream out;
+  out << "fus" << options.enable_fusion << options.fuse_extract_select << options.fuse_edge_maps
+      << options.rewrite_sddmm << "pre" << options.enable_preprocessing << "lay"
+      << options.enable_layout_selection << options.greedy_when_layout_disabled << "cal"
+      << options.calibration_batches << "seed" << options.seed;
+  return out.str();
+}
+
+PlanCache::PlanCache(int64_t budget_bytes, device::CachingAllocator* allocator)
+    : budget_bytes_(budget_bytes), allocator_(allocator) {
+  GS_CHECK_GT(budget_bytes, 0);
+}
+
+PlanCache::~PlanCache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (allocator_ != nullptr && stats_.resident_bytes > 0) {
+    allocator_->AdjustReserved(-stats_.resident_bytes);
+  }
+}
+
+std::shared_ptr<core::CompiledSampler> PlanCache::GetOrBuild(const PlanKey& key,
+                                                             const Factory& factory, bool* hit,
+                                                             int64_t* compile_ns) {
+  const std::string canonical = key.Canonical();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(canonical);
+    if (it != entries_.end()) {
+      it->second.last_used = ++tick_;
+      ++stats_.hits;
+      if (hit != nullptr) {
+        *hit = true;
+      }
+      if (compile_ns != nullptr) {
+        *compile_ns = 0;
+      }
+      return it->second.plan;
+    }
+  }
+
+  // Build outside the table mutex (lookups stay fast) but under the build
+  // mutex (construction touches shared lazily-cached graph structures).
+  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  {
+    // Another thread may have built this plan while we waited.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(canonical);
+    if (it != entries_.end()) {
+      it->second.last_used = ++tick_;
+      ++stats_.hits;
+      if (hit != nullptr) {
+        *hit = true;
+      }
+      if (compile_ns != nullptr) {
+        *compile_ns = 0;
+      }
+      return it->second.plan;
+    }
+  }
+
+  Timer timer;
+  std::shared_ptr<core::CompiledSampler> plan = factory();
+  GS_CHECK(plan != nullptr) << "plan factory returned null for " << canonical;
+  GS_CHECK(plan->warmed_up()) << "plan factory must Warmup() the plan: " << canonical;
+  const int64_t elapsed = timer.ElapsedNanos();
+
+  Entry entry;
+  entry.plan = plan;
+  entry.resident_bytes = plan->ResidentBytes();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry.last_used = ++tick_;
+    stats_.resident_bytes += entry.resident_bytes;
+    stats_.entries += 1;
+    ++stats_.misses;
+    if (allocator_ != nullptr) {
+      allocator_->AdjustReserved(entry.resident_bytes);
+    }
+    entries_.emplace(canonical, std::move(entry));
+    EvictOverBudgetLocked(canonical);
+  }
+  GS_LOG(Debug) << "plan cache: built " << canonical << " in " << elapsed / 1000000 << " ms";
+  if (hit != nullptr) {
+    *hit = false;
+  }
+  if (compile_ns != nullptr) {
+    *compile_ns = elapsed;
+  }
+  return plan;
+}
+
+void PlanCache::EvictOverBudgetLocked(const std::string& keep_key) {
+  while (stats_.resident_bytes > budget_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep_key) {
+        continue;  // never evict the plan the caller is about to use
+      }
+      if (it->second.last_used < oldest) {
+        oldest = it->second.last_used;
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) {
+      break;
+    }
+    GS_LOG(Debug) << "plan cache: evicting " << victim->first << " ("
+                  << victim->second.resident_bytes << " bytes)";
+    stats_.resident_bytes -= victim->second.resident_bytes;
+    stats_.entries -= 1;
+    ++stats_.evictions;
+    if (allocator_ != nullptr) {
+      allocator_->AdjustReserved(-victim->second.resident_bytes);
+    }
+    // In-flight executions holding the shared_ptr keep the plan alive; the
+    // memory returns to the allocator pool when the last user drops it.
+    entries_.erase(victim);
+  }
+}
+
+PlanCacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gs::serving

@@ -1,0 +1,103 @@
+// Compiled-plan registry with LRU eviction under a byte budget.
+//
+// A "plan" is a fully prepared core::CompiledSampler: program traced,
+// passes run, batch-invariant values pre-computed, layouts calibrated, and
+// Warmup() executed so the plan is safe for concurrent const sampling.
+// Building one is the expensive part of serving a cold request (trace +
+// pass pipeline + calibration executions), so plans are cached keyed by
+// everything that affects the compiled artifact: algorithm, dataset, device
+// profile, pass configuration, and effective fanouts.
+//
+// Memory: a plan pins its pre-computed tensors/matrices in device memory
+// (CompiledSampler::ResidentBytes). The cache enforces its own byte budget
+// with least-recently-used eviction and mirrors the pinned total into the
+// CachingAllocator's reserved-bytes stat — attribution only; the bytes are
+// already counted in bytes_in_use, so no capacity is double-charged.
+
+#ifndef GSAMPLER_SERVING_PLAN_CACHE_H_
+#define GSAMPLER_SERVING_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "device/allocator.h"
+
+namespace gs::serving {
+
+// Everything that distinguishes one compiled plan from another. Canonical()
+// is the cache key and the request-compatibility test: two admitted
+// requests may share one coalesced execution iff their keys are equal.
+struct PlanKey {
+  std::string algorithm;
+  std::string dataset;
+  std::string device;       // DeviceProfile name
+  std::string pass_config;  // SamplerOptions digest (see PassConfigDigest)
+  std::vector<int64_t> fanouts;  // effective (possibly shed) fanouts
+
+  std::string Canonical() const;
+};
+
+// Compact digest of the pass configuration fields that change the compiled
+// artifact.
+std::string PassConfigDigest(const core::SamplerOptions& options);
+
+struct PlanCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t evictions = 0;
+  int64_t resident_bytes = 0;
+  int64_t entries = 0;
+};
+
+class PlanCache {
+ public:
+  // `allocator` (optional) receives AdjustReserved() calls mirroring the
+  // cache's resident bytes.
+  PlanCache(int64_t budget_bytes, device::CachingAllocator* allocator);
+  ~PlanCache();
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  using Factory = std::function<std::shared_ptr<core::CompiledSampler>()>;
+
+  // Returns the plan for `key`, building it with `factory` on a miss.
+  // Builds are serialized under one mutex: plan construction and warmup
+  // materialize lazily cached structures on *shared* objects (the base
+  // graph's format caches), which concurrent builds would race on. Lookups
+  // of already-built plans only briefly take the table mutex.
+  // `compile_ns` (optional) receives the build wall time (0 on a hit);
+  // `hit` (optional) receives whether the plan was already resident.
+  std::shared_ptr<core::CompiledSampler> GetOrBuild(const PlanKey& key, const Factory& factory,
+                                                    bool* hit = nullptr,
+                                                    int64_t* compile_ns = nullptr);
+
+  PlanCacheStats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<core::CompiledSampler> plan;
+    int64_t resident_bytes = 0;
+    uint64_t last_used = 0;  // LRU tick
+  };
+
+  void EvictOverBudgetLocked(const std::string& keep_key);
+
+  const int64_t budget_bytes_;
+  device::CachingAllocator* allocator_;
+  mutable std::mutex mutex_;        // guards table + stats
+  std::mutex build_mutex_;          // serializes plan construction
+  std::map<std::string, Entry> entries_;
+  PlanCacheStats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace gs::serving
+
+#endif  // GSAMPLER_SERVING_PLAN_CACHE_H_

@@ -1,0 +1,19 @@
+#include "serving/request.h"
+
+namespace gs::serving {
+
+const char* StatusName(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "OK";
+    case Status::kRejected:
+      return "REJECTED";
+    case Status::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case Status::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace gs::serving

@@ -1,0 +1,551 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <exception>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "device/device.h"
+#include "serving/coalescer.h"
+
+namespace gs::serving {
+namespace {
+
+std::string EndpointKey(const std::string& algorithm, const std::string& dataset) {
+  return algorithm + "|" + dataset;
+}
+
+int64_t ElapsedNs(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+}
+
+// A small representative frontier for plan warmup: real train ids when the
+// dataset has them (warmup then touches the same UVA/feature paths serving
+// will), otherwise the first node ids.
+tensor::IdArray WarmupFrontier(const graph::Graph& graph) {
+  const tensor::IdArray& train = graph.train_ids();
+  const int64_t pool = train.size() > 0 ? train.size() : std::max<int64_t>(graph.num_nodes(), 1);
+  const int64_t n = std::min<int64_t>(32, pool);
+  std::vector<int32_t> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    ids[static_cast<size_t>(i)] =
+        train.size() > 0 ? train[i] : static_cast<int32_t>(i % std::max<int64_t>(graph.num_nodes(), 1));
+  }
+  return tensor::IdArray::FromVector(ids);
+}
+
+std::vector<int64_t> ShedFanouts(const std::vector<int64_t>& fanouts) {
+  std::vector<int64_t> shed(fanouts.size());
+  for (size_t i = 0; i < fanouts.size(); ++i) {
+    shed[i] = std::max<int64_t>(1, fanouts[i] / 2);
+  }
+  return shed;
+}
+
+}  // namespace
+
+Endpoint MakeEndpoint(const std::string& algorithm, const std::string& dataset,
+                      const graph::Graph& graph, core::SamplerOptions options) {
+  Endpoint ep;
+  ep.algorithm = algorithm;
+  ep.dataset = dataset;
+  ep.graph = &graph;
+  ep.options = options;
+  if (algorithm == "GraphSAGE") {
+    ep.default_fanouts = algorithms::SageParams{}.fanouts;
+  } else if (algorithm == "GCN-BS" || algorithm == "Thanos") {
+    ep.default_fanouts = algorithms::BanditParams{}.fanouts;
+  } else if (algorithm == "PASS") {
+    ep.default_fanouts = algorithms::PassParams{}.fanouts;
+  } else if (algorithm == "FastGCN" || algorithm == "LADIES" || algorithm == "AS-GCN") {
+    const algorithms::LayerWiseParams defaults;
+    ep.default_fanouts.assign(static_cast<size_t>(defaults.num_layers), defaults.layer_width);
+  }
+  const graph::Graph* g = &graph;
+  ep.factory = [algorithm, g](const std::vector<int64_t>& fanouts) {
+    if (!fanouts.empty()) {
+      if (algorithm == "GraphSAGE") {
+        return algorithms::GraphSage(*g, algorithms::SageParams{.fanouts = fanouts});
+      }
+      if (algorithm == "GCN-BS") {
+        return algorithms::GcnBs(*g, algorithms::BanditParams{.fanouts = fanouts});
+      }
+      if (algorithm == "Thanos") {
+        return algorithms::Thanos(*g, algorithms::BanditParams{.fanouts = fanouts});
+      }
+      if (algorithm == "PASS") {
+        algorithms::PassParams params;
+        params.fanouts = fanouts;
+        return algorithms::Pass(*g, params);
+      }
+      if (algorithm == "FastGCN" || algorithm == "LADIES" || algorithm == "AS-GCN") {
+        algorithms::LayerWiseParams params;
+        params.num_layers = static_cast<int>(fanouts.size());
+        params.layer_width = fanouts.front();
+        if (algorithm == "FastGCN") {
+          return algorithms::FastGcn(*g, params);
+        }
+        if (algorithm == "LADIES") {
+          return algorithms::Ladies(*g, params);
+        }
+        return algorithms::Asgcn(*g, params);
+      }
+    }
+    return algorithms::MakeAlgorithm(algorithm, *g);
+  };
+  return ep;
+}
+
+Server::Server(ServerOptions options) : options_(options) {
+  GS_CHECK_GT(options_.num_workers, 0);
+  GS_CHECK_GT(options_.queue_capacity, 0);
+  GS_CHECK_GT(options_.coalesce_max, 0);
+}
+
+Server::~Server() { Stop(); }
+
+void Server::RegisterEndpoint(Endpoint endpoint) {
+  GS_CHECK(!running_) << "endpoints must be registered before Start()";
+  GS_CHECK(endpoint.graph != nullptr);
+  GS_CHECK(endpoint.factory != nullptr);
+  const std::string key = EndpointKey(endpoint.algorithm, endpoint.dataset);
+  endpoints_[key] = std::move(endpoint);
+}
+
+const Endpoint* Server::FindEndpoint(const std::string& algorithm,
+                                     const std::string& dataset) const {
+  auto it = endpoints_.find(EndpointKey(algorithm, dataset));
+  return it != endpoints_.end() ? &it->second : nullptr;
+}
+
+void Server::Start() {
+  GS_CHECK(!running_) << "server already running";
+  GS_CHECK(!endpoints_.empty()) << "no endpoints registered";
+  tokens_ = std::make_unique<pipeline::BoundedQueue<uint64_t>>(options_.queue_capacity);
+  plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_budget_bytes,
+                                            &device::Current().allocator());
+  pool_ = std::make_unique<pipeline::WorkerPool>(device::Current().profile(),
+                                                 options_.num_workers);
+  running_ = true;
+  pool_->Start([this](int worker) { WorkerLoop(worker); });
+  GS_LOG(Info) << "serving: started " << options_.num_workers << " workers, queue capacity "
+               << options_.queue_capacity << ", coalesce_max " << options_.coalesce_max;
+}
+
+void Server::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  // Close() lets workers drain every queued admission token (each matching
+  // an already-admitted request) before their Pop() returns nullopt.
+  tokens_->Close();
+  pool_->Join();
+  // The token invariant (tokens remaining >= requests remaining) means the
+  // queues are empty here; fail anything left over defensively.
+  std::vector<std::unique_ptr<Pending>> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    for (auto& [tenant, queue] : tenant_queues_) {
+      for (auto& pending : queue) {
+        leftovers.push_back(std::move(pending));
+      }
+      queue.clear();
+    }
+  }
+  for (auto& pending : leftovers) {
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    SampleResponse response;
+    response.status = Status::kFailed;
+    response.request_id = pending->id;
+    response.error = "server stopped";
+    pending->promise.set_value(std::move(response));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.failed;
+  }
+  GS_LOG(Info) << "serving: stopped";
+}
+
+std::future<SampleResponse> Server::Submit(SampleRequest request) {
+  auto pending = std::make_unique<Pending>();
+  pending->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending->submitted = Clock::now();
+  pending->request = std::move(request);
+  std::future<SampleResponse> future = pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.received;
+  }
+
+  const SampleRequest& req = pending->request;
+  auto finish = [&](Status status, const std::string& error, bool with_retry) {
+    SampleResponse response;
+    response.status = status;
+    response.request_id = pending->id;
+    response.error = error;
+    if (with_retry) {
+      response.retry_after = options_.retry_after;
+    }
+    pending->promise.set_value(std::move(response));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (status == Status::kRejected) {
+      ++stats_.rejected;
+    } else {
+      ++stats_.failed;
+    }
+  };
+
+  if (!running_) {
+    finish(Status::kFailed, "server not running", false);
+    return future;
+  }
+  const Endpoint* endpoint = FindEndpoint(req.algorithm, req.dataset);
+  if (endpoint == nullptr) {
+    finish(Status::kFailed, "unknown endpoint: " + EndpointKey(req.algorithm, req.dataset),
+           false);
+    return future;
+  }
+  if (!req.seeds.defined() || req.seeds.empty()) {
+    finish(Status::kFailed, "empty seed set", false);
+    return future;
+  }
+
+  // Graceful degradation: past the shed threshold, admit with halved
+  // fanouts instead of rejecting outright.
+  std::vector<int64_t> fanouts = req.fanouts.empty() ? endpoint->default_fanouts : req.fanouts;
+  const int64_t backlog = queued_.load(std::memory_order_relaxed);
+  const int64_t shed_threshold =
+      static_cast<int64_t>(options_.shed_occupancy * options_.queue_capacity);
+  if (!fanouts.empty() && backlog >= shed_threshold) {
+    fanouts = ShedFanouts(fanouts);
+    pending->degraded = true;
+  }
+
+  pending->has_deadline = req.deadline.count() > 0;
+  pending->deadline_abs = pending->submitted + req.deadline;
+
+  // Deadline-aware admission: estimate completion as (queue depth / workers
+  // + 1) service times and reject when that already exceeds the deadline.
+  // With no service history yet, admit.
+  if (pending->has_deadline && options_.deadline_admission) {
+    const int64_t ema = ema_service_ns_.load(std::memory_order_relaxed);
+    if (ema > 0) {
+      const int64_t waves = backlog / std::max(1, options_.num_workers) + 1;
+      if (ema * waves > req.deadline.count()) {
+        finish(Status::kRejected, "deadline infeasible under current load", true);
+        return future;
+      }
+    }
+  }
+
+  pending->key.algorithm = req.algorithm;
+  pending->key.dataset = req.dataset;
+  pending->key.device = device::Current().profile().name;
+  pending->key.pass_config = PassConfigDigest(endpoint->options);
+  pending->key.fanouts = std::move(fanouts);
+  pending->canonical = pending->key.Canonical();
+
+  // Register under the scheduler mutex so a worker that pops this request's
+  // token is guaranteed to find it already queued; a TryPush refusal (queue
+  // full, or closed by Stop) is the overload signal.
+  const std::string tenant = req.tenant;
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    if (tokens_->TryPush(pending->id)) {
+      queued_.fetch_add(1, std::memory_order_relaxed);
+      tenant_queues_[tenant].push_back(std::move(pending));
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.admitted;
+      return future;
+    }
+  }
+  finish(Status::kRejected, "admission queue full", true);
+  return future;
+}
+
+void Server::WorkerLoop(int worker) {
+  (void)worker;
+  while (tokens_->Pop().has_value()) {
+    ServeOne();
+  }
+}
+
+// Strict scheduling order within a tenant: earliest deadline first (requests
+// with deadlines ahead of those without), then priority, then arrival.
+static bool ScheduleBefore(const SampleRequest& a_req, bool a_has_deadline,
+                           std::chrono::steady_clock::time_point a_deadline, uint64_t a_id,
+                           const SampleRequest& b_req, bool b_has_deadline,
+                           std::chrono::steady_clock::time_point b_deadline, uint64_t b_id) {
+  if (a_has_deadline != b_has_deadline) {
+    return a_has_deadline;
+  }
+  if (a_has_deadline && a_deadline != b_deadline) {
+    return a_deadline < b_deadline;
+  }
+  if (a_req.priority != b_req.priority) {
+    return a_req.priority > b_req.priority;
+  }
+  return a_id < b_id;
+}
+
+bool Server::ServeOne() {
+  std::vector<std::unique_ptr<Pending>> expired;
+  std::vector<std::unique_ptr<Pending>> group;
+  {
+    std::lock_guard<std::mutex> lock(sched_mutex_);
+    const Clock::time_point now = Clock::now();
+
+    // Requests that expired while queued complete without executing.
+    for (auto& [tenant, queue] : tenant_queues_) {
+      for (auto it = queue.begin(); it != queue.end();) {
+        if ((*it)->has_deadline && (*it)->deadline_abs <= now) {
+          queued_.fetch_sub(1, std::memory_order_relaxed);
+          expired.push_back(std::move(*it));
+          it = queue.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+
+    // Fair queueing across tenants: serve the least-served tenant first.
+    std::map<std::string, std::deque<std::unique_ptr<Pending>>>::iterator best_tenant =
+        tenant_queues_.end();
+    for (auto it = tenant_queues_.begin(); it != tenant_queues_.end(); ++it) {
+      if (it->second.empty()) {
+        continue;
+      }
+      if (best_tenant == tenant_queues_.end() ||
+          tenant_served_[it->first] < tenant_served_[best_tenant->first]) {
+        best_tenant = it;
+      }
+    }
+    if (best_tenant != tenant_queues_.end()) {
+      auto& queue = best_tenant->second;
+      auto leader = queue.begin();
+      for (auto it = std::next(queue.begin()); it != queue.end(); ++it) {
+        if (ScheduleBefore((*it)->request, (*it)->has_deadline, (*it)->deadline_abs, (*it)->id,
+                           (*leader)->request, (*leader)->has_deadline, (*leader)->deadline_abs,
+                           (*leader)->id)) {
+          leader = it;
+        }
+      }
+      queued_.fetch_sub(1, std::memory_order_relaxed);
+      tenant_served_[best_tenant->first] += 1;
+      group.push_back(std::move(*leader));
+      queue.erase(leader);
+
+      // Coalesce: gather queued requests (any tenant, arrival order) whose
+      // plan key matches the leader's, consuming one admission token per
+      // extra so tokens keep pace with queued requests. A TryPop miss just
+      // leaves a surplus token that some worker later pops as a no-op.
+      if (options_.enable_coalescing) {
+        const std::string& canonical = group.front()->canonical;
+        for (auto& [tenant, queue2] : tenant_queues_) {
+          if (static_cast<int>(group.size()) >= options_.coalesce_max) {
+            break;
+          }
+          for (auto it = queue2.begin();
+               it != queue2.end() && static_cast<int>(group.size()) < options_.coalesce_max;) {
+            if ((*it)->canonical == canonical) {
+              tokens_->TryPop();
+              queued_.fetch_sub(1, std::memory_order_relaxed);
+              tenant_served_[tenant] += 1;
+              group.push_back(std::move(*it));
+              it = queue2.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& pending : expired) {
+    CompleteExpired(std::move(pending));
+  }
+  if (group.empty()) {
+    return false;  // spurious token (its request was coalesced or expired)
+  }
+  ExecuteAndScatter(std::move(group));
+  return true;
+}
+
+void Server::CompleteExpired(std::unique_ptr<Pending> pending) {
+  SampleResponse response;
+  response.status = Status::kDeadlineExceeded;
+  response.request_id = pending->id;
+  response.degraded = pending->degraded;
+  response.stages.queue_wait_ns = ElapsedNs(pending->submitted, Clock::now());
+  response.stages.total_ns = response.stages.queue_wait_ns;
+  response.error = "deadline expired while queued";
+  pending->promise.set_value(std::move(response));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.deadline_exceeded;
+}
+
+std::shared_ptr<core::CompiledSampler> Server::BuildPlan(const Endpoint& endpoint,
+                                                         const PlanKey& key) const {
+  algorithms::AlgorithmProgram algorithm = endpoint.factory(key.fanouts);
+  core::SamplerOptions options = endpoint.options;
+  // The server groups requests itself; epoch-style super-batching inside the
+  // plan would fight the coalescer.
+  options.super_batch = 1;
+  auto plan = std::make_shared<core::CompiledSampler>(
+      std::move(algorithm.program), *endpoint.graph, std::move(algorithm.tensors), options);
+  plan->Warmup(WarmupFrontier(*endpoint.graph));
+  return plan;
+}
+
+void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
+  const Clock::time_point dequeued = Clock::now();
+  for (auto& pending : group) {
+    pending->dequeued = dequeued;
+  }
+  Pending& leader = *group.front();
+
+  std::ostringstream tag;
+  tag << "req=" << leader.id;
+  if (group.size() > 1) {
+    tag << "+" << group.size() - 1;
+  }
+  ScopedLogTag log_tag(tag.str());
+
+  const Endpoint* endpoint = FindEndpoint(leader.request.algorithm, leader.request.dataset);
+  GS_CHECK(endpoint != nullptr);
+
+  bool cache_hit = false;
+  int64_t compile_ns = 0;
+  std::shared_ptr<core::CompiledSampler> plan;
+  std::string error;
+  try {
+    plan = plan_cache_->GetOrBuild(
+        leader.key, [&] { return BuildPlan(*endpoint, leader.key); }, &cache_hit, &compile_ns);
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+
+  GroupResult result;
+  bool coalesced = false;
+  int64_t executions = 0;
+  if (error.empty()) {
+    try {
+      if (plan->Coalescable()) {
+        std::vector<tensor::IdArray> frontiers;
+        std::vector<uint64_t> seeds;
+        frontiers.reserve(group.size());
+        seeds.reserve(group.size());
+        for (auto& pending : group) {
+          frontiers.push_back(pending->request.seeds);
+          seeds.push_back(pending->request.seed);
+        }
+        result = ExecuteGroup(*plan, frontiers, seeds);
+        coalesced = group.size() > 1;
+        executions = 1;
+      } else {
+        // Walk-style plans can't share a segmented execution; serve the
+        // gathered requests back to back on this worker instead.
+        result.outputs.resize(group.size());
+        Timer timer;
+        for (size_t i = 0; i < group.size(); ++i) {
+          GroupResult solo =
+              ExecuteGroup(*plan, {group[i]->request.seeds}, {group[i]->request.seed});
+          result.outputs[i] = std::move(solo.outputs[0]);
+        }
+        result.execute_ns = timer.ElapsedNanos();
+        executions = static_cast<int64_t>(group.size());
+      }
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+  }
+  GS_LOG(Debug) << "serving: executed group of " << group.size() << " ("
+                << (cache_hit ? "plan hit" : "plan miss") << ", " << result.execute_ns / 1000
+                << " us)" << (error.empty() ? "" : " FAILED");
+
+  // Scatter results back per request.
+  Timer scatter_timer;
+  std::vector<SampleResponse> responses(group.size());
+  for (size_t i = 0; i < group.size(); ++i) {
+    Pending& pending = *group[i];
+    SampleResponse& response = responses[i];
+    response.request_id = pending.id;
+    response.degraded = pending.degraded;
+    response.group_size = coalesced ? static_cast<int>(group.size()) : 1;
+    response.stages.queue_wait_ns = ElapsedNs(pending.submitted, pending.dequeued);
+    response.stages.compile_ns = compile_ns;
+    response.stages.plan_cache_hit = cache_hit;
+    response.stages.execute_ns = result.execute_ns;
+    if (error.empty()) {
+      response.status = Status::kOk;
+      response.outputs = std::move(result.outputs[i]);
+    } else {
+      response.status = Status::kFailed;
+      response.error = error;
+    }
+  }
+  const int64_t scatter_ns = scatter_timer.ElapsedNanos();
+
+  // Service-time EMA feeding deadline admission (amortized per request).
+  if (error.empty()) {
+    const int64_t per_request =
+        (compile_ns + result.execute_ns) / static_cast<int64_t>(group.size());
+    const int64_t previous = ema_service_ns_.load(std::memory_order_relaxed);
+    const int64_t next = previous == 0 ? per_request : (7 * previous + per_request) / 8;
+    ema_service_ns_.store(next, std::memory_order_relaxed);
+  }
+
+  std::vector<int64_t> totals(group.size());
+  const Clock::time_point done = Clock::now();
+  for (size_t i = 0; i < group.size(); ++i) {
+    responses[i].stages.scatter_ns = scatter_ns;
+    totals[i] = ElapsedNs(group[i]->submitted, done);
+    responses[i].stages.total_ns = totals[i];
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.executions += executions;
+    stats_.requests_executed += static_cast<int64_t>(group.size());
+    if (coalesced) {
+      ++stats_.coalesced_executions;
+    }
+    for (size_t i = 0; i < group.size(); ++i) {
+      if (responses[i].status == Status::kOk) {
+        ++stats_.completed;
+        ++stats_.per_tenant_completed[group[i]->request.tenant];
+        if (responses[i].degraded) {
+          ++stats_.degraded;
+        }
+        latency_.Record(totals[i]);
+      } else {
+        ++stats_.failed;
+      }
+    }
+  }
+  for (size_t i = 0; i < group.size(); ++i) {
+    group[i]->promise.set_value(std::move(responses[i]));
+  }
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServerStats snapshot = stats_;
+  if (plan_cache_ != nullptr) {
+    const PlanCacheStats cache = plan_cache_->stats();
+    snapshot.plan_cache_hits = cache.hits;
+    snapshot.plan_cache_misses = cache.misses;
+    snapshot.plan_cache_evictions = cache.evictions;
+    snapshot.plan_resident_bytes = cache.resident_bytes;
+  }
+  snapshot.latency_p50_ns = latency_.Percentile(50);
+  snapshot.latency_p95_ns = latency_.Percentile(95);
+  snapshot.latency_p99_ns = latency_.Percentile(99);
+  snapshot.latency_max_ns = latency_.max_ns();
+  return snapshot;
+}
+
+}  // namespace gs::serving

@@ -1,0 +1,164 @@
+// gs::serving::Server — embedded multi-tenant sampling service.
+//
+// Concurrent SampleRequests flow through four stages:
+//
+//   1. Admission (Submit, caller thread): unknown endpoints fail fast;
+//      requests whose deadline cannot plausibly be met (EMA service-time
+//      estimate x queue depth) are rejected; a full admission queue rejects
+//      with a retry-after hint; past the shed threshold requests are
+//      admitted with halved fanouts (graceful degradation) — so overload
+//      degrades fidelity before it degrades availability.
+//   2. Queueing: admitted requests wait in per-tenant queues. Workers pick
+//      the least-served tenant first (fair queueing), then the earliest
+//      deadline within it (EDF; priority breaks ties). Requests that expire
+//      while queued complete as kDeadlineExceeded without executing.
+//   3. Execution: the worker resolves the request's compiled plan through
+//      the PlanCache (LRU under a byte budget), gathers up to coalesce_max
+//      queued requests with the same plan key, and runs them as ONE
+//      segmented super-batch (serving/coalescer.h). Per-segment RNG streams
+//      make each member's results bit-identical to being served alone.
+//   4. Scatter: group outputs are split per request and promises fulfilled,
+//      with a per-stage wall-latency breakdown in every response.
+//
+// Built on pipeline::WorkerPool (one device stream per worker) and
+// pipeline::BoundedQueue (admission tokens with TryPush rejection). The
+// token queue is a capacity limiter and wakeup channel: every registered
+// request pushes one token, workers block popping tokens, and the scheduler
+// tolerates token/request imbalance from coalescing (a popped token that
+// finds no queued request is a no-op).
+
+#ifndef GSAMPLER_SERVING_SERVER_H_
+#define GSAMPLER_SERVING_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "core/engine.h"
+#include "graph/graph.h"
+#include "pipeline/queue.h"
+#include "pipeline/worker_pool.h"
+#include "serving/plan_cache.h"
+#include "serving/request.h"
+#include "serving/stats.h"
+
+namespace gs::serving {
+
+// A servable (algorithm, dataset) pair. The factory builds the traced
+// program for a given effective fanout vector (empty = algorithm defaults);
+// the sampler options are part of the plan key.
+struct Endpoint {
+  std::string algorithm;
+  std::string dataset;
+  const graph::Graph* graph = nullptr;
+  std::function<algorithms::AlgorithmProgram(const std::vector<int64_t>& fanouts)> factory;
+  core::SamplerOptions options;
+  // Fallback fanouts used when a request does not specify any and overload
+  // shedding needs something to halve.
+  std::vector<int64_t> default_fanouts;
+};
+
+// Convenience endpoint over the Table-2 registry. Fanout vectors are honored
+// for the fanout-parameterized algorithms (GraphSAGE, GCN-BS, Thanos,
+// FastGCN, LADIES); others compile with their defaults.
+Endpoint MakeEndpoint(const std::string& algorithm, const std::string& dataset,
+                      const graph::Graph& graph, core::SamplerOptions options = {});
+
+struct ServerOptions {
+  int num_workers = 2;
+  // Admission queue capacity; TryPush failure = reject with retry-after.
+  int queue_capacity = 64;
+  // Maximum requests merged into one segmented execution.
+  int coalesce_max = 8;
+  bool enable_coalescing = true;
+  int64_t plan_cache_budget_bytes = int64_t{256} * 1024 * 1024;
+  // Queue-occupancy fraction beyond which admitted requests get shed
+  // (halved) fanouts.
+  double shed_occupancy = 0.75;
+  // Reject requests whose deadline is below the service-time estimate.
+  bool deadline_admission = true;
+  // Suggested client back-off on rejection.
+  std::chrono::nanoseconds retry_after{2'000'000};
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Registration must complete before Start().
+  void RegisterEndpoint(Endpoint endpoint);
+
+  void Start();
+  // Drains queued admitted requests, then joins the workers. Idempotent.
+  void Stop();
+  bool running() const { return running_; }
+
+  // Thread-safe; returns a future fulfilled by a worker (or immediately on
+  // rejection/failure). Never blocks on execution.
+  std::future<SampleResponse> Submit(SampleRequest request);
+
+  ServerStats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    uint64_t id = 0;
+    SampleRequest request;
+    std::promise<SampleResponse> promise;
+    PlanKey key;
+    std::string canonical;  // key.Canonical(), cached
+    bool degraded = false;
+    bool has_deadline = false;
+    Clock::time_point deadline_abs{};
+    Clock::time_point submitted{};
+    Clock::time_point dequeued{};
+  };
+
+  const Endpoint* FindEndpoint(const std::string& algorithm, const std::string& dataset) const;
+  void WorkerLoop(int worker);
+  // Handles one admission token: picks a group and serves it. Returns false
+  // when the token found no queued request (tolerated imbalance).
+  bool ServeOne();
+  // Completes `p` as expired. Caller must not hold sched_mutex_.
+  void CompleteExpired(std::unique_ptr<Pending> p);
+  void ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group);
+  std::shared_ptr<core::CompiledSampler> BuildPlan(const Endpoint& endpoint,
+                                                   const PlanKey& key) const;
+
+  ServerOptions options_;
+  std::map<std::string, Endpoint> endpoints_;  // "algorithm|dataset" -> endpoint
+  std::unique_ptr<PlanCache> plan_cache_;
+  std::unique_ptr<pipeline::BoundedQueue<uint64_t>> tokens_;
+  std::unique_ptr<pipeline::WorkerPool> pool_;
+  std::atomic<bool> running_{false};
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<int64_t> queued_{0};           // admitted, not yet dequeued
+  std::atomic<int64_t> ema_service_ns_{0};   // per-request EMA (wall)
+
+  mutable std::mutex sched_mutex_;  // tenant queues + served counts
+  std::map<std::string, std::deque<std::unique_ptr<Pending>>> tenant_queues_;
+  std::map<std::string, int64_t> tenant_served_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+  LatencyHistogram latency_;
+};
+
+}  // namespace gs::serving
+
+#endif  // GSAMPLER_SERVING_SERVER_H_

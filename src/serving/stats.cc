@@ -1,0 +1,48 @@
+#include "serving/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+namespace gs::serving {
+
+void LatencyHistogram::Record(int64_t ns) {
+  const uint64_t v = ns > 0 ? static_cast<uint64_t>(ns) : 1;
+  const int bucket = 63 - std::countl_zero(v);  // floor(log2(v))
+  buckets_[static_cast<size_t>(std::min(bucket, 63))] += 1;
+  count_ += 1;
+  max_ns_ = std::max(max_ns_, ns);
+}
+
+int64_t LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_);
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= rank) {
+      // Upper bound of bucket i, capped at the observed maximum.
+      const int64_t upper = i >= 62 ? max_ns_ : (int64_t{1} << (i + 1)) - 1;
+      return std::min(upper, max_ns_);
+    }
+  }
+  return max_ns_;
+}
+
+std::string ServerStats::ToString() const {
+  std::ostringstream out;
+  out << "received=" << received << " admitted=" << admitted << " completed=" << completed
+      << " rejected=" << rejected << " deadline_exceeded=" << deadline_exceeded
+      << " failed=" << failed << " degraded=" << degraded << " executions=" << executions
+      << " coalesced=" << coalesced_executions << " coalescing_ratio=" << CoalescingRatio()
+      << " plan_hits=" << plan_cache_hits << " plan_misses=" << plan_cache_misses
+      << " plan_evictions=" << plan_cache_evictions
+      << " plan_resident_bytes=" << plan_resident_bytes
+      << " p50_us=" << latency_p50_ns / 1000 << " p95_us=" << latency_p95_ns / 1000
+      << " p99_us=" << latency_p99_ns / 1000;
+  return out.str();
+}
+
+}  // namespace gs::serving

@@ -1,0 +1,73 @@
+// Serving observability: latency percentiles and server-wide counters.
+
+#ifndef GSAMPLER_SERVING_STATS_H_
+#define GSAMPLER_SERVING_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gs::serving {
+
+// Log-scale latency histogram: bucket i counts samples in
+// [2^i, 2^(i+1)) nanoseconds. Percentile() returns the upper bound of the
+// bucket holding the requested quantile — coarse (2x resolution) but O(1)
+// memory and good enough for p50/p95/p99 tail reporting.
+class LatencyHistogram {
+ public:
+  void Record(int64_t ns);
+  // p in [0, 100]. Returns 0 when empty.
+  int64_t Percentile(double p) const;
+  int64_t count() const { return count_; }
+  int64_t max_ns() const { return max_ns_; }
+
+ private:
+  std::array<int64_t, 64> buckets_{};
+  int64_t count_ = 0;
+  int64_t max_ns_ = 0;
+};
+
+struct ServerStats {
+  // Request lifecycle counters.
+  int64_t received = 0;
+  int64_t admitted = 0;
+  int64_t rejected = 0;           // admission refusals (queue full / deadline)
+  int64_t deadline_exceeded = 0;  // expired in queue, never executed
+  int64_t failed = 0;
+  int64_t completed = 0;
+  int64_t degraded = 0;  // served with shed fanouts
+
+  // Execution counters.
+  int64_t executions = 0;          // super-batch executions launched
+  int64_t requests_executed = 0;   // sum of group sizes
+  int64_t coalesced_executions = 0;  // executions with group size > 1
+
+  // Plan cache.
+  int64_t plan_cache_hits = 0;
+  int64_t plan_cache_misses = 0;
+  int64_t plan_cache_evictions = 0;
+  int64_t plan_resident_bytes = 0;
+
+  // End-to-end wall latency of completed requests (submit -> response).
+  int64_t latency_p50_ns = 0;
+  int64_t latency_p95_ns = 0;
+  int64_t latency_p99_ns = 0;
+  int64_t latency_max_ns = 0;
+
+  // Completed requests per tenant (fair-queueing visibility).
+  std::map<std::string, int64_t> per_tenant_completed;
+
+  // Mean requests per execution; 1.0 = no coalescing happened.
+  double CoalescingRatio() const {
+    return executions > 0
+               ? static_cast<double>(requests_executed) / static_cast<double>(executions)
+               : 0.0;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace gs::serving
+
+#endif  // GSAMPLER_SERVING_STATS_H_

@@ -25,6 +25,143 @@ Labeled Decode(int32_t labeled, int64_t num_nodes) {
   return {labeled / num_nodes, static_cast<int32_t>(labeled % num_nodes)};
 }
 
+// The segmented samplers are written against an rng-per-segment provider so
+// one implementation serves both entry points: the legacy epoch path hands
+// every segment the same shared Rng (draws interleave across segments in
+// column/segment order — statistically a super-batch, not bit-equal to
+// per-batch runs), while the serving path hands each segment its own stream
+// (bit-equal to running that segment alone; see batch.h).
+template <typename RngFor>
+Matrix SegmentedFusedSliceSampleImpl(const Matrix& base, const IdArray& labeled_cols,
+                                     int64_t num_segments, int64_t k, RngFor&& rng_for) {
+  GS_CHECK(!base.has_col_ids()) << "super-batch extract requires the base graph";
+  GS_CHECK_GT(k, 0);
+  const Compressed& csc = base.Csc();
+  const int64_t n = base.num_cols();
+  device::KernelScope kernel(CurrentStream());
+  const bool weighted = csc.values.defined();
+  const int64_t t = labeled_cols.size();
+
+  Compressed sub;
+  sub.indptr = OffsetArray::Empty(t + 1);
+  sub.indptr[0] = 0;
+  std::vector<int32_t> picked;
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  indices.reserve(static_cast<size_t>(k * t));
+  int64_t pcie = 0;
+
+  for (int64_t i = 0; i < t; ++i) {
+    const Labeled lc = Decode(labeled_cols[i], n);
+    GS_CHECK_LT(lc.segment, num_segments);
+    const int64_t begin = csc.indptr[lc.node];
+    const int64_t deg = csc.indptr[lc.node + 1] - begin;
+    const int32_t offset = static_cast<int32_t>(lc.segment * n);
+    picked.clear();
+    SampleUniformWithoutReplacement(deg, k, rng_for(lc.segment), picked);
+    for (int32_t slot : picked) {
+      indices.push_back(csc.indices[begin + slot] + offset);
+      if (weighted) {
+        values.push_back(csc.values[begin + slot]);
+      }
+    }
+    sub.indptr[i + 1] = static_cast<int64_t>(indices.size());
+    pcie += internal::UvaCharge(base, static_cast<uint64_t>(lc.node),
+                                static_cast<int64_t>(picked.size()) * 4);
+  }
+
+  const int64_t out_nnz = static_cast<int64_t>(indices.size());
+  sub.indices = IdArray::FromVector(indices);
+  if (weighted) {
+    sub.values = ValueArray::FromVector(values);
+  }
+  Matrix out = Matrix::FromCsc(num_segments * n, t, std::move(sub));
+  out.SetColIds(labeled_cols.Clone());
+  kernel.Finish({.parallel_items = std::max<int64_t>(out_nnz, 1),
+                 .hbm_bytes = out_nnz * int64_t{8},
+                 .pcie_bytes = pcie});
+  return out;
+}
+
+template <typename RngFor>
+Matrix SegmentedCollectiveSampleImpl(const Matrix& m, int64_t k, const ValueArray& row_probs,
+                                     int64_t num_nodes, RngFor&& rng_for) {
+  GS_CHECK_GT(k, 0);
+  GS_CHECK_EQ(row_probs.size(), m.num_rows());
+  device::KernelScope kernel(CurrentStream());
+
+  // A row's segment comes from its labeled id (works both for the full
+  // labeled space and for compacted matrices whose row_ids carry labels).
+  int64_t num_segments = 0;
+  std::vector<int64_t> segment_of(static_cast<size_t>(m.num_rows()));
+  for (int64_t r = 0; r < m.num_rows(); ++r) {
+    const int64_t s = m.GlobalRowId(static_cast<int32_t>(r)) / num_nodes;
+    segment_of[static_cast<size_t>(r)] = s;
+    num_segments = std::max(num_segments, s + 1);
+  }
+
+  // Gather positive-probability candidates per segment, then sample each
+  // segment independently (the "segmented collective sample" operator).
+  std::vector<int32_t> selected;
+  {
+    std::vector<std::vector<int32_t>> candidates(static_cast<size_t>(num_segments));
+    std::vector<std::vector<float>> weights(static_cast<size_t>(num_segments));
+    for (int64_t r = 0; r < m.num_rows(); ++r) {
+      if (row_probs[r] > 0.0f) {
+        const size_t s = static_cast<size_t>(segment_of[static_cast<size_t>(r)]);
+        candidates[s].push_back(static_cast<int32_t>(r));
+        weights[s].push_back(row_probs[r]);
+      }
+    }
+    for (int64_t s = 0; s < num_segments; ++s) {
+      std::vector<int32_t> picked;
+      SampleWeightedWithoutReplacement(weights[static_cast<size_t>(s)], k, rng_for(s), picked);
+      for (int32_t slot : picked) {
+        selected.push_back(candidates[static_cast<size_t>(s)][static_cast<size_t>(slot)]);
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  const int64_t s = static_cast<int64_t>(selected.size());
+
+  // Filter edges to the selected rows, preserving CSC column grouping.
+  const Compressed& csc = m.Csc();
+  const bool weighted = csc.values.defined();
+  std::vector<int32_t> row_map(static_cast<size_t>(m.num_rows()), -1);
+  IdArray row_ids = IdArray::Empty(s);
+  for (int64_t i = 0; i < s; ++i) {
+    row_map[static_cast<size_t>(selected[static_cast<size_t>(i)])] = static_cast<int32_t>(i);
+    row_ids[i] = m.GlobalRowId(selected[static_cast<size_t>(i)]);
+  }
+  Compressed out;
+  out.indptr = OffsetArray::Empty(m.num_cols() + 1);
+  out.indptr[0] = 0;
+  std::vector<int32_t> idx;
+  std::vector<float> vals;
+  for (int64_t c = 0; c < m.num_cols(); ++c) {
+    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+      const int32_t mapped = row_map[static_cast<size_t>(csc.indices[e])];
+      if (mapped >= 0) {
+        idx.push_back(mapped);
+        if (weighted) {
+          vals.push_back(csc.values[e]);
+        }
+      }
+    }
+    out.indptr[c + 1] = static_cast<int64_t>(idx.size());
+  }
+  out.indices = IdArray::FromVector(idx);
+  if (weighted) {
+    out.values = ValueArray::FromVector(vals);
+  }
+  Matrix result = Matrix::FromCsc(s, m.num_cols(), std::move(out));
+  result.SetRowIds(std::move(row_ids));
+  result.SetRowsCompact(true);
+  result.SetColIds(m.col_ids());
+  kernel.Finish({.parallel_items = m.nnz(), .hbm_bytes = m.nnz() * int64_t{12}});
+  return result;
+}
+
 }  // namespace
 
 Matrix SegmentedSliceColumns(const Matrix& base, const IdArray& labeled_cols,
@@ -75,130 +212,95 @@ Matrix SegmentedSliceColumns(const Matrix& base, const IdArray& labeled_cols,
 
 Matrix SegmentedFusedSliceSample(const Matrix& base, const IdArray& labeled_cols,
                                  int64_t num_segments, int64_t k, Rng& rng) {
-  GS_CHECK(!base.has_col_ids()) << "super-batch extract requires the base graph";
-  GS_CHECK_GT(k, 0);
-  const Compressed& csc = base.Csc();
-  const int64_t n = base.num_cols();
-  device::KernelScope kernel(CurrentStream());
-  const bool weighted = csc.values.defined();
-  const int64_t t = labeled_cols.size();
+  return SegmentedFusedSliceSampleImpl(base, labeled_cols, num_segments, k,
+                                       [&rng](int64_t) -> Rng& { return rng; });
+}
 
-  Compressed sub;
-  sub.indptr = OffsetArray::Empty(t + 1);
-  sub.indptr[0] = 0;
-  std::vector<int32_t> picked;
-  std::vector<int32_t> indices;
-  std::vector<float> values;
-  indices.reserve(static_cast<size_t>(k * t));
-  int64_t pcie = 0;
-
-  for (int64_t i = 0; i < t; ++i) {
-    const Labeled lc = Decode(labeled_cols[i], n);
-    GS_CHECK_LT(lc.segment, num_segments);
-    const int64_t begin = csc.indptr[lc.node];
-    const int64_t deg = csc.indptr[lc.node + 1] - begin;
-    const int32_t offset = static_cast<int32_t>(lc.segment * n);
-    picked.clear();
-    SampleUniformWithoutReplacement(deg, k, rng, picked);
-    for (int32_t slot : picked) {
-      indices.push_back(csc.indices[begin + slot] + offset);
-      if (weighted) {
-        values.push_back(csc.values[begin + slot]);
-      }
-    }
-    sub.indptr[i + 1] = static_cast<int64_t>(indices.size());
-    pcie += internal::UvaCharge(base, static_cast<uint64_t>(lc.node),
-                                static_cast<int64_t>(picked.size()) * 4);
-  }
-
-  const int64_t out_nnz = static_cast<int64_t>(indices.size());
-  sub.indices = IdArray::FromVector(indices);
-  if (weighted) {
-    sub.values = ValueArray::FromVector(values);
-  }
-  Matrix out = Matrix::FromCsc(num_segments * n, t, std::move(sub));
-  out.SetColIds(labeled_cols.Clone());
-  kernel.Finish({.parallel_items = std::max<int64_t>(out_nnz, 1),
-                 .hbm_bytes = out_nnz * int64_t{8},
-                 .pcie_bytes = pcie});
-  return out;
+Matrix SegmentedFusedSliceSample(const Matrix& base, const IdArray& labeled_cols,
+                                 int64_t num_segments, int64_t k,
+                                 std::span<Rng> segment_rngs) {
+  GS_CHECK_GE(static_cast<int64_t>(segment_rngs.size()), num_segments)
+      << "need one rng per segment";
+  return SegmentedFusedSliceSampleImpl(
+      base, labeled_cols, num_segments, k,
+      [segment_rngs](int64_t s) -> Rng& { return segment_rngs[static_cast<size_t>(s)]; });
 }
 
 Matrix SegmentedCollectiveSample(const Matrix& m, int64_t k, const ValueArray& row_probs,
                                  int64_t num_nodes, Rng& rng) {
-  GS_CHECK_GT(k, 0);
-  GS_CHECK_EQ(row_probs.size(), m.num_rows());
-  device::KernelScope kernel(CurrentStream());
+  return SegmentedCollectiveSampleImpl(m, k, row_probs, num_nodes,
+                                       [&rng](int64_t) -> Rng& { return rng; });
+}
 
-  // A row's segment comes from its labeled id (works both for the full
-  // labeled space and for compacted matrices whose row_ids carry labels).
-  int64_t num_segments = 0;
-  std::vector<int64_t> segment_of(static_cast<size_t>(m.num_rows()));
-  for (int64_t r = 0; r < m.num_rows(); ++r) {
-    const int64_t s = m.GlobalRowId(static_cast<int32_t>(r)) / num_nodes;
-    segment_of[static_cast<size_t>(r)] = s;
-    num_segments = std::max(num_segments, s + 1);
+Matrix SegmentedCollectiveSample(const Matrix& m, int64_t k, const ValueArray& row_probs,
+                                 int64_t num_nodes, std::span<Rng> segment_rngs) {
+  return SegmentedCollectiveSampleImpl(m, k, row_probs, num_nodes,
+                                       [segment_rngs](int64_t s) -> Rng& {
+                                         GS_CHECK_LT(s, static_cast<int64_t>(segment_rngs.size()))
+                                             << "need one rng per segment";
+                                         return segment_rngs[static_cast<size_t>(s)];
+                                       });
+}
+
+Matrix SegmentedIndividualSample(const Matrix& m, int64_t k, const ValueArray& probs,
+                                 int64_t num_nodes, std::span<Rng> segment_rngs) {
+  GS_CHECK_GT(k, 0) << "fanout must be positive";
+  GS_CHECK(m.has_col_ids()) << "segmented individual sample needs labeled col ids";
+  if (probs.defined()) {
+    GS_CHECK_EQ(probs.size(), m.nnz()) << "probs must align with the matrix's CSC edge order";
   }
-
-  // Gather positive-probability candidates per segment, then sample each
-  // segment independently (the "segmented collective sample" operator).
-  std::vector<int32_t> selected;
-  {
-    std::vector<std::vector<int32_t>> candidates(static_cast<size_t>(num_segments));
-    std::vector<std::vector<float>> weights(static_cast<size_t>(num_segments));
-    for (int64_t r = 0; r < m.num_rows(); ++r) {
-      if (row_probs[r] > 0.0f) {
-        const size_t s = static_cast<size_t>(segment_of[static_cast<size_t>(r)]);
-        candidates[s].push_back(static_cast<int32_t>(r));
-        weights[s].push_back(row_probs[r]);
-      }
-    }
-    for (int64_t s = 0; s < num_segments; ++s) {
-      std::vector<int32_t> picked;
-      SampleWeightedWithoutReplacement(weights[static_cast<size_t>(s)], k, rng, picked);
-      for (int32_t slot : picked) {
-        selected.push_back(candidates[static_cast<size_t>(s)][static_cast<size_t>(slot)]);
-      }
-    }
-  }
-  std::sort(selected.begin(), selected.end());
-  const int64_t s = static_cast<int64_t>(selected.size());
-
-  // Filter edges to the selected rows, preserving CSC column grouping.
   const Compressed& csc = m.Csc();
   const bool weighted = csc.values.defined();
-  std::vector<int32_t> row_map(static_cast<size_t>(m.num_rows()), -1);
-  IdArray row_ids = IdArray::Empty(s);
-  for (int64_t i = 0; i < s; ++i) {
-    row_map[static_cast<size_t>(selected[static_cast<size_t>(i)])] = static_cast<int32_t>(i);
-    row_ids[i] = m.GlobalRowId(selected[static_cast<size_t>(i)]);
-  }
+  device::KernelScope kernel(CurrentStream());
+
+  const int64_t t = m.num_cols();
   Compressed out;
-  out.indptr = OffsetArray::Empty(m.num_cols() + 1);
+  out.indptr = OffsetArray::Empty(t + 1);
   out.indptr[0] = 0;
-  std::vector<int32_t> idx;
-  std::vector<float> vals;
-  for (int64_t c = 0; c < m.num_cols(); ++c) {
-    for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
-      const int32_t mapped = row_map[static_cast<size_t>(csc.indices[e])];
-      if (mapped >= 0) {
-        idx.push_back(mapped);
-        if (weighted) {
-          vals.push_back(csc.values[e]);
-        }
+  std::vector<int32_t> picked;  // per-column scratch of selected slots
+  std::vector<int32_t> indices;
+  std::vector<float> values;
+  indices.reserve(static_cast<size_t>(std::min(m.nnz(), k * t)));
+  int64_t pcie = 0;
+
+  for (int64_t c = 0; c < t; ++c) {
+    const Labeled lc = Decode(m.GlobalColId(static_cast<int32_t>(c)), num_nodes);
+    GS_CHECK_LT(lc.segment, static_cast<int64_t>(segment_rngs.size()))
+        << "need one rng per segment";
+    Rng& rng = segment_rngs[static_cast<size_t>(lc.segment)];
+    const int64_t begin = csc.indptr[c];
+    const int64_t deg = csc.indptr[c + 1] - begin;
+    picked.clear();
+    if (probs.defined()) {
+      SampleWeightedWithoutReplacement(
+          std::span<const float>(probs.data() + begin, static_cast<size_t>(deg)), k, rng,
+          picked);
+    } else {
+      SampleUniformWithoutReplacement(deg, k, rng, picked);
+    }
+    for (int32_t slot : picked) {
+      indices.push_back(csc.indices[begin + slot]);
+      if (weighted) {
+        values.push_back(csc.values[begin + slot]);
       }
     }
-    out.indptr[c + 1] = static_cast<int64_t>(idx.size());
+    out.indptr[c + 1] = static_cast<int64_t>(indices.size());
+    if (m.IsUva()) {
+      pcie += internal::UvaCharge(m, static_cast<uint64_t>(lc.node), deg * int64_t{4});
+    }
   }
-  out.indices = IdArray::FromVector(idx);
+
+  const int64_t out_nnz = static_cast<int64_t>(indices.size());
+  out.indices = IdArray::FromVector(indices);
   if (weighted) {
-    out.values = ValueArray::FromVector(vals);
+    out.values = ValueArray::FromVector(values);
   }
-  Matrix result = Matrix::FromCsc(s, m.num_cols(), std::move(out));
-  result.SetRowIds(std::move(row_ids));
-  result.SetRowsCompact(true);
+  Matrix result = Matrix::FromCsc(m.num_rows(), t, std::move(out));
+  internal::InheritRowSpace(m, result);
   result.SetColIds(m.col_ids());
-  kernel.Finish({.parallel_items = m.nnz(), .hbm_bytes = m.nnz() * int64_t{12}});
+  kernel.Finish({.parallel_items = std::max<int64_t>(m.nnz(), 1),
+                 .hbm_bytes = m.nnz() * int64_t{4} + out_nnz * int64_t{8},
+                 .pcie_bytes = pcie});
   return result;
 }
 

@@ -10,6 +10,8 @@
 #ifndef GSAMPLER_SPARSE_BATCH_H_
 #define GSAMPLER_SPARSE_BATCH_H_
 
+#include <span>
+
 #include "common/rng.h"
 #include "sparse/matrix.h"
 
@@ -27,12 +29,31 @@ Matrix SegmentedSliceColumns(const Matrix& base, const IdArray& labeled_cols,
 Matrix SegmentedFusedSliceSample(const Matrix& base, const IdArray& labeled_cols,
                                  int64_t num_segments, int64_t k, Rng& rng);
 
+// Per-segment-RNG variant (serving / request coalescing): every draw for a
+// column of segment b comes exclusively from segment_rngs[b], so segment
+// b's sample is bit-identical to running that segment alone (one segment,
+// the same RNG stream) — the property the request coalescer relies on.
+Matrix SegmentedFusedSliceSample(const Matrix& base, const IdArray& labeled_cols,
+                                 int64_t num_segments, int64_t k,
+                                 std::span<Rng> segment_rngs);
+
 // Layer-wise sampling per segment: independently samples up to k rows within
 // each segment's labeled id range [s*num_nodes, (s+1)*num_nodes) according
 // to row_probs (length m.num_rows()), then keeps only edges whose row was
 // selected. Rows come out compacted with labeled row_ids.
 Matrix SegmentedCollectiveSample(const Matrix& m, int64_t k, const ValueArray& row_probs,
                                  int64_t num_nodes, Rng& rng);
+
+// Per-segment-RNG variant; see SegmentedFusedSliceSample above.
+Matrix SegmentedCollectiveSample(const Matrix& m, int64_t k, const ValueArray& row_probs,
+                                 int64_t num_nodes, std::span<Rng> segment_rngs);
+
+// Node-wise sample of k in-neighbors per column on a segmented matrix whose
+// col ids carry labels: column j's draws come from
+// segment_rngs[col_label / num_nodes]. `probs` (optional) must align with
+// the matrix's CSC edge order, exactly like IndividualSample.
+Matrix SegmentedIndividualSample(const Matrix& m, int64_t k, const ValueArray& probs,
+                                 int64_t num_nodes, std::span<Rng> segment_rngs);
 
 // Slices a contiguous column range [begin, end) preserving the row space —
 // used to split a super-batch result back into per-batch samples. Requires

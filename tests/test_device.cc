@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/error.h"
 #include "device/allocator.h"
 #include "device/array.h"
@@ -64,6 +67,96 @@ TEST(Allocator, FreeUnknownPointerThrows) {
   CachingAllocator alloc(1 << 20);
   int x = 0;
   EXPECT_THROW(alloc.Free(&x), Error);
+}
+
+TEST(Allocator, AccountingConsistentAcrossFreeListReuse) {
+  // bytes_in_use / bytes_cached must partition the footprint exactly as
+  // blocks move between the live set and the free list, and the peak must
+  // reflect true high water only — not free-list round trips.
+  CachingAllocator alloc(1 << 20);
+  void* a = alloc.Allocate(4096);
+  void* b = alloc.Allocate(700);  // 1024-byte class
+  EXPECT_EQ(alloc.stats().bytes_in_use, 4096 + 1024);
+  EXPECT_EQ(alloc.stats().bytes_cached, 0);
+  const int64_t peak = alloc.stats().peak_bytes_in_use;
+  EXPECT_EQ(peak, 4096 + 1024);
+
+  alloc.Free(a);
+  EXPECT_EQ(alloc.stats().bytes_in_use, 1024);
+  EXPECT_EQ(alloc.stats().bytes_cached, 4096);
+
+  // Reuse from the free list: in_use rises, cached falls, peak unchanged.
+  void* c = alloc.Allocate(4000);
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(alloc.stats().bytes_in_use, 4096 + 1024);
+  EXPECT_EQ(alloc.stats().bytes_cached, 0);
+  EXPECT_EQ(alloc.stats().peak_bytes_in_use, peak);
+  EXPECT_EQ(alloc.stats().cache_hits, 1);
+
+  // Repeated free/reuse cycles keep the partition exact and never move peak.
+  for (int i = 0; i < 10; ++i) {
+    alloc.Free(c);
+    EXPECT_EQ(alloc.stats().bytes_in_use + alloc.stats().bytes_cached, 4096 + 1024);
+    c = alloc.Allocate(4096);
+    EXPECT_EQ(alloc.stats().peak_bytes_in_use, peak);
+  }
+  alloc.Free(b);
+  alloc.Free(c);
+  EXPECT_EQ(alloc.stats().bytes_in_use, 0);
+  EXPECT_EQ(alloc.stats().bytes_cached, 4096 + 1024);
+  EXPECT_EQ(alloc.stats().peak_bytes_in_use, peak);
+  alloc.ReleaseCache();
+  EXPECT_EQ(alloc.stats().bytes_cached, 0);
+}
+
+TEST(Allocator, AdjustReservedBalancesAndRejectsOverRelease) {
+  CachingAllocator alloc(1 << 20);
+  alloc.AdjustReserved(1000);
+  EXPECT_EQ(alloc.stats().bytes_reserved, 1000);
+  alloc.AdjustReserved(-400);
+  EXPECT_EQ(alloc.stats().bytes_reserved, 600);
+  // Releasing more than was pinned is an accounting bug, not a clamp.
+  EXPECT_THROW(alloc.AdjustReserved(-5000), Error);
+  alloc.AdjustReserved(-600);
+  EXPECT_EQ(alloc.stats().bytes_reserved, 0);
+}
+
+TEST(Allocator, ConcurrentAllocFreeAccountingStaysConsistent) {
+  // Exercised under GS_SANITIZE=thread by tools/check.sh: several threads
+  // allocate and free concurrently; the books must balance exactly when
+  // they are done, and every snapshot mid-flight must stay within capacity.
+  CachingAllocator alloc(8 << 20);
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&alloc, t] {
+      std::vector<void*> held;
+      for (int i = 0; i < kIters; ++i) {
+        held.push_back(alloc.Allocate(512 + 64 * ((t * kIters + i) % 7)));
+        if (held.size() > 8) {
+          alloc.Free(held.front());
+          held.erase(held.begin());
+        }
+        const AllocatorStats snap = alloc.stats();
+        EXPECT_GE(snap.bytes_in_use, 0);
+        EXPECT_LE(snap.bytes_in_use, alloc.capacity_bytes());
+        EXPECT_GE(snap.peak_bytes_in_use, snap.bytes_in_use);
+      }
+      for (void* p : held) {
+        alloc.Free(p);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const AllocatorStats done = alloc.stats();
+  EXPECT_EQ(done.bytes_in_use, 0);
+  EXPECT_EQ(done.alloc_calls, kThreads * kIters);
+  EXPECT_LE(done.cache_hits, done.alloc_calls);
+  EXPECT_GE(done.peak_bytes_in_use, 512);
 }
 
 TEST(Stream, LaunchOverheadCharged) {

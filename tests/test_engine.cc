@@ -279,6 +279,89 @@ TEST(Engine, SuperBatchStatisticallyMatchesPerBatch) {
   EXPECT_NEAR(batched, sequential, sequential * 0.05);
 }
 
+TEST(BatchProducer, EmptySeedSetYieldsNoBatches) {
+  graph::Graph g = gs::testing::SmallRmat();
+  algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = {3}});
+  SamplerOptions opts;
+  opts.super_batch = 4;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  BatchProducer producer(sampler, IdArray::Empty(0), 8);
+  EXPECT_EQ(producer.num_batches(), 0);
+  EpochBatch batch;
+  EXPECT_FALSE(producer.Next(&batch));
+  EXPECT_FALSE(producer.Next(&batch));  // stays exhausted
+  int callbacks = 0;
+  sampler.SampleEpoch(IdArray::Empty(0), 8,
+                      [&](int64_t, std::vector<Value>&) { ++callbacks; });
+  EXPECT_EQ(callbacks, 0);
+}
+
+TEST(BatchProducer, FinalPartialBatchMatchesSoloSampling) {
+  // 27 seeds at batch size 8: three full batches plus a final partial batch
+  // of 3. Grouped into a super-batch of 4, every batch — including the
+  // partial one — must equal what solo per-batch sampling produces.
+  graph::Graph g = gs::testing::SmallRmat(400, 4000, 55, true);
+  SamplerOptions grouped_opts;
+  grouped_opts.super_batch = 4;
+  algorithms::AlgorithmProgram ap1 = algorithms::GraphSage(g, {.fanouts = {3, 2}});
+  CompiledSampler grouped(std::move(ap1.program), g, std::move(ap1.tensors), grouped_opts);
+
+  SamplerOptions solo_opts;
+  solo_opts.super_batch = 1;
+  algorithms::AlgorithmProgram ap2 = algorithms::GraphSage(g, {.fanouts = {3, 2}});
+  CompiledSampler solo(std::move(ap2.program), g, std::move(ap2.tensors), solo_opts);
+
+  const IdArray seeds = Iota(27);
+  BatchProducer producer(grouped, seeds, 8);
+  EXPECT_EQ(producer.num_batches(), 4);
+
+  std::vector<EpochBatch> grouped_batches;
+  EpochBatch batch;
+  while (producer.Next(&batch)) {
+    grouped_batches.push_back(std::move(batch));
+    batch = EpochBatch{};
+  }
+  ASSERT_EQ(grouped_batches.size(), 4u);
+  EXPECT_EQ(grouped_batches.back().seeds.size(), 3);
+
+  size_t b = 0;
+  solo.SampleEpoch(seeds, 8, [&](int64_t index, std::vector<Value>& out) {
+    ASSERT_LT(b, grouped_batches.size());
+    EXPECT_EQ(grouped_batches[b].index, index);
+    ASSERT_EQ(grouped_batches[b].outputs.size(), out.size());
+    for (size_t o = 0; o < out.size(); ++o) {
+      const Value& got = grouped_batches[b].outputs[o];
+      const Value& want = out[o];
+      ASSERT_EQ(got.kind, want.kind);
+      if (want.kind == ValueKind::kMatrix) {
+        EXPECT_EQ(gs::testing::EdgeSet(got.matrix), gs::testing::EdgeSet(want.matrix));
+      } else if (want.kind == ValueKind::kIds) {
+        ASSERT_EQ(got.ids.size(), want.ids.size());
+        for (int64_t i = 0; i < want.ids.size(); ++i) {
+          EXPECT_EQ(got.ids[i], want.ids[i]);
+        }
+      }
+    }
+    ++b;
+  });
+  EXPECT_EQ(b, 4u);
+}
+
+TEST(BatchProducer, SeedSetSmallerThanBatchSize) {
+  graph::Graph g = gs::testing::SmallRmat();
+  algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = {3}});
+  SamplerOptions opts;
+  opts.super_batch = 4;
+  CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), opts);
+  BatchProducer producer(sampler, Iota(3), 64);
+  EXPECT_EQ(producer.num_batches(), 1);
+  EpochBatch batch;
+  ASSERT_TRUE(producer.Next(&batch));
+  EXPECT_EQ(batch.seeds.size(), 3);
+  EXPECT_FALSE(batch.outputs.empty());
+  EXPECT_FALSE(producer.Next(&batch));
+}
+
 TEST(Engine, MissingTensorBindingThrows) {
   graph::Graph g = gs::testing::SmallRmat();
   Builder b;

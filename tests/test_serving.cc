@@ -1,0 +1,501 @@
+// Tests for the serving subsystem (src/serving/): plan cache behaviour
+// (hit << compile, LRU eviction under a byte budget, allocator attribution),
+// bit-identical request coalescing, deadline handling, overload rejection
+// and fanout shedding, fair queueing, and the observability surfaces.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "common/error.h"
+#include "common/timer.h"
+#include "core/engine.h"
+#include "device/device.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "serving/coalescer.h"
+#include "serving/loadgen.h"
+#include "serving/plan_cache.h"
+#include "serving/request.h"
+#include "serving/server.h"
+#include "serving/stats.h"
+#include "tests/testing.h"
+
+namespace gs::serving {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+graph::Graph ServingGraph() { return testing::SmallRmat(400, 4000, 11); }
+
+tensor::IdArray Seeds(std::vector<int32_t> ids) {
+  return tensor::IdArray::FromVector(ids);
+}
+
+void ExpectValuesEqual(const std::vector<core::Value>& a, const std::vector<core::Value>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].kind, b[i].kind);
+    switch (a[i].kind) {
+      case core::ValueKind::kIds:
+        EXPECT_EQ(a[i].ids.ToVector(), b[i].ids.ToVector());
+        break;
+      case core::ValueKind::kMatrix:
+        EXPECT_EQ(testing::EdgeSet(a[i].matrix), testing::EdgeSet(b[i].matrix));
+        break;
+      case core::ValueKind::kTensor:
+        ASSERT_EQ(a[i].tensor.shape(), b[i].tensor.shape());
+        EXPECT_EQ(a[i].tensor.array().ToVector(), b[i].tensor.array().ToVector());
+        break;
+    }
+  }
+}
+
+std::shared_ptr<core::CompiledSampler> BuildSagePlan(const graph::Graph& g,
+                                                     std::vector<int64_t> fanouts) {
+  algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = fanouts});
+  core::SamplerOptions options;
+  options.super_batch = 1;
+  auto plan = std::make_shared<core::CompiledSampler>(std::move(ap.program), g,
+                                                      std::move(ap.tensors), options);
+  plan->Warmup(Seeds({0, 1, 2, 3}));
+  return plan;
+}
+
+// FastGCN pre-computes its degree-based sampling probabilities, so unlike
+// GraphSAGE its plans pin device memory — what the cache budget is about.
+std::shared_ptr<core::CompiledSampler> BuildFastGcnPlan(const graph::Graph& g,
+                                                        int64_t layer_width) {
+  algorithms::AlgorithmProgram ap =
+      algorithms::FastGcn(g, {.num_layers = 2, .layer_width = layer_width});
+  core::SamplerOptions options;
+  options.super_batch = 1;
+  auto plan = std::make_shared<core::CompiledSampler>(std::move(ap.program), g,
+                                                      std::move(ap.tensors), options);
+  plan->Warmup(Seeds({0, 1, 2, 3}));
+  return plan;
+}
+
+// ------------------------------------------------------- bit-identity
+
+// The core coalescing guarantee: every member of a grouped execution gets
+// results bit-identical to being served alone with the same (seeds, seed).
+TEST(Coalescer, GroupedMatchesSoloBitIdentical) {
+  graph::Graph g = ServingGraph();
+  auto plan = BuildSagePlan(g, {4, 3});
+  ASSERT_TRUE(plan->Coalescable());
+
+  std::vector<tensor::IdArray> frontiers = {Seeds({5, 9, 17}), Seeds({1, 2, 3, 4}),
+                                            Seeds({42})};
+  std::vector<uint64_t> seeds = {7, 999, 31337};
+
+  std::vector<std::vector<core::Value>> solo;
+  for (size_t i = 0; i < frontiers.size(); ++i) {
+    solo.push_back(plan->SampleSeeded(frontiers[i], seeds[i]));
+  }
+  GroupResult grouped = ExecuteGroup(*plan, frontiers, seeds);
+  ASSERT_EQ(grouped.outputs.size(), frontiers.size());
+  for (size_t i = 0; i < frontiers.size(); ++i) {
+    ExpectValuesEqual(grouped.outputs[i], solo[i]);
+  }
+}
+
+// Order independence: a member's results don't depend on who shares the
+// super-batch or in what position.
+TEST(Coalescer, MemberResultsIndependentOfGroupComposition) {
+  graph::Graph g = ServingGraph();
+  auto plan = BuildSagePlan(g, {5});
+
+  tensor::IdArray target = Seeds({10, 20, 30});
+  const uint64_t seed = 12345;
+  std::vector<core::Value> solo = plan->SampleSeeded(target, seed);
+
+  GroupResult first = ExecuteGroup(*plan, {target, Seeds({1, 2})}, {seed, 1});
+  GroupResult last = ExecuteGroup(*plan, {Seeds({7}), Seeds({8, 9}), target}, {2, 3, seed});
+  ExpectValuesEqual(first.outputs[0], solo);
+  ExpectValuesEqual(last.outputs[2], solo);
+}
+
+// Walk programs serve uncoalesced (their draws interleave across the whole
+// frontier) but are still deterministic per (frontier, seed).
+TEST(Coalescer, WalkPlansServeUncoalesced) {
+  graph::Graph g = ServingGraph();
+  algorithms::AlgorithmProgram ap = algorithms::DeepWalk(g, {.walk_length = 5});
+  core::SamplerOptions options;
+  auto plan = std::make_shared<core::CompiledSampler>(std::move(ap.program), g,
+                                                      std::move(ap.tensors), options);
+  plan->Warmup(Seeds({0, 1, 2, 3}));
+  EXPECT_FALSE(plan->Coalescable());
+
+  GroupResult a = ExecuteGroup(*plan, {Seeds({3, 4, 5})}, {99});
+  GroupResult b = ExecuteGroup(*plan, {Seeds({3, 4, 5})}, {99});
+  ExpectValuesEqual(a.outputs[0], b.outputs[0]);
+}
+
+// --------------------------------------------------------- plan cache
+
+TEST(PlanCache, HitIsMuchCheaperThanCompile) {
+  graph::Graph g = ServingGraph();
+  PlanCache cache(int64_t{64} * 1024 * 1024, nullptr);
+  PlanKey key{"FastGCN", "rmat", "dev", "cfg", {32, 32}};
+
+  bool hit = true;
+  int64_t compile_ns = 0;
+  auto plan = cache.GetOrBuild(key, [&] { return BuildFastGcnPlan(g, 32); }, &hit, &compile_ns);
+  EXPECT_FALSE(hit);
+  EXPECT_GT(compile_ns, 0);
+
+  bool hit2 = false;
+  int64_t compile2 = -1;
+  Timer lookup;
+  auto plan2 = cache.GetOrBuild(key, [&]() -> std::shared_ptr<core::CompiledSampler> {
+    ADD_FAILURE() << "factory must not run on a hit";
+    return nullptr;
+  }, &hit2, &compile2);
+  const int64_t lookup_ns = lookup.ElapsedNanos();
+  EXPECT_TRUE(hit2);
+  EXPECT_EQ(compile2, 0);
+  EXPECT_EQ(plan.get(), plan2.get());
+  // A cache hit must be orders of magnitude cheaper than compiling; allow a
+  // generous 10x margin for noisy CI machines.
+  EXPECT_LT(lookup_ns * 10, compile_ns);
+
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1);
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_GT(s.resident_bytes, 0);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedUnderBudget) {
+  graph::Graph g = ServingGraph();
+  // Budget of one byte: every new plan evicts the previous one (the cache
+  // always keeps the entry it is about to return).
+  PlanCache cache(1, nullptr);
+  PlanKey a{"FastGCN", "rmat", "dev", "cfg", {16, 16}};
+  PlanKey b{"FastGCN", "rmat", "dev", "cfg", {24, 24}};
+
+  auto plan_a = cache.GetOrBuild(a, [&] { return BuildFastGcnPlan(g, 16); });
+  auto plan_b = cache.GetOrBuild(b, [&] { return BuildFastGcnPlan(g, 24); });
+  PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_EQ(s.evictions, 1);
+
+  // plan_a was evicted: asking again rebuilds.
+  bool hit = true;
+  cache.GetOrBuild(a, [&] { return BuildFastGcnPlan(g, 16); }, &hit);
+  EXPECT_FALSE(hit);
+  // The evicted-but-held shared_ptr stays usable.
+  EXPECT_NO_THROW(plan_b->SampleSeeded(Seeds({1, 2}), 5));
+}
+
+TEST(PlanCache, MirrorsResidentBytesIntoAllocatorReserved) {
+  graph::Graph g = ServingGraph();
+  device::CachingAllocator& allocator = device::Current().allocator();
+  const int64_t reserved_before = allocator.stats().bytes_reserved;
+  {
+    PlanCache cache(int64_t{64} * 1024 * 1024, &allocator);
+    PlanKey key{"FastGCN", "rmat", "dev", "cfg", {32, 32}};
+    cache.GetOrBuild(key, [&] { return BuildFastGcnPlan(g, 32); });
+    const int64_t reserved = allocator.stats().bytes_reserved - reserved_before;
+    EXPECT_EQ(reserved, cache.stats().resident_bytes);
+    EXPECT_GT(reserved, 0);
+  }
+  // Destroying the cache releases its attribution.
+  EXPECT_EQ(allocator.stats().bytes_reserved, reserved_before);
+}
+
+// -------------------------------------------------------------- server
+
+ServerOptions SmallServer(int workers = 2) {
+  ServerOptions o;
+  o.num_workers = workers;
+  o.queue_capacity = 32;
+  o.coalesce_max = 8;
+  return o;
+}
+
+TEST(Server, ServesRequestsAndReportsStages) {
+  graph::Graph g = ServingGraph();
+  Server server(SmallServer());
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.Start();
+
+  SampleRequest req;
+  req.algorithm = "GraphSAGE";
+  req.dataset = "rmat";
+  req.seeds = Seeds({1, 2, 3});
+  req.seed = 7;
+  req.fanouts = {4, 3};
+  SampleResponse first = server.Submit(req).get();
+  ASSERT_EQ(first.status, Status::kOk) << first.error;
+  EXPECT_FALSE(first.stages.plan_cache_hit);
+  EXPECT_GT(first.stages.compile_ns, 0);
+  EXPECT_GT(first.stages.execute_ns, 0);
+  EXPECT_GT(first.stages.total_ns, 0);
+  EXPECT_FALSE(first.outputs.empty());
+
+  SampleResponse second = server.Submit(req).get();
+  ASSERT_EQ(second.status, Status::kOk) << second.error;
+  EXPECT_TRUE(second.stages.plan_cache_hit);
+  EXPECT_EQ(second.stages.compile_ns, 0);
+  // Identical request -> bit-identical response, plan cache or not.
+  ExpectValuesEqual(first.outputs, second.outputs);
+
+  server.Stop();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 2);
+  EXPECT_EQ(stats.plan_cache_hits, 1);
+  EXPECT_EQ(stats.plan_cache_misses, 1);
+  EXPECT_GT(stats.latency_p50_ns, 0);
+  EXPECT_EQ(stats.per_tenant_completed.at("default"), 2);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(Server, UnknownEndpointAndEmptySeedsFailFast) {
+  graph::Graph g = ServingGraph();
+  Server server(SmallServer());
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.Start();
+
+  SampleRequest bad;
+  bad.algorithm = "NoSuchAlgorithm";
+  bad.dataset = "rmat";
+  bad.seeds = Seeds({1});
+  SampleResponse r1 = server.Submit(bad).get();
+  EXPECT_EQ(r1.status, Status::kFailed);
+  EXPECT_NE(r1.error.find("unknown endpoint"), std::string::npos);
+
+  SampleRequest empty;
+  empty.algorithm = "GraphSAGE";
+  empty.dataset = "rmat";
+  SampleResponse r2 = server.Submit(empty).get();
+  EXPECT_EQ(r2.status, Status::kFailed);
+  server.Stop();
+}
+
+// Two compatible requests submitted while the worker is busy compiling the
+// plan coalesce into one super-batch execution — and each still gets results
+// bit-identical to a solo run.
+TEST(Server, CoalescesCompatibleRequestsBitIdentically) {
+  graph::Graph g = ServingGraph();
+  auto reference = BuildSagePlan(g, {4, 3});
+
+  Server server(SmallServer(/*workers=*/1));
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.Start();
+
+  auto make = [&](std::vector<int32_t> ids, uint64_t seed, const std::string& tenant) {
+    SampleRequest req;
+    req.algorithm = "GraphSAGE";
+    req.dataset = "rmat";
+    req.seeds = Seeds(std::move(ids));
+    req.seed = seed;
+    req.fanouts = {4, 3};
+    req.tenant = tenant;
+    return req;
+  };
+
+  // The first submission occupies the single worker with the plan compile;
+  // the rest queue up behind it and coalesce.
+  std::vector<std::future<SampleResponse>> futures;
+  futures.push_back(server.Submit(make({0, 1}, 1, "a")));
+  std::vector<std::pair<std::vector<int32_t>, uint64_t>> tail = {
+      {{5, 9, 17}, 7}, {{1, 2, 3, 4}, 999}, {{42}, 31337}, {{8, 8, 8}, 4}};
+  for (size_t i = 0; i < tail.size(); ++i) {
+    futures.push_back(
+        server.Submit(make(tail[i].first, tail[i].second, i % 2 == 0 ? "a" : "b")));
+  }
+
+  std::vector<SampleResponse> responses;
+  for (auto& f : futures) {
+    responses.push_back(f.get());
+  }
+  server.Stop();
+
+  int coalesced = 0;
+  for (auto& r : responses) {
+    ASSERT_EQ(r.status, Status::kOk) << r.error;
+    coalesced += r.group_size > 1 ? 1 : 0;
+  }
+  // Every tail response must match the solo reference exactly.
+  for (size_t i = 0; i < tail.size(); ++i) {
+    std::vector<core::Value> solo =
+        reference->SampleSeeded(Seeds(std::move(tail[i].first)), tail[i].second);
+    ExpectValuesEqual(responses[i + 1].outputs, solo);
+  }
+  // The compile window makes coalescing all but certain; stats must agree
+  // with the per-response group sizes.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 5);
+  EXPECT_EQ(stats.requests_executed, 5);
+  if (coalesced > 0) {
+    EXPECT_GT(stats.coalesced_executions, 0);
+    EXPECT_GT(stats.CoalescingRatio(), 1.0);
+  }
+}
+
+// Requests that expire while queued complete as kDeadlineExceeded without
+// executing.
+TEST(Server, QueuedRequestsPastDeadlineAreExpiredNotExecuted) {
+  graph::Graph g = ServingGraph();
+  Server server(SmallServer(/*workers=*/1));
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.RegisterEndpoint(MakeEndpoint("ShaDow", "rmat", g));
+  server.Start();
+
+  // Blocker: compiles the GraphSAGE plan on the only worker (milliseconds).
+  SampleRequest blocker;
+  blocker.algorithm = "GraphSAGE";
+  blocker.dataset = "rmat";
+  blocker.seeds = Seeds({1, 2, 3});
+  auto blocked = server.Submit(blocker);
+
+  // Expires while the blocker compiles. Different algorithm => different
+  // plan key, so it can't ride along with the blocker's execution. The
+  // service-time EMA is still zero, so deadline admission lets it in.
+  SampleRequest doomed;
+  doomed.algorithm = "ShaDow";
+  doomed.dataset = "rmat";
+  doomed.seeds = Seeds({4});
+  doomed.deadline = nanoseconds(1);
+  SampleResponse expired = server.Submit(doomed).get();
+  EXPECT_EQ(expired.status, Status::kDeadlineExceeded);
+  EXPECT_TRUE(expired.outputs.empty());
+
+  EXPECT_EQ(blocked.get().status, Status::kOk);
+  server.Stop();
+  EXPECT_EQ(server.stats().deadline_exceeded, 1);
+}
+
+// Once a service-time estimate exists, infeasible deadlines are rejected at
+// admission with a retry-after hint.
+TEST(Server, DeadlineAdmissionRejectsInfeasibleRequests) {
+  graph::Graph g = ServingGraph();
+  Server server(SmallServer());
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.Start();
+
+  SampleRequest req;
+  req.algorithm = "GraphSAGE";
+  req.dataset = "rmat";
+  req.seeds = Seeds({1, 2, 3});
+  ASSERT_EQ(server.Submit(req).get().status, Status::kOk);  // seeds the EMA
+
+  req.deadline = nanoseconds(1);
+  SampleResponse rejected = server.Submit(req).get();
+  EXPECT_EQ(rejected.status, Status::kRejected);
+  EXPECT_GT(rejected.retry_after.count(), 0);
+  server.Stop();
+  EXPECT_GE(server.stats().rejected, 1);
+}
+
+// Overload: a tiny queue forces rejections; occupancy beyond the shed
+// threshold degrades admitted requests' fanouts instead of rejecting them.
+TEST(Server, OverloadRejectsAndShedsFanouts) {
+  graph::Graph g = ServingGraph();
+  ServerOptions options;
+  options.num_workers = 1;
+  options.queue_capacity = 4;
+  options.coalesce_max = 1;  // no merging: keep the queue full
+  options.shed_occupancy = 0.5;
+  Server server(options);
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.Start();
+
+  std::vector<std::future<SampleResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    SampleRequest req;
+    req.algorithm = "GraphSAGE";
+    req.dataset = "rmat";
+    req.seeds = Seeds({static_cast<int32_t>(i % 100)});
+    req.seed = static_cast<uint64_t>(i);
+    req.fanouts = {8, 8};
+    futures.push_back(server.Submit(std::move(req)));
+  }
+  int ok = 0, rejected = 0, degraded = 0;
+  for (auto& f : futures) {
+    SampleResponse r = f.get();
+    if (r.status == Status::kOk) {
+      ++ok;
+      degraded += r.degraded ? 1 : 0;
+    } else if (r.status == Status::kRejected) {
+      ++rejected;
+      EXPECT_GT(r.retry_after.count(), 0);
+    }
+  }
+  server.Stop();
+
+  EXPECT_GT(ok, 0);
+  EXPECT_GT(rejected, 0) << "64 instant submissions into a 4-deep queue must overflow";
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.received, 64);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.degraded, degraded);
+  // Shedding kicks in at occupancy 2 of 4; with a single worker stuck on the
+  // first compile the backlog is guaranteed to cross it.
+  EXPECT_GT(degraded, 0);
+}
+
+TEST(Server, StopFailsNothingAndRejectsLateSubmissions) {
+  graph::Graph g = ServingGraph();
+  Server server(SmallServer());
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.Start();
+  SampleRequest req;
+  req.algorithm = "GraphSAGE";
+  req.dataset = "rmat";
+  req.seeds = Seeds({1});
+  auto pending = server.Submit(req);
+  server.Stop();
+  // The in-flight request drained gracefully.
+  EXPECT_EQ(pending.get().status, Status::kOk);
+  // Post-stop submissions fail immediately.
+  EXPECT_EQ(server.Submit(req).get().status, Status::kFailed);
+}
+
+// ------------------------------------------------------------- stats
+
+TEST(LatencyHistogramTest, PercentilesAreMonotonicAndBounded) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.Percentile(99), 0);
+  for (int64_t v : {100, 200, 400, 800, 1600, 3200, 1000000}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 7);
+  EXPECT_EQ(h.max_ns(), 1000000);
+  const int64_t p50 = h.Percentile(50);
+  const int64_t p95 = h.Percentile(95);
+  const int64_t p99 = h.Percentile(99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max_ns());
+  EXPECT_GT(p50, 0);
+}
+
+TEST(ServerStatsTest, CoalescingRatio) {
+  ServerStats s;
+  EXPECT_EQ(s.CoalescingRatio(), 0.0);
+  s.executions = 4;
+  s.requests_executed = 10;
+  EXPECT_DOUBLE_EQ(s.CoalescingRatio(), 2.5);
+}
+
+TEST(RequestTest, StatusNames) {
+  EXPECT_STREQ(StatusName(Status::kOk), "OK");
+  EXPECT_STREQ(StatusName(Status::kRejected), "REJECTED");
+  EXPECT_STREQ(StatusName(Status::kDeadlineExceeded), "DEADLINE_EXCEEDED");
+  EXPECT_STREQ(StatusName(Status::kFailed), "FAILED");
+}
+
+}  // namespace
+}  // namespace gs::serving

@@ -1,0 +1,64 @@
+// Serving soak test: sustained open-loop load against a live server with
+// multiple tenants, mixed fanouts, and deadlines. Excluded from the fast
+// label (`ctest -L fast`); run it directly or via the full suite. Built with
+// GS_SANITIZE=thread this is the serving subsystem's TSan workout.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+
+#include "graph/datasets.h"
+#include "graph/graph.h"
+#include "serving/loadgen.h"
+#include "serving/server.h"
+
+namespace gs::serving {
+namespace {
+
+TEST(ServingSoak, SustainedMixedLoadStaysConsistent) {
+  graph::Graph g = graph::MakeDataset("PD", {.scale = 0.02});
+
+  ServerOptions options;
+  options.num_workers = 4;
+  options.queue_capacity = 64;
+  options.coalesce_max = 8;
+  Server server(options);
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "PD", g));
+  server.Start();
+
+  LoadGenOptions load;
+  load.algorithm = "GraphSAGE";
+  load.dataset = "PD";
+  load.num_requests = 400;
+  load.offered_rps = 2000.0;
+  load.batch_size = 32;
+  load.num_tenants = 4;
+  load.fanouts = {10, 5};
+  load.deadline = std::chrono::milliseconds(250);
+  const LoadGenReport report = RunOpenLoop(server, g, load);
+  server.Stop();
+
+  // Every request got exactly one terminal response.
+  EXPECT_EQ(report.ok + report.rejected + report.deadline_exceeded + report.failed,
+            report.submitted);
+  EXPECT_GT(report.ok, 0);
+  EXPECT_EQ(report.failed, 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.received, load.num_requests);
+  EXPECT_EQ(stats.completed, report.ok);
+  EXPECT_EQ(stats.rejected, report.rejected);
+  EXPECT_EQ(stats.deadline_exceeded, report.deadline_exceeded);
+  EXPECT_EQ(stats.requests_executed, stats.completed + stats.failed);
+  // Plan compiles once per distinct key (base + shed variant at most).
+  EXPECT_LE(stats.plan_cache_misses, 2);
+  EXPECT_GT(stats.plan_cache_hits, 0);
+  // Under 2000 rps against 4 workers, coalescing must have merged something.
+  EXPECT_GE(stats.CoalescingRatio(), 1.0);
+  // Fairness visibility: all tenants completed work.
+  EXPECT_EQ(stats.per_tenant_completed.size(), 4u);
+}
+
+}  // namespace
+}  // namespace gs::serving

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the concurrency-sensitive suites under TSan.
+#
+# Usage: tools/check.sh [--fast]
+#
+#   (default)  configure + build + full ctest in ./build, then a
+#              -DGS_SANITIZE=thread build in ./build-tsan running the
+#              threaded suites (pipeline, serving, device accounting).
+#   --fast     tier-1 only, restricted to `ctest -L fast` (skips the
+#              serving soak test and the TSan pass).
+#
+# Exits non-zero on the first failing step.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast])" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+if [[ "$FAST" == 1 ]]; then
+  echo "== tier-1: ctest -L fast =="
+  (cd build && ctest -L fast --output-on-failure -j "$JOBS")
+  exit 0
+fi
+
+echo "== tier-1: full ctest =="
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== TSan: configure + build (GS_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target test_pipeline test_serving test_serving_soak test_device
+
+echo "== TSan: threaded suites =="
+./build-tsan/tests/test_pipeline
+./build-tsan/tests/test_serving
+./build-tsan/tests/test_serving_soak
+./build-tsan/tests/test_device --gtest_filter='Allocator.*'
+
+echo "check.sh: all green"

@@ -21,6 +21,14 @@
 //   --no-fusion --no-preprocess --no-layout   disable individual passes
 //   --print-ir         dump the compiled program
 //   --list             list algorithms and datasets, then exit
+//   --json             emit a single-line JSON run summary on stdout instead
+//                      of the human-readable report
+//   --serve            embedded-server mode: register the algorithm as a
+//                      serving endpoint and drive it with an open-loop
+//                      Poisson client (see --requests / --rps / --workers)
+//   --requests N       serve mode: requests to submit (default 200)
+//   --rps R            serve mode: offered load in requests/sec (default 500)
+//   --workers N        serve mode: server worker threads (default 2)
 
 #include <cstdio>
 #include <cstring>
@@ -35,6 +43,8 @@
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "pipeline/executor.h"
+#include "serving/loadgen.h"
+#include "serving/server.h"
 
 namespace {
 
@@ -52,6 +62,11 @@ struct Args {
   bool layout = true;
   bool print_ir = false;
   bool list = false;
+  bool json = false;
+  bool serve = false;
+  int64_t requests = 200;
+  double rps = 500.0;
+  int workers = 2;
 };
 
 Args Parse(int argc, char** argv) {
@@ -89,11 +104,69 @@ Args Parse(int argc, char** argv) {
       args.print_ir = true;
     } else if (flag == "--list") {
       args.list = true;
+    } else if (flag == "--json") {
+      args.json = true;
+    } else if (flag == "--serve") {
+      args.serve = true;
+    } else if (flag == "--requests") {
+      args.requests = std::atoll(value(i));
+      GS_CHECK(args.requests > 0) << "--requests must be > 0";
+    } else if (flag == "--rps") {
+      args.rps = std::atof(value(i));
+      GS_CHECK(args.rps > 0) << "--rps must be > 0";
+    } else if (flag == "--workers") {
+      args.workers = std::atoi(value(i));
+      GS_CHECK(args.workers > 0) << "--workers must be > 0";
     } else {
       GS_CHECK(false) << "unknown flag: " << flag << " (see the header of tools/gsampler_cli.cc)";
     }
   }
   return args;
+}
+
+// Serve mode: the CLI's algorithm/dataset pair becomes a serving endpoint
+// driven by the open-loop Poisson client. Returns the process exit code.
+int RunServe(const Args& args, gs::graph::Graph& g) {
+  namespace serving = gs::serving;
+  serving::ServerOptions options;
+  options.num_workers = args.workers;
+  serving::Server server(options);
+  server.RegisterEndpoint(serving::MakeEndpoint(args.algorithm, args.dataset, g));
+  server.Start();
+
+  serving::LoadGenOptions load;
+  load.algorithm = args.algorithm;
+  load.dataset = args.dataset;
+  load.num_requests = args.requests;
+  load.offered_rps = args.rps;
+  load.batch_size = args.batch;
+  const serving::LoadGenReport report = RunOpenLoop(server, g, load);
+  server.Stop();
+  const serving::ServerStats stats = server.stats();
+
+  if (args.json) {
+    std::printf(
+        "{\"mode\":\"serve\",\"algorithm\":\"%s\",\"dataset\":\"%s\","
+        "\"requests\":%lld,\"ok\":%lld,\"rejected\":%lld,\"deadline_exceeded\":%lld,"
+        "\"failed\":%lld,\"degraded\":%lld,\"coalesced\":%lld,"
+        "\"achieved_rps\":%.1f,\"coalescing_ratio\":%.2f,"
+        "\"p50_us\":%lld,\"p95_us\":%lld,\"p99_us\":%lld,"
+        "\"plan_cache_hits\":%lld,\"plan_cache_misses\":%lld}\n",
+        args.algorithm.c_str(), args.dataset.c_str(),
+        static_cast<long long>(report.submitted), static_cast<long long>(report.ok),
+        static_cast<long long>(report.rejected),
+        static_cast<long long>(report.deadline_exceeded),
+        static_cast<long long>(report.failed), static_cast<long long>(report.degraded),
+        static_cast<long long>(report.coalesced), report.achieved_rps,
+        stats.CoalescingRatio(), static_cast<long long>(report.p50_ns / 1000),
+        static_cast<long long>(report.p95_ns / 1000),
+        static_cast<long long>(report.p99_ns / 1000),
+        static_cast<long long>(stats.plan_cache_hits),
+        static_cast<long long>(stats.plan_cache_misses));
+  } else {
+    std::printf("%s\n%s\n", report.ToString().c_str(), stats.ToString().c_str());
+  }
+  return report.failed == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -121,9 +194,15 @@ int main(int argc, char** argv) {
     } else {
       g = graph::LoadBinary(args.dataset);
     }
-    std::printf("graph %s: %lld nodes, %lld edges%s\n", g.name().c_str(),
-                static_cast<long long>(g.num_nodes()),
-                static_cast<long long>(g.num_edges()), g.uva() ? " (UVA)" : "");
+    if (!args.json) {
+      std::printf("graph %s: %lld nodes, %lld edges%s\n", g.name().c_str(),
+                  static_cast<long long>(g.num_nodes()),
+                  static_cast<long long>(g.num_edges()), g.uva() ? " (UVA)" : "");
+    }
+
+    if (args.serve) {
+      return RunServe(args, g);
+    }
 
     algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm(args.algorithm, g);
     core::SamplerOptions options;
@@ -162,6 +241,7 @@ int main(int argc, char** argv) {
                                                   pipeline::Options{args.pipeline_depth});
     }
 
+    int64_t total_batches = 0;
     for (int epoch = 0; epoch < args.epochs; ++epoch) {
       const device::StreamCounters before = dev.stream().counters();
       int64_t batches = 0;
@@ -175,24 +255,42 @@ int main(int argc, char** argv) {
         sampler.SampleEpoch(g.train_ids(), args.batch,
                             [&](int64_t, std::vector<core::Value>&) { ++batches; });
       }
+      total_batches += batches;
       const device::StreamCounters counters = dev.stream().counters();
-      std::printf("epoch %d: %.2f ms simulated, %lld mini-batches, %lld kernels, "
-                  "SM %.1f%%, PCIe %.1f MB\n",
-                  epoch + 1,
-                  static_cast<double>(counters.virtual_ns - before.virtual_ns) / 1e6,
-                  static_cast<long long>(batches),
-                  static_cast<long long>(counters.kernels_launched - before.kernels_launched),
-                  counters.SmUtilizationPercent(),
-                  static_cast<double>(counters.pcie_bytes) / 1e6);
+      if (!args.json) {
+        std::printf("epoch %d: %.2f ms simulated, %lld mini-batches, %lld kernels, "
+                    "SM %.1f%%, PCIe %.1f MB\n",
+                    epoch + 1,
+                    static_cast<double>(counters.virtual_ns - before.virtual_ns) / 1e6,
+                    static_cast<long long>(batches),
+                    static_cast<long long>(counters.kernels_launched - before.kernels_launched),
+                    counters.SmUtilizationPercent(),
+                    static_cast<double>(counters.pcie_bytes) / 1e6);
+      }
     }
-    if (pipe != nullptr) {
-      std::printf("%s", pipe->metrics().ToString().c_str());
-    }
-    if (sampler.effective_super_batch() > 0) {
-      std::printf("auto-tuned super-batch size: %d\n", sampler.effective_super_batch());
-    }
-    if (args.print_ir) {
-      std::printf("\n%s", sampler.DebugString().c_str());
+    const device::StreamCounters totals = dev.stream().counters();
+    if (args.json) {
+      std::printf(
+          "{\"mode\":\"epoch\",\"algorithm\":\"%s\",\"dataset\":\"%s\","
+          "\"nodes\":%lld,\"edges\":%lld,\"epochs\":%d,\"batches\":%lld,"
+          "\"simulated_ms\":%.2f,\"kernels\":%lld,\"sm_pct\":%.1f,"
+          "\"pcie_mb\":%.1f,\"super_batch\":%d}\n",
+          args.algorithm.c_str(), args.dataset.c_str(),
+          static_cast<long long>(g.num_nodes()), static_cast<long long>(g.num_edges()),
+          args.epochs, static_cast<long long>(total_batches),
+          static_cast<double>(totals.virtual_ns) / 1e6,
+          static_cast<long long>(totals.kernels_launched), totals.SmUtilizationPercent(),
+          static_cast<double>(totals.pcie_bytes) / 1e6, sampler.effective_super_batch());
+    } else {
+      if (pipe != nullptr) {
+        std::printf("%s", pipe->metrics().ToString().c_str());
+      }
+      if (sampler.effective_super_batch() > 0) {
+        std::printf("auto-tuned super-batch size: %d\n", sampler.effective_super_batch());
+      }
+      if (args.print_ir) {
+        std::printf("\n%s", sampler.DebugString().c_str());
+      }
     }
   } catch (const gs::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
