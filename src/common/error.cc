@@ -1,5 +1,7 @@
 #include "common/error.h"
 
+#include <cstdio>
+
 namespace gs {
 namespace internal {
 
@@ -8,6 +10,17 @@ void ThrowCheckFailure(const char* file, int line, const char* expr,
   std::ostringstream out;
   out << "GS_CHECK failed at " << file << ":" << line << ": `" << expr << "` " << message;
   throw Error(out.str());
+}
+
+void LogSuppressedCheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message) {
+  // stderr directly rather than the logging layer: this runs mid-unwind and
+  // must not throw or allocate more than it has to.
+  std::fprintf(stderr,
+               "GS_CHECK failed during unwinding at %s:%d: `%s` %s "
+               "(suppressed: another exception is in flight)\n",
+               file, line, expr, message.c_str());
+  std::fflush(stderr);
 }
 
 }  // namespace internal

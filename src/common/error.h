@@ -10,6 +10,7 @@
 #ifndef GSAMPLER_COMMON_ERROR_H_
 #define GSAMPLER_COMMON_ERROR_H_
 
+#include <exception>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -30,9 +31,23 @@ namespace internal {
 [[noreturn]] void ThrowCheckFailure(const char* file, int line, const char* expr,
                                     const std::string& message);
 
+// Same message, written to stderr instead of thrown — used when the check
+// fires during stack unwinding, where a destructor throw would terminate.
+void LogSuppressedCheckFailure(const char* file, int line, const char* expr,
+                               const std::string& message);
+
 // Stream-style message collector used by GS_CHECK's `<<` tail. The throw
 // happens in the destructor (end of the full expression), after all context
 // has been streamed — the same shape as glog's fatal message sinks.
+//
+// If the check fires while another exception is already unwinding (a
+// GS_CHECK inside a destructor running as part of stack unwinding), throwing
+// from this destructor would call std::terminate. The builder is a temporary
+// inside one full expression, so std::uncaught_exceptions() > 0 at
+// destruction means exactly that: the check sits on an active unwind path
+// and any throw here would escape through a destructor. In that case the
+// failure is logged and swallowed so the original exception keeps
+// propagating.
 class CheckMessageBuilder {
  public:
   CheckMessageBuilder(const char* file, int line, const char* expr)
@@ -45,6 +60,10 @@ class CheckMessageBuilder {
   }
 
   ~CheckMessageBuilder() noexcept(false) {
+    if (std::uncaught_exceptions() > 0) {
+      LogSuppressedCheckFailure(file_, line_, expr_, stream_.str());
+      return;
+    }
     ThrowCheckFailure(file_, line_, expr_, stream_.str());
   }
 

@@ -521,6 +521,42 @@ BatchProducer::BatchProducer(CompiledSampler& sampler, const tensor::IdArray& fr
     group_size_ = sampler_.tuned_super_batch_;
   }
   group_size_ = std::max(group_size_, 1);
+  // Calibration and auto-tuning may consume batch-counter indices; every
+  // epoch batch j forks the sampler RNG at counter_base_ + j from here on
+  // (grouping-independent — see RunSuperBatch), which is what Save/Resume
+  // rely on.
+  counter_base_ = sampler_.batch_counter_;
+}
+
+BatchProducer::Checkpoint BatchProducer::Save() const {
+  Checkpoint cp;
+  cp.delivered = static_cast<int64_t>(next_) - static_cast<int64_t>(ready_.size());
+  cp.counter_base = counter_base_;
+  cp.num_batches = num_batches();
+  return cp;
+}
+
+void BatchProducer::Resume(const Checkpoint& checkpoint) {
+  GS_CHECK(next_ == 0 && ready_.empty())
+      << "Resume requires a fresh producer (no batches consumed yet)";
+  GS_CHECK_EQ(checkpoint.num_batches, num_batches())
+      << "checkpoint is for a different epoch partitioning";
+  GS_CHECK_GE(checkpoint.delivered, 0);
+  GS_CHECK_LE(checkpoint.delivered, num_batches());
+  // Rewind to the enclosing super-batch boundary, pin the sampler's RNG
+  // stream position to the checkpointed epoch base, then re-sample and
+  // discard the batches the interrupted run already delivered from that
+  // group. Re-pinning makes resume independent of how far this producer's
+  // own calibration/auto-tuning advanced the counter.
+  const int64_t boundary =
+      checkpoint.delivered - checkpoint.delivered % static_cast<int64_t>(group_size_);
+  counter_base_ = checkpoint.counter_base;
+  next_ = static_cast<size_t>(boundary);
+  sampler_.batch_counter_ = checkpoint.counter_base + static_cast<uint64_t>(boundary);
+  EpochBatch discard;
+  for (int64_t j = boundary; j < checkpoint.delivered; ++j) {
+    GS_INTERNAL(Next(&discard));
+  }
 }
 
 bool BatchProducer::Next(EpochBatch* out) {

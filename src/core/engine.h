@@ -190,6 +190,20 @@ struct EpochBatch {
 // stream consumed per batch) is identical to SampleEpoch.
 class BatchProducer {
  public:
+  // Epoch-position checkpoint. Captures how many batches were delivered and
+  // the sampler's RNG-stream position (batch counter) at epoch start —
+  // because every mini-batch j draws exclusively from the stream forked at
+  // counter_base + j, this is all the RNG state resume needs: a producer
+  // resumed from a checkpoint yields batches bit-identical to the ones an
+  // uninterrupted epoch would have delivered from that point on (for
+  // programs using per-segment streams, i.e. all non-walk programs; walk
+  // programs additionally need an unchanged super-batch grouping).
+  struct Checkpoint {
+    int64_t delivered = 0;      // batches handed out via Next()
+    uint64_t counter_base = 0;  // sampler batch counter at epoch start
+    int64_t num_batches = 0;    // epoch size, for validation
+  };
+
   BatchProducer(CompiledSampler& sampler, const tensor::IdArray& frontiers, int64_t batch_size);
 
   // Total mini-batches this epoch.
@@ -199,11 +213,22 @@ class BatchProducer {
   // is exhausted.
   bool Next(EpochBatch* out);
 
+  // Snapshot of the current epoch position (callable at any point, e.g.
+  // from the recovery path after an injected fault killed the epoch).
+  Checkpoint Save() const;
+
+  // Rewinds a *fresh* producer (no Next() calls yet) over the same epoch to
+  // `checkpoint`: re-pins the sampler's batch counter and re-samples the
+  // partially-delivered super-batch group so the next Next() returns batch
+  // `checkpoint.delivered`, bit-identical to the uninterrupted run.
+  void Resume(const Checkpoint& checkpoint);
+
  private:
   CompiledSampler& sampler_;
   std::vector<tensor::IdArray> batches_;
   int group_size_ = 1;
   size_t next_ = 0;  // next batch index not yet sampled
+  uint64_t counter_base_ = 0;
   std::deque<EpochBatch> ready_;
 };
 

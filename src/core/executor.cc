@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "device/device.h"
+#include "fault/status.h"
 #include "sparse/batch.h"
 #include "sparse/fused.h"
 #include "tensor/ops.h"
@@ -124,6 +126,13 @@ std::vector<Value> Executor::Run(const Bindings& bindings, Rng& rng,
     GS_CHECK_GE(static_cast<int64_t>(segment_rngs.size()), options_.num_segments)
         << "need one rng per segment";
   }
+  // Watchdog: drain flags left by kernels that ran outside any executor
+  // (model math, feature gathers), then cancel this batch if any program
+  // node's kernels blow past the profile's time estimate (see
+  // device/stream.h). The caller (serving retry ladder, trainer
+  // checkpoint) decides whether to retry.
+  device::Stream& stream = device::Current().stream();
+  stream.TakeStuckKernels();
   std::vector<Value> values(static_cast<size_t>(program_->size()));
   for (const Node& n : program_->nodes()) {
     auto pre = precomputed_.find(n.id);
@@ -131,6 +140,12 @@ std::vector<Value> Executor::Run(const Bindings& bindings, Rng& rng,
       values[static_cast<size_t>(n.id)] = pre->second;
     } else {
       values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng, segment_rngs);
+    }
+    if (stream.TakeStuckKernels() > 0) {
+      throw fault::TransientError(
+          "watchdog: kernel in node " + std::to_string(n.id) + " (" + OpKindName(n.kind) +
+          ") exceeded " + std::to_string(stream.profile().watchdog_multiple) +
+          "x its device-profile time estimate; batch cancelled");
     }
     // Free inputs whose last consumer just ran (keeps simulated device
     // memory accounting tight, like stream-ordered frees on GPU).

@@ -96,10 +96,25 @@ void SelectDataLayout(Program& program, const Bindings& bindings,
   // one logical extract into several pattern-coupled slices (e.g. LADIES'
   // A[:, f] and (A**2)[:, f]); their row spaces must compact together, so
   // compaction is searched as a single joint switch.
+  // Extracts feeding a collective sample stay uncompacted: the sample's
+  // row-probability operand may live in the uncompacted row space (e.g.
+  // FastGCN's precomputed per-node probabilities), and dropping
+  // positive-probability rows would change which rows can be drawn — a
+  // layout decision must never change sampled results. Whether calibration
+  // batches happen to drop rows varies per batch, so adopting compaction
+  // here would also make plans data-dependent.
+  std::vector<int> collective_inputs;
+  for (const Node& n : program.nodes()) {
+    if (n.kind == OpKind::kCollectiveSample && !n.inputs.empty()) {
+      collective_inputs.push_back(n.inputs[0]);
+    }
+  }
   std::vector<int> extracts;
   for (int id : candidates) {
     const OpKind kind = program.node(id).kind;
-    if (kind == OpKind::kSliceCols || kind == OpKind::kSliceRows) {
+    const bool feeds_collective = std::find(collective_inputs.begin(), collective_inputs.end(),
+                                            id) != collective_inputs.end();
+    if ((kind == OpKind::kSliceCols || kind == OpKind::kSliceRows) && !feeds_collective) {
       extracts.push_back(id);
     }
   }

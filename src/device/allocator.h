@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,12 @@ struct AllocatorStats {
   int64_t bytes_reserved = 0;
   int64_t alloc_calls = 0;
   int64_t cache_hits = 0;
+  // OOM recovery ladder (see Allocate): how often each rung ran and how
+  // often an allocation that failed at least once ultimately succeeded.
+  int64_t oom_cache_flushes = 0;
+  int64_t oom_pressure_rounds = 0;
+  int64_t oom_recoveries = 0;
+  int64_t oom_failures = 0;
 };
 
 class CachingAllocator {
@@ -39,16 +46,30 @@ class CachingAllocator {
   CachingAllocator(const CachingAllocator&) = delete;
   CachingAllocator& operator=(const CachingAllocator&) = delete;
 
-  // Allocates at least `bytes` (rounded up to the size class). Throws
-  // gs::Error if in-use + requested would exceed the device capacity even
-  // after releasing the cache. Thread-safe: pipeline stages allocate and
-  // free concurrently, and a buffer allocated by one stage is freed by the
-  // stage that consumes it.
+  // Allocates at least `bytes` (rounded up to the size class). On failure
+  // — capacity exceeded, or an injected alloc.oom fault — the recovery
+  // ladder runs before the failure surfaces: (1) flush the free lists
+  // (cudaEmptyCache analogue), retry; (2) invoke the registered pressure
+  // handlers so long-lived caches (UVA cache, serving plan cache) shrink
+  // their footprint, retry; (3) throw fault::ResourceExhaustedError.
+  // Thread-safe: pipeline stages allocate and free concurrently, and a
+  // buffer allocated by one stage is freed by the stage that consumes it.
   void* Allocate(int64_t bytes);
   void Free(void* ptr);
 
   // Returns all cached blocks to the host (cudaEmptyCache analogue).
   void ReleaseCache();
+
+  // Pressure handlers: callbacks invoked (with the allocator's own mutex
+  // released) when an allocation still fails after the cache flush. A
+  // handler frees what it can and returns the number of live bytes it
+  // released (0 if it only shrank simulated state). Handlers run under the
+  // registry lock, so Unregister blocks until any in-flight invocation of
+  // that handler returns — after it, the callback is never called again.
+  // Handlers may call Free/AdjustReserved but must not touch the registry.
+  using PressureHandler = std::function<int64_t(int64_t bytes_needed)>;
+  int64_t RegisterPressureHandler(PressureHandler handler);
+  void UnregisterPressureHandler(int64_t id);
 
   // Adjusts the reserved-bytes attribution (see AllocatorStats). Positive
   // delta pins bytes, negative releases; releasing more than is currently
@@ -69,6 +90,10 @@ class CachingAllocator {
  private:
   static int64_t RoundToClass(int64_t bytes);
   void ReleaseCacheLocked();
+  // One allocation attempt; returns nullptr when over capacity (or when
+  // `inject_oom` simulates a failed cudaMalloc).
+  void* TryAllocateLocked(int64_t rounded, bool inject_oom);
+  int64_t InvokePressureHandlers(int64_t bytes_needed);
 
   int64_t capacity_bytes_;
   mutable std::mutex mutex_;
@@ -77,6 +102,12 @@ class CachingAllocator {
   std::map<int64_t, std::vector<void*>> pool_;
   // live pointer -> rounded size
   std::map<void*, int64_t> live_;
+  // Pressure-handler registry; guarded by its own mutex so handlers can
+  // re-enter the allocator (Free/AdjustReserved) while being invoked.
+  // Lock order: handlers_mutex_ before mutex_, never the reverse.
+  std::mutex handlers_mutex_;
+  std::map<int64_t, PressureHandler> handlers_;
+  int64_t next_handler_id_ = 1;
 };
 
 }  // namespace gs::device

@@ -60,6 +60,13 @@ struct DeviceProfile {
   // Simulated device memory capacity; the caching allocator refuses
   // allocations beyond it (drives the super-batch memory-budget search).
   int64_t memory_capacity_bytes = int64_t{16} * 1024 * 1024 * 1024;
+
+  // Watchdog threshold: a kernel whose charged virtual time exceeds this
+  // multiple of the profile's own estimate for its stats is flagged as
+  // stuck (the executor cancels the batch; see device/stream.h). Outside
+  // fault injection charged == estimate, so legitimate kernels never trip
+  // it. <= 0 disables the watchdog.
+  double watchdog_multiple = 16.0;
 };
 
 // Reference profile: V100-class simulated device.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
+#include "fault/status.h"
+
 namespace gs::device {
 namespace {
 
@@ -33,6 +36,21 @@ void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
       std::min(1.0, static_cast<double>(std::max<int64_t>(stats.parallel_items, 1)) /
                         static_cast<double>(p.sm_saturation_items));
 
+  // kernel.stuck injection: charge the timeline as if the kernel ran
+  // `multiplier`× longer than the profile predicts. The watchdog compares
+  // the charge against the clean estimate, so an inflated kernel is
+  // flagged for the executor to cancel.
+  const double estimate_ns = virtual_ns;
+  const double multiplier = fault::StuckMultiplier();
+  if (multiplier > 1.0) {
+    virtual_ns *= multiplier;
+  }
+  if (p.watchdog_multiple > 0.0 &&
+      virtual_ns > p.watchdog_multiple * std::max(estimate_ns, 1.0)) {
+    stuck_kernels_.fetch_add(1, kRelaxed);
+    stuck_pending_.fetch_add(1, kRelaxed);
+  }
+
   const int64_t v = static_cast<int64_t>(virtual_ns);
   kernels_launched_.fetch_add(1, kRelaxed);
   cpu_ns_.fetch_add(cpu_ns, kRelaxed);
@@ -60,6 +78,7 @@ void Stream::MergeOverlapped(const StreamCounters& child, int64_t elapsed_virtua
   hbm_bytes_.fetch_add(child.hbm_bytes, kRelaxed);
   pcie_bytes_.fetch_add(child.pcie_bytes, kRelaxed);
   occupancy_ns_.fetch_add(child.occupancy_ns, kRelaxed);
+  stuck_kernels_.fetch_add(child.stuck_kernels, kRelaxed);
   virtual_ns_.fetch_add(elapsed_virtual_ns, kRelaxed);
   now_ns_.fetch_add(elapsed_virtual_ns, kRelaxed);
 }
@@ -74,6 +93,7 @@ StreamCounters Stream::counters() const {
   c.timeline_ns = now_ns_.load(kRelaxed);
   c.starved_ns = starved_ns_.load(kRelaxed);
   c.backpressure_ns = backpressure_ns_.load(kRelaxed);
+  c.stuck_kernels = stuck_kernels_.load(kRelaxed);
   c.occupancy_ns = occupancy_ns_.load(kRelaxed);
   return c;
 }
@@ -87,7 +107,16 @@ void Stream::ResetCounters() {
   now_ns_.store(0, kRelaxed);
   starved_ns_.store(0, kRelaxed);
   backpressure_ns_.store(0, kRelaxed);
+  stuck_kernels_.store(0, kRelaxed);
+  stuck_pending_.store(0, kRelaxed);
   occupancy_ns_.store(0.0, kRelaxed);
+}
+
+KernelScope::KernelScope(Stream& stream) : stream_(&stream) {
+  if (fault::Injected(fault::Site::kKernelTransient)) {
+    // The scope never armed: no kernel is recorded for a failed launch.
+    throw fault::TransientError("injected kernel launch fault (kernel.transient)");
+  }
 }
 
 }  // namespace gs::device

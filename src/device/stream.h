@@ -78,6 +78,7 @@ struct StreamCounters {
   int64_t timeline_ns = 0;         // current virtual timeline position
   int64_t starved_ns = 0;          // stalls waiting on upstream events
   int64_t backpressure_ns = 0;     // stalls waiting on downstream slots
+  int64_t stuck_kernels = 0;       // kernels flagged by the watchdog
   // sum over kernels of occupancy * kernel_virtual_ns; SM% = this / virtual_ns
   double occupancy_ns = 0.0;
 
@@ -128,6 +129,14 @@ class Stream {
   // the overlapped makespan — which is the point of pipelining.
   void MergeOverlapped(const StreamCounters& child, int64_t elapsed_virtual_ns);
 
+  // Watchdog: RecordKernel flags any kernel whose charged virtual time
+  // exceeds profile().watchdog_multiple × the profile's own estimate for
+  // its stats (only fault injection can cause that; see src/fault/).
+  // TakeStuckKernels drains the pending-flag count — the core executor
+  // polls it after each program node and cancels the batch with a
+  // transient error when nonzero.
+  int64_t TakeStuckKernels() { return stuck_pending_.exchange(0, std::memory_order_relaxed); }
+
  private:
   DeviceProfile profile_;
   std::atomic<int64_t> kernels_launched_{0};
@@ -138,6 +147,8 @@ class Stream {
   std::atomic<int64_t> now_ns_{0};
   std::atomic<int64_t> starved_ns_{0};
   std::atomic<int64_t> backpressure_ns_{0};
+  std::atomic<int64_t> stuck_kernels_{0};
+  std::atomic<int64_t> stuck_pending_{0};
   std::atomic<double> occupancy_ns_{0.0};
 };
 
@@ -150,9 +161,15 @@ class Stream {
 // If Finish is not called the destructor records with default stats.
 // Measures per-thread CPU time so concurrent pipeline stages sharing cores
 // do not inflate each other's simulated kernel costs.
+//
+// The constructor is the kernel.transient injection site: under an active
+// fault::FaultScope it may throw fault::TransientError, modeling a launch
+// failure. Injection never happens in the destructor — a scope that is
+// unwinding records default stats and must not throw.
 class KernelScope {
  public:
-  explicit KernelScope(Stream& stream) : stream_(&stream) {}
+  // Throws fault::TransientError when a kernel.transient fault fires.
+  explicit KernelScope(Stream& stream);
 
   ~KernelScope() {
     if (!finished_) {

@@ -1,6 +1,10 @@
 #include "device/uva_cache.h"
 
+#include <algorithm>
+
 #include "common/error.h"
+#include "fault/fault.h"
+#include "fault/status.h"
 
 namespace gs::device {
 namespace {
@@ -16,7 +20,7 @@ uint64_t MixHash(uint64_t x) {
 
 }  // namespace
 
-UvaCache::UvaCache(int64_t slots) : num_slots_(slots) {
+UvaCache::UvaCache(int64_t slots) : num_slots_(slots), live_slots_(slots) {
   GS_CHECK_GT(slots, 0);
   tags_ = std::make_unique<std::atomic<uint64_t>[]>(static_cast<size_t>(slots));
   for (int64_t i = 0; i < slots; ++i) {
@@ -25,7 +29,11 @@ UvaCache::UvaCache(int64_t slots) : num_slots_(slots) {
 }
 
 int64_t UvaCache::Access(uint64_t key, int64_t bytes) {
-  const size_t slot = static_cast<size_t>(MixHash(key) % static_cast<uint64_t>(num_slots_));
+  if (fault::Injected(fault::Site::kTransferError)) {
+    throw fault::TransientError("injected UVA transfer fault (transfer.error)");
+  }
+  const int64_t slots = live_slots_.load(std::memory_order_relaxed);
+  const size_t slot = static_cast<size_t>(MixHash(key) % static_cast<uint64_t>(slots));
   if (tags_[slot].load(std::memory_order_relaxed) == key) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     return 0;
@@ -33,6 +41,17 @@ int64_t UvaCache::Access(uint64_t key, int64_t bytes) {
   misses_.fetch_add(1, std::memory_order_relaxed);
   tags_[slot].store(key, std::memory_order_relaxed);
   return bytes;
+}
+
+void UvaCache::Shrink() {
+  constexpr int64_t kMinSlots = 64;
+  int64_t slots = live_slots_.load(std::memory_order_relaxed);
+  while (slots > kMinSlots) {
+    const int64_t next = std::max(kMinSlots, slots / 2);
+    if (live_slots_.compare_exchange_weak(slots, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
 }
 
 void UvaCache::Reset() {

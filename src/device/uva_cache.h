@@ -28,17 +28,28 @@ class UvaCache {
   explicit UvaCache(int64_t slots);
 
   // Returns the PCIe bytes to charge for touching `bytes` worth of data
-  // identified by `key`, updating the cache.
+  // identified by `key`, updating the cache. Under an active
+  // fault::FaultScope this is the transfer.error injection site and may
+  // throw fault::TransientError (a failed PCIe gather).
   int64_t Access(uint64_t key, int64_t bytes);
 
   void Reset();
 
+  // Memory-pressure response: halves the number of live slots (down to a
+  // small floor), shrinking the cache's simulated device footprint. Keys
+  // remap, so the effect is a cache flush plus a permanently higher miss
+  // rate — the graceful-degradation rung of the allocator's OOM ladder.
+  // Thread-safe with concurrent Access.
+  void Shrink();
+
+  int64_t num_slots() const { return live_slots_.load(std::memory_order_relaxed); }
   int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
 
  private:
   std::unique_ptr<std::atomic<uint64_t>[]> tags_;
-  int64_t num_slots_ = 0;
+  int64_t num_slots_ = 0;                // allocated tag-array size
+  std::atomic<int64_t> live_slots_{0};   // current logical size (<= num_slots_)
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
 };

@@ -1,0 +1,233 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace gs::fault {
+namespace {
+
+std::atomic<FaultInjector*> g_active{nullptr};
+
+// SplitMix64 finalizer: full-avalanche mix of (seed, site, probe number)
+// into a uniform 64-bit draw. This is the entire source of randomness, so
+// the decision for a given triple never depends on thread interleaving.
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double UniformDraw(uint64_t seed, Site site, int64_t n) {
+  uint64_t h = Mix(seed ^ Mix(static_cast<uint64_t>(site) + 1));
+  h = Mix(h ^ static_cast<uint64_t>(n));
+  // Top 53 bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+int64_t ParseInt(const std::string& text, const std::string& clause) {
+  GS_CHECK(!text.empty()) << "fault plan: empty integer in clause '" << clause << "'";
+  size_t pos = 0;
+  int64_t value = 0;
+  try {
+    value = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  GS_CHECK(pos == text.size() && value >= 0)
+      << "fault plan: bad occurrence index '" << text << "' in clause '" << clause << "'";
+  return value;
+}
+
+double ParseProb(const std::string& text, const std::string& clause) {
+  size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  GS_CHECK(pos == text.size() && value >= 0.0 && value <= 1.0)
+      << "fault plan: probability must be in [0,1], got '" << text << "' in clause '"
+      << clause << "'";
+  return value;
+}
+
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(text);
+  while (std::getline(in, part, sep)) {
+    parts.push_back(part);
+  }
+  return parts;
+}
+
+}  // namespace
+
+const char* SiteName(Site site) {
+  switch (site) {
+    case Site::kAllocOom:
+      return "alloc.oom";
+    case Site::kKernelTransient:
+      return "kernel.transient";
+    case Site::kKernelStuck:
+      return "kernel.stuck";
+    case Site::kTransferError:
+      return "transfer.error";
+  }
+  return "unknown";
+}
+
+bool ParseSite(const std::string& name, Site* site) {
+  for (int i = 0; i < kNumSites; ++i) {
+    if (name == SiteName(static_cast<Site>(i))) {
+      *site = static_cast<Site>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::empty() const {
+  return std::all_of(sites.begin(), sites.end(),
+                     [](const SiteSchedule& s) { return s.empty(); });
+}
+
+FaultPlan FaultPlan::Parse(const std::string& spec, uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  for (const std::string& clause : Split(spec, ';')) {
+    if (clause.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields = Split(clause, ':');
+    Site site;
+    GS_CHECK(ParseSite(fields[0], &site))
+        << "fault plan: unknown site '" << fields[0]
+        << "' (expected alloc.oom, kernel.transient, kernel.stuck, or transfer.error)";
+    SiteSchedule& schedule = plan.site(site);
+    GS_CHECK(fields.size() > 1) << "fault plan: site '" << fields[0]
+                                << "' has no schedule (use p=, occ=, or mag=)";
+    for (size_t i = 1; i < fields.size(); ++i) {
+      const std::string& field = fields[i];
+      const size_t eq = field.find('=');
+      GS_CHECK(eq != std::string::npos)
+          << "fault plan: expected key=value, got '" << field << "'";
+      const std::string key = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      if (key == "p") {
+        schedule.probability = ParseProb(value, clause);
+      } else if (key == "occ") {
+        for (const std::string& occ : Split(value, ',')) {
+          schedule.occurrences.push_back(ParseInt(occ, clause));
+        }
+        std::sort(schedule.occurrences.begin(), schedule.occurrences.end());
+      } else if (key == "mag") {
+        size_t pos = 0;
+        double magnitude = 0.0;
+        try {
+          magnitude = std::stod(value, &pos);
+        } catch (const std::exception&) {
+          pos = 0;
+        }
+        GS_CHECK(pos == value.size() && magnitude > 0.0)
+            << "fault plan: magnitude must be > 0, got '" << value << "'";
+        schedule.magnitude = magnitude;
+      } else {
+        GS_CHECK(false) << "fault plan: unknown key '" << key
+                        << "' (expected p, occ, or mag)";
+      }
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (int i = 0; i < kNumSites; ++i) {
+    const SiteSchedule& s = sites[static_cast<size_t>(i)];
+    if (s.empty()) {
+      continue;
+    }
+    if (!first) {
+      out << ";";
+    }
+    first = false;
+    out << SiteName(static_cast<Site>(i));
+    if (s.probability > 0.0) {
+      out << ":p=" << s.probability;
+    }
+    if (!s.occurrences.empty()) {
+      out << ":occ=";
+      for (size_t k = 0; k < s.occurrences.size(); ++k) {
+        out << (k == 0 ? "" : ",") << s.occurrences[k];
+      }
+    }
+    if (s.magnitude > 0.0) {
+      out << ":mag=" << s.magnitude;
+    }
+  }
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+bool FaultInjector::Decide(Site site, int64_t n) const {
+  const SiteSchedule& schedule = plan_.site(site);
+  if (std::binary_search(schedule.occurrences.begin(), schedule.occurrences.end(), n)) {
+    return true;
+  }
+  if (schedule.probability <= 0.0) {
+    return false;
+  }
+  return UniformDraw(plan_.seed, site, n) < schedule.probability;
+}
+
+bool FaultInjector::ShouldFault(Site site) {
+  const size_t idx = static_cast<size_t>(site);
+  if (plan_.sites[idx].empty()) {
+    return false;  // keep inactive sites free of counter traffic
+  }
+  const int64_t n = probes_[idx].fetch_add(1, std::memory_order_relaxed);
+  if (!Decide(site, n)) {
+    return false;
+  }
+  injected_[idx].fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+double FaultInjector::Magnitude(Site site, double default_magnitude) const {
+  const double m = plan_.site(site).magnitude;
+  return m > 0.0 ? m : default_magnitude;
+}
+
+SiteCounters FaultInjector::counters(Site site) const {
+  const size_t idx = static_cast<size_t>(site);
+  SiteCounters c;
+  c.probes = probes_[idx].load(std::memory_order_relaxed);
+  c.injected = injected_[idx].load(std::memory_order_relaxed);
+  return c;
+}
+
+FaultInjector* ActiveInjector() { return g_active.load(std::memory_order_acquire); }
+
+FaultScope::FaultScope(FaultPlan plan) : injector_(std::move(plan)) {
+  previous_ = g_active.exchange(&injector_, std::memory_order_acq_rel);
+}
+
+FaultScope::~FaultScope() { g_active.store(previous_, std::memory_order_release); }
+
+double StuckMultiplier() {
+  FaultInjector* injector = ActiveInjector();
+  if (injector == nullptr || !injector->ShouldFault(Site::kKernelStuck)) {
+    return 1.0;
+  }
+  return injector->Magnitude(Site::kKernelStuck, kDefaultStuckMagnitude);
+}
+
+}  // namespace gs::fault

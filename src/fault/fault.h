@@ -1,0 +1,155 @@
+// Seeded, deterministic fault injection.
+//
+// Real CUDA stacks cannot test their failure paths deterministically: an
+// actual OOM or a stuck kernel depends on the machine's state. The
+// simulated device can. A FaultPlan names injection *sites* — fixed probe
+// points compiled into the device layer — and gives each a schedule:
+//
+//   alloc.oom         CachingAllocator::Allocate fails as if cudaMalloc
+//                     returned cudaErrorMemoryAllocation (the recovery
+//                     ladder then runs before the failure surfaces)
+//   kernel.transient  a kernel launch throws fault::TransientError
+//   kernel.stuck      a kernel's charged virtual time is inflated by
+//                     `magnitude`×, tripping the stream watchdog
+//   transfer.error    a UVA gather throws fault::TransientError
+//
+// Determinism: whether probe number n of a site fires is a pure function
+// of (plan seed, site, n) — an occurrence list match or a seeded hash
+// compared against the site probability. Probes are numbered by a per-site
+// atomic counter, so a single-threaded run replays the exact same fault
+// sequence for the same seed; multi-threaded runs see the same *decision
+// sequence* per site (thread interleaving only changes which thread draws
+// which probe number).
+//
+// Installation is process-global via the RAII FaultScope, mirroring
+// device::Device::SetCurrent: sites compile to a single relaxed atomic
+// load when no scope is active, so the hooks cost nothing in production.
+// Installing/removing a scope must not race with probing threads.
+
+#ifndef GSAMPLER_FAULT_FAULT_H_
+#define GSAMPLER_FAULT_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gs::fault {
+
+enum class Site : int {
+  kAllocOom = 0,
+  kKernelTransient,
+  kKernelStuck,
+  kTransferError,
+};
+inline constexpr int kNumSites = 4;
+
+const char* SiteName(Site site);
+bool ParseSite(const std::string& name, Site* site);
+
+// Default virtual-time inflation for kernel.stuck when the plan does not
+// set a magnitude. Chosen to clear any profile's watchdog multiple by a
+// wide margin.
+inline constexpr double kDefaultStuckMagnitude = 1024.0;
+
+// Per-site schedule. A probe fires if its number appears in `occurrences`
+// (sorted, 0-based) or if the seeded hash draw falls below `probability`.
+struct SiteSchedule {
+  double probability = 0.0;
+  std::vector<int64_t> occurrences;
+  // Site-specific intensity; only kernel.stuck uses it (time multiplier).
+  // 0 means the site default.
+  double magnitude = 0.0;
+
+  bool empty() const { return probability <= 0.0 && occurrences.empty(); }
+};
+
+// A full plan: seed + one schedule per site.
+//
+// Text form (for --fault-plan): semicolon-separated site clauses, each
+// `site:key=value[:key=value...]` with keys `p` (probability), `occ`
+// (comma-separated occurrence indices), and `mag` (magnitude), e.g.
+//
+//   "alloc.oom:p=0.001;kernel.stuck:occ=3,17:mag=64;kernel.transient:p=0.01"
+struct FaultPlan {
+  uint64_t seed = 0;
+  std::array<SiteSchedule, kNumSites> sites;
+
+  SiteSchedule& site(Site s) { return sites[static_cast<size_t>(s)]; }
+  const SiteSchedule& site(Site s) const { return sites[static_cast<size_t>(s)]; }
+  bool empty() const;
+
+  // Throws gs::Error on malformed specs.
+  static FaultPlan Parse(const std::string& spec, uint64_t seed);
+  std::string ToString() const;
+};
+
+struct SiteCounters {
+  int64_t probes = 0;
+  int64_t injected = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Draws the next probe number for `site` and returns whether it fires.
+  // Thread-safe; the decision for probe n is deterministic given the seed.
+  bool ShouldFault(Site site);
+
+  // Pure decision function for probe `n` (no counter side effects) —
+  // exposed so tests can assert sequence reproducibility directly.
+  bool Decide(Site site, int64_t n) const;
+
+  // Magnitude for `site`, falling back to `default_magnitude` when the
+  // plan leaves it unset.
+  double Magnitude(Site site, double default_magnitude) const;
+
+  SiteCounters counters(Site site) const;
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  FaultPlan plan_;
+  std::array<std::atomic<int64_t>, kNumSites> probes_{};
+  std::array<std::atomic<int64_t>, kNumSites> injected_{};
+};
+
+// Currently installed injector, or nullptr. Owned by the active FaultScope.
+FaultInjector* ActiveInjector();
+
+// Installs `plan` for the scope's lifetime. Scopes nest (the previous
+// injector is restored on destruction). Construction and destruction must
+// not race with probes on other threads.
+class FaultScope {
+ public:
+  explicit FaultScope(FaultPlan plan);
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  FaultInjector injector_;
+  FaultInjector* previous_;
+};
+
+// Probe helpers for the device-layer hooks: one relaxed load and out when
+// no injector is installed.
+inline bool Injected(Site site) {
+  FaultInjector* injector = ActiveInjector();
+  return injector != nullptr && injector->ShouldFault(site);
+}
+
+// Probes kernel.stuck; returns the time-inflation multiplier (> 1) when it
+// fires, 1.0 otherwise.
+double StuckMultiplier();
+
+}  // namespace gs::fault
+
+#endif  // GSAMPLER_FAULT_FAULT_H_

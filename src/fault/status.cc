@@ -1,0 +1,34 @@
+#include "fault/status.h"
+
+namespace gs::fault {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kTransient:
+      return "transient";
+    case ErrorCode::kResourceExhausted:
+      return "resource_exhausted";
+    case ErrorCode::kInvalidRequest:
+      return "invalid_request";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+ErrorCode Classify(const std::exception& e) {
+  if (dynamic_cast<const TransientError*>(&e) != nullptr) {
+    return ErrorCode::kTransient;
+  }
+  if (dynamic_cast<const ResourceExhaustedError*>(&e) != nullptr) {
+    return ErrorCode::kResourceExhausted;
+  }
+  if (dynamic_cast<const InvalidRequestError*>(&e) != nullptr) {
+    return ErrorCode::kInvalidRequest;
+  }
+  return ErrorCode::kInternal;
+}
+
+}  // namespace gs::fault

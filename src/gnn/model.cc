@@ -400,4 +400,37 @@ StepStats GcnModel::Evaluate(const MiniBatch& batch, const Tensor& features,
   return SoftmaxCrossEntropy(a.logits, labels, batch.seeds, nullptr);
 }
 
+// ---------------------------------------------------- weight checkpointing
+
+namespace {
+
+std::vector<float> FlattenWeights(const Tensor& w1, const Tensor& w2) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(w1.numel() + w2.numel()));
+  flat.insert(flat.end(), w1.data(), w1.data() + w1.numel());
+  flat.insert(flat.end(), w2.data(), w2.data() + w2.numel());
+  return flat;
+}
+
+void UnflattenWeights(const std::vector<float>& flat, Tensor& w1, Tensor& w2) {
+  GS_CHECK_EQ(static_cast<int64_t>(flat.size()), w1.numel() + w2.numel())
+      << "weight checkpoint does not match model shape";
+  std::copy_n(flat.data(), w1.numel(), w1.data());
+  std::copy_n(flat.data() + w1.numel(), w2.numel(), w2.data());
+}
+
+}  // namespace
+
+std::vector<float> SageModel::SaveWeights() const { return FlattenWeights(w1_, w2_); }
+
+void SageModel::LoadWeights(const std::vector<float>& flat) {
+  UnflattenWeights(flat, w1_, w2_);
+}
+
+std::vector<float> GcnModel::SaveWeights() const { return FlattenWeights(w1_, w2_); }
+
+void GcnModel::LoadWeights(const std::vector<float>& flat) {
+  UnflattenWeights(flat, w1_, w2_);
+}
+
 }  // namespace gs::gnn

@@ -38,6 +38,12 @@ class SageModel {
   StepStats Evaluate(const MiniBatch& batch, const tensor::Tensor& features,
                      const device::Array<int32_t>& labels);
 
+  // Flattened copy of the trainable weights (w1 then w2), for trainer
+  // checkpoint/restore. LoadWeights requires a vector produced by
+  // SaveWeights on an identically-shaped model.
+  std::vector<float> SaveWeights() const;
+  void LoadWeights(const std::vector<float>& flat);
+
  private:
   struct Activations;
   Activations Forward(const MiniBatch& batch, const tensor::Tensor& features) const;
@@ -54,6 +60,10 @@ class GcnModel {
                       const device::Array<int32_t>& labels, float lr);
   StepStats Evaluate(const MiniBatch& batch, const tensor::Tensor& features,
                      const device::Array<int32_t>& labels);
+
+  // Flattened copy of the trainable weights (w1 then w2); see SageModel.
+  std::vector<float> SaveWeights() const;
+  void LoadWeights(const std::vector<float>& flat);
 
  private:
   struct Activations;

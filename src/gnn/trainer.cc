@@ -80,14 +80,39 @@ TrainOutcome Train(const graph::Graph& g, const SampleFn& sampler,
   const size_t slot_count = static_cast<size_t>(2 * depth + 3);
   std::vector<MiniBatch> slots(slot_count);
   const bool gather_mid = config.model == ModelKind::kSage;
-  int epoch = 0;  // captured by the stage closures, bumped per Run
+  int epoch = 0;        // captured by the stage closures, bumped per Run
+  int64_t step_base = 0;  // first batch index of the current Run (resume offset)
+
+  // Resume from a prior interrupted run. The sample RNG stream of batch b in
+  // epoch e is rng.Fork(e * 131071 + b) — a pure function of (seed, e, b) —
+  // so restarting mid-epoch reproduces exactly the batches an uninterrupted
+  // run would have seen.
+  int resume_epoch = 0;
+  int64_t resume_step = 0;
+  if (config.checkpoint != nullptr && config.checkpoint->valid) {
+    const TrainerCheckpoint& cp = *config.checkpoint;
+    GS_CHECK_EQ(cp.seed, config.seed) << "checkpoint was captured under a different seed";
+    GS_CHECK(cp.epoch >= 0 && cp.epoch < config.epochs) << "checkpoint epoch out of range";
+    GS_CHECK(cp.step >= 0 && cp.step <= static_cast<int64_t>(train_batches.size()))
+        << "checkpoint step out of range";
+    if (sage != nullptr) {
+      sage->LoadWeights(cp.weights);
+    } else {
+      gcn->LoadWeights(cp.weights);
+    }
+    resume_epoch = cp.epoch;
+    resume_step = cp.step;
+    outcome.step_loss = cp.step_loss;
+    outcome.epoch_accuracy = cp.epoch_accuracy;
+  }
 
   std::vector<pipeline::Stage> stages;
   stages.push_back({"sample", [&](int64_t i) {
+                      const int64_t b = step_base + i;
                       Rng batch_rng = rng.Fork(static_cast<uint64_t>(epoch) * 131071u +
-                                               static_cast<uint64_t>(i));
+                                               static_cast<uint64_t>(b));
                       slots[static_cast<size_t>(i) % slot_count] =
-                          sampler(train_batches[static_cast<size_t>(i)], batch_rng);
+                          sampler(train_batches[static_cast<size_t>(b)], batch_rng);
                     }});
   stages.push_back({"feature", [&](int64_t i) {
                       ExtractFeatures(slots[static_cast<size_t>(i) % slot_count],
@@ -106,13 +131,42 @@ TrainOutcome Train(const graph::Graph& g, const SampleFn& sampler,
                     }});
   pipeline::Executor executor(std::move(stages), pipeline::Options{depth});
 
-  for (epoch = 0; epoch < config.epochs; ++epoch) {
-    executor.Run(static_cast<int64_t>(train_batches.size()));
-    // Validation runs outside the timed training loop.
-    Rng eval_rng = rng.Fork(0xE0A1u + static_cast<uint64_t>(epoch));
-    outcome.epoch_accuracy.push_back(evaluate(eval_rng));
+  for (epoch = resume_epoch; epoch < config.epochs; ++epoch) {
+    step_base = epoch == resume_epoch ? resume_step : 0;
+    const int64_t steps_at_start = static_cast<int64_t>(outcome.step_loss.size());
+    try {
+      const int64_t remaining = static_cast<int64_t>(train_batches.size()) - step_base;
+      if (remaining > 0) {
+        executor.Run(remaining);
+      }
+      // Validation runs outside the timed training loop.
+      Rng eval_rng = rng.Fork(0xE0A1u + static_cast<uint64_t>(epoch));
+      outcome.epoch_accuracy.push_back(evaluate(eval_rng));
+    } catch (const Error& e) {
+      if (config.checkpoint == nullptr) {
+        throw;
+      }
+      // Capture resumable state. step_loss holds exactly the completed
+      // TrainSteps (the train stage appends after each step), so the saved
+      // weights correspond to `step` completed batches of this epoch.
+      TrainerCheckpoint& cp = *config.checkpoint;
+      cp.valid = true;
+      cp.epoch = epoch;
+      cp.step =
+          step_base + (static_cast<int64_t>(outcome.step_loss.size()) - steps_at_start);
+      cp.seed = config.seed;
+      cp.weights = sage != nullptr ? sage->SaveWeights() : gcn->SaveWeights();
+      cp.step_loss = outcome.step_loss;
+      cp.epoch_accuracy = outcome.epoch_accuracy;
+      outcome.interrupted = true;
+      outcome.error = e.what();
+      break;
+    }
   }
 
+  if (!outcome.interrupted && config.checkpoint != nullptr) {
+    config.checkpoint->valid = false;  // consumed; a rerun starts fresh
+  }
   outcome.pipeline = executor.metrics();
   const pipeline::Metrics& m = outcome.pipeline;
   outcome.sample_ms = m.stages[0].BusyMs();

@@ -6,7 +6,9 @@
 #ifndef GSAMPLER_GNN_TRAINER_H_
 #define GSAMPLER_GNN_TRAINER_H_
 
+#include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "gnn/minibatch.h"
@@ -19,6 +21,25 @@ namespace gs::gnn {
 enum class ModelKind {
   kSage,  // GraphSAGE batches (uniform neighbor samples, seed-inclusive)
   kGcn,   // LADIES/FastGCN batches (weight-adjusted layer-wise samples)
+};
+
+// Resumable training state (gs::fault recovery ladder, rung 4). Captured
+// when Train() is interrupted by a gs::Error mid-epoch and a checkpoint slot
+// was supplied; feeding the same checkpoint back into Train() continues from
+// the first incomplete step. Because every sample RNG stream is a pure
+// function of (config.seed, epoch, step) — never of how far a previous run
+// got — the resumed run's remaining steps, losses, and accuracies are
+// bit-identical to an uninterrupted run. (Caveat: a fault thrown from inside
+// a TrainStep weight update can leave the captured weights mid-step; the
+// sampling/feature stages are the intended injection surface.)
+struct TrainerCheckpoint {
+  bool valid = false;
+  int epoch = 0;     // epoch that was in progress
+  int64_t step = 0;  // train batches completed within that epoch
+  uint64_t seed = 0;  // config.seed at capture, checked on resume
+  std::vector<float> weights;         // flattened model weights
+  std::vector<float> step_loss;       // losses of all completed steps
+  std::vector<float> epoch_accuracy;  // completed epochs' validation accuracy
 };
 
 struct TrainerConfig {
@@ -34,6 +55,11 @@ struct TrainerConfig {
   // the calling thread; any depth produces bit-identical samples and losses
   // — only the simulated timeline changes.
   int pipeline_depth = 0;
+  // Optional checkpoint slot. When non-null: if `checkpoint->valid`, Train()
+  // resumes from it instead of starting fresh; and if training is
+  // interrupted by a gs::Error, the state is captured into it and Train()
+  // returns (outcome.interrupted = true) instead of propagating.
+  TrainerCheckpoint* checkpoint = nullptr;
 };
 
 struct TrainOutcome {
@@ -50,6 +76,10 @@ struct TrainOutcome {
   std::vector<float> step_loss;
   // Per-stage pipeline metrics accumulated over all epochs.
   pipeline::Metrics pipeline;
+  // Training stopped early on a gs::Error and state was captured into
+  // config.checkpoint; `error` holds the message.
+  bool interrupted = false;
+  std::string error;
 };
 
 // Samples a mini-batch for the given seeds.

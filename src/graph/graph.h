@@ -63,6 +63,11 @@ class Graph {
   int num_classes_ = 0;
   device::Array<int32_t> train_ids_;
   std::shared_ptr<device::UvaCache> uva_cache_;
+  // RAII registration of the UVA cache's memory-pressure handler (allocator
+  // OOM ladder -> UvaCache::Shrink). Declared after uva_cache_ so the
+  // handler is unregistered before the cache is destroyed; copies of the
+  // Graph share the token and the last one unregisters.
+  std::shared_ptr<void> uva_pressure_token_;
 };
 
 }  // namespace gs::graph

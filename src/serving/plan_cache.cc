@@ -31,9 +31,21 @@ std::string PassConfigDigest(const core::SamplerOptions& options) {
 PlanCache::PlanCache(int64_t budget_bytes, device::CachingAllocator* allocator)
     : budget_bytes_(budget_bytes), allocator_(allocator) {
   GS_CHECK_GT(budget_bytes, 0);
+  if (allocator_ != nullptr) {
+    // Join the allocator's OOM ladder: under memory pressure the cache gives
+    // back plan-resident bytes before an allocation is allowed to fail.
+    pressure_handler_id_ = allocator_->RegisterPressureHandler(
+        [this](int64_t bytes_needed) { return ReleaseMemory(bytes_needed); });
+  }
 }
 
 PlanCache::~PlanCache() {
+  // Unregister BEFORE taking mutex_: Unregister blocks until any in-flight
+  // handler invocation (which takes mutex_ via ReleaseMemory) returns.
+  // Locking mutex_ first would deadlock against that invocation.
+  if (allocator_ != nullptr && pressure_handler_id_ != 0) {
+    allocator_->UnregisterPressureHandler(pressure_handler_id_);
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (allocator_ != nullptr && stats_.resident_bytes > 0) {
     allocator_->AdjustReserved(-stats_.resident_bytes);
@@ -113,32 +125,81 @@ std::shared_ptr<core::CompiledSampler> PlanCache::GetOrBuild(const PlanKey& key,
 
 void PlanCache::EvictOverBudgetLocked(const std::string& keep_key) {
   while (stats_.resident_bytes > budget_bytes_ && entries_.size() > 1) {
-    auto victim = entries_.end();
-    uint64_t oldest = std::numeric_limits<uint64_t>::max();
-    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-      if (it->first == keep_key) {
-        continue;  // never evict the plan the caller is about to use
-      }
-      if (it->second.last_used < oldest) {
-        oldest = it->second.last_used;
-        victim = it;
-      }
-    }
-    if (victim == entries_.end()) {
+    if (EvictOneLocked(keep_key) < 0) {
       break;
     }
-    GS_LOG(Debug) << "plan cache: evicting " << victim->first << " ("
-                  << victim->second.resident_bytes << " bytes)";
-    stats_.resident_bytes -= victim->second.resident_bytes;
-    stats_.entries -= 1;
-    ++stats_.evictions;
-    if (allocator_ != nullptr) {
-      allocator_->AdjustReserved(-victim->second.resident_bytes);
-    }
-    // In-flight executions holding the shared_ptr keep the plan alive; the
-    // memory returns to the allocator pool when the last user drops it.
-    entries_.erase(victim);
   }
+}
+
+int64_t PlanCache::EvictOneLocked(const std::string& keep_key) {
+  auto victim = entries_.end();
+  uint64_t oldest = std::numeric_limits<uint64_t>::max();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!keep_key.empty() && it->first == keep_key) {
+      continue;  // never evict the plan the caller is about to use
+    }
+    if (it->second.last_used < oldest) {
+      oldest = it->second.last_used;
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) {
+    return -1;
+  }
+  GS_LOG(Debug) << "plan cache: evicting " << victim->first << " ("
+                << victim->second.resident_bytes << " bytes)";
+  const int64_t released = victim->second.resident_bytes;
+  stats_.resident_bytes -= released;
+  stats_.entries -= 1;
+  ++stats_.evictions;
+  if (allocator_ != nullptr) {
+    allocator_->AdjustReserved(-released);
+  }
+  // In-flight executions holding the shared_ptr keep the plan alive; the
+  // memory returns to the allocator pool when the last user drops it.
+  entries_.erase(victim);
+  return released;
+}
+
+int64_t PlanCache::ReleaseMemory(int64_t bytes_needed) {
+  // Dropped shared_ptrs (and their freed tensors) must not run under mutex_
+  // out of caution? They may: plan destruction calls allocator Free, and the
+  // global lock order is handlers_mutex_ -> plan-cache mutex_ -> allocator
+  // mutex_, so holding mutex_ across the erase is safe. Still, collect the
+  // victims' plans and release them after unlocking so the (potentially
+  // expensive) teardown does not serialize cache lookups.
+  std::vector<std::shared_ptr<core::CompiledSampler>> dropped;
+  int64_t released = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pressure_releases;
+    while (released < bytes_needed && !entries_.empty()) {
+      // Peek the victim so its plan can be kept alive past the erase.
+      auto victim = entries_.end();
+      uint64_t oldest = std::numeric_limits<uint64_t>::max();
+      for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.last_used < oldest) {
+          oldest = it->second.last_used;
+          victim = it;
+        }
+      }
+      if (victim == entries_.end()) {
+        break;
+      }
+      dropped.push_back(victim->second.plan);
+      const int64_t freed = EvictOneLocked("");
+      if (freed < 0) {
+        break;
+      }
+      released += freed;
+    }
+  }
+  dropped.clear();
+  if (released > 0) {
+    GS_LOG(Info) << "plan cache: released " << released << " bytes under memory pressure ("
+                 << bytes_needed << " needed)";
+  }
+  return released;
 }
 
 PlanCacheStats PlanCache::stats() const {

@@ -53,6 +53,8 @@ struct PlanCacheStats {
   int64_t evictions = 0;
   int64_t resident_bytes = 0;
   int64_t entries = 0;
+  // Times the allocator's OOM ladder asked this cache to shrink.
+  int64_t pressure_releases = 0;
 };
 
 class PlanCache {
@@ -78,6 +80,12 @@ class PlanCache {
                                                     bool* hit = nullptr,
                                                     int64_t* compile_ns = nullptr);
 
+  // Memory-pressure response (registered with the allocator's OOM ladder
+  // when an allocator was supplied): evicts least-recently-used plans until
+  // at least `bytes_needed` of resident bytes were released or the cache is
+  // empty. Returns the released byte total. Also callable directly.
+  int64_t ReleaseMemory(int64_t bytes_needed);
+
   PlanCacheStats stats() const;
 
  private:
@@ -88,9 +96,13 @@ class PlanCache {
   };
 
   void EvictOverBudgetLocked(const std::string& keep_key);
+  // Evicts the LRU entry (skipping `keep_key` when non-empty); returns its
+  // resident bytes, or -1 when nothing evictable remains.
+  int64_t EvictOneLocked(const std::string& keep_key);
 
   const int64_t budget_bytes_;
   device::CachingAllocator* allocator_;
+  int64_t pressure_handler_id_ = 0;  // 0 = not registered
   mutable std::mutex mutex_;        // guards table + stats
   std::mutex build_mutex_;          // serializes plan construction
   std::map<std::string, Entry> entries_;

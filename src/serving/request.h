@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/executor.h"
+#include "fault/status.h"
 #include "tensor/tensor.h"
 
 namespace gs::serving {
@@ -73,6 +74,10 @@ struct SampleResponse {
   std::chrono::nanoseconds retry_after{0};
   StageBreakdown stages;
   std::string error;  // kFailed only
+  // Failure classification (kRejected/kFailed): what kind of error this
+  // was after the server's recovery ladder (transient retries, fanout
+  // shedding) gave up. kOk status always carries code kOk.
+  fault::ErrorCode code = fault::ErrorCode::kOk;
 };
 
 }  // namespace gs::serving

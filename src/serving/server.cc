@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <exception>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "common/error.h"
+#include "fault/status.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "device/device.h"
@@ -160,11 +162,15 @@ void Server::Stop() {
     queued_.fetch_sub(1, std::memory_order_relaxed);
     SampleResponse response;
     response.status = Status::kFailed;
+    response.code = fault::ErrorCode::kInternal;
     response.request_id = pending->id;
     response.error = "server stopped";
+    const std::string tenant = pending->request.tenant;
     pending->promise.set_value(std::move(response));
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.failed;
+    ++stats_.failed_internal;
+    ++stats_.per_tenant_failed[tenant];
   }
   GS_LOG(Info) << "serving: stopped";
 }
@@ -181,9 +187,11 @@ std::future<SampleResponse> Server::Submit(SampleRequest request) {
   }
 
   const SampleRequest& req = pending->request;
-  auto finish = [&](Status status, const std::string& error, bool with_retry) {
+  auto finish = [&](Status status, fault::ErrorCode code, const std::string& error,
+                    bool with_retry) {
     SampleResponse response;
     response.status = status;
+    response.code = code;
     response.request_id = pending->id;
     response.error = error;
     if (with_retry) {
@@ -195,22 +203,35 @@ std::future<SampleResponse> Server::Submit(SampleRequest request) {
       ++stats_.rejected;
     } else {
       ++stats_.failed;
+      ++stats_.per_tenant_failed[req.tenant];
+      if (code == fault::ErrorCode::kInvalidRequest) {
+        ++stats_.failed_invalid;
+      } else {
+        ++stats_.failed_internal;
+      }
     }
   };
 
   if (!running_) {
-    finish(Status::kFailed, "server not running", false);
+    finish(Status::kFailed, fault::ErrorCode::kInternal, "server not running", false);
     return future;
   }
   const Endpoint* endpoint = FindEndpoint(req.algorithm, req.dataset);
   if (endpoint == nullptr) {
-    finish(Status::kFailed, "unknown endpoint: " + EndpointKey(req.algorithm, req.dataset),
-           false);
+    finish(Status::kFailed, fault::ErrorCode::kInvalidRequest,
+           "unknown endpoint: " + EndpointKey(req.algorithm, req.dataset), false);
     return future;
   }
   if (!req.seeds.defined() || req.seeds.empty()) {
-    finish(Status::kFailed, "empty seed set", false);
+    finish(Status::kFailed, fault::ErrorCode::kInvalidRequest, "empty seed set", false);
     return future;
+  }
+  for (const int64_t fanout : req.fanouts) {
+    if (fanout <= 0) {
+      finish(Status::kFailed, fault::ErrorCode::kInvalidRequest,
+             "fanouts must be positive, got " + std::to_string(fanout), false);
+      return future;
+    }
   }
 
   // Graceful degradation: past the shed threshold, admit with halved
@@ -235,7 +256,8 @@ std::future<SampleResponse> Server::Submit(SampleRequest request) {
     if (ema > 0) {
       const int64_t waves = backlog / std::max(1, options_.num_workers) + 1;
       if (ema * waves > req.deadline.count()) {
-        finish(Status::kRejected, "deadline infeasible under current load", true);
+        finish(Status::kRejected, fault::ErrorCode::kResourceExhausted,
+               "deadline infeasible under current load", true);
         return future;
       }
     }
@@ -262,14 +284,30 @@ std::future<SampleResponse> Server::Submit(SampleRequest request) {
       return future;
     }
   }
-  finish(Status::kRejected, "admission queue full", true);
+  finish(Status::kRejected, fault::ErrorCode::kResourceExhausted, "admission queue full", true);
   return future;
 }
 
 void Server::WorkerLoop(int worker) {
-  (void)worker;
+  // Nothing a request does may kill a worker: ExecuteAndScatter already
+  // classifies and absorbs execution failures per request, so anything that
+  // reaches this boundary is a server-side bug — log it, count it, and keep
+  // serving. (A dead worker would strand queued admission tokens and turn
+  // every later request into a "server stopped" failure at Stop().)
   while (tokens_->Pop().has_value()) {
-    ServeOne();
+    try {
+      ServeOne();
+    } catch (const std::exception& e) {
+      GS_LOG(Warning) << "serving: worker " << worker
+                      << " caught exception at the loop boundary: " << e.what();
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.worker_exceptions;
+    } catch (...) {
+      GS_LOG(Warning) << "serving: worker " << worker
+                      << " caught non-standard exception at the loop boundary";
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.worker_exceptions;
+    }
   }
 }
 
@@ -418,22 +456,37 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
   const Endpoint* endpoint = FindEndpoint(leader.request.algorithm, leader.request.dataset);
   GS_CHECK(endpoint != nullptr);
 
+  // Recovery ladder around plan resolution + execution. Transient failures
+  // (injected kernel faults, watchdog-cancelled batches, UVA transfer
+  // errors) are retried with exponential backoff — results are a pure
+  // function of (seeds, seed), so a retry returns bit-identical outputs.
+  // Resource exhaustion that survived the allocator's own ladder gets one
+  // retry with shed (halved) fanouts, reusing the overload-degradation
+  // path. Invalid requests and internal errors fail immediately.
   bool cache_hit = false;
   int64_t compile_ns = 0;
-  std::shared_ptr<core::CompiledSampler> plan;
-  std::string error;
-  try {
-    plan = plan_cache_->GetOrBuild(
-        leader.key, [&] { return BuildPlan(*endpoint, leader.key); }, &cache_hit, &compile_ns);
-  } catch (const std::exception& e) {
-    error = e.what();
-  }
-
   GroupResult result;
   bool coalesced = false;
   int64_t executions = 0;
-  if (error.empty()) {
+  std::string error;
+  fault::ErrorCode code = fault::ErrorCode::kOk;
+  PlanKey key = leader.key;
+  int transient_left = std::max(0, options_.max_transient_retries);
+  bool shed_retry_used = false;
+  std::chrono::nanoseconds backoff = options_.retry_backoff;
+
+  while (true) {
+    error.clear();
+    code = fault::ErrorCode::kOk;
+    result = GroupResult{};
+    coalesced = false;
     try {
+      bool hit = false;
+      int64_t build_ns = 0;
+      std::shared_ptr<core::CompiledSampler> plan = plan_cache_->GetOrBuild(
+          key, [&] { return BuildPlan(*endpoint, key); }, &hit, &build_ns);
+      cache_hit = hit;
+      compile_ns += build_ns;
       if (plan->Coalescable()) {
         std::vector<tensor::IdArray> frontiers;
         std::vector<uint64_t> seeds;
@@ -446,21 +499,53 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
         result = ExecuteGroup(*plan, frontiers, seeds);
         coalesced = group.size() > 1;
         executions = 1;
-      } else {
-        // Walk-style plans can't share a segmented execution; serve the
-        // gathered requests back to back on this worker instead.
-        result.outputs.resize(group.size());
-        Timer timer;
-        for (size_t i = 0; i < group.size(); ++i) {
-          GroupResult solo =
-              ExecuteGroup(*plan, {group[i]->request.seeds}, {group[i]->request.seed});
-          result.outputs[i] = std::move(solo.outputs[0]);
-        }
-        result.execute_ns = timer.ElapsedNanos();
-        executions = static_cast<int64_t>(group.size());
+        break;
       }
+      // Walk-style plans can't share a segmented execution; serve the
+      // gathered requests back to back on this worker instead.
+      result.outputs.resize(group.size());
+      Timer timer;
+      for (size_t i = 0; i < group.size(); ++i) {
+        GroupResult solo =
+            ExecuteGroup(*plan, {group[i]->request.seeds}, {group[i]->request.seed});
+        result.outputs[i] = std::move(solo.outputs[0]);
+      }
+      result.execute_ns = timer.ElapsedNanos();
+      executions = static_cast<int64_t>(group.size());
+      break;
     } catch (const std::exception& e) {
       error = e.what();
+      code = fault::Classify(e);
+    }
+    if (code == fault::ErrorCode::kTransient && transient_left > 0) {
+      --transient_left;
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.transient_retries;
+      }
+      GS_LOG(Debug) << "serving: transient failure, retrying after " << backoff.count() / 1000
+                    << " us: " << error;
+      std::this_thread::sleep_for(backoff);
+      backoff *= 2;
+      continue;
+    }
+    if (code == fault::ErrorCode::kResourceExhausted && options_.shed_on_resource_exhausted &&
+        !shed_retry_used && !key.fanouts.empty()) {
+      shed_retry_used = true;
+      key.fanouts = ShedFanouts(key.fanouts);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.shed_retries;
+      }
+      GS_LOG(Warning) << "serving: resource exhausted, retrying with shed fanouts: " << error;
+      continue;
+    }
+    break;  // terminal failure
+  }
+  if (shed_retry_used && error.empty()) {
+    // Shed-fanout results are degraded regardless of admission-time state.
+    for (auto& pending : group) {
+      pending->degraded = true;
     }
   }
   GS_LOG(Debug) << "serving: executed group of " << group.size() << " ("
@@ -486,6 +571,7 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
     } else {
       response.status = Status::kFailed;
       response.error = error;
+      response.code = code;
     }
   }
   const int64_t scatter_ns = scatter_timer.ElapsedNanos();
@@ -523,6 +609,21 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
         latency_.Record(totals[i]);
       } else {
         ++stats_.failed;
+        ++stats_.per_tenant_failed[group[i]->request.tenant];
+        switch (responses[i].code) {
+          case fault::ErrorCode::kTransient:
+            ++stats_.failed_transient;
+            break;
+          case fault::ErrorCode::kResourceExhausted:
+            ++stats_.failed_resource_exhausted;
+            break;
+          case fault::ErrorCode::kInvalidRequest:
+            ++stats_.failed_invalid;
+            break;
+          default:
+            ++stats_.failed_internal;
+            break;
+        }
       }
     }
   }

@@ -88,6 +88,14 @@ struct ServerOptions {
   bool deadline_admission = true;
   // Suggested client back-off on rejection.
   std::chrono::nanoseconds retry_after{2'000'000};
+  // Recovery ladder (gs::fault taxonomy). Transient execution failures are
+  // retried up to this many times with exponential backoff starting at
+  // retry_backoff; resource exhaustion (device OOM that survived the
+  // allocator's own ladder) is retried once with halved fanouts, marking
+  // the responses degraded.
+  int max_transient_retries = 3;
+  std::chrono::nanoseconds retry_backoff{50'000};
+  bool shed_on_resource_exhausted = true;
 };
 
 class Server {

@@ -40,6 +40,10 @@ std::string ServerStats::ToString() const {
       << " plan_hits=" << plan_cache_hits << " plan_misses=" << plan_cache_misses
       << " plan_evictions=" << plan_cache_evictions
       << " plan_resident_bytes=" << plan_resident_bytes
+      << " transient_retries=" << transient_retries << " shed_retries=" << shed_retries
+      << " worker_exceptions=" << worker_exceptions
+      << " failed_by_code=[t=" << failed_transient << " re=" << failed_resource_exhausted
+      << " inv=" << failed_invalid << " int=" << failed_internal << "]"
       << " p50_us=" << latency_p50_ns / 1000 << " p95_us=" << latency_p95_ns / 1000
       << " p99_us=" << latency_p99_ns / 1000;
   return out.str();

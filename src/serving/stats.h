@@ -49,6 +49,15 @@ struct ServerStats {
   int64_t plan_cache_evictions = 0;
   int64_t plan_resident_bytes = 0;
 
+  // Fault recovery (gs::fault taxonomy).
+  int64_t transient_retries = 0;    // execution retries after transient faults
+  int64_t shed_retries = 0;         // retries with shed fanouts after resource exhaustion
+  int64_t worker_exceptions = 0;    // exceptions stopped at the worker boundary
+  int64_t failed_transient = 0;     // terminal failures by code
+  int64_t failed_resource_exhausted = 0;
+  int64_t failed_invalid = 0;
+  int64_t failed_internal = 0;
+
   // End-to-end wall latency of completed requests (submit -> response).
   int64_t latency_p50_ns = 0;
   int64_t latency_p95_ns = 0;
@@ -57,6 +66,9 @@ struct ServerStats {
 
   // Completed requests per tenant (fair-queueing visibility).
   std::map<std::string, int64_t> per_tenant_completed;
+  // Failed requests per tenant (who is hitting errors, fed by the serving
+  // recovery ladder's terminal failures and request-boundary rejections).
+  std::map<std::string, int64_t> per_tenant_failed;
 
   // Mean requests per execution; 1.0 = no coalescing happened.
   double CoalescingRatio() const {

@@ -87,7 +87,21 @@ template <typename RngFor>
 Matrix SegmentedCollectiveSampleImpl(const Matrix& m, int64_t k, const ValueArray& row_probs,
                                      int64_t num_nodes, RngFor&& rng_for) {
   GS_CHECK_GT(k, 0);
-  GS_CHECK_EQ(row_probs.size(), m.num_rows());
+  // row_probs is either in the matrix's local row space (length ==
+  // num_rows) or in the labeled row space, gathered through the row id map
+  // when the input was compacted — the same contract CollectiveSample
+  // implements with RowOperand. Per-node probability vectors repeat per
+  // segment under labeled ids, hence the modulo.
+  const bool local_probs = row_probs.size() == m.num_rows();
+  GS_CHECK(local_probs || m.has_row_ids())
+      << "row operand length " << row_probs.size() << " does not match num_rows "
+      << m.num_rows() << " and the matrix has no row id map";
+  const auto prob_of = [&](int64_t r) -> float {
+    if (local_probs) {
+      return row_probs[r];
+    }
+    return row_probs[m.GlobalRowId(static_cast<int32_t>(r)) % row_probs.size()];
+  };
   device::KernelScope kernel(CurrentStream());
 
   // A row's segment comes from its labeled id (works both for the full
@@ -107,10 +121,11 @@ Matrix SegmentedCollectiveSampleImpl(const Matrix& m, int64_t k, const ValueArra
     std::vector<std::vector<int32_t>> candidates(static_cast<size_t>(num_segments));
     std::vector<std::vector<float>> weights(static_cast<size_t>(num_segments));
     for (int64_t r = 0; r < m.num_rows(); ++r) {
-      if (row_probs[r] > 0.0f) {
+      const float p = prob_of(r);
+      if (p > 0.0f) {
         const size_t s = static_cast<size_t>(segment_of[static_cast<size_t>(r)]);
         candidates[s].push_back(static_cast<int32_t>(r));
-        weights[s].push_back(row_probs[r]);
+        weights[s].push_back(p);
       }
     }
     for (int64_t s = 0; s < num_segments; ++s) {

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast]
+# Usage: tools/check.sh [--fast | chaos]
 #
 #   (default)  configure + build + full ctest in ./build, then a
 #              -DGS_SANITIZE=thread build in ./build-tsan running the
-#              threaded suites (pipeline, serving, device accounting).
+#              threaded suites (pipeline, serving, device accounting, fault
+#              ladder), then the chaos tier.
 #   --fast     tier-1 only, restricted to `ctest -L fast` (skips the
-#              serving soak test and the TSan pass).
+#              soak/chaos tests and the TSan pass).
+#   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
+#              runs the gs::fault suites (test_fault + the chaos soak) under
+#              TSan — the deterministic-injection racing workout.
 #
 # Exits non-zero on the first failing step.
 
@@ -15,14 +19,32 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
+CHAOS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast])" >&2; exit 2 ;;
+    chaos|--chaos) CHAOS=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos])" >&2; exit 2 ;;
   esac
 done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_chaos_tier() {
+  echo "== chaos: configure + build (GS_SANITIZE=thread) =="
+  cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_fault test_fault_soak
+
+  echo "== chaos: fault suites under TSan =="
+  ./build-tsan/tests/test_fault
+  ./build-tsan/tests/test_fault_soak
+}
+
+if [[ "$CHAOS" == 1 ]]; then
+  run_chaos_tier
+  echo "check.sh: chaos tier green"
+  exit 0
+fi
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -47,5 +69,7 @@ echo "== TSan: threaded suites =="
 ./build-tsan/tests/test_serving
 ./build-tsan/tests/test_serving_soak
 ./build-tsan/tests/test_device --gtest_filter='Allocator.*'
+
+run_chaos_tier
 
 echo "check.sh: all green"

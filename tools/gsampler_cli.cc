@@ -29,6 +29,11 @@
 //   --requests N       serve mode: requests to submit (default 200)
 //   --rps R            serve mode: offered load in requests/sec (default 500)
 //   --workers N        serve mode: server worker threads (default 2)
+//   --fault-plan SPEC  gs::fault injection schedule for the whole run, e.g.
+//                      "kernel.transient:p=0.001;alloc.oom:occ=5". Injector
+//                      probe/injection counts are printed to stderr on exit.
+//   --fault-seed S     seed for the fault plan's deterministic draws
+//                      (default 0; same plan + seed => same fault sequence)
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +47,7 @@
 #include "core/engine.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
+#include "fault/fault.h"
 #include "pipeline/executor.h"
 #include "serving/loadgen.h"
 #include "serving/server.h"
@@ -67,6 +73,8 @@ struct Args {
   int64_t requests = 200;
   double rps = 500.0;
   int workers = 2;
+  std::string fault_plan;
+  uint64_t fault_seed = 0;
 };
 
 Args Parse(int argc, char** argv) {
@@ -117,6 +125,10 @@ Args Parse(int argc, char** argv) {
     } else if (flag == "--workers") {
       args.workers = std::atoi(value(i));
       GS_CHECK(args.workers > 0) << "--workers must be > 0";
+    } else if (flag == "--fault-plan") {
+      args.fault_plan = value(i);
+    } else if (flag == "--fault-seed") {
+      args.fault_seed = static_cast<uint64_t>(std::atoll(value(i)));
     } else {
       GS_CHECK(false) << "unknown flag: " << flag << " (see the header of tools/gsampler_cli.cc)";
     }
@@ -184,6 +196,16 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Install the fault plan (if any) for the entire run: sampling, serving,
+    // and pipelined paths all probe the same process-global injector.
+    std::unique_ptr<fault::FaultScope> fault_scope;
+    if (!args.fault_plan.empty()) {
+      fault::FaultPlan plan = fault::FaultPlan::Parse(args.fault_plan, args.fault_seed);
+      fault_scope = std::make_unique<fault::FaultScope>(std::move(plan));
+      std::fprintf(stderr, "fault plan: %s\n",
+                   fault_scope->injector().plan().ToString().c_str());
+    }
+
     device::Device dev(args.profile == "t4" ? device::T4Sim() : device::V100Sim());
     device::DeviceGuard guard(dev);
 
@@ -200,8 +222,26 @@ int main(int argc, char** argv) {
                   static_cast<long long>(g.num_edges()), g.uva() ? " (UVA)" : "");
     }
 
+    // Per-site probe/injection counts, printed on every exit path so fault
+    // runs are auditable (same plan + seed must reproduce these numbers).
+    auto report_faults = [&]() {
+      if (fault_scope == nullptr) {
+        return;
+      }
+      std::fprintf(stderr, "fault injector:");
+      for (int s = 0; s < fault::kNumSites; ++s) {
+        const fault::Site site = static_cast<fault::Site>(s);
+        const fault::SiteCounters c = fault_scope->injector().counters(site);
+        std::fprintf(stderr, " %s=%lld/%lld", fault::SiteName(site),
+                     static_cast<long long>(c.injected), static_cast<long long>(c.probes));
+      }
+      std::fprintf(stderr, " (injected/probes)\n");
+    };
+
     if (args.serve) {
-      return RunServe(args, g);
+      const int code = RunServe(args, g);
+      report_faults();
+      return code;
     }
 
     algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm(args.algorithm, g);
@@ -292,6 +332,7 @@ int main(int argc, char** argv) {
         std::printf("\n%s", sampler.DebugString().c_str());
       }
     }
+    report_faults();
   } catch (const gs::Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
