@@ -2,57 +2,14 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
-#include "core/passes.h"
 #include "device/device.h"
 #include "sparse/batch.h"
 
 namespace gs::core {
 namespace {
-
-bool HasWalkOps(const Program& p) {
-  for (const Node& n : p.nodes()) {
-    if (n.kind == OpKind::kWalkStep || n.kind == OpKind::kWalkRestartStep ||
-        n.kind == OpKind::kNode2VecStep || n.kind == OpKind::kTopKVisited) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// Pure walk programs (DeepWalk, Node2Vec): only inputs and walk steps, all
-// outputs positionally aligned with the frontier. Super-batching these is
-// plain concatenation — every walker is independent — so no labeled id
-// spaces are needed.
-bool IsPureWalkProgram(const Program& p) {
-  bool has_walk = false;
-  for (const Node& n : p.nodes()) {
-    switch (n.kind) {
-      case OpKind::kGraphInput:
-      case OpKind::kFrontierInput:
-      case OpKind::kTensorInput:
-        break;
-      case OpKind::kWalkStep:
-      case OpKind::kWalkRestartStep:
-      case OpKind::kNode2VecStep:
-        has_walk = true;
-        break;
-      default:
-        return false;
-    }
-  }
-  return has_walk;
-}
-
-bool HasTensorOutput(const Program& p) {
-  for (int out : p.outputs()) {
-    if (p.node(out).output_kind() == ValueKind::kTensor) {
-      return true;
-    }
-  }
-  return false;
-}
 
 // Splits labeled ids into per-segment arrays of original node ids.
 std::vector<tensor::IdArray> SplitLabeledIds(const tensor::IdArray& labeled, int64_t n,
@@ -75,49 +32,21 @@ std::vector<tensor::IdArray> SplitLabeledIds(const tensor::IdArray& labeled, int
 
 }  // namespace
 
-CompiledSampler::CompiledSampler(Program program, const graph::Graph& graph,
-                                 std::map<std::string, tensor::Tensor> tensors,
-                                 SamplerOptions options)
-    : program_(std::move(program)),
+SamplerSession::SamplerSession(std::shared_ptr<CompiledPlan> plan, const graph::Graph& graph,
+                               std::map<std::string, tensor::Tensor> tensors)
+    : plan_(std::move(plan)),
       graph_(&graph),
-      options_(options),
-      rng_(options.seed),
-      executor_(program_, ExecOptions{}) {
+      rng_(plan_->options().seed),
+      executor_(plan_->program(), ExecOptions{.layout = plan_->layout_mode()}),
+      tuned_super_batch_(plan_->tuned_super_batch()) {
+  GS_CHECK(plan_ != nullptr);
   bindings_.graph = &graph.adj();
   bindings_.tensors = std::move(tensors);
-
-  program_.Verify();
-  if (options_.enable_fusion && options_.rewrite_sddmm) {
-    report_.sddmm_rewrites = RewriteSddmm(program_);
-  }
-  if (options_.enable_preprocessing) {
-    report_.hoisted_ops = HoistOverExtract(program_);
-  }
-  if (options_.enable_fusion) {
-    if (options_.fuse_extract_select) {
-      report_.extract_select_fusions = FuseExtractSelect(program_);
-    }
-    if (options_.fuse_edge_maps) {
-      report_.edge_map_reduce_fusions = FuseEdgeMapReduce(program_);
-      report_.edge_map_fusions = FuseEdgeMaps(program_);
-      report_.edge_map_reduce_fusions += FuseEdgeMapReduce(program_);
-    }
-  }
-  report_.cse_merged = EliminateCommonSubexpressions(program_);
-  DeadCodeElimination(program_);
-  MarkInvariant(program_);
-  program_.Verify();
-
-  const LayoutMode mode = options_.enable_layout_selection
-                              ? LayoutMode::kPlanned
-                              : (options_.greedy_when_layout_disabled ? LayoutMode::kGreedy
-                                                                      : LayoutMode::kAsIs);
-  executor_ = Executor(program_, ExecOptions{.layout = mode});
   Precompute();
 }
 
-void CompiledSampler::Precompute() {
-  if (!options_.enable_preprocessing) {
+void SamplerSession::Precompute() {
+  if (!plan_->options().enable_preprocessing) {
     return;
   }
   try {
@@ -131,7 +60,7 @@ void CompiledSampler::Precompute() {
   }
   needs_precompute_ = false;
   // Inputs are trivially invariant; caching them buys nothing.
-  for (const Node& n : program_.nodes()) {
+  for (const Node& n : plan_->program().nodes()) {
     if (n.kind == OpKind::kGraphInput || n.kind == OpKind::kTensorInput ||
         n.kind == OpKind::kFrontierInput) {
       precomputed_.erase(n.id);
@@ -142,43 +71,44 @@ void CompiledSampler::Precompute() {
   }
 }
 
-void CompiledSampler::BindTensor(const std::string& name, tensor::Tensor value) {
+void SamplerSession::BindTensor(const std::string& name, tensor::Tensor value) {
+  GS_CHECK(!warmed_up_) << "cannot re-bind tensor '" << name
+                        << "' after Warmup(): the concurrent serving contract relies on "
+                           "immutable bindings — open a new SamplerSession over the plan";
   bindings_.tensors[name] = std::move(value);
   // Invariant values may depend on the re-bound tensor; refresh them.
-  if (options_.enable_preprocessing && !precomputed_.empty()) {
+  if (plan_->options().enable_preprocessing && !precomputed_.empty()) {
     executor_.ClearPrecomputed();
     Precompute();
   }
 }
 
-void CompiledSampler::BindGraph(const std::string& name, const sparse::Matrix* matrix) {
+void SamplerSession::BindGraph(const std::string& name, const sparse::Matrix* matrix) {
+  GS_CHECK(!warmed_up_) << "cannot re-bind graph '" << name
+                        << "' after Warmup(): the concurrent serving contract relies on "
+                           "immutable bindings — open a new SamplerSession over the plan";
   GS_CHECK(matrix != nullptr);
   bindings_.named_graphs[name] = matrix;
-  if (options_.enable_preprocessing) {
+  if (plan_->options().enable_preprocessing) {
     executor_.ClearPrecomputed();
     Precompute();
   }
 }
 
-void CompiledSampler::EnsureCalibrated(const tensor::IdArray& frontier) {
+void SamplerSession::EnsureCalibrated(const tensor::IdArray& frontier) {
   if (needs_precompute_) {
     Precompute();
     GS_CHECK(!needs_precompute_) << "pre-computation failed; missing bindings?";
   }
-  if (calibrated_) {
+  if (plan_->calibrated()) {
     return;
   }
-  calibrated_ = true;
-  if (!options_.enable_layout_selection) {
-    return;
-  }
-  std::vector<tensor::IdArray> calib(static_cast<size_t>(
-                                         std::max(1, options_.calibration_batches)),
-                                     frontier);
-  SelectDataLayout(program_, bindings_, calib, precomputed_, rng_);
+  std::vector<tensor::IdArray> calib(
+      static_cast<size_t>(std::max(1, plan_->options().calibration_batches)), frontier);
+  plan_->Calibrate(bindings_, calib, precomputed_, rng_);
 }
 
-std::vector<Value> CompiledSampler::Sample(const tensor::IdArray& frontier) {
+std::vector<Value> SamplerSession::Sample(const tensor::IdArray& frontier) {
   EnsureCalibrated(frontier);
   Bindings b = bindings_;
   b.frontier = frontier;
@@ -186,18 +116,11 @@ std::vector<Value> CompiledSampler::Sample(const tensor::IdArray& frontier) {
   return executor_.Run(b, rng);
 }
 
-bool CompiledSampler::SuperBatchEligible() const {
-  if (IsPureWalkProgram(program_)) {
-    return true;
-  }
-  return !HasWalkOps(program_) && !HasTensorOutput(program_);
-}
-
-void CompiledSampler::RunSuperBatch(const std::vector<tensor::IdArray>& group,
-                                    int64_t first_index, const BatchCallback& callback) {
+void SamplerSession::RunSuperBatch(const std::vector<tensor::IdArray>& group,
+                                   int64_t first_index, const BatchCallback& callback) {
   const int64_t segments = static_cast<int64_t>(group.size());
 
-  if (IsPureWalkProgram(program_)) {
+  if (plan_->PureWalk()) {
     // Walk super-batch: concatenate the walkers, run once, split the traces
     // positionally.
     std::vector<int32_t> merged;
@@ -241,10 +164,9 @@ void CompiledSampler::RunSuperBatch(const std::vector<tensor::IdArray>& group,
   ExecuteLabeled(group, first_index, rng, segment_rngs, callback);
 }
 
-void CompiledSampler::ExecuteLabeled(const std::vector<tensor::IdArray>& group,
-                                     int64_t first_index, Rng& rng,
-                                     std::span<Rng> segment_rngs,
-                                     const BatchCallback& callback) const {
+void SamplerSession::ExecuteLabeled(const std::vector<tensor::IdArray>& group,
+                                    int64_t first_index, Rng& rng, std::span<Rng> segment_rngs,
+                                    const BatchCallback& callback) const {
   const int64_t n = graph_->num_nodes();
   const int64_t segments = static_cast<int64_t>(group.size());
 
@@ -262,7 +184,7 @@ void CompiledSampler::ExecuteLabeled(const std::vector<tensor::IdArray>& group,
   opts.super_batch = true;
   opts.num_segments = segments;
   opts.graph_num_nodes = n;
-  Executor seg_executor(program_, opts);
+  Executor seg_executor(plan_->program(), opts);
   for (const auto& [id, value] : precomputed_) {
     seg_executor.SetPrecomputed(id, value);
   }
@@ -276,8 +198,8 @@ void CompiledSampler::ExecuteLabeled(const std::vector<tensor::IdArray>& group,
   // are computed in a single pass over each output, so the whole scatter is
   // linear in the super-batch instead of per-member.
   struct OutputSplit {
-    std::vector<tensor::IdArray> id_parts;                  // kIds
-    std::vector<std::pair<int64_t, int64_t>> col_ranges;    // kMatrix
+    std::vector<tensor::IdArray> id_parts;                // kIds
+    std::vector<std::pair<int64_t, int64_t>> col_ranges;  // kMatrix
   };
   std::vector<OutputSplit> splits(outputs.size());
   for (size_t o = 0; o < outputs.size(); ++o) {
@@ -342,12 +264,11 @@ void CompiledSampler::ExecuteLabeled(const std::vector<tensor::IdArray>& group,
   }
 }
 
-bool CompiledSampler::Coalescable() const {
-  return SuperBatchEligible() && !IsPureWalkProgram(program_);
-}
-
-void CompiledSampler::Warmup(const tensor::IdArray& frontier) {
+void SamplerSession::Warmup(const tensor::IdArray& frontier) {
   EnsureCalibrated(frontier);
+  // A warmed-up session may serve concurrently; the shared plan must never
+  // change underneath it.
+  plan_->Freeze();
   warmed_up_ = true;
   // One throwaway execution materializes every lazily cached structure the
   // concurrent path would otherwise race to build: format conversions on
@@ -359,8 +280,8 @@ void CompiledSampler::Warmup(const tensor::IdArray& frontier) {
   }
 }
 
-std::vector<Value> CompiledSampler::SampleSeeded(const tensor::IdArray& frontier,
-                                                 uint64_t seed) const {
+std::vector<Value> SamplerSession::SampleSeeded(const tensor::IdArray& frontier,
+                                                uint64_t seed) const {
   GS_CHECK(warmed_up_) << "Warmup() must run before concurrent sampling";
   if (!Coalescable()) {
     Bindings b = bindings_;
@@ -376,13 +297,14 @@ std::vector<Value> CompiledSampler::SampleSeeded(const tensor::IdArray& frontier
   return result;
 }
 
-void CompiledSampler::SampleGrouped(const std::vector<tensor::IdArray>& group,
-                                    const std::vector<uint64_t>& seeds,
-                                    const BatchCallback& callback) const {
+void SamplerSession::SampleGrouped(const std::vector<tensor::IdArray>& group,
+                                   const std::vector<uint64_t>& seeds,
+                                   const BatchCallback& callback) const {
   GS_CHECK(Coalescable()) << "program cannot run with per-segment rng streams";
   GS_CHECK_EQ(group.size(), seeds.size()) << "one seed per group member";
   GS_CHECK(!group.empty());
-  GS_CHECK(calibrated_ && !needs_precompute_) << "Warmup() must run before SampleGrouped";
+  GS_CHECK(plan_->calibrated() && !needs_precompute_)
+      << "Warmup() must run before SampleGrouped";
   std::vector<Rng> segment_rngs;
   segment_rngs.reserve(seeds.size());
   for (uint64_t seed : seeds) {
@@ -394,7 +316,7 @@ void CompiledSampler::SampleGrouped(const std::vector<tensor::IdArray>& group,
   ExecuteLabeled(group, 0, unused, segment_rngs, callback);
 }
 
-int64_t CompiledSampler::ResidentBytes() const {
+int64_t SamplerSession::ResidentBytes() const {
   auto matrix_bytes = [](const sparse::Matrix& m) {
     int64_t total = 0;
     if (!m.defined()) {
@@ -437,7 +359,7 @@ int64_t CompiledSampler::ResidentBytes() const {
   return total;
 }
 
-int CompiledSampler::AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batches) {
+int SamplerSession::AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batches) {
   // Grid search (Section 4.4): grow the super-batch geometrically while the
   // peak memory of a trial group stays within the budget AND per-batch
   // throughput keeps improving.
@@ -471,7 +393,7 @@ int CompiledSampler::AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batc
                            static_cast<double>(stream.counters().virtual_ns - t_before) /
                                static_cast<double>(b));
     }
-    if (failed || peak > options_.memory_budget_bytes) {
+    if (failed || peak > plan_->options().memory_budget_bytes) {
       break;
     }
     // Require a clear win to grow: a marginal reading must not lock in a
@@ -485,8 +407,8 @@ int CompiledSampler::AutoTuneSuperBatch(const std::vector<tensor::IdArray>& batc
   return best;
 }
 
-void CompiledSampler::SampleEpoch(const tensor::IdArray& frontiers, int64_t batch_size,
-                                  const BatchCallback& callback) {
+void SamplerSession::SampleEpoch(const tensor::IdArray& frontiers, int64_t batch_size,
+                                 const BatchCallback& callback) {
   BatchProducer producer(*this, frontiers, batch_size);
   EpochBatch batch;
   while (producer.Next(&batch)) {
@@ -496,9 +418,23 @@ void CompiledSampler::SampleEpoch(const tensor::IdArray& frontiers, int64_t batc
   }
 }
 
-BatchProducer::BatchProducer(CompiledSampler& sampler, const tensor::IdArray& frontiers,
+OptimizationReport SamplerSession::report() const {
+  OptimizationReport r = plan_->report();
+  r.precomputed_values = static_cast<int>(precomputed_.size());
+  return r;
+}
+
+std::string SamplerSession::DebugString() const {
+  std::ostringstream out;
+  out << "SamplerSession(precomputed=" << precomputed_.size() << ", warmed_up=" << warmed_up_
+      << ", tuned_super_batch=" << tuned_super_batch_ << ")\n"
+      << plan_->DebugString();
+  return out.str();
+}
+
+BatchProducer::BatchProducer(SamplerSession& session, const tensor::IdArray& frontiers,
                              int64_t batch_size)
-    : sampler_(sampler) {
+    : session_(session) {
   GS_CHECK_GT(batch_size, 0);
   for (int64_t begin = 0; begin < frontiers.size(); begin += batch_size) {
     const int64_t end = std::min(frontiers.size(), begin + batch_size);
@@ -509,23 +445,29 @@ BatchProducer::BatchProducer(CompiledSampler& sampler, const tensor::IdArray& fr
   if (batches_.empty()) {
     return;
   }
-  sampler_.EnsureCalibrated(batches_.front());
+  session_.EnsureCalibrated(batches_.front());
 
-  group_size_ = sampler_.options_.super_batch;
-  if (!sampler_.SuperBatchEligible()) {
+  const CompiledPlan& plan = session_.plan();
+  group_size_ = plan.options().super_batch;
+  if (!plan.SuperBatchEligible()) {
     group_size_ = 1;
   } else if (group_size_ == 0) {
-    if (sampler_.tuned_super_batch_ == 0) {
-      sampler_.tuned_super_batch_ = sampler_.AutoTuneSuperBatch(batches_);
+    if (session_.tuned_super_batch_ == 0) {
+      session_.tuned_super_batch_ = session_.AutoTuneSuperBatch(batches_);
+      // Persist the tuning decision into the artifact so a saved plan skips
+      // the grid search on reload (skipped once the plan is frozen).
+      if (!plan.frozen()) {
+        session_.plan_->set_tuned_super_batch(session_.tuned_super_batch_);
+      }
     }
-    group_size_ = sampler_.tuned_super_batch_;
+    group_size_ = session_.tuned_super_batch_;
   }
   group_size_ = std::max(group_size_, 1);
   // Calibration and auto-tuning may consume batch-counter indices; every
-  // epoch batch j forks the sampler RNG at counter_base_ + j from here on
+  // epoch batch j forks the session RNG at counter_base_ + j from here on
   // (grouping-independent — see RunSuperBatch), which is what Save/Resume
   // rely on.
-  counter_base_ = sampler_.batch_counter_;
+  counter_base_ = session_.batch_counter_;
 }
 
 BatchProducer::Checkpoint BatchProducer::Save() const {
@@ -543,7 +485,7 @@ void BatchProducer::Resume(const Checkpoint& checkpoint) {
       << "checkpoint is for a different epoch partitioning";
   GS_CHECK_GE(checkpoint.delivered, 0);
   GS_CHECK_LE(checkpoint.delivered, num_batches());
-  // Rewind to the enclosing super-batch boundary, pin the sampler's RNG
+  // Rewind to the enclosing super-batch boundary, pin the session's RNG
   // stream position to the checkpointed epoch base, then re-sample and
   // discard the batches the interrupted run already delivered from that
   // group. Re-pinning makes resume independent of how far this producer's
@@ -552,7 +494,7 @@ void BatchProducer::Resume(const Checkpoint& checkpoint) {
       checkpoint.delivered - checkpoint.delivered % static_cast<int64_t>(group_size_);
   counter_base_ = checkpoint.counter_base;
   next_ = static_cast<size_t>(boundary);
-  sampler_.batch_counter_ = checkpoint.counter_base + static_cast<uint64_t>(boundary);
+  session_.batch_counter_ = checkpoint.counter_base + static_cast<uint64_t>(boundary);
   EpochBatch discard;
   for (int64_t j = boundary; j < checkpoint.delivered; ++j) {
     GS_INTERNAL(Next(&discard));
@@ -569,14 +511,14 @@ bool BatchProducer::Next(EpochBatch* out) {
       EpochBatch batch;
       batch.index = static_cast<int64_t>(next_);
       batch.seeds = batches_[next_];
-      batch.outputs = sampler_.Sample(batches_[next_]);
+      batch.outputs = session_.Sample(batches_[next_]);
       ready_.push_back(std::move(batch));
       ++next_;
     } else {
       const size_t end = std::min(batches_.size(), next_ + static_cast<size_t>(group_size_));
       std::vector<tensor::IdArray> group(batches_.begin() + static_cast<ptrdiff_t>(next_),
                                          batches_.begin() + static_cast<ptrdiff_t>(end));
-      sampler_.RunSuperBatch(group, static_cast<int64_t>(next_),
+      session_.RunSuperBatch(group, static_cast<int64_t>(next_),
                              [&](int64_t index, std::vector<Value>& outputs) {
                                EpochBatch batch;
                                batch.index = index;
@@ -591,37 +533,6 @@ bool BatchProducer::Next(EpochBatch* out) {
   *out = std::move(ready_.front());
   ready_.pop_front();
   return true;
-}
-
-OptimizationReport CompiledSampler::report() const {
-  OptimizationReport r = report_;
-  r.precomputed_values = static_cast<int>(precomputed_.size());
-  for (const Node& n : program_.nodes()) {
-    r.annotated_layouts += n.has_format_choice ? 1 : 0;
-    r.compacted_extracts += n.compact_rows ? 1 : 0;
-  }
-  return r;
-}
-
-std::string OptimizationReport::ToString() const {
-  std::ostringstream out;
-  out << "sddmm=" << sddmm_rewrites << " hoisted=" << hoisted_ops
-      << " extract-select=" << extract_select_fusions << " edge-map=" << edge_map_fusions
-      << " map-reduce=" << edge_map_reduce_fusions << " cse=" << cse_merged
-      << " precomputed=" << precomputed_values << " layouts=" << annotated_layouts
-      << " compacted=" << compacted_extracts;
-  return out.str();
-}
-
-std::string CompiledSampler::DebugString() const {
-  std::ostringstream out;
-  out << "CompiledSampler(fusion=" << options_.enable_fusion
-      << ", preprocess=" << options_.enable_preprocessing
-      << ", layout=" << options_.enable_layout_selection
-      << ", super_batch=" << options_.super_batch << ", precomputed=" << precomputed_.size()
-      << ")\n"
-      << program_.ToString();
-  return out.str();
 }
 
 }  // namespace gs::core

@@ -1,10 +1,16 @@
-// CompiledSampler: the gSampler engine (Figure 4).
+// The gSampler engine (Figure 4), split into its two halves:
 //
-// Takes a traced Program plus the input graph and named tensors, runs the
-// optimization pass pipeline, pre-computes batch-invariant values,
-// calibrates data layouts on the first mini-batches, and executes sampling
-// per mini-batch — optionally as super-batches (Section 4.4) with automatic
-// size selection under a memory budget.
+//  - CompiledPlan (core/plan.h): the immutable compilation artifact — the
+//    optimized Program, pass instrumentation, layout-calibration decisions,
+//    and the tuned super-batch size. Frozen plans are thread-safe by
+//    construction and serializable to disk.
+//  - SamplerSession (this header): the lightweight mutable execution state
+//    bound to one plan — the RNG, the batch counter, tensor/graph bindings
+//    and the per-session pre-computed invariant values. Many sessions can
+//    share one frozen plan.
+//
+// CompiledSampler remains as a thin facade that owns one plan plus one
+// session, keeping the original single-object API source-compatible.
 
 #ifndef GSAMPLER_CORE_ENGINE_H_
 #define GSAMPLER_CORE_ENGINE_H_
@@ -12,66 +18,33 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "core/executor.h"
 #include "core/ir.h"
+#include "core/plan.h"
 #include "graph/graph.h"
 
 namespace gs::core {
 
-struct SamplerOptions {
-  // Section 4.2: SDDMM rewrite + Extract-Select / Edge-Map / Edge-MapReduce
-  // fusion + CSE + DCE. The per-rule flags below allow ablating individual
-  // rules; they only apply while enable_fusion is set.
-  bool enable_fusion = true;
-  bool fuse_extract_select = true;
-  bool fuse_edge_maps = true;
-  bool rewrite_sddmm = true;
-  // Section 4.2: hoist + compile-time evaluation of batch-invariant nodes.
-  bool enable_preprocessing = true;
-  // Section 4.3: measured format/compaction selection (kPlanned mode). When
-  // off, execution uses the greedy DGL-like per-operator format policy —
-  // unless greedy_when_layout_disabled is cleared, which yields the plain
-  // "use whatever format the kernel produced" behaviour (Figure 10's 'P').
-  bool enable_layout_selection = true;
-  bool greedy_when_layout_disabled = true;
-  // Section 4.4: number of mini-batches sampled per kernel sequence. 1
-  // disables; 0 requests a grid search bounded by memory_budget_bytes.
-  // Ignored (forced to 1) for programs containing walk operators or
-  // per-batch model updates (e.g. PASS).
-  int super_batch = 1;
-  int64_t memory_budget_bytes = int64_t{2} * 1024 * 1024 * 1024;
-  // Layout calibration batches taken from the first Sample calls.
-  int calibration_batches = 1;
-  uint64_t seed = 0x5EED;
-};
-
-// Summary of what the pass pipeline did to a program (for logging,
-// debugging, and the optimization-walkthrough example).
-struct OptimizationReport {
-  int sddmm_rewrites = 0;
-  int hoisted_ops = 0;
-  int extract_select_fusions = 0;
-  int edge_map_fusions = 0;
-  int edge_map_reduce_fusions = 0;
-  int cse_merged = 0;
-  int precomputed_values = 0;
-  int annotated_layouts = 0;   // structure nodes with a chosen format
-  int compacted_extracts = 0;  // structure nodes with row compaction
-  std::string ToString() const;
-};
-
 class BatchProducer;
 
-class CompiledSampler {
+// Per-session execution state over a (shared) CompiledPlan. Construction is
+// cheap: no passes run and no calibration happens here — only binding setup
+// and (when preprocessing is on) evaluation of batch-invariant values.
+class SamplerSession {
  public:
-  CompiledSampler(Program program, const graph::Graph& graph,
-                  std::map<std::string, tensor::Tensor> tensors, SamplerOptions options);
+  SamplerSession(std::shared_ptr<CompiledPlan> plan, const graph::Graph& graph,
+                 std::map<std::string, tensor::Tensor> tensors = {});
 
-  // Runs one mini-batch; returns one Value per program output.
+  SamplerSession(const SamplerSession&) = delete;
+  SamplerSession& operator=(const SamplerSession&) = delete;
+
+  // Runs one mini-batch; returns one Value per program output. The first
+  // call triggers layout calibration when the plan is not yet calibrated.
   std::vector<Value> Sample(const tensor::IdArray& frontier);
 
   // Runs a full epoch: partitions `frontiers` into mini-batches of
@@ -82,17 +55,19 @@ class CompiledSampler {
                    const BatchCallback& callback = nullptr);
 
   // Re-binds a named tensor (model-driven algorithms update weights between
-  // batches; doing so keeps the compiled program).
+  // batches; doing so keeps the compiled program). Hard error after Warmup:
+  // the concurrent serving path relies on bindings never changing under it —
+  // create a new SamplerSession over the shared plan instead.
   void BindTensor(const std::string& name, tensor::Tensor value);
 
   // Binds a named relation matrix (heterogeneous programs). The matrix must
-  // outlive the sampler.
+  // outlive the session. Hard error after Warmup (see BindTensor).
   void BindGraph(const std::string& name, const sparse::Matrix* matrix);
 
   // --- Serving hooks (gs::serving) -----------------------------------------
   //
-  // The serving path runs one compiled plan from many threads at once, so it
-  // needs entry points that (a) touch no mutable sampler state and (b) make
+  // The serving path runs one session from many threads at once, so it needs
+  // entry points that (a) touch no mutable session state and (b) make
   // results a pure function of (frontier, seed) — independent of request
   // arrival order and of which other requests share the execution.
 
@@ -100,13 +75,13 @@ class CompiledSampler {
   // super-batch with bit-identical per-request results (per-segment RNG
   // streams). Pure walk programs are super-batch *eligible* but their steps
   // interleave draws across the whole frontier, so they serve uncoalesced.
-  bool Coalescable() const;
+  bool Coalescable() const { return plan_->Coalescable(); }
 
   // One-time preparation for concurrent serving: runs calibration and
-  // pre-computation, then executes once so every lazily cached structure
-  // (format conversions on the base graph and precomputed matrices) is
-  // materialized. After Warmup, SampleSeeded / SampleGrouped are const and
-  // safe to call concurrently from multiple threads.
+  // pre-computation, freezes the plan, then executes once so every lazily
+  // cached structure (format conversions on the base graph and precomputed
+  // matrices) is materialized. After Warmup, SampleSeeded / SampleGrouped
+  // are const and safe to call concurrently from multiple threads.
   void Warmup(const tensor::IdArray& frontier);
 
   // Thread-safe seeded sampling: the RNG stream derives from `seed` instead
@@ -121,19 +96,21 @@ class CompiledSampler {
   // each member's outputs are bit-identical to
   // SampleSeeded(group[b], seeds[b]). Requires Warmup and Coalescable.
   void SampleGrouped(const std::vector<tensor::IdArray>& group,
-                     const std::vector<uint64_t>& seeds,
-                     const BatchCallback& callback) const;
+                     const std::vector<uint64_t>& seeds, const BatchCallback& callback) const;
 
-  // Analytic device-memory footprint of the plan's resident state (the
+  // Analytic device-memory footprint of the session's resident state (the
   // pre-computed batch-invariant values); used by the serving plan cache to
   // enforce its byte budget.
   int64_t ResidentBytes() const;
 
   bool warmed_up() const { return warmed_up_; }
 
-  const Program& program() const { return program_; }
-  // What the pass pipeline did (layout fields are populated after the first
-  // Sample call triggers calibration).
+  const CompiledPlan& plan() const { return *plan_; }
+  std::shared_ptr<CompiledPlan> plan_ptr() const { return plan_; }
+  const Program& program() const { return plan_->program(); }
+  const SamplerOptions& options() const { return plan_->options(); }
+
+  // Plan-level pass/layout counters plus this session's pre-computed count.
   OptimizationReport report() const;
   // Effective super-batch size after auto-tuning (0 until tuned).
   int effective_super_batch() const { return tuned_super_batch_; }
@@ -142,7 +119,6 @@ class CompiledSampler {
  private:
   void Precompute();
   void EnsureCalibrated(const tensor::IdArray& frontier);
-  bool SuperBatchEligible() const;
   // Runs `group` mini-batches as one labeled super-batch and appends the
   // per-batch split results via the callback.
   void RunSuperBatch(const std::vector<tensor::IdArray>& group, int64_t first_index,
@@ -158,19 +134,74 @@ class CompiledSampler {
 
   friend class BatchProducer;
 
-  Program program_;
-  OptimizationReport report_;
+  std::shared_ptr<CompiledPlan> plan_;  // stable address: executor_ points in
   const graph::Graph* graph_;
   Bindings bindings_;
-  SamplerOptions options_;
   Rng rng_;
   uint64_t batch_counter_ = 0;
   Executor executor_;
   std::map<int, Value> precomputed_;
   bool needs_precompute_ = false;  // deferred until all bindings are present
-  bool calibrated_ = false;
   bool warmed_up_ = false;
   int tuned_super_batch_ = 0;
+};
+
+// Thin facade preserving the pre-split API: compiles a plan and opens one
+// session over it in a single object. New code that shares or serializes
+// plans should use CompiledPlan + SamplerSession directly.
+class CompiledSampler {
+ public:
+  CompiledSampler(Program program, const graph::Graph& graph,
+                  std::map<std::string, tensor::Tensor> tensors, SamplerOptions options)
+      : plan_(std::make_shared<CompiledPlan>(std::move(program), options)),
+        session_(std::make_shared<SamplerSession>(plan_, graph, std::move(tensors))) {}
+
+  // Opens a session over an existing (possibly deserialized) plan.
+  CompiledSampler(std::shared_ptr<CompiledPlan> plan, const graph::Graph& graph,
+                  std::map<std::string, tensor::Tensor> tensors = {})
+      : plan_(std::move(plan)),
+        session_(std::make_shared<SamplerSession>(plan_, graph, std::move(tensors))) {}
+
+  using BatchCallback = SamplerSession::BatchCallback;
+
+  std::vector<Value> Sample(const tensor::IdArray& frontier) {
+    return session_->Sample(frontier);
+  }
+  void SampleEpoch(const tensor::IdArray& frontiers, int64_t batch_size,
+                   const BatchCallback& callback = nullptr) {
+    session_->SampleEpoch(frontiers, batch_size, callback);
+  }
+  void BindTensor(const std::string& name, tensor::Tensor value) {
+    session_->BindTensor(name, std::move(value));
+  }
+  void BindGraph(const std::string& name, const sparse::Matrix* matrix) {
+    session_->BindGraph(name, matrix);
+  }
+  bool Coalescable() const { return session_->Coalescable(); }
+  void Warmup(const tensor::IdArray& frontier) { session_->Warmup(frontier); }
+  std::vector<Value> SampleSeeded(const tensor::IdArray& frontier, uint64_t seed) const {
+    return session_->SampleSeeded(frontier, seed);
+  }
+  void SampleGrouped(const std::vector<tensor::IdArray>& group,
+                     const std::vector<uint64_t>& seeds, const BatchCallback& callback) const {
+    session_->SampleGrouped(group, seeds, callback);
+  }
+  int64_t ResidentBytes() const { return session_->ResidentBytes(); }
+  bool warmed_up() const { return session_->warmed_up(); }
+  const Program& program() const { return session_->program(); }
+  OptimizationReport report() const { return session_->report(); }
+  int effective_super_batch() const { return session_->effective_super_batch(); }
+  std::string DebugString() const { return session_->DebugString(); }
+
+  const CompiledPlan& plan() const { return *plan_; }
+  std::shared_ptr<CompiledPlan> plan_ptr() const { return plan_; }
+  SamplerSession& session() { return *session_; }
+  const SamplerSession& session() const { return *session_; }
+  std::shared_ptr<SamplerSession> session_ptr() const { return session_; }
+
+ private:
+  std::shared_ptr<CompiledPlan> plan_;
+  std::shared_ptr<SamplerSession> session_;
 };
 
 // One sampled mini-batch as produced by BatchProducer.
@@ -191,7 +222,7 @@ struct EpochBatch {
 class BatchProducer {
  public:
   // Epoch-position checkpoint. Captures how many batches were delivered and
-  // the sampler's RNG-stream position (batch counter) at epoch start —
+  // the session's RNG-stream position (batch counter) at epoch start —
   // because every mini-batch j draws exclusively from the stream forked at
   // counter_base + j, this is all the RNG state resume needs: a producer
   // resumed from a checkpoint yields batches bit-identical to the ones an
@@ -200,11 +231,13 @@ class BatchProducer {
   // programs additionally need an unchanged super-batch grouping).
   struct Checkpoint {
     int64_t delivered = 0;      // batches handed out via Next()
-    uint64_t counter_base = 0;  // sampler batch counter at epoch start
+    uint64_t counter_base = 0;  // session batch counter at epoch start
     int64_t num_batches = 0;    // epoch size, for validation
   };
 
-  BatchProducer(CompiledSampler& sampler, const tensor::IdArray& frontiers, int64_t batch_size);
+  BatchProducer(SamplerSession& session, const tensor::IdArray& frontiers, int64_t batch_size);
+  BatchProducer(CompiledSampler& sampler, const tensor::IdArray& frontiers, int64_t batch_size)
+      : BatchProducer(sampler.session(), frontiers, batch_size) {}
 
   // Total mini-batches this epoch.
   int64_t num_batches() const { return static_cast<int64_t>(batches_.size()); }
@@ -218,13 +251,13 @@ class BatchProducer {
   Checkpoint Save() const;
 
   // Rewinds a *fresh* producer (no Next() calls yet) over the same epoch to
-  // `checkpoint`: re-pins the sampler's batch counter and re-samples the
+  // `checkpoint`: re-pins the session's batch counter and re-samples the
   // partially-delivered super-batch group so the next Next() returns batch
   // `checkpoint.delivered`, bit-identical to the uninterrupted run.
   void Resume(const Checkpoint& checkpoint);
 
  private:
-  CompiledSampler& sampler_;
+  SamplerSession& session_;
   std::vector<tensor::IdArray> batches_;
   int group_size_ = 1;
   size_t next_ = 0;  // next batch index not yet sampled

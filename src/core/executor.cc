@@ -1,6 +1,7 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.h"
 #include "device/device.h"
@@ -99,6 +100,75 @@ Value Value::OfIds(tensor::IdArray i) {
   v.kind = ValueKind::kIds;
   v.ids = std::move(i);
   return v;
+}
+
+namespace {
+
+template <typename T>
+bool SameArray(const device::Array<T>& a, const device::Array<T>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  if (a.size() == 0) {
+    return true;
+  }
+  return std::memcmp(a.data(), b.data(), static_cast<size_t>(a.bytes())) == 0;
+}
+
+bool SameCompressed(const sparse::Compressed& a, const sparse::Compressed& b) {
+  return SameArray(a.indptr, b.indptr) && SameArray(a.indices, b.indices) &&
+         a.values.defined() == b.values.defined() &&
+         (!a.values.defined() || SameArray(a.values, b.values));
+}
+
+}  // namespace
+
+bool BitIdentical(const Value& a, const Value& b) {
+  if (a.kind != b.kind) {
+    return false;
+  }
+  switch (a.kind) {
+    case ValueKind::kIds:
+      return SameArray(a.ids, b.ids);
+    case ValueKind::kTensor: {
+      if (a.tensor.defined() != b.tensor.defined()) {
+        return false;
+      }
+      if (!a.tensor.defined()) {
+        return true;
+      }
+      return a.tensor.shape() == b.tensor.shape() && SameArray(a.tensor.array(), b.tensor.array());
+    }
+    case ValueKind::kMatrix: {
+      const sparse::Matrix& m = a.matrix;
+      const sparse::Matrix& n = b.matrix;
+      if (m.defined() != n.defined()) {
+        return false;
+      }
+      if (!m.defined()) {
+        return true;
+      }
+      if (m.num_rows() != n.num_rows() || m.num_cols() != n.num_cols()) {
+        return false;
+      }
+      // Compare through one canonical format so the answer does not depend
+      // on which representations happen to be materialized.
+      if (!SameCompressed(m.Csc(), n.Csc())) {
+        return false;
+      }
+      if (m.has_row_ids() != n.has_row_ids() || m.has_col_ids() != n.has_col_ids()) {
+        return false;
+      }
+      if (m.has_row_ids() && !SameArray(m.row_ids(), n.row_ids())) {
+        return false;
+      }
+      if (m.has_col_ids() && !SameArray(m.col_ids(), n.col_ids())) {
+        return false;
+      }
+      return true;
+    }
+  }
+  return false;
 }
 
 Executor::Executor(const Program& program, ExecOptions options)

@@ -41,6 +41,13 @@ struct Value {
   static Value OfIds(tensor::IdArray i);
 };
 
+// Exact (bit-level) equality of two runtime values: same kind, and the ids /
+// matrix structure+values / tensor payloads compare equal element by
+// element. Used by the plan round-trip checks ("a reloaded plan samples
+// bit-identically") in tests, tools/check.sh, and the serving warm-start
+// test.
+bool BitIdentical(const Value& a, const Value& b);
+
 // Per-program inputs.
 struct Bindings {
   const sparse::Matrix* graph = nullptr;  // base adjacency (required)

@@ -51,6 +51,37 @@ const char* OpKindName(OpKind kind) {
   return "?";
 }
 
+bool OpKindFromName(const std::string& name, OpKind* kind) {
+  static const OpKind kAll[] = {
+      OpKind::kGraphInput,        OpKind::kFrontierInput,
+      OpKind::kTensorInput,       OpKind::kSliceCols,
+      OpKind::kSliceRows,         OpKind::kSumAxis,
+      OpKind::kBroadcast,         OpKind::kEltwiseScalar,
+      OpKind::kEltwiseBinary,     OpKind::kDenseEltwise,
+      OpKind::kSpMM,              OpKind::kSddmm,
+      OpKind::kEdgeValues,        OpKind::kWithValues,
+      OpKind::kMatMul,            OpKind::kTranspose,
+      OpKind::kRelu,              OpKind::kSoftmax,
+      OpKind::kTensorBinary,      OpKind::kTensorBinaryScalar,
+      OpKind::kGatherRows,        OpKind::kStackColumns,
+      OpKind::kTensorSum,         OpKind::kIndividualSample,
+      OpKind::kIndividualSampleP, OpKind::kCollectiveSample,
+      OpKind::kRowIds,            OpKind::kColIds,
+      OpKind::kCompactRows,       OpKind::kUnique,
+      OpKind::kWalkStep,          OpKind::kWalkRestartStep,
+      OpKind::kNode2VecStep,      OpKind::kTopKVisited,
+      OpKind::kFusedSliceSample,  OpKind::kFusedEdgeMap,
+      OpKind::kFusedEdgeMapReduce, OpKind::kConvertFormat,
+  };
+  for (const OpKind candidate : kAll) {
+    if (name == OpKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 ValueKind OutputKindOf(OpKind kind) {
   switch (kind) {
     case OpKind::kGraphInput:

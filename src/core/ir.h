@@ -82,6 +82,9 @@ enum class OpKind {
 };
 
 const char* OpKindName(OpKind kind);
+// Inverse of OpKindName (plan deserialization). Returns false when `name`
+// matches no operator.
+bool OpKindFromName(const std::string& name, OpKind* kind);
 ValueKind OutputKindOf(OpKind kind);
 // True for operators that produce a new sparsity structure (extract/select/
 // compaction); only these get layout annotations (Section 4.3).

@@ -1,0 +1,90 @@
+#include "core/pass_manager.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "device/device.h"
+
+namespace gs::core {
+
+std::string PassStats::ToString() const {
+  std::ostringstream out;
+  out << name << ": rewrites=" << rewrites << " nodes=" << nodes_before << "->" << nodes_after
+      << " wall_us=" << wall_ns / 1000;
+  if (virtual_ns > 0) {
+    out << " virtual_us=" << virtual_ns / 1000;
+  }
+  return out.str();
+}
+
+bool PassVerificationEnabled(bool flag) {
+#if !defined(NDEBUG)
+  (void)flag;
+  return true;
+#else
+  if (flag) {
+    return true;
+  }
+  static const bool env = std::getenv("GS_VERIFY_PASSES") != nullptr;
+  return env;
+#endif
+}
+
+void PassManager::Register(std::string name, PassFn fn) {
+  GS_CHECK(fn != nullptr) << "pass " << name << " has no body";
+  passes_.push_back({std::move(name), std::move(fn)});
+}
+
+std::vector<std::string> PassManager::names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const Entry& pass : passes_) {
+    out.push_back(pass.name);
+  }
+  return out;
+}
+
+PassStats PassManager::RunOne(const std::string& name, Program& program,
+                              const PassManagerOptions& options, const PassFn& fn) {
+  PassStats stats;
+  stats.name = name;
+  stats.nodes_before = program.size();
+  const int64_t virtual_before = device::Current().stream().counters().virtual_ns;
+  Timer timer;
+  stats.rewrites = fn(program);
+  stats.wall_ns = timer.ElapsedNanos();
+  stats.virtual_ns = device::Current().stream().counters().virtual_ns - virtual_before;
+  stats.nodes_after = program.size();
+  if (PassVerificationEnabled(options.verify)) {
+    try {
+      program.Verify();
+    } catch (const Error& e) {
+      GS_CHECK(false) << "program invalid after pass '" << name << "': " << e.what();
+    }
+    stats.verified = true;
+  }
+  if (options.dump_ir) {
+    if (options.dump_sink != nullptr) {
+      options.dump_sink(stats, program);
+    } else {
+      GS_LOG(Debug) << "after " << stats.ToString() << "\n" << program.ToString();
+    }
+  }
+  return stats;
+}
+
+void PassManager::Run(Program& program, const PassManagerOptions& options,
+                      std::vector<PassStats>* stats) const {
+  for (const Entry& pass : passes_) {
+    PassStats s = RunOne(pass.name, program, options, pass.fn);
+    if (stats != nullptr) {
+      stats->push_back(std::move(s));
+    }
+  }
+}
+
+}  // namespace gs::core

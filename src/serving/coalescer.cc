@@ -5,7 +5,7 @@
 
 namespace gs::serving {
 
-GroupResult ExecuteGroup(const core::CompiledSampler& plan,
+GroupResult ExecuteGroup(const core::SamplerSession& session,
                          const std::vector<tensor::IdArray>& frontiers,
                          const std::vector<uint64_t>& seeds) {
   GS_CHECK_EQ(frontiers.size(), seeds.size());
@@ -13,15 +13,15 @@ GroupResult ExecuteGroup(const core::CompiledSampler& plan,
   GroupResult result;
   result.outputs.resize(frontiers.size());
   Timer timer;
-  if (plan.Coalescable()) {
-    plan.SampleGrouped(frontiers, seeds,
-                       [&result](int64_t b, std::vector<core::Value>& outputs) {
-                         result.outputs[static_cast<size_t>(b)] = std::move(outputs);
-                       });
+  if (session.Coalescable()) {
+    session.SampleGrouped(frontiers, seeds,
+                          [&result](int64_t b, std::vector<core::Value>& outputs) {
+                            result.outputs[static_cast<size_t>(b)] = std::move(outputs);
+                          });
   } else {
     GS_CHECK_EQ(frontiers.size(), size_t{1})
         << "non-coalescable plans must be served one request at a time";
-    result.outputs[0] = plan.SampleSeeded(frontiers[0], seeds[0]);
+    result.outputs[0] = session.SampleSeeded(frontiers[0], seeds[0]);
   }
   result.execute_ns = timer.ElapsedNanos();
   return result;

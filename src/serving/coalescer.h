@@ -5,7 +5,7 @@
 // node v becomes b*N + v), the plan runs its segmented kernel sequence once
 // over the block-diagonal super-batch, and the outputs are split back per
 // request. Because every random draw attributed to segment b comes from
-// request b's own RNG stream (CompiledSampler::SampleGrouped), each
+// request b's own RNG stream (SamplerSession::SampleGrouped), each
 // request's results are bit-identical to being served alone — coalescing
 // changes latency and throughput, never results.
 
@@ -26,13 +26,19 @@ struct GroupResult {
   int64_t execute_ns = 0;  // wall time of the shared execution
 };
 
-// Runs `frontiers` through `plan` as one coalesced execution when the plan
-// supports it (plan.Coalescable()); otherwise the group must have exactly
-// one member, served through the uncoalesced seeded path. Thread-safe after
-// plan.Warmup().
-GroupResult ExecuteGroup(const core::CompiledSampler& plan,
+// Runs `frontiers` through `session` as one coalesced execution when the
+// plan supports it (session.Coalescable()); otherwise the group must have
+// exactly one member, served through the uncoalesced seeded path.
+// Thread-safe after session.Warmup().
+GroupResult ExecuteGroup(const core::SamplerSession& session,
                          const std::vector<tensor::IdArray>& frontiers,
                          const std::vector<uint64_t>& seeds);
+
+inline GroupResult ExecuteGroup(const core::CompiledSampler& plan,
+                                const std::vector<tensor::IdArray>& frontiers,
+                                const std::vector<uint64_t>& seeds) {
+  return ExecuteGroup(plan.session(), frontiers, seeds);
+}
 
 }  // namespace gs::serving
 

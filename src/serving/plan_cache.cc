@@ -1,5 +1,9 @@
 #include "serving/plan_cache.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <utility>
@@ -19,11 +23,42 @@ std::string PlanKey::Canonical() const {
   return out.str();
 }
 
+PlanKey PlanKey::Parse(const std::string& canonical) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(canonical);
+  while (std::getline(in, part, '|')) {
+    parts.push_back(part);
+  }
+  GS_CHECK(parts.size() == 5 || parts.size() == 4)  // trailing '|' with no fanouts
+      << "malformed plan key: '" << canonical << "'";
+  PlanKey key;
+  key.algorithm = parts[0];
+  key.dataset = parts[1];
+  key.device = parts[2];
+  key.pass_config = parts[3];
+  if (parts.size() == 5) {
+    std::istringstream fin(parts[4]);
+    while (std::getline(fin, part, ',')) {
+      GS_CHECK(!part.empty()) << "malformed plan key fanouts: '" << canonical << "'";
+      char* end = nullptr;
+      key.fanouts.push_back(std::strtoll(part.c_str(), &end, 10));
+      GS_CHECK(end != nullptr && *end == '\0') << "malformed plan key fanouts: '" << canonical
+                                               << "'";
+    }
+  }
+  return key;
+}
+
 std::string PassConfigDigest(const core::SamplerOptions& options) {
+  // Exhaustive over artifact-affecting fields; verify_passes and
+  // dump_ir_after_passes are deliberately excluded (instrumentation only —
+  // they add checks/logging but cannot change the compiled plan).
   std::ostringstream out;
   out << "fus" << options.enable_fusion << options.fuse_extract_select << options.fuse_edge_maps
       << options.rewrite_sddmm << "pre" << options.enable_preprocessing << "lay"
-      << options.enable_layout_selection << options.greedy_when_layout_disabled << "cal"
+      << options.enable_layout_selection << options.greedy_when_layout_disabled << "sb"
+      << options.super_batch << "mem" << options.memory_budget_bytes << "cal"
       << options.calibration_batches << "seed" << options.seed;
   return out.str();
 }
@@ -52,9 +87,9 @@ PlanCache::~PlanCache() {
   }
 }
 
-std::shared_ptr<core::CompiledSampler> PlanCache::GetOrBuild(const PlanKey& key,
-                                                             const Factory& factory, bool* hit,
-                                                             int64_t* compile_ns) {
+std::shared_ptr<core::SamplerSession> PlanCache::GetOrBuild(const PlanKey& key,
+                                                            const Factory& factory, bool* hit,
+                                                            int64_t* compile_ns) {
   const std::string canonical = key.Canonical();
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -68,7 +103,7 @@ std::shared_ptr<core::CompiledSampler> PlanCache::GetOrBuild(const PlanKey& key,
       if (compile_ns != nullptr) {
         *compile_ns = 0;
       }
-      return it->second.plan;
+      return it->second.session;
     }
   }
 
@@ -88,30 +123,23 @@ std::shared_ptr<core::CompiledSampler> PlanCache::GetOrBuild(const PlanKey& key,
       if (compile_ns != nullptr) {
         *compile_ns = 0;
       }
-      return it->second.plan;
+      return it->second.session;
     }
   }
 
   Timer timer;
-  std::shared_ptr<core::CompiledSampler> plan = factory();
-  GS_CHECK(plan != nullptr) << "plan factory returned null for " << canonical;
-  GS_CHECK(plan->warmed_up()) << "plan factory must Warmup() the plan: " << canonical;
+  std::shared_ptr<core::SamplerSession> session = factory();
+  GS_CHECK(session != nullptr) << "plan factory returned null for " << canonical;
+  GS_CHECK(session->warmed_up()) << "plan factory must Warmup() the session: " << canonical;
   const int64_t elapsed = timer.ElapsedNanos();
 
   Entry entry;
-  entry.plan = plan;
-  entry.resident_bytes = plan->ResidentBytes();
+  entry.session = session;
+  entry.resident_bytes = session->ResidentBytes();
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    entry.last_used = ++tick_;
-    stats_.resident_bytes += entry.resident_bytes;
-    stats_.entries += 1;
     ++stats_.misses;
-    if (allocator_ != nullptr) {
-      allocator_->AdjustReserved(entry.resident_bytes);
-    }
-    entries_.emplace(canonical, std::move(entry));
-    EvictOverBudgetLocked(canonical);
+    InsertLocked(canonical, std::move(entry));
   }
   GS_LOG(Debug) << "plan cache: built " << canonical << " in " << elapsed / 1000000 << " ms";
   if (hit != nullptr) {
@@ -120,7 +148,105 @@ std::shared_ptr<core::CompiledSampler> PlanCache::GetOrBuild(const PlanKey& key,
   if (compile_ns != nullptr) {
     *compile_ns = elapsed;
   }
-  return plan;
+  return session;
+}
+
+void PlanCache::InsertLocked(const std::string& canonical, Entry entry) {
+  entry.last_used = ++tick_;
+  stats_.resident_bytes += entry.resident_bytes;
+  stats_.entries += 1;
+  if (allocator_ != nullptr) {
+    allocator_->AdjustReserved(entry.resident_bytes);
+  }
+  entries_.emplace(canonical, std::move(entry));
+  EvictOverBudgetLocked(canonical);
+}
+
+int64_t PlanCache::SaveAll(const std::string& dir) {
+  // Snapshot under the lock, serialize outside it: Serialize() walks the
+  // (frozen, immutable) plan only, so concurrent serving is unaffected.
+  std::vector<std::pair<std::string, std::shared_ptr<core::CompiledPlan>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.reserve(entries_.size());
+    for (const auto& [canonical, entry] : entries_) {
+      snapshot.emplace_back(canonical, entry.session->plan_ptr());
+    }
+  }
+  std::filesystem::create_directories(dir);
+  std::ostringstream index;
+  int64_t saved = 0;
+  for (const auto& [canonical, plan] : snapshot) {
+    char digest[24];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(plan->Digest()));
+    core::SavePlanFile(*plan, dir + "/" + digest + ".plan");
+    index << digest << ' ' << canonical << '\n';
+    ++saved;
+  }
+  std::ofstream index_file(dir + "/index.txt", std::ios::trunc);
+  GS_CHECK(index_file.good()) << "cannot write plan index: " << dir << "/index.txt";
+  index_file << index.str();
+  index_file.flush();
+  GS_CHECK(index_file.good()) << "failed writing plan index: " << dir << "/index.txt";
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.plans_saved += saved;
+  }
+  GS_LOG(Info) << "plan cache: saved " << saved << " plan(s) to " << dir;
+  return saved;
+}
+
+int64_t PlanCache::LoadFrom(const std::string& dir, const Activator& activate) {
+  GS_CHECK(activate != nullptr);
+  std::ifstream index(dir + "/index.txt");
+  if (!index.good()) {
+    GS_LOG(Info) << "plan cache: no plan index at " << dir << " (cold start)";
+    return 0;
+  }
+  int64_t loaded = 0;
+  std::string line;
+  // Activation executes sampling (Warmup) on shared graph structures —
+  // serialize it like any other build.
+  std::lock_guard<std::mutex> build_lock(build_mutex_);
+  while (std::getline(index, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    const size_t space = line.find(' ');
+    GS_CHECK(space != std::string::npos) << "malformed plan index line: '" << line << "'";
+    const std::string digest = line.substr(0, space);
+    const std::string canonical = line.substr(space + 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (entries_.find(canonical) != entries_.end()) {
+        continue;  // already resident
+      }
+    }
+    try {
+      const PlanKey key = PlanKey::Parse(canonical);
+      std::shared_ptr<core::CompiledPlan> plan =
+          core::LoadPlanFile(dir + "/" + digest + ".plan");
+      std::shared_ptr<core::SamplerSession> session = activate(key, std::move(plan));
+      if (session == nullptr) {
+        continue;  // activator declined (unknown endpoint / wrong device)
+      }
+      GS_CHECK(session->warmed_up()) << "activator must Warmup() the session: " << canonical;
+      Entry entry;
+      entry.resident_bytes = session->ResidentBytes();
+      entry.session = std::move(session);
+      std::lock_guard<std::mutex> lock(mutex_);
+      InsertLocked(canonical, std::move(entry));
+      ++stats_.plans_loaded;
+      ++loaded;
+    } catch (const Error& e) {
+      GS_LOG(Warning) << "plan cache: skipping persisted plan " << canonical << ": " << e.what();
+    }
+  }
+  if (loaded > 0) {
+    GS_LOG(Info) << "plan cache: warm-started " << loaded << " plan(s) from " << dir;
+  }
+  return loaded;
 }
 
 void PlanCache::EvictOverBudgetLocked(const std::string& keep_key) {
@@ -155,7 +281,7 @@ int64_t PlanCache::EvictOneLocked(const std::string& keep_key) {
   if (allocator_ != nullptr) {
     allocator_->AdjustReserved(-released);
   }
-  // In-flight executions holding the shared_ptr keep the plan alive; the
+  // In-flight executions holding the shared_ptr keep the session alive; the
   // memory returns to the allocator pool when the last user drops it.
   entries_.erase(victim);
   return released;
@@ -163,18 +289,18 @@ int64_t PlanCache::EvictOneLocked(const std::string& keep_key) {
 
 int64_t PlanCache::ReleaseMemory(int64_t bytes_needed) {
   // Dropped shared_ptrs (and their freed tensors) must not run under mutex_
-  // out of caution? They may: plan destruction calls allocator Free, and the
-  // global lock order is handlers_mutex_ -> plan-cache mutex_ -> allocator
-  // mutex_, so holding mutex_ across the erase is safe. Still, collect the
-  // victims' plans and release them after unlocking so the (potentially
-  // expensive) teardown does not serialize cache lookups.
-  std::vector<std::shared_ptr<core::CompiledSampler>> dropped;
+  // out of caution? They may: session destruction calls allocator Free, and
+  // the global lock order is handlers_mutex_ -> plan-cache mutex_ ->
+  // allocator mutex_, so holding mutex_ across the erase is safe. Still,
+  // collect the victims' sessions and release them after unlocking so the
+  // (potentially expensive) teardown does not serialize cache lookups.
+  std::vector<std::shared_ptr<core::SamplerSession>> dropped;
   int64_t released = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.pressure_releases;
     while (released < bytes_needed && !entries_.empty()) {
-      // Peek the victim so its plan can be kept alive past the erase.
+      // Peek the victim so its session can be kept alive past the erase.
       auto victim = entries_.end();
       uint64_t oldest = std::numeric_limits<uint64_t>::max();
       for (auto it = entries_.begin(); it != entries_.end(); ++it) {
@@ -186,7 +312,7 @@ int64_t PlanCache::ReleaseMemory(int64_t bytes_needed) {
       if (victim == entries_.end()) {
         break;
       }
-      dropped.push_back(victim->second.plan);
+      dropped.push_back(victim->second.session);
       const int64_t freed = EvictOneLocked("");
       if (freed < 0) {
         break;

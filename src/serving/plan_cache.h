@@ -1,15 +1,21 @@
 // Compiled-plan registry with LRU eviction under a byte budget.
 //
-// A "plan" is a fully prepared core::CompiledSampler: program traced,
-// passes run, batch-invariant values pre-computed, layouts calibrated, and
-// Warmup() executed so the plan is safe for concurrent const sampling.
-// Building one is the expensive part of serving a cold request (trace +
-// pass pipeline + calibration executions), so plans are cached keyed by
+// The cache holds warmed-up core::SamplerSession objects, each of which
+// shares an immutable core::CompiledPlan: program traced, passes run,
+// batch-invariant values pre-computed, layouts calibrated, and Warmup()
+// executed so the session is safe for concurrent const sampling. Building
+// one is the expensive part of serving a cold request (trace + pass
+// pipeline + calibration executions), so entries are cached keyed by
 // everything that affects the compiled artifact: algorithm, dataset, device
 // profile, pass configuration, and effective fanouts.
 //
-// Memory: a plan pins its pre-computed tensors/matrices in device memory
-// (CompiledSampler::ResidentBytes). The cache enforces its own byte budget
+// Because the plan half is serializable, the cache can persist its plans to
+// a directory (SaveAll) and warm-start from one (LoadFrom): loaded plans
+// skip the pass pipeline AND layout calibration — a restarted server only
+// re-binds tensors and re-runs pre-computation.
+//
+// Memory: a session pins its pre-computed tensors/matrices in device memory
+// (SamplerSession::ResidentBytes). The cache enforces its own byte budget
 // with least-recently-used eviction and mirrors the pinned total into the
 // CachingAllocator's reserved-bytes stat — attribution only; the bytes are
 // already counted in bytes_in_use, so no capacity is double-charged.
@@ -41,10 +47,17 @@ struct PlanKey {
   std::vector<int64_t> fanouts;  // effective (possibly shed) fanouts
 
   std::string Canonical() const;
+  // Inverse of Canonical() (persisted plan-index lines). Throws gs::Error on
+  // malformed input.
+  static PlanKey Parse(const std::string& canonical);
 };
 
-// Compact digest of the pass configuration fields that change the compiled
-// artifact.
+// Compact digest of the pass configuration. Covers every SamplerOptions
+// field that can change the compiled artifact (including the seed, the
+// calibration batch count, the super-batch policy, and the auto-tune memory
+// budget). The only fields excluded are verify_passes / dump_ir_after_passes,
+// which by construction cannot affect the artifact (they add checks and
+// logging only).
 std::string PassConfigDigest(const core::SamplerOptions& options);
 
 struct PlanCacheStats {
@@ -55,6 +68,10 @@ struct PlanCacheStats {
   int64_t entries = 0;
   // Times the allocator's OOM ladder asked this cache to shrink.
   int64_t pressure_releases = 0;
+  // Persisted-plan traffic (SaveAll / LoadFrom). Loads count as neither hits
+  // nor misses: a warm-started server's first request is a hit.
+  int64_t plans_saved = 0;
+  int64_t plans_loaded = 0;
 };
 
 class PlanCache {
@@ -67,18 +84,35 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  using Factory = std::function<std::shared_ptr<core::CompiledSampler>()>;
+  using Factory = std::function<std::shared_ptr<core::SamplerSession>()>;
 
-  // Returns the plan for `key`, building it with `factory` on a miss.
+  // Returns the session for `key`, building it with `factory` on a miss.
   // Builds are serialized under one mutex: plan construction and warmup
   // materialize lazily cached structures on *shared* objects (the base
   // graph's format caches), which concurrent builds would race on. Lookups
   // of already-built plans only briefly take the table mutex.
   // `compile_ns` (optional) receives the build wall time (0 on a hit);
   // `hit` (optional) receives whether the plan was already resident.
-  std::shared_ptr<core::CompiledSampler> GetOrBuild(const PlanKey& key, const Factory& factory,
-                                                    bool* hit = nullptr,
-                                                    int64_t* compile_ns = nullptr);
+  std::shared_ptr<core::SamplerSession> GetOrBuild(const PlanKey& key, const Factory& factory,
+                                                   bool* hit = nullptr,
+                                                   int64_t* compile_ns = nullptr);
+
+  // Persists every resident entry's CompiledPlan into `dir` (created if
+  // missing): one `<digest>.plan` artifact per entry plus an `index.txt`
+  // mapping digests back to canonical keys. Returns the number of plans
+  // written. Safe to call while serving (entries are snapshotted).
+  int64_t SaveAll(const std::string& dir);
+
+  // Warm-starts from a directory written by SaveAll. For every index entry
+  // whose key is not already resident, loads the plan artifact and calls
+  // `activate` to turn it into a warmed-up session (re-binding tensors and
+  // running Warmup); `activate` may return null to skip a plan this server
+  // cannot serve (unknown endpoint, different device, stale pass config).
+  // Unreadable or corrupt artifacts are skipped with a warning. Returns the
+  // number of sessions activated.
+  using Activator = std::function<std::shared_ptr<core::SamplerSession>(
+      const PlanKey& key, std::shared_ptr<core::CompiledPlan> plan)>;
+  int64_t LoadFrom(const std::string& dir, const Activator& activate);
 
   // Memory-pressure response (registered with the allocator's OOM ladder
   // when an allocator was supplied): evicts least-recently-used plans until
@@ -90,11 +124,12 @@ class PlanCache {
 
  private:
   struct Entry {
-    std::shared_ptr<core::CompiledSampler> plan;
+    std::shared_ptr<core::SamplerSession> session;
     int64_t resident_bytes = 0;
     uint64_t last_used = 0;  // LRU tick
   };
 
+  void InsertLocked(const std::string& canonical, Entry entry);
   void EvictOverBudgetLocked(const std::string& keep_key);
   // Evicts the LRU entry (skipping `keep_key` when non-empty); returns its
   // resident bytes, or -1 when nothing evictable remains.

@@ -132,6 +132,19 @@ void Server::Start() {
                                             &device::Current().allocator());
   pool_ = std::make_unique<pipeline::WorkerPool>(device::Current().profile(),
                                                  options_.num_workers);
+  if (!options_.plan_dir.empty()) {
+    // Warm start: activate persisted plans before workers begin serving, so
+    // the first request of every restored endpoint is a cache hit with no
+    // pass pipeline and no layout calibration.
+    try {
+      plan_cache_->LoadFrom(options_.plan_dir,
+                            [this](const PlanKey& key, std::shared_ptr<core::CompiledPlan> plan) {
+                              return ActivatePlan(key, std::move(plan));
+                            });
+    } catch (const Error& e) {
+      GS_LOG(Warning) << "serving: plan warm-start failed, continuing cold: " << e.what();
+    }
+  }
   running_ = true;
   pool_->Start([this](int worker) { WorkerLoop(worker); });
   GS_LOG(Info) << "serving: started " << options_.num_workers << " workers, queue capacity "
@@ -146,6 +159,15 @@ void Server::Stop() {
   // an already-admitted request) before their Pop() returns nullopt.
   tokens_->Close();
   pool_->Join();
+  if (!options_.plan_dir.empty() && plan_cache_ != nullptr) {
+    // Best effort: a failed save must not turn shutdown into a crash.
+    try {
+      plan_cache_->SaveAll(options_.plan_dir);
+    } catch (const Error& e) {
+      GS_LOG(Warning) << "serving: failed to persist plans to " << options_.plan_dir << ": "
+                      << e.what();
+    }
+  }
   // The token invariant (tokens remaining >= requests remaining) means the
   // queues are empty here; fail anything left over defensively.
   std::vector<std::unique_ptr<Pending>> leftovers;
@@ -426,17 +448,46 @@ void Server::CompleteExpired(std::unique_ptr<Pending> pending) {
   ++stats_.deadline_exceeded;
 }
 
-std::shared_ptr<core::CompiledSampler> Server::BuildPlan(const Endpoint& endpoint,
-                                                         const PlanKey& key) const {
+std::shared_ptr<core::SamplerSession> Server::BuildPlan(const Endpoint& endpoint,
+                                                        const PlanKey& key) const {
   algorithms::AlgorithmProgram algorithm = endpoint.factory(key.fanouts);
   core::SamplerOptions options = endpoint.options;
   // The server groups requests itself; epoch-style super-batching inside the
   // plan would fight the coalescer.
   options.super_batch = 1;
-  auto plan = std::make_shared<core::CompiledSampler>(
-      std::move(algorithm.program), *endpoint.graph, std::move(algorithm.tensors), options);
-  plan->Warmup(WarmupFrontier(*endpoint.graph));
-  return plan;
+  auto plan = std::make_shared<core::CompiledPlan>(std::move(algorithm.program), options,
+                                                   endpoint.algorithm);
+  auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint.graph,
+                                                        std::move(algorithm.tensors));
+  session->Warmup(WarmupFrontier(*endpoint.graph));
+  return session;
+}
+
+std::shared_ptr<core::SamplerSession> Server::ActivatePlan(
+    const PlanKey& key, std::shared_ptr<core::CompiledPlan> plan) const {
+  const Endpoint* endpoint = FindEndpoint(key.algorithm, key.dataset);
+  if (endpoint == nullptr) {
+    return nullptr;  // this server no longer serves the endpoint
+  }
+  if (key.device != device::Current().profile().name) {
+    return nullptr;  // calibrated for a different device profile
+  }
+  if (key.pass_config != PassConfigDigest(endpoint->options)) {
+    return nullptr;  // stale artifact: pass configuration changed
+  }
+  // The factory re-traces only to recover the named tensor bindings; the
+  // persisted plan (program + annotations + calibration) is used as-is, so
+  // no passes and no calibration run here.
+  algorithms::AlgorithmProgram algorithm = endpoint->factory(key.fanouts);
+  auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint->graph,
+                                                        std::move(algorithm.tensors));
+  session->Warmup(WarmupFrontier(*endpoint->graph));
+  return session;
+}
+
+int64_t Server::SavePlans(const std::string& dir) {
+  GS_CHECK(plan_cache_ != nullptr) << "SavePlans requires Start()";
+  return plan_cache_->SaveAll(dir);
 }
 
 void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
@@ -483,7 +534,7 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
     try {
       bool hit = false;
       int64_t build_ns = 0;
-      std::shared_ptr<core::CompiledSampler> plan = plan_cache_->GetOrBuild(
+      std::shared_ptr<core::SamplerSession> plan = plan_cache_->GetOrBuild(
           key, [&] { return BuildPlan(*endpoint, key); }, &hit, &build_ns);
       cache_hit = hit;
       compile_ns += build_ns;
@@ -641,6 +692,8 @@ ServerStats Server::stats() const {
     snapshot.plan_cache_misses = cache.misses;
     snapshot.plan_cache_evictions = cache.evictions;
     snapshot.plan_resident_bytes = cache.resident_bytes;
+    snapshot.plans_saved = cache.plans_saved;
+    snapshot.plans_loaded = cache.plans_loaded;
   }
   snapshot.latency_p50_ns = latency_.Percentile(50);
   snapshot.latency_p95_ns = latency_.Percentile(95);

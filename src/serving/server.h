@@ -96,6 +96,11 @@ struct ServerOptions {
   int max_transient_retries = 3;
   std::chrono::nanoseconds retry_backoff{50'000};
   bool shed_on_resource_exhausted = true;
+  // Persistent plan directory. When non-empty, Start() warm-starts the plan
+  // cache from artifacts saved there (skipping passes and calibration for
+  // every matching endpoint) and Stop() persists the resident plans back —
+  // so a restarted server answers its first request from a warm cache.
+  std::string plan_dir;
 };
 
 class Server {
@@ -117,6 +122,10 @@ class Server {
   // Thread-safe; returns a future fulfilled by a worker (or immediately on
   // rejection/failure). Never blocks on execution.
   std::future<SampleResponse> Submit(SampleRequest request);
+
+  // Persists every resident plan to `dir` (see PlanCache::SaveAll). Requires
+  // Start(). Returns the number of plans written.
+  int64_t SavePlans(const std::string& dir);
 
   ServerStats stats() const;
 
@@ -144,8 +153,13 @@ class Server {
   // Completes `p` as expired. Caller must not hold sched_mutex_.
   void CompleteExpired(std::unique_ptr<Pending> p);
   void ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group);
-  std::shared_ptr<core::CompiledSampler> BuildPlan(const Endpoint& endpoint,
-                                                   const PlanKey& key) const;
+  // Compiles + warms up a fresh session for `key` (plan-cache miss path).
+  std::shared_ptr<core::SamplerSession> BuildPlan(const Endpoint& endpoint,
+                                                  const PlanKey& key) const;
+  // PlanCache::LoadFrom activator: re-binds tensors and warms up a session
+  // over a persisted plan; null when this server cannot serve the key.
+  std::shared_ptr<core::SamplerSession> ActivatePlan(const PlanKey& key,
+                                                     std::shared_ptr<core::CompiledPlan> plan) const;
 
   ServerOptions options_;
   std::map<std::string, Endpoint> endpoints_;  // "algorithm|dataset" -> endpoint

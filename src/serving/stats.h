@@ -48,6 +48,8 @@ struct ServerStats {
   int64_t plan_cache_misses = 0;
   int64_t plan_cache_evictions = 0;
   int64_t plan_resident_bytes = 0;
+  int64_t plans_saved = 0;   // plan artifacts persisted to the plan dir
+  int64_t plans_loaded = 0;  // sessions warm-started from persisted plans
 
   // Fault recovery (gs::fault taxonomy).
   int64_t transient_retries = 0;    // execution retries after transient faults

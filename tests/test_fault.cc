@@ -332,8 +332,8 @@ TEST(TransferFault, ShrinkHalvesLiveSlotsDownToFloor) {
 
 // ------------------------------------------ plan cache pressure handler
 
-std::shared_ptr<core::CompiledSampler> BuildResidentPlan(const graph::Graph& g,
-                                                         int64_t layer_width) {
+std::shared_ptr<core::SamplerSession> BuildResidentPlan(const graph::Graph& g,
+                                                        int64_t layer_width) {
   algorithms::AlgorithmProgram ap =
       algorithms::FastGcn(g, {.num_layers = 2, .layer_width = layer_width});
   core::SamplerOptions options;
@@ -341,10 +341,11 @@ std::shared_ptr<core::CompiledSampler> BuildResidentPlan(const graph::Graph& g,
   // Layout selection is timing-measured; pin it off so the compiled plan
   // (and its resident footprint) is identical run to run.
   options.enable_layout_selection = false;
-  auto plan = std::make_shared<core::CompiledSampler>(std::move(ap.program), g,
-                                                      std::move(ap.tensors), options);
-  plan->Warmup(tensor::IdArray::FromVector({0, 1, 2, 3}));
-  return plan;
+  auto plan = std::make_shared<core::CompiledPlan>(std::move(ap.program), options);
+  auto session = std::make_shared<core::SamplerSession>(std::move(plan), g,
+                                                        std::move(ap.tensors));
+  session->Warmup(tensor::IdArray::FromVector({0, 1, 2, 3}));
+  return session;
 }
 
 TEST(PlanCachePressure, OomLadderEvictsResidentPlans) {
@@ -409,7 +410,7 @@ TEST(PlanCacheBudget, EvictsLruUnderByteBudget) {
 
   // The survivor is the most recently used plan (b).
   bool hit = false;
-  cache.GetOrBuild(b, [&]() -> std::shared_ptr<core::CompiledSampler> {
+  cache.GetOrBuild(b, [&]() -> std::shared_ptr<core::SamplerSession> {
     ADD_FAILURE() << "b must still be resident";
     return BuildResidentPlan(g, 48);
   }, &hit);

@@ -59,29 +59,31 @@ void ExpectValuesEqual(const std::vector<core::Value>& a, const std::vector<core
   }
 }
 
-std::shared_ptr<core::CompiledSampler> BuildSagePlan(const graph::Graph& g,
-                                                     std::vector<int64_t> fanouts) {
+std::shared_ptr<core::SamplerSession> BuildSagePlan(const graph::Graph& g,
+                                                    std::vector<int64_t> fanouts) {
   algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {.fanouts = fanouts});
   core::SamplerOptions options;
   options.super_batch = 1;
-  auto plan = std::make_shared<core::CompiledSampler>(std::move(ap.program), g,
-                                                      std::move(ap.tensors), options);
-  plan->Warmup(Seeds({0, 1, 2, 3}));
-  return plan;
+  auto plan = std::make_shared<core::CompiledPlan>(std::move(ap.program), options);
+  auto session = std::make_shared<core::SamplerSession>(std::move(plan), g,
+                                                        std::move(ap.tensors));
+  session->Warmup(Seeds({0, 1, 2, 3}));
+  return session;
 }
 
 // FastGCN pre-computes its degree-based sampling probabilities, so unlike
 // GraphSAGE its plans pin device memory — what the cache budget is about.
-std::shared_ptr<core::CompiledSampler> BuildFastGcnPlan(const graph::Graph& g,
-                                                        int64_t layer_width) {
+std::shared_ptr<core::SamplerSession> BuildFastGcnPlan(const graph::Graph& g,
+                                                       int64_t layer_width) {
   algorithms::AlgorithmProgram ap =
       algorithms::FastGcn(g, {.num_layers = 2, .layer_width = layer_width});
   core::SamplerOptions options;
   options.super_batch = 1;
-  auto plan = std::make_shared<core::CompiledSampler>(std::move(ap.program), g,
-                                                      std::move(ap.tensors), options);
-  plan->Warmup(Seeds({0, 1, 2, 3}));
-  return plan;
+  auto plan = std::make_shared<core::CompiledPlan>(std::move(ap.program), options);
+  auto session = std::make_shared<core::SamplerSession>(std::move(plan), g,
+                                                        std::move(ap.tensors));
+  session->Warmup(Seeds({0, 1, 2, 3}));
+  return session;
 }
 
 // ------------------------------------------------------- bit-identity
@@ -156,7 +158,7 @@ TEST(PlanCache, HitIsMuchCheaperThanCompile) {
   bool hit2 = false;
   int64_t compile2 = -1;
   Timer lookup;
-  auto plan2 = cache.GetOrBuild(key, [&]() -> std::shared_ptr<core::CompiledSampler> {
+  auto plan2 = cache.GetOrBuild(key, [&]() -> std::shared_ptr<core::SamplerSession> {
     ADD_FAILURE() << "factory must not run on a hit";
     return nullptr;
   }, &hit2, &compile2);

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast | chaos]
+# Usage: tools/check.sh [--fast | chaos | plans]
 #
-#   (default)  configure + build + full ctest in ./build, then a
-#              -DGS_SANITIZE=thread build in ./build-tsan running the
-#              threaded suites (pipeline, serving, device accounting, fault
-#              ladder), then the chaos tier.
+#   (default)  configure + build + full ctest in ./build, then the plans
+#              tier, then a -DGS_SANITIZE=thread build in ./build-tsan
+#              running the threaded suites (pipeline, serving, device
+#              accounting, fault ladder) with pass-boundary verification
+#              (GS_VERIFY_PASSES=1), then the chaos tier.
 #   --fast     tier-1 only, restricted to `ctest -L fast` (skips the
-#              soak/chaos tests and the TSan pass).
+#              soak/chaos tests, the plans tier, and the TSan pass).
+#   plans      plan round-trip tier only: builds gsampler_cli and, for every
+#              Table-2 algorithm, compiles + serializes + reloads the plan
+#              and requires bit-identical samples from the restored artifact
+#              (gsampler_cli --verify-plan), saving each one under
+#              build/plans/.
 #   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
 #              runs the gs::fault suites (test_fault + the chaos soak) under
 #              TSan — the deterministic-injection racing workout.
@@ -20,11 +26,13 @@ cd "$(dirname "$0")/.."
 
 FAST=0
 CHAOS=0
+PLANS=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     chaos|--chaos) CHAOS=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos])" >&2; exit 2 ;;
+    plans|--plans) PLANS=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans])" >&2; exit 2 ;;
   esac
 done
 
@@ -40,9 +48,33 @@ run_chaos_tier() {
   ./build-tsan/tests/test_fault_soak
 }
 
+# Plan round-trip tier: every algorithm must compile, serialize, reload, and
+# re-sample bit-identically; the verified artifacts are left in build/plans/
+# so a --load-plan run can pick them up.
+run_plans_tier() {
+  echo "== plans: build gsampler_cli =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target gsampler_cli
+
+  echo "== plans: round-trip every algorithm =="
+  mkdir -p build/plans
+  local algorithms
+  algorithms="$(./build/tools/gsampler_cli --list | sed -n 's/^algorithms: //p')"
+  for alg in $algorithms; do
+    ./build/tools/gsampler_cli --algorithm "$alg" --dataset PD --scale 0.1 \
+      --verify-plan --save-plan "build/plans/$alg.plan"
+  done
+}
+
 if [[ "$CHAOS" == 1 ]]; then
   run_chaos_tier
   echo "check.sh: chaos tier green"
+  exit 0
+fi
+
+if [[ "$PLANS" == 1 ]]; then
+  run_plans_tier
+  echo "check.sh: plans tier green"
   exit 0
 fi
 
@@ -59,16 +91,20 @@ fi
 echo "== tier-1: full ctest =="
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+run_plans_tier
+
 echo "== TSan: configure + build (GS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target test_pipeline test_serving test_serving_soak test_device
 
-echo "== TSan: threaded suites =="
+echo "== TSan: threaded suites (pass-boundary verification on) =="
+export GS_VERIFY_PASSES=1
 ./build-tsan/tests/test_pipeline
 ./build-tsan/tests/test_serving
 ./build-tsan/tests/test_serving_soak
 ./build-tsan/tests/test_device --gtest_filter='Allocator.*'
+unset GS_VERIFY_PASSES
 
 run_chaos_tier
 

@@ -20,6 +20,19 @@
 //                      0 = synchronous legacy path (default 0)
 //   --no-fusion --no-preprocess --no-layout   disable individual passes
 //   --print-ir         dump the compiled program
+//   --save-plan PATH   persist the compiled (calibrated) plan artifact after
+//                      the run, for later --load-plan / --verify-plan
+//   --load-plan PATH   skip the pass pipeline and calibration: restore the
+//                      plan from a saved artifact (its baked-in options
+//                      override the pass flags above) and only re-bind
+//                      tensors + re-run pre-computation
+//   --verify-plan      round-trip self-check: compile, serialize, reload,
+//                      and require bit-identical samples from the restored
+//                      plan (non-zero exit on any divergence); combine with
+//                      --save-plan to persist the verified artifact
+//   --verify-passes    run Program::Verify() after every optimization pass
+//                      (always on in debug builds; also via GS_VERIFY_PASSES)
+//   --dump-ir          log the IR after each pass
 //   --list             list algorithms and datasets, then exit
 //   --json             emit a single-line JSON run summary on stdout instead
 //                      of the human-readable report
@@ -35,16 +48,19 @@
 //   --fault-seed S     seed for the fault plan's deterministic draws
 //                      (default 0; same plan + seed => same fault sequence)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algorithms/algorithms.h"
 #include "common/error.h"
 #include "core/engine.h"
+#include "core/plan.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
 #include "fault/fault.h"
@@ -67,6 +83,11 @@ struct Args {
   bool preprocess = true;
   bool layout = true;
   bool print_ir = false;
+  std::string save_plan;
+  std::string load_plan;
+  bool verify_plan = false;
+  bool verify_passes = false;
+  bool dump_ir = false;
   bool list = false;
   bool json = false;
   bool serve = false;
@@ -110,6 +131,16 @@ Args Parse(int argc, char** argv) {
       args.layout = false;
     } else if (flag == "--print-ir") {
       args.print_ir = true;
+    } else if (flag == "--save-plan") {
+      args.save_plan = value(i);
+    } else if (flag == "--load-plan") {
+      args.load_plan = value(i);
+    } else if (flag == "--verify-plan") {
+      args.verify_plan = true;
+    } else if (flag == "--verify-passes") {
+      args.verify_passes = true;
+    } else if (flag == "--dump-ir") {
+      args.dump_ir = true;
     } else if (flag == "--list") {
       args.list = true;
     } else if (flag == "--json") {
@@ -181,6 +212,81 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
   return report.failed == 0 ? 0 : 1;
 }
 
+// Shared session construction over a plan: re-traces the algorithm for its
+// tensor bindings, attaches HetGNN's relation graphs, and warms up.
+std::shared_ptr<gs::core::SamplerSession> OpenSession(
+    const Args& args, const gs::graph::Graph& g, std::shared_ptr<gs::core::CompiledPlan> plan,
+    const gs::tensor::IdArray& warmup) {
+  namespace core = gs::core;
+  gs::algorithms::AlgorithmProgram ap = gs::algorithms::MakeAlgorithm(args.algorithm, g);
+  auto session = std::make_shared<core::SamplerSession>(std::move(plan), g, std::move(ap.tensors));
+  if (args.algorithm == "HetGNN") {
+    session->BindGraph("rel0", &g.adj());
+    session->BindGraph("rel1", &g.adj());
+  }
+  session->Warmup(warmup);
+  return session;
+}
+
+// Verify-plan mode: compile -> warm up -> serialize -> reload -> require a
+// stable digest and bit-identical samples from the restored plan. Returns
+// the process exit code (non-zero on any divergence).
+int RunVerifyPlan(const Args& args, gs::graph::Graph& g, gs::core::SamplerOptions options) {
+  namespace core = gs::core;
+  gs::algorithms::AlgorithmProgram ap = gs::algorithms::MakeAlgorithm(args.algorithm, g);
+  if (ap.updates_model) {
+    options.super_batch = 1;
+  }
+  auto plan =
+      std::make_shared<core::CompiledPlan>(std::move(ap.program), options, args.algorithm);
+
+  std::vector<int32_t> ids;
+  for (int32_t v = 0; v < std::min<int64_t>(g.num_nodes(), 8); ++v) {
+    ids.push_back(v);
+  }
+  const gs::tensor::IdArray warmup = gs::tensor::IdArray::FromVector(ids);
+  auto original = OpenSession(args, g, plan, warmup);
+
+  const std::string text = plan->Serialize();
+  std::shared_ptr<core::CompiledPlan> loaded = core::CompiledPlan::Deserialize(text);
+  if (loaded->Digest() != plan->Digest() || !loaded->restored() || !loaded->calibrated()) {
+    std::fprintf(stderr, "verify-plan %s: reload state mismatch\n", args.algorithm.c_str());
+    return 1;
+  }
+  if (loaded->Serialize() != text) {
+    std::fprintf(stderr, "verify-plan %s: reserialization is not stable\n",
+                 args.algorithm.c_str());
+    return 1;
+  }
+  auto restored = OpenSession(args, g, loaded, warmup);
+
+  const std::vector<std::pair<std::vector<int32_t>, uint64_t>> probes = {
+      {{0, 1, 2, 3}, 7}, {{5, 3, 1}, 31337}, {{2}, 0}};
+  for (const auto& [frontier, seed] : probes) {
+    const gs::tensor::IdArray f = gs::tensor::IdArray::FromVector(frontier);
+    const std::vector<core::Value> a = original->SampleSeeded(f, seed);
+    const std::vector<core::Value> b = restored->SampleSeeded(f, seed);
+    if (a.size() != b.size()) {
+      std::fprintf(stderr, "verify-plan %s: output arity diverged\n", args.algorithm.c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!core::BitIdentical(a[i], b[i])) {
+        std::fprintf(stderr, "verify-plan %s: output %zu diverged (seed %llu)\n",
+                     args.algorithm.c_str(), i, static_cast<unsigned long long>(seed));
+        return 1;
+      }
+    }
+  }
+  if (!args.save_plan.empty()) {
+    core::SavePlanFile(*plan, args.save_plan);
+  }
+  std::printf("verify-plan %s: ok (digest %016llx, %zu passes, %zu probes bit-identical)\n",
+              args.algorithm.c_str(), static_cast<unsigned long long>(plan->Digest()),
+              plan->report().passes.size(), probes.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -244,13 +350,37 @@ int main(int argc, char** argv) {
       return code;
     }
 
-    algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm(args.algorithm, g);
     core::SamplerOptions options;
     options.enable_fusion = args.fusion;
     options.enable_preprocessing = args.preprocess;
     options.enable_layout_selection = args.layout;
+    options.verify_passes = args.verify_passes;
+    options.dump_ir_after_passes = args.dump_ir;
+
+    if (args.verify_plan) {
+      const int code = RunVerifyPlan(args, g, options);
+      report_faults();
+      return code;
+    }
+
+    algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm(args.algorithm, g);
     options.super_batch = ap.updates_model ? 1 : args.super_batch;
-    core::CompiledSampler sampler(std::move(ap.program), g, std::move(ap.tensors), options);
+    std::shared_ptr<core::CompiledPlan> plan;
+    if (!args.load_plan.empty()) {
+      // Ahead-of-time path: the artifact carries the optimized program and
+      // its calibration, so this run skips passes AND calibration; only
+      // tensor re-binding and pre-computation remain.
+      plan = core::LoadPlanFile(args.load_plan);
+      if (!args.json) {
+        std::printf("loaded plan %s (label %s, digest %016llx): passes + calibration skipped\n",
+                    args.load_plan.c_str(), plan->label().c_str(),
+                    static_cast<unsigned long long>(plan->Digest()));
+      }
+    } else {
+      plan = std::make_shared<core::CompiledPlan>(std::move(ap.program), options,
+                                                  args.algorithm);
+    }
+    core::CompiledSampler sampler(plan, g, std::move(ap.tensors));
     if (args.algorithm == "HetGNN") {
       sampler.BindGraph("rel0", &g.adj());
       sampler.BindGraph("rel1", &g.adj());
@@ -330,6 +460,13 @@ int main(int argc, char** argv) {
       }
       if (args.print_ir) {
         std::printf("\n%s", sampler.DebugString().c_str());
+      }
+    }
+    if (!args.save_plan.empty()) {
+      core::SavePlanFile(*plan, args.save_plan);
+      if (!args.json) {
+        std::printf("saved plan to %s (digest %016llx)\n", args.save_plan.c_str(),
+                    static_cast<unsigned long long>(plan->Digest()));
       }
     }
     report_faults();
