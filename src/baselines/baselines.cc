@@ -416,4 +416,62 @@ device::DeviceProfile ProfileFor(const std::string& system,
   return gpu_profile;
 }
 
+Rng MirroredBatchRng(uint64_t seed, uint64_t batch_index) {
+  // Must match SamplerSession: rng_ = Rng(seed), batch j samples from
+  // rng_.Fork(j) (Fork is const, so earlier batches do not perturb it).
+  return Rng(seed).Fork(batch_index);
+}
+
+struct EagerTwinState {
+  eager::EagerModel model;
+};
+
+std::shared_ptr<EagerTwinState> MakeEagerTwinState() {
+  return std::make_shared<EagerTwinState>();
+}
+
+bool HasEagerTwin(const std::string& algorithm) {
+  return algorithm == "DeepWalk" || algorithm == "Node2Vec" || algorithm == "GraphSAGE" ||
+         algorithm == "LADIES" || algorithm == "FastGCN" || algorithm == "AS-GCN" ||
+         algorithm == "PASS" || algorithm == "ShaDow";
+}
+
+BaselineResult SampleEagerTwin(const std::string& algorithm, const graph::Graph& g,
+                               const tensor::IdArray& frontier, EagerTwinState& state,
+                               Rng& rng) {
+  const eager::Style style;
+  if (algorithm == "DeepWalk") {
+    return eager::DeepWalk(g, frontier, algorithms::DeepWalkParams{}.walk_length, rng, style);
+  }
+  if (algorithm == "Node2Vec") {
+    const algorithms::Node2VecParams p;
+    return eager::Node2Vec(g, frontier, p.walk_length, p.p, p.q, rng, style);
+  }
+  if (algorithm == "GraphSAGE") {
+    return eager::GraphSage(g, frontier, algorithms::SageParams{}.fanouts, rng, style);
+  }
+  if (algorithm == "LADIES") {
+    const algorithms::LayerWiseParams p;
+    return eager::Ladies(g, frontier, p.num_layers, p.layer_width, rng, style);
+  }
+  if (algorithm == "FastGCN") {
+    const algorithms::LayerWiseParams p;
+    return eager::FastGcn(g, frontier, p.num_layers, p.layer_width, rng, style);
+  }
+  if (algorithm == "AS-GCN") {
+    const algorithms::LayerWiseParams p;
+    return eager::Asgcn(g, frontier, p.num_layers, p.layer_width, state.model, rng, style);
+  }
+  if (algorithm == "PASS") {
+    const algorithms::PassParams p;
+    return eager::Pass(g, frontier, p.fanouts, p.hidden, state.model, rng, style);
+  }
+  if (algorithm == "ShaDow") {
+    const algorithms::ShadowParams p;
+    return eager::Shadow(g, frontier, p.depth, p.fanout, rng, style);
+  }
+  GS_CHECK(false) << "no eager twin for " << algorithm;
+  return {};
+}
+
 }  // namespace gs::baselines

@@ -70,6 +70,32 @@ std::unique_ptr<Baseline> MakeBaseline(const std::string& system, const graph::G
 device::DeviceProfile ProfileFor(const std::string& system,
                                  const device::DeviceProfile& gpu_profile);
 
+// --- RNG-mirroring entry points (gs::oracle) -------------------------------
+//
+// The differential oracle compares an eager baseline against the compiled
+// engine under *mirrored* RNG streams: a SamplerSession seeded with S derives
+// the stream for mini-batch j as Rng(S).Fork(j), so an eager twin driven by
+// MirroredBatchRng(S, j) consumes randomness from the same independent
+// stream the engine used for that batch.
+
+Rng MirroredBatchRng(uint64_t seed, uint64_t batch_index);
+
+// True when `algorithm` has an eager per-operator twin (the Table-3
+// implementations in baselines/eager.h) usable for differential checks.
+bool HasEagerTwin(const std::string& algorithm);
+
+// Samples one batch of `algorithm` through its eager twin with the
+// registry-default parameters (the same parameters MakeAlgorithm uses, so
+// the compiled and eager sides draw from identical distributions). `model`
+// carries the lazily seeded tensors of the model-driven algorithms; the
+// seeds match algorithms.cc, keeping both sides' weights equal.
+// Precondition: HasEagerTwin(algorithm).
+struct EagerTwinState;  // opaque; holds the eager model tensors
+std::shared_ptr<EagerTwinState> MakeEagerTwinState();
+BaselineResult SampleEagerTwin(const std::string& algorithm, const graph::Graph& g,
+                               const tensor::IdArray& frontier, EagerTwinState& state,
+                               Rng& rng);
+
 }  // namespace gs::baselines
 
 #endif  // GSAMPLER_BASELINES_BASELINES_H_

@@ -71,6 +71,26 @@ void SampleWeightedWithoutReplacement(std::span<const float> weights, int64_t k,
   }
 }
 
+int32_t PickWeightedResidual(std::span<const float> weights, double r) {
+  // Floating-point cancellation can leave r > 0 after the whole scan (the
+  // sequentially rounded subtraction sum can fall short of the rounded
+  // total r was scaled by), and r can reach <= 0 exactly at a zero-weight
+  // entry. Both corners must resolve to an item with positive probability,
+  // so only positive-weight indices are ever returned.
+  int32_t last_positive = -1;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0f) {
+      continue;
+    }
+    last_positive = static_cast<int32_t>(i);
+    r -= weights[i];
+    if (r <= 0.0) {
+      return last_positive;
+    }
+  }
+  return last_positive;
+}
+
 int32_t SampleWeightedOne(std::span<const float> weights, Rng& rng) {
   double total = 0.0;
   for (float w : weights) {
@@ -79,14 +99,7 @@ int32_t SampleWeightedOne(std::span<const float> weights, Rng& rng) {
   if (total <= 0.0) {
     return -1;
   }
-  double r = rng.Uniform() * total;
-  for (size_t i = 0; i < weights.size(); ++i) {
-    r -= weights[i];
-    if (r <= 0.0) {
-      return static_cast<int32_t>(i);
-    }
-  }
-  return static_cast<int32_t>(weights.size() - 1);
+  return PickWeightedResidual(weights, rng.Uniform() * total);
 }
 
 AliasTable::AliasTable(std::span<const float> weights) {

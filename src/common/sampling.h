@@ -32,8 +32,16 @@ void SampleWeightedWithoutReplacement(std::span<const float> weights, int64_t k,
 
 // Selects one index in [0, weights.size()) with probability proportional to
 // `weights` (linear scan; used for single draws on short rows). Returns -1 if
-// the total weight is zero.
+// the total weight is zero. Zero-weight entries are never selected.
 int32_t SampleWeightedOne(std::span<const float> weights, Rng& rng);
+
+// Deterministic core of SampleWeightedOne: walks the inverse CDF for a
+// residual r = u * sum(weights), u in [0, 1). Exposed so tests can drive the
+// floating-point cancellation corner directly: sequential subtraction of the
+// weights can leave r > 0 even when r >= the mathematically exact total, and
+// that fallthrough must land on the last *positive-weight* index — never on
+// a zero-weight tail entry. Returns -1 when no weight is positive.
+int32_t PickWeightedResidual(std::span<const float> weights, double r);
 
 // Walker alias table for O(1) biased sampling with replacement.
 class AliasTable {

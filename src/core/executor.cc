@@ -182,6 +182,22 @@ Executor::Executor(const Program& program, ExecOptions options)
   for (int out : program.outputs()) {
     last_use_[static_cast<size_t>(out)] = program.size();  // never freed
   }
+  // A compact_rows annotation on a node feeding a collective sample is not a
+  // layout choice but a semantic change: compaction drops rows that carry no
+  // edges, and a dropped row with positive probability can no longer be
+  // drawn. The layout pass never proposes it; reject it here so a
+  // hand-edited or corrupted plan cannot silently sample a different
+  // distribution.
+  if (options_.layout == LayoutMode::kPlanned) {
+    for (const Node& n : program.nodes()) {
+      if (n.kind == OpKind::kCollectiveSample && !n.inputs.empty()) {
+        const Node& in = program.node(n.inputs[0]);
+        GS_CHECK(!in.compact_rows)
+            << "node " << in.id << " feeds collective sample " << n.id
+            << " and must not be row-compacted (compaction changes which rows can be drawn)";
+      }
+    }
+  }
 }
 
 void Executor::SetPrecomputed(int node_id, Value value) {

@@ -79,8 +79,13 @@ PassStats PassManager::RunOne(const std::string& name, Program& program,
 
 void PassManager::Run(Program& program, const PassManagerOptions& options,
                       std::vector<PassStats>* stats) const {
+  int executed = 0;
   for (const Entry& pass : passes_) {
+    if (options.pass_limit >= 0 && executed >= options.pass_limit) {
+      break;
+    }
     PassStats s = RunOne(pass.name, program, options, pass.fn);
+    ++executed;
     if (stats != nullptr) {
       stats->push_back(std::move(s));
     }

@@ -41,6 +41,10 @@ struct PassManagerOptions {
   // Dump the IR after each pass through `dump_sink` (default: GS_LOG(Debug)).
   bool dump_ir = false;
   std::function<void(const PassStats&, const Program&)> dump_sink;
+  // Run only the first `pass_limit` registered passes (-1 = all). This is the
+  // bisection hook the differential fuzzer (tools/fuzz_passes) uses to find
+  // the earliest pass prefix that reproduces a divergence.
+  int pass_limit = -1;
 };
 
 // True when pass-boundary verification should run: always in debug builds;

@@ -7,9 +7,9 @@
 // structure node is {CSC, CSR, COO} x {compact, keep}, small enough to
 // search directly: we run coordinate-descent sweeps (two passes over the
 // nodes, each trying every option) with costs measured on the simulated
-// device's virtual clock, which automatically accounts for conversion and
-// compaction overheads — the cost-aware behaviour the paper contrasts with
-// DGL's greedy per-operator choice.
+// device's deterministic model clock, which automatically accounts for
+// conversion and compaction overheads — the cost-aware behaviour the paper
+// contrasts with DGL's greedy per-operator choice.
 
 #include <algorithm>
 #include <limits>
@@ -63,13 +63,16 @@ void SelectDataLayout(Program& program, const Bindings& bindings,
     executor.SetPrecomputed(id, value);
   }
 
-  // Measures the current annotation assignment: virtual device time over
-  // the calibration batches, with a fixed randomness stream so every
-  // configuration samples identical subgraphs. Takes the min of two runs to
-  // suppress measurement noise.
-  auto measure_once = [&]() -> double {
+  // Measures the current annotation assignment over the calibration
+  // batches, with a fixed randomness stream so every configuration samples
+  // identical subgraphs. Costs come from the stream's deterministic model
+  // clock (model_ns), not the measured-CPU virtual clock: calibration must
+  // pick the same layout on every compile of the same program, or the plan
+  // itself becomes a function of host timing noise — which the differential
+  // oracle (src/oracle/) would then flag as run-to-run divergence.
+  auto measure = [&]() -> double {
     device::Stream& stream = device::Current().stream();
-    const int64_t before = stream.counters().virtual_ns;
+    const int64_t before = stream.counters().model_ns;
     try {
       for (size_t b = 0; b < calibration_batches.size(); ++b) {
         Rng trial = rng.Fork(0x1a07 + b);
@@ -83,11 +86,10 @@ void SelectDataLayout(Program& program, const Bindings& bindings,
       GS_LOG(Debug) << "layout candidate rejected: " << e.what();
       return std::numeric_limits<double>::infinity();
     }
-    return static_cast<double>(stream.counters().virtual_ns - before);
+    return static_cast<double>(stream.counters().model_ns - before);
   };
-  auto measure = [&]() -> double { return std::min(measure_once(), measure_once()); };
-  // An option must beat the incumbent by a margin to be adopted, so noise
-  // cannot lock in a regression.
+  // An option must beat the incumbent by a margin to be adopted, so
+  // near-ties resolve to the natural layout instead of churning.
   constexpr double kAdoptionMargin = 0.97;
 
   double best_total = measure();  // baseline: all-natural layouts

@@ -234,6 +234,7 @@ CompiledPlan::CompiledPlan(Program program, SamplerOptions options, std::string 
   PassManagerOptions pass_options;
   pass_options.verify = options_.verify_passes;
   pass_options.dump_ir = options_.dump_ir_after_passes;
+  pass_options.pass_limit = options_.pass_limit;
   StandardPassPipeline(options_).Run(program_, pass_options, &report_.passes);
   program_.Verify();
   for (const PassStats& s : report_.passes) {

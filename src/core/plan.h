@@ -49,8 +49,10 @@ struct SamplerOptions {
   bool greedy_when_layout_disabled = true;
   // Section 4.4: number of mini-batches sampled per kernel sequence. 1
   // disables; 0 requests a grid search bounded by memory_budget_bytes.
-  // Ignored (forced to 1) for programs containing walk operators or
-  // per-batch model updates (e.g. PASS).
+  // Ignored (forced to 1) for programs that mix walk operators with matrix
+  // operators or produce tensor outputs. Pure-walk programs group under a
+  // shared RNG stream (statistically equivalent to solo batches); all other
+  // eligible programs use per-segment streams and stay bit-identical.
   int super_batch = 1;
   int64_t memory_budget_bytes = int64_t{2} * 1024 * 1024 * 1024;
   // Layout calibration batches taken from the first Sample calls.
@@ -61,6 +63,12 @@ struct SamplerOptions {
   // serialization and from serving's PassConfigDigest.
   bool verify_passes = false;        // Verify() at every pass boundary (release)
   bool dump_ir_after_passes = false; // log the IR after each pass
+  // Debugging knob for the differential fuzzer's bisection: run only the
+  // first N passes of the registered pipeline (-1 = all). The serialized
+  // artifact stores the resulting program, so round-trips stay exact, but
+  // plans truncated this way must never feed a serving plan cache (the knob
+  // is excluded from PassConfigDigest like the instrumentation flags).
+  int pass_limit = -1;
 };
 
 // Summary of what the pass pipeline did to a program (for logging,

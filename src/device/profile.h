@@ -51,6 +51,16 @@ struct DeviceProfile {
   // graph is UVA-resident. PCIe 3.0 x16 ~ 12 GB/s effective => ~0.083 ns/B.
   double pcie_ns_per_byte = 0.083;
 
+  // Deterministic compute charge per parallel work item, used for the
+  // `model_ns` counter: the same cost formula as the virtual clock but with
+  // the measured-CPU term replaced by items * this (scaled by compute_scale
+  // and dense_compute_scale). Plan-time decisions (layout calibration) rank
+  // candidates by model_ns so compiled plans are a pure function of the
+  // program and profile, never of host timing noise — a requirement of the
+  // differential oracle, which re-compiles per run and must get the same
+  // plan every time.
+  double model_compute_ns_per_item = 0.25;
+
   // Number of concurrently resident work items needed to saturate all SMs.
   // A kernel processing fewer items runs at proportionally lower occupancy;
   // the stream tracks a time-weighted occupancy average as the SM%

@@ -26,11 +26,18 @@ int64_t FetchMax(std::atomic<int64_t>& target, int64_t value) {
 
 void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
   const DeviceProfile& p = profile_;
-  double virtual_ns = static_cast<double>(cpu_ns) * p.compute_scale *
-                      (stats.dense ? p.dense_compute_scale : 1.0);
-  virtual_ns += static_cast<double>(p.launch_overhead_ns);
-  virtual_ns += static_cast<double>(stats.hbm_bytes) * p.hbm_penalty_ns_per_byte;
-  virtual_ns += static_cast<double>(stats.pcie_bytes) * p.pcie_ns_per_byte;
+  const double memory_ns = static_cast<double>(p.launch_overhead_ns) +
+                           static_cast<double>(stats.hbm_bytes) * p.hbm_penalty_ns_per_byte +
+                           static_cast<double>(stats.pcie_bytes) * p.pcie_ns_per_byte;
+  const double compute_factor = p.compute_scale * (stats.dense ? p.dense_compute_scale : 1.0);
+  double virtual_ns = static_cast<double>(cpu_ns) * compute_factor + memory_ns;
+  // Deterministic twin of the virtual clock: compute charged per work item
+  // instead of from measured host time. Plan-time calibration ranks layout
+  // candidates by this counter so plans cannot depend on timing noise.
+  const double model_ns =
+      static_cast<double>(std::max<int64_t>(stats.parallel_items, 1)) *
+          p.model_compute_ns_per_item * compute_factor +
+      memory_ns;
 
   const double occupancy =
       std::min(1.0, static_cast<double>(std::max<int64_t>(stats.parallel_items, 1)) /
@@ -54,6 +61,7 @@ void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
   const int64_t v = static_cast<int64_t>(virtual_ns);
   kernels_launched_.fetch_add(1, kRelaxed);
   cpu_ns_.fetch_add(cpu_ns, kRelaxed);
+  model_ns_.fetch_add(static_cast<int64_t>(model_ns), kRelaxed);
   virtual_ns_.fetch_add(v, kRelaxed);
   now_ns_.fetch_add(v, kRelaxed);
   hbm_bytes_.fetch_add(stats.hbm_bytes, kRelaxed);
@@ -75,6 +83,7 @@ void Stream::AlignTo(int64_t origin_ns) { FetchMax(now_ns_, origin_ns); }
 void Stream::MergeOverlapped(const StreamCounters& child, int64_t elapsed_virtual_ns) {
   kernels_launched_.fetch_add(child.kernels_launched, kRelaxed);
   cpu_ns_.fetch_add(child.cpu_ns, kRelaxed);
+  model_ns_.fetch_add(child.model_ns, kRelaxed);
   hbm_bytes_.fetch_add(child.hbm_bytes, kRelaxed);
   pcie_bytes_.fetch_add(child.pcie_bytes, kRelaxed);
   occupancy_ns_.fetch_add(child.occupancy_ns, kRelaxed);
@@ -88,6 +97,7 @@ StreamCounters Stream::counters() const {
   c.kernels_launched = kernels_launched_.load(kRelaxed);
   c.virtual_ns = virtual_ns_.load(kRelaxed);
   c.cpu_ns = cpu_ns_.load(kRelaxed);
+  c.model_ns = model_ns_.load(kRelaxed);
   c.hbm_bytes = hbm_bytes_.load(kRelaxed);
   c.pcie_bytes = pcie_bytes_.load(kRelaxed);
   c.timeline_ns = now_ns_.load(kRelaxed);
@@ -102,6 +112,7 @@ void Stream::ResetCounters() {
   kernels_launched_.store(0, kRelaxed);
   virtual_ns_.store(0, kRelaxed);
   cpu_ns_.store(0, kRelaxed);
+  model_ns_.store(0, kRelaxed);
   hbm_bytes_.store(0, kRelaxed);
   pcie_bytes_.store(0, kRelaxed);
   now_ns_.store(0, kRelaxed);

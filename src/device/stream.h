@@ -73,6 +73,7 @@ struct StreamCounters {
   int64_t kernels_launched = 0;
   int64_t virtual_ns = 0;  // simulated device busy time
   int64_t cpu_ns = 0;      // raw measured host time
+  int64_t model_ns = 0;    // deterministic cost model (no measured time)
   int64_t hbm_bytes = 0;
   int64_t pcie_bytes = 0;
   int64_t timeline_ns = 0;         // current virtual timeline position
@@ -142,6 +143,7 @@ class Stream {
   std::atomic<int64_t> kernels_launched_{0};
   std::atomic<int64_t> virtual_ns_{0};
   std::atomic<int64_t> cpu_ns_{0};
+  std::atomic<int64_t> model_ns_{0};
   std::atomic<int64_t> hbm_bytes_{0};
   std::atomic<int64_t> pcie_bytes_{0};
   std::atomic<int64_t> now_ns_{0};

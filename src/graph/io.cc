@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <vector>
 
 #include "common/error.h"
+#include "fault/status.h"
 
 namespace gs::graph {
 namespace {
@@ -63,6 +65,16 @@ Graph LoadEdgeList(const std::string& path, std::string name,
       GS_CHECK(!fields.fail()) << path << ":" << line_no << ": expected a weight column";
     }
     GS_CHECK(src >= 0 && dst >= 0) << path << ":" << line_no << ": negative node id";
+    // Node ids are stored as int32 throughout the engine; a larger id would
+    // silently wrap under static_cast and alias an unrelated node, so reject
+    // the file with a typed client error instead.
+    constexpr int64_t kMaxId = std::numeric_limits<int32_t>::max();
+    if (src > kMaxId || dst > kMaxId) {
+      std::ostringstream msg;
+      msg << path << ":" << line_no << ": node id " << std::max(src, dst)
+          << " exceeds int32 range (" << kMaxId << ")";
+      throw fault::InvalidRequestError(msg.str());
+    }
     max_id = std::max({max_id, src, dst});
     edges.emplace_back(static_cast<int32_t>(src), static_cast<int32_t>(dst));
     if (options.weighted) {

@@ -1,0 +1,250 @@
+#include "oracle/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace gs::oracle {
+namespace {
+
+// Lower-tail series: P(a, x) = x^a e^-x / Γ(a) * sum_k x^k / (a)_{k+1}.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::abs(term) < std::abs(sum) * 1e-15) {
+      break;
+    }
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper-tail continued fraction (modified Lentz).
+double GammaQContinuedFraction(double a, double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) {
+      d = kTiny;
+    }
+    c = b + an / c;
+    if (std::abs(c) < kTiny) {
+      c = kTiny;
+    }
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) {
+      break;
+    }
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Pools the tail of sparse categories so every chi-square cell carries at
+// least `min_expected` expected mass. Cells are visited in descending
+// expected order; once the running remainder drops below the threshold it
+// becomes one pooled cell.
+struct PooledCell {
+  double expected = 0.0;
+  double observed = 0.0;
+};
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  GS_CHECK_GT(a, 0.0);
+  GS_CHECK_GE(x, 0.0);
+  if (x <= 0.0) {
+    return 1.0;
+  }
+  if (x < a + 1.0) {
+    return 1.0 - GammaPSeries(a, x);
+  }
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquarePValue(double statistic, int dof) {
+  if (dof <= 0) {
+    return 1.0;
+  }
+  return std::clamp(RegularizedGammaQ(static_cast<double>(dof) / 2.0, statistic / 2.0), 0.0,
+                    1.0);
+}
+
+TestResult ChiSquareGoodnessOfFit(std::span<const int64_t> observed,
+                                  std::span<const double> probs, double min_expected) {
+  GS_CHECK_EQ(observed.size(), probs.size());
+  int64_t trials = 0;
+  double total_prob = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    GS_CHECK_GE(observed[i], 0);
+    GS_CHECK_GE(probs[i], 0.0);
+    trials += observed[i];
+    total_prob += probs[i];
+  }
+  TestResult result;
+  if (trials == 0 || total_prob <= 0.0) {
+    return result;
+  }
+  // Visit categories in descending expected count; pool the sparse tail.
+  std::vector<size_t> order(observed.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return probs[a] > probs[b]; });
+  std::vector<PooledCell> cells;
+  PooledCell pool;
+  for (size_t idx : order) {
+    const double expected = probs[idx] / total_prob * static_cast<double>(trials);
+    pool.expected += expected;
+    pool.observed += static_cast<double>(observed[idx]);
+    if (pool.expected >= min_expected) {
+      cells.push_back(pool);
+      pool = {};
+    }
+  }
+  if (pool.expected > 0.0) {
+    // Leftover mass folds into the last full cell to keep it above threshold.
+    if (cells.empty()) {
+      cells.push_back(pool);
+    } else {
+      cells.back().expected += pool.expected;
+      cells.back().observed += pool.observed;
+    }
+  }
+  if (cells.size() < 2) {
+    return result;
+  }
+  for (const PooledCell& cell : cells) {
+    const double d = cell.observed - cell.expected;
+    result.statistic += d * d / cell.expected;
+  }
+  result.dof = static_cast<int>(cells.size()) - 1;
+  result.p_value = ChiSquarePValue(result.statistic, result.dof);
+  return result;
+}
+
+TestResult ChiSquareHomogeneity(std::span<const int64_t> a, std::span<const int64_t> b,
+                                double min_expected) {
+  GS_CHECK_EQ(a.size(), b.size());
+  double total_a = 0.0;
+  double total_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    GS_CHECK_GE(a[i], 0);
+    GS_CHECK_GE(b[i], 0);
+    total_a += static_cast<double>(a[i]);
+    total_b += static_cast<double>(b[i]);
+  }
+  TestResult result;
+  const double total = total_a + total_b;
+  if (total_a <= 0.0 || total_b <= 0.0) {
+    return result;
+  }
+  // Pool on the combined counts so both rows of every cell stay dense.
+  std::vector<size_t> order(a.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return a[x] + b[x] > a[y] + b[y]; });
+  struct Cell {
+    double a = 0.0;
+    double b = 0.0;
+  };
+  std::vector<Cell> cells;
+  Cell pool;
+  const double combined_threshold = min_expected * total / std::min(total_a, total_b);
+  for (size_t idx : order) {
+    pool.a += static_cast<double>(a[idx]);
+    pool.b += static_cast<double>(b[idx]);
+    if (pool.a + pool.b >= combined_threshold) {
+      cells.push_back(pool);
+      pool = {};
+    }
+  }
+  if (pool.a + pool.b > 0.0) {
+    if (cells.empty()) {
+      cells.push_back(pool);
+    } else {
+      cells.back().a += pool.a;
+      cells.back().b += pool.b;
+    }
+  }
+  if (cells.size() < 2) {
+    return result;
+  }
+  for (const Cell& cell : cells) {
+    const double row = cell.a + cell.b;
+    const double ea = row * total_a / total;
+    const double eb = row * total_b / total;
+    const double da = cell.a - ea;
+    const double db = cell.b - eb;
+    result.statistic += da * da / ea + db * db / eb;
+  }
+  result.dof = static_cast<int>(cells.size()) - 1;
+  result.p_value = ChiSquarePValue(result.statistic, result.dof);
+  return result;
+}
+
+TestResult KolmogorovSmirnov(std::vector<double> a, std::vector<double> b) {
+  TestResult result;
+  if (a.empty() || b.empty()) {
+    return result;
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double d = 0.0;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < a.size() && ib < b.size()) {
+    const double va = a[ia];
+    const double vb = b[ib];
+    // Advance past ties in both samples before comparing the CDFs, so
+    // discrete data produces the correct sup over the step function.
+    if (va <= vb) {
+      while (ia < a.size() && a[ia] == va) {
+        ++ia;
+      }
+    }
+    if (vb <= va) {
+      while (ib < b.size() && b[ib] == vb) {
+        ++ib;
+      }
+    }
+    d = std::max(d, std::abs(static_cast<double>(ia) / na - static_cast<double>(ib) / nb));
+  }
+  result.statistic = d;
+  const double ne = std::sqrt(na * nb / (na + nb));
+  const double lambda = (ne + 0.12 + 0.11 / ne) * d;
+  // Asymptotic Kolmogorov distribution: Q(λ) = 2 Σ (-1)^{j-1} e^{-2 j² λ²}.
+  double p = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * lambda * lambda);
+    p += sign * term;
+    sign = -sign;
+    if (term < 1e-12) {
+      break;
+    }
+  }
+  result.dof = 0;
+  result.p_value = std::clamp(2.0 * p, 0.0, 1.0);
+  return result;
+}
+
+}  // namespace gs::oracle

@@ -11,7 +11,9 @@ namespace {
 
 void AccumulateQueue(QueueStats& into, const QueueStats& from) {
   into.capacity = std::max(into.capacity, from.capacity);
+  into.push_attempts += from.push_attempts;
   into.pushes += from.pushes;
+  into.push_rejected += from.push_rejected;
   into.pops += from.pops;
   into.push_blocked += from.push_blocked;
   into.pop_blocked += from.pop_blocked;

@@ -27,10 +27,15 @@ namespace gs::pipeline {
 // Snapshot of a queue's lifetime statistics.
 struct QueueStats {
   int64_t capacity = 0;
-  int64_t pushes = 0;
+  int64_t push_attempts = 0;      // every Push/TryPush call
+  int64_t pushes = 0;             // attempts that enqueued an item
   int64_t pops = 0;
   int64_t push_blocked = 0;       // pushes that had to wait for a free slot
-  int64_t push_rejected = 0;      // TryPush calls refused (full or closed)
+  // Attempts that dropped their item: TryPush refusals (full or closed) and
+  // Push calls that found the queue closed — including producers that were
+  // blocked on a full queue when Close()/Cancel() arrived. Every attempt is
+  // accounted: push_attempts == pushes + push_rejected.
+  int64_t push_rejected = 0;
   int64_t pop_blocked = 0;        // pops that had to wait for an item
   int64_t push_blocked_wall_ns = 0;
   int64_t pop_blocked_wall_ns = 0;
@@ -55,6 +60,7 @@ class BoundedQueue {
   // is closed or cancelled.
   bool Push(T item) {
     std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.push_attempts;
     if (static_cast<int64_t>(items_.size()) >= capacity_ && !closed_) {
       ++stats_.push_blocked;
       Timer blocked;
@@ -64,6 +70,10 @@ class BoundedQueue {
       stats_.push_blocked_wall_ns += blocked.ElapsedNanos();
     }
     if (closed_) {
+      // The item is dropped whether the producer was blocked when the queue
+      // closed or arrived after; either way the attempt must be accounted or
+      // pipeline metrics silently lose batches.
+      ++stats_.push_rejected;
       return false;
     }
     items_.push_back(std::move(item));
@@ -79,6 +89,7 @@ class BoundedQueue {
   // to stall the caller.
   bool TryPush(T item) {
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.push_attempts;
     if (closed_ || static_cast<int64_t>(items_.size()) >= capacity_) {
       ++stats_.push_rejected;
       return false;

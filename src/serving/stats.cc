@@ -21,11 +21,25 @@ int64_t LatencyHistogram::Percentile(double p) const {
   const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_);
   int64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    const int64_t lower = int64_t{1} << i;
+    const int64_t upper = i >= 62 ? max_ns_ : int64_t{1} << (i + 1);
+    // p = 0 resolves to the lower edge of the first occupied bucket instead
+    // of charging a full bucket's width to the minimum.
+    if (rank <= static_cast<double>(seen)) {
+      return std::min(lower, max_ns_);
+    }
     seen += buckets_[i];
     if (static_cast<double>(seen) >= rank) {
-      // Upper bound of bucket i, capped at the observed maximum.
-      const int64_t upper = i >= 62 ? max_ns_ : (int64_t{1} << (i + 1)) - 1;
-      return std::min(upper, max_ns_);
+      // Interpolate within the bucket: returning the bucket's upper bound
+      // would overstate mid-distribution quantiles by up to 2x.
+      const double frac = (rank - static_cast<double>(seen - buckets_[i])) /
+                          static_cast<double>(buckets_[i]);
+      const int64_t value = lower + static_cast<int64_t>(
+                                        frac * static_cast<double>(upper - lower));
+      return std::min(value, max_ns_);
     }
   }
   return max_ns_;

@@ -11,9 +11,10 @@
 namespace gs::serving {
 
 // Log-scale latency histogram: bucket i counts samples in
-// [2^i, 2^(i+1)) nanoseconds. Percentile() returns the upper bound of the
-// bucket holding the requested quantile — coarse (2x resolution) but O(1)
-// memory and good enough for p50/p95/p99 tail reporting.
+// [2^i, 2^(i+1)) nanoseconds. Percentile() interpolates linearly within the
+// bucket holding the requested quantile (capped at the observed maximum) —
+// O(1) memory with bounded error, instead of the up-to-2x overstatement a
+// bucket-upper-bound readout gives for p50/p95.
 class LatencyHistogram {
  public:
   void Record(int64_t ns);

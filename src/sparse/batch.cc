@@ -93,7 +93,8 @@ Matrix SegmentedCollectiveSampleImpl(const Matrix& m, int64_t k, const ValueArra
   // implements with RowOperand. Per-node probability vectors repeat per
   // segment under labeled ids, hence the modulo.
   const bool local_probs = row_probs.size() == m.num_rows();
-  GS_CHECK(local_probs || m.has_row_ids())
+  GS_CHECK(local_probs || m.has_row_ids() ||
+           (row_probs.size() > 0 && m.num_rows() % row_probs.size() == 0))
       << "row operand length " << row_probs.size() << " does not match num_rows "
       << m.num_rows() << " and the matrix has no row id map";
   const auto prob_of = [&](int64_t r) -> float {
@@ -293,6 +294,7 @@ Matrix SegmentedIndividualSample(const Matrix& m, int64_t k, const ValueArray& p
     } else {
       SampleUniformWithoutReplacement(deg, k, rng, picked);
     }
+    std::sort(picked.begin(), picked.end());  // canonical output order
     for (int32_t slot : picked) {
       indices.push_back(csc.indices[begin + slot]);
       if (weighted) {

@@ -105,10 +105,19 @@ inline int64_t UvaCharge(const Matrix& m, uint64_t key, int64_t bytes) {
   return m.IsUva() ? m.uva_cache()->Access(key, bytes) : 0;
 }
 
-// Propagates identity-like metadata from input to a sliced/sampled result.
+// Propagates the row id map from input to a sliced/sampled result. The
+// compact flag does NOT propagate: these kernels drop edges, so rows that
+// were non-empty in the input may be empty in the output, and a stale
+// rows_compact claim flips RowIds from "rows that still carry edges" to
+// "every inherited row" — which would make the node-set outputs depend on
+// whether a layout pass happened to compact the input (a plan decision must
+// never change sampled results; the differential oracle checks exactly
+// this). Kernels that build a fresh row space whose rows are the intended
+// node set (collective sample, slice-rows, compact-rows) set the flag
+// themselves.
 inline void InheritRowSpace(const Matrix& in, Matrix& out) {
   out.SetRowIds(in.row_ids());
-  out.SetRowsCompact(in.rows_compact());
+  out.SetRowsCompact(false);
 }
 
 // Resolves a row-aligned vector operand that may live in either the
@@ -118,21 +127,29 @@ inline void InheritRowSpace(const Matrix& in, Matrix& out) {
 // otherwise forces on users.
 class RowOperand {
  public:
-  RowOperand(const Matrix& m, int64_t operand_rows) : matrix_(&m) {
+  RowOperand(const Matrix& m, int64_t operand_rows)
+      : matrix_(&m), operand_rows_(operand_rows) {
     local_ = operand_rows == m.num_rows();
-    GS_CHECK(local_ || m.has_row_ids())
+    // Under super-batching the row space is labeled (segment * n + node)
+    // while per-node operands keep length n; the label folds away with a
+    // modulo, both through an explicit row id map (compacted matrices
+    // inherit labeled ids) and in the full labeled space where global ids
+    // are the identity and num_rows is a multiple of the operand length.
+    GS_CHECK(local_ || m.has_row_ids() ||
+             (operand_rows > 0 && m.num_rows() % operand_rows == 0))
         << "row operand length " << operand_rows << " does not match num_rows "
         << m.num_rows() << " and the matrix has no row id map";
   }
 
   int64_t Index(int32_t local_row) const {
-    return local_ ? local_row : matrix_->row_ids()[local_row];
+    return local_ ? local_row : matrix_->GlobalRowId(local_row) % operand_rows_;
   }
 
   bool local() const { return local_; }
 
  private:
   const Matrix* matrix_;
+  int64_t operand_rows_;
   bool local_;
 };
 

@@ -1,6 +1,9 @@
 #include "sparse/matrix.h"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "common/error.h"
 #include "device/device.h"
@@ -54,6 +57,29 @@ Compressed CompressBy(const IdArray& keys, const IdArray& minor, const ValueArra
     out.indices[slot] = minor[e];
     if (values.defined()) {
       out.values[slot] = values[e];
+    }
+  }
+  // Canonical edge order: sort each bucket by the minor coordinate (values
+  // break ties between parallel edges). Compressed forms must not depend on
+  // the source format's edge order, or a layout-planned conversion would
+  // change which edge a given RNG draw lands on in the select kernels.
+  std::vector<std::pair<int32_t, float>> bucket;
+  for (int64_t i = 0; i < num_keys; ++i) {
+    const int64_t begin = out.indptr[i];
+    const int64_t end = out.indptr[i + 1];
+    if (end - begin < 2) {
+      continue;
+    }
+    bucket.clear();
+    for (int64_t e = begin; e < end; ++e) {
+      bucket.emplace_back(out.indices[e], values.defined() ? out.values[e] : 0.0f);
+    }
+    std::sort(bucket.begin(), bucket.end());
+    for (int64_t e = begin; e < end; ++e) {
+      out.indices[e] = bucket[static_cast<size_t>(e - begin)].first;
+      if (values.defined()) {
+        out.values[e] = bucket[static_cast<size_t>(e - begin)].second;
+      }
     }
   }
   return out;

@@ -43,6 +43,10 @@ Matrix IndividualSample(const Matrix& m, int64_t k, const ValueArray& probs, Rng
     } else {
       SampleUniformWithoutReplacement(deg, k, rng, picked);
     }
+    // Canonical output order: emit by ascending slot so the result's edge
+    // order is a pure function of the selected set, not of the selection
+    // algorithm's internal ordering.
+    std::sort(picked.begin(), picked.end());
     for (int32_t slot : picked) {
       indices.push_back(csc.indices[begin + slot]);
       if (weighted) {
@@ -229,6 +233,7 @@ Matrix FusedSliceSample(const Matrix& m, const IdArray& cols, int64_t k, Rng& rn
     const int64_t deg = csc.indptr[c + 1] - begin;
     picked.clear();
     SampleUniformWithoutReplacement(deg, k, rng, picked);
+    std::sort(picked.begin(), picked.end());  // canonical output order
     for (int32_t slot : picked) {
       indices.push_back(csc.indices[begin + slot]);
       if (weighted) {

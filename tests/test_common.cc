@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/error.h"
@@ -219,6 +220,27 @@ TEST(WeightedOne, ZeroTotalReturnsMinusOne) {
   Rng rng(43);
   std::vector<float> w = {0.0f, 0.0f};
   EXPECT_EQ(SampleWeightedOne(w, rng), -1);
+}
+
+TEST(WeightedOne, FallthroughLandsOnLastPositiveWeight) {
+  // Regression: the residual r = u * total can survive the whole subtraction
+  // scan when sequential rounding leaves it marginally positive. The old code
+  // then fell off the loop and returned the final index even when that entry
+  // has weight exactly zero — an impossible outcome. Drive the deterministic
+  // core with a residual just past the total to pin the corner.
+  std::vector<float> w = {0.3f, 0.7f, 0.0f};
+  const double total = static_cast<double>(w[0]) + static_cast<double>(w[1]);
+  EXPECT_EQ(PickWeightedResidual(w, std::nextafter(total, 2.0)), 1);
+  // Residual exhausted exactly at a zero-weight head entry must skip to the
+  // first positive index, never select the zero.
+  std::vector<float> z = {0.0f, 0.5f, 0.5f};
+  EXPECT_EQ(PickWeightedResidual(z, 0.0), 1);
+  // All-zero input has no valid pick.
+  std::vector<float> none = {0.0f, 0.0f};
+  EXPECT_EQ(PickWeightedResidual(none, 0.5), -1);
+  // Ordinary residuals still walk the inverse CDF.
+  EXPECT_EQ(PickWeightedResidual(w, 0.2), 0);
+  EXPECT_EQ(PickWeightedResidual(w, 0.9), 1);
 }
 
 TEST(AliasTable, EmptyAndZero) {

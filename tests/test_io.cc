@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "common/error.h"
+#include "fault/status.h"
 #include "graph/io.h"
 #include "tests/testing.h"
 
@@ -71,6 +72,22 @@ TEST(EdgeList, MalformedLinesThrow) {
   weighted.weighted = true;
   EXPECT_THROW(LoadEdgeList(missing_weight.path(), "t", weighted), Error);
   EXPECT_THROW(LoadEdgeList("/nonexistent/file", "t", {}), Error);
+}
+
+TEST(EdgeList, NodeIdBeyondInt32Throws) {
+  // Regression: ids above INT32_MAX used to wrap under static_cast<int32_t>
+  // and silently alias an unrelated node. The loader must refuse the file
+  // with a typed client error instead.
+  TempFile file("0 1\n2 3000000000\n");
+  try {
+    LoadEdgeList(file.path(), "t", {});
+    FAIL() << "expected InvalidRequestError";
+  } catch (const fault::InvalidRequestError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3000000000"), std::string::npos);
+    EXPECT_NE(what.find(":2"), std::string::npos);  // failing line is named
+    EXPECT_EQ(fault::Classify(e), fault::ErrorCode::kInvalidRequest);
+  }
 }
 
 TEST(Binary, RoundTripsStructureAndMetadata) {

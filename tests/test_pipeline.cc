@@ -103,6 +103,42 @@ TEST(BoundedQueue, PushBlocksAtCapacityUntilPop) {
   EXPECT_LE(s.occupancy_hist.size(), 2u);
 }
 
+TEST(BoundedQueue, BlockedProducerDroppedByCloseIsAccounted) {
+  // Regression: a producer blocked on a full queue whose item is dropped when
+  // Close() arrives used to vanish from the stats — neither a push nor a
+  // rejection — so pipeline metrics silently lost batches.
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(0));
+  std::atomic<bool> push_result{true};
+  std::thread producer([&] { push_result.store(q.Push(1)); });
+  // Wait until the producer is provably parked in Push.
+  while (q.stats().push_blocked == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  q.Close();
+  producer.join();
+  EXPECT_FALSE(push_result.load());
+  EXPECT_FALSE(q.TryPush(2));  // closed-queue refusal is also an attempt
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.pushes, 1);
+  EXPECT_EQ(s.push_rejected, 2);
+  EXPECT_EQ(s.push_attempts, s.pushes + s.push_rejected);
+}
+
+TEST(BoundedQueue, AttemptInvariantHoldsAcrossPaths) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.Push(1));       // plain push
+  ASSERT_TRUE(q.TryPush(2));    // non-blocking push
+  EXPECT_FALSE(q.TryPush(3));   // full: rejected
+  q.Close();
+  EXPECT_FALSE(q.Push(4));      // closed: rejected
+  const QueueStats s = q.stats();
+  EXPECT_EQ(s.push_attempts, 4);
+  EXPECT_EQ(s.pushes, 2);
+  EXPECT_EQ(s.push_rejected, 2);
+  EXPECT_EQ(s.push_attempts, s.pushes + s.push_rejected);
+}
+
 TEST(BoundedQueue, ManyProducersManyConsumers) {
   BoundedQueue<int> q(3);
   constexpr int kPerProducer = 200;

@@ -484,6 +484,35 @@ TEST(LatencyHistogramTest, PercentilesAreMonotonicAndBounded) {
   EXPECT_GT(p50, 0);
 }
 
+TEST(LatencyHistogramTest, InterpolatesWithinBucket) {
+  // Regression: reading out the bucket's upper bound overstated p50/p95 by
+  // up to 2x. 512 samples uniformly covering [512, 1024) all land in the
+  // [2^9, 2^10) bucket; the interpolated median must sit near the middle of
+  // the bucket, not at its top edge.
+  LatencyHistogram h;
+  for (int64_t v = 512; v < 1024; ++v) {
+    h.Record(v);
+  }
+  const int64_t p50 = h.Percentile(50);
+  EXPECT_GE(p50, 700);
+  EXPECT_LE(p50, 836);  // true median 767; allow half-bucket-step slack
+  EXPECT_LT(p50, 1023);  // strictly below the old upper-bound readout
+  // p = 0 resolves to the lower edge of the first occupied bucket.
+  EXPECT_EQ(h.Percentile(0), 512);
+  // p = 100 caps at the observed maximum rather than the bucket top.
+  EXPECT_EQ(h.Percentile(100), 1023);
+}
+
+TEST(LatencyHistogramTest, SingleSampleAllPercentiles) {
+  LatencyHistogram h;
+  h.Record(700);
+  // Every quantile of a single observation is that observation (capped at
+  // max_ns); interpolation must not push past what was recorded.
+  EXPECT_LE(h.Percentile(50), 700);
+  EXPECT_EQ(h.Percentile(100), 700);
+  EXPECT_GE(h.Percentile(50), 512);
+}
+
 TEST(ServerStatsTest, CoalescingRatio) {
   ServerStats s;
   EXPECT_EQ(s.CoalescingRatio(), 0.0);

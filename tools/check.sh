@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast | chaos | plans]
+# Usage: tools/check.sh [--fast | chaos | plans | oracle]
 #
 #   (default)  configure + build + full ctest in ./build, then the plans
-#              tier, then a -DGS_SANITIZE=thread build in ./build-tsan
-#              running the threaded suites (pipeline, serving, device
-#              accounting, fault ladder) with pass-boundary verification
-#              (GS_VERIFY_PASSES=1), then the chaos tier.
+#              tier, then the oracle tier, then a -DGS_SANITIZE=thread build
+#              in ./build-tsan running the threaded suites (pipeline,
+#              serving, device accounting, fault ladder) with pass-boundary
+#              verification (GS_VERIFY_PASSES=1), then the chaos tier.
 #   --fast     tier-1 only, restricted to `ctest -L fast` (skips the
 #              soak/chaos tests, the plans tier, and the TSan pass).
 #   plans      plan round-trip tier only: builds gsampler_cli and, for every
@@ -15,6 +15,12 @@
 #              and requires bit-identical samples from the restored artifact
 #              (gsampler_cli --verify-plan), saving each one under
 #              build/plans/.
+#   oracle     differential-correctness tier only: builds test_oracle +
+#              fuzz_passes, runs `ctest -L oracle` (optimized-vs-reference
+#              checks for every algorithm plus the primitive distribution
+#              tests), then a fixed-seed 200-draw pass fuzz that must come
+#              back clean. Everything is seeded, so a failure here is a
+#              deterministic reproducer, printed as a --repro line.
 #   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
 #              runs the gs::fault suites (test_fault + the chaos soak) under
 #              TSan — the deterministic-injection racing workout.
@@ -27,12 +33,14 @@ cd "$(dirname "$0")/.."
 FAST=0
 CHAOS=0
 PLANS=0
+ORACLE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     chaos|--chaos) CHAOS=1 ;;
     plans|--plans) PLANS=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans])" >&2; exit 2 ;;
+    oracle|--oracle) ORACLE=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle])" >&2; exit 2 ;;
   esac
 done
 
@@ -66,6 +74,29 @@ run_plans_tier() {
   done
 }
 
+# Differential-correctness tier: the oracle ctest label (optimized plan vs
+# eager reference for every algorithm, plus primitive distribution tests),
+# then a fixed-seed pass fuzz. Both are fully seeded — layout calibration
+# ranks candidates on the deterministic model clock — so any failure here
+# reproduces exactly; the fuzzer prints a minimized `--repro` line.
+run_oracle_tier() {
+  echo "== oracle: build test_oracle + fuzz_passes =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_oracle fuzz_passes
+
+  echo "== oracle: ctest -L oracle =="
+  (cd build && ctest -L oracle --output-on-failure -j "$JOBS")
+
+  echo "== oracle: fixed-seed pass fuzz (200 draws) =="
+  ./build/tools/fuzz_passes --seeds 200
+}
+
+if [[ "$ORACLE" == 1 ]]; then
+  run_oracle_tier
+  echo "check.sh: oracle tier green"
+  exit 0
+fi
+
 if [[ "$CHAOS" == 1 ]]; then
   run_chaos_tier
   echo "check.sh: chaos tier green"
@@ -92,6 +123,8 @@ echo "== tier-1: full ctest =="
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 run_plans_tier
+
+run_oracle_tier
 
 echo "== TSan: configure + build (GS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null

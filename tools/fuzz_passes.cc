@@ -1,0 +1,363 @@
+// Randomized differential fuzzer for the pass pipeline.
+//
+// Each seeded draw picks an algorithm, an R-MAT graph, an epoch shape, and a
+// random optimization configuration (pass flags, super-batch size, device
+// profile), then runs the gs::oracle differential checks: the optimized plan
+// must sample exactly what the all-optimizations-off reference samples under
+// mirrored RNG streams (statistical equivalence where the contract is only
+// distributional). Failures are *minimized* — optimization flags are dropped
+// one at a time, the pass pipeline is truncated via SamplerOptions.pass_limit
+// to the shortest failing prefix, and the graph/epoch are shrunk — down to a
+// one-line reproducer that `--repro` replays.
+//
+// Usage:
+//   fuzz_passes --seeds 200                 # fuzz 200 seeded draws
+//   fuzz_passes --seeds 50 --base-seed 7    # different deterministic stream
+//   fuzz_passes --out failures.txt          # append reproducer lines
+//   fuzz_passes --repro 'algo=LADIES nodes=200 ...'   # replay one line
+//
+// Exit status: 0 when every draw passes, 1 on any failure, 2 on bad usage.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "common/rng.h"
+#include "core/plan.h"
+#include "device/device.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "oracle/oracle.h"
+
+namespace {
+
+using gs::Rng;
+
+// One fuzz draw, fully determined by its fields; serializes to the
+// reproducer line.
+struct FuzzConfig {
+  std::string algo = "GraphSAGE";
+  int64_t nodes = 200;
+  int64_t edges = 2000;
+  uint64_t gseed = 1;
+  bool weighted = true;
+  int num_batches = 4;
+  int64_t batch_size = 8;
+  bool fusion = true;
+  bool preproc = true;
+  bool layout = true;
+  bool greedy = true;
+  int super_batch = 1;
+  uint64_t seed = 1;
+  std::string profile = "v100";
+  int pass_limit = -1;
+
+  std::string ToLine() const {
+    std::ostringstream os;
+    os << "algo=" << algo << " nodes=" << nodes << " edges=" << edges
+       << " gseed=" << gseed << " weighted=" << weighted
+       << " batches=" << num_batches << " batch_size=" << batch_size
+       << " fusion=" << fusion << " preproc=" << preproc << " layout=" << layout
+       << " greedy=" << greedy << " super_batch=" << super_batch
+       << " seed=" << seed << " profile=" << profile
+       << " pass_limit=" << pass_limit;
+    return os.str();
+  }
+
+  static bool FromLine(const std::string& line, FuzzConfig& out) {
+    std::istringstream is(line);
+    std::string tok;
+    std::map<std::string, std::string> kv;
+    while (is >> tok) {
+      const size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        return false;
+      }
+      kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+    try {
+      if (kv.count("algo")) out.algo = kv["algo"];
+      if (kv.count("nodes")) out.nodes = std::stoll(kv["nodes"]);
+      if (kv.count("edges")) out.edges = std::stoll(kv["edges"]);
+      if (kv.count("gseed")) out.gseed = std::stoull(kv["gseed"]);
+      if (kv.count("weighted")) out.weighted = std::stoi(kv["weighted"]) != 0;
+      if (kv.count("batches")) out.num_batches = std::stoi(kv["batches"]);
+      if (kv.count("batch_size")) out.batch_size = std::stoll(kv["batch_size"]);
+      if (kv.count("fusion")) out.fusion = std::stoi(kv["fusion"]) != 0;
+      if (kv.count("preproc")) out.preproc = std::stoi(kv["preproc"]) != 0;
+      if (kv.count("layout")) out.layout = std::stoi(kv["layout"]) != 0;
+      if (kv.count("greedy")) out.greedy = std::stoi(kv["greedy"]) != 0;
+      if (kv.count("super_batch")) out.super_batch = std::stoi(kv["super_batch"]);
+      if (kv.count("seed")) out.seed = std::stoull(kv["seed"]);
+      if (kv.count("profile")) out.profile = kv["profile"];
+      if (kv.count("pass_limit")) out.pass_limit = std::stoi(kv["pass_limit"]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    return true;
+  }
+};
+
+gs::core::SamplerOptions ToSamplerOptions(const FuzzConfig& c) {
+  gs::core::SamplerOptions opts;
+  opts.enable_fusion = c.fusion;
+  opts.enable_preprocessing = c.preproc;
+  opts.enable_layout_selection = c.layout;
+  opts.greedy_when_layout_disabled = c.greedy;
+  opts.super_batch = c.super_batch;
+  opts.seed = c.seed;
+  opts.pass_limit = c.pass_limit;
+  return opts;
+}
+
+gs::graph::Graph MakeGraph(const FuzzConfig& c) {
+  gs::graph::RMatParams p;
+  p.name = "fuzz";
+  p.num_nodes = c.nodes;
+  p.num_edges = c.edges;
+  p.weighted = c.weighted;
+  p.seed = c.gseed;
+  return gs::graph::MakeRMatGraph(p);
+}
+
+// Runs the oracle once for a config; returns the report. The eager-twin
+// comparison stays off (it checks the hand-written baselines, not the pass
+// pipeline) and the stochastic significance is tight so that hundreds of
+// draws keep a negligible false-positive rate.
+gs::oracle::OracleReport RunConfig(const FuzzConfig& c) {
+  // Device before graph: lazy format materialization allocates into the
+  // current device's caching allocator, so the graph must die first.
+  gs::device::Device device(c.profile == "t4" ? gs::device::T4Sim()
+                                              : gs::device::V100Sim());
+  gs::device::DeviceGuard guard(device);
+  gs::graph::Graph g = MakeGraph(c);
+  gs::oracle::OracleOptions opts;
+  opts.seed = c.seed ^ 0xF022F022ULL;
+  opts.num_batches = c.num_batches;
+  opts.batch_size = c.batch_size;
+  opts.stochastic_batches = 100;
+  opts.significance = 1e-5;
+  opts.check_eager_twin = false;
+  return gs::oracle::VerifyConfig(c.algo, g, ToSamplerOptions(c), opts);
+}
+
+bool Fails(const FuzzConfig& c) {
+  try {
+    return !RunConfig(c).ok();
+  } catch (const std::exception&) {
+    return true;  // a throwing config is a failing config — keep minimizing
+  }
+}
+
+// Greedy ddmin over the discrete knobs: repeatedly try every single-knob
+// reduction towards the reference configuration and keep the ones that
+// preserve the failure, until a fixpoint.
+void MinimizeFlags(FuzzConfig& c) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<FuzzConfig> trials;
+    if (c.super_batch != 1) {
+      trials.push_back(c);
+      trials.back().super_batch = 1;
+    }
+    for (bool FuzzConfig::* knob :
+         {&FuzzConfig::fusion, &FuzzConfig::preproc, &FuzzConfig::layout,
+          &FuzzConfig::greedy, &FuzzConfig::weighted}) {
+      if (c.*knob) {
+        trials.push_back(c);
+        trials.back().*knob = false;
+      }
+    }
+    for (const FuzzConfig& t : trials) {
+      if (Fails(t)) {
+        c = t;
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+// Pass-pipeline bisection through SamplerOptions.pass_limit: find the
+// shortest failing prefix, attributing the divergence to its last pass.
+void MinimizePasses(FuzzConfig& c, std::string& culprit) {
+  int total = 0;
+  std::vector<std::string> names;
+  try {
+    gs::graph::Graph g = MakeGraph(c);
+    gs::algorithms::AlgorithmProgram ap = gs::algorithms::MakeAlgorithm(c.algo, g);
+    gs::core::CompiledPlan plan(std::move(ap.program), ToSamplerOptions(c));
+    for (const auto& pass : plan.report().passes) {
+      names.push_back(pass.name);
+    }
+    total = static_cast<int>(names.size());
+  } catch (const std::exception&) {
+    return;  // compilation itself fails; nothing to bisect
+  }
+  for (int limit = 0; limit <= total; ++limit) {
+    FuzzConfig t = c;
+    t.pass_limit = limit;
+    if (Fails(t)) {
+      c = t;
+      culprit = limit == 0 ? "(no passes: baseline mismatch)"
+                           : names[static_cast<size_t>(limit - 1)];
+      return;
+    }
+  }
+  // Every prefix passes in isolation yet the full run failed (flaky
+  // stochastic rejection, most likely); leave pass_limit untouched.
+}
+
+// Shrinks the graph and the epoch while the failure persists.
+void MinimizeShape(FuzzConfig& c) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<FuzzConfig> trials;
+    if (c.nodes / 2 >= 32) {
+      trials.push_back(c);
+      trials.back().nodes = c.nodes / 2;
+      trials.back().edges = std::max<int64_t>(c.edges / 2, c.nodes / 2);
+    }
+    if (c.edges / 2 >= c.nodes) {
+      trials.push_back(c);
+      trials.back().edges = c.edges / 2;
+    }
+    if (c.num_batches > 1) {
+      trials.push_back(c);
+      trials.back().num_batches = c.num_batches / 2;
+    }
+    if (c.batch_size / 2 >= 1) {
+      trials.push_back(c);
+      trials.back().batch_size = c.batch_size / 2;
+    }
+    for (const FuzzConfig& t : trials) {
+      if (Fails(t)) {
+        c = t;
+        changed = true;
+        break;
+      }
+    }
+  }
+}
+
+FuzzConfig Draw(uint64_t base_seed, uint64_t index) {
+  Rng rng = Rng(base_seed).Fork(index);
+  const std::vector<std::string> algos = gs::algorithms::AllAlgorithmNames();
+  FuzzConfig c;
+  c.algo = algos[static_cast<size_t>(rng.UniformInt(static_cast<int64_t>(algos.size())))];
+  c.nodes = 100 + rng.UniformInt(301);           // 100..400
+  c.edges = c.nodes * (4 + rng.UniformInt(9));   // mean degree 4..12
+  c.gseed = rng.UniformInt(1 << 20);
+  c.weighted = rng.UniformInt(2) == 1;
+  c.num_batches = 2 + static_cast<int>(rng.UniformInt(5));  // 2..6
+  c.batch_size = 4 + rng.UniformInt(13);         // 4..16
+  c.fusion = rng.UniformInt(2) == 1;
+  c.preproc = rng.UniformInt(2) == 1;
+  c.layout = rng.UniformInt(2) == 1;
+  c.greedy = rng.UniformInt(2) == 1;
+  const int sb[] = {1, 2, 4};
+  c.super_batch = sb[rng.UniformInt(3)];
+  c.seed = rng.UniformInt(int64_t{1} << 32);
+  c.profile = rng.UniformInt(2) == 1 ? "t4" : "v100";
+  c.pass_limit = -1;
+  return c;
+}
+
+int Usage() {
+  std::cerr << "usage: fuzz_passes [--seeds N] [--base-seed S] [--out FILE]\n"
+               "                   [--repro 'key=value ...']\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t num_seeds = 50;
+  uint64_t base_seed = 0xF022;
+  std::string out_path;
+  std::string repro_line;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return Usage();
+      num_seeds = std::atoll(v);
+    } else if (arg == "--base-seed") {
+      const char* v = next();
+      if (!v) return Usage();
+      base_seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return Usage();
+      out_path = v;
+    } else if (arg == "--repro") {
+      const char* v = next();
+      if (!v) return Usage();
+      repro_line = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!repro_line.empty()) {
+    FuzzConfig c;
+    if (!FuzzConfig::FromLine(repro_line, c)) {
+      std::cerr << "fuzz_passes: cannot parse repro line\n";
+      return 2;
+    }
+    try {
+      const gs::oracle::OracleReport report = RunConfig(c);
+      std::cout << report.ToString() << "\n";
+      return report.ok() ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::cout << c.algo << ": THROW " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  int64_t failures = 0;
+  for (int64_t i = 0; i < num_seeds; ++i) {
+    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i));
+    std::string detail;
+    try {
+      const gs::oracle::OracleReport report = RunConfig(c);
+      if (report.ok()) {
+        continue;
+      }
+      detail = report.ToString();
+    } catch (const std::exception& e) {
+      detail = std::string("THROW ") + e.what();
+    }
+    ++failures;
+    std::cout << "FAIL draw " << i << ": " << detail << "\n";
+    std::string culprit;
+    MinimizeFlags(c);
+    MinimizePasses(c, culprit);
+    MinimizeShape(c);
+    const std::string line = c.ToLine();
+    std::cout << "  minimized: " << line << "\n";
+    if (!culprit.empty()) {
+      std::cout << "  first failing pass prefix ends at: " << culprit << "\n";
+    }
+    std::cout << "  replay: fuzz_passes --repro '" << line << "'\n";
+    if (!out_path.empty()) {
+      FILE* f = std::fopen(out_path.c_str(), "a");
+      if (f) {
+        std::fprintf(f, "%s\n", line.c_str());
+        std::fclose(f);
+      }
+    }
+  }
+  std::cout << "fuzz_passes: " << (num_seeds - failures) << "/" << num_seeds
+            << " draws clean (base seed 0x" << std::hex << base_seed << std::dec
+            << ")\n";
+  return failures == 0 ? 0 : 1;
+}
