@@ -79,7 +79,39 @@ void EnsureFormat(const sparse::Matrix& m, sparse::Format format) {
   }
 }
 
+thread_local HopObserver* t_hop_observer = nullptr;
+
+// Notifies the observer when `n` is a frontier hop against the base graph:
+// a slice/sample/walk whose matrix operand has no column id map (only the
+// full adjacency — and matrices sharing its column space — qualifies;
+// already-sliced subgraphs are local by construction).
+void NotifyHop(HopObserver* observer, const Node& n, const std::vector<Value>& values) {
+  switch (n.kind) {
+    case OpKind::kSliceCols:
+    case OpKind::kFusedSliceSample:
+    case OpKind::kWalkStep:
+    case OpKind::kWalkRestartStep:
+    case OpKind::kNode2VecStep:
+      break;
+    default:
+      return;
+  }
+  const Value& m = values[static_cast<size_t>(n.inputs[0])];
+  const Value& ids = values[static_cast<size_t>(n.inputs[1])];
+  if (m.kind != ValueKind::kMatrix || !m.matrix.defined() || m.matrix.has_col_ids() ||
+      ids.kind != ValueKind::kIds || !ids.ids.defined()) {
+    return;
+  }
+  observer->OnHop(m.matrix, ids.ids);
+}
+
 }  // namespace
+
+HopObserver* SetThreadHopObserver(HopObserver* observer) {
+  HopObserver* previous = t_hop_observer;
+  t_hop_observer = observer;
+  return previous;
+}
 
 Value Value::OfMatrix(sparse::Matrix m) {
   Value v;
@@ -226,6 +258,10 @@ std::vector<Value> Executor::Run(const Bindings& bindings, Rng& rng,
       values[static_cast<size_t>(n.id)] = pre->second;
     } else {
       values[static_cast<size_t>(n.id)] = Evaluate(n, values, bindings, rng, segment_rngs);
+      if (t_hop_observer != nullptr) {
+        // Fires before the free loop below so hop inputs are still alive.
+        NotifyHop(t_hop_observer, n, values);
+      }
     }
     if (stream.TakeStuckKernels() > 0) {
       throw fault::TransientError(

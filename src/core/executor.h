@@ -64,6 +64,39 @@ enum class LayoutMode {
   kPlanned,
 };
 
+// Observer of frontier hops. The executor calls OnHop once per hop operator
+// (column slice, fused slice-sample, walk step) whose matrix operand spans
+// the full base graph, passing that matrix and the frontier ids being
+// gathered from it — exactly the points where a multi-device run would pull
+// remote adjacency. shard::FrontierExchange implements this to charge the
+// interconnect all-to-all; the observer is a pure cost-model tap and must
+// not influence execution (sampled output is identical with or without
+// one). Installed per thread so concurrent shard workers observe only their
+// own executions.
+class HopObserver {
+ public:
+  virtual ~HopObserver() = default;
+  virtual void OnHop(const sparse::Matrix& graph, const tensor::IdArray& frontier) = 0;
+};
+
+// Replaces the calling thread's hop observer (nullptr clears it); returns
+// the previous observer.
+HopObserver* SetThreadHopObserver(HopObserver* observer);
+
+// Scoped per-thread hop observer installation.
+class HopObserverGuard {
+ public:
+  explicit HopObserverGuard(HopObserver& observer)
+      : previous_(SetThreadHopObserver(&observer)) {}
+  ~HopObserverGuard() { SetThreadHopObserver(previous_); }
+
+  HopObserverGuard(const HopObserverGuard&) = delete;
+  HopObserverGuard& operator=(const HopObserverGuard&) = delete;
+
+ private:
+  HopObserver* previous_;
+};
+
 struct ExecOptions {
   LayoutMode layout = LayoutMode::kAsIs;
   // Super-batch mode: the frontier carries labeled ids (b * N + v) spanning

@@ -6,9 +6,12 @@ namespace gs::device {
 namespace {
 
 // The current device is process-global (a DeviceGuard on the main thread
-// covers the pipeline's stage workers too); the current *stream* is
-// per-thread so overlapped stages record to independent timelines.
+// covers the pipeline's stage workers too) with an optional per-thread
+// override (shard workers run concurrently, each on its own device); the
+// current *stream* is per-thread so overlapped stages record to independent
+// timelines.
 std::atomic<Device*> g_current{nullptr};
+thread_local Device* t_device = nullptr;
 thread_local Stream* t_stream = nullptr;
 
 Device& DefaultDevice() {
@@ -21,12 +24,21 @@ Device& DefaultDevice() {
 Stream& Device::stream() { return t_stream != nullptr ? *t_stream : stream_; }
 
 Device& Current() {
+  if (t_device != nullptr) {
+    return *t_device;
+  }
   Device* current = g_current.load(std::memory_order_acquire);
   return current != nullptr ? *current : DefaultDevice();
 }
 
 Device* SetCurrent(Device* device) {
   return g_current.exchange(device, std::memory_order_acq_rel);
+}
+
+Device* SetThreadDevice(Device* device) {
+  Device* previous = t_device;
+  t_device = device;
+  return previous;
 }
 
 Stream* SetThreadStream(Stream* stream) {

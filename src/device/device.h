@@ -39,11 +39,19 @@ class Device {
   Stream stream_;
 };
 
-// The device new work runs on. Never null.
+// The device new work runs on: the calling thread's override if one is
+// active (shard workers), else the process-global current device. Never
+// null.
 Device& Current();
-// Replaces the current device; returns the previous one (may be null for the
-// implicit default).
+// Replaces the process-global current device; returns the previous one (may
+// be null for the implicit default).
 Device* SetCurrent(Device* device);
+
+// Replaces the calling thread's device override (nullptr clears it);
+// returns the previous override. Unlike SetCurrent this affects only the
+// calling thread — a ShardGroup worker pins its shard's device here while
+// other shards run concurrently on theirs.
+Device* SetThreadDevice(Device* device);
 
 // Replaces the calling thread's stream override (nullptr clears it);
 // returns the previous override.
@@ -64,7 +72,23 @@ class StreamGuard {
   Stream* previous_;
 };
 
-// Scoped switch of the current device.
+// Scoped per-thread device override. Shard workers install their shard's
+// device so allocations and kernels on this thread hit that shard's
+// allocator and streams, concurrently with other shards' threads — the
+// process-global DeviceGuard cannot express that.
+class ThreadDeviceGuard {
+ public:
+  explicit ThreadDeviceGuard(Device& device) : previous_(SetThreadDevice(&device)) {}
+  ~ThreadDeviceGuard() { SetThreadDevice(previous_); }
+
+  ThreadDeviceGuard(const ThreadDeviceGuard&) = delete;
+  ThreadDeviceGuard& operator=(const ThreadDeviceGuard&) = delete;
+
+ private:
+  Device* previous_;
+};
+
+// Scoped switch of the process-global current device.
 class DeviceGuard {
  public:
   explicit DeviceGuard(Device& device) : previous_(SetCurrent(&device)) {}

@@ -1,6 +1,25 @@
 #include "device/profile.h"
 
+#include "common/error.h"
+
 namespace gs::device {
+namespace {
+
+// NVLink-class effective bandwidth: ~50 GB/s per direction => 0.02 ns/B.
+constexpr double kNvlinkNsPerByte = 0.02;
+
+}  // namespace
+
+void DeviceProfile::Validate() const {
+  GS_CHECK_GE(hbm_penalty_ns_per_byte, 0.0)
+      << "profile " << name << ": negative HBM bandwidth charge";
+  GS_CHECK_GE(pcie_ns_per_byte, 0.0)
+      << "profile " << name << ": negative PCIe bandwidth charge";
+  GS_CHECK_GE(interconnect_ns_per_byte, 0.0)
+      << "profile " << name << ": negative interconnect bandwidth charge";
+}
+
+double Interconnect() { return kNvlinkNsPerByte; }
 
 DeviceProfile V100Sim() {
   DeviceProfile p;
@@ -9,7 +28,8 @@ DeviceProfile V100Sim() {
   p.compute_scale = 1.0;
   p.dense_compute_scale = 0.08;
   p.hbm_penalty_ns_per_byte = 0.0;
-  p.pcie_ns_per_byte = 0.083;
+  p.pcie_ns_per_byte = kPcieNsPerByte;
+  p.interconnect_ns_per_byte = Interconnect();  // NVLink-class parts
   p.sm_saturation_items = 80 * 2048;  // 80 SMs
   return p;
 }
@@ -24,7 +44,9 @@ DeviceProfile T4Sim() {
   // T4 HBM bandwidth = 30% of V100 (900 GB/s -> 270 GB/s). Charge the
   // difference in per-byte cost: 1/270e9 - 1/900e9 seconds per byte.
   p.hbm_penalty_ns_per_byte = (1.0 / 270.0 - 1.0 / 900.0);  // ns per byte (GB/s -> ns/B)
-  p.pcie_ns_per_byte = 0.083;
+  p.pcie_ns_per_byte = kPcieNsPerByte;
+  // T4-class boards have no NVLink: shard exchange rides PCIe peer-to-peer.
+  p.interconnect_ns_per_byte = kPcieNsPerByte;
   p.sm_saturation_items = 40 * 1024;  // 40 SMs, fewer threads
   return p;
 }
@@ -36,7 +58,8 @@ DeviceProfile CpuSim(const std::string& name, double compute_scale) {
   p.compute_scale = compute_scale;
   p.dense_compute_scale = 0.05;  // BLAS-backed dense math vs naive loops
   p.hbm_penalty_ns_per_byte = 0.0;
-  p.pcie_ns_per_byte = 0.0;  // graph lives in host memory already
+  p.pcie_ns_per_byte = 0.0;          // graph lives in host memory already
+  p.interconnect_ns_per_byte = 0.0;  // single-socket baseline, no shards
   p.sm_saturation_items = 1;
   return p;
 }

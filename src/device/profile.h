@@ -6,8 +6,14 @@
 //
 //   virtual_time = measured_cpu_time * compute_scale
 //                + launch_overhead
-//                + hbm_bytes   * hbm_penalty
-//                + pcie_bytes  * pcie_penalty      (UVA-resident data only)
+//                + hbm_bytes         * hbm_penalty
+//                + pcie_bytes        * pcie_penalty         (UVA-resident data only)
+//                + interconnect_bytes * interconnect_penalty (shard all-to-all only)
+//
+// The three *_ns_per_byte fields are bandwidth charges: the reciprocal of an
+// effective link bandwidth, in nanoseconds per byte. They must be >= 0;
+// Validate() (called whenever a Stream is built from a profile) rejects
+// negative values, which would let a kernel move its virtual clock backwards.
 //
 // The V100 profile is the reference (no extra memory/compute penalty). The
 // T4 profile scales bandwidth/compute to the ratios in the paper's Section
@@ -51,6 +57,14 @@ struct DeviceProfile {
   // graph is UVA-resident. PCIe 3.0 x16 ~ 12 GB/s effective => ~0.083 ns/B.
   double pcie_ns_per_byte = 0.083;
 
+  // Charge per byte exchanged with peer shards over the (simulated)
+  // device-to-device interconnect — the shard-to-shard analog of the UVA
+  // PCIe charge. A multi-device ShardGroup charges each frontier hop's
+  // coalesced all-to-all of remote adjacency at this rate
+  // (shard::FrontierExchange). 0 disables the charge (single-device
+  // profiles / CPU baselines, where there is no interconnect).
+  double interconnect_ns_per_byte = 0.0;
+
   // Deterministic compute charge per parallel work item, used for the
   // `model_ns` counter: the same cost formula as the virtual clock but with
   // the measured-CPU term replaced by items * this (scaled by compute_scale
@@ -77,7 +91,23 @@ struct DeviceProfile {
   // fault injection charged == estimate, so legitimate kernels never trip
   // it. <= 0 disables the watchdog.
   double watchdog_multiple = 16.0;
+
+  // Rejects invalid bandwidth charges: every *_ns_per_byte field must be
+  // >= 0 (a negative charge would run the virtual clock backwards). Called
+  // from the Stream constructor, so every Device construction validates its
+  // profile; throws gs::Error on violation.
+  void Validate() const;
 };
+
+// Bandwidth-charge presets (ns per byte = 1 / effective GB/s). These back
+// the profile constants below and the shard interconnect.
+inline constexpr double kPcieNsPerByte = 0.083;  // PCIe 3.0 x16, ~12 GB/s
+
+// Shard-to-shard interconnect charge: NVLink-class links sustain ~50 GB/s
+// effective per direction => 0.02 ns/B, ~4x faster than PCIe. This is the
+// value the GPU profiles install as interconnect_ns_per_byte; the
+// FrontierExchange all-to-all is charged at this rate.
+double Interconnect();
 
 // Reference profile: V100-class simulated device.
 DeviceProfile V100Sim();

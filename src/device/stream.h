@@ -49,6 +49,9 @@ struct KernelStats {
   int64_t hbm_bytes = 0;
   // Bytes gathered from host memory via UVA.
   int64_t pcie_bytes = 0;
+  // Bytes exchanged with peer shards over the device-to-device interconnect
+  // (the coalesced all-to-all of shard::FrontierExchange).
+  int64_t interconnect_bytes = 0;
 };
 
 // A point on a stream's virtual timeline: all work submitted to the stream
@@ -76,6 +79,7 @@ struct StreamCounters {
   int64_t model_ns = 0;    // deterministic cost model (no measured time)
   int64_t hbm_bytes = 0;
   int64_t pcie_bytes = 0;
+  int64_t interconnect_bytes = 0;  // shard-to-shard all-to-all traffic
   int64_t timeline_ns = 0;         // current virtual timeline position
   int64_t starved_ns = 0;          // stalls waiting on upstream events
   int64_t backpressure_ns = 0;     // stalls waiting on downstream slots
@@ -90,7 +94,9 @@ struct StreamCounters {
 
 class Stream {
  public:
-  explicit Stream(DeviceProfile profile) : profile_(std::move(profile)) {}
+  explicit Stream(DeviceProfile profile) : profile_(std::move(profile)) {
+    profile_.Validate();
+  }
 
   // Streams own atomic counters and a timeline; they are not copyable.
   Stream(const Stream&) = delete;
@@ -146,6 +152,7 @@ class Stream {
   std::atomic<int64_t> model_ns_{0};
   std::atomic<int64_t> hbm_bytes_{0};
   std::atomic<int64_t> pcie_bytes_{0};
+  std::atomic<int64_t> interconnect_bytes_{0};
   std::atomic<int64_t> now_ns_{0};
   std::atomic<int64_t> starved_ns_{0};
   std::atomic<int64_t> backpressure_ns_{0};

@@ -1,0 +1,116 @@
+// Graph partitioning for multi-device sharded sampling (gs::shard).
+//
+// A Partition splits a graph's adjacency across N shards so that every edge
+// is owned by exactly one shard, and carries the global<->local node-id maps
+// the shard runtime needs:
+//
+//  - Edge-cut: nodes are split into contiguous ranges balanced by in-degree;
+//    an edge (r, c) is owned by the shard that owns its destination column
+//    c, so each node's full in-adjacency is local to its home shard and
+//    cut edges are those whose *source* is remote.
+//  - Vertex-cut: low-degree columns keep their whole adjacency on the home
+//    shard (as in the edge-cut), but a high-degree column's edge list is
+//    split into contiguous chunks spread round-robin across shards starting
+//    at the home shard — the classic power-law mitigation (PowerGraph);
+//    the home shard remains the node's "master".
+//
+// Each shard's owned edges form a local CSC segment (a sparse::Matrix whose
+// col_ids map local columns back to global node ids; CSR segments are
+// available through the Matrix's cached conversion). Partitions are
+// deterministic functions of the graph and shard count — two processes
+// partitioning the same graph agree on every ownership decision — and are
+// immutable after construction, so concurrent shard workers may consult
+// them without locks.
+
+#ifndef GSAMPLER_GRAPH_PARTITION_H_
+#define GSAMPLER_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sparse/matrix.h"
+
+namespace gs::graph {
+
+enum class PartitionKind {
+  kEdgeCut,
+  kVertexCut,
+};
+
+const char* PartitionKindName(PartitionKind kind);
+
+// An immutable N-way split of one graph's edges. Built by Partitioner.
+class Partition {
+ public:
+  int num_shards() const { return num_shards_; }
+  PartitionKind kind() const { return kind_; }
+  const Graph& graph() const { return graph_; }
+
+  // Home shard of a global node id (owner of the node's column in the
+  // edge-cut; master replica in the vertex-cut). O(1).
+  int OwnerOf(int32_t global) const;
+
+  // The shard's owned edges as a local CSC matrix: columns are the shard's
+  // local node space (col_ids() maps back to global ids, ascending), rows
+  // span the full graph. CSR is available via the Matrix's conversion.
+  const sparse::Matrix& Segment(int shard) const;
+
+  // Global node ids materialized in `shard`'s column space, ascending (the
+  // segment's col_ids). For an edge-cut these are exactly the owned nodes;
+  // a vertex-cut segment additionally carries remote masters' spilled
+  // chunks.
+  const std::vector<int32_t>& LocalNodes(int shard) const;
+
+  // Global id -> local column index in `shard`'s segment; -1 when the node
+  // has no columns on that shard.
+  int32_t ToLocal(int shard, int32_t global) const;
+  // Local column index -> global id (inverse of ToLocal where defined).
+  int32_t ToGlobal(int shard, int32_t local) const;
+
+  // Plurality home shard of a frontier (ties break toward the lower shard
+  // id); the locality-aware routing hint used by serving. Labeled
+  // super-batch ids fold with modulo; negative ids (walk dead-ends) are
+  // skipped. An empty frontier routes to shard 0.
+  int HomeShard(const int32_t* ids, int64_t count) const;
+
+  // Bytes a remote shard must ship to materialize `global`'s in-adjacency:
+  // in-degree x (index + optional weight) bytes. The FrontierExchange cost
+  // model charges these over the interconnect.
+  int64_t AdjBytes(int32_t global) const;
+
+  // Sum of AdjBytes over all nodes NOT owned by `shard` — an upper bound on
+  // what the shard could ever pull over the interconnect.
+  int64_t RemoteBytesBound(int shard) const;
+
+  std::string DebugString() const;
+
+ private:
+  friend class Partitioner;
+
+  Graph graph_;
+  PartitionKind kind_ = PartitionKind::kEdgeCut;
+  int num_shards_ = 1;
+  int64_t bytes_per_edge_ = 4;
+  std::vector<int32_t> owner_;                 // node -> home shard
+  std::vector<int64_t> degree_;                // node -> in-degree
+  std::vector<sparse::Matrix> segments_;       // shard -> local CSC
+  std::vector<std::vector<int32_t>> locals_;   // shard -> sorted global ids
+  std::vector<std::unordered_map<int32_t, int32_t>> to_local_;
+};
+
+// Factory for deterministic partitions. Edge-cut balances contiguous node
+// ranges by in-degree; vertex-cut additionally splits columns whose degree
+// exceeds 4x the average into per-shard chunks.
+class Partitioner {
+ public:
+  static Partition EdgeCut(const Graph& graph, int num_shards);
+  static Partition VertexCut(const Graph& graph, int num_shards);
+  static Partition Build(const Graph& graph, PartitionKind kind, int num_shards);
+};
+
+}  // namespace gs::graph
+
+#endif  // GSAMPLER_GRAPH_PARTITION_H_

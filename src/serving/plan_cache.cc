@@ -20,6 +20,9 @@ std::string PlanKey::Canonical() const {
   for (int64_t f : fanouts) {
     out << f << ',';
   }
+  if (shard > 0) {
+    out << '|' << 's' << shard;
+  }
   return out.str();
 }
 
@@ -30,14 +33,23 @@ PlanKey PlanKey::Parse(const std::string& canonical) {
   while (std::getline(in, part, '|')) {
     parts.push_back(part);
   }
-  GS_CHECK(parts.size() == 5 || parts.size() == 4)  // trailing '|' with no fanouts
+  // 4 parts: trailing '|' with no fanouts; 6 parts: shard suffix "sN".
+  GS_CHECK(parts.size() >= 4 && parts.size() <= 6)
       << "malformed plan key: '" << canonical << "'";
   PlanKey key;
   key.algorithm = parts[0];
   key.dataset = parts[1];
   key.device = parts[2];
   key.pass_config = parts[3];
-  if (parts.size() == 5) {
+  if (parts.size() == 6) {
+    GS_CHECK(parts[5].size() > 1 && parts[5][0] == 's')
+        << "malformed plan key shard: '" << canonical << "'";
+    char* end = nullptr;
+    key.shard = static_cast<int>(std::strtol(parts[5].c_str() + 1, &end, 10));
+    GS_CHECK(end != nullptr && *end == '\0' && key.shard > 0)
+        << "malformed plan key shard: '" << canonical << "'";
+  }
+  if (parts.size() >= 5 && !parts[4].empty()) {
     std::istringstream fin(parts[4]);
     while (std::getline(fin, part, ',')) {
       GS_CHECK(!part.empty()) << "malformed plan key fanouts: '" << canonical << "'";

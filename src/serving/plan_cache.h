@@ -45,6 +45,11 @@ struct PlanKey {
   std::string device;       // DeviceProfile name
   std::string pass_config;  // SamplerOptions digest (see PassConfigDigest)
   std::vector<int64_t> fanouts;  // effective (possibly shed) fanouts
+  // Multi-shard serving: the shard whose device this session is warmed on.
+  // 0 (single-device and shard 0) keeps the canonical form — and therefore
+  // persisted plan digests — unchanged; coalescing across shards is ruled
+  // out automatically because the shard is part of the key.
+  int shard = 0;
 
   std::string Canonical() const;
   // Inverse of Canonical() (persisted plan-index lines). Throws gs::Error on

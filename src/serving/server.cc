@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -12,6 +13,7 @@
 #include "common/timer.h"
 #include "device/device.h"
 #include "serving/coalescer.h"
+#include "shard/shard.h"
 
 namespace gs::serving {
 namespace {
@@ -106,6 +108,8 @@ Server::Server(ServerOptions options) : options_(options) {
   GS_CHECK_GT(options_.num_workers, 0);
   GS_CHECK_GT(options_.queue_capacity, 0);
   GS_CHECK_GT(options_.coalesce_max, 0);
+  GS_CHECK_GE(options_.num_shards, 1);
+  shard_latency_.resize(static_cast<size_t>(std::max(1, options_.num_shards)));
 }
 
 Server::~Server() { Stop(); }
@@ -130,6 +134,22 @@ void Server::Start() {
   tokens_ = std::make_unique<pipeline::BoundedQueue<uint64_t>>(options_.queue_capacity);
   plan_cache_ = std::make_unique<PlanCache>(options_.plan_cache_budget_bytes,
                                             &device::Current().allocator());
+  if (options_.num_shards > 1) {
+    // Partition every registered dataset once and give each shard its own
+    // simulated device: per-shard sessions allocate there and locality
+    // routing (Submit) resolves against these partitions.
+    for (const auto& [key, endpoint] : endpoints_) {
+      if (partitions_.find(endpoint.dataset) == partitions_.end()) {
+        partitions_[endpoint.dataset] =
+            std::make_unique<graph::Partition>(graph::Partitioner::Build(
+                *endpoint.graph, options_.partition_kind, options_.num_shards));
+      }
+    }
+    shard_devices_.reserve(static_cast<size_t>(options_.num_shards));
+    for (int s = 0; s < options_.num_shards; ++s) {
+      shard_devices_.push_back(std::make_unique<device::Device>(device::Current().profile()));
+    }
+  }
   pool_ = std::make_unique<pipeline::WorkerPool>(device::Current().profile(),
                                                  options_.num_workers);
   if (!options_.plan_dir.empty()) {
@@ -290,6 +310,17 @@ std::future<SampleResponse> Server::Submit(SampleRequest request) {
   pending->key.device = device::Current().profile().name;
   pending->key.pass_config = PassConfigDigest(endpoint->options);
   pending->key.fanouts = std::move(fanouts);
+  if (options_.num_shards > 1) {
+    // Locality-aware routing: execute on the shard owning the plurality of
+    // the seeds. The shard is part of the plan key, so each shard warms its
+    // own session and coalescing stays shard-local.
+    auto partition = partitions_.find(req.dataset);
+    if (partition != partitions_.end()) {
+      pending->home_shard =
+          partition->second->HomeShard(req.seeds.data(), req.seeds.size());
+      pending->key.shard = pending->home_shard;
+    }
+  }
   pending->canonical = pending->key.Canonical();
 
   // Register under the scheduler mutex so a worker that pops this request's
@@ -475,10 +506,17 @@ std::shared_ptr<core::SamplerSession> Server::ActivatePlan(
   if (key.pass_config != PassConfigDigest(endpoint->options)) {
     return nullptr;  // stale artifact: pass configuration changed
   }
+  if (key.shard >= std::max(1, options_.num_shards)) {
+    return nullptr;  // persisted by a server with more shards
+  }
   // The factory re-traces only to recover the named tensor bindings; the
   // persisted plan (program + annotations + calibration) is used as-is, so
   // no passes and no calibration run here.
   algorithms::AlgorithmProgram algorithm = endpoint->factory(key.fanouts);
+  std::optional<device::ThreadDeviceGuard> shard_guard;
+  if (options_.num_shards > 1) {
+    shard_guard.emplace(*shard_devices_[static_cast<size_t>(key.shard)]);
+  }
   auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint->graph,
                                                         std::move(algorithm.tensors));
   session->Warmup(WarmupFrontier(*endpoint->graph));
@@ -507,6 +545,22 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
   const Endpoint* endpoint = FindEndpoint(leader.request.algorithm, leader.request.dataset);
   GS_CHECK(endpoint != nullptr);
 
+  // Sharded mode: pin this worker to the group's home shard device for the
+  // whole resolve+execute span (plan warmup allocates there too) and meter
+  // cross-shard adjacency pulls with a FrontierExchange observer. The group
+  // is shard-homogeneous because the shard is part of the plan key.
+  const int shard = leader.home_shard;
+  const graph::Partition* partition = nullptr;
+  std::optional<device::ThreadDeviceGuard> shard_guard;
+  if (options_.num_shards > 1) {
+    auto it = partitions_.find(endpoint->dataset);
+    partition = it != partitions_.end() ? it->second.get() : nullptr;
+    shard_guard.emplace(*shard_devices_[static_cast<size_t>(shard)]);
+  }
+  int64_t exchange_hops = 0;
+  int64_t exchange_remote_nodes = 0;
+  int64_t exchange_bytes = 0;
+
   // Recovery ladder around plan resolution + execution. Transient failures
   // (injected kernel faults, watchdog-cancelled batches, UVA transfer
   // errors) are retried with exponential backoff — results are a pure
@@ -531,6 +585,9 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
     code = fault::ErrorCode::kOk;
     result = GroupResult{};
     coalesced = false;
+    exchange_hops = 0;
+    exchange_remote_nodes = 0;
+    exchange_bytes = 0;
     try {
       bool hit = false;
       int64_t build_ns = 0;
@@ -538,6 +595,23 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
           key, [&] { return BuildPlan(*endpoint, key); }, &hit, &build_ns);
       cache_hit = hit;
       compile_ns += build_ns;
+      auto run_group = [&](const std::vector<tensor::IdArray>& frontiers,
+                           const std::vector<uint64_t>& seeds) {
+        if (partition == nullptr) {
+          return ExecuteGroup(*plan, frontiers, seeds);
+        }
+        shard::FrontierExchange exchange(*partition, shard);
+        core::HopObserverGuard observer(exchange);
+        GroupResult group_result = ExecuteGroup(*plan, frontiers, seeds);
+        for (const shard::HopRecord& h : exchange.hops()) {
+          if (h.remote_nodes > 0) {
+            ++exchange_hops;
+          }
+          exchange_remote_nodes += h.remote_nodes;
+          exchange_bytes += h.bytes;
+        }
+        return group_result;
+      };
       if (plan->Coalescable()) {
         std::vector<tensor::IdArray> frontiers;
         std::vector<uint64_t> seeds;
@@ -547,7 +621,7 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
           frontiers.push_back(pending->request.seeds);
           seeds.push_back(pending->request.seed);
         }
-        result = ExecuteGroup(*plan, frontiers, seeds);
+        result = run_group(frontiers, seeds);
         coalesced = group.size() > 1;
         executions = 1;
         break;
@@ -557,8 +631,7 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
       result.outputs.resize(group.size());
       Timer timer;
       for (size_t i = 0; i < group.size(); ++i) {
-        GroupResult solo =
-            ExecuteGroup(*plan, {group[i]->request.seeds}, {group[i]->request.seed});
+        GroupResult solo = run_group({group[i]->request.seeds}, {group[i]->request.seed});
         result.outputs[i] = std::move(solo.outputs[0]);
       }
       result.execute_ns = timer.ElapsedNanos();
@@ -650,14 +723,22 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
     if (coalesced) {
       ++stats_.coalesced_executions;
     }
+    if (error.empty() && options_.num_shards > 1) {
+      stats_.exchange_hops += exchange_hops;
+      stats_.exchange_remote_nodes += exchange_remote_nodes;
+      stats_.exchange_bytes += exchange_bytes;
+    }
     for (size_t i = 0; i < group.size(); ++i) {
       if (responses[i].status == Status::kOk) {
         ++stats_.completed;
         ++stats_.per_tenant_completed[group[i]->request.tenant];
+        if (options_.num_shards > 1) {
+          ++stats_.per_shard_completed[shard];
+        }
         if (responses[i].degraded) {
           ++stats_.degraded;
         }
-        latency_.Record(totals[i]);
+        shard_latency_[static_cast<size_t>(shard)].Record(totals[i]);
       } else {
         ++stats_.failed;
         ++stats_.per_tenant_failed[group[i]->request.tenant];
@@ -695,10 +776,16 @@ ServerStats Server::stats() const {
     snapshot.plans_saved = cache.plans_saved;
     snapshot.plans_loaded = cache.plans_loaded;
   }
-  snapshot.latency_p50_ns = latency_.Percentile(50);
-  snapshot.latency_p95_ns = latency_.Percentile(95);
-  snapshot.latency_p99_ns = latency_.Percentile(99);
-  snapshot.latency_max_ns = latency_.max_ns();
+  // Per-shard histograms merge exactly (aligned log-scale buckets) into the
+  // server-level percentile report; unsharded servers have a single shard.
+  LatencyHistogram merged;
+  for (const LatencyHistogram& shard_histogram : shard_latency_) {
+    merged.Merge(shard_histogram);
+  }
+  snapshot.latency_p50_ns = merged.Percentile(50);
+  snapshot.latency_p95_ns = merged.Percentile(95);
+  snapshot.latency_p99_ns = merged.Percentile(99);
+  snapshot.latency_max_ns = merged.max_ns();
   return snapshot;
 }
 

@@ -26,6 +26,16 @@
 // request pushes one token, workers block popping tokens, and the scheduler
 // tolerates token/request imbalance from coalescing (a popped token that
 // finds no queued request is a no-op).
+//
+// Sharded mode (ServerOptions::num_shards > 1, gs::shard): Start()
+// partitions every registered dataset and creates one simulated device per
+// shard. Submit routes each request to its seed frontier's home shard
+// (locality-aware routing — the shard owning the plurality of the seeds'
+// adjacency); the shard becomes part of the plan key, so every shard warms
+// its own session on its own device and coalescing never crosses shards. A
+// FrontierExchange observer prices each hop's remote adjacency as a
+// coalesced all-to-all at the profile's interconnect rate, surfacing as
+// exchange_* counters and per-shard completions/latency in ServerStats.
 
 #ifndef GSAMPLER_SERVING_SERVER_H_
 #define GSAMPLER_SERVING_SERVER_H_
@@ -44,7 +54,9 @@
 
 #include "algorithms/algorithms.h"
 #include "core/engine.h"
+#include "device/device.h"
 #include "graph/graph.h"
+#include "graph/partition.h"
 #include "pipeline/queue.h"
 #include "pipeline/worker_pool.h"
 #include "serving/plan_cache.h"
@@ -101,6 +113,12 @@ struct ServerOptions {
   // every matching endpoint) and Stop() persists the resident plans back —
   // so a restarted server answers its first request from a warm cache.
   std::string plan_dir;
+  // Shard every dataset across this many simulated devices (1 = unsharded,
+  // today's behavior). Requests route to their seed frontier's home shard
+  // and execute on that shard's device with cross-shard adjacency charged
+  // at the profile's interconnect_ns_per_byte.
+  int num_shards = 1;
+  graph::PartitionKind partition_kind = graph::PartitionKind::kEdgeCut;
 };
 
 class Server {
@@ -138,6 +156,7 @@ class Server {
     std::promise<SampleResponse> promise;
     PlanKey key;
     std::string canonical;  // key.Canonical(), cached
+    int home_shard = 0;     // locality routing target (0 when unsharded)
     bool degraded = false;
     bool has_deadline = false;
     Clock::time_point deadline_abs{};
@@ -163,6 +182,9 @@ class Server {
 
   ServerOptions options_;
   std::map<std::string, Endpoint> endpoints_;  // "algorithm|dataset" -> endpoint
+  // Sharded mode: dataset name -> partition, plus one device per shard.
+  std::map<std::string, std::unique_ptr<graph::Partition>> partitions_;
+  std::vector<std::unique_ptr<device::Device>> shard_devices_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<pipeline::BoundedQueue<uint64_t>> tokens_;
   std::unique_ptr<pipeline::WorkerPool> pool_;
@@ -178,7 +200,9 @@ class Server {
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
-  LatencyHistogram latency_;
+  // One histogram per shard (a single entry when unsharded); stats() merges
+  // them into the server-level percentiles.
+  std::vector<LatencyHistogram> shard_latency_;
 };
 
 }  // namespace gs::serving

@@ -14,6 +14,14 @@ void LatencyHistogram::Record(int64_t ns) {
   max_ns_ = std::max(max_ns_, ns);
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  max_ns_ = std::max(max_ns_, other.max_ns_);
+}
+
 int64_t LatencyHistogram::Percentile(double p) const {
   if (count_ == 0) {
     return 0;
@@ -61,6 +69,14 @@ std::string ServerStats::ToString() const {
       << " inv=" << failed_invalid << " int=" << failed_internal << "]"
       << " p50_us=" << latency_p50_ns / 1000 << " p95_us=" << latency_p95_ns / 1000
       << " p99_us=" << latency_p99_ns / 1000;
+  if (!per_shard_completed.empty()) {
+    out << " exchange=[hops=" << exchange_hops << " remote_nodes=" << exchange_remote_nodes
+        << " bytes=" << exchange_bytes << "] shards=[";
+    for (const auto& [shard, completed] : per_shard_completed) {
+      out << "s" << shard << "=" << completed << " ";
+    }
+    out << "]";
+  }
   return out.str();
 }
 

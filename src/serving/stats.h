@@ -20,6 +20,11 @@ class LatencyHistogram {
   void Record(int64_t ns);
   // p in [0, 100]. Returns 0 when empty.
   int64_t Percentile(double p) const;
+  // Folds `other` into this histogram (buckets and count add, max takes the
+  // larger). Sharded serving keeps one histogram per shard and merges them
+  // into the server-level p50/p95/p99 report; merging is exact because the
+  // buckets are aligned log-scale ranges.
+  void Merge(const LatencyHistogram& other);
   int64_t count() const { return count_; }
   int64_t max_ns() const { return max_ns_; }
 
@@ -66,6 +71,14 @@ struct ServerStats {
   int64_t latency_p95_ns = 0;
   int64_t latency_p99_ns = 0;
   int64_t latency_max_ns = 0;
+
+  // Multi-shard serving (gs::shard): cross-shard frontier-exchange traffic
+  // accumulated over all executions, and per-shard completion counts
+  // (locality-routing visibility).
+  int64_t exchange_hops = 0;          // frontier hops that pulled remote adjacency
+  int64_t exchange_remote_nodes = 0;  // frontier nodes whose adjacency was remote
+  int64_t exchange_bytes = 0;         // adjacency bytes moved over the interconnect
+  std::map<int, int64_t> per_shard_completed;
 
   // Completed requests per tenant (fair-queueing visibility).
   std::map<std::string, int64_t> per_tenant_completed;

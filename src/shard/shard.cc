@@ -1,0 +1,234 @@
+#include "shard/shard.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+#include "device/stream.h"
+
+namespace gs::shard {
+namespace {
+
+// Small representative frontier for per-shard warmup (same policy as the
+// serving tier): train ids when present, else the first node ids.
+tensor::IdArray WarmupFrontier(const graph::Graph& graph) {
+  const tensor::IdArray& train = graph.train_ids();
+  const int64_t pool = train.size() > 0 ? train.size() : std::max<int64_t>(graph.num_nodes(), 1);
+  const int64_t n = std::min<int64_t>(32, pool);
+  std::vector<int32_t> ids(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    ids[static_cast<size_t>(i)] =
+        train.size() > 0 ? train[i]
+                         : static_cast<int32_t>(i % std::max<int64_t>(graph.num_nodes(), 1));
+  }
+  return tensor::IdArray::FromVector(ids);
+}
+
+}  // namespace
+
+void ExchangeStats::Add(const std::vector<HopRecord>& hops_taken) {
+  samples += 1;
+  if (per_hop.size() < hops_taken.size()) {
+    per_hop.resize(hops_taken.size());
+  }
+  for (size_t i = 0; i < hops_taken.size(); ++i) {
+    const HopRecord& h = hops_taken[i];
+    hops += 1;
+    frontier_nodes += h.frontier_nodes;
+    remote_nodes += h.remote_nodes;
+    bytes += h.bytes;
+    exchange_ns += h.exchange_ns;
+    HopRecord& agg = per_hop[i];
+    agg.hop = static_cast<int>(i);
+    agg.frontier_nodes += h.frontier_nodes;
+    agg.remote_nodes += h.remote_nodes;
+    agg.bytes += h.bytes;
+    agg.exchange_ns += h.exchange_ns;
+  }
+}
+
+void ExchangeStats::Merge(const ExchangeStats& other) {
+  samples += other.samples;
+  hops += other.hops;
+  frontier_nodes += other.frontier_nodes;
+  remote_nodes += other.remote_nodes;
+  bytes += other.bytes;
+  exchange_ns += other.exchange_ns;
+  if (per_hop.size() < other.per_hop.size()) {
+    per_hop.resize(other.per_hop.size());
+  }
+  for (size_t i = 0; i < other.per_hop.size(); ++i) {
+    HopRecord& agg = per_hop[i];
+    agg.hop = static_cast<int>(i);
+    agg.frontier_nodes += other.per_hop[i].frontier_nodes;
+    agg.remote_nodes += other.per_hop[i].remote_nodes;
+    agg.bytes += other.per_hop[i].bytes;
+    agg.exchange_ns += other.per_hop[i].exchange_ns;
+  }
+}
+
+std::string ExchangeStats::ToString() const {
+  std::ostringstream out;
+  out << "samples=" << samples << " hops=" << hops << " frontier_nodes=" << frontier_nodes
+      << " remote_nodes=" << remote_nodes << " bytes=" << bytes
+      << " exchange_us=" << exchange_ns / 1000;
+  return out.str();
+}
+
+void FrontierExchange::OnHop(const sparse::Matrix& graph, const tensor::IdArray& frontier) {
+  (void)graph;  // the partition already knows every node's adjacency size
+  const int64_t n = partition_->graph().num_nodes();
+  HopRecord record;
+  record.hop = static_cast<int>(hops_.size());
+
+  // Deduplicate folded global ids: a node appearing twice in the frontier
+  // ships its adjacency once. Labeled super-batch ids (b*N + v) fold with
+  // modulo; negative ids are walk dead-end markers.
+  std::vector<int32_t> ids;
+  ids.reserve(static_cast<size_t>(frontier.size()));
+  for (int64_t i = 0; i < frontier.size(); ++i) {
+    const int32_t v = frontier[i];
+    if (v < 0) {
+      continue;
+    }
+    ids.push_back(static_cast<int32_t>(v % n));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  record.frontier_nodes = static_cast<int64_t>(ids.size());
+
+  for (const int32_t v : ids) {
+    if (partition_->OwnerOf(v) != shard_) {
+      record.remote_nodes += 1;
+      record.bytes += partition_->AdjBytes(v);
+    }
+  }
+
+  if (record.remote_nodes > 0) {
+    // One coalesced all-to-all for the hop: every peer's contribution moves
+    // concurrently, so the charge is the byte total at the interconnect
+    // rate (plus the launch overhead any kernel pays).
+    device::Stream& stream = device::Current().stream();
+    const int64_t before = stream.now_ns();
+    {
+      device::KernelScope kernel(stream);
+      kernel.Finish({.parallel_items = record.remote_nodes,
+                     .interconnect_bytes = record.bytes});
+    }
+    record.exchange_ns = stream.now_ns() - before;
+  }
+  hops_.push_back(record);
+}
+
+ShardGroup::ShardGroup(const graph::Graph& graph, core::Program program,
+                       std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options)
+    : options_(std::move(options)),
+      graph_(&graph),
+      plan_(std::make_shared<core::CompiledPlan>(std::move(program), options_.sampler)) {
+  Init(graph, std::move(tensors));
+}
+
+ShardGroup::ShardGroup(const graph::Graph& graph, std::shared_ptr<core::CompiledPlan> plan,
+                       std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options)
+    : options_(std::move(options)), graph_(&graph), plan_(std::move(plan)) {
+  GS_CHECK(plan_ != nullptr) << "ShardGroup needs a plan";
+  Init(graph, std::move(tensors));
+}
+
+ShardGroup::~ShardGroup() = default;
+
+void ShardGroup::Init(const graph::Graph& graph, std::map<std::string, tensor::Tensor> tensors) {
+  GS_CHECK_GE(options_.num_shards, 1);
+  partition_ = std::make_unique<graph::Partition>(
+      graph::Partitioner::Build(graph, options_.partition, options_.num_shards));
+  exchange_.resize(static_cast<size_t>(options_.num_shards));
+
+  const tensor::IdArray warmup = WarmupFrontier(graph);
+  devices_.reserve(static_cast<size_t>(options_.num_shards));
+  sessions_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int s = 0; s < options_.num_shards; ++s) {
+    devices_.push_back(std::make_unique<device::Device>(options_.profile));
+    // Warm sequentially under the shard's device: shard 0 calibrates and
+    // freezes the shared plan (deterministically — calibration ranks
+    // candidates on the model clock), later shards adopt it; each shard's
+    // pre-computed values land in its own allocator.
+    device::ThreadDeviceGuard guard(*devices_[static_cast<size_t>(s)]);
+    sessions_.push_back(std::make_unique<core::SamplerSession>(plan_, graph, tensors));
+    sessions_.back()->Warmup(warmup);
+  }
+}
+
+int ShardGroup::Route(const tensor::IdArray& frontier) const {
+  return partition_->HomeShard(frontier.data(), frontier.size());
+}
+
+std::vector<core::Value> ShardGroup::Sample(int shard, const tensor::IdArray& frontier,
+                                            uint64_t seed, std::vector<HopRecord>* hops) const {
+  GS_CHECK(shard >= 0 && shard < options_.num_shards) << "shard " << shard << " out of range";
+  // Pin this thread to the shard's device so kernels advance its timeline
+  // and allocations draw from its capacity, then observe every base-graph
+  // hop for the exchange charge. The observer never alters data flow, so
+  // the outputs match single-device SampleSeeded bit for bit.
+  device::ThreadDeviceGuard device_guard(*devices_[static_cast<size_t>(shard)]);
+  FrontierExchange exchange(*partition_, shard);
+  core::HopObserverGuard observer_guard(exchange);
+  std::vector<core::Value> outputs =
+      sessions_[static_cast<size_t>(shard)]->SampleSeeded(frontier, seed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    exchange_[static_cast<size_t>(shard)].Add(exchange.hops());
+  }
+  if (hops != nullptr) {
+    *hops = exchange.hops();
+  }
+  return outputs;
+}
+
+std::vector<core::Value> ShardGroup::SampleRouted(const tensor::IdArray& frontier, uint64_t seed,
+                                                  std::vector<HopRecord>* hops) const {
+  return Sample(Route(frontier), frontier, seed, hops);
+}
+
+device::Device& ShardGroup::device(int shard) const {
+  GS_CHECK(shard >= 0 && shard < options_.num_shards) << "shard " << shard << " out of range";
+  return *devices_[static_cast<size_t>(shard)];
+}
+
+core::SamplerSession& ShardGroup::session(int shard) const {
+  GS_CHECK(shard >= 0 && shard < options_.num_shards) << "shard " << shard << " out of range";
+  return *sessions_[static_cast<size_t>(shard)];
+}
+
+ExchangeStats ShardGroup::exchange_stats(int shard) const {
+  GS_CHECK(shard >= 0 && shard < options_.num_shards) << "shard " << shard << " out of range";
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return exchange_[static_cast<size_t>(shard)];
+}
+
+ExchangeStats ShardGroup::TotalExchange() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ExchangeStats total;
+  for (const ExchangeStats& stats : exchange_) {
+    total.Merge(stats);
+  }
+  return total;
+}
+
+device::StreamCounters ShardGroup::counters(int shard) const {
+  return device(shard).default_stream().counters();
+}
+
+std::string ShardGroup::DebugString() const {
+  std::ostringstream out;
+  out << "ShardGroup(" << partition_->DebugString();
+  for (int s = 0; s < options_.num_shards; ++s) {
+    const device::StreamCounters c = counters(s);
+    out << ", s" << s << "={kernels=" << c.kernels_launched
+        << " virtual_us=" << c.virtual_ns / 1000
+        << " interconnect_bytes=" << c.interconnect_bytes << "}";
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace gs::shard

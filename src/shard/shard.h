@@ -1,0 +1,162 @@
+// gs::shard — multi-device sharded sampling with cross-shard frontier
+// exchange.
+//
+// A ShardGroup partitions a graph across N simulated devices
+// (graph::Partitioner) and runs the full sampling engine per shard: one
+// device::Device (allocator + stream set) per shard, one SamplerSession per
+// shard over a single shared frozen CompiledPlan. Each frontier hop
+// executes locally; frontier nodes whose adjacency is owned by a remote
+// shard are detected by a FrontierExchange observer, which charges one
+// coalesced all-to-all per hop at the profile's interconnect_ns_per_byte —
+// the shard-to-shard analog of the UVA PCIe charge.
+//
+// Cost-model tap, not a data-path fork: after the (simulated) exchange a
+// shard holds exactly the adjacency the full matrix would give, so every
+// shard session binds the full graph and the exchange only advances the
+// shard's virtual clock and counters. Sharded sampling is therefore
+// bit-identical to single-device SampleSeeded with the same plan and seed —
+// the property the oracle test checks — while capacity (requests per
+// simulated second) scales with the shard count because each shard's work
+// lands on its own timeline.
+
+#ifndef GSAMPLER_SHARD_SHARD_H_
+#define GSAMPLER_SHARD_SHARD_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "device/device.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+
+namespace gs::shard {
+
+// One frontier hop's cross-shard traffic as seen by one shard.
+struct HopRecord {
+  int hop = 0;                 // hop index within the sample
+  int64_t frontier_nodes = 0;  // deduplicated frontier size
+  int64_t remote_nodes = 0;    // frontier nodes with remote adjacency
+  int64_t bytes = 0;           // adjacency bytes pulled over the interconnect
+  int64_t exchange_ns = 0;     // virtual time charged for the all-to-all
+};
+
+// Aggregated exchange counters (per shard, or group-wide).
+struct ExchangeStats {
+  int64_t samples = 0;
+  int64_t hops = 0;
+  int64_t frontier_nodes = 0;
+  int64_t remote_nodes = 0;
+  int64_t bytes = 0;
+  int64_t exchange_ns = 0;
+  // Aggregate per hop index across samples (hop 0 = seeds, hop 1 = their
+  // neighbors, ...): the per-hop exchange-bytes table the bench reports.
+  std::vector<HopRecord> per_hop;
+
+  void Add(const std::vector<HopRecord>& hops_taken);
+  void Merge(const ExchangeStats& other);
+  std::string ToString() const;
+};
+
+// Hop observer charging the cross-shard all-to-all. One instance per Sample
+// call (it carries the per-call hop index), installed on the executing
+// thread via core::HopObserverGuard. For every hop against the base graph
+// it deduplicates the frontier, looks up each node's owner in the
+// partition, sums the remote nodes' adjacency bytes, and records one kernel
+// on the current stream whose only cost is those bytes at the profile's
+// interconnect_ns_per_byte. Hops with no remote nodes charge nothing (no
+// all-to-all is needed).
+class FrontierExchange : public core::HopObserver {
+ public:
+  FrontierExchange(const graph::Partition& partition, int shard)
+      : partition_(&partition), shard_(shard) {}
+
+  void OnHop(const sparse::Matrix& graph, const tensor::IdArray& frontier) override;
+
+  // Per-hop records of the sample this instance observed.
+  const std::vector<HopRecord>& hops() const { return hops_; }
+
+ private:
+  const graph::Partition* partition_;
+  int shard_;
+  std::vector<HopRecord> hops_;
+};
+
+struct ShardGroupOptions {
+  int num_shards = 2;
+  graph::PartitionKind partition = graph::PartitionKind::kEdgeCut;
+  // Profile every shard device is created with (interconnect_ns_per_byte
+  // prices the exchange).
+  device::DeviceProfile profile = device::V100Sim();
+  core::SamplerOptions sampler;
+};
+
+// N complete sampling engines over one partitioned graph and one shared
+// compiled plan. Construction compiles (or adopts) the plan, partitions the
+// graph, creates one device per shard, and warms one session per shard —
+// sequentially, so lazily cached structures on shared objects materialize
+// race-free. After construction Sample() is const-safe from any number of
+// threads; concurrent samples on one shard serialize onto that shard's
+// virtual timeline (one device executes one kernel at a time), which is
+// exactly the per-device capacity model the serving bench measures.
+class ShardGroup {
+ public:
+  ShardGroup(const graph::Graph& graph, core::Program program,
+             std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options);
+  // Adopts an existing (possibly deserialized) plan instead of compiling.
+  ShardGroup(const graph::Graph& graph, std::shared_ptr<core::CompiledPlan> plan,
+             std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options);
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+  ~ShardGroup();
+
+  int num_shards() const { return options_.num_shards; }
+  const graph::Partition& partition() const { return *partition_; }
+  const core::CompiledPlan& plan() const { return *plan_; }
+  std::shared_ptr<core::CompiledPlan> plan_ptr() const { return plan_; }
+
+  // Locality routing: the frontier's plurality home shard.
+  int Route(const tensor::IdArray& frontier) const;
+
+  // Samples `frontier` on `shard`'s device with the shared plan. Thread-safe
+  // after construction; bit-identical to SamplerSession::SampleSeeded on a
+  // single device with the same plan and seed. Per-hop exchange records are
+  // folded into the shard's aggregate (and copied to `hops` if given).
+  std::vector<core::Value> Sample(int shard, const tensor::IdArray& frontier, uint64_t seed,
+                                  std::vector<HopRecord>* hops = nullptr) const;
+
+  // Sample on the frontier's home shard (locality-aware entry point).
+  std::vector<core::Value> SampleRouted(const tensor::IdArray& frontier, uint64_t seed,
+                                        std::vector<HopRecord>* hops = nullptr) const;
+
+  device::Device& device(int shard) const;
+  core::SamplerSession& session(int shard) const;
+
+  // Accumulated exchange traffic of one shard / all shards.
+  ExchangeStats exchange_stats(int shard) const;
+  ExchangeStats TotalExchange() const;
+  // The shard device's default-stream counters (virtual clock, bytes).
+  device::StreamCounters counters(int shard) const;
+
+  std::string DebugString() const;
+
+ private:
+  void Init(const graph::Graph& graph, std::map<std::string, tensor::Tensor> tensors);
+
+  ShardGroupOptions options_;
+  const graph::Graph* graph_;
+  std::shared_ptr<core::CompiledPlan> plan_;
+  std::unique_ptr<graph::Partition> partition_;
+  std::vector<std::unique_ptr<device::Device>> devices_;
+  std::vector<std::unique_ptr<core::SamplerSession>> sessions_;
+  mutable std::mutex stats_mutex_;
+  mutable std::vector<ExchangeStats> exchange_;
+};
+
+}  // namespace gs::shard
+
+#endif  // GSAMPLER_SHARD_SHARD_H_

@@ -195,12 +195,82 @@ TEST(Stream, OccupancyProxy) {
   EXPECT_GT(high.counters().SmUtilizationPercent(), 90.0);
 }
 
+TEST(Stream, InterconnectBytesCharged) {
+  DeviceProfile p = V100Sim();
+  EXPECT_GT(p.interconnect_ns_per_byte, 0.0);
+  Stream with_exchange(p);
+  Stream without(p);
+  with_exchange.RecordKernel(1000, {.parallel_items = 1, .interconnect_bytes = 1 << 20});
+  without.RecordKernel(1000, {.parallel_items = 1});
+  EXPECT_GT(with_exchange.counters().virtual_ns, without.counters().virtual_ns);
+  EXPECT_EQ(with_exchange.counters().interconnect_bytes, 1 << 20);
+  EXPECT_EQ(without.counters().interconnect_bytes, 0);
+}
+
+TEST(Profile, ValidateRejectsNegativeBandwidthCharges) {
+  DeviceProfile p = V100Sim();
+  p.Validate();  // presets must validate
+  DeviceProfile bad_pcie = p;
+  bad_pcie.pcie_ns_per_byte = -0.1;
+  EXPECT_THROW(bad_pcie.Validate(), Error);
+  DeviceProfile bad_hbm = p;
+  bad_hbm.hbm_penalty_ns_per_byte = -1.0;
+  EXPECT_THROW(bad_hbm.Validate(), Error);
+  DeviceProfile bad_interconnect = p;
+  bad_interconnect.interconnect_ns_per_byte = -0.5;
+  EXPECT_THROW(bad_interconnect.Validate(), Error);
+  // A Stream refuses to be built over an invalid profile.
+  EXPECT_THROW(Stream{bad_interconnect}, Error);
+}
+
+TEST(Profile, InterconnectPresetIsFasterThanPcie) {
+  // NVLink-class interconnect: faster per byte than PCIe 3.0 x16. The T4
+  // preset has no NVLink, so its peers talk at PCIe rate; CpuSim has no
+  // interconnect at all.
+  EXPECT_GT(Interconnect(), 0.0);
+  EXPECT_LT(Interconnect(), kPcieNsPerByte);
+  EXPECT_EQ(V100Sim().interconnect_ns_per_byte, Interconnect());
+  EXPECT_EQ(T4Sim().interconnect_ns_per_byte, kPcieNsPerByte);
+  EXPECT_EQ(CpuSim("cpu", 40.0).interconnect_ns_per_byte, 0.0);
+}
+
 TEST(Device, GuardSwitchesCurrent) {
   Device& before = Current();
   {
     Device t4(T4Sim());
     DeviceGuard guard(t4);
     EXPECT_EQ(&Current(), &t4);
+  }
+  EXPECT_EQ(&Current(), &before);
+}
+
+TEST(Device, ThreadDeviceGuardOverridesPerThread) {
+  Device& before = Current();
+  Device shard0(V100Sim());
+  Device shard1(V100Sim());
+  // The override is thread-local: two threads pin different devices
+  // concurrently without touching the process-global current device.
+  std::thread t0([&] {
+    ThreadDeviceGuard guard(shard0);
+    EXPECT_EQ(&Current(), &shard0);
+  });
+  std::thread t1([&] {
+    ThreadDeviceGuard guard(shard1);
+    EXPECT_EQ(&Current(), &shard1);
+  });
+  t0.join();
+  t1.join();
+  EXPECT_EQ(&Current(), &before);
+  // Nesting restores the outer override, and the thread override wins over
+  // the process-global guard.
+  {
+    DeviceGuard global(shard0);
+    ThreadDeviceGuard outer(shard1);
+    {
+      ThreadDeviceGuard inner(shard0);
+      EXPECT_EQ(&Current(), &shard0);
+    }
+    EXPECT_EQ(&Current(), &shard1);
   }
   EXPECT_EQ(&Current(), &before);
 }

@@ -1,0 +1,220 @@
+// Tests for graph::Partitioner (graph/partition.h): golden deterministic
+// partitions for both kinds, global<->local id-map round-trips, the
+// every-edge-owned-exactly-once invariant, locality routing, and the
+// exchange byte accounting the shard cost model relies on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "tests/testing.h"
+
+namespace gs::graph {
+namespace {
+
+// Star graph: node 0 is a hub with `spokes` in- and out-edges — the
+// power-law caricature the vertex-cut exists for.
+Graph StarGraph(int32_t spokes = 20) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 1; i <= spokes; ++i) {
+    edges.push_back({i, 0});
+  }
+  for (int32_t i = 1; i <= spokes; ++i) {
+    edges.push_back({0, i});
+  }
+  return Graph::FromEdges("star", spokes + 1, edges, nullptr);
+}
+
+// Union of the shard segments' edges in global ids, with per-edge
+// multiplicity — the invariant check needs to see double ownership.
+std::map<std::pair<int32_t, int32_t>, int> OwnedEdges(const Partition& partition) {
+  std::map<std::pair<int32_t, int32_t>, int> owned;
+  for (int s = 0; s < partition.num_shards(); ++s) {
+    const sparse::Matrix& segment = partition.Segment(s);
+    const sparse::Coo& coo = segment.GetCoo();
+    for (int64_t e = 0; e < segment.nnz(); ++e) {
+      owned[{segment.GlobalRowId(coo.row[e]), segment.GlobalColId(coo.col[e])}] += 1;
+    }
+  }
+  return owned;
+}
+
+std::map<std::pair<int32_t, int32_t>, int> GraphEdges(const Graph& graph) {
+  std::map<std::pair<int32_t, int32_t>, int> edges;
+  const sparse::Coo& coo = graph.adj().GetCoo();
+  for (int64_t e = 0; e < graph.adj().nnz(); ++e) {
+    edges[{coo.row[e], coo.col[e]}] += 1;
+  }
+  return edges;
+}
+
+// ------------------------------------------------------------ goldens
+
+// The partition is a pure function of (graph, shards): these exact splits
+// are part of the contract — a change here silently re-homes every plan
+// keyed by shard and must be deliberate.
+TEST(Partition, GoldenEdgeCutToyGraph) {
+  const Graph toy = testing::ToyGraph();
+  const Partition two = Partitioner::EdgeCut(toy, 2);
+  EXPECT_EQ(two.kind(), PartitionKind::kEdgeCut);
+  const std::vector<int32_t> expected_two = {0, 0, 0, 1, 1, 1, 1};
+  for (int32_t v = 0; v < toy.num_nodes(); ++v) {
+    EXPECT_EQ(two.OwnerOf(v), expected_two[static_cast<size_t>(v)]) << "node " << v;
+  }
+  EXPECT_EQ(two.LocalNodes(0), (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(two.LocalNodes(1), (std::vector<int32_t>{3, 4, 5, 6}));
+  EXPECT_EQ(two.Segment(0).nnz(), 7);
+  EXPECT_EQ(two.Segment(1).nnz(), 5);
+
+  const Partition three = Partitioner::EdgeCut(toy, 3);
+  const std::vector<int32_t> expected_three = {0, 0, 1, 1, 2, 2, 2};
+  for (int32_t v = 0; v < toy.num_nodes(); ++v) {
+    EXPECT_EQ(three.OwnerOf(v), expected_three[static_cast<size_t>(v)]) << "node " << v;
+  }
+}
+
+TEST(Partition, GoldenVertexCutSplitsTheHub) {
+  const Graph star = StarGraph(20);
+  const Partition p = Partitioner::VertexCut(star, 4);
+  EXPECT_EQ(p.kind(), PartitionKind::kVertexCut);
+  // The hub's master stays shard 0, but its 20-edge column is chunked
+  // across all four shards (ceil(20/4) = 5 edges each).
+  EXPECT_EQ(p.OwnerOf(0), 0);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_GE(p.ToLocal(s, 0), 0) << "shard " << s << " lost its hub chunk";
+  }
+  EXPECT_EQ(p.Segment(0).nnz(), 5);
+  EXPECT_EQ(p.Segment(1).nnz(), 10);
+  EXPECT_EQ(p.Segment(2).nnz(), 12);
+  EXPECT_EQ(p.Segment(3).nnz(), 13);
+  // An edge-cut of the same graph keeps the hub whole on its home shard.
+  const Partition ec = Partitioner::EdgeCut(star, 4);
+  EXPECT_EQ(ec.Segment(ec.OwnerOf(0)).nnz() >= 20, true);
+  EXPECT_EQ(ec.ToLocal(1, 0), -1);
+}
+
+TEST(Partition, DeterministicAcrossRebuilds) {
+  const Graph g = testing::SmallRmat(300, 3000, 9);
+  for (const PartitionKind kind : {PartitionKind::kEdgeCut, PartitionKind::kVertexCut}) {
+    const Partition a = Partitioner::Build(g, kind, 4);
+    const Partition b = Partitioner::Build(g, kind, 4);
+    for (int32_t v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(a.OwnerOf(v), b.OwnerOf(v)) << PartitionKindName(kind) << " node " << v;
+    }
+    for (int s = 0; s < 4; ++s) {
+      ASSERT_EQ(a.LocalNodes(s), b.LocalNodes(s)) << PartitionKindName(kind) << " shard " << s;
+      ASSERT_EQ(a.Segment(s).nnz(), b.Segment(s).nnz());
+    }
+    ASSERT_EQ(OwnedEdges(a), OwnedEdges(b)) << PartitionKindName(kind);
+  }
+}
+
+// --------------------------------------------------- structural invariants
+
+// Every edge of the graph lands in exactly one shard segment — no loss, no
+// duplication — for both kinds across several shard counts.
+TEST(Partition, EveryEdgeOwnedExactlyOnce) {
+  const Graph g = testing::SmallRmat(300, 3000, 9);
+  const auto expected = GraphEdges(g);
+  for (const PartitionKind kind : {PartitionKind::kEdgeCut, PartitionKind::kVertexCut}) {
+    for (const int shards : {1, 2, 3, 4, 8}) {
+      const Partition p = Partitioner::Build(g, kind, shards);
+      const auto owned = OwnedEdges(p);
+      ASSERT_EQ(owned, expected) << PartitionKindName(kind) << " x" << shards;
+    }
+  }
+}
+
+TEST(Partition, IdMapsRoundTrip) {
+  const Graph g = testing::SmallRmat(300, 3000, 9);
+  for (const PartitionKind kind : {PartitionKind::kEdgeCut, PartitionKind::kVertexCut}) {
+    const Partition p = Partitioner::Build(g, kind, 4);
+    for (int s = 0; s < 4; ++s) {
+      const std::vector<int32_t>& locals = p.LocalNodes(s);
+      ASSERT_EQ(static_cast<int64_t>(locals.size()), p.Segment(s).num_cols());
+      for (int32_t local = 0; local < static_cast<int32_t>(locals.size()); ++local) {
+        const int32_t global = p.ToGlobal(s, local);
+        EXPECT_EQ(global, locals[static_cast<size_t>(local)]);
+        EXPECT_EQ(p.ToLocal(s, global), local) << "shard " << s << " node " << global;
+      }
+    }
+    // Edge-cut: a node materializes columns only on its home shard, so every
+    // other shard maps it to -1.
+    if (kind == PartitionKind::kEdgeCut) {
+      for (int32_t v = 0; v < g.num_nodes(); ++v) {
+        for (int s = 0; s < 4; ++s) {
+          if (s != p.OwnerOf(v)) {
+            EXPECT_EQ(p.ToLocal(s, v), -1) << "shard " << s << " node " << v;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Partition, EveryShardGetsAtLeastOneColumn) {
+  // Pathological balance: two high-degree nodes, many isolated ones. The
+  // contiguous split must still hand every shard a non-empty column range.
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  for (int32_t i = 2; i < 10; ++i) {
+    edges.push_back({i, 0});
+    edges.push_back({i, 1});
+  }
+  const Graph g = Graph::FromEdges("skew", 12, edges, nullptr);
+  const Partition p = Partitioner::EdgeCut(g, 4);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_FALSE(p.LocalNodes(s).empty()) << "shard " << s;
+  }
+  EXPECT_THROW(Partitioner::EdgeCut(g, 13), Error);  // more shards than nodes
+}
+
+// ------------------------------------------------------------- routing
+
+TEST(Partition, HomeShardPluralityAndFolding) {
+  const Graph toy = testing::ToyGraph();
+  const Partition p = Partitioner::EdgeCut(toy, 2);  // owners: 0 0 0 1 1 1 1
+  const std::vector<int32_t> shard0_heavy = {0, 1, 2, 5};
+  EXPECT_EQ(p.HomeShard(shard0_heavy.data(), 4), 0);
+  const std::vector<int32_t> shard1_heavy = {0, 3, 4, 6};
+  EXPECT_EQ(p.HomeShard(shard1_heavy.data(), 4), 1);
+  // Labeled super-batch ids fold modulo num_nodes: 7 + 1 ≡ 1, 14 + 2 ≡ 2.
+  const std::vector<int32_t> labeled = {8, 16, 3};
+  EXPECT_EQ(p.HomeShard(labeled.data(), 3), 0);
+  // Negative ids (walk dead-ends) are skipped; empty frontiers go to 0.
+  const std::vector<int32_t> negatives = {-1, -1, 4};
+  EXPECT_EQ(p.HomeShard(negatives.data(), 3), 1);
+  EXPECT_EQ(p.HomeShard(nullptr, 0), 0);
+  // Ties break toward the lower shard id.
+  const std::vector<int32_t> tie = {0, 4};
+  EXPECT_EQ(p.HomeShard(tie.data(), 2), 0);
+}
+
+// ------------------------------------------------------ byte accounting
+
+TEST(Partition, ExchangeByteAccounting) {
+  const Graph star = StarGraph(20);  // unweighted: 4 bytes per edge
+  const Partition p = Partitioner::VertexCut(star, 4);
+  EXPECT_EQ(p.AdjBytes(0), 20 * 4);
+  EXPECT_EQ(p.AdjBytes(1), 4);
+  // Everything shard 0 does not own (the 20 spokes, degree 1 each).
+  EXPECT_EQ(p.RemoteBytesBound(0), 20 * 4);
+
+  // A weighted graph ships values too (4 index + 4 value bytes per edge).
+  const Graph weighted = testing::ToyGraph();
+  const Partition wp = Partitioner::EdgeCut(weighted, 2);
+  int64_t total = 0;
+  for (int32_t v = 0; v < weighted.num_nodes(); ++v) {
+    total += wp.AdjBytes(v);
+  }
+  EXPECT_EQ(total, weighted.adj().nnz() * 8);
+  EXPECT_EQ(wp.RemoteBytesBound(0) + wp.RemoteBytesBound(1), total);
+}
+
+}  // namespace
+}  // namespace gs::graph

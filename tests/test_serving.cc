@@ -503,6 +503,39 @@ TEST(LatencyHistogramTest, InterpolatesWithinBucket) {
   EXPECT_EQ(h.Percentile(100), 1023);
 }
 
+TEST(LatencyHistogramTest, MergeIsExactAndOrderIndependent) {
+  // Merging per-shard histograms must equal recording everything into one
+  // histogram — the property the sharded server's stats() relies on.
+  LatencyHistogram a;
+  LatencyHistogram b;
+  LatencyHistogram combined;
+  for (int64_t v : {100, 250, 900, 5000}) {
+    a.Record(v);
+    combined.Record(v);
+  }
+  for (int64_t v : {80, 1600, 1700, 2000000}) {
+    b.Record(v);
+    combined.Record(v);
+  }
+  LatencyHistogram merged_ab = a;
+  merged_ab.Merge(b);
+  LatencyHistogram merged_ba = b;
+  merged_ba.Merge(a);
+  for (const LatencyHistogram& merged : {merged_ab, merged_ba}) {
+    EXPECT_EQ(merged.count(), combined.count());
+    EXPECT_EQ(merged.max_ns(), combined.max_ns());
+    for (const double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+      EXPECT_EQ(merged.Percentile(p), combined.Percentile(p)) << "p" << p;
+    }
+  }
+  // Merging an empty histogram is the identity.
+  LatencyHistogram empty;
+  LatencyHistogram copy = a;
+  copy.Merge(empty);
+  EXPECT_EQ(copy.count(), a.count());
+  EXPECT_EQ(copy.Percentile(50), a.Percentile(50));
+}
+
 TEST(LatencyHistogramTest, SingleSampleAllPercentiles) {
   LatencyHistogram h;
   h.Record(700);

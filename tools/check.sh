@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast | chaos | plans | oracle]
+# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard]
 #
 #   (default)  configure + build + full ctest in ./build, then the plans
-#              tier, then the oracle tier, then a -DGS_SANITIZE=thread build
-#              in ./build-tsan running the threaded suites (pipeline,
-#              serving, device accounting, fault ladder) with pass-boundary
-#              verification (GS_VERIFY_PASSES=1), then the chaos tier.
+#              tier, then the oracle tier, then the shard tier, then a
+#              -DGS_SANITIZE=thread build in ./build-tsan running the
+#              threaded suites (pipeline, serving, device accounting, fault
+#              ladder) with pass-boundary verification (GS_VERIFY_PASSES=1),
+#              then the chaos tier.
 #   --fast     tier-1 only, restricted to `ctest -L fast` (skips the
 #              soak/chaos tests, the plans tier, and the TSan pass).
 #   plans      plan round-trip tier only: builds gsampler_cli and, for every
@@ -21,6 +22,12 @@
 #              tests), then a fixed-seed 200-draw pass fuzz that must come
 #              back clean. Everything is seeded, so a failure here is a
 #              deterministic reproducer, printed as a --repro line.
+#   shard      multi-device sharding tier only (gs::shard): runs
+#              `ctest -L shard` (partitioner goldens + the sharded-vs-single
+#              bit-identity oracle + sharded serving), then the ShardGroup
+#              concurrency suite under TSan, then a sharded pass fuzz
+#              (fuzz_passes --shards 2) differencing 2-shard sampling
+#              against single-device for every drawn config.
 #   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
 #              runs the gs::fault suites (test_fault + the chaos soak) under
 #              TSan — the deterministic-injection racing workout.
@@ -34,13 +41,15 @@ FAST=0
 CHAOS=0
 PLANS=0
 ORACLE=0
+SHARD=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     chaos|--chaos) CHAOS=1 ;;
     plans|--plans) PLANS=1 ;;
     oracle|--oracle) ORACLE=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle])" >&2; exit 2 ;;
+    shard|--shard) SHARD=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard])" >&2; exit 2 ;;
   esac
 done
 
@@ -91,6 +100,32 @@ run_oracle_tier() {
   ./build/tools/fuzz_passes --seeds 200
 }
 
+# Multi-device sharding tier: the shard ctest label, the ShardGroup
+# concurrency suite under TSan (four threads on four shard devices), and a
+# sharded pass fuzz differencing 2-shard against single-device sampling.
+run_shard_tier() {
+  echo "== shard: build test_partition + test_shard + fuzz_passes =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_partition test_shard fuzz_passes
+
+  echo "== shard: ctest -L shard =="
+  (cd build && ctest -L shard --output-on-failure -j "$JOBS")
+
+  echo "== shard: ShardGroup suite under TSan =="
+  cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_shard
+  ./build-tsan/tests/test_shard
+
+  echo "== shard: sharded pass fuzz (100 draws, 2 shards) =="
+  ./build/tools/fuzz_passes --seeds 100 --shards 2
+}
+
+if [[ "$SHARD" == 1 ]]; then
+  run_shard_tier
+  echo "check.sh: shard tier green"
+  exit 0
+fi
+
 if [[ "$ORACLE" == 1 ]]; then
   run_oracle_tier
   echo "check.sh: oracle tier green"
@@ -125,6 +160,8 @@ echo "== tier-1: full ctest =="
 run_plans_tier
 
 run_oracle_tier
+
+run_shard_tier
 
 echo "== TSan: configure + build (GS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null

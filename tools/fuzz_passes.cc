@@ -10,9 +10,17 @@
 // to the shortest failing prefix, and the graph/epoch are shrunk — down to a
 // one-line reproducer that `--repro` replays.
 //
+// With --shards N (N > 1) every draw additionally runs the gs::shard
+// differential: the same config is sampled through an N-way ShardGroup
+// (randomly edge- or vertex-cut) and every batch must come back bit-identical
+// to a single-device SamplerSession with the same plan and seed — the
+// subsystem's core guarantee that sharding changes where time is charged,
+// never what is sampled.
+//
 // Usage:
 //   fuzz_passes --seeds 200                 # fuzz 200 seeded draws
 //   fuzz_passes --seeds 50 --base-seed 7    # different deterministic stream
+//   fuzz_passes --seeds 100 --shards 2      # + 2-shard-vs-single differential
 //   fuzz_passes --out failures.txt          # append reproducer lines
 //   fuzz_passes --repro 'algo=LADIES nodes=200 ...'   # replay one line
 //
@@ -22,17 +30,24 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "algorithms/algorithms.h"
 #include "common/rng.h"
+#include "core/engine.h"
+#include "core/executor.h"
 #include "core/plan.h"
 #include "device/device.h"
 #include "graph/generator.h"
 #include "graph/graph.h"
+#include "graph/partition.h"
 #include "oracle/oracle.h"
+#include "shard/shard.h"
+#include "tensor/tensor.h"
 
 namespace {
 
@@ -56,6 +71,8 @@ struct FuzzConfig {
   uint64_t seed = 1;
   std::string profile = "v100";
   int pass_limit = -1;
+  int shards = 1;             // >1 adds the sharded-vs-single differential
+  std::string cut = "edge";   // partition kind when shards > 1
 
   std::string ToLine() const {
     std::ostringstream os;
@@ -65,7 +82,8 @@ struct FuzzConfig {
        << " fusion=" << fusion << " preproc=" << preproc << " layout=" << layout
        << " greedy=" << greedy << " super_batch=" << super_batch
        << " seed=" << seed << " profile=" << profile
-       << " pass_limit=" << pass_limit;
+       << " pass_limit=" << pass_limit << " shards=" << shards
+       << " cut=" << cut;
     return os.str();
   }
 
@@ -96,6 +114,8 @@ struct FuzzConfig {
       if (kv.count("seed")) out.seed = std::stoull(kv["seed"]);
       if (kv.count("profile")) out.profile = kv["profile"];
       if (kv.count("pass_limit")) out.pass_limit = std::stoi(kv["pass_limit"]);
+      if (kv.count("shards")) out.shards = std::stoi(kv["shards"]);
+      if (kv.count("cut")) out.cut = kv["cut"];
     } catch (const std::exception&) {
       return false;
     }
@@ -146,9 +166,81 @@ gs::oracle::OracleReport RunConfig(const FuzzConfig& c) {
   return gs::oracle::VerifyConfig(c.algo, g, ToSamplerOptions(c), opts);
 }
 
+// Sharded-vs-single differential (--shards N): every batch sampled through
+// an N-way ShardGroup must be bit-identical to a single-device session over
+// the same plan, frontier, and seed. Returns an empty string when the
+// contract holds, a description of the first divergence otherwise.
+// Model-updating algorithms are skipped (SampleSeeded is pure, but their
+// contract is defined over the stateful epoch path the group does not run),
+// as is HetGNN (its extra relation bindings have no ShardGroup hook).
+std::string ShardMismatch(const FuzzConfig& c, bool* ran = nullptr) {
+  if (ran) *ran = false;
+  if (c.shards <= 1) {
+    return "";
+  }
+  try {
+    const gs::device::DeviceProfile profile =
+        c.profile == "t4" ? gs::device::T4Sim() : gs::device::V100Sim();
+    // Device before graph, as in RunConfig: the graph must die first.
+    gs::device::Device device(profile);
+    gs::device::DeviceGuard guard(device);
+    gs::graph::Graph g = MakeGraph(c);
+    gs::algorithms::AlgorithmProgram ref = gs::algorithms::MakeAlgorithm(c.algo, g);
+    if (ref.updates_model || c.algo == "HetGNN") {
+      return "";
+    }
+    if (ran) *ran = true;
+    gs::core::SamplerOptions opts = ToSamplerOptions(c);
+    opts.super_batch = 1;  // both sides sample one request at a time
+    auto plan = std::make_shared<gs::core::CompiledPlan>(std::move(ref.program), opts, c.algo);
+    gs::core::SamplerSession session(std::move(plan), g, std::move(ref.tensors));
+    session.Warmup(gs::tensor::IdArray::FromVector({0, 1, 2, 3}));
+
+    gs::algorithms::AlgorithmProgram ap = gs::algorithms::MakeAlgorithm(c.algo, g);
+    gs::shard::ShardGroupOptions shard_opts;
+    shard_opts.num_shards = c.shards;
+    shard_opts.partition = c.cut == "vertex" ? gs::graph::PartitionKind::kVertexCut
+                                             : gs::graph::PartitionKind::kEdgeCut;
+    shard_opts.profile = profile;
+    shard_opts.sampler = opts;
+    const gs::shard::ShardGroup group(g, std::move(ap.program), std::move(ap.tensors),
+                                      shard_opts);
+
+    Rng rng = Rng(c.seed ^ 0x5A4D5A4DULL);
+    for (int b = 0; b < c.num_batches; ++b) {
+      std::vector<int32_t> ids;
+      ids.reserve(static_cast<size_t>(c.batch_size));
+      for (int64_t j = 0; j < c.batch_size; ++j) {
+        ids.push_back(static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(c.nodes))));
+      }
+      const gs::tensor::IdArray frontier = gs::tensor::IdArray::FromVector(ids);
+      const uint64_t seed = c.seed + static_cast<uint64_t>(b) * 1315423911ULL;
+      const std::vector<gs::core::Value> want = session.SampleSeeded(frontier, seed);
+      const int shard = b % c.shards;  // rotate so every shard gets checked
+      const std::vector<gs::core::Value> got = group.Sample(shard, frontier, seed);
+      if (got.size() != want.size()) {
+        return c.algo + ": shard " + std::to_string(shard) + " returned " +
+               std::to_string(got.size()) + " outputs, single-device returned " +
+               std::to_string(want.size());
+      }
+      for (size_t v = 0; v < want.size(); ++v) {
+        if (!gs::core::BitIdentical(got[v], want[v])) {
+          return c.algo + ": batch " + std::to_string(b) + " output " + std::to_string(v) +
+                 " on shard " + std::to_string(shard) +
+                 " diverged from single-device (" + c.cut + "-cut x" +
+                 std::to_string(c.shards) + ")";
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    return std::string("shard THROW ") + e.what();
+  }
+  return "";
+}
+
 bool Fails(const FuzzConfig& c) {
   try {
-    return !RunConfig(c).ok();
+    return !RunConfig(c).ok() || !ShardMismatch(c).empty();
   } catch (const std::exception&) {
     return true;  // a throwing config is a failing config — keep minimizing
   }
@@ -165,6 +257,16 @@ void MinimizeFlags(FuzzConfig& c) {
     if (c.super_batch != 1) {
       trials.push_back(c);
       trials.back().super_batch = 1;
+    }
+    if (c.shards != 1) {
+      // Drop the shard dimension first: if the failure survives on a single
+      // device the reproducer should not mention sharding at all.
+      trials.push_back(c);
+      trials.back().shards = 1;
+    }
+    if (c.shards > 1 && c.cut != "edge") {
+      trials.push_back(c);
+      trials.back().cut = "edge";
     }
     for (bool FuzzConfig::* knob :
          {&FuzzConfig::fusion, &FuzzConfig::preproc, &FuzzConfig::layout,
@@ -247,7 +349,7 @@ void MinimizeShape(FuzzConfig& c) {
   }
 }
 
-FuzzConfig Draw(uint64_t base_seed, uint64_t index) {
+FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards) {
   Rng rng = Rng(base_seed).Fork(index);
   const std::vector<std::string> algos = gs::algorithms::AllAlgorithmNames();
   FuzzConfig c;
@@ -267,12 +369,17 @@ FuzzConfig Draw(uint64_t base_seed, uint64_t index) {
   c.seed = rng.UniformInt(int64_t{1} << 32);
   c.profile = rng.UniformInt(2) == 1 ? "t4" : "v100";
   c.pass_limit = -1;
+  // The shard count comes from the CLI, not the stream, so `--seeds N` draws
+  // the same configs with and without `--shards`; only the cut is drawn (and
+  // drawn last, keeping every pre-shard field identical to older streams).
+  c.shards = shards;
+  c.cut = rng.UniformInt(2) == 1 ? "vertex" : "edge";
   return c;
 }
 
 int Usage() {
   std::cerr << "usage: fuzz_passes [--seeds N] [--base-seed S] [--out FILE]\n"
-               "                   [--repro 'key=value ...']\n";
+               "                   [--shards N] [--repro 'key=value ...']\n";
   return 2;
 }
 
@@ -281,6 +388,7 @@ int Usage() {
 int main(int argc, char** argv) {
   int64_t num_seeds = 50;
   uint64_t base_seed = 0xF022;
+  int shards = 1;
   std::string out_path;
   std::string repro_line;
   for (int i = 1; i < argc; ++i) {
@@ -294,6 +402,11 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return Usage();
       base_seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return Usage();
+      shards = std::atoi(v);
+      if (shards < 1) return Usage();
     } else if (arg == "--out") {
       const char* v = next();
       if (!v) return Usage();
@@ -316,7 +429,17 @@ int main(int argc, char** argv) {
     try {
       const gs::oracle::OracleReport report = RunConfig(c);
       std::cout << report.ToString() << "\n";
-      return report.ok() ? 0 : 1;
+      bool ran = false;
+      const std::string mismatch = ShardMismatch(c, &ran);
+      if (!mismatch.empty()) {
+        std::cout << "shard differential: " << mismatch << "\n";
+      } else if (ran) {
+        std::cout << "shard differential: " << c.shards << "-shard " << c.cut
+                  << "-cut bit-identical\n";
+      } else if (c.shards > 1) {
+        std::cout << "shard differential: skipped (stateful or extra bindings)\n";
+      }
+      return report.ok() && mismatch.empty() ? 0 : 1;
     } catch (const std::exception& e) {
       std::cout << c.algo << ": THROW " << e.what() << "\n";
       return 1;
@@ -325,14 +448,19 @@ int main(int argc, char** argv) {
 
   int64_t failures = 0;
   for (int64_t i = 0; i < num_seeds; ++i) {
-    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i));
+    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i), shards);
     std::string detail;
     try {
       const gs::oracle::OracleReport report = RunConfig(c);
       if (report.ok()) {
-        continue;
+        const std::string mismatch = ShardMismatch(c);
+        if (mismatch.empty()) {
+          continue;
+        }
+        detail = "shard differential: " + mismatch;
+      } else {
+        detail = report.ToString();
       }
-      detail = report.ToString();
     } catch (const std::exception& e) {
       detail = std::string("THROW ") + e.what();
     }
