@@ -26,7 +26,7 @@ Sweep RunWithCache(double cache_fraction) {
   const int64_t slots = std::max<int64_t>(
       4, static_cast<int64_t>(static_cast<double>(g.num_nodes()) * cache_fraction));
   // Replace the default cache with the swept size.
-  device::UvaCache cache(slots);
+  feature::HotSetCache cache(slots);
   g.mutable_adj().SetUvaCache(&cache);
 
   algorithms::AlgorithmProgram ap = algorithms::GraphSage(g, {});

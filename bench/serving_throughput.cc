@@ -16,8 +16,13 @@
 // the profile's interconnect rate, so the per-hop exchange-bytes table and
 // the (slightly) higher per-request latency are part of the report.
 //
+// Feature serving (--features, gs::feature): every response additionally
+// carries the gathered feature rows for its result frontier, pulled through
+// per-tenant hot-set cache partitions; the report (and --json) then includes
+// the aggregate cache hit rate and gather/miss byte counts.
+//
 // Usage: serving_throughput [--scale=0.05] [--requests=400] [--workers=4]
-//                           [--shards=4] [--vertex-cut]
+//                           [--shards=4] [--vertex-cut] [--features] [--json]
 
 #include <algorithm>
 #include <cstdint>
@@ -42,6 +47,8 @@ struct Sweep {
   int workers = 4;
   int shards = 0;  // 0 = wall-clock sweep (default); N = shard capacity mode
   bool vertex_cut = false;
+  bool features = false;  // gather feature rows per response (gs::feature)
+  bool json = false;      // machine-readable cell dump instead of the table
 };
 
 gs::serving::LoadGenReport RunCell(const gs::graph::Graph& graph, double rps, bool coalesce,
@@ -51,6 +58,7 @@ gs::serving::LoadGenReport RunCell(const gs::graph::Graph& graph, double rps, bo
   options.queue_capacity = 64;
   options.coalesce_max = 8;
   options.enable_coalescing = coalesce;
+  options.serve_features = sweep.features;
   gs::serving::Server server(options);
   server.RegisterEndpoint(gs::serving::MakeEndpoint("GraphSAGE", "PD", graph));
   server.Start();
@@ -201,6 +209,10 @@ int main(int argc, char** argv) {
       sweep.shards = std::atoi(argv[i] + 9);
     } else if (std::strcmp(argv[i], "--vertex-cut") == 0) {
       sweep.vertex_cut = true;
+    } else if (std::strcmp(argv[i], "--features") == 0) {
+      sweep.features = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      sweep.json = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -211,26 +223,67 @@ int main(int argc, char** argv) {
   if (sweep.shards > 0) {
     return RunShardSweep(graph, sweep);
   }
-  std::printf("serving_throughput: PD-sim scale=%.3f nodes=%lld, %lld requests, %d workers\n\n",
-              sweep.scale, static_cast<long long>(graph.num_nodes()),
-              static_cast<long long>(sweep.requests), sweep.workers);
-  std::printf("%10s %10s | %9s %8s %8s %8s | %9s %9s\n", "offered", "coalesce", "goodput",
-              "ok", "rejected", "ratio", "p50(us)", "p95(us)");
+  if (sweep.json) {
+    std::printf("{\"bench\": \"serving_throughput\", \"scale\": %.3f, \"requests\": %lld,\n"
+                " \"workers\": %d, \"features\": %s, \"cells\": [\n",
+                sweep.scale, static_cast<long long>(sweep.requests), sweep.workers,
+                sweep.features ? "true" : "false");
+  } else {
+    std::printf("serving_throughput: PD-sim scale=%.3f nodes=%lld, %lld requests, %d workers\n\n",
+                sweep.scale, static_cast<long long>(graph.num_nodes()),
+                static_cast<long long>(sweep.requests), sweep.workers);
+    std::printf("%10s %10s | %9s %8s %8s %8s | %9s %9s", "offered", "coalesce", "goodput",
+                "ok", "rejected", "ratio", "p50(us)", "p95(us)");
+    if (sweep.features) {
+      std::printf(" | %9s %10s %8s", "feat_hit", "gather_mb", "feat_us");
+    }
+    std::printf("\n");
+  }
 
   const std::vector<double> loads = {200, 1000, 4000};
+  bool first_cell = true;
   for (double rps : loads) {
     for (bool coalesce : {false, true}) {
       gs::serving::ServerStats stats;
       const gs::serving::LoadGenReport report = RunCell(graph, rps, coalesce, sweep, &stats);
-      std::printf("%10.0f %10s | %9.0f %8lld %8lld %8.2f | %9lld %9lld\n", rps,
-                  coalesce ? "on" : "off", report.achieved_rps,
-                  static_cast<long long>(report.ok), static_cast<long long>(report.rejected),
-                  stats.CoalescingRatio(), static_cast<long long>(report.p50_ns / 1000),
-                  static_cast<long long>(report.p95_ns / 1000));
+      if (sweep.json) {
+        std::printf("%s  {\"offered_rps\": %.0f, \"coalesce\": %s, \"goodput_rps\": %.1f,\n"
+                    "   \"ok\": %lld, \"rejected\": %lld, \"coalescing_ratio\": %.3f,\n"
+                    "   \"p50_us\": %lld, \"p95_us\": %lld,\n"
+                    "   \"feature_hit_rate\": %.4f, \"feature_rows\": %lld,\n"
+                    "   \"feature_gather_bytes\": %lld, \"feature_miss_bytes\": %lld,\n"
+                    "   \"feature_gather_us\": %lld}",
+                    first_cell ? "" : ",\n", rps, coalesce ? "true" : "false",
+                    report.achieved_rps, static_cast<long long>(report.ok),
+                    static_cast<long long>(report.rejected), stats.CoalescingRatio(),
+                    static_cast<long long>(report.p50_ns / 1000),
+                    static_cast<long long>(report.p95_ns / 1000), stats.FeatureHitRate(),
+                    static_cast<long long>(stats.feature_rows),
+                    static_cast<long long>(stats.feature_gather_bytes),
+                    static_cast<long long>(stats.feature_miss_bytes),
+                    static_cast<long long>(stats.feature_gather_ns / 1000));
+        first_cell = false;
+      } else {
+        std::printf("%10.0f %10s | %9.0f %8lld %8lld %8.2f | %9lld %9lld", rps,
+                    coalesce ? "on" : "off", report.achieved_rps,
+                    static_cast<long long>(report.ok), static_cast<long long>(report.rejected),
+                    stats.CoalescingRatio(), static_cast<long long>(report.p50_ns / 1000),
+                    static_cast<long long>(report.p95_ns / 1000));
+        if (sweep.features) {
+          std::printf(" | %8.1f%% %10.2f %8lld", 100.0 * stats.FeatureHitRate(),
+                      static_cast<double>(stats.feature_gather_bytes) / 1e6,
+                      static_cast<long long>(stats.feature_gather_ns / 1000));
+        }
+        std::printf("\n");
+      }
     }
   }
-  std::printf(
-      "\nExpectation: at high offered load, coalesce=on sustains more goodput with a\n"
-      "lower p95 than coalesce=off; the coalescing ratio rises with offered load.\n");
+  if (sweep.json) {
+    std::printf("\n]}\n");
+  } else {
+    std::printf(
+        "\nExpectation: at high offered load, coalesce=on sustains more goodput with a\n"
+        "lower p95 than coalesce=off; the coalescing ratio rises with offered load.\n");
+  }
   return 0;
 }

@@ -15,6 +15,8 @@ void DeviceProfile::Validate() const {
       << "profile " << name << ": negative HBM bandwidth charge";
   GS_CHECK_GE(pcie_ns_per_byte, 0.0)
       << "profile " << name << ": negative PCIe bandwidth charge";
+  GS_CHECK_GE(host_read_ns_per_byte, 0.0)
+      << "profile " << name << ": negative host-read bandwidth charge";
   GS_CHECK_GE(interconnect_ns_per_byte, 0.0)
       << "profile " << name << ": negative interconnect bandwidth charge";
 }
@@ -29,6 +31,7 @@ DeviceProfile V100Sim() {
   p.dense_compute_scale = 0.08;
   p.hbm_penalty_ns_per_byte = 0.0;
   p.pcie_ns_per_byte = kPcieNsPerByte;
+  p.host_read_ns_per_byte = kHostReadNsPerByte;
   p.interconnect_ns_per_byte = Interconnect();  // NVLink-class parts
   p.sm_saturation_items = 80 * 2048;  // 80 SMs
   return p;
@@ -45,6 +48,7 @@ DeviceProfile T4Sim() {
   // difference in per-byte cost: 1/270e9 - 1/900e9 seconds per byte.
   p.hbm_penalty_ns_per_byte = (1.0 / 270.0 - 1.0 / 900.0);  // ns per byte (GB/s -> ns/B)
   p.pcie_ns_per_byte = kPcieNsPerByte;
+  p.host_read_ns_per_byte = kHostReadNsPerByte;
   // T4-class boards have no NVLink: shard exchange rides PCIe peer-to-peer.
   p.interconnect_ns_per_byte = kPcieNsPerByte;
   p.sm_saturation_items = 40 * 1024;  // 40 SMs, fewer threads
@@ -59,6 +63,7 @@ DeviceProfile CpuSim(const std::string& name, double compute_scale) {
   p.dense_compute_scale = 0.05;  // BLAS-backed dense math vs naive loops
   p.hbm_penalty_ns_per_byte = 0.0;
   p.pcie_ns_per_byte = 0.0;          // graph lives in host memory already
+  p.host_read_ns_per_byte = 0.0;     // "host" memory is the device memory
   p.interconnect_ns_per_byte = 0.0;  // single-socket baseline, no shards
   p.sm_saturation_items = 1;
   return p;

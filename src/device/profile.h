@@ -57,6 +57,16 @@ struct DeviceProfile {
   // graph is UVA-resident. PCIe 3.0 x16 ~ 12 GB/s effective => ~0.083 ns/B.
   double pcie_ns_per_byte = 0.083;
 
+  // Charge per byte *read from host DRAM* when gathering feature rows that
+  // missed the device-side hot-set cache (gs::feature). On real hardware a
+  // UVA feature gather pays twice: the host memory controller serves the
+  // random row reads, then the rows cross PCIe — so FeatureStore::Gather
+  // charges miss bytes at pcie_ns_per_byte + host_read_ns_per_byte while
+  // cache hits ride HBM. Host DDR4 under random access sustains ~40 GB/s
+  // effective => 0.025 ns/B. 0 disables the charge (CPU baselines, where
+  // "host" memory is the device memory).
+  double host_read_ns_per_byte = 0.0;
+
   // Charge per byte exchanged with peer shards over the (simulated)
   // device-to-device interconnect — the shard-to-shard analog of the UVA
   // PCIe charge. A multi-device ShardGroup charges each frontier hop's
@@ -102,6 +112,7 @@ struct DeviceProfile {
 // Bandwidth-charge presets (ns per byte = 1 / effective GB/s). These back
 // the profile constants below and the shard interconnect.
 inline constexpr double kPcieNsPerByte = 0.083;  // PCIe 3.0 x16, ~12 GB/s
+inline constexpr double kHostReadNsPerByte = 0.025;  // host DDR4 random reads, ~40 GB/s
 
 // Shard-to-shard interconnect charge: NVLink-class links sustain ~50 GB/s
 // effective per direction => 0.02 ns/B, ~4x faster than PCIe. This is the

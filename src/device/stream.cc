@@ -30,7 +30,8 @@ void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
       static_cast<double>(p.launch_overhead_ns) +
       static_cast<double>(stats.hbm_bytes) * p.hbm_penalty_ns_per_byte +
       static_cast<double>(stats.pcie_bytes) * p.pcie_ns_per_byte +
-      static_cast<double>(stats.interconnect_bytes) * p.interconnect_ns_per_byte;
+      static_cast<double>(stats.interconnect_bytes) * p.interconnect_ns_per_byte +
+      static_cast<double>(stats.host_bytes) * p.host_read_ns_per_byte;
   const double compute_factor = p.compute_scale * (stats.dense ? p.dense_compute_scale : 1.0);
   double virtual_ns = static_cast<double>(cpu_ns) * compute_factor + memory_ns;
   // Deterministic twin of the virtual clock: compute charged per work item
@@ -69,6 +70,7 @@ void Stream::RecordKernel(int64_t cpu_ns, const KernelStats& stats) {
   hbm_bytes_.fetch_add(stats.hbm_bytes, kRelaxed);
   pcie_bytes_.fetch_add(stats.pcie_bytes, kRelaxed);
   interconnect_bytes_.fetch_add(stats.interconnect_bytes, kRelaxed);
+  host_bytes_.fetch_add(stats.host_bytes, kRelaxed);
   occupancy_ns_.fetch_add(occupancy * virtual_ns, kRelaxed);
 }
 
@@ -90,6 +92,7 @@ void Stream::MergeOverlapped(const StreamCounters& child, int64_t elapsed_virtua
   hbm_bytes_.fetch_add(child.hbm_bytes, kRelaxed);
   pcie_bytes_.fetch_add(child.pcie_bytes, kRelaxed);
   interconnect_bytes_.fetch_add(child.interconnect_bytes, kRelaxed);
+  host_bytes_.fetch_add(child.host_bytes, kRelaxed);
   occupancy_ns_.fetch_add(child.occupancy_ns, kRelaxed);
   stuck_kernels_.fetch_add(child.stuck_kernels, kRelaxed);
   virtual_ns_.fetch_add(elapsed_virtual_ns, kRelaxed);
@@ -105,6 +108,7 @@ StreamCounters Stream::counters() const {
   c.hbm_bytes = hbm_bytes_.load(kRelaxed);
   c.pcie_bytes = pcie_bytes_.load(kRelaxed);
   c.interconnect_bytes = interconnect_bytes_.load(kRelaxed);
+  c.host_bytes = host_bytes_.load(kRelaxed);
   c.timeline_ns = now_ns_.load(kRelaxed);
   c.starved_ns = starved_ns_.load(kRelaxed);
   c.backpressure_ns = backpressure_ns_.load(kRelaxed);
@@ -121,6 +125,7 @@ void Stream::ResetCounters() {
   hbm_bytes_.store(0, kRelaxed);
   pcie_bytes_.store(0, kRelaxed);
   interconnect_bytes_.store(0, kRelaxed);
+  host_bytes_.store(0, kRelaxed);
   now_ns_.store(0, kRelaxed);
   starved_ns_.store(0, kRelaxed);
   backpressure_ns_.store(0, kRelaxed);

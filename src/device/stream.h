@@ -52,6 +52,11 @@ struct KernelStats {
   // Bytes exchanged with peer shards over the device-to-device interconnect
   // (the coalesced all-to-all of shard::FrontierExchange).
   int64_t interconnect_bytes = 0;
+  // Bytes read from host DRAM (feature rows missing the hot-set cache).
+  // Charged at host_read_ns_per_byte on top of any PCIe charge — a UVA
+  // gather pays the host memory controller and the bus. Declared last so
+  // older designated initializers stay valid.
+  int64_t host_bytes = 0;
 };
 
 // A point on a stream's virtual timeline: all work submitted to the stream
@@ -80,6 +85,7 @@ struct StreamCounters {
   int64_t hbm_bytes = 0;
   int64_t pcie_bytes = 0;
   int64_t interconnect_bytes = 0;  // shard-to-shard all-to-all traffic
+  int64_t host_bytes = 0;          // host-DRAM reads (feature-gather misses)
   int64_t timeline_ns = 0;         // current virtual timeline position
   int64_t starved_ns = 0;          // stalls waiting on upstream events
   int64_t backpressure_ns = 0;     // stalls waiting on downstream slots
@@ -153,6 +159,7 @@ class Stream {
   std::atomic<int64_t> hbm_bytes_{0};
   std::atomic<int64_t> pcie_bytes_{0};
   std::atomic<int64_t> interconnect_bytes_{0};
+  std::atomic<int64_t> host_bytes_{0};
   std::atomic<int64_t> now_ns_{0};
   std::atomic<int64_t> starved_ns_{0};
   std::atomic<int64_t> backpressure_ns_{0};

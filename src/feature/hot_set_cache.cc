@@ -1,0 +1,347 @@
+#include "feature/hot_set_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.h"
+#include "device/device.h"
+#include "fault/fault.h"
+#include "fault/status.h"
+
+namespace gs::feature {
+namespace {
+
+constexpr uint64_t kEmptyTag = ~uint64_t{0};
+
+uint64_t MixHash(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Backing stores are split into pages so memory pressure can release part of
+// the cache: the OOM ladder drops whole pages (real allocator bytes) instead
+// of all-or-nothing.
+constexpr int64_t kBackingPages = 8;
+
+}  // namespace
+
+const char* AdmissionName(Admission admission) {
+  switch (admission) {
+    case Admission::kStaticDegree:
+      return "static-degree";
+    case Admission::kLru:
+      return "lru";
+    case Admission::kFrequencyEma:
+      return "frequency-ema";
+  }
+  return "unknown";
+}
+
+Admission AdmissionFromName(const std::string& name) {
+  if (name == "static-degree") {
+    return Admission::kStaticDegree;
+  }
+  if (name == "lru") {
+    return Admission::kLru;
+  }
+  if (name == "frequency-ema") {
+    return Admission::kFrequencyEma;
+  }
+  throw Error("unknown admission policy: " + name +
+              " (expected static-degree | lru | frequency-ema)");
+}
+
+HotSetCache::HotSetCache(HotSetCacheOptions options) : options_(options) {
+  GS_CHECK_GT(options_.capacity, 0);
+  GS_CHECK_GE(options_.entry_bytes, 0);
+  live_capacity_.store(options_.capacity, std::memory_order_relaxed);
+  half_life_ = options_.ema_half_life > 0 ? options_.ema_half_life
+                                          : std::max<int64_t>(options_.capacity, 256);
+  if (options_.admission == Admission::kStaticDegree) {
+    num_tag_slots_ = options_.capacity;
+    tags_ = std::make_unique<std::atomic<uint64_t>[]>(static_cast<size_t>(num_tag_slots_));
+    for (int64_t i = 0; i < num_tag_slots_; ++i) {
+      tags_[static_cast<size_t>(i)].store(kEmptyTag, std::memory_order_relaxed);
+    }
+  }
+  if (options_.entry_bytes > 0) {
+    allocator_ = &device::Current().allocator();
+    page_entries_ = (options_.capacity + kBackingPages - 1) / kBackingPages;
+    int64_t covered = 0;
+    int64_t total_bytes = 0;
+    while (covered < options_.capacity) {
+      const int64_t entries = std::min(page_entries_, options_.capacity - covered);
+      pages_.push_back(
+          device::Array<uint8_t>::Empty(entries * options_.entry_bytes));
+      covered += entries;
+      total_bytes += entries * options_.entry_bytes;
+    }
+    live_pages_ = static_cast<int64_t>(pages_.size());
+    allocator_->AdjustReserved(total_bytes);
+  }
+  if (options_.register_pressure_handler) {
+    if (allocator_ == nullptr) {
+      allocator_ = &device::Current().allocator();
+    }
+    pressure_handler_id_ = allocator_->RegisterPressureHandler(
+        [this](int64_t bytes_needed) { return ReleaseMemory(bytes_needed); });
+  }
+}
+
+HotSetCache::~HotSetCache() {
+  if (pressure_handler_id_ != 0) {
+    // Blocks until any in-flight pressure invocation returns, so the lambda
+    // can never touch a dead cache.
+    allocator_->UnregisterPressureHandler(pressure_handler_id_);
+  }
+  if (allocator_ != nullptr && !pages_.empty()) {
+    int64_t live_bytes = 0;
+    for (int64_t i = 0; i < live_pages_; ++i) {
+      live_bytes += pages_[static_cast<size_t>(i)].bytes();
+    }
+    if (live_bytes > 0) {
+      allocator_->AdjustReserved(-live_bytes);
+    }
+  }
+}
+
+int64_t HotSetCache::Access(uint64_t key, int64_t bytes) {
+  if (fault::Injected(fault::Site::kTransferError)) {
+    throw fault::TransientError("injected UVA transfer fault (transfer.error)");
+  }
+  if (options_.admission == Admission::kStaticDegree) {
+    const int64_t slots = live_capacity_.load(std::memory_order_relaxed);
+    const size_t slot = static_cast<size_t>(MixHash(key) % static_cast<uint64_t>(slots));
+    if (tags_[slot].load(std::memory_order_relaxed) == key) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    tags_[slot].store(key, std::memory_order_relaxed);
+    return bytes;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int64_t capacity = live_capacity_.load(std::memory_order_relaxed);
+  if (options_.admission == Admission::kLru) {
+    auto it = lru_table_.find(key);
+    if (it != lru_table_.end()) {
+      lru_order_.splice(lru_order_.begin(), lru_order_, it->second);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return 0;
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    lru_order_.push_front(key);
+    lru_table_[key] = lru_order_.begin();
+    ++insertions_;
+    EvictToCapacityLocked(capacity);
+    return bytes;
+  }
+
+  // kFrequencyEma.
+  if (++accesses_since_decay_ >= half_life_) {
+    DecayLocked();
+  }
+  const double candidate = (freq_[key] += 1.0);
+  if (resident_.count(key) != 0) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (static_cast<int64_t>(resident_.size()) < capacity) {
+    resident_[key] = true;
+    weakest_.push({candidate, key});
+    ++insertions_;
+  } else if (capacity > 0) {
+    // Admission filter: displace the weakest resident only when the
+    // candidate's decayed frequency strictly beats it. One-touch keys
+    // (candidate == 1 against an established hot set) bounce off, which is
+    // what keeps hubs resident through scans.
+    const uint64_t weakest = WeakestResidentLocked();
+    if (candidate > freq_[weakest]) {
+      resident_.erase(weakest);
+      ++evictions_;
+      resident_[key] = true;
+      weakest_.push({candidate, key});
+      ++insertions_;
+    }
+  }
+  return bytes;
+}
+
+void HotSetCache::Reset() {
+  for (int64_t i = 0; i < num_tag_slots_; ++i) {
+    tags_[static_cast<size_t>(i)].store(kEmptyTag, std::memory_order_relaxed);
+  }
+  if (options_.admission != Admission::kStaticDegree) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    lru_order_.clear();
+    lru_table_.clear();
+    freq_.clear();
+    resident_.clear();
+    weakest_ = {};
+    accesses_since_decay_ = 0;
+    insertions_ = 0;
+    evictions_ = 0;
+  }
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+}
+
+void HotSetCache::Shrink() {
+  if (options_.admission == Admission::kStaticDegree && pages_.empty()) {
+    // The original lock-free UVA-cache path: CAS-halve the live slot count.
+    // Keys remap, so the effect is a cache flush plus a permanently higher
+    // miss rate — the graceful-degradation rung of the OOM ladder.
+    int64_t slots = live_capacity_.load(std::memory_order_relaxed);
+    while (slots > kMinCapacity) {
+      const int64_t next = std::max(kMinCapacity, slots / 2);
+      if (live_capacity_.compare_exchange_weak(slots, next, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+    return;
+  }
+  int64_t released = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const int64_t live = live_capacity_.load(std::memory_order_relaxed);
+    released = ShrinkToLocked(std::max(kMinCapacity, live / 2));
+  }
+  if (released > 0) {
+    allocator_->AdjustReserved(-released);
+  }
+}
+
+int64_t HotSetCache::ReleaseMemory(int64_t bytes_needed) {
+  pressure_releases_.fetch_add(1, std::memory_order_relaxed);
+  if (pages_.empty()) {
+    // Cost-model-only cache: no real bytes to give back; shrink the
+    // simulated footprint instead.
+    Shrink();
+    return 0;
+  }
+  int64_t released = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (live_pages_ > 1 && released < bytes_needed) {
+      released += pages_[static_cast<size_t>(live_pages_ - 1)].bytes();
+      pages_[static_cast<size_t>(live_pages_ - 1)] = {};
+      --live_pages_;
+    }
+    const int64_t capacity =
+        std::min(options_.capacity, live_pages_ * page_entries_);
+    live_capacity_.store(capacity, std::memory_order_relaxed);
+    EvictToCapacityLocked(capacity);
+  }
+  if (released > 0) {
+    allocator_->AdjustReserved(-released);
+  }
+  return released;
+}
+
+int64_t HotSetCache::ShrinkToLocked(int64_t target_capacity) {
+  int64_t released = 0;
+  int64_t capacity = target_capacity;
+  if (!pages_.empty()) {
+    // Page granularity: drop trailing pages while what remains still covers
+    // the target, then land on the page-derived capacity.
+    while (live_pages_ > 1 &&
+           std::min(options_.capacity, (live_pages_ - 1) * page_entries_) >=
+               target_capacity) {
+      released += pages_[static_cast<size_t>(live_pages_ - 1)].bytes();
+      pages_[static_cast<size_t>(live_pages_ - 1)] = {};
+      --live_pages_;
+    }
+    capacity = std::min(options_.capacity, live_pages_ * page_entries_);
+  }
+  live_capacity_.store(capacity, std::memory_order_relaxed);
+  EvictToCapacityLocked(capacity);
+  return released;
+}
+
+void HotSetCache::EvictToCapacityLocked(int64_t capacity) {
+  if (options_.admission == Admission::kLru) {
+    while (static_cast<int64_t>(lru_table_.size()) > capacity) {
+      const uint64_t victim = lru_order_.back();
+      lru_order_.pop_back();
+      lru_table_.erase(victim);
+      ++evictions_;
+    }
+    return;
+  }
+  if (options_.admission == Admission::kFrequencyEma) {
+    while (static_cast<int64_t>(resident_.size()) > capacity) {
+      const uint64_t victim = WeakestResidentLocked();
+      resident_.erase(victim);
+      ++evictions_;
+    }
+  }
+  // kStaticDegree: shrinking live_capacity_ remaps slots; nothing to evict.
+}
+
+uint64_t HotSetCache::WeakestResidentLocked() {
+  GS_INTERNAL(!resident_.empty());
+  while (true) {
+    GS_INTERNAL(!weakest_.empty());
+    const auto [pushed_freq, key] = weakest_.top();
+    weakest_.pop();
+    if (resident_.count(key) == 0) {
+      continue;  // stale: evicted since it was pushed
+    }
+    const auto it = freq_.find(key);
+    const double current = it != freq_.end() ? it->second : 0.0;
+    if (pushed_freq != current) {
+      weakest_.push({current, key});  // stale frequency: refresh and retry
+      continue;
+    }
+    weakest_.push({pushed_freq, key});  // keep the heap's resident invariant
+    return key;
+  }
+}
+
+void HotSetCache::DecayLocked() {
+  accesses_since_decay_ = 0;
+  for (auto it = freq_.begin(); it != freq_.end();) {
+    it->second *= 0.5;
+    // Prune cold non-resident history so the frequency map stays bounded by
+    // the working set, not the key universe.
+    if (it->second < 0.05 && resident_.count(it->first) == 0) {
+      it = freq_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+HotSetCacheStats HotSetCache::stats() const {
+  HotSetCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.capacity = live_capacity_.load(std::memory_order_relaxed);
+  s.pressure_releases = pressure_releases_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.admission == Admission::kStaticDegree) {
+    // Every miss installs into its slot.
+    s.insertions = s.misses;
+    for (int64_t i = 0; i < s.capacity; ++i) {
+      if (tags_[static_cast<size_t>(i)].load(std::memory_order_relaxed) != kEmptyTag) {
+        ++s.resident;
+      }
+    }
+  } else {
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.resident = options_.admission == Admission::kLru
+                     ? static_cast<int64_t>(lru_table_.size())
+                     : static_cast<int64_t>(resident_.size());
+  }
+  for (int64_t i = 0; i < live_pages_; ++i) {
+    s.backing_bytes += pages_[static_cast<size_t>(i)].bytes();
+  }
+  return s;
+}
+
+}  // namespace gs::feature

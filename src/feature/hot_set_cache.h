@@ -1,0 +1,194 @@
+// gs::feature::HotSetCache — the one hot-set cache abstraction.
+//
+// Graph learning workloads have two hot sets with the same shape: the
+// adjacency lists of popular nodes (the paper's Section 5.2 skewed-access
+// observation, previously modeled by the bespoke device::UvaCache) and the
+// feature rows of popular nodes (BGL / cache-first edge sampling,
+// PAPERS.md). This class serves both clients: kernels ask the cache how
+// many bytes an access actually costs — hits cost nothing, misses cost the
+// full transfer — and the admission policy decides which keys stay hot.
+//
+// Admission policies:
+//  - kStaticDegree: the direct-mapped tag array the UVA adjacency cache has
+//    always used. Admission is stateless (every miss installs into the
+//    key's hash slot), so under power-law access the steady-state contents
+//    converge to the high-degree hot set — hence the name. This policy
+//    reproduces the old UvaCache behavior bit-for-bit: same hash, same
+//    slot count, same install-on-miss, same Shrink halving.
+//  - kLru: exact least-recently-used over `capacity` keys. Recency-only;
+//    admits every miss, so scans evict the hot set.
+//  - kFrequencyEma: admission by exponentially-decayed access frequency
+//    (TinyLFU-flavored). Every key's frequency halves each `ema_half_life`
+//    accesses; a miss is admitted only when the candidate's frequency beats
+//    the weakest resident's, so one-touch keys never displace hubs — the
+//    policy that holds the >=90% hit rate at a 10% budget in
+//    bench/feature_cache.
+//
+// Byte accounting (options.entry_bytes > 0): the cache owns a real device
+// backing store of capacity * entry_bytes, allocated in pages from the
+// current device's caching allocator, and mirrors the live backing into the
+// allocator's reserved-bytes attribution — exactly like the serving plan
+// cache pins its resident plans. With register_pressure_handler set, the
+// cache joins the allocator's OOM ladder: a pressure round drops backing
+// pages (ReleaseMemory), releasing real bytes and shrinking capacity, so
+// eviction order across the plan cache and feature caches is the handlers'
+// registration order and the released byte counts are deterministic.
+//
+// Thread-safety: the static-degree path is lock-free atomics (a concurrent
+// install may evict another thread's entry, like a real cache race — this
+// only perturbs the simulated hit rate, never correctness). The LRU / EMA
+// paths serialize under one mutex. Access is the transfer.error fault
+// injection site (a failed PCIe gather), matching the old UVA cache.
+
+#ifndef GSAMPLER_FEATURE_HOT_SET_CACHE_H_
+#define GSAMPLER_FEATURE_HOT_SET_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "device/array.h"
+
+namespace gs::feature {
+
+enum class Admission {
+  kStaticDegree,
+  kLru,
+  kFrequencyEma,
+};
+
+const char* AdmissionName(Admission admission);
+// Inverse of AdmissionName ("static-degree" / "lru" / "frequency-ema");
+// throws gs::Error on anything else.
+Admission AdmissionFromName(const std::string& name);
+
+struct HotSetCacheOptions {
+  // Resident entries (keys) the cache can hold.
+  int64_t capacity = 0;
+  Admission admission = Admission::kStaticDegree;
+  // Bytes one resident entry occupies on the device (a feature row). > 0
+  // allocates a real backing store from the current device's allocator and
+  // mirrors it into reserved-bytes; 0 keeps the cache cost-model-only (the
+  // adjacency client).
+  int64_t entry_bytes = 0;
+  // Join the current device's allocator OOM ladder. Byte-accounted caches
+  // release backing pages under pressure; cost-model-only caches Shrink.
+  bool register_pressure_handler = false;
+  // kFrequencyEma: frequencies halve every this many accesses. 0 picks
+  // max(capacity, 256).
+  int64_t ema_half_life = 0;
+};
+
+struct HotSetCacheStats {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t insertions = 0;
+  int64_t evictions = 0;  // entries displaced by admission or capacity loss
+  int64_t capacity = 0;   // current live capacity (entries)
+  int64_t resident = 0;   // resident entries (kStaticDegree: installed slots)
+  int64_t backing_bytes = 0;  // live device backing (0 when cost-model-only)
+  int64_t pressure_releases = 0;
+
+  double HitRate() const {
+    return hits + misses > 0 ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                             : 0.0;
+  }
+};
+
+class HotSetCache {
+ public:
+  explicit HotSetCache(HotSetCacheOptions options);
+  // Adjacency-cache compatibility: `slots` entries, static-degree admission,
+  // no byte accounting — the exact semantics of the old device::UvaCache.
+  explicit HotSetCache(int64_t slots) : HotSetCache(HotSetCacheOptions{.capacity = slots}) {}
+  ~HotSetCache();
+
+  HotSetCache(const HotSetCache&) = delete;
+  HotSetCache& operator=(const HotSetCache&) = delete;
+
+  // Returns the transfer bytes to charge for touching `bytes` worth of data
+  // identified by `key` (0 on a hit), updating residency per the admission
+  // policy. Under an active fault::FaultScope this is the transfer.error
+  // injection site and may throw fault::TransientError.
+  int64_t Access(uint64_t key, int64_t bytes);
+
+  // Drops every resident entry and zeroes the counters (capacity and
+  // backing are kept).
+  void Reset();
+
+  // Memory-pressure response: halves the live capacity (down to a small
+  // floor), evicting what no longer fits. Byte-accounted caches drop
+  // backing pages, so shrinking releases real allocator bytes. Thread-safe
+  // with concurrent Access.
+  void Shrink();
+
+  // OOM-ladder rung (registered when the options ask for it): drops backing
+  // pages until at least `bytes_needed` were released or one page remains;
+  // returns the real bytes released (0 for cost-model-only caches, which
+  // Shrink instead).
+  int64_t ReleaseMemory(int64_t bytes_needed);
+
+  Admission admission() const { return options_.admission; }
+  int64_t num_slots() const { return live_capacity_.load(std::memory_order_relaxed); }
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t entry_bytes() const { return options_.entry_bytes; }
+
+  HotSetCacheStats stats() const;
+
+ private:
+  static constexpr int64_t kMinCapacity = 64;
+
+  // Evicts entries until the policy structures fit `capacity` (mutex held).
+  void EvictToCapacityLocked(int64_t capacity);
+  // Weakest resident key by decayed frequency (mutex held; resident map
+  // must be non-empty).
+  uint64_t WeakestResidentLocked();
+  void DecayLocked();
+  // Drops `target` capacity worth of backing pages / live slots; returns
+  // backing bytes released. Shared by Shrink and ReleaseMemory.
+  int64_t ShrinkToLocked(int64_t target_capacity);
+
+  HotSetCacheOptions options_;
+  std::atomic<int64_t> live_capacity_{0};
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+
+  // --- kStaticDegree: lock-free direct-mapped tag array.
+  std::unique_ptr<std::atomic<uint64_t>[]> tags_;
+  int64_t num_tag_slots_ = 0;  // allocated tag-array size
+  std::atomic<int64_t> installed_{0};
+
+  // --- kLru / kFrequencyEma: exact structures under one mutex.
+  mutable std::mutex mutex_;
+  std::list<uint64_t> lru_order_;  // MRU at front
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> lru_table_;
+  std::unordered_map<uint64_t, double> freq_;  // decayed frequency per key
+  std::unordered_map<uint64_t, bool> resident_;
+  // Lazy min-heap of (frequency-at-push, key); stale entries are skipped or
+  // re-pushed at their current frequency on pop.
+  using HeapEntry = std::pair<double, uint64_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<HeapEntry>> weakest_;
+  int64_t half_life_ = 0;
+  int64_t accesses_since_decay_ = 0;
+  int64_t insertions_ = 0;
+  int64_t evictions_ = 0;
+
+  // --- Byte-accounted backing (entry_bytes > 0).
+  std::vector<device::Array<uint8_t>> pages_;  // empty handle = dropped page
+  int64_t page_entries_ = 0;                   // entries per backing page
+  int64_t live_pages_ = 0;
+  device::CachingAllocator* allocator_ = nullptr;
+  int64_t pressure_handler_id_ = 0;  // 0 = not registered
+  std::atomic<int64_t> pressure_releases_{0};
+};
+
+}  // namespace gs::feature
+
+#endif  // GSAMPLER_FEATURE_HOT_SET_CACHE_H_

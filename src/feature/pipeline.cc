@@ -1,0 +1,42 @@
+#include "feature/pipeline.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "pipeline/executor.h"
+
+namespace gs::feature {
+
+OverlapReport RunSampleGatherPipeline(
+    int64_t num_batches, const std::function<tensor::IdArray(int64_t)>& sample_fn,
+    const FeatureStore& store, HotSetCache* cache,
+    const std::function<void(int64_t, const tensor::Tensor&)>& consume_fn,
+    const OverlapOptions& options) {
+  GS_CHECK_GE(num_batches, 0);
+  GS_CHECK(sample_fn != nullptr);
+  GS_CHECK(consume_fn != nullptr);
+
+  // Caller-owned slots: exactly one stage touches an item at a time (the
+  // queue handoff is the happens-before edge), so no locking here. The
+  // gather stage is the single writer of `report.gather`.
+  std::vector<tensor::IdArray> frontiers(static_cast<size_t>(num_batches));
+  OverlapReport report;
+
+  pipeline::Stage sample_stage{
+      "sample", [&](int64_t i) { frontiers[static_cast<size_t>(i)] = sample_fn(i); }};
+  pipeline::Stage gather_stage{"feature-gather", [&](int64_t i) {
+                                 tensor::IdArray& ids = frontiers[static_cast<size_t>(i)];
+                                 const tensor::Tensor features =
+                                     store.Gather(ids, cache, &report.gather);
+                                 consume_fn(i, features);
+                                 ids = {};  // release the frontier slot
+                               }};
+
+  pipeline::Executor executor({std::move(sample_stage), std::move(gather_stage)},
+                              pipeline::Options{.depth = options.depth});
+  executor.Run(num_batches);
+  report.metrics = executor.metrics();
+  return report;
+}
+
+}  // namespace gs::feature

@@ -1,0 +1,53 @@
+// Sampling/gather overlap: a two-stage pipeline where feature gather for
+// batch i runs concurrently with sampling of batch i+1.
+//
+// BGL's headline observation (PAPERS.md) is that feature I/O dominates the
+// epoch, so hiding it behind sampling is the single biggest end-to-end
+// lever after caching. This runner reuses pipeline::Executor — per-stage
+// device streams, BoundedQueue credits, starved/backpressure stall
+// attribution — so an overlapped epoch's simulated makespan is
+// max(sampling, gather) per batch instead of their sum, while the gathered
+// tensors stay bit-identical to the synchronous order (stages process items
+// strictly in order; only the timeline differs).
+
+#ifndef GSAMPLER_FEATURE_PIPELINE_H_
+#define GSAMPLER_FEATURE_PIPELINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "feature/store.h"
+#include "pipeline/metrics.h"
+#include "tensor/tensor.h"
+
+namespace gs::feature {
+
+struct OverlapOptions {
+  // Prefetch-queue depth between the sample and gather stages (0 = inline
+  // synchronous reference mode).
+  int depth = 2;
+};
+
+// One overlapped run's outcome: per-stage metrics from the underlying
+// executor plus the gather-side cache observability.
+struct OverlapReport {
+  pipeline::Metrics metrics;
+  GatherStats gather;
+};
+
+// Runs `num_batches` items through sample -> gather. `sample_fn(i)` executes
+// on the sampling stage's stream and returns the node ids whose features
+// batch i needs; the gather stage fetches them through `cache` (may be
+// nullptr for the eager path) and hands the resulting tensor to
+// `consume_fn(i, features)` on the gather stream. Both callbacks run on
+// exactly one thread each, in item order.
+OverlapReport RunSampleGatherPipeline(
+    int64_t num_batches, const std::function<tensor::IdArray(int64_t)>& sample_fn,
+    const FeatureStore& store, HotSetCache* cache,
+    const std::function<void(int64_t, const tensor::Tensor&)>& consume_fn,
+    const OverlapOptions& options = {});
+
+}  // namespace gs::feature
+
+#endif  // GSAMPLER_FEATURE_PIPELINE_H_

@@ -1,0 +1,68 @@
+#include "feature/store.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "device/device.h"
+#include "device/stream.h"
+
+namespace gs::feature {
+
+FeatureStore::FeatureStore(tensor::Tensor features) : features_(std::move(features)) {
+  GS_CHECK(features_.defined()) << "FeatureStore needs a defined feature tensor";
+  GS_CHECK(features_.dim() == 1 || features_.dim() == 2);
+}
+
+tensor::Tensor FeatureStore::Gather(const tensor::IdArray& ids, HotSetCache* cache,
+                                    GatherStats* stats) const {
+  const tensor::Tensor& a = features_;
+  const int64_t d = a.dim() == 2 ? a.cols() : 1;
+  const int64_t n = ids.size();
+  const int64_t per_row = d * static_cast<int64_t>(sizeof(float));
+  device::Stream& stream = device::Current().stream();
+  const int64_t start_ns = stream.now_ns();
+  device::KernelScope kernel(stream);
+  tensor::Tensor out =
+      a.dim() == 2 ? tensor::Tensor::Empty({n, d}) : tensor::Tensor::Empty({n});
+  // The copy below is byte-for-byte the eager tensor::GatherRows loop — the
+  // cache only decides what the virtual clock charges, never what lands in
+  // `out`. That is the invariant the gs::oracle feature differential pins.
+  int64_t miss_bytes = 0;
+  int64_t hit_rows = 0;
+  const bool host_resident = a.array().space() == device::MemorySpace::kHost;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t r = ids[i];
+    GS_CHECK(r >= 0 && r < a.rows())
+        << "feature gather index " << r << " out of range " << a.rows();
+    if (cache != nullptr) {
+      const int64_t charged = cache->Access(static_cast<uint64_t>(r), per_row);
+      if (charged == 0) {
+        ++hit_rows;
+      } else {
+        miss_bytes += charged;
+      }
+    } else {
+      miss_bytes += per_row;
+    }
+    std::copy_n(a.data() + r * d, d, out.data() + i * d);
+  }
+  // Hits are device-resident rows: the gather reads them (and writes the
+  // output) through HBM. Misses additionally pay the host-DRAM read and the
+  // PCIe hop when the store is host-resident.
+  kernel.Finish({.dense = true,
+                 .parallel_items = n,
+                 .hbm_bytes = 2 * n * per_row,
+                 .pcie_bytes = host_resident ? miss_bytes : 0,
+                 .host_bytes = host_resident ? miss_bytes : 0});
+  if (stats != nullptr) {
+    stats->rows += n;
+    stats->hits += hit_rows;
+    stats->misses += n - hit_rows;
+    stats->gathered_bytes += n * per_row;
+    stats->miss_bytes += miss_bytes;
+    stats->gather_ns += stream.now_ns() - start_ns;
+  }
+  return out;
+}
+
+}  // namespace gs::feature

@@ -1,0 +1,80 @@
+// gs::feature::FeatureStore — per-node feature tensors served from "host"
+// memory through the hot-set cache.
+//
+// Production GNN serving is dominated by feature I/O, not sampling (BGL,
+// PAPERS.md): every sampled frontier needs its nodes' feature rows, and
+// those rows live in host memory because real feature tables do not fit on
+// the device. The store models that tier: features are a host-resident
+// tensor, Gather() copies the requested rows exactly like the eager
+// tensor::GatherRows (bit-identical output, asserted by the oracle), and
+// the *cost* of the copy depends on the hot-set cache — rows resident on
+// the device ride HBM, misses pay the host-DRAM read plus the PCIe
+// transfer on the virtual clock.
+
+#ifndef GSAMPLER_FEATURE_STORE_H_
+#define GSAMPLER_FEATURE_STORE_H_
+
+#include <cstdint>
+
+#include "feature/hot_set_cache.h"
+#include "tensor/tensor.h"
+
+namespace gs::feature {
+
+// Accumulated gather-side observability (per request, per stage, or per
+// epoch — the caller owns the aggregation window).
+struct GatherStats {
+  int64_t rows = 0;            // feature rows gathered
+  int64_t hits = 0;            // rows served from the device-side cache
+  int64_t misses = 0;          // rows fetched from host memory
+  int64_t gathered_bytes = 0;  // total feature bytes produced
+  int64_t miss_bytes = 0;      // bytes that crossed host DRAM + PCIe
+  int64_t gather_ns = 0;       // virtual time spent inside gather kernels
+
+  void Add(const GatherStats& other) {
+    rows += other.rows;
+    hits += other.hits;
+    misses += other.misses;
+    gathered_bytes += other.gathered_bytes;
+    miss_bytes += other.miss_bytes;
+    gather_ns += other.gather_ns;
+  }
+
+  double HitRate() const {
+    return rows > 0 ? static_cast<double>(hits) / static_cast<double>(rows) : 0.0;
+  }
+};
+
+class FeatureStore {
+ public:
+  // Wraps a feature tensor (shape [num_nodes, dim] or [num_nodes]; shares
+  // storage). Host-resident tensors model the UVA feature table; a
+  // device-resident tensor is legal and gathers at device rates.
+  explicit FeatureStore(tensor::Tensor features);
+
+  int64_t num_nodes() const { return features_.rows(); }
+  int64_t feature_dim() const { return features_.dim() == 2 ? features_.cols() : 1; }
+  int64_t row_bytes() const {
+    return feature_dim() * static_cast<int64_t>(sizeof(float));
+  }
+  const tensor::Tensor& features() const { return features_; }
+
+  // Gathers the feature rows for `ids` into a fresh device tensor. The
+  // produced data is bit-identical to tensor::GatherRows(features(), ids) —
+  // the cache changes only what the virtual clock charges: rows the cache
+  // reports resident cost HBM reads; misses additionally cost
+  // host_read_ns_per_byte + pcie_ns_per_byte per byte (when the store is
+  // host-resident). With cache == nullptr every row is a miss (the eager
+  // path). Under fault injection the cache access may throw
+  // fault::TransientError (transfer.error). Thread-safe for concurrent
+  // callers sharing one cache.
+  tensor::Tensor Gather(const tensor::IdArray& ids, HotSetCache* cache = nullptr,
+                        GatherStats* stats = nullptr) const;
+
+ private:
+  tensor::Tensor features_;
+};
+
+}  // namespace gs::feature
+
+#endif  // GSAMPLER_FEATURE_STORE_H_

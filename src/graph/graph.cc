@@ -86,14 +86,14 @@ Graph Graph::FromEdges(std::string name, int64_t num_nodes,
   if (uva) {
     // One cache slot per ~32 nodes models a GPU-side cache that can hold the
     // hot fraction of the adjacency structure.
-    g.uva_cache_ = std::make_shared<device::UvaCache>(std::max<int64_t>(num_nodes / 32, 1024));
+    g.uva_cache_ = std::make_shared<feature::HotSetCache>(std::max<int64_t>(num_nodes / 32, 1024));
     g.adj_.SetUvaCache(g.uva_cache_.get());
     // Join the allocator's OOM ladder: under memory pressure the UVA cache
     // halves its live slots (a smaller simulated device footprint, traded
     // for a higher miss rate). Shrink frees no accounted bytes, so the
     // handler reports 0; the ladder still retries after invoking handlers.
     device::CachingAllocator* allocator = &device::Current().allocator();
-    device::UvaCache* cache = g.uva_cache_.get();
+    feature::HotSetCache* cache = g.uva_cache_.get();
     const int64_t handler_id = allocator->RegisterPressureHandler([cache](int64_t) -> int64_t {
       cache->Shrink();
       return 0;

@@ -9,7 +9,7 @@
 #include <string>
 #include <vector>
 
-#include "device/uva_cache.h"
+#include "feature/hot_set_cache.h"
 #include "sparse/matrix.h"
 #include "tensor/tensor.h"
 
@@ -52,7 +52,7 @@ class Graph {
   }
   void SetTrainIds(device::Array<int32_t> ids) { train_ids_ = std::move(ids); }
 
-  device::UvaCache* uva_cache() const { return uva_cache_.get(); }
+  feature::HotSetCache* uva_cache() const { return uva_cache_.get(); }
 
  private:
   std::string name_;
@@ -62,9 +62,9 @@ class Graph {
   device::Array<int32_t> labels_;
   int num_classes_ = 0;
   device::Array<int32_t> train_ids_;
-  std::shared_ptr<device::UvaCache> uva_cache_;
+  std::shared_ptr<feature::HotSetCache> uva_cache_;
   // RAII registration of the UVA cache's memory-pressure handler (allocator
-  // OOM ladder -> UvaCache::Shrink). Declared after uva_cache_ so the
+  // OOM ladder -> HotSetCache::Shrink). Declared after uva_cache_ so the
   // handler is unregistered before the cache is destroyed; copies of the
   // Graph share the token and the last one unregisters.
   std::shared_ptr<void> uva_pressure_token_;

@@ -1,6 +1,7 @@
 #include "oracle/oracle.h"
 
 #include <algorithm>
+#include <cstring>
 #include <map>
 #include <set>
 #include <sstream>
@@ -11,6 +12,8 @@
 #include "common/error.h"
 #include "common/sampling.h"
 #include "core/engine.h"
+#include "feature/hot_set_cache.h"
+#include "feature/store.h"
 
 namespace gs::oracle {
 namespace {
@@ -421,6 +424,78 @@ OracleReport VerifyConfig(const std::string& algorithm, const graph::Graph& g,
           AccumulateEagerInclusions(algorithm, g, solo.seed, wide, options.batch_size);
       check = StatisticalCheck("eager-twin", engine, eager, options.significance, "engine",
                                "eager");
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  // --- Check 4: feature gather through the hot-set cache ---
+  //
+  // Every sampled batch's node set is gathered twice (cold, then warm)
+  // under each admission policy; the cache may change WHERE bytes are
+  // charged, never WHAT rows come back — bit-identical to an eager lookup.
+  {
+    CheckResult check;
+    check.name = "feature-gather";
+    if (!options.check_feature_gather || !g.features().defined()) {
+      check.applicable = false;
+    } else {
+      const std::vector<BatchFingerprint> batches =
+          RunEpoch(algorithm, g, ReferenceOptions(optimized), frontiers, options.batch_size);
+      const int64_t n_nodes = g.num_nodes();
+      const int64_t dim = g.features().cols();
+      feature::FeatureStore store(g.features());
+      for (feature::Admission admission :
+           {feature::Admission::kStaticDegree, feature::Admission::kLru,
+            feature::Admission::kFrequencyEma}) {
+        if (!check.ok) {
+          break;
+        }
+        feature::HotSetCache cache(feature::HotSetCacheOptions{
+            .capacity = std::max<int64_t>(n_nodes / 10, 64), .admission = admission});
+        for (int pass = 0; pass < 2 && check.ok; ++pass) {
+          for (size_t b = 0; b < batches.size() && check.ok; ++b) {
+            // The batch's node set: id outputs plus matrix edge endpoints,
+            // folded to base node ids (negatives are walk dead-end markers).
+            std::set<int32_t> nodes;
+            for (const std::vector<int32_t>& out : batches[b].ids) {
+              for (const int32_t v : out) {
+                if (v >= 0) {
+                  nodes.insert(static_cast<int32_t>(v % n_nodes));
+                }
+              }
+            }
+            for (const auto& edges : batches[b].edges) {
+              for (const auto& [edge, weight] : edges) {
+                (void)weight;
+                if (edge.first >= 0) {
+                  nodes.insert(static_cast<int32_t>(edge.first % n_nodes));
+                }
+                if (edge.second >= 0) {
+                  nodes.insert(static_cast<int32_t>(edge.second % n_nodes));
+                }
+              }
+            }
+            if (nodes.empty()) {
+              continue;
+            }
+            const std::vector<int32_t> ids(nodes.begin(), nodes.end());
+            const tensor::Tensor gathered =
+                store.Gather(tensor::IdArray::FromVector(ids), &cache);
+            for (size_t i = 0; i < ids.size() && check.ok; ++i) {
+              const float* got = gathered.data() + static_cast<int64_t>(i) * dim;
+              const float* want = g.features().data() + static_cast<int64_t>(ids[i]) * dim;
+              if (std::memcmp(got, want, static_cast<size_t>(dim) * sizeof(float)) != 0) {
+                check.ok = false;
+                std::ostringstream detail;
+                detail << feature::AdmissionName(admission) << " pass " << pass << " batch "
+                       << b << ": row " << i << " (node " << ids[i]
+                       << ") diverges from the eager lookup";
+                check.detail = detail.str();
+              }
+            }
+          }
+        }
+      }
     }
     report.checks.push_back(std::move(check));
   }

@@ -48,6 +48,11 @@ struct OracleOptions {
   // expensive check; the ctest tier enables it on one dataset per
   // algorithm, the fuzzer disables it).
   bool check_eager_twin = true;
+  // Feature-gather differential (gs::feature): gather the feature rows of
+  // every sampled batch's node set through a hot-set cache — once cold, once
+  // warm, under each admission policy — and require bit-identity with an
+  // eager per-node lookup. Applicable only when the graph has features.
+  bool check_feature_gather = true;
   // Tolerance for float payload comparison in the deterministic check.
   float value_tolerance = 1e-3f;
 };

@@ -56,6 +56,7 @@ struct StageBreakdown {
   int64_t queue_wait_ns = 0;  // admission -> dequeued by a worker
   int64_t compile_ns = 0;     // plan build + warmup (0 on a plan-cache hit)
   int64_t execute_ns = 0;     // sampling execution (shared across the group)
+  int64_t feature_ns = 0;     // feature gather through the hot-set cache
   int64_t scatter_ns = 0;     // splitting group results back per request
   int64_t total_ns = 0;       // submit -> response fulfilled (server-observed)
   bool plan_cache_hit = false;
@@ -68,6 +69,14 @@ struct SampleResponse {
   std::vector<core::Value> outputs;
   // How many requests shared this request's execution (1 = served alone).
   int group_size = 1;
+  // Feature serving (ServerOptions::serve_features): the feature rows for
+  // this request's result frontier, gathered through the per-tenant hot-set
+  // cache. `features` row i is the feature vector of node `feature_ids[i]`;
+  // bit-identical to an eager per-node lookup regardless of cache state.
+  // Undefined when the server does not serve features (or the dataset has
+  // none).
+  tensor::Tensor features;
+  tensor::IdArray feature_ids;
   // Fanout shedding was applied under overload.
   bool degraded = false;
   // Suggested back-off before resubmitting (kRejected only).

@@ -42,6 +42,19 @@ tensor::IdArray WarmupFrontier(const graph::Graph& graph) {
   return tensor::IdArray::FromVector(ids);
 }
 
+// The frontier a response's features are gathered for: the last ids output
+// of the program (the sampled frontier the caller will train on), falling
+// back to the request's seeds for programs that emit no id output.
+const tensor::IdArray& FeatureFrontier(const std::vector<core::Value>& outputs,
+                                       const tensor::IdArray& seeds) {
+  for (auto it = outputs.rbegin(); it != outputs.rend(); ++it) {
+    if (it->kind == core::ValueKind::kIds && it->ids.defined() && !it->ids.empty()) {
+      return it->ids;
+    }
+  }
+  return seeds;
+}
+
 std::vector<int64_t> ShedFanouts(const std::vector<int64_t>& fanouts) {
   std::vector<int64_t> shed(fanouts.size());
   for (size_t i = 0; i < fanouts.size(); ++i) {
@@ -148,6 +161,17 @@ void Server::Start() {
     shard_devices_.reserve(static_cast<size_t>(options_.num_shards));
     for (int s = 0; s < options_.num_shards; ++s) {
       shard_devices_.push_back(std::make_unique<device::Device>(device::Current().profile()));
+    }
+  }
+  if (options_.serve_features) {
+    // One store per dataset that actually has features; endpoints over
+    // feature-less datasets keep serving bare frontiers.
+    for (const auto& [key, endpoint] : endpoints_) {
+      if (endpoint.graph->features().defined() &&
+          feature_stores_.find(endpoint.dataset) == feature_stores_.end()) {
+        feature_stores_[endpoint.dataset] =
+            std::make_unique<feature::FeatureStore>(endpoint.graph->features());
+      }
     }
   }
   pool_ = std::make_unique<pipeline::WorkerPool>(device::Current().profile(),
@@ -523,6 +547,33 @@ std::shared_ptr<core::SamplerSession> Server::ActivatePlan(
   return session;
 }
 
+feature::HotSetCache* Server::TenantFeatureCache(int shard, const std::string& tenant,
+                                                 const std::string& dataset,
+                                                 int64_t row_bytes) {
+  const std::string key = std::to_string(shard) + "|" + tenant + "|" + dataset;
+  std::lock_guard<std::mutex> lock(feature_mutex_);
+  auto it = feature_caches_.find(key);
+  if (it != feature_caches_.end()) {
+    return it->second.get();
+  }
+  // Per-tenant partitioning: each tenant gets an equal slice of the shard's
+  // feature-cache byte budget, sized in whole feature rows. The partition
+  // allocates real backing pages from the current (shard) device and joins
+  // its allocator's OOM ladder.
+  const int64_t share = options_.feature_cache_budget_bytes /
+                        std::max(1, options_.feature_cache_partitions);
+  const int64_t capacity = std::max<int64_t>(64, share / std::max<int64_t>(row_bytes, 1));
+  auto cache = std::make_unique<feature::HotSetCache>(feature::HotSetCacheOptions{
+      .capacity = capacity,
+      .admission = options_.feature_admission,
+      .entry_bytes = row_bytes,
+      .register_pressure_handler = true,
+  });
+  feature::HotSetCache* raw = cache.get();
+  feature_caches_[key] = std::move(cache);
+  return raw;
+}
+
 int64_t Server::SavePlans(const std::string& dir) {
   GS_CHECK(plan_cache_ != nullptr) << "SavePlans requires Start()";
   return plan_cache_->SaveAll(dir);
@@ -700,6 +751,49 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
   }
   const int64_t scatter_ns = scatter_timer.ElapsedNanos();
 
+  // Feature tier: attach the gathered feature rows to every successful
+  // response, each through its tenant's cache partition on this shard (the
+  // shard device guard is still active, so backing pages and gather kernels
+  // land on the executing shard). Coalesced members gather from their own
+  // scattered outputs, so the rows are identical to being served alone.
+  feature::GatherStats group_gather;
+  int64_t feature_responses = 0;
+  int64_t feature_wall_ns = 0;
+  if (options_.serve_features && error.empty()) {
+    auto store_it = feature_stores_.find(endpoint->dataset);
+    if (store_it != feature_stores_.end()) {
+      const feature::FeatureStore& store = *store_it->second;
+      for (size_t i = 0; i < group.size(); ++i) {
+        SampleResponse& response = responses[i];
+        if (response.status != Status::kOk) {
+          continue;
+        }
+        feature::HotSetCache* cache = TenantFeatureCache(
+            shard, group[i]->request.tenant, endpoint->dataset, store.row_bytes());
+        Timer feature_timer;
+        try {
+          const tensor::IdArray& ids =
+              FeatureFrontier(response.outputs, group[i]->request.seeds);
+          response.features = store.Gather(ids, cache, &group_gather);
+          response.feature_ids = ids;
+          response.stages.feature_ns = feature_timer.ElapsedNanos();
+          feature_wall_ns += response.stages.feature_ns;
+          ++feature_responses;
+        } catch (const std::exception& e) {
+          // A failed gather (injected transfer fault) fails the response —
+          // a frontier without the features the caller asked for is not a
+          // success — but never the worker.
+          response.status = Status::kFailed;
+          response.outputs.clear();
+          response.features = {};
+          response.feature_ids = {};
+          response.error = std::string("feature gather failed: ") + e.what();
+          response.code = fault::Classify(e);
+        }
+      }
+    }
+  }
+
   // Service-time EMA feeding deadline admission (amortized per request).
   if (error.empty()) {
     const int64_t per_request =
@@ -727,6 +821,15 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
       stats_.exchange_hops += exchange_hops;
       stats_.exchange_remote_nodes += exchange_remote_nodes;
       stats_.exchange_bytes += exchange_bytes;
+    }
+    if (feature_responses > 0) {
+      stats_.feature_requests += feature_responses;
+      stats_.feature_rows += group_gather.rows;
+      stats_.feature_cache_hits += group_gather.hits;
+      stats_.feature_cache_misses += group_gather.misses;
+      stats_.feature_gather_bytes += group_gather.gathered_bytes;
+      stats_.feature_miss_bytes += group_gather.miss_bytes;
+      stats_.feature_gather_ns += feature_wall_ns;
     }
     for (size_t i = 0; i < group.size(); ++i) {
       if (responses[i].status == Status::kOk) {

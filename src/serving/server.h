@@ -55,6 +55,8 @@
 #include "algorithms/algorithms.h"
 #include "core/engine.h"
 #include "device/device.h"
+#include "feature/hot_set_cache.h"
+#include "feature/store.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
 #include "pipeline/queue.h"
@@ -119,6 +121,20 @@ struct ServerOptions {
   // at the profile's interconnect_ns_per_byte.
   int num_shards = 1;
   graph::PartitionKind partition_kind = graph::PartitionKind::kEdgeCut;
+  // Feature serving (gs::feature). When set, every kOk response for a
+  // dataset with features also carries the gathered feature rows for its
+  // result frontier (SampleResponse::features / feature_ids), gathered
+  // through a per-tenant hot-set cache partition on the executing shard's
+  // device.
+  bool serve_features = false;
+  // Device bytes each shard budgets for feature caching, divided evenly
+  // into `feature_cache_partitions` per-tenant shares (multi-tenant
+  // isolation: one tenant's scan cannot evict another's hot set). Each
+  // partition is byte-accounted through the shard allocator's
+  // reserved-bytes and joins its OOM ladder.
+  int64_t feature_cache_budget_bytes = int64_t{64} * 1024 * 1024;
+  int feature_cache_partitions = 4;
+  feature::Admission feature_admission = feature::Admission::kFrequencyEma;
 };
 
 class Server {
@@ -179,12 +195,25 @@ class Server {
   // over a persisted plan; null when this server cannot serve the key.
   std::shared_ptr<core::SamplerSession> ActivatePlan(const PlanKey& key,
                                                      std::shared_ptr<core::CompiledPlan> plan) const;
+  // The feature-cache partition for (shard, tenant, dataset), created
+  // lazily on the worker thread (with the shard's device active, so the
+  // cache's backing pages land on — and are byte-accounted against — that
+  // shard's allocator). `row_bytes` sizes the entries.
+  feature::HotSetCache* TenantFeatureCache(int shard, const std::string& tenant,
+                                           const std::string& dataset, int64_t row_bytes);
 
   ServerOptions options_;
   std::map<std::string, Endpoint> endpoints_;  // "algorithm|dataset" -> endpoint
   // Sharded mode: dataset name -> partition, plus one device per shard.
   std::map<std::string, std::unique_ptr<graph::Partition>> partitions_;
   std::vector<std::unique_ptr<device::Device>> shard_devices_;
+  // Feature serving: one store per dataset with features, plus per-
+  // (shard, tenant, dataset) cache partitions. Declared after
+  // shard_devices_ so the caches (whose backing pages live on those
+  // devices) are destroyed first.
+  std::map<std::string, std::unique_ptr<feature::FeatureStore>> feature_stores_;
+  mutable std::mutex feature_mutex_;
+  std::map<std::string, std::unique_ptr<feature::HotSetCache>> feature_caches_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<pipeline::BoundedQueue<uint64_t>> tokens_;
   std::unique_ptr<pipeline::WorkerPool> pool_;

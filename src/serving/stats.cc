@@ -69,6 +69,13 @@ std::string ServerStats::ToString() const {
       << " inv=" << failed_invalid << " int=" << failed_internal << "]"
       << " p50_us=" << latency_p50_ns / 1000 << " p95_us=" << latency_p95_ns / 1000
       << " p99_us=" << latency_p99_ns / 1000;
+  if (feature_requests > 0) {
+    out << " features=[requests=" << feature_requests << " rows=" << feature_rows
+        << " hit_rate=" << FeatureHitRate() << " gather_mb="
+        << static_cast<double>(feature_gather_bytes) / 1e6 << " miss_mb="
+        << static_cast<double>(feature_miss_bytes) / 1e6 << " gather_us="
+        << feature_gather_ns / 1000 << "]";
+  }
   if (!per_shard_completed.empty()) {
     out << " exchange=[hops=" << exchange_hops << " remote_nodes=" << exchange_remote_nodes
         << " bytes=" << exchange_bytes << "] shards=[";

@@ -57,6 +57,17 @@ struct ServerStats {
   int64_t plans_saved = 0;   // plan artifacts persisted to the plan dir
   int64_t plans_loaded = 0;  // sessions warm-started from persisted plans
 
+  // Feature serving (gs::feature): responses that carried gathered feature
+  // rows, and the hot-set cache's aggregate behavior across every tenant
+  // partition on every shard.
+  int64_t feature_requests = 0;      // completed responses carrying features
+  int64_t feature_rows = 0;          // feature rows gathered
+  int64_t feature_cache_hits = 0;    // rows served from device-side caches
+  int64_t feature_cache_misses = 0;  // rows fetched over host DRAM + PCIe
+  int64_t feature_gather_bytes = 0;  // total feature bytes produced
+  int64_t feature_miss_bytes = 0;    // bytes that crossed the bus
+  int64_t feature_gather_ns = 0;     // wall time spent gathering features
+
   // Fault recovery (gs::fault taxonomy).
   int64_t transient_retries = 0;    // execution retries after transient faults
   int64_t shed_retries = 0;         // retries with shed fanouts after resource exhaustion
@@ -85,6 +96,13 @@ struct ServerStats {
   // Failed requests per tenant (who is hitting errors, fed by the serving
   // recovery ladder's terminal failures and request-boundary rejections).
   std::map<std::string, int64_t> per_tenant_failed;
+
+  // Fraction of gathered feature rows served from the device-side cache.
+  double FeatureHitRate() const {
+    return feature_rows > 0
+               ? static_cast<double>(feature_cache_hits) / static_cast<double>(feature_rows)
+               : 0.0;
+  }
 
   // Mean requests per execution; 1.0 = no coalescing happened.
   double CoalescingRatio() const {

@@ -143,6 +143,14 @@ void ShardGroup::Init(const graph::Graph& graph, std::map<std::string, tensor::T
       graph::Partitioner::Build(graph, options_.partition, options_.num_shards));
   exchange_.resize(static_cast<size_t>(options_.num_shards));
 
+  const bool features = options_.serve_features && graph.features().defined();
+  if (features) {
+    feature_store_ = std::make_unique<feature::FeatureStore>(graph.features());
+  }
+  const int64_t cache_rows = options_.feature_cache_rows > 0
+                                 ? options_.feature_cache_rows
+                                 : std::max<int64_t>(graph.num_nodes() / 10, 64);
+
   const tensor::IdArray warmup = WarmupFrontier(graph);
   devices_.reserve(static_cast<size_t>(options_.num_shards));
   sessions_.reserve(static_cast<size_t>(options_.num_shards));
@@ -153,6 +161,16 @@ void ShardGroup::Init(const graph::Graph& graph, std::map<std::string, tensor::T
     // candidates on the model clock), later shards adopt it; each shard's
     // pre-computed values land in its own allocator.
     device::ThreadDeviceGuard guard(*devices_[static_cast<size_t>(s)]);
+    if (features) {
+      // Built under the guard so the cache's backing pages land on — and
+      // join the OOM ladder of — this shard's allocator.
+      feature_caches_.push_back(std::make_unique<feature::HotSetCache>(feature::HotSetCacheOptions{
+          .capacity = cache_rows,
+          .admission = options_.feature_admission,
+          .entry_bytes = feature_store_->row_bytes(),
+          .register_pressure_handler = true,
+      }));
+    }
     sessions_.push_back(std::make_unique<core::SamplerSession>(plan_, graph, tensors));
     sessions_.back()->Warmup(warmup);
   }
@@ -187,6 +205,20 @@ std::vector<core::Value> ShardGroup::Sample(int shard, const tensor::IdArray& fr
 std::vector<core::Value> ShardGroup::SampleRouted(const tensor::IdArray& frontier, uint64_t seed,
                                                   std::vector<HopRecord>* hops) const {
   return Sample(Route(frontier), frontier, seed, hops);
+}
+
+tensor::Tensor ShardGroup::GatherFeatures(int shard, const tensor::IdArray& ids,
+                                          feature::GatherStats* stats) const {
+  GS_CHECK(shard >= 0 && shard < options_.num_shards) << "shard " << shard << " out of range";
+  GS_CHECK(feature_store_ != nullptr)
+      << "ShardGroup built without serve_features (or the graph has no features)";
+  device::ThreadDeviceGuard guard(*devices_[static_cast<size_t>(shard)]);
+  return feature_store_->Gather(ids, feature_cache(shard), stats);
+}
+
+feature::HotSetCache* ShardGroup::feature_cache(int shard) const {
+  GS_CHECK(shard >= 0 && shard < options_.num_shards) << "shard " << shard << " out of range";
+  return feature_caches_.empty() ? nullptr : feature_caches_[static_cast<size_t>(shard)].get();
 }
 
 device::Device& ShardGroup::device(int shard) const {

@@ -30,6 +30,8 @@
 
 #include "core/engine.h"
 #include "device/device.h"
+#include "feature/hot_set_cache.h"
+#include "feature/store.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
 
@@ -92,6 +94,14 @@ struct ShardGroupOptions {
   // prices the exchange).
   device::DeviceProfile profile = device::V100Sim();
   core::SamplerOptions sampler;
+  // Feature serving (gs::feature): when true and the graph has features,
+  // every shard gets its own hot-set cache over the shared feature store,
+  // and GatherFeatures() gathers rows on the shard's device and clock.
+  bool serve_features = false;
+  // Per-shard cache capacity in feature rows; 0 sizes it to 10% of the
+  // graph's nodes (floor 64).
+  int64_t feature_cache_rows = 0;
+  feature::Admission feature_admission = feature::Admission::kFrequencyEma;
 };
 
 // N complete sampling engines over one partitioned graph and one shared
@@ -133,6 +143,16 @@ class ShardGroup {
   std::vector<core::Value> SampleRouted(const tensor::IdArray& frontier, uint64_t seed,
                                         std::vector<HopRecord>* hops = nullptr) const;
 
+  // Gathers the feature rows for `ids` through `shard`'s hot-set cache, on
+  // that shard's device and virtual clock. Bit-identical to an eager
+  // per-node lookup regardless of cache state. Requires
+  // ShardGroupOptions::serve_features and a graph with features.
+  tensor::Tensor GatherFeatures(int shard, const tensor::IdArray& ids,
+                                feature::GatherStats* stats = nullptr) const;
+  // Null when the group was built without serve_features (or no features).
+  const feature::FeatureStore* feature_store() const { return feature_store_.get(); }
+  feature::HotSetCache* feature_cache(int shard) const;
+
   device::Device& device(int shard) const;
   core::SamplerSession& session(int shard) const;
 
@@ -152,6 +172,10 @@ class ShardGroup {
   std::shared_ptr<core::CompiledPlan> plan_;
   std::unique_ptr<graph::Partition> partition_;
   std::vector<std::unique_ptr<device::Device>> devices_;
+  // Declared after devices_: each shard's cache holds backing pages on that
+  // shard's allocator, so the caches must be destroyed first.
+  std::unique_ptr<feature::FeatureStore> feature_store_;
+  std::vector<std::unique_ptr<feature::HotSetCache>> feature_caches_;
   std::vector<std::unique_ptr<core::SamplerSession>> sessions_;
   mutable std::mutex stats_mutex_;
   mutable std::vector<ExchangeStats> exchange_;

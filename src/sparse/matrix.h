@@ -24,7 +24,7 @@
 #include <string>
 
 #include "device/array.h"
-#include "device/uva_cache.h"
+#include "feature/hot_set_cache.h"
 
 namespace gs::sparse {
 
@@ -102,7 +102,7 @@ class Matrix {
 
   // UVA: set on host-resident base graphs; kernels consult the cache to
   // charge PCIe bytes for adjacency access.
-  device::UvaCache* uva_cache() const { return impl_->uva_cache; }
+  feature::HotSetCache* uva_cache() const { return impl_->uva_cache; }
   bool IsUva() const { return impl_->uva_cache != nullptr; }
 
   // Returns a matrix sharing this matrix's structure but carrying `values`
@@ -119,7 +119,7 @@ class Matrix {
   void SetRowIds(IdArray ids);
   void SetColIds(IdArray ids);
   void SetRowsCompact(bool value) { impl_->rows_compact = value; }
-  void SetUvaCache(device::UvaCache* cache) { impl_->uva_cache = cache; }
+  void SetUvaCache(feature::HotSetCache* cache) { impl_->uva_cache = cache; }
 
   std::string DebugString() const;
 
@@ -134,7 +134,7 @@ class Matrix {
     IdArray row_ids;
     IdArray col_ids;
     bool rows_compact = false;
-    device::UvaCache* uva_cache = nullptr;
+    feature::HotSetCache* uva_cache = nullptr;
   };
 
   std::shared_ptr<Impl> impl_;

@@ -12,7 +12,7 @@
 #include "device/device.h"
 #include "device/profile.h"
 #include "device/stream.h"
-#include "device/uva_cache.h"
+#include "feature/hot_set_cache.h"
 
 namespace gs::device {
 namespace {
@@ -223,6 +223,33 @@ TEST(Profile, ValidateRejectsNegativeBandwidthCharges) {
   EXPECT_THROW(Stream{bad_interconnect}, Error);
 }
 
+TEST(Profile, HostReadBandwidthValidatedAndCharged) {
+  // Feature-gather misses read host DRAM before crossing PCIe; the presets
+  // model that at ~40 GB/s, CpuSim charges nothing ("host" memory IS the
+  // device memory), and a negative rate is rejected like every other
+  // bandwidth term.
+  EXPECT_EQ(V100Sim().host_read_ns_per_byte, kHostReadNsPerByte);
+  EXPECT_EQ(T4Sim().host_read_ns_per_byte, kHostReadNsPerByte);
+  EXPECT_EQ(CpuSim("cpu", 40.0).host_read_ns_per_byte, 0.0);
+  DeviceProfile bad = V100Sim();
+  bad.host_read_ns_per_byte = -0.01;
+  EXPECT_THROW(bad.Validate(), Error);
+  EXPECT_THROW(Stream{bad}, Error);
+
+  // host_bytes advance the clock by exactly the host-read term on top of an
+  // otherwise identical kernel.
+  const DeviceProfile p = V100Sim();
+  Stream with_host(p);
+  Stream without(p);
+  constexpr int64_t kBytes = 1 << 20;
+  with_host.RecordKernel(1000, {.parallel_items = 1, .host_bytes = kBytes});
+  without.RecordKernel(1000, {.parallel_items = 1});
+  EXPECT_EQ(with_host.counters().host_bytes, kBytes);
+  EXPECT_EQ(without.counters().host_bytes, 0);
+  EXPECT_EQ(with_host.counters().virtual_ns - without.counters().virtual_ns,
+            static_cast<int64_t>(static_cast<double>(kBytes) * p.host_read_ns_per_byte));
+}
+
 TEST(Profile, InterconnectPresetIsFasterThanPcie) {
   // NVLink-class interconnect: faster per byte than PCIe 3.0 x16. The T4
   // preset has no NVLink, so its peers talk at PCIe rate; CpuSim has no
@@ -307,7 +334,7 @@ TEST(Array, HostSpaceBypassesAllocator) {
 }
 
 TEST(UvaCache, HitAfterInstall) {
-  UvaCache cache(64);
+  feature::HotSetCache cache(64);
   EXPECT_EQ(cache.Access(5, 100), 100);  // miss: full charge
   EXPECT_EQ(cache.Access(5, 100), 0);    // hit
   EXPECT_EQ(cache.hits(), 1);
@@ -315,14 +342,14 @@ TEST(UvaCache, HitAfterInstall) {
 }
 
 TEST(UvaCache, ConflictEvicts) {
-  UvaCache cache(1);  // single slot: every distinct key conflicts
+  feature::HotSetCache cache(1);  // single slot: every distinct key conflicts
   EXPECT_EQ(cache.Access(1, 10), 10);
   EXPECT_EQ(cache.Access(2, 10), 10);
   EXPECT_EQ(cache.Access(1, 10), 10);  // evicted by key 2
 }
 
 TEST(UvaCache, ResetClears) {
-  UvaCache cache(64);
+  feature::HotSetCache cache(64);
   cache.Access(3, 8);
   cache.Reset();
   EXPECT_EQ(cache.Access(3, 8), 8);

@@ -24,7 +24,7 @@
 #include "device/allocator.h"
 #include "device/device.h"
 #include "device/stream.h"
-#include "device/uva_cache.h"
+#include "feature/hot_set_cache.h"
 #include "fault/fault.h"
 #include "fault/status.h"
 #include "gnn/minibatch.h"
@@ -309,7 +309,7 @@ TEST(KernelFault, ExecutorCancelsBatchOnStuckKernel) {
 // ----------------------------------------------------- UVA transfer faults
 
 TEST(TransferFault, UvaAccessThrowsAndRecovers) {
-  device::UvaCache cache(128);
+  feature::HotSetCache cache(128);
   FaultScope scope(FaultPlan::Parse("transfer.error:occ=1", 9));
   EXPECT_EQ(cache.Access(5, 100), 100);  // probe 0: clean miss
   EXPECT_THROW(cache.Access(5, 100), TransientError);
@@ -317,7 +317,7 @@ TEST(TransferFault, UvaAccessThrowsAndRecovers) {
 }
 
 TEST(TransferFault, ShrinkHalvesLiveSlotsDownToFloor) {
-  device::UvaCache cache(512);
+  feature::HotSetCache cache(512);
   EXPECT_EQ(cache.num_slots(), 512);
   cache.Shrink();
   EXPECT_EQ(cache.num_slots(), 256);
@@ -381,6 +381,68 @@ TEST(PlanCachePressure, OomLadderEvictsResidentPlans) {
   EXPECT_EQ(stats.resident_bytes, 0);
   EXPECT_EQ(dev.allocator().stats().bytes_reserved, 0);
   EXPECT_GE(dev.allocator().stats().oom_recoveries, 1);
+}
+
+// One pressure round walks every registered cache in registration order —
+// plan cache first, feature cache second here — and the outcome is
+// deterministic: the plan cache drops its resident plans, the feature cache
+// drops backing pages down to its one-page floor, every released byte
+// disappears from the allocator's reserved attribution, and a re-run of the
+// identical scenario releases exactly the same byte counts.
+TEST(CrossCachePressure, OomLadderWalksPlanAndFeatureCachesDeterministically) {
+  auto scenario = []() -> std::pair<int64_t, int64_t> {
+    DeviceProfile profile = device::V100Sim();
+    profile.memory_capacity_bytes = int64_t{32} * 1024 * 1024;
+    device::Device dev(profile);
+    device::DeviceGuard guard(dev);
+    graph::Graph g = gs::testing::SmallRmat(2000, 20000, 17);
+
+    serving::PlanCache plans(int64_t{16} * 1024 * 1024, &dev.allocator());
+    plans.GetOrBuild(serving::PlanKey{"FastGCN", "rmat", "sim", "w32", {}},
+                     [&] { return BuildResidentPlan(g, 32); });
+    const int64_t plan_resident = plans.stats().resident_bytes;
+    EXPECT_GT(plan_resident, 1024);
+
+    feature::HotSetCache features(feature::HotSetCacheOptions{
+        .capacity = 8192,
+        .admission = feature::Admission::kFrequencyEma,
+        .entry_bytes = 256,
+        .register_pressure_handler = true});
+    const int64_t feature_backing = features.stats().backing_bytes;
+    EXPECT_GT(feature_backing, 0);
+    EXPECT_EQ(dev.allocator().stats().bytes_reserved, plan_resident + feature_backing);
+
+    // Same sizing trick as OomLadderEvictsResidentPlans: exactly-sized
+    // ballast past the halfway mark, so a 16 MiB request fails the capacity
+    // check by less than what the registered caches can give back.
+    const int64_t half = profile.memory_capacity_bytes / 2;
+    std::vector<device::Array<char>> ballast;
+    while (dev.allocator().stats().bytes_in_use + 512 <= half + plan_resident / 2) {
+      ballast.push_back(device::Array<char>::Empty(512));
+    }
+    device::Array<char> big = device::Array<char>::Empty(half);
+    (void)big;
+
+    // Both handlers ran in the single pressure round; the plan cache
+    // emptied, the feature cache kept exactly its one-page floor.
+    const serving::PlanCacheStats plan_stats = plans.stats();
+    EXPECT_EQ(plan_stats.pressure_releases, 1);
+    EXPECT_EQ(plan_stats.entries, 0);
+    EXPECT_EQ(plan_stats.resident_bytes, 0);
+    const feature::HotSetCacheStats feature_stats = features.stats();
+    EXPECT_EQ(feature_stats.pressure_releases, 1);
+    EXPECT_GT(feature_stats.backing_bytes, 0);
+    EXPECT_LT(feature_stats.backing_bytes, feature_backing);
+    EXPECT_LT(feature_stats.capacity, 8192);
+    EXPECT_EQ(dev.allocator().stats().bytes_reserved, feature_stats.backing_bytes);
+    EXPECT_GE(dev.allocator().stats().oom_recoveries, 1);
+    return {plan_resident, feature_backing - feature_stats.backing_bytes};
+  };
+
+  const std::pair<int64_t, int64_t> first = scenario();
+  const std::pair<int64_t, int64_t> second = scenario();
+  EXPECT_GT(first.second, 0);
+  EXPECT_EQ(first, second) << "pressure releases must be byte-for-byte reproducible";
 }
 
 TEST(PlanCacheBudget, EvictsLruUnderByteBudget) {

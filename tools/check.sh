@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard]
+# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature]
 #
 #   (default)  configure + build + full ctest in ./build, then the plans
 #              tier, then the oracle tier, then the shard tier, then a
 #              -DGS_SANITIZE=thread build in ./build-tsan running the
 #              threaded suites (pipeline, serving, device accounting, fault
 #              ladder) with pass-boundary verification (GS_VERIFY_PASSES=1),
-#              then the chaos tier.
+#              then the feature tier, then the chaos tier.
 #   --fast     tier-1 only, restricted to `ctest -L fast` (skips the
 #              soak/chaos tests, the plans tier, and the TSan pass).
 #   plans      plan round-trip tier only: builds gsampler_cli and, for every
@@ -28,6 +28,14 @@
 #              concurrency suite under TSan, then a sharded pass fuzz
 #              (fuzz_passes --shards 2) differencing 2-shard sampling
 #              against single-device for every drawn config.
+#   feature    feature-serving tier only (gs::feature): runs
+#              `ctest -L feature` (hot-set cache semantics + the gather
+#              bit-identity oracle across all algorithms, 2/4-way shards,
+#              and coalesced serving), then the gather suite under TSan
+#              (concurrent tenants sharing one cache), then a fixed-seed
+#              feature-gather fuzz (fuzz_passes --features) differencing
+#              cached gathers against the eager per-node lookup for every
+#              drawn config and admission policy.
 #   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
 #              runs the gs::fault suites (test_fault + the chaos soak) under
 #              TSan — the deterministic-injection racing workout.
@@ -42,6 +50,7 @@ CHAOS=0
 PLANS=0
 ORACLE=0
 SHARD=0
+FEATURE=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -49,7 +58,8 @@ for arg in "$@"; do
     plans|--plans) PLANS=1 ;;
     oracle|--oracle) ORACLE=1 ;;
     shard|--shard) SHARD=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard])" >&2; exit 2 ;;
+    feature|--feature) FEATURE=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature])" >&2; exit 2 ;;
   esac
 done
 
@@ -120,6 +130,34 @@ run_shard_tier() {
   ./build/tools/fuzz_passes --seeds 100 --shards 2
 }
 
+# Feature-serving tier: the feature ctest label (cache semantics plus the
+# gather bit-identity oracle across algorithms, shards, and coalesced
+# serving), the gather suite under TSan, and a feature-gather fuzz that
+# checks cached-vs-eager bit-identity and cache-counter determinism for
+# every drawn config.
+run_feature_tier() {
+  echo "== feature: build test_feature + fuzz_passes =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_feature fuzz_passes
+
+  echo "== feature: ctest -L feature =="
+  (cd build && ctest -L feature --output-on-failure -j "$JOBS")
+
+  echo "== feature: gather suite under TSan =="
+  cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_feature
+  ./build-tsan/tests/test_feature
+
+  echo "== feature: feature-gather fuzz (100 draws) =="
+  ./build/tools/fuzz_passes --seeds 100 --features
+}
+
+if [[ "$FEATURE" == 1 ]]; then
+  run_feature_tier
+  echo "check.sh: feature tier green"
+  exit 0
+fi
+
 if [[ "$SHARD" == 1 ]]; then
   run_shard_tier
   echo "check.sh: shard tier green"
@@ -162,6 +200,8 @@ run_plans_tier
 run_oracle_tier
 
 run_shard_tier
+
+run_feature_tier
 
 echo "== TSan: configure + build (GS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null

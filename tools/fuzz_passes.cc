@@ -17,10 +17,18 @@
 // subsystem's core guarantee that sharding changes where time is charged,
 // never what is sampled.
 //
+// With --features every draw additionally runs the gs::feature differential:
+// the oracle's feature-gather check (cold + warm gathers under every
+// admission policy must match an eager lookup bit for bit), plus a
+// determinism check — two fresh hot-set caches fed the identical access
+// sequence under a randomly drawn admission policy must report identical
+// hit/miss counts and identical gathered rows.
+//
 // Usage:
 //   fuzz_passes --seeds 200                 # fuzz 200 seeded draws
 //   fuzz_passes --seeds 50 --base-seed 7    # different deterministic stream
 //   fuzz_passes --seeds 100 --shards 2      # + 2-shard-vs-single differential
+//   fuzz_passes --seeds 100 --features      # + feature-gather differential
 //   fuzz_passes --out failures.txt          # append reproducer lines
 //   fuzz_passes --repro 'algo=LADIES nodes=200 ...'   # replay one line
 //
@@ -28,6 +36,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -42,6 +51,8 @@
 #include "core/executor.h"
 #include "core/plan.h"
 #include "device/device.h"
+#include "feature/hot_set_cache.h"
+#include "feature/store.h"
 #include "graph/generator.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
@@ -73,6 +84,8 @@ struct FuzzConfig {
   int pass_limit = -1;
   int shards = 1;             // >1 adds the sharded-vs-single differential
   std::string cut = "edge";   // partition kind when shards > 1
+  bool features = false;      // adds the feature-gather differential
+  std::string admission = "frequency-ema";  // cache policy when features
 
   std::string ToLine() const {
     std::ostringstream os;
@@ -83,7 +96,7 @@ struct FuzzConfig {
        << " greedy=" << greedy << " super_batch=" << super_batch
        << " seed=" << seed << " profile=" << profile
        << " pass_limit=" << pass_limit << " shards=" << shards
-       << " cut=" << cut;
+       << " cut=" << cut << " features=" << features << " admission=" << admission;
     return os.str();
   }
 
@@ -116,6 +129,8 @@ struct FuzzConfig {
       if (kv.count("pass_limit")) out.pass_limit = std::stoi(kv["pass_limit"]);
       if (kv.count("shards")) out.shards = std::stoi(kv["shards"]);
       if (kv.count("cut")) out.cut = kv["cut"];
+      if (kv.count("features")) out.features = std::stoi(kv["features"]) != 0;
+      if (kv.count("admission")) out.admission = kv["admission"];
     } catch (const std::exception&) {
       return false;
     }
@@ -163,6 +178,9 @@ gs::oracle::OracleReport RunConfig(const FuzzConfig& c) {
   opts.stochastic_batches = 100;
   opts.significance = 1e-5;
   opts.check_eager_twin = false;
+  // The feature-gather differential runs only in --features draws (it is
+  // orthogonal to the pass pipeline the default stream targets).
+  opts.check_feature_gather = c.features;
   return gs::oracle::VerifyConfig(c.algo, g, ToSamplerOptions(c), opts);
 }
 
@@ -238,9 +256,76 @@ std::string ShardMismatch(const FuzzConfig& c, bool* ran = nullptr) {
   return "";
 }
 
+// Feature-gather determinism differential (--features): two fresh hot-set
+// caches fed the identical access sequence under the drawn admission policy
+// must produce bit-identical gathered rows (both matching an eager lookup)
+// and identical hit/miss counters. Returns an empty string when the contract
+// holds. The bit-identity-across-policies check itself runs inside the
+// oracle (check_feature_gather); this adds the cache-determinism axis the
+// oracle's single-cache pass cannot see.
+std::string FeatureMismatch(const FuzzConfig& c, bool* ran = nullptr) {
+  if (ran) *ran = false;
+  if (!c.features) {
+    return "";
+  }
+  try {
+    gs::device::Device device(c.profile == "t4" ? gs::device::T4Sim()
+                                                : gs::device::V100Sim());
+    gs::device::DeviceGuard guard(device);
+    gs::graph::Graph g = MakeGraph(c);
+    if (!g.features().defined()) {
+      return "";
+    }
+    if (ran) *ran = true;
+    const gs::feature::FeatureStore store(g.features());
+    gs::feature::HotSetCacheOptions cache_opts;
+    cache_opts.capacity = std::max<int64_t>(c.nodes / 8, 64);
+    cache_opts.admission = gs::feature::AdmissionFromName(c.admission);
+    gs::feature::HotSetCache cache_a(cache_opts);
+    gs::feature::HotSetCache cache_b(cache_opts);
+    const int64_t dim = g.features().cols();
+
+    Rng rng = Rng(c.seed ^ 0xFEA7FEA7ULL);
+    for (int b = 0; b < c.num_batches * 2; ++b) {  // x2: revisit for warm hits
+      std::vector<int32_t> ids;
+      ids.reserve(static_cast<size_t>(c.batch_size));
+      Rng batch_rng = rng.Fork(static_cast<uint64_t>(b % c.num_batches));
+      for (int64_t j = 0; j < c.batch_size; ++j) {
+        ids.push_back(
+            static_cast<int32_t>(batch_rng.UniformInt(static_cast<uint64_t>(c.nodes))));
+      }
+      const gs::tensor::IdArray frontier = gs::tensor::IdArray::FromVector(ids);
+      const gs::tensor::Tensor got_a = store.Gather(frontier, &cache_a);
+      const gs::tensor::Tensor got_b = store.Gather(frontier, &cache_b);
+      for (size_t i = 0; i < ids.size(); ++i) {
+        const float* a = got_a.data() + static_cast<int64_t>(i) * dim;
+        const float* bb = got_b.data() + static_cast<int64_t>(i) * dim;
+        const float* want = g.features().data() + static_cast<int64_t>(ids[i]) * dim;
+        if (std::memcmp(a, want, static_cast<size_t>(dim) * sizeof(float)) != 0) {
+          return c.admission + ": batch " + std::to_string(b) + " row " + std::to_string(i) +
+                 " (node " + std::to_string(ids[i]) + ") diverged from the eager lookup";
+        }
+        if (std::memcmp(a, bb, static_cast<size_t>(dim) * sizeof(float)) != 0) {
+          return c.admission + ": batch " + std::to_string(b) + " row " + std::to_string(i) +
+                 " differs between two caches fed the same sequence";
+        }
+      }
+    }
+    if (cache_a.hits() != cache_b.hits() || cache_a.misses() != cache_b.misses()) {
+      return c.admission + ": nondeterministic cache counters (hits " +
+             std::to_string(cache_a.hits()) + " vs " + std::to_string(cache_b.hits()) +
+             ", misses " + std::to_string(cache_a.misses()) + " vs " +
+             std::to_string(cache_b.misses()) + ")";
+    }
+  } catch (const std::exception& e) {
+    return std::string("feature THROW ") + e.what();
+  }
+  return "";
+}
+
 bool Fails(const FuzzConfig& c) {
   try {
-    return !RunConfig(c).ok() || !ShardMismatch(c).empty();
+    return !RunConfig(c).ok() || !ShardMismatch(c).empty() || !FeatureMismatch(c).empty();
   } catch (const std::exception&) {
     return true;  // a throwing config is a failing config — keep minimizing
   }
@@ -263,6 +348,11 @@ void MinimizeFlags(FuzzConfig& c) {
       // device the reproducer should not mention sharding at all.
       trials.push_back(c);
       trials.back().shards = 1;
+    }
+    if (c.features) {
+      // Same for the feature dimension.
+      trials.push_back(c);
+      trials.back().features = false;
     }
     if (c.shards > 1 && c.cut != "edge") {
       trials.push_back(c);
@@ -349,7 +439,7 @@ void MinimizeShape(FuzzConfig& c) {
   }
 }
 
-FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards) {
+FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards, bool features) {
   Rng rng = Rng(base_seed).Fork(index);
   const std::vector<std::string> algos = gs::algorithms::AllAlgorithmNames();
   FuzzConfig c;
@@ -374,12 +464,17 @@ FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards) {
   // drawn last, keeping every pre-shard field identical to older streams).
   c.shards = shards;
   c.cut = rng.UniformInt(2) == 1 ? "vertex" : "edge";
+  // Like the shard count, the feature toggle comes from the CLI; only the
+  // admission policy is drawn (last, preserving older streams).
+  c.features = features;
+  const char* admissions[] = {"static-degree", "lru", "frequency-ema"};
+  c.admission = admissions[rng.UniformInt(3)];
   return c;
 }
 
 int Usage() {
   std::cerr << "usage: fuzz_passes [--seeds N] [--base-seed S] [--out FILE]\n"
-               "                   [--shards N] [--repro 'key=value ...']\n";
+               "                   [--shards N] [--features] [--repro 'key=value ...']\n";
   return 2;
 }
 
@@ -389,6 +484,7 @@ int main(int argc, char** argv) {
   int64_t num_seeds = 50;
   uint64_t base_seed = 0xF022;
   int shards = 1;
+  bool features = false;
   std::string out_path;
   std::string repro_line;
   for (int i = 1; i < argc; ++i) {
@@ -407,6 +503,8 @@ int main(int argc, char** argv) {
       if (!v) return Usage();
       shards = std::atoi(v);
       if (shards < 1) return Usage();
+    } else if (arg == "--features") {
+      features = true;
     } else if (arg == "--out") {
       const char* v = next();
       if (!v) return Usage();
@@ -439,7 +537,15 @@ int main(int argc, char** argv) {
       } else if (c.shards > 1) {
         std::cout << "shard differential: skipped (stateful or extra bindings)\n";
       }
-      return report.ok() && mismatch.empty() ? 0 : 1;
+      bool feature_ran = false;
+      const std::string feature_mismatch = FeatureMismatch(c, &feature_ran);
+      if (!feature_mismatch.empty()) {
+        std::cout << "feature differential: " << feature_mismatch << "\n";
+      } else if (feature_ran) {
+        std::cout << "feature differential: " << c.admission
+                  << " bit-identical and deterministic\n";
+      }
+      return report.ok() && mismatch.empty() && feature_mismatch.empty() ? 0 : 1;
     } catch (const std::exception& e) {
       std::cout << c.algo << ": THROW " << e.what() << "\n";
       return 1;
@@ -448,16 +554,18 @@ int main(int argc, char** argv) {
 
   int64_t failures = 0;
   for (int64_t i = 0; i < num_seeds; ++i) {
-    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i), shards);
+    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i), shards, features);
     std::string detail;
     try {
       const gs::oracle::OracleReport report = RunConfig(c);
       if (report.ok()) {
         const std::string mismatch = ShardMismatch(c);
-        if (mismatch.empty()) {
+        const std::string feature_mismatch = mismatch.empty() ? FeatureMismatch(c) : "";
+        if (mismatch.empty() && feature_mismatch.empty()) {
           continue;
         }
-        detail = "shard differential: " + mismatch;
+        detail = mismatch.empty() ? "feature differential: " + feature_mismatch
+                                  : "shard differential: " + mismatch;
       } else {
         detail = report.ToString();
       }

@@ -42,6 +42,11 @@
 //   --requests N       serve mode: requests to submit (default 200)
 //   --rps R            serve mode: offered load in requests/sec (default 500)
 //   --workers N        serve mode: server worker threads (default 2)
+//   --features         serve mode: attach gathered feature rows to every
+//                      response (per-tenant hot-set cache, gs::feature);
+//                      cache hit rate + gather bytes land in the report
+//                      and in the --json keys feature_hit_rate /
+//                      feature_gather_bytes
 //   --fault-plan SPEC  gs::fault injection schedule for the whole run, e.g.
 //                      "kernel.transient:p=0.001;alloc.oom:occ=5". Injector
 //                      probe/injection counts are printed to stderr on exit.
@@ -91,6 +96,7 @@ struct Args {
   bool list = false;
   bool json = false;
   bool serve = false;
+  bool serve_features = false;
   int64_t requests = 200;
   double rps = 500.0;
   int workers = 2;
@@ -147,6 +153,8 @@ Args Parse(int argc, char** argv) {
       args.json = true;
     } else if (flag == "--serve") {
       args.serve = true;
+    } else if (flag == "--features") {
+      args.serve_features = true;
     } else if (flag == "--requests") {
       args.requests = std::atoll(value(i));
       GS_CHECK(args.requests > 0) << "--requests must be > 0";
@@ -173,6 +181,7 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
   namespace serving = gs::serving;
   serving::ServerOptions options;
   options.num_workers = args.workers;
+  options.serve_features = args.serve_features;
   serving::Server server(options);
   server.RegisterEndpoint(serving::MakeEndpoint(args.algorithm, args.dataset, g));
   server.Start();
@@ -194,7 +203,10 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
         "\"failed\":%lld,\"degraded\":%lld,\"coalesced\":%lld,"
         "\"achieved_rps\":%.1f,\"coalescing_ratio\":%.2f,"
         "\"p50_us\":%lld,\"p95_us\":%lld,\"p99_us\":%lld,"
-        "\"plan_cache_hits\":%lld,\"plan_cache_misses\":%lld}\n",
+        "\"plan_cache_hits\":%lld,\"plan_cache_misses\":%lld,"
+        "\"feature_requests\":%lld,\"feature_rows\":%lld,"
+        "\"feature_hit_rate\":%.4f,\"feature_gather_bytes\":%lld,"
+        "\"feature_miss_bytes\":%lld,\"feature_gather_us\":%lld}\n",
         args.algorithm.c_str(), args.dataset.c_str(),
         static_cast<long long>(report.submitted), static_cast<long long>(report.ok),
         static_cast<long long>(report.rejected),
@@ -205,7 +217,12 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
         static_cast<long long>(report.p95_ns / 1000),
         static_cast<long long>(report.p99_ns / 1000),
         static_cast<long long>(stats.plan_cache_hits),
-        static_cast<long long>(stats.plan_cache_misses));
+        static_cast<long long>(stats.plan_cache_misses),
+        static_cast<long long>(stats.feature_requests),
+        static_cast<long long>(stats.feature_rows), stats.FeatureHitRate(),
+        static_cast<long long>(stats.feature_gather_bytes),
+        static_cast<long long>(stats.feature_miss_bytes),
+        static_cast<long long>(stats.feature_gather_ns / 1000));
   } else {
     std::printf("%s\n%s\n", report.ToString().c_str(), stats.ToString().c_str());
   }
