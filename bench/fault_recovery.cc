@@ -8,12 +8,22 @@
 // count stays at (or near) zero — the ladder converts faults into latency,
 // not errors.
 //
+// HA mode (--shards=N, N > 1): instead of the transient-rate sweep, runs a
+// no-fault baseline and a shard-kill cell (a seeded FaultPlan permanently
+// kills shard 1 partway through the run). With --replicas=2 the gs::ha
+// failover path serves the dead shard's requests from its replica, so
+// goodput should hold near-flat with zero failed requests; with
+// --replicas=1 the dead shard's requests degrade to typed partial
+// responses (Status::kDegraded with a coverage fraction), still with zero
+// failures.
+//
 // Output: one single-line JSON record per cell on stdout (standard bench
 // harness convention), human-readable summary on stderr.
 //
 // Usage: fault_recovery [--scale=0.05] [--requests=300] [--workers=4]
-//                       [--rps=1500]
+//                       [--rps=1500] [--shards=4] [--replicas=2]
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -34,6 +44,8 @@ struct Sweep {
   int64_t requests = 300;
   int workers = 4;
   double rps = 1500.0;
+  int shards = 1;
+  int replicas = 1;
 };
 
 struct Cell {
@@ -86,6 +98,104 @@ Cell RunCell(const gs::graph::Graph& graph, double fault_rate, const Sweep& swee
   return cell;
 }
 
+// One HA cell: sharded serving, optionally with `victim` killed permanently
+// after `requests / 32` placement probes (a mid-run device loss). The
+// victim is the busiest shard of the baseline cell — locality routing
+// concentrates traffic, so killing an idle shard would measure nothing.
+Cell RunHaCell(const gs::graph::Graph& graph, int victim, const Sweep& sweep) {
+  Cell cell;
+  std::unique_ptr<gs::fault::FaultScope> scope;
+  if (victim >= 0) {
+    const int64_t after = std::max<int64_t>(1, sweep.requests / 32);
+    scope = std::make_unique<gs::fault::FaultScope>(gs::fault::FaultPlan::Parse(
+        "shard" + std::to_string(victim) + ":shard.lost:after=" + std::to_string(after),
+        0xFA017));
+  }
+
+  gs::serving::ServerOptions options;
+  options.num_workers = sweep.workers;
+  options.queue_capacity = 128;
+  options.deadline_admission = false;
+  options.shed_occupancy = 2.0;
+  options.max_transient_retries = 6;
+  options.num_shards = sweep.shards;
+  options.num_replicas = sweep.replicas;
+  gs::serving::Server server(options);
+  server.RegisterEndpoint(gs::serving::MakeEndpoint("GraphSAGE", "PD", graph));
+  server.Start();
+
+  gs::serving::LoadGenOptions load;
+  load.algorithm = "GraphSAGE";
+  load.dataset = "PD";
+  load.num_requests = sweep.requests;
+  load.offered_rps = sweep.rps;
+  load.batch_size = 64;
+  load.num_tenants = 4;
+  load.fanouts = {10, 5};
+  cell.report = RunOpenLoop(server, graph, load);
+  server.Stop();
+  cell.stats = server.stats();
+  if (scope != nullptr) {
+    const gs::fault::SiteCounters c =
+        scope->injector().counters(gs::fault::Site::kShardLost);
+    cell.injected = c.injected;
+    cell.probes = c.probes;
+  }
+  return cell;
+}
+
+void PrintHaCell(const char* mode, const Cell& cell, const Sweep& sweep) {
+  std::printf(
+      "{\"bench\":\"fault_recovery\",\"mode\":\"%s\",\"shards\":%d,\"replicas\":%d,"
+      "\"requests\":%lld,\"ok\":%lld,\"partial\":%lld,\"failed\":%lld,"
+      "\"failovers\":%lld,\"hedged_exchanges\":%lld,"
+      "\"injected\":%lld,\"probes\":%lld,"
+      "\"goodput_rps\":%.1f,\"p50_us\":%lld,\"p95_us\":%lld,\"p99_us\":%lld}\n",
+      mode, sweep.shards, sweep.replicas, static_cast<long long>(cell.report.submitted),
+      static_cast<long long>(cell.report.ok), static_cast<long long>(cell.report.partial),
+      static_cast<long long>(cell.report.failed), static_cast<long long>(cell.stats.failovers),
+      static_cast<long long>(cell.stats.hedged_exchanges),
+      static_cast<long long>(cell.injected), static_cast<long long>(cell.probes),
+      cell.report.achieved_rps, static_cast<long long>(cell.report.p50_ns / 1000),
+      static_cast<long long>(cell.report.p95_ns / 1000),
+      static_cast<long long>(cell.report.p99_ns / 1000));
+  std::fprintf(stderr, "%12s | %9.0f %8lld %8lld %8lld | %9lld %9lld\n", mode,
+               cell.report.achieved_rps, static_cast<long long>(cell.report.ok),
+               static_cast<long long>(cell.report.partial),
+               static_cast<long long>(cell.report.failed),
+               static_cast<long long>(cell.stats.failovers),
+               static_cast<long long>(cell.report.p95_ns / 1000));
+}
+
+int RunHaSweep(const gs::graph::Graph& graph, const Sweep& sweep) {
+  std::fprintf(stderr, "%12s | %9s %8s %8s %8s | %9s %9s\n", "cell", "goodput", "ok",
+               "partial", "failed", "failovers", "p95(us)");
+  const Cell baseline = RunHaCell(graph, /*victim=*/-1, sweep);
+  PrintHaCell("baseline", baseline, sweep);
+  int victim = 0;
+  int64_t victim_load = -1;
+  for (const auto& [s, completed] : baseline.stats.per_shard_completed) {
+    if (completed > victim_load) {
+      victim = s;
+      victim_load = completed;
+    }
+  }
+  std::fprintf(stderr, "killing shard %d (busiest in baseline: %lld completions)\n", victim,
+               static_cast<long long>(victim_load));
+  const Cell killed = RunHaCell(graph, victim, sweep);
+  PrintHaCell("shard_kill", killed, sweep);
+  const double ratio = baseline.report.achieved_rps > 0
+                           ? killed.report.achieved_rps / baseline.report.achieved_rps
+                           : 0.0;
+  std::fprintf(stderr,
+               "\ngoodput ratio (shard_kill / baseline) = %.3f\n"
+               "Expectation: with replicas >= 2 the ratio holds near 1.0 with zero failed\n"
+               "requests (failover absorbs the kill); with replicas = 1 the dead shard's\n"
+               "requests come back as typed partial responses, still with zero failures.\n",
+               ratio);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +209,10 @@ int main(int argc, char** argv) {
       sweep.workers = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--rps=", 6) == 0) {
       sweep.rps = std::atof(argv[i] + 6);
+    } else if (std::strncmp(argv[i], "--shards=", 9) == 0) {
+      sweep.shards = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--replicas=", 11) == 0) {
+      sweep.replicas = std::atoi(argv[i] + 11);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
       return 2;
@@ -111,6 +225,9 @@ int main(int argc, char** argv) {
                "%d workers\n",
                sweep.scale, static_cast<long long>(graph.num_nodes()),
                static_cast<long long>(sweep.requests), sweep.rps, sweep.workers);
+  if (sweep.shards > 1) {
+    return RunHaSweep(graph, sweep);
+  }
   std::fprintf(stderr, "%12s | %9s %8s %8s %8s | %9s %9s\n", "fault_rate", "goodput", "ok",
                "failed", "retries", "p50(us)", "p95(us)");
 

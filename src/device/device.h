@@ -7,6 +7,7 @@
 #ifndef GSAMPLER_DEVICE_DEVICE_H_
 #define GSAMPLER_DEVICE_DEVICE_H_
 
+#include <atomic>
 #include <memory>
 
 #include "device/allocator.h"
@@ -33,10 +34,20 @@ class Device {
   Stream& stream();
   Stream& default_stream() { return stream_; }
 
+  // Simulated device-lost latch (the shard.lost fault site): a lost device
+  // models a GPU that fell off the interconnect. The HA layer marks it on
+  // injection, routes work to replicas while it is set, and Revives it when
+  // a health probe succeeds. Purely advisory — kernels on a lost device
+  // still "run" (this is a simulator); placement honors the latch.
+  void MarkLost() { lost_.store(true, std::memory_order_release); }
+  void Revive() { lost_.store(false, std::memory_order_release); }
+  bool lost() const { return lost_.load(std::memory_order_acquire); }
+
  private:
   DeviceProfile profile_;
   CachingAllocator allocator_;
   Stream stream_;
+  std::atomic<bool> lost_{false};
 };
 
 // The device new work runs on: the calling thread's override if one is

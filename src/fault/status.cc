@@ -14,13 +14,20 @@ const char* ErrorCodeName(ErrorCode code) {
       return "invalid_request";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
 
 ErrorCode Classify(const std::exception& e) {
+  // ExchangeTimeoutError derives TransientError, so this branch routes
+  // exchange timeouts into the retry ladder too.
   if (dynamic_cast<const TransientError*>(&e) != nullptr) {
     return ErrorCode::kTransient;
+  }
+  if (dynamic_cast<const ShardUnavailableError*>(&e) != nullptr) {
+    return ErrorCode::kUnavailable;
   }
   if (dynamic_cast<const ResourceExhaustedError*>(&e) != nullptr) {
     return ErrorCode::kResourceExhausted;

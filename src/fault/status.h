@@ -10,10 +10,13 @@
 //
 //   kTransient          retry is expected to succeed (injected kernel
 //                       fault, watchdog-cancelled batch, UVA transfer
-//                       error)
+//                       error, cross-shard exchange timeout)
 //   kResourceExhausted  device memory exhausted even after the allocator's
 //                       recovery ladder ran; degrade (shed fanouts) or shed
 //                       load
+//   kUnavailable        a shard and all of its replicas are dead; retrying
+//                       the same placement cannot help — serve a degraded
+//                       partial response instead
 //   kInvalidRequest     the input can never succeed; reject, never retry
 //   kInternal           everything else (plain gs::Error, std::exception);
 //                       fail the unit of work, keep the worker alive
@@ -37,6 +40,7 @@ enum class ErrorCode {
   kResourceExhausted,
   kInvalidRequest,
   kInternal,
+  kUnavailable,
 };
 
 const char* ErrorCodeName(ErrorCode code);
@@ -56,6 +60,23 @@ class ResourceExhaustedError : public Error {
 class InvalidRequestError : public Error {
  public:
   explicit InvalidRequestError(const std::string& what) : Error(what) {}
+};
+
+// A cross-shard frontier exchange timed out (exchange.timeout fault site
+// past the hedge budget). Derives TransientError so Classify routes it
+// through the serving retry ladder — the next attempt re-resolves placement
+// and may land on a healthy replica.
+class ExchangeTimeoutError : public TransientError {
+ public:
+  explicit ExchangeTimeoutError(const std::string& what) : TransientError(what) {}
+};
+
+// A shard and every replica hosting it are dead. Not transient: retrying
+// the same request cannot succeed until a replica recovers, so serving
+// answers with a Degraded partial response instead of burning retries.
+class ShardUnavailableError : public Error {
+ public:
+  explicit ShardUnavailableError(const std::string& what) : Error(what) {}
 };
 
 // Maps an in-flight exception to its code. Unrecognized exception types

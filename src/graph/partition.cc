@@ -109,6 +109,24 @@ int64_t Partition::AdjBytes(int32_t global) const {
   return degree_[static_cast<size_t>(global)] * bytes_per_edge_;
 }
 
+int Partition::ReplicaDevice(int shard, int r) const {
+  GS_CHECK(shard >= 0 && shard < num_shards_) << "shard " << shard << " out of range";
+  GS_CHECK(r >= 0 && r < num_replicas_) << "replica " << r << " out of range";
+  return (shard + r) % num_shards_;
+}
+
+bool Partition::Hosts(int device, int shard) const {
+  GS_CHECK(device >= 0 && device < num_shards_)
+      << "device " << device << " out of range";
+  GS_CHECK(shard >= 0 && shard < num_shards_) << "shard " << shard << " out of range";
+  // device == (shard + r) % N for some r < num_replicas_.
+  return (device - shard + num_shards_) % num_shards_ < num_replicas_;
+}
+
+int64_t Partition::SegmentBytes(int shard) const {
+  return Segment(shard).nnz() * bytes_per_edge_;
+}
+
 int64_t Partition::RemoteBytesBound(int shard) const {
   GS_CHECK(shard >= 0 && shard < num_shards_) << "shard " << shard << " out of range";
   int64_t bytes = 0;
@@ -123,7 +141,7 @@ int64_t Partition::RemoteBytesBound(int shard) const {
 std::string Partition::DebugString() const {
   std::ostringstream out;
   out << "Partition(" << PartitionKindName(kind_) << ", graph=" << graph_.name()
-      << ", shards=" << num_shards_;
+      << ", shards=" << num_shards_ << ", replicas=" << num_replicas_;
   for (int s = 0; s < num_shards_; ++s) {
     const sparse::Matrix& m = segments_[static_cast<size_t>(s)];
     out << ", s" << s << "=[cols=" << m.num_cols() << " nnz=" << m.nnz() << "]";
@@ -140,10 +158,14 @@ Partition Partitioner::VertexCut(const Graph& graph, int num_shards) {
   return Build(graph, PartitionKind::kVertexCut, num_shards);
 }
 
-Partition Partitioner::Build(const Graph& graph, PartitionKind kind, int num_shards) {
+Partition Partitioner::Build(const Graph& graph, PartitionKind kind, int num_shards,
+                             int num_replicas) {
   const int64_t n = graph.num_nodes();
   GS_CHECK_GE(num_shards, 1) << "partition needs at least one shard";
   GS_CHECK_LE(num_shards, n) << "more shards than nodes";
+  GS_CHECK_GE(num_replicas, 1) << "partition needs at least one replica";
+  GS_CHECK_LE(num_replicas, num_shards)
+      << "more replicas than devices (" << num_replicas << " > " << num_shards << ")";
 
   const sparse::Compressed& csc = graph.adj().Csc();
   const bool weighted = csc.values.defined();
@@ -152,6 +174,7 @@ Partition Partitioner::Build(const Graph& graph, PartitionKind kind, int num_sha
   p.graph_ = graph;
   p.kind_ = kind;
   p.num_shards_ = num_shards;
+  p.num_replicas_ = num_replicas;
   p.bytes_per_edge_ =
       static_cast<int64_t>(sizeof(int32_t)) + (weighted ? static_cast<int64_t>(sizeof(float)) : 0);
 

@@ -85,6 +85,27 @@ class Partition {
   // what the shard could ever pull over the interconnect.
   int64_t RemoteBytesBound(int shard) const;
 
+  // --- Replica placement (gs::ha) -------------------------------------
+  //
+  // With r > 1 replicas, shard s's CSC segment is additionally mirrored
+  // onto r-1 other devices by chained declustering: replica k of shard s
+  // lives on device (s + k) % num_shards. The placement is a pure function
+  // of (shard, replica, num_shards), so every process — and every failover
+  // decision — agrees on it without coordination, and a single dead device
+  // takes out exactly one replica of each of r shards instead of all
+  // replicas of one.
+  int num_replicas() const { return num_replicas_; }
+
+  // Device hosting replica `r` (0 = primary) of `shard`.
+  int ReplicaDevice(int shard, int r) const;
+
+  // Whether `device` hosts a replica of `shard`'s segment.
+  bool Hosts(int device, int shard) const;
+
+  // Bytes of `shard`'s CSC segment (index + optional weight per edge) — the
+  // per-replica mirror cost the HA layer charges for placement.
+  int64_t SegmentBytes(int shard) const;
+
   std::string DebugString() const;
 
  private:
@@ -93,6 +114,7 @@ class Partition {
   Graph graph_;
   PartitionKind kind_ = PartitionKind::kEdgeCut;
   int num_shards_ = 1;
+  int num_replicas_ = 1;
   int64_t bytes_per_edge_ = 4;
   std::vector<int32_t> owner_;                 // node -> home shard
   std::vector<int64_t> degree_;                // node -> in-degree
@@ -103,12 +125,15 @@ class Partition {
 
 // Factory for deterministic partitions. Edge-cut balances contiguous node
 // ranges by in-degree; vertex-cut additionally splits columns whose degree
-// exceeds 4x the average into per-shard chunks.
+// exceeds 4x the average into per-shard chunks. `num_replicas` (1..shards)
+// mirrors each shard's segment onto that many devices by chained
+// declustering (see Partition::ReplicaDevice).
 class Partitioner {
  public:
   static Partition EdgeCut(const Graph& graph, int num_shards);
   static Partition VertexCut(const Graph& graph, int num_shards);
-  static Partition Build(const Graph& graph, PartitionKind kind, int num_shards);
+  static Partition Build(const Graph& graph, PartitionKind kind, int num_shards,
+                         int num_replicas = 1);
 };
 
 }  // namespace gs::graph

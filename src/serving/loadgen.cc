@@ -17,7 +17,8 @@ std::string LoadGenReport::ToString() const {
   std::ostringstream out;
   out << "loadgen: " << submitted << " submitted | " << ok << " ok, " << rejected
       << " rejected, " << deadline_exceeded << " expired, " << failed << " failed | "
-      << degraded << " degraded, " << coalesced << " coalesced | p50 " << p50_ns / 1000
+      << degraded << " degraded, " << partial << " partial, " << coalesced
+      << " coalesced | p50 " << p50_ns / 1000
       << " us, p95 " << p95_ns / 1000 << " us, p99 " << p99_ns / 1000 << " us | "
       << achieved_rps << " req/s over " << wall_seconds << " s";
   return out.str();
@@ -84,6 +85,12 @@ LoadGenReport RunOpenLoop(Server& server, const graph::Graph& graph,
         break;
       case Status::kFailed:
         ++report.failed;
+        break;
+      case Status::kDegraded:
+        // A typed partial answer, not a failure: count it (and its latency)
+        // toward goodput so failover benches see coverage, not errors.
+        ++report.partial;
+        latency.Record(response.stages.total_ns);
         break;
     }
     if (response.degraded) {

@@ -43,6 +43,9 @@ struct LoadGenReport {
   int64_t deadline_exceeded = 0;
   int64_t failed = 0;
   int64_t degraded = 0;
+  // kDegraded partial responses (some shards had no live replica). Counted
+  // as answered, never as failed.
+  int64_t partial = 0;
   // Requests whose response reports group_size > 1.
   int64_t coalesced = 0;
   // Client-observed (server total_ns) latency of OK responses.

@@ -12,6 +12,8 @@ const char* StatusName(Status status) {
       return "DEADLINE_EXCEEDED";
     case Status::kFailed:
       return "FAILED";
+    case Status::kDegraded:
+      return "DEGRADED";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,7 @@ enum class Status {
   kRejected,          // admission refused: queue full or infeasible deadline
   kDeadlineExceeded,  // expired while queued; never executed
   kFailed,            // unknown endpoint or execution error
+  kDegraded,          // partial result: some shards had no live replica
 };
 
 const char* StatusName(Status status);
@@ -77,8 +78,13 @@ struct SampleResponse {
   // none).
   tensor::Tensor features;
   tensor::IdArray feature_ids;
-  // Fanout shedding was applied under overload.
+  // Fanout shedding was applied under overload, or (status kDegraded) the
+  // response covers only part of the requested seeds.
   bool degraded = false;
+  // Fraction of the request's (valid) seeds whose home shard still had a
+  // live replica; 1.0 for full service. With status kDegraded the outputs
+  // cover exactly the covered seeds, in request order.
+  double coverage = 1.0;
   // Suggested back-off before resubmitting (kRejected only).
   std::chrono::nanoseconds retry_after{0};
   StageBreakdown stages;

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.h"
+#include "fault/fault.h"
 #include "fault/status.h"
 #include "common/logging.h"
 #include "common/timer.h"
@@ -122,6 +123,11 @@ Server::Server(ServerOptions options) : options_(options) {
   GS_CHECK_GT(options_.queue_capacity, 0);
   GS_CHECK_GT(options_.coalesce_max, 0);
   GS_CHECK_GE(options_.num_shards, 1);
+  GS_CHECK_LE(options_.num_shards, fault::kMaxShards)
+      << "serving supports at most " << fault::kMaxShards << " shards";
+  GS_CHECK_GE(options_.num_replicas, 1);
+  GS_CHECK_LE(options_.num_replicas, options_.num_shards)
+      << "more replicas than shard devices";
   shard_latency_.resize(static_cast<size_t>(std::max(1, options_.num_shards)));
 }
 
@@ -150,17 +156,28 @@ void Server::Start() {
   if (options_.num_shards > 1) {
     // Partition every registered dataset once and give each shard its own
     // simulated device: per-shard sessions allocate there and locality
-    // routing (Submit) resolves against these partitions.
+    // routing (Submit) resolves against these partitions. num_replicas > 1
+    // additionally mirrors each shard's segment (chained declustering) so
+    // execution can fail over past dead devices.
     for (const auto& [key, endpoint] : endpoints_) {
       if (partitions_.find(endpoint.dataset) == partitions_.end()) {
         partitions_[endpoint.dataset] =
             std::make_unique<graph::Partition>(graph::Partitioner::Build(
-                *endpoint.graph, options_.partition_kind, options_.num_shards));
+                *endpoint.graph, options_.partition_kind, options_.num_shards,
+                options_.num_replicas));
       }
     }
     shard_devices_.reserve(static_cast<size_t>(options_.num_shards));
     for (int s = 0; s < options_.num_shards; ++s) {
       shard_devices_.push_back(std::make_unique<device::Device>(device::Current().profile()));
+    }
+    monitor_ = std::make_unique<ha::HealthMonitor>(options_.num_shards, options_.health);
+    // Pre-register every shard in the per-shard completion map so a shard
+    // that dies before completing anything still shows up (as zero) in
+    // stats() instead of silently vanishing from the report.
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (int s = 0; s < options_.num_shards; ++s) {
+      stats_.per_shard_completed[s] += 0;
     }
   }
   if (options_.serve_features) {
@@ -596,21 +613,29 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
   const Endpoint* endpoint = FindEndpoint(leader.request.algorithm, leader.request.dataset);
   GS_CHECK(endpoint != nullptr);
 
-  // Sharded mode: pin this worker to the group's home shard device for the
-  // whole resolve+execute span (plan warmup allocates there too) and meter
-  // cross-shard adjacency pulls with a FrontierExchange observer. The group
-  // is shard-homogeneous because the shard is part of the plan key.
+  // Sharded mode: each execution attempt re-resolves the executing device —
+  // the home shard's replica chain is walked in placement order, skipping
+  // devices the health monitor holds dead (a dead device still gets one
+  // probe per backoff window). The chosen device is pinned for the
+  // resolve+execute span and cross-shard adjacency pulls are metered with a
+  // FrontierExchange observer. The group is shard-homogeneous because the
+  // shard is part of the plan key; executing on a replica changes only
+  // which timeline is charged, never the outputs (sessions bind the full
+  // graph).
   const int shard = leader.home_shard;
   const graph::Partition* partition = nullptr;
   std::optional<device::ThreadDeviceGuard> shard_guard;
+  std::optional<fault::ShardScope> fault_scope;
   if (options_.num_shards > 1) {
     auto it = partitions_.find(endpoint->dataset);
     partition = it != partitions_.end() ? it->second.get() : nullptr;
-    shard_guard.emplace(*shard_devices_[static_cast<size_t>(shard)]);
   }
   int64_t exchange_hops = 0;
   int64_t exchange_remote_nodes = 0;
   int64_t exchange_bytes = 0;
+  int64_t hedged = 0;
+  int exec_shard = shard;     // device that actually executed (== shard unsharded)
+  bool unavailable = false;   // no live replica of the home shard
 
   // Recovery ladder around plan resolution + execution. Transient failures
   // (injected kernel faults, watchdog-cancelled batches, UVA transfer
@@ -639,6 +664,41 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
     exchange_hops = 0;
     exchange_remote_nodes = 0;
     exchange_bytes = 0;
+    hedged = 0;
+    // Placement: walk the home shard's replica chain. A shard.lost
+    // injection at placement marks the device dead and moves on; when no
+    // replica admits work the group degrades instead of failing. Guards
+    // outlive the loop so the feature/scatter phase below still runs on the
+    // executing device.
+    if (options_.num_shards > 1) {
+      fault_scope.reset();
+      shard_guard.reset();
+      exec_shard = -1;
+      const int replicas = partition != nullptr ? partition->num_replicas() : 1;
+      for (int r = 0; r < replicas; ++r) {
+        const int candidate =
+            partition != nullptr ? partition->ReplicaDevice(shard, r) : shard;
+        if (!monitor_->AdmitWork(candidate)) {
+          continue;
+        }
+        fault::ShardScope probe_scope(candidate);
+        if (fault::Injected(fault::Site::kShardLost)) {
+          shard_devices_[static_cast<size_t>(candidate)]->MarkLost();
+          monitor_->ReportDeviceLost(candidate);
+          continue;
+        }
+        exec_shard = candidate;
+        break;
+      }
+      if (exec_shard < 0) {
+        unavailable = true;
+        code = fault::ErrorCode::kUnavailable;
+        error = "no live replica for shard " + std::to_string(shard);
+        break;
+      }
+      shard_guard.emplace(*shard_devices_[static_cast<size_t>(exec_shard)]);
+      fault_scope.emplace(exec_shard);
+    }
     try {
       bool hit = false;
       int64_t build_ns = 0;
@@ -651,7 +711,8 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
         if (partition == nullptr) {
           return ExecuteGroup(*plan, frontiers, seeds);
         }
-        shard::FrontierExchange exchange(*partition, shard);
+        shard::FrontierExchange exchange(*partition, exec_shard, monitor_.get(),
+                                         options_.max_hedged_exchanges);
         core::HopObserverGuard observer(exchange);
         GroupResult group_result = ExecuteGroup(*plan, frontiers, seeds);
         for (const shard::HopRecord& h : exchange.hops()) {
@@ -661,6 +722,7 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
           exchange_remote_nodes += h.remote_nodes;
           exchange_bytes += h.bytes;
         }
+        hedged += exchange.hedges();
         return group_result;
       };
       if (plan->Coalescable()) {
@@ -691,6 +753,14 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
     } catch (const std::exception& e) {
       error = e.what();
       code = fault::Classify(e);
+      if (monitor_ != nullptr && exec_shard >= 0 &&
+          code == fault::ErrorCode::kTransient) {
+        // Injected kernel faults, watchdog cancellations, and exchange
+        // timeouts past the hedge budget feed the shard's suspect state;
+        // the retry below re-resolves placement, so a shard the signals
+        // kill gets skipped on the next attempt.
+        monitor_->ReportTransient(exec_shard);
+      }
     }
     if (code == fault::ErrorCode::kTransient && transient_left > 0) {
       --transient_left;
@@ -716,6 +786,20 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
       continue;
     }
     break;  // terminal failure
+  }
+  if (unavailable) {
+    // No live replica of the home shard: answer partially from the devices
+    // still standing rather than failing the whole group.
+    GS_CHECK(partition != nullptr);
+    ServeDegraded(std::move(group), *endpoint, *partition);
+    return;
+  }
+  if (monitor_ != nullptr && error.empty()) {
+    monitor_->ReportSuccess(exec_shard);
+    device::Device& exec_device = *shard_devices_[static_cast<size_t>(exec_shard)];
+    if (exec_device.lost()) {
+      exec_device.Revive();  // a backoff probe made it through
+    }
   }
   if (shed_retry_used && error.empty()) {
     // Shed-fanout results are degraded regardless of admission-time state.
@@ -769,7 +853,7 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
           continue;
         }
         feature::HotSetCache* cache = TenantFeatureCache(
-            shard, group[i]->request.tenant, endpoint->dataset, store.row_bytes());
+            exec_shard, group[i]->request.tenant, endpoint->dataset, store.row_bytes());
         Timer feature_timer;
         try {
           const tensor::IdArray& ids =
@@ -821,6 +905,12 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
       stats_.exchange_hops += exchange_hops;
       stats_.exchange_remote_nodes += exchange_remote_nodes;
       stats_.exchange_bytes += exchange_bytes;
+      stats_.hedged_exchanges += hedged;
+      if (exec_shard != shard) {
+        // Served by a non-primary replica: count one failover per execution,
+        // not per coalesced member.
+        ++stats_.failovers;
+      }
     }
     if (feature_responses > 0) {
       stats_.feature_requests += feature_responses;
@@ -836,12 +926,146 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
         ++stats_.completed;
         ++stats_.per_tenant_completed[group[i]->request.tenant];
         if (options_.num_shards > 1) {
-          ++stats_.per_shard_completed[shard];
+          // Attribute to the device that did the work, so failover shows up
+          // in the per-shard breakdown instead of crediting the dead shard.
+          ++stats_.per_shard_completed[exec_shard];
         }
         if (responses[i].degraded) {
           ++stats_.degraded;
         }
-        shard_latency_[static_cast<size_t>(shard)].Record(totals[i]);
+        shard_latency_[static_cast<size_t>(exec_shard)].Record(totals[i]);
+      } else {
+        ++stats_.failed;
+        ++stats_.per_tenant_failed[group[i]->request.tenant];
+        switch (responses[i].code) {
+          case fault::ErrorCode::kTransient:
+            ++stats_.failed_transient;
+            break;
+          case fault::ErrorCode::kResourceExhausted:
+            ++stats_.failed_resource_exhausted;
+            break;
+          case fault::ErrorCode::kInvalidRequest:
+            ++stats_.failed_invalid;
+            break;
+          default:
+            ++stats_.failed_internal;
+            break;
+        }
+      }
+    }
+  }
+  for (size_t i = 0; i < group.size(); ++i) {
+    group[i]->promise.set_value(std::move(responses[i]));
+  }
+}
+
+void Server::ServeDegraded(std::vector<std::unique_ptr<Pending>> group, const Endpoint& endpoint,
+                           const graph::Partition& partition) {
+  // Fallback placement: the lowest-numbered live device. Every worker
+  // resolves the same device for the same monitor state, so a replayed
+  // fault schedule reproduces the same degraded outputs bit-for-bit.
+  int exec = -1;
+  for (int s = 0; s < options_.num_shards; ++s) {
+    if (monitor_->Alive(s)) {
+      exec = s;
+      break;
+    }
+  }
+
+  // Resolve the plan once for the group (shard-homogeneous key). Failures
+  // here must still fulfill every promise below — no future may hang.
+  std::shared_ptr<core::SamplerSession> plan;
+  std::string plan_error;
+  int64_t compile_ns = 0;
+  bool cache_hit = false;
+  if (exec >= 0) {
+    device::ThreadDeviceGuard guard(*shard_devices_[static_cast<size_t>(exec)]);
+    try {
+      bool hit = false;
+      const PlanKey& key = group.front()->key;
+      plan = plan_cache_->GetOrBuild(
+          key, [&] { return BuildPlan(endpoint, key); }, &hit, &compile_ns);
+      cache_hit = hit;
+    } catch (const std::exception& e) {
+      plan_error = std::string("degraded plan resolution failed: ") + e.what();
+    }
+  }
+
+  std::vector<SampleResponse> responses(group.size());
+  std::vector<char> ran(group.size(), 0);
+  int64_t executed = 0;
+  for (size_t i = 0; i < group.size(); ++i) {
+    Pending& pending = *group[i];
+    SampleResponse& response = responses[i];
+    response.request_id = pending.id;
+    response.group_size = 1;
+    response.degraded = true;
+    response.status = Status::kDegraded;
+    response.stages.queue_wait_ns = ElapsedNs(pending.submitted, pending.dequeued);
+    response.stages.compile_ns = compile_ns;
+    response.stages.plan_cache_hit = cache_hit;
+    const tensor::IdArray& seeds = pending.request.seeds;
+    response.coverage =
+        ha::CoverageFraction(partition, *monitor_, seeds.data(), seeds.size());
+    const std::vector<int32_t> covered =
+        ha::CoveredIds(partition, *monitor_, seeds.data(), seeds.size());
+    if (covered.empty()) {
+      // Nothing coverable: an honest empty partial (coverage says why),
+      // never a request error. Feature gather is skipped in degraded mode.
+      continue;
+    }
+    if (plan == nullptr) {
+      response.status = Status::kFailed;
+      response.error = exec < 0 ? "no live device for degraded serving" : plan_error;
+      response.code = fault::ErrorCode::kUnavailable;
+      continue;
+    }
+    // Serve the covered subset solo on the fallback device; coalescing is
+    // pointless here because each member's covered frontier differs.
+    device::ThreadDeviceGuard guard(*shard_devices_[static_cast<size_t>(exec)]);
+    fault::ShardScope scope(exec);
+    int transient_left = std::max(0, options_.max_transient_retries);
+    while (true) {
+      try {
+        shard::FrontierExchange exchange(partition, exec, monitor_.get(),
+                                         options_.max_hedged_exchanges);
+        core::HopObserverGuard observer(exchange);
+        GroupResult solo =
+            ExecuteGroup(*plan, {tensor::IdArray::FromVector(covered)}, {pending.request.seed});
+        response.outputs = std::move(solo.outputs[0]);
+        response.stages.execute_ns = solo.execute_ns;
+        ran[i] = 1;
+        ++executed;
+        break;
+      } catch (const std::exception& e) {
+        const fault::ErrorCode code = fault::Classify(e);
+        if (code == fault::ErrorCode::kTransient && transient_left-- > 0) {
+          continue;
+        }
+        response.status = Status::kFailed;
+        response.error = e.what();
+        response.code = code;
+        break;
+      }
+    }
+  }
+
+  const Clock::time_point done = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats_.executions += executed;
+    stats_.requests_executed += executed;
+    for (size_t i = 0; i < group.size(); ++i) {
+      const int64_t total = ElapsedNs(group[i]->submitted, done);
+      responses[i].stages.total_ns = total;
+      if (responses[i].status == Status::kDegraded) {
+        ++stats_.completed;
+        ++stats_.partial;
+        ++stats_.per_tenant_completed[group[i]->request.tenant];
+        if (ran[i]) {
+          ++stats_.per_shard_completed[exec];
+          shard_latency_[static_cast<size_t>(exec)].Record(total);
+        }
       } else {
         ++stats_.failed;
         ++stats_.per_tenant_failed[group[i]->request.tenant];

@@ -59,6 +59,7 @@
 #include "feature/store.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
+#include "ha/health.h"
 #include "pipeline/queue.h"
 #include "pipeline/worker_pool.h"
 #include "serving/plan_cache.h"
@@ -121,6 +122,16 @@ struct ServerOptions {
   // at the profile's interconnect_ns_per_byte.
   int num_shards = 1;
   graph::PartitionKind partition_kind = graph::PartitionKind::kEdgeCut;
+  // High availability (gs::ha): replicas per shard (1 = no failover). With
+  // r > 1 every shard's segment is mirrored onto r devices (chained
+  // declustering) and execution walks the replica chain past dead devices;
+  // when no replica of a request's home shard survives, the response
+  // degrades to a typed partial (Status::kDegraded with a per-request
+  // coverage fraction) instead of failing.
+  int num_replicas = 1;
+  ha::HealthOptions health;
+  // Hedged cross-shard exchange re-issues allowed per execution.
+  int max_hedged_exchanges = 2;
   // Feature serving (gs::feature). When set, every kOk response for a
   // dataset with features also carries the gathered feature rows for its
   // result frontier (SampleResponse::features / feature_ids), gathered
@@ -163,6 +174,10 @@ class Server {
 
   ServerStats stats() const;
 
+  // Per-shard health state (sharded mode only; null when num_shards == 1).
+  // Exposed for tests and for operators polling failover state.
+  const ha::HealthMonitor* health_monitor() const { return monitor_.get(); }
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -188,6 +203,12 @@ class Server {
   // Completes `p` as expired. Caller must not hold sched_mutex_.
   void CompleteExpired(std::unique_ptr<Pending> p);
   void ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group);
+  // Degraded-mode path: the group's home shard has no live replica. Serves
+  // each member's *covered* seeds (those whose home shard still has a live
+  // replica) on the lowest-numbered live device and answers with
+  // Status::kDegraded plus the coverage fraction — never a request error.
+  void ServeDegraded(std::vector<std::unique_ptr<Pending>> group, const Endpoint& endpoint,
+                     const graph::Partition& partition);
   // Compiles + warms up a fresh session for `key` (plan-cache miss path).
   std::shared_ptr<core::SamplerSession> BuildPlan(const Endpoint& endpoint,
                                                   const PlanKey& key) const;
@@ -207,6 +228,7 @@ class Server {
   // Sharded mode: dataset name -> partition, plus one device per shard.
   std::map<std::string, std::unique_ptr<graph::Partition>> partitions_;
   std::vector<std::unique_ptr<device::Device>> shard_devices_;
+  std::unique_ptr<ha::HealthMonitor> monitor_;
   // Feature serving: one store per dataset with features, plus per-
   // (shard, tenant, dataset) cache partitions. Declared after
   // shard_devices_ so the caches (whose backing pages live on those

@@ -15,6 +15,14 @@ void LatencyHistogram::Record(int64_t ns) {
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    // A dead or just-recovered shard merges as a no-op. Folding its
+    // (all-zero) state in unconditionally is almost right, but max_ns_
+    // would still take the larger of the two maxima even when the other
+    // histogram never recorded — a stale max from before a Reset-style
+    // swap would then skew the capped percentiles.
+    return;
+  }
   for (size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }
@@ -67,6 +75,8 @@ std::string ServerStats::ToString() const {
       << " worker_exceptions=" << worker_exceptions
       << " failed_by_code=[t=" << failed_transient << " re=" << failed_resource_exhausted
       << " inv=" << failed_invalid << " int=" << failed_internal << "]"
+      << " partial=" << partial << " failovers=" << failovers
+      << " hedged_exchanges=" << hedged_exchanges
       << " p50_us=" << latency_p50_ns / 1000 << " p95_us=" << latency_p95_ns / 1000
       << " p99_us=" << latency_p99_ns / 1000;
   if (feature_requests > 0) {

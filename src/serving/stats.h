@@ -43,6 +43,7 @@ struct ServerStats {
   int64_t failed = 0;
   int64_t completed = 0;
   int64_t degraded = 0;  // served with shed fanouts
+  int64_t partial = 0;   // kDegraded responses (some shards uncovered)
 
   // Execution counters.
   int64_t executions = 0;          // super-batch executions launched
@@ -76,6 +77,10 @@ struct ServerStats {
   int64_t failed_resource_exhausted = 0;
   int64_t failed_invalid = 0;
   int64_t failed_internal = 0;
+
+  // High availability (gs::ha).
+  int64_t failovers = 0;         // executions served by a non-primary replica
+  int64_t hedged_exchanges = 0;  // hedged cross-shard exchange re-issues
 
   // End-to-end wall latency of completed requests (submit -> response).
   int64_t latency_p50_ns = 0;

@@ -5,6 +5,8 @@
 
 #include "common/error.h"
 #include "device/stream.h"
+#include "fault/fault.h"
+#include "fault/status.h"
 
 namespace gs::shard {
 namespace {
@@ -38,12 +40,14 @@ void ExchangeStats::Add(const std::vector<HopRecord>& hops_taken) {
     remote_nodes += h.remote_nodes;
     bytes += h.bytes;
     exchange_ns += h.exchange_ns;
+    hedges += h.hedges;
     HopRecord& agg = per_hop[i];
     agg.hop = static_cast<int>(i);
     agg.frontier_nodes += h.frontier_nodes;
     agg.remote_nodes += h.remote_nodes;
     agg.bytes += h.bytes;
     agg.exchange_ns += h.exchange_ns;
+    agg.hedges += h.hedges;
   }
 }
 
@@ -54,6 +58,8 @@ void ExchangeStats::Merge(const ExchangeStats& other) {
   remote_nodes += other.remote_nodes;
   bytes += other.bytes;
   exchange_ns += other.exchange_ns;
+  hedges += other.hedges;
+  failovers += other.failovers;
   if (per_hop.size() < other.per_hop.size()) {
     per_hop.resize(other.per_hop.size());
   }
@@ -64,6 +70,7 @@ void ExchangeStats::Merge(const ExchangeStats& other) {
     agg.remote_nodes += other.per_hop[i].remote_nodes;
     agg.bytes += other.per_hop[i].bytes;
     agg.exchange_ns += other.per_hop[i].exchange_ns;
+    agg.hedges += other.per_hop[i].hedges;
   }
 }
 
@@ -71,7 +78,8 @@ std::string ExchangeStats::ToString() const {
   std::ostringstream out;
   out << "samples=" << samples << " hops=" << hops << " frontier_nodes=" << frontier_nodes
       << " remote_nodes=" << remote_nodes << " bytes=" << bytes
-      << " exchange_us=" << exchange_ns / 1000;
+      << " exchange_us=" << exchange_ns / 1000 << " hedges=" << hedges
+      << " failovers=" << failovers;
   return out.str();
 }
 
@@ -98,7 +106,9 @@ void FrontierExchange::OnHop(const sparse::Matrix& graph, const tensor::IdArray&
   record.frontier_nodes = static_cast<int64_t>(ids.size());
 
   for (const int32_t v : ids) {
-    if (partition_->OwnerOf(v) != shard_) {
+    // Remote means "no replica of the owner's segment lives on the
+    // executing device"; with one replica this reduces to OwnerOf != shard.
+    if (!partition_->Hosts(shard_, partition_->OwnerOf(v))) {
       record.remote_nodes += 1;
       record.bytes += partition_->AdjBytes(v);
     }
@@ -114,6 +124,51 @@ void FrontierExchange::OnHop(const sparse::Matrix& graph, const tensor::IdArray&
       device::KernelScope kernel(stream);
       kernel.Finish({.parallel_items = record.remote_nodes,
                      .interconnect_bytes = record.bytes});
+    }
+
+    // HA protocol for the exchange. An injected timeout is absorbed by a
+    // hedged re-issue — the same bytes charged again, modeling the replica
+    // path answering — until the per-sample hedge budget runs out, at which
+    // point it unwinds as a Transient error for the retry ladder. A suspect
+    // executing shard hedges proactively (tail-latency insurance), sharing
+    // the same budget. Hedges only charge time, so outputs stay
+    // bit-identical whether or not a hedge fired.
+    bool hedge = false;
+    if (fault::Injected(fault::Site::kExchangeTimeout)) {
+      if (monitor_ != nullptr) {
+        monitor_->ReportExchangeTimeout(shard_);
+      }
+      if (hedges_ >= max_hedges_) {
+        record.exchange_ns = stream.now_ns() - before;
+        hops_.push_back(record);
+        throw fault::ExchangeTimeoutError("cross-shard exchange timed out on shard " +
+                                          std::to_string(shard_) +
+                                          " with hedge budget exhausted");
+      }
+      hedge = true;
+    } else if (monitor_ != nullptr && hedges_ < max_hedges_ &&
+               monitor_->state(shard_) == ha::ShardHealth::kSuspect) {
+      hedge = true;
+    }
+    if (hedge) {
+      device::KernelScope kernel(stream);
+      kernel.Finish({.parallel_items = record.remote_nodes,
+                     .interconnect_bytes = record.bytes});
+      record.hedges += 1;
+      ++hedges_;
+    }
+
+    // Gray slowness: the shard answers, late. Charge the extra time and
+    // feed the monitor's suspect machinery.
+    const double slow = fault::SlowShardMultiplier();
+    if (slow > 1.0) {
+      device::KernelScope kernel(stream);
+      kernel.Finish({.parallel_items = record.remote_nodes,
+                     .interconnect_bytes = static_cast<int64_t>(
+                         static_cast<double>(record.bytes) * (slow - 1.0))});
+      if (monitor_ != nullptr) {
+        monitor_->ReportSlowShard(shard_);
+      }
     }
     record.exchange_ns = stream.now_ns() - before;
   }
@@ -139,8 +194,14 @@ ShardGroup::~ShardGroup() = default;
 
 void ShardGroup::Init(const graph::Graph& graph, std::map<std::string, tensor::Tensor> tensors) {
   GS_CHECK_GE(options_.num_shards, 1);
-  partition_ = std::make_unique<graph::Partition>(
-      graph::Partitioner::Build(graph, options_.partition, options_.num_shards));
+  GS_CHECK_LE(options_.num_shards, fault::kMaxShards)
+      << "ShardGroup supports at most " << fault::kMaxShards << " shards";
+  GS_CHECK_GE(options_.num_replicas, 1);
+  GS_CHECK_LE(options_.num_replicas, options_.num_shards)
+      << "more replicas than shard devices";
+  partition_ = std::make_unique<graph::Partition>(graph::Partitioner::Build(
+      graph, options_.partition, options_.num_shards, options_.num_replicas));
+  monitor_ = std::make_unique<ha::HealthMonitor>(options_.num_shards, options_.health);
   exchange_.resize(static_cast<size_t>(options_.num_shards));
 
   const bool features = options_.serve_features && graph.features().defined();
@@ -183,23 +244,79 @@ int ShardGroup::Route(const tensor::IdArray& frontier) const {
 std::vector<core::Value> ShardGroup::Sample(int shard, const tensor::IdArray& frontier,
                                             uint64_t seed, std::vector<HopRecord>* hops) const {
   GS_CHECK(shard >= 0 && shard < options_.num_shards) << "shard " << shard << " out of range";
-  // Pin this thread to the shard's device so kernels advance its timeline
-  // and allocations draw from its capacity, then observe every base-graph
-  // hop for the exchange charge. The observer never alters data flow, so
-  // the outputs match single-device SampleSeeded bit for bit.
-  device::ThreadDeviceGuard device_guard(*devices_[static_cast<size_t>(shard)]);
-  FrontierExchange exchange(*partition_, shard);
-  core::HopObserverGuard observer_guard(exchange);
-  std::vector<core::Value> outputs =
-      sessions_[static_cast<size_t>(shard)]->SampleSeeded(frontier, seed);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    exchange_[static_cast<size_t>(shard)].Add(exchange.hops());
+  // Walk the shard's replica chain in placement order (primary first).
+  // Every replica binds the full graph and SampleSeeded is pure, so where
+  // the sample lands never changes what it returns — failover is invisible
+  // in the outputs and visible only in the per-device timelines and the
+  // failover counter. The chain order is a pure function of the partition,
+  // so a seeded FaultPlan replays identical decisions.
+  bool transient_failure = false;
+  std::string last_error;
+  for (int r = 0; r < options_.num_replicas; ++r) {
+    const int exec = partition_->ReplicaDevice(shard, r);
+    if (!monitor_->AdmitWork(exec)) {
+      continue;  // dead and not yet due for a backoff probe
+    }
+    // Pin this thread to the executing device so kernels advance its
+    // timeline and allocations draw from its capacity; the ShardScope
+    // routes shard-qualified fault clauses at this placement.
+    device::ThreadDeviceGuard device_guard(*devices_[static_cast<size_t>(exec)]);
+    fault::ShardScope fault_shard(exec);
+    if (fault::Injected(fault::Site::kShardLost)) {
+      devices_[static_cast<size_t>(exec)]->MarkLost();
+      monitor_->ReportDeviceLost(exec);
+      last_error = "shard " + std::to_string(exec) + " lost";
+      continue;
+    }
+    FrontierExchange exchange(*partition_, exec, monitor_.get(),
+                              options_.max_hedged_exchanges);
+    core::HopObserverGuard observer_guard(exchange);
+    const int64_t stuck_before =
+        devices_[static_cast<size_t>(exec)]->default_stream().counters().stuck_kernels;
+    try {
+      std::vector<core::Value> outputs =
+          sessions_[static_cast<size_t>(exec)]->SampleSeeded(frontier, seed);
+      monitor_->ReportSuccess(exec);
+      if (devices_[static_cast<size_t>(exec)]->lost()) {
+        devices_[static_cast<size_t>(exec)]->Revive();  // probe made it through
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ExchangeStats& stats = exchange_[static_cast<size_t>(shard)];
+        stats.Add(exchange.hops());
+        if (r > 0) {
+          stats.failovers += 1;
+        }
+      }
+      if (hops != nullptr) {
+        *hops = exchange.hops();
+      }
+      return outputs;
+    } catch (const fault::TransientError& e) {
+      // Injected kernel faults, watchdog-cancelled batches, and exchange
+      // timeouts past the hedge budget all land here; feed the monitor and
+      // try the next replica.
+      const int64_t stuck_after =
+          devices_[static_cast<size_t>(exec)]->default_stream().counters().stuck_kernels;
+      if (stuck_after > stuck_before) {
+        monitor_->ReportStuckKernels(exec, stuck_after - stuck_before);
+      } else {
+        monitor_->ReportTransient(exec);
+      }
+      transient_failure = true;
+      last_error = e.what();
+      continue;
+    }
   }
-  if (hops != nullptr) {
-    *hops = exchange.hops();
+  if (transient_failure) {
+    // At least one replica answered (transiently); the caller's retry
+    // ladder may re-resolve placement and succeed.
+    throw fault::TransientError("shard " + std::to_string(shard) +
+                                " failed on every admitted replica: " + last_error);
   }
-  return outputs;
+  throw fault::ShardUnavailableError(
+      "shard " + std::to_string(shard) + " has no live replica" +
+      (last_error.empty() ? "" : " (" + last_error + ")"));
 }
 
 std::vector<core::Value> ShardGroup::SampleRouted(const tensor::IdArray& frontier, uint64_t seed,

@@ -18,6 +18,18 @@
 // the property the oracle test checks — while capacity (requests per
 // simulated second) scales with the shard count because each shard's work
 // lands on its own timeline.
+//
+// High availability (gs::ha): with ShardGroupOptions::num_replicas > 1 the
+// partition mirrors each shard's segment onto replica devices (chained
+// declustering) and Sample() walks the replica chain — primary first, then
+// each replica in placement order — skipping devices the shared
+// HealthMonitor has declared dead. Shard-level fault sites drive the
+// monitor: shard.lost kills a device mid-placement (work fails over to the
+// next replica, bit-identically, since every session binds the full graph),
+// exchange.timeout triggers bounded hedged exchanges before unwinding as a
+// Transient error, and shard.slow inflates exchange time, flagging the
+// shard suspect. Failover order is a pure function of (partition, monitor
+// state), so a seeded FaultPlan reproduces the same decisions every run.
 
 #ifndef GSAMPLER_SHARD_SHARD_H_
 #define GSAMPLER_SHARD_SHARD_H_
@@ -34,6 +46,7 @@
 #include "feature/store.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
+#include "ha/health.h"
 
 namespace gs::shard {
 
@@ -44,6 +57,7 @@ struct HopRecord {
   int64_t remote_nodes = 0;    // frontier nodes with remote adjacency
   int64_t bytes = 0;           // adjacency bytes pulled over the interconnect
   int64_t exchange_ns = 0;     // virtual time charged for the all-to-all
+  int64_t hedges = 0;          // hedged re-issues of this hop's exchange
 };
 
 // Aggregated exchange counters (per shard, or group-wide).
@@ -54,6 +68,8 @@ struct ExchangeStats {
   int64_t remote_nodes = 0;
   int64_t bytes = 0;
   int64_t exchange_ns = 0;
+  int64_t hedges = 0;     // hedged exchange re-issues (timeouts + suspects)
+  int64_t failovers = 0;  // samples served by a non-primary replica
   // Aggregate per hop index across samples (hop 0 = seeds, hop 1 = their
   // neighbors, ...): the per-hop exchange-bytes table the bench reports.
   std::vector<HopRecord> per_hop;
@@ -67,23 +83,35 @@ struct ExchangeStats {
 // call (it carries the per-call hop index), installed on the executing
 // thread via core::HopObserverGuard. For every hop against the base graph
 // it deduplicates the frontier, looks up each node's owner in the
-// partition, sums the remote nodes' adjacency bytes, and records one kernel
-// on the current stream whose only cost is those bytes at the profile's
-// interconnect_ns_per_byte. Hops with no remote nodes charge nothing (no
-// all-to-all is needed).
+// partition, sums the bytes of adjacency not hosted on the executing
+// device, and records one kernel on the current stream whose only cost is
+// those bytes at the profile's interconnect_ns_per_byte. Hops with no
+// remote nodes charge nothing (no all-to-all is needed).
+//
+// With a HealthMonitor attached the exchange also runs the HA protocol:
+// an injected exchange.timeout is absorbed by a hedged re-issue (a second
+// all-to-all charged on the replica path) while the hedge budget lasts,
+// then unwinds as fault::ExchangeTimeoutError; a suspect executing shard
+// hedges proactively; shard.slow inflates the charge and flags the shard.
 class FrontierExchange : public core::HopObserver {
  public:
-  FrontierExchange(const graph::Partition& partition, int shard)
-      : partition_(&partition), shard_(shard) {}
+  FrontierExchange(const graph::Partition& partition, int shard,
+                   ha::HealthMonitor* monitor = nullptr, int max_hedges = 0)
+      : partition_(&partition), shard_(shard), monitor_(monitor), max_hedges_(max_hedges) {}
 
   void OnHop(const sparse::Matrix& graph, const tensor::IdArray& frontier) override;
 
   // Per-hop records of the sample this instance observed.
   const std::vector<HopRecord>& hops() const { return hops_; }
+  // Hedged re-issues across all hops of this sample.
+  int64_t hedges() const { return hedges_; }
 
  private:
   const graph::Partition* partition_;
   int shard_;
+  ha::HealthMonitor* monitor_;
+  int max_hedges_;
+  int64_t hedges_ = 0;
   std::vector<HopRecord> hops_;
 };
 
@@ -102,6 +130,14 @@ struct ShardGroupOptions {
   // graph's nodes (floor 64).
   int64_t feature_cache_rows = 0;
   feature::Admission feature_admission = feature::Admission::kFrequencyEma;
+  // High availability: replicas per shard (1 = no failover; r > 1 mirrors
+  // each shard's segment onto r devices by chained declustering).
+  int num_replicas = 1;
+  // Health state-machine thresholds shared by every shard.
+  ha::HealthOptions health;
+  // Hedged exchange re-issues allowed per sample (timeout absorption and
+  // proactive suspect hedging share the budget).
+  int max_hedged_exchanges = 2;
 };
 
 // N complete sampling engines over one partitioned graph and one shared
@@ -125,7 +161,10 @@ class ShardGroup {
   ~ShardGroup();
 
   int num_shards() const { return options_.num_shards; }
+  int num_replicas() const { return options_.num_replicas; }
   const graph::Partition& partition() const { return *partition_; }
+  // Shared per-shard health state machine (failover decisions, coverage).
+  ha::HealthMonitor& monitor() const { return *monitor_; }
   const core::CompiledPlan& plan() const { return *plan_; }
   std::shared_ptr<core::CompiledPlan> plan_ptr() const { return plan_; }
 
@@ -136,6 +175,15 @@ class ShardGroup {
   // after construction; bit-identical to SamplerSession::SampleSeeded on a
   // single device with the same plan and seed. Per-hop exchange records are
   // folded into the shard's aggregate (and copied to `hops` if given).
+  //
+  // With num_replicas > 1 the call walks `shard`'s replica chain in
+  // placement order, skipping devices the monitor holds dead (except
+  // backoff-admitted probes) and failing over on device loss or transient
+  // faults. Because every replica runs the same pure SampleSeeded, a
+  // failed-over sample is bit-identical to the primary's. Throws
+  // fault::TransientError when every admitted replica failed transiently
+  // (the serving retry ladder re-resolves placement), or
+  // fault::ShardUnavailableError when no replica admits work at all.
   std::vector<core::Value> Sample(int shard, const tensor::IdArray& frontier, uint64_t seed,
                                   std::vector<HopRecord>* hops = nullptr) const;
 
@@ -171,6 +219,7 @@ class ShardGroup {
   const graph::Graph* graph_;
   std::shared_ptr<core::CompiledPlan> plan_;
   std::unique_ptr<graph::Partition> partition_;
+  std::unique_ptr<ha::HealthMonitor> monitor_;
   std::vector<std::unique_ptr<device::Device>> devices_;
   // Declared after devices_: each shard's cache holds backing pages on that
   // shard's allocator, so the caches must be destroyed first.

@@ -72,6 +72,84 @@ TEST(FaultPlan, MalformedSpecsThrow) {
   EXPECT_THROW(FaultPlan::Parse("alloc.oom:frobnicate=1", 0), Error);
 }
 
+TEST(FaultPlan, ShardQualifiedClausesRoundTrip) {
+  FaultPlan plan = FaultPlan::Parse(
+      "exchange.timeout:p=0.1;shard2:shard.lost:after=5;shard0:exchange.timeout:p=0;"
+      "shard1:shard.slow:p=0.5:mag=4", 7);
+  // Unqualified clause is the default for shards without an override.
+  EXPECT_DOUBLE_EQ(plan.Effective(Site::kExchangeTimeout, 3).probability, 0.1);
+  // shard0's p=0 override exempts it from the unqualified clause.
+  EXPECT_TRUE(plan.Effective(Site::kExchangeTimeout, 0).empty());
+  EXPECT_EQ(plan.Effective(Site::kShardLost, 2).after, 5);
+  EXPECT_TRUE(plan.Effective(Site::kShardLost, 1).empty());
+  EXPECT_DOUBLE_EQ(plan.Effective(Site::kShardSlow, 1).magnitude, 4.0);
+  // Shard-less probes never see shard overrides.
+  EXPECT_TRUE(plan.Effective(Site::kShardLost, -1).empty());
+
+  // ToString() re-parses to the same plan, including the p=0 exemption.
+  FaultPlan again = FaultPlan::Parse(plan.ToString(), plan.seed);
+  EXPECT_EQ(again.ToString(), plan.ToString());
+  EXPECT_TRUE(again.Effective(Site::kExchangeTimeout, 0).empty());
+  EXPECT_EQ(again.Effective(Site::kShardLost, 2).after, 5);
+}
+
+TEST(FaultPlan, MalformedShardQualifiersThrow) {
+  EXPECT_THROW(FaultPlan::Parse("shard99:shard.lost:p=1", 0), Error);
+  EXPECT_THROW(FaultPlan::Parse("shard1:bogus.site:p=1", 0), Error);
+  EXPECT_THROW(FaultPlan::Parse("shard1:shard.lost", 0), Error);
+  // "shardX" with a non-numeric suffix is not a qualifier, so it parses as a
+  // (bogus) site name and fails there.
+  EXPECT_THROW(FaultPlan::Parse("shardx:shard.lost:p=1", 0), Error);
+}
+
+TEST(FaultInjector, ShardStreamsAreIndependentAndShardlessStreamIsStable) {
+  FaultPlan plan = FaultPlan::Parse("exchange.timeout:p=0.2", 77);
+  FaultInjector injector(plan);
+  // The shard-less stream must match a plain pre-sharding injector draw for
+  // draw: Decide(site, n) == Decide(site, -1, n).
+  for (int64_t n = 0; n < 256; ++n) {
+    EXPECT_EQ(injector.Decide(Site::kExchangeTimeout, n),
+              injector.Decide(Site::kExchangeTimeout, -1, n));
+  }
+  // Different shards draw from different (salted) streams.
+  int differs = 0;
+  for (int64_t n = 0; n < 512; ++n) {
+    differs +=
+        injector.Decide(Site::kExchangeTimeout, 0, n) != injector.Decide(Site::kExchangeTimeout, 1, n)
+            ? 1
+            : 0;
+  }
+  EXPECT_GT(differs, 0);
+}
+
+TEST(FaultInjector, PerShardCountersAggregateAcrossSlots) {
+  FaultPlan plan = FaultPlan::Parse("shard.lost:after=0", 3);
+  FaultInjector injector(plan);
+  EXPECT_TRUE(injector.ShouldFault(Site::kShardLost, 0));
+  EXPECT_TRUE(injector.ShouldFault(Site::kShardLost, 1));
+  EXPECT_TRUE(injector.ShouldFault(Site::kShardLost));  // shard-less slot
+  EXPECT_EQ(injector.counters(Site::kShardLost, 0).probes, 1);
+  EXPECT_EQ(injector.counters(Site::kShardLost, 1).probes, 1);
+  EXPECT_EQ(injector.counters(Site::kShardLost, -1).probes, 1);
+  // The aggregate view sums every slot (back-compat for chaos stats).
+  EXPECT_EQ(injector.counters(Site::kShardLost).probes, 3);
+  EXPECT_EQ(injector.counters(Site::kShardLost).injected, 3);
+}
+
+TEST(ShardScopeTest, NestsAndRestores) {
+  EXPECT_EQ(CurrentShard(), -1);
+  {
+    ShardScope outer(2);
+    EXPECT_EQ(CurrentShard(), 2);
+    {
+      ShardScope inner(0);
+      EXPECT_EQ(CurrentShard(), 0);
+    }
+    EXPECT_EQ(CurrentShard(), 2);
+  }
+  EXPECT_EQ(CurrentShard(), -1);
+}
+
 // --------------------------------------------------------- injector draws
 
 TEST(FaultInjector, SameSeedSameDecisionSequence) {
@@ -136,6 +214,11 @@ TEST(Status, ClassifyMapsTypedErrors) {
   EXPECT_EQ(Classify(Error("plain")), ErrorCode::kInternal);
   EXPECT_EQ(Classify(std::runtime_error("other")), ErrorCode::kInternal);
   EXPECT_STREQ(ErrorCodeName(ErrorCode::kTransient), "transient");
+  // Cross-shard exchange timeouts are transient (they route through the
+  // serving retry ladder); a shard with no live replica is kUnavailable.
+  EXPECT_EQ(Classify(ExchangeTimeoutError("et")), ErrorCode::kTransient);
+  EXPECT_EQ(Classify(ShardUnavailableError("su")), ErrorCode::kUnavailable);
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kUnavailable), "unavailable");
 }
 
 // ------------------------------------------------- allocator OOM ladder

@@ -1,0 +1,490 @@
+// Tests for gs::ha (src/ha/): replica placement invariants, the health
+// state-machine transition goldens, coverage helpers, the failover
+// bit-identity oracle (kill each shard in turn with r=2 — outputs must
+// match single-device sampling), recovery re-admission after a transient
+// device loss, degraded-mode serving (r=1 — typed partial responses with
+// coverage fractions, never failures), and a concurrent-failover TSan
+// target (tools/check.sh ha tier).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algorithms/algorithms.h"
+#include "common/error.h"
+#include "core/engine.h"
+#include "core/executor.h"
+#include "fault/fault.h"
+#include "fault/status.h"
+#include "graph/graph.h"
+#include "graph/partition.h"
+#include "ha/health.h"
+#include "serving/request.h"
+#include "serving/server.h"
+#include "shard/shard.h"
+#include "tests/testing.h"
+
+namespace gs::ha {
+namespace {
+
+using core::BitIdentical;
+using core::Value;
+using tensor::IdArray;
+
+graph::Graph HaGraph() { return testing::SmallRmat(300, 3000, 9); }
+
+IdArray Seeds(std::vector<int32_t> ids) { return IdArray::FromVector(ids); }
+
+void ExpectBitIdentical(const std::vector<Value>& a, const std::vector<Value>& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.size(), b.size()) << context;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(BitIdentical(a[i], b[i])) << context << " output " << i << " diverged";
+  }
+}
+
+// Single-device reference: same program, same options, same seed.
+std::vector<Value> ReferenceSample(const std::string& algorithm, const graph::Graph& g,
+                                   const IdArray& frontier, uint64_t seed) {
+  algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm(algorithm, g);
+  auto plan = std::make_shared<core::CompiledPlan>(std::move(ap.program), core::SamplerOptions{},
+                                                   algorithm);
+  core::SamplerSession session(std::move(plan), g, std::move(ap.tensors));
+  session.Warmup(Seeds({0, 1, 2, 3}));
+  return session.SampleSeeded(frontier, seed);
+}
+
+shard::ShardGroup MakeGroup(const graph::Graph& g, int num_shards, int num_replicas) {
+  algorithms::AlgorithmProgram ap = algorithms::MakeAlgorithm("GraphSAGE", g);
+  shard::ShardGroupOptions options;
+  options.num_shards = num_shards;
+  options.num_replicas = num_replicas;
+  return shard::ShardGroup(g, std::move(ap.program), std::move(ap.tensors), options);
+}
+
+// ---------------------------------------------------- replica placement
+
+// Chained declustering is a pure function of (shard, replica, num_shards):
+// replica k of shard s lives on device (s + k) % N, so one dead device
+// takes out one replica of each of r shards, never all replicas of one.
+TEST(ReplicaPlacement, ChainedDeclusteringIsDeterministic) {
+  const graph::Graph g = HaGraph();
+  const graph::Partition p =
+      graph::Partitioner::Build(g, graph::PartitionKind::kEdgeCut, 4, 2);
+  EXPECT_EQ(p.num_replicas(), 2);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(p.ReplicaDevice(s, 0), s) << "primary must live on the home device";
+    EXPECT_EQ(p.ReplicaDevice(s, 1), (s + 1) % 4);
+    EXPECT_GT(p.SegmentBytes(s), 0);
+  }
+  for (int d = 0; d < 4; ++d) {
+    int hosted = 0;
+    for (int s = 0; s < 4; ++s) {
+      const bool hosts = p.Hosts(d, s);
+      EXPECT_EQ(hosts, (d - s + 4) % 4 < 2) << "device " << d << " shard " << s;
+      hosted += hosts ? 1 : 0;
+    }
+    EXPECT_EQ(hosted, 2) << "every device hosts exactly r segments";
+  }
+}
+
+TEST(ReplicaPlacement, SingleReplicaHostsOnlyItself) {
+  const graph::Graph g = HaGraph();
+  const graph::Partition p =
+      graph::Partitioner::Build(g, graph::PartitionKind::kEdgeCut, 3, 1);
+  for (int d = 0; d < 3; ++d) {
+    for (int s = 0; s < 3; ++s) {
+      EXPECT_EQ(p.Hosts(d, s), d == s);
+    }
+  }
+  EXPECT_THROW(graph::Partitioner::Build(g, graph::PartitionKind::kEdgeCut, 3, 4), Error);
+  EXPECT_THROW(graph::Partitioner::Build(g, graph::PartitionKind::kEdgeCut, 3, 0), Error);
+}
+
+// ------------------------------------------------ health state machine
+
+// The gray-signal ladder: healthy -> suspect after suspect_threshold
+// signals, suspect -> dead after dead_threshold more, with consecutive
+// successes re-admitting a suspect. The transition log is the golden: the
+// monitor is deterministic in the signal sequence.
+TEST(HealthMonitorTest, GraySignalLadderTransitionGoldens) {
+  HealthOptions options;
+  options.suspect_threshold = 2;
+  options.dead_threshold = 2;
+  options.recover_successes = 2;
+  HealthMonitor monitor(2, options);
+
+  monitor.ReportExchangeTimeout(0);  // gray 1/2: still healthy
+  EXPECT_EQ(monitor.state(0), ShardHealth::kHealthy);
+  monitor.ReportSlowShard(0);  // gray 2/2: suspect
+  EXPECT_EQ(monitor.state(0), ShardHealth::kSuspect);
+  EXPECT_TRUE(monitor.Alive(0)) << "suspect shards still take work";
+
+  monitor.ReportSuccess(0);  // 1/2 toward re-admission
+  EXPECT_EQ(monitor.state(0), ShardHealth::kSuspect);
+  monitor.ReportSuccess(0);  // 2/2: healthy again
+  EXPECT_EQ(monitor.state(0), ShardHealth::kHealthy);
+
+  monitor.ReportTransient(0);
+  monitor.ReportTransient(0);  // suspect again
+  monitor.ReportStuckKernels(0, 3);  // gray 1/2 while suspect
+  monitor.ReportExchangeTimeout(0);  // gray 2/2: dead
+  EXPECT_EQ(monitor.state(0), ShardHealth::kDead);
+  EXPECT_FALSE(monitor.Alive(0));
+
+  const std::vector<HealthTransition> log = monitor.transitions();
+  ASSERT_EQ(log.size(), 4u);
+  const struct {
+    ShardHealth from;
+    ShardHealth to;
+    const char* cause;
+  } kGolden[] = {
+      {ShardHealth::kHealthy, ShardHealth::kSuspect, "slow-shard"},
+      {ShardHealth::kSuspect, ShardHealth::kHealthy, "recovered"},
+      {ShardHealth::kHealthy, ShardHealth::kSuspect, "transient"},
+      {ShardHealth::kSuspect, ShardHealth::kDead, "exchange-timeout"},
+  };
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].seq, static_cast<int64_t>(i));
+    EXPECT_EQ(log[i].shard, 0);
+    EXPECT_EQ(log[i].from, kGolden[i].from) << "transition " << i;
+    EXPECT_EQ(log[i].to, kGolden[i].to) << "transition " << i;
+    EXPECT_STREQ(log[i].cause, kGolden[i].cause) << "transition " << i;
+  }
+
+  // The untouched shard never moved.
+  EXPECT_EQ(monitor.state(1), ShardHealth::kHealthy);
+  EXPECT_TRUE(monitor.Alive(1));
+  const HealthCounters c = monitor.counters(0);
+  EXPECT_EQ(c.exchange_timeouts, 2);
+  EXPECT_EQ(c.slow_signals, 1);
+  EXPECT_EQ(c.transients, 2);
+  EXPECT_EQ(c.stuck_kernels, 3);
+  EXPECT_EQ(c.successes, 2);
+}
+
+// Dead shards admit exactly one probe per backoff window, counted in
+// placement attempts (not wall-clock) so replays are deterministic; each
+// failed probe doubles the window up to the ceiling.
+TEST(HealthMonitorTest, DeviceLostProbesWithCounterSpaceBackoff) {
+  HealthOptions options;
+  options.probe_backoff = 2;
+  options.max_probe_backoff = 8;
+  options.recover_successes = 2;
+  HealthMonitor monitor(1, options);
+
+  monitor.ReportDeviceLost(0);  // any state -> dead
+  EXPECT_EQ(monitor.state(0), ShardHealth::kDead);
+  EXPECT_FALSE(monitor.Alive(0));
+
+  // Window 1 (backoff 2): attempt 1 denied, attempt 2 admits the probe.
+  EXPECT_FALSE(monitor.AdmitWork(0));
+  EXPECT_TRUE(monitor.AdmitWork(0));
+  monitor.ReportProbeFailure(0);  // window doubles to 4: next probe at attempt 6
+  EXPECT_FALSE(monitor.AdmitWork(0));
+  EXPECT_FALSE(monitor.AdmitWork(0));
+  EXPECT_FALSE(monitor.AdmitWork(0));
+  EXPECT_TRUE(monitor.AdmitWork(0));
+  EXPECT_EQ(monitor.counters(0).probes_admitted, 2);
+  EXPECT_EQ(monitor.counters(0).probes_failed, 1);
+
+  // The probe made it through: dead -> recovering, then successes re-admit.
+  monitor.ReportSuccess(0);
+  EXPECT_EQ(monitor.state(0), ShardHealth::kRecovering);
+  EXPECT_TRUE(monitor.Alive(0));
+  EXPECT_TRUE(monitor.AdmitWork(0));  // recovering shards admit freely
+  monitor.ReportSuccess(0);
+  EXPECT_EQ(monitor.state(0), ShardHealth::kHealthy);
+
+  const std::vector<HealthTransition> log = monitor.transitions();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_STREQ(log[0].cause, "device-lost");
+  EXPECT_EQ(log[0].to, ShardHealth::kDead);
+  EXPECT_STREQ(log[1].cause, "probe-success");
+  EXPECT_EQ(log[1].to, ShardHealth::kRecovering);
+  EXPECT_STREQ(log[2].cause, "recovered");
+  EXPECT_EQ(log[2].to, ShardHealth::kHealthy);
+}
+
+// A gray signal while recovering falls back to suspect rather than
+// restarting the dead-shard probe ladder.
+TEST(HealthMonitorTest, RecoveringFallsBackToSuspectOnGraySignal) {
+  HealthOptions options;
+  options.recover_successes = 2;
+  HealthMonitor monitor(1, options);
+  monitor.ReportDeviceLost(0);
+  monitor.ReportSuccess(0);
+  ASSERT_EQ(monitor.state(0), ShardHealth::kRecovering);
+  monitor.ReportExchangeTimeout(0);
+  EXPECT_EQ(monitor.state(0), ShardHealth::kSuspect);
+}
+
+// ------------------------------------------------------------ coverage
+
+TEST(CoverageTest, FractionCountsLiveHomeShards) {
+  const graph::Graph g = HaGraph();
+  const graph::Partition p =
+      graph::Partitioner::Build(g, graph::PartitionKind::kEdgeCut, 2, 1);
+  HealthMonitor monitor(2);
+  const int32_t n = static_cast<int32_t>(g.num_nodes());
+  const int32_t a0 = p.LocalNodes(0)[0];
+  const int32_t a1 = p.LocalNodes(0)[1];
+  const int32_t b0 = p.LocalNodes(1)[0];
+  // Mixed frontier: three shard-0 seeds (one a folded super-batch label),
+  // one shard-1 seed, one walk dead-end marker.
+  const std::vector<int32_t> ids = {a0, a1, b0, -1, static_cast<int32_t>(a0 + n)};
+
+  EXPECT_DOUBLE_EQ(CoverageFraction(p, monitor, ids.data(), ids.size()), 1.0);
+  EXPECT_EQ(CoveredIds(p, monitor, ids.data(), ids.size()),
+            (std::vector<int32_t>{a0, a1, b0, static_cast<int32_t>(a0 + n)}));
+
+  monitor.ReportDeviceLost(1);
+  EXPECT_DOUBLE_EQ(CoverageFraction(p, monitor, ids.data(), ids.size()), 0.75);
+  EXPECT_EQ(CoveredIds(p, monitor, ids.data(), ids.size()),
+            (std::vector<int32_t>{a0, a1, static_cast<int32_t>(a0 + n)}));
+
+  // Nothing to lose: empty or all-dead-end frontiers are fully covered.
+  EXPECT_DOUBLE_EQ(CoverageFraction(p, monitor, ids.data(), 0), 1.0);
+  const std::vector<int32_t> dead_ends = {-1, -1};
+  EXPECT_DOUBLE_EQ(CoverageFraction(p, monitor, dead_ends.data(), dead_ends.size()), 1.0);
+}
+
+// With r=2 a shard stays covered while ANY of its replica devices lives.
+TEST(CoverageTest, ReplicasKeepShardsCovered) {
+  const graph::Graph g = HaGraph();
+  const graph::Partition p =
+      graph::Partitioner::Build(g, graph::PartitionKind::kEdgeCut, 2, 2);
+  HealthMonitor monitor(2);
+  const std::vector<int32_t> ids = {p.LocalNodes(1)[0], p.LocalNodes(1)[1]};
+
+  // Shard 1's replica chain is devices {1, 0}: losing device 1 alone
+  // leaves the replica on device 0 serving it.
+  monitor.ReportDeviceLost(1);
+  EXPECT_DOUBLE_EQ(CoverageFraction(p, monitor, ids.data(), ids.size()), 1.0);
+  monitor.ReportDeviceLost(0);
+  EXPECT_DOUBLE_EQ(CoverageFraction(p, monitor, ids.data(), ids.size()), 0.0);
+  EXPECT_TRUE(CoveredIds(p, monitor, ids.data(), ids.size()).empty());
+}
+
+// ------------------------------------------- failover bit-identity oracle
+
+// The HA core guarantee: killing any one shard's device with r=2 never
+// changes what is sampled. Every replica binds the full graph and
+// SampleSeeded is pure, so a failed-over sample is bit-identical to the
+// single-device reference — kill each shard in turn and check all of them.
+TEST(HaOracle, FailoverIsBitIdenticalKillingEachShardInTurn) {
+  const graph::Graph g = HaGraph();
+  const IdArray frontier = Seeds({5, 17, 42, 101, 250});
+  const std::vector<Value> reference = ReferenceSample("GraphSAGE", g, frontier, 77);
+  constexpr int kShards = 3;
+  for (int victim = 0; victim < kShards; ++victim) {
+    const shard::ShardGroup group = MakeGroup(g, kShards, /*num_replicas=*/2);
+    fault::FaultScope scope(fault::FaultPlan::Parse(
+        "shard" + std::to_string(victim) + ":shard.lost:after=0",
+        1234 + static_cast<uint64_t>(victim)));
+    for (int s = 0; s < kShards; ++s) {
+      ExpectBitIdentical(group.Sample(s, frontier, 77), reference,
+                         "victim " + std::to_string(victim) + " shard " + std::to_string(s));
+    }
+    // The kill was observed and absorbed: the victim is dead, its sample
+    // was served by the next replica in the chain, and nothing failed.
+    EXPECT_EQ(group.monitor().state(victim), ShardHealth::kDead);
+    EXPECT_GE(group.monitor().counters(victim).device_lost, 1);
+    EXPECT_GE(group.exchange_stats(victim).failovers, 1)
+        << "victim " << victim << "'s sample should have failed over";
+  }
+}
+
+// With r=1 there is nowhere to fail over: a permanently dead shard raises
+// the typed unavailability error (serving converts it into a degraded
+// partial response), while other shards keep sampling bit-identically.
+TEST(HaOracle, SingleReplicaKillRaisesShardUnavailable) {
+  const graph::Graph g = HaGraph();
+  const IdArray frontier = Seeds({5, 17, 42, 101});
+  const std::vector<Value> reference = ReferenceSample("GraphSAGE", g, frontier, 11);
+  const shard::ShardGroup group = MakeGroup(g, 2, /*num_replicas=*/1);
+  fault::FaultScope scope(fault::FaultPlan::Parse("shard0:shard.lost:after=0", 3));
+  EXPECT_THROW(group.Sample(0, frontier, 11), fault::ShardUnavailableError);
+  ExpectBitIdentical(group.Sample(1, frontier, 11), reference, "surviving shard");
+  EXPECT_EQ(group.monitor().state(0), ShardHealth::kDead);
+}
+
+// A device lost exactly once (occ=0 fires on the first placement probe
+// only) is re-admitted by the backoff ladder: the next admitted probe
+// succeeds, revives the device, and the shard walks dead -> recovering ->
+// healthy — with every sample along the way still bit-identical.
+TEST(HaOracle, RecoveryReadmitsShardAfterTransientLoss) {
+  const graph::Graph g = HaGraph();
+  const IdArray frontier = Seeds({3, 33, 133, 233});
+  const std::vector<Value> reference = ReferenceSample("GraphSAGE", g, frontier, 21);
+  const shard::ShardGroup group = MakeGroup(g, 2, /*num_replicas=*/2);
+  fault::FaultScope scope(fault::FaultPlan::Parse("shard0:shard.lost:occ=0", 7));
+
+  // Sample 1: the kill fires, work fails over to the replica (device 1).
+  // Sample 2: probe denied by backoff, replica serves again. Sample 3: the
+  // admitted probe succeeds (the plan's single occurrence is spent) and
+  // revives the device. Sample 4: recovering shard serves on its primary
+  // and graduates to healthy.
+  constexpr int kSamples = 6;
+  for (int i = 0; i < kSamples; ++i) {
+    ExpectBitIdentical(group.Sample(0, frontier, 21), reference,
+                       "recovery sample " + std::to_string(i));
+  }
+  EXPECT_EQ(group.monitor().state(0), ShardHealth::kHealthy);
+  EXPECT_FALSE(group.device(0).lost()) << "the successful probe should revive the device";
+  EXPECT_EQ(group.exchange_stats(0).samples, kSamples);
+  EXPECT_EQ(group.exchange_stats(0).failovers, 2)
+      << "exactly the kill sample and the backoff-denied sample fail over";
+  EXPECT_EQ(group.monitor().counters(0).device_lost, 1);
+  EXPECT_EQ(group.monitor().counters(0).probes_admitted, 1);
+
+  const std::vector<HealthTransition> log = group.monitor().transitions();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_STREQ(log[0].cause, "device-lost");
+  EXPECT_STREQ(log[1].cause, "probe-success");
+  EXPECT_STREQ(log[2].cause, "recovered");
+}
+
+// ------------------------------------------------------- concurrency
+
+// TSan target (tools/check.sh ha tier): four threads hammer their own
+// shards while one shard's device is permanently dead. Failover decisions,
+// health signals, and stats accounting race here; outputs must stay
+// bit-identical throughout.
+TEST(HaConcurrency, ConcurrentFailoverStaysBitIdentical) {
+  const graph::Graph g = HaGraph();
+  const IdArray frontier = Seeds({3, 33, 133, 233});
+  const std::vector<Value> reference = ReferenceSample("GraphSAGE", g, frontier, 21);
+  const shard::ShardGroup group = MakeGroup(g, 4, /*num_replicas=*/2);
+  fault::FaultScope scope(fault::FaultPlan::Parse("shard2:shard.lost:after=0", 99));
+
+  constexpr int kSamplesPerShard = 6;
+  std::vector<std::future<bool>> workers;
+  for (int s = 0; s < 4; ++s) {
+    workers.push_back(std::async(std::launch::async, [&, s] {
+      bool identical = true;
+      for (int i = 0; i < kSamplesPerShard; ++i) {
+        const std::vector<Value> out = group.Sample(s, frontier, 21);
+        identical = identical && out.size() == reference.size();
+        for (size_t k = 0; k < out.size() && identical; ++k) {
+          identical = identical && BitIdentical(out[k], reference[k]);
+        }
+      }
+      return identical;
+    }));
+  }
+  for (auto& worker : workers) {
+    EXPECT_TRUE(worker.get());
+  }
+  // The permanent kill means every shard-2 sample landed on its replica.
+  EXPECT_EQ(group.monitor().state(2), ShardHealth::kDead);
+  EXPECT_EQ(group.exchange_stats(2).failovers, kSamplesPerShard);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(group.exchange_stats(s).samples, kSamplesPerShard);
+  }
+}
+
+// ---------------------------------------------------- degraded serving
+
+serving::SampleRequest MakeRequest(const IdArray& seeds, uint64_t seed) {
+  serving::SampleRequest request;
+  request.algorithm = "GraphSAGE";
+  request.dataset = "small";
+  request.seeds = seeds;
+  request.seed = seed;
+  request.fanouts = {4, 4};
+  return request;
+}
+
+// r=1: killing the home shard of a request leaves nowhere to fail over,
+// so the server answers a typed partial — Status::kDegraded with the
+// coverage fraction of seeds whose home shard still lives — never an
+// error, never a crash.
+TEST(HaServing, DegradedPartialResponsesCarryCoverageFractions) {
+  const graph::Graph g = HaGraph();
+  serving::ServerOptions options;
+  options.num_workers = 1;
+  options.num_shards = 2;
+  options.num_replicas = 1;
+  serving::Server server(options);
+  server.RegisterEndpoint(serving::MakeEndpoint("GraphSAGE", "small", g));
+  server.Start();
+
+  const graph::Partition partition = graph::Partitioner::EdgeCut(g, 2);
+  const std::vector<int32_t>& mine = partition.LocalNodes(1);
+  const std::vector<int32_t>& other = partition.LocalNodes(0);
+  fault::FaultScope scope(fault::FaultPlan::Parse("shard1:shard.lost:after=0", 5));
+
+  // All four seeds home on the dead shard: an honest empty partial.
+  serving::SampleResponse empty =
+      server.Submit(MakeRequest(Seeds({mine[0], mine[1], mine[2], mine[3]}), 7)).get();
+  EXPECT_EQ(empty.status, serving::Status::kDegraded) << empty.error;
+  EXPECT_TRUE(empty.degraded);
+  EXPECT_DOUBLE_EQ(empty.coverage, 0.0);
+  EXPECT_TRUE(empty.outputs.empty());
+
+  // Three dead-shard seeds plus one live one: the request still routes to
+  // the dead plurality shard, and the partial covers exactly the live seed.
+  serving::SampleResponse partial =
+      server.Submit(MakeRequest(Seeds({mine[0], mine[1], mine[2], other[0]}), 7)).get();
+  EXPECT_EQ(partial.status, serving::Status::kDegraded) << partial.error;
+  EXPECT_DOUBLE_EQ(partial.coverage, 0.25);
+  EXPECT_FALSE(partial.outputs.empty());
+
+  const serving::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.partial, 2);
+  EXPECT_EQ(stats.failed, 0);
+  ASSERT_NE(server.health_monitor(), nullptr);
+  EXPECT_FALSE(server.health_monitor()->Alive(1));
+  server.Stop();
+}
+
+// r=2: the same kill is invisible to clients — the replica serves the dead
+// shard's requests bit-identically to an unfaulted server, with zero
+// failures and the failover counted.
+TEST(HaServing, ReplicatedServerFailsOverBitIdentically) {
+  const graph::Graph g = HaGraph();
+  const graph::Partition partition = graph::Partitioner::EdgeCut(g, 2);
+  const std::vector<int32_t>& mine = partition.LocalNodes(1);
+  const IdArray seeds = Seeds({mine[0], mine[1], mine[2], mine[3]});
+
+  auto serve_once = [&](bool kill) {
+    serving::ServerOptions options;
+    options.num_workers = 1;
+    options.num_shards = 2;
+    options.num_replicas = 2;
+    auto server = std::make_unique<serving::Server>(options);
+    server->RegisterEndpoint(serving::MakeEndpoint("GraphSAGE", "small", g));
+    server->Start();
+    std::unique_ptr<fault::FaultScope> scope;
+    if (kill) {
+      scope = std::make_unique<fault::FaultScope>(
+          fault::FaultPlan::Parse("shard1:shard.lost:after=0", 5));
+    }
+    serving::SampleResponse response = server->Submit(MakeRequest(seeds, 99)).get();
+    EXPECT_EQ(response.status, serving::Status::kOk) << response.error;
+    EXPECT_DOUBLE_EQ(response.coverage, 1.0);
+    // Keep the server (and its shard devices, which own the response's
+    // memory) alive until the caller is done comparing.
+    return std::make_pair(std::move(server), std::move(response));
+  };
+
+  auto [clean_server, clean] = serve_once(false);
+  auto [killed_server, killed] = serve_once(true);
+  ExpectBitIdentical(killed.outputs, clean.outputs, "failed-over serving");
+
+  const serving::ServerStats stats = killed_server->stats();
+  EXPECT_EQ(stats.failed, 0);
+  EXPECT_EQ(stats.partial, 0);
+  EXPECT_GE(stats.failovers, 1);
+  clean_server->Stop();
+  killed_server->Stop();
+}
+
+}  // namespace
+}  // namespace gs::ha

@@ -536,6 +536,81 @@ TEST(LatencyHistogramTest, MergeIsExactAndOrderIndependent) {
   EXPECT_EQ(copy.Percentile(50), a.Percentile(50));
 }
 
+// Regression: merging a histogram that never recorded must be a strict
+// no-op — including max_ns — and an empty histogram must absorb a non-empty
+// one exactly. Sharded servers carry one histogram per shard, and a shard
+// with zero completed requests (dead, or simply never routed to) merges
+// into the server-level percentiles on every stats() call.
+TEST(LatencyHistogramTest, MergeWithZeroCountShardsIsExact) {
+  LatencyHistogram recorded;
+  for (int64_t v : {300, 4000, 65000}) {
+    recorded.Record(v);
+  }
+  LatencyHistogram idle;  // a shard that completed nothing
+  LatencyHistogram merged = recorded;
+  merged.Merge(idle);
+  EXPECT_EQ(merged.count(), recorded.count());
+  EXPECT_EQ(merged.max_ns(), recorded.max_ns());
+  EXPECT_EQ(merged.Percentile(99), recorded.Percentile(99));
+
+  // Empty absorbing non-empty (merge order must not matter).
+  LatencyHistogram reversed;
+  reversed.Merge(recorded);
+  EXPECT_EQ(reversed.count(), recorded.count());
+  EXPECT_EQ(reversed.max_ns(), recorded.max_ns());
+  for (const double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_EQ(reversed.Percentile(p), recorded.Percentile(p)) << "p" << p;
+  }
+
+  // Two idle shards merge to an empty report, not garbage percentiles.
+  LatencyHistogram both_idle;
+  both_idle.Merge(idle);
+  EXPECT_EQ(both_idle.count(), 0);
+  EXPECT_EQ(both_idle.Percentile(50), 0);
+}
+
+// Regression: a sharded server must report every shard in
+// per_shard_completed — including shards that completed zero requests —
+// and its merged latency percentiles must ignore the idle shards' empty
+// histograms. Locality routing concentrates load, so idle shards are the
+// common case, not a corner.
+TEST(ServerStatsTest, ZeroCompletionShardsReportCleanly) {
+  graph::Graph g = ServingGraph();
+  ServerOptions options;
+  options.num_workers = 2;
+  options.num_shards = 4;
+  Server server(options);
+  server.RegisterEndpoint(MakeEndpoint("GraphSAGE", "rmat", g));
+  server.Start();
+
+  SampleRequest request;
+  request.algorithm = "GraphSAGE";
+  request.dataset = "rmat";
+  request.seeds = Seeds({1, 2, 3, 4, 5, 6, 7, 8});
+  request.seed = 42;
+  request.fanouts = {4, 3};
+  SampleResponse response = server.Submit(std::move(request)).get();
+  EXPECT_EQ(response.status, Status::kOk);
+  server.Stop();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1);
+  // Every shard is present, idle ones at zero.
+  ASSERT_EQ(stats.per_shard_completed.size(), 4u);
+  int64_t total = 0;
+  for (const auto& [shard, completed] : stats.per_shard_completed) {
+    EXPECT_GE(shard, 0);
+    EXPECT_LT(shard, 4);
+    total += completed;
+  }
+  EXPECT_EQ(total, 1);
+  // The merged percentile report reflects the one completion; the three
+  // idle shards' empty histograms must not zero out max or skew p99.
+  EXPECT_GT(stats.latency_p50_ns, 0);
+  EXPECT_GT(stats.latency_max_ns, 0);
+  EXPECT_LE(stats.latency_p99_ns, stats.latency_max_ns);
+}
+
 TEST(LatencyHistogramTest, SingleSampleAllPercentiles) {
   LatencyHistogram h;
   h.Record(700);
@@ -559,6 +634,7 @@ TEST(RequestTest, StatusNames) {
   EXPECT_STREQ(StatusName(Status::kRejected), "REJECTED");
   EXPECT_STREQ(StatusName(Status::kDeadlineExceeded), "DEADLINE_EXCEEDED");
   EXPECT_STREQ(StatusName(Status::kFailed), "FAILED");
+  EXPECT_STREQ(StatusName(Status::kDegraded), "DEGRADED");
 }
 
 }  // namespace

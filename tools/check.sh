@@ -1,14 +1,14 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature]
+# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha]
 #
 #   (default)  configure + build + full ctest in ./build, then the plans
-#              tier, then the oracle tier, then the shard tier, then a
-#              -DGS_SANITIZE=thread build in ./build-tsan running the
-#              threaded suites (pipeline, serving, device accounting, fault
-#              ladder) with pass-boundary verification (GS_VERIFY_PASSES=1),
-#              then the feature tier, then the chaos tier.
+#              tier, then the oracle tier, then the shard tier, then the
+#              feature tier, then the ha tier, then a -DGS_SANITIZE=thread
+#              build in ./build-tsan running the threaded suites (pipeline,
+#              serving, device accounting, fault ladder) with pass-boundary
+#              verification (GS_VERIFY_PASSES=1), then the chaos tier.
 #   --fast     tier-1 only, restricted to `ctest -L fast` (skips the
 #              soak/chaos tests, the plans tier, and the TSan pass).
 #   plans      plan round-trip tier only: builds gsampler_cli and, for every
@@ -36,6 +36,13 @@
 #              feature-gather fuzz (fuzz_passes --features) differencing
 #              cached gathers against the eager per-node lookup for every
 #              drawn config and admission policy.
+#   ha         high-availability tier only (gs::ha): runs `ctest -L ha`
+#              (failover bit-identity oracle, degraded-mode coverage,
+#              health state-machine goldens, recovery re-admission), then
+#              the same suite under TSan (concurrent failover), then a
+#              fixed-seed shard-kill fuzz (fuzz_passes --shards 2
+#              --kill-shard) requiring bit-identical samples with one shard
+#              permanently dead and 2 replicas.
 #   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
 #              runs the gs::fault suites (test_fault + the chaos soak) under
 #              TSan — the deterministic-injection racing workout.
@@ -51,6 +58,7 @@ PLANS=0
 ORACLE=0
 SHARD=0
 FEATURE=0
+HA=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -59,7 +67,8 @@ for arg in "$@"; do
     oracle|--oracle) ORACLE=1 ;;
     shard|--shard) SHARD=1 ;;
     feature|--feature) FEATURE=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature])" >&2; exit 2 ;;
+    ha|--ha) HA=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha])" >&2; exit 2 ;;
   esac
 done
 
@@ -152,6 +161,35 @@ run_feature_tier() {
   ./build/tools/fuzz_passes --seeds 100 --features
 }
 
+# High-availability tier: the ha ctest label (failover bit-identity against
+# single-device, degraded coverage fractions, health state-machine goldens,
+# recovery re-admission), the same suite under TSan (failover and health
+# signals from concurrent workers), and a shard-kill fuzz: every drawn
+# config runs with one randomly drawn shard permanently dead and 2 replicas,
+# and must still sample bit-identically to a single device.
+run_ha_tier() {
+  echo "== ha: build test_ha + fuzz_passes =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_ha fuzz_passes
+
+  echo "== ha: ctest -L ha =="
+  (cd build && ctest -L ha --output-on-failure -j "$JOBS")
+
+  echo "== ha: failover suite under TSan =="
+  cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_ha
+  ./build-tsan/tests/test_ha
+
+  echo "== ha: shard-kill fuzz (60 draws, 2 shards, 2 replicas) =="
+  ./build/tools/fuzz_passes --seeds 60 --shards 2 --kill-shard
+}
+
+if [[ "$HA" == 1 ]]; then
+  run_ha_tier
+  echo "check.sh: ha tier green"
+  exit 0
+fi
+
 if [[ "$FEATURE" == 1 ]]; then
   run_feature_tier
   echo "check.sh: feature tier green"
@@ -202,6 +240,8 @@ run_oracle_tier
 run_shard_tier
 
 run_feature_tier
+
+run_ha_tier
 
 echo "== TSan: configure + build (GS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null

@@ -17,6 +17,13 @@
 // subsystem's core guarantee that sharding changes where time is charged,
 // never what is sampled.
 //
+// With --kill-shard (requires --shards N > 1) every sharded draw also kills
+// one randomly drawn shard permanently (a seeded shard.lost FaultPlan with
+// after=0) and runs the group with 2 replicas: the gs::ha failover path must
+// still return batches bit-identical to the single-device session — the
+// high-availability tier's core guarantee that failover changes which
+// device executes, never what is sampled.
+//
 // With --features every draw additionally runs the gs::feature differential:
 // the oracle's feature-gather check (cold + warm gathers under every
 // admission policy must match an eager lookup bit for bit), plus a
@@ -51,6 +58,7 @@
 #include "core/executor.h"
 #include "core/plan.h"
 #include "device/device.h"
+#include "fault/fault.h"
 #include "feature/hot_set_cache.h"
 #include "feature/store.h"
 #include "graph/generator.h"
@@ -86,6 +94,8 @@ struct FuzzConfig {
   std::string cut = "edge";   // partition kind when shards > 1
   bool features = false;      // adds the feature-gather differential
   std::string admission = "frequency-ema";  // cache policy when features
+  int replicas = 1;           // replication factor when shards > 1
+  int kill = -1;              // shard killed permanently (-1 = none)
 
   std::string ToLine() const {
     std::ostringstream os;
@@ -96,7 +106,8 @@ struct FuzzConfig {
        << " greedy=" << greedy << " super_batch=" << super_batch
        << " seed=" << seed << " profile=" << profile
        << " pass_limit=" << pass_limit << " shards=" << shards
-       << " cut=" << cut << " features=" << features << " admission=" << admission;
+       << " cut=" << cut << " features=" << features << " admission=" << admission
+       << " replicas=" << replicas << " kill=" << kill;
     return os.str();
   }
 
@@ -131,6 +142,8 @@ struct FuzzConfig {
       if (kv.count("cut")) out.cut = kv["cut"];
       if (kv.count("features")) out.features = std::stoi(kv["features"]) != 0;
       if (kv.count("admission")) out.admission = kv["admission"];
+      if (kv.count("replicas")) out.replicas = std::stoi(kv["replicas"]);
+      if (kv.count("kill")) out.kill = std::stoi(kv["kill"]);
     } catch (const std::exception&) {
       return false;
     }
@@ -221,8 +234,19 @@ std::string ShardMismatch(const FuzzConfig& c, bool* ran = nullptr) {
                                              : gs::graph::PartitionKind::kEdgeCut;
     shard_opts.profile = profile;
     shard_opts.sampler = opts;
+    shard_opts.num_replicas = std::min(std::max(c.replicas, 1), c.shards);
     const gs::shard::ShardGroup group(g, std::move(ap.program), std::move(ap.tensors),
                                       shard_opts);
+
+    // Kill dimension (--kill-shard): one shard is permanently lost from the
+    // first placement probe. The reference session probes with no shard
+    // context, so the shard-qualified plan cannot touch it; failover must
+    // keep the group bit-identical anyway.
+    std::unique_ptr<gs::fault::FaultScope> kill_scope;
+    if (c.kill >= 0 && c.kill < c.shards) {
+      kill_scope = std::make_unique<gs::fault::FaultScope>(gs::fault::FaultPlan::Parse(
+          "shard" + std::to_string(c.kill) + ":shard.lost:after=0", c.seed));
+    }
 
     Rng rng = Rng(c.seed ^ 0x5A4D5A4DULL);
     for (int b = 0; b < c.num_batches; ++b) {
@@ -343,11 +367,20 @@ void MinimizeFlags(FuzzConfig& c) {
       trials.push_back(c);
       trials.back().super_batch = 1;
     }
+    if (c.kill >= 0) {
+      // Drop the kill dimension before anything else: a failure that
+      // survives without the dead shard is not a failover bug.
+      trials.push_back(c);
+      trials.back().kill = -1;
+      trials.back().replicas = 1;
+    }
     if (c.shards != 1) {
-      // Drop the shard dimension first: if the failure survives on a single
+      // Drop the shard dimension next: if the failure survives on a single
       // device the reproducer should not mention sharding at all.
       trials.push_back(c);
       trials.back().shards = 1;
+      trials.back().kill = -1;
+      trials.back().replicas = 1;
     }
     if (c.features) {
       // Same for the feature dimension.
@@ -439,7 +472,8 @@ void MinimizeShape(FuzzConfig& c) {
   }
 }
 
-FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards, bool features) {
+FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards, bool features,
+                bool kill_shard) {
   Rng rng = Rng(base_seed).Fork(index);
   const std::vector<std::string> algos = gs::algorithms::AllAlgorithmNames();
   FuzzConfig c;
@@ -469,12 +503,19 @@ FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards, bool features) {
   c.features = features;
   const char* admissions[] = {"static-degree", "lru", "frequency-ema"};
   c.admission = admissions[rng.UniformInt(3)];
+  // The kill dimension is drawn LAST and only under --kill-shard, so every
+  // older stream (and every --shards run without it) is unchanged.
+  if (kill_shard && shards > 1) {
+    c.kill = static_cast<int>(rng.UniformInt(shards));
+    c.replicas = 2;
+  }
   return c;
 }
 
 int Usage() {
   std::cerr << "usage: fuzz_passes [--seeds N] [--base-seed S] [--out FILE]\n"
-               "                   [--shards N] [--features] [--repro 'key=value ...']\n";
+               "                   [--shards N] [--kill-shard] [--features]\n"
+               "                   [--repro 'key=value ...']\n";
   return 2;
 }
 
@@ -484,6 +525,7 @@ int main(int argc, char** argv) {
   int64_t num_seeds = 50;
   uint64_t base_seed = 0xF022;
   int shards = 1;
+  bool kill_shard = false;
   bool features = false;
   std::string out_path;
   std::string repro_line;
@@ -503,6 +545,8 @@ int main(int argc, char** argv) {
       if (!v) return Usage();
       shards = std::atoi(v);
       if (shards < 1) return Usage();
+    } else if (arg == "--kill-shard") {
+      kill_shard = true;
     } else if (arg == "--features") {
       features = true;
     } else if (arg == "--out") {
@@ -554,7 +598,7 @@ int main(int argc, char** argv) {
 
   int64_t failures = 0;
   for (int64_t i = 0; i < num_seeds; ++i) {
-    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i), shards, features);
+    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i), shards, features, kill_shard);
     std::string detail;
     try {
       const gs::oracle::OracleReport report = RunConfig(c);
