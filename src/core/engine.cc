@@ -45,6 +45,22 @@ SamplerSession::SamplerSession(std::shared_ptr<CompiledPlan> plan, const graph::
   Precompute();
 }
 
+SamplerSession::SamplerSession(std::shared_ptr<CompiledPlan> plan,
+                               std::shared_ptr<const graph::Snapshot> snapshot,
+                               std::map<std::string, tensor::Tensor> tensors)
+    : plan_(std::move(plan)),
+      snapshot_(std::move(snapshot)),
+      graph_(&snapshot_->graph()),
+      rng_(plan_->options().seed),
+      executor_(plan_->program(), ExecOptions{.layout = plan_->layout_mode()}),
+      tuned_super_batch_(plan_->tuned_super_batch()) {
+  GS_CHECK(plan_ != nullptr);
+  GS_CHECK(snapshot_ != nullptr);
+  bindings_.graph = &graph_->adj();
+  bindings_.tensors = std::move(tensors);
+  Precompute();
+}
+
 void SamplerSession::Precompute() {
   if (!plan_->options().enable_preprocessing) {
     return;

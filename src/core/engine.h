@@ -27,6 +27,7 @@
 #include "core/ir.h"
 #include "core/plan.h"
 #include "graph/graph.h"
+#include "graph/store.h"
 
 namespace gs::core {
 
@@ -38,6 +39,15 @@ class BatchProducer;
 class SamplerSession {
  public:
   SamplerSession(std::shared_ptr<CompiledPlan> plan, const graph::Graph& graph,
+                 std::map<std::string, tensor::Tensor> tensors = {});
+
+  // Snapshot-pinning constructor (gs::dyn): the session holds the snapshot's
+  // shared_ptr for its whole lifetime, so the epoch's adjacency and features
+  // stay alive and immutable under the session even while the owning
+  // GraphStore advances to later epochs. Results are bit-identical to a
+  // session over snapshot->graph() directly.
+  SamplerSession(std::shared_ptr<CompiledPlan> plan,
+                 std::shared_ptr<const graph::Snapshot> snapshot,
                  std::map<std::string, tensor::Tensor> tensors = {});
 
   SamplerSession(const SamplerSession&) = delete;
@@ -135,6 +145,9 @@ class SamplerSession {
   friend class BatchProducer;
 
   std::shared_ptr<CompiledPlan> plan_;  // stable address: executor_ points in
+  // Pinned graph epoch (null for sessions over a caller-owned static graph).
+  // Declared before graph_ so graph_ may point into *snapshot_.
+  std::shared_ptr<const graph::Snapshot> snapshot_;
   const graph::Graph* graph_;
   Bindings bindings_;
   Rng rng_;

@@ -1,5 +1,7 @@
 #include "core/plan.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -183,6 +185,46 @@ std::string SemanticBody(const Program& program, const SamplerOptions& o,
 
 }  // namespace
 
+bool PlanValidity::CheckAgainst(const graph::DegreeStats& now, std::string* why) const {
+  if (!bound) {
+    return true;
+  }
+  const auto drift = [](double was, double is) {
+    return std::abs(is - was) / std::max(std::abs(was), 1e-9);
+  };
+  const double mean_drift = drift(mean_in_degree, now.mean_in_degree);
+  if (mean_drift > max_drift) {
+    if (why != nullptr) {
+      std::ostringstream out;
+      out << "mean in-degree drifted " << mean_drift << " (bound " << max_drift << "): "
+          << mean_in_degree << " -> " << now.mean_in_degree;
+      *why = out.str();
+    }
+    return false;
+  }
+  const double p99_drift =
+      drift(static_cast<double>(p99_in_degree), static_cast<double>(now.p99_in_degree));
+  if (p99_drift > max_drift) {
+    if (why != nullptr) {
+      std::ostringstream out;
+      out << "p99 in-degree drifted " << p99_drift << " (bound " << max_drift << "): "
+          << p99_in_degree << " -> " << now.p99_in_degree;
+      *why = out.str();
+    }
+    return false;
+  }
+  const double overlap = graph::DegreeStats::HubOverlap(hubs, now.hubs);
+  if (overlap < min_hub_overlap) {
+    if (why != nullptr) {
+      std::ostringstream out;
+      out << "hub-set overlap " << overlap << " below bound " << min_hub_overlap;
+      *why = out.str();
+    }
+    return false;
+  }
+  return true;
+}
+
 std::string OptimizationReport::ToString() const {
   std::ostringstream out;
   out << "sddmm=" << sddmm_rewrites << " hoisted=" << hoisted_ops
@@ -265,6 +307,16 @@ void CompiledPlan::Calibrate(const Bindings& bindings,
   if (!options_.enable_layout_selection) {
     return;
   }
+  // Bind the mutation-validity predicate to the distribution the layout
+  // decisions are about to be measured against. Plans without layout
+  // selection skip this (no degree-sensitive decisions => always valid).
+  if (bindings.graph != nullptr && bindings.graph->defined()) {
+    const graph::DegreeStats stats = graph::DegreeStats::FromMatrix(*bindings.graph);
+    validity_.bound = true;
+    validity_.mean_in_degree = stats.mean_in_degree;
+    validity_.p99_in_degree = stats.p99_in_degree;
+    validity_.hubs = stats.hubs;
+  }
   PassManagerOptions pass_options;
   pass_options.verify = options_.verify_passes;
   pass_options.dump_ir = options_.dump_ir_after_passes;
@@ -335,6 +387,17 @@ std::string CompiledPlan::Serialize() const {
         << " after=" << s.nodes_after << " wall_ns=" << s.wall_ns
         << " virtual_ns=" << s.virtual_ns << " verified=" << s.verified << "\n";
   }
+  // Mutation-validity predicate (gs::dyn). Informational like the report:
+  // excluded from the digest, tolerated-if-absent by Deserialize, so legacy
+  // artifacts load fine (with unbound, always-valid predicates).
+  if (validity_.bound) {
+    out << "validity mean=" << HexFloat(static_cast<float>(validity_.mean_in_degree))
+        << " p99=" << validity_.p99_in_degree
+        << " max_drift=" << HexFloat(static_cast<float>(validity_.max_drift))
+        << " min_overlap=" << HexFloat(static_cast<float>(validity_.min_hub_overlap))
+        << " hubs=" << JoinInts(std::vector<int>(validity_.hubs.begin(), validity_.hubs.end()))
+        << "\n";
+  }
   return out.str();
 }
 
@@ -380,6 +443,17 @@ std::shared_ptr<CompiledPlan> CompiledPlan::Deserialize(const std::string& text)
       s.virtual_ns = TakeInt(ls, "virtual_ns");
       s.verified = TakeBool(ls, "verified");
       plan->report_.passes.push_back(std::move(s));
+      continue;
+    }
+    if (tag == "validity") {
+      PlanValidity& v = plan->validity_;
+      v.bound = true;
+      v.mean_in_degree = static_cast<double>(ParseHexFloat(TakeField(ls, "mean")));
+      v.p99_in_degree = TakeInt(ls, "p99");
+      v.max_drift = static_cast<double>(ParseHexFloat(TakeField(ls, "max_drift")));
+      v.min_hub_overlap = static_cast<double>(ParseHexFloat(TakeField(ls, "min_overlap")));
+      const std::vector<int> hubs = ParseIntList(TakeField(ls, "hubs"));
+      v.hubs.assign(hubs.begin(), hubs.end());
       continue;
     }
     body += line;

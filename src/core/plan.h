@@ -28,8 +28,34 @@
 #include "core/executor.h"
 #include "core/ir.h"
 #include "core/pass_manager.h"
+#include "graph/store.h"
 
 namespace gs::core {
+
+// Validity predicate for a calibrated plan under online graph mutations
+// (gs::dyn). Layout calibration measures format/compaction costs against the
+// live degree distribution, so its decisions stay near-optimal only while
+// that distribution holds. Calibrate() binds the observed distribution here;
+// as mutation epochs land, dyn::PlanTable re-checks the predicate and a plan
+// that drifted past the bounds is recompiled in the background while the
+// stale-but-valid artifact keeps serving. Unbound validity (layout selection
+// disabled, or a legacy artifact without the trailer) is always valid.
+struct PlanValidity {
+  bool bound = false;
+  // Degree distribution observed at calibration time.
+  double mean_in_degree = 0.0;
+  int64_t p99_in_degree = 0;
+  // Top-K in-degree hub set at calibration time (sorted by id).
+  std::vector<int32_t> hubs;
+  // Bounds: maximum relative drift of mean/p99 in-degree, and minimum
+  // fraction of calibration hubs that must still be hubs.
+  double max_drift = 0.25;
+  double min_hub_overlap = 0.5;
+
+  // True while `now` is within bounds. On failure fills `why` (optional)
+  // with the violated bound.
+  bool CheckAgainst(const graph::DegreeStats& now, std::string* why = nullptr) const;
+};
 
 struct SamplerOptions {
   // Section 4.2: SDDMM rewrite + Extract-Select / Edge-Map / Edge-MapReduce
@@ -129,6 +155,14 @@ class CompiledPlan {
   int tuned_super_batch() const { return tuned_super_batch_; }
   void set_tuned_super_batch(int size);
 
+  // The mutation-validity predicate bound by Calibrate() (unbound when
+  // layout selection is off or the artifact predates validity). Carried
+  // through serialization as an informational trailer line — excluded from
+  // Digest() like the report, because two plans with identical layout
+  // decisions are the same artifact regardless of what distribution they
+  // were measured against.
+  const PlanValidity& validity() const { return validity_; }
+
   // Makes the plan immutable. Sessions call this before entering the
   // concurrent serving path (Warmup), so a shared plan can never change
   // under a running execution.
@@ -179,6 +213,7 @@ class CompiledPlan {
   bool frozen_ = false;
   bool restored_ = false;
   int tuned_super_batch_ = 0;  // 0 = not tuned
+  PlanValidity validity_;
 };
 
 // File helpers over Serialize/Deserialize. Throw gs::Error on I/O failure.

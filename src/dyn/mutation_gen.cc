@@ -1,0 +1,68 @@
+#include "dyn/mutation_gen.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+
+namespace gs::dyn {
+
+MutationGen::MutationGen(MutationGenOptions options)
+    : options_(options), rng_(options.seed) {
+  GS_CHECK_GT(options_.num_nodes, 1);
+  if (options_.feature_updates_per_batch > 0) {
+    GS_CHECK_GT(options_.feature_dim, 0);
+  }
+}
+
+int32_t MutationGen::DrawNode() {
+  if (options_.skew <= 0.0) {
+    return static_cast<int32_t>(rng_.UniformInt(static_cast<uint64_t>(options_.num_nodes)));
+  }
+  // Power-ish skew: raise a uniform draw to (1 + skew), compressing mass
+  // toward id 0.
+  const double u = rng_.Uniform();
+  const double biased = std::pow(u, 1.0 + options_.skew);
+  const auto id = static_cast<int64_t>(biased * static_cast<double>(options_.num_nodes));
+  return static_cast<int32_t>(std::min<int64_t>(id, options_.num_nodes - 1));
+}
+
+graph::MutationBatch MutationGen::Next() {
+  graph::MutationBatch batch;
+  batch.add_edges.reserve(static_cast<size_t>(options_.adds_per_batch));
+  for (int64_t i = 0; i < options_.adds_per_batch; ++i) {
+    graph::EdgeAdd e;
+    e.src = DrawNode();
+    e.dst = DrawNode();
+    e.weight = options_.weighted ? 0.5f + rng_.UniformF() : 1.0f;
+    batch.add_edges.push_back(e);
+    if (e.src != e.dst) {
+      added_.emplace_back(e.src, e.dst);
+    }
+  }
+  for (int64_t i = 0; i < options_.removes_per_batch; ++i) {
+    // 3/4 of removals target a previously added edge (a real deletion);
+    // the rest are random pairs, exercising the remove-missing no-op.
+    if (!added_.empty() && rng_.UniformInt(4) != 0) {
+      const size_t pick = static_cast<size_t>(rng_.UniformInt(added_.size()));
+      batch.remove_edges.push_back(added_[pick]);
+      added_[pick] = added_.back();
+      added_.pop_back();
+    } else {
+      batch.remove_edges.emplace_back(DrawNode(), DrawNode());
+    }
+  }
+  for (int64_t i = 0; i < options_.feature_updates_per_batch; ++i) {
+    graph::FeatureUpdate u;
+    u.node = DrawNode();
+    u.row.resize(static_cast<size_t>(options_.feature_dim));
+    for (float& v : u.row) {
+      v = static_cast<float>(rng_.Gaussian());
+    }
+    batch.update_features.push_back(std::move(u));
+  }
+  ++batches_;
+  return batch;
+}
+
+}  // namespace gs::dyn

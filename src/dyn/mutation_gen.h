@@ -1,0 +1,57 @@
+// gs::dyn::MutationGen — deterministic random mutation streams.
+//
+// The mutation-side counterpart of gs::fault's fault plans: a seeded
+// generator producing MutationBatches for the correctness and soak
+// harnesses (fuzz_passes --mutate, gsampler_cli --mutate-stream, the
+// TSan mutation soak, bench/mutation_throughput). Removals draw from the
+// edges this generator previously added (so they actually delete something)
+// with a fallback to random pairs (exercising the remove-missing no-op
+// path); identical (seed, options) always produce the identical stream.
+
+#ifndef GSAMPLER_DYN_MUTATION_GEN_H_
+#define GSAMPLER_DYN_MUTATION_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/store.h"
+
+namespace gs::dyn {
+
+struct MutationGenOptions {
+  uint64_t seed = 0x5EED;
+  int64_t num_nodes = 0;  // id range for generated endpoints (required)
+  int64_t adds_per_batch = 32;
+  int64_t removes_per_batch = 8;
+  int64_t feature_updates_per_batch = 0;
+  int64_t feature_dim = 0;  // required when feature_updates_per_batch > 0
+  // Emit weights with added edges (only meaningful for weighted stores).
+  bool weighted = false;
+  // Bias edge endpoints toward low node ids (approximates the power-law
+  // hot-set that makes hub-membership predicates interesting). 0 = uniform.
+  double skew = 0.0;
+};
+
+class MutationGen {
+ public:
+  explicit MutationGen(MutationGenOptions options);
+
+  // The next batch in the stream. Deterministic in (seed, call index).
+  graph::MutationBatch Next();
+
+  int64_t batches_generated() const { return batches_; }
+
+ private:
+  int32_t DrawNode();
+
+  MutationGenOptions options_;
+  Rng rng_;
+  int64_t batches_ = 0;
+  // Edges added so far and not yet chosen for removal — the removal pool.
+  std::vector<std::pair<int32_t, int32_t>> added_;
+};
+
+}  // namespace gs::dyn
+
+#endif  // GSAMPLER_DYN_MUTATION_GEN_H_

@@ -1,0 +1,69 @@
+#include "dyn/plan_table.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace gs::dyn {
+
+const char* PlanJudgmentName(PlanJudgment judgment) {
+  switch (judgment) {
+    case PlanJudgment::kMiss:
+      return "miss";
+    case PlanJudgment::kValid:
+      return "valid";
+    case PlanJudgment::kDrifted:
+      return "drifted";
+  }
+  return "unknown";
+}
+
+PlanJudgment PlanTable::Judge(const std::string& key, const graph::Snapshot& snapshot,
+                              Entry* entry, std::string* why) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.judged_miss;
+    return PlanJudgment::kMiss;
+  }
+  if (entry != nullptr) {
+    *entry = it->second;
+  }
+  // Same epoch, or a predicate still within bounds: the plan is valid as-is.
+  if (it->second.epoch == snapshot.epoch() ||
+      it->second.plan->validity().CheckAgainst(snapshot.degree_stats(), why)) {
+    ++stats_.judged_valid;
+    return PlanJudgment::kValid;
+  }
+  ++stats_.judged_drifted;
+  return PlanJudgment::kDrifted;
+}
+
+void PlanTable::Publish(const std::string& key, std::shared_ptr<core::CompiledPlan> plan,
+                        const graph::Snapshot& snapshot) {
+  GS_CHECK(plan != nullptr);
+  GS_CHECK(plan->frozen()) << "published plans must be frozen";
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = Entry{std::move(plan), snapshot.epoch(), snapshot.digest()};
+  ++stats_.publishes;
+  stats_.entries = static_cast<int64_t>(entries_.size());
+}
+
+bool PlanTable::Lookup(const std::string& key, Entry* entry) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return false;
+  }
+  if (entry != nullptr) {
+    *entry = it->second;
+  }
+  return true;
+}
+
+PlanTableStats PlanTable::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gs::dyn

@@ -1,0 +1,86 @@
+// gs::dyn::PlanTable — epoch-aware compiled-plan reuse under mutations.
+//
+// The serving PlanCache keys sessions by (algorithm, dataset, ..., graph
+// epoch/digest), so every mutation epoch is a fresh cache key — correct,
+// but recompiling every plan from scratch at every epoch would put the full
+// pass pipeline + calibration on the serving path. The PlanTable is the
+// epoch-INDEPENDENT compile table behind it: one entry per compile key
+// (everything in the plan key except the graph version) holding the frozen
+// CompiledPlan plus the epoch it was calibrated against.
+//
+// On a session-cache miss for a new epoch, Judge() compares the entry's
+// validity predicate (core::PlanValidity, bound at calibration) against the
+// new snapshot's degree distribution:
+//   kMiss    -> no entry: compile on the miss path (cold start, as today).
+//   kValid   -> distribution still within bounds: rebuild a session over
+//               the EXISTING frozen plan (no passes, no calibration — the
+//               cheap path that makes epochs O(warmup), not O(compile)).
+//   kDrifted -> bounds violated: the stale plan may still SERVE (results
+//               stay correct — layout decisions affect cost, not values),
+//               but a recompile should be scheduled (dyn::Replanner).
+//
+// Thread-safe: serving workers judge/lookup while the replanner publishes.
+
+#ifndef GSAMPLER_DYN_PLAN_TABLE_H_
+#define GSAMPLER_DYN_PLAN_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/plan.h"
+#include "graph/store.h"
+
+namespace gs::dyn {
+
+enum class PlanJudgment {
+  kMiss,
+  kValid,
+  kDrifted,
+};
+
+const char* PlanJudgmentName(PlanJudgment judgment);
+
+struct PlanTableStats {
+  int64_t entries = 0;
+  int64_t judged_valid = 0;
+  int64_t judged_drifted = 0;
+  int64_t judged_miss = 0;
+  int64_t publishes = 0;  // Publish() calls (initial compiles + recompiles)
+};
+
+class PlanTable {
+ public:
+  struct Entry {
+    std::shared_ptr<core::CompiledPlan> plan;
+    uint64_t epoch = 0;    // epoch the plan was calibrated against
+    uint64_t digest = 0;   // that epoch's graph digest
+  };
+
+  // Judges `key` against `snapshot`'s distribution. On kValid/kDrifted
+  // fills `entry` (optional) with the resident plan; on kDrifted fills
+  // `why` (optional) with the violated bound.
+  PlanJudgment Judge(const std::string& key, const graph::Snapshot& snapshot,
+                     Entry* entry = nullptr, std::string* why = nullptr);
+
+  // Publishes (or replaces) the entry for `key`: a plan calibrated against
+  // `snapshot`. The plan must be frozen (shared across threads).
+  void Publish(const std::string& key, std::shared_ptr<core::CompiledPlan> plan,
+               const graph::Snapshot& snapshot);
+
+  // The resident entry, if any (no judgment counters touched).
+  bool Lookup(const std::string& key, Entry* entry) const;
+
+  PlanTableStats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  PlanTableStats stats_;
+};
+
+}  // namespace gs::dyn
+
+#endif  // GSAMPLER_DYN_PLAN_TABLE_H_

@@ -1,0 +1,103 @@
+#include "dyn/replanner.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace gs::dyn {
+
+Replanner::Replanner(CompileFn compile) : compile_(std::move(compile)) {
+  GS_CHECK(compile_ != nullptr);
+}
+
+Replanner::~Replanner() { Stop(); }
+
+void Replanner::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return;
+  }
+  stop_ = false;
+  running_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void Replanner::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      return;
+    }
+    stop_ = true;
+  }
+  cv_.notify_all();
+  worker_.join();
+  std::lock_guard<std::mutex> lock(mutex_);
+  running_ = false;
+}
+
+void Replanner::Enqueue(const std::string& key,
+                        std::shared_ptr<const graph::Snapshot> snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.enqueued;
+    auto it = pending_.find(key);
+    if (it != pending_.end()) {
+      // Already queued: advance to the newest snapshot, don't queue twice.
+      if (snapshot->epoch() > it->second->epoch()) {
+        it->second = std::move(snapshot);
+      }
+      ++stats_.deduped;
+      return;
+    }
+    pending_[key] = std::move(snapshot);
+    queue_.push_back(key);
+  }
+  cv_.notify_one();
+}
+
+void Replanner::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return (queue_.empty() && !in_flight_) || stop_; });
+}
+
+void Replanner::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) {
+      idle_cv_.notify_all();
+      return;
+    }
+    const std::string key = queue_.front();
+    queue_.pop_front();
+    auto it = pending_.find(key);
+    GS_INTERNAL(it != pending_.end());
+    std::shared_ptr<const graph::Snapshot> snapshot = std::move(it->second);
+    pending_.erase(it);
+    in_flight_ = true;
+    lock.unlock();
+    try {
+      compile_(key, snapshot);
+      lock.lock();
+      ++stats_.compiled;
+    } catch (const std::exception& e) {
+      GS_LOG(Warning) << "replanner: recompile of '" << key << "' at epoch "
+                   << snapshot->epoch() << " failed: " << e.what();
+      lock.lock();
+      ++stats_.failures;
+    }
+    in_flight_ = false;
+    if (queue_.empty()) {
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+ReplannerStats Replanner::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace gs::dyn

@@ -171,6 +171,36 @@ int64_t HotSetCache::Access(uint64_t key, int64_t bytes) {
   return bytes;
 }
 
+void HotSetCache::Invalidate(uint64_t key) {
+  invalidations_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.admission == Admission::kStaticDegree) {
+    const int64_t slots = live_capacity_.load(std::memory_order_relaxed);
+    const size_t slot = static_cast<size_t>(MixHash(key) % static_cast<uint64_t>(slots));
+    // CAS so a concurrent install of a DIFFERENT key in the same slot is
+    // not clobbered; losing the race to a re-install of the same key is the
+    // same cache race Access already tolerates.
+    uint64_t expected = key;
+    tags_[slot].compare_exchange_strong(expected, kEmptyTag, std::memory_order_relaxed);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (options_.admission == Admission::kLru) {
+    auto it = lru_table_.find(key);
+    if (it != lru_table_.end()) {
+      lru_order_.erase(it->second);
+      lru_table_.erase(it);
+      ++evictions_;
+    }
+    return;
+  }
+  // kFrequencyEma: drop residency but keep the decayed frequency — the row
+  // is still hot, its cached bytes are just stale; it should win
+  // re-admission on the next access.
+  if (resident_.erase(key) > 0) {
+    ++evictions_;
+  }
+}
+
 void HotSetCache::Reset() {
   for (int64_t i = 0; i < num_tag_slots_; ++i) {
     tags_[static_cast<size_t>(i)].store(kEmptyTag, std::memory_order_relaxed);
@@ -321,6 +351,7 @@ HotSetCacheStats HotSetCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.capacity = live_capacity_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.pressure_releases = pressure_releases_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mutex_);
   if (options_.admission == Admission::kStaticDegree) {

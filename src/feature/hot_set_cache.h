@@ -90,6 +90,7 @@ struct HotSetCacheStats {
   int64_t misses = 0;
   int64_t insertions = 0;
   int64_t evictions = 0;  // entries displaced by admission or capacity loss
+  int64_t invalidations = 0;  // Invalidate() calls (mutated keys dropped)
   int64_t capacity = 0;   // current live capacity (entries)
   int64_t resident = 0;   // resident entries (kStaticDegree: installed slots)
   int64_t backing_bytes = 0;  // live device backing (0 when cost-model-only)
@@ -117,6 +118,14 @@ class HotSetCache {
   // policy. Under an active fault::FaultScope this is the transfer.error
   // injection site and may throw fault::TransientError.
   int64_t Access(uint64_t key, int64_t bytes);
+
+  // Drops `key`'s resident entry, if any — the row's cached bytes are stale
+  // (gs::dyn: the node's feature row or adjacency was mutated). The next
+  // Access for the key is a miss and re-fetches current bytes. Under
+  // kFrequencyEma residency is dropped but the decayed frequency is kept,
+  // so a still-hot key wins immediate re-admission. Thread-safe with
+  // concurrent Access (the static-degree path stays lock-free).
+  void Invalidate(uint64_t key);
 
   // Drops every resident entry and zeroes the counters (capacity and
   // backing are kept).
@@ -159,6 +168,7 @@ class HotSetCache {
   std::atomic<int64_t> live_capacity_{0};
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
 
   // --- kStaticDegree: lock-free direct-mapped tag array.
   std::unique_ptr<std::atomic<uint64_t>[]> tags_;

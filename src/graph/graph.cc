@@ -16,6 +16,10 @@ Graph Graph::FromEdges(std::string name, int64_t num_nodes,
   }
 
   // Sort by (dst, src) so CSC columns come out sorted, then deduplicate.
+  // Duplicates tie-break on the original input index so that "first
+  // occurrence wins" for weights is deterministic even though std::sort is
+  // not stable (see the resolution rule documented in graph.h — delta
+  // compaction in graph/store.cc must replay it exactly).
   std::vector<int64_t> order(edges.size());
   for (size_t i = 0; i < order.size(); ++i) {
     order[i] = static_cast<int64_t>(i);
@@ -26,7 +30,10 @@ Graph Graph::FromEdges(std::string name, int64_t num_nodes,
     if (ea.second != eb.second) {
       return ea.second < eb.second;
     }
-    return ea.first < eb.first;
+    if (ea.first != eb.first) {
+      return ea.first < eb.first;
+    }
+    return a < b;
   });
 
   const device::MemorySpace space =
@@ -79,6 +86,12 @@ Graph Graph::FromEdges(std::string name, int64_t num_nodes,
   }
   GS_INTERNAL(cursor == unique_edges);
 
+  return FromCsc(std::move(name), num_nodes, std::move(csc), uva);
+}
+
+Graph Graph::FromCsc(std::string name, int64_t num_nodes, sparse::Compressed csc, bool uva) {
+  GS_CHECK_GT(num_nodes, 0);
+  GS_CHECK_EQ(csc.indptr.size(), num_nodes + 1);
   Graph g;
   g.name_ = std::move(name);
   g.num_nodes_ = num_nodes;

@@ -23,11 +23,27 @@ class Graph {
   // stored so that column v holds the in-neighbors of v (A[:, v]), matching
   // the paper's convention. Edges are deduplicated, self-loops dropped, and
   // per-column indices sorted (required by Node2Vec's adjacency test).
-  // `weights` (optional, aligned with `edges`) become edge values; after
-  // dedup the first occurrence wins.
+  //
+  // Duplicate-edge resolution rule: `weights` (optional, aligned with
+  // `edges`) become edge values, and when the same (src, dst) pair appears
+  // more than once the FIRST occurrence in the input order wins — the sort
+  // that groups duplicates tie-breaks on the original input index, so the
+  // rule is deterministic regardless of the sort implementation. This rule
+  // is load-bearing for gs::graph::GraphStore: delta compaction and
+  // Snapshot materialization replay the identical resolution so that a
+  // from-scratch FromEdges load of GraphStore::EffectiveEdges is
+  // bit-identical to the incrementally maintained snapshot (pinned by
+  // tests/test_graph.cc and the gs::oracle snapshot-equivalence check).
   static Graph FromEdges(std::string name, int64_t num_nodes,
                          std::vector<std::pair<int32_t, int32_t>> edges,
                          const std::vector<float>* weights = nullptr, bool uva = false);
+
+  // Builds a graph directly from materialized CSC arrays (column v holds the
+  // sorted in-neighbors of v). Used by gs::graph::GraphStore to materialize
+  // mutation snapshots without a re-sort; the caller guarantees sorted,
+  // deduplicated, self-loop-free columns (the FromEdges postconditions).
+  static Graph FromCsc(std::string name, int64_t num_nodes, sparse::Compressed csc,
+                       bool uva = false);
 
   const std::string& name() const { return name_; }
   int64_t num_nodes() const { return num_nodes_; }

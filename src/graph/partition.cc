@@ -265,4 +265,65 @@ Partition Partitioner::Build(const Graph& graph, PartitionKind kind, int num_sha
   return p;
 }
 
+Partition Partitioner::Rebuild(const Partition& base, const Graph& graph,
+                               const std::vector<int32_t>& touched_cols) {
+  GS_CHECK_EQ(graph.num_nodes(), static_cast<int64_t>(base.owner_.size()))
+      << "Rebuild requires an unchanged node count";
+  if (base.kind_ == PartitionKind::kVertexCut) {
+    Partition p = Build(graph, base.kind_, base.num_shards_, base.num_replicas_);
+    p.segments_rebuilt_ = base.num_shards_;
+    return p;
+  }
+
+  const sparse::Compressed& csc = graph.adj().Csc();
+  const bool weighted = csc.values.defined();
+
+  Partition p = base;  // shares every segment until rebuilt below
+  p.graph_ = graph;
+  p.segments_rebuilt_ = 0;
+  p.segments_reused_ = 0;
+
+  std::vector<bool> dirty(static_cast<size_t>(base.num_shards_), false);
+  for (int32_t c : touched_cols) {
+    dirty[static_cast<size_t>(base.OwnerOf(c))] = true;
+    p.degree_[static_cast<size_t>(c)] = csc.indptr[c + 1] - csc.indptr[c];
+  }
+
+  for (int s = 0; s < base.num_shards_; ++s) {
+    if (!dirty[static_cast<size_t>(s)]) {
+      ++p.segments_reused_;
+      continue;
+    }
+    // Edge-cut: the shard's columns are exactly its owned nodes, unchanged
+    // by the mutation (ownership is pinned), so locals_/to_local_ carry
+    // over and only the CSC payload is re-sliced from the new graph.
+    const std::vector<int32_t>& cols = base.locals_[static_cast<size_t>(s)];
+    std::vector<int64_t> indptr{0};
+    std::vector<int32_t> indices;
+    std::vector<float> values;
+    indptr.reserve(cols.size() + 1);
+    for (int32_t c : cols) {
+      for (int64_t e = csc.indptr[c]; e < csc.indptr[c + 1]; ++e) {
+        indices.push_back(csc.indices[e]);
+        if (weighted) {
+          values.push_back(csc.values[e]);
+        }
+      }
+      indptr.push_back(static_cast<int64_t>(indices.size()));
+    }
+    sparse::Compressed seg;
+    seg.indptr = sparse::OffsetArray::FromVector(indptr);
+    seg.indices = sparse::IdArray::FromVector(indices);
+    if (weighted) {
+      seg.values = sparse::ValueArray::FromVector(values);
+    }
+    sparse::Matrix m = sparse::Matrix::FromCsc(
+        graph.num_nodes(), static_cast<int64_t>(cols.size()), std::move(seg));
+    m.SetColIds(sparse::IdArray::FromVector(cols));
+    p.segments_[static_cast<size_t>(s)] = std::move(m);
+    ++p.segments_rebuilt_;
+  }
+  return p;
+}
+
 }  // namespace gs::graph

@@ -106,6 +106,12 @@ class Partition {
   // per-replica mirror cost the HA layer charges for placement.
   int64_t SegmentBytes(int shard) const;
 
+  // Incremental-rebuild accounting (gs::dyn): how many shard segments the
+  // last Partitioner::Rebuild over this partition actually rebuilt vs
+  // reused by reference. Both zero for a from-scratch Build.
+  int segments_rebuilt() const { return segments_rebuilt_; }
+  int segments_reused() const { return segments_reused_; }
+
   std::string DebugString() const;
 
  private:
@@ -121,6 +127,8 @@ class Partition {
   std::vector<sparse::Matrix> segments_;       // shard -> local CSC
   std::vector<std::vector<int32_t>> locals_;   // shard -> sorted global ids
   std::vector<std::unordered_map<int32_t, int32_t>> to_local_;
+  int segments_rebuilt_ = 0;  // last Rebuild only
+  int segments_reused_ = 0;
 };
 
 // Factory for deterministic partitions. Edge-cut balances contiguous node
@@ -134,6 +142,18 @@ class Partitioner {
   static Partition VertexCut(const Graph& graph, int num_shards);
   static Partition Build(const Graph& graph, PartitionKind kind, int num_shards,
                          int num_replicas = 1);
+
+  // Incremental re-partition after a mutation epoch (gs::dyn). Node
+  // ownership (and therefore routing and the global<->local maps) is kept
+  // from `base` — ownership churn would invalidate every shard's locality
+  // at once — and only the shards owning a column in `touched_cols` get
+  // their CSC segment rebuilt from `graph`; every other segment is reused
+  // by reference (sparse::Matrix copies share storage). Edge-cut only: a
+  // vertex-cut's hub spill depends on global degree, so it falls back to a
+  // full Build with base's shard/replica counts (counted as all-rebuilt).
+  // `graph` must have base's node count.
+  static Partition Rebuild(const Partition& base, const Graph& graph,
+                           const std::vector<int32_t>& touched_cols);
 };
 
 }  // namespace gs::graph

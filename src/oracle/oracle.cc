@@ -503,6 +503,83 @@ OracleReport VerifyConfig(const std::string& algorithm, const graph::Graph& g,
   return report;
 }
 
+OracleReport VerifySnapshotEquivalence(const std::string& algorithm,
+                                       const graph::GraphStore& store,
+                                       const SamplerOptions& optimized,
+                                       const OracleOptions& options) {
+  OracleReport report;
+  report.algorithm = algorithm;
+
+  const std::shared_ptr<const graph::Snapshot> snap = store.Current();
+  const graph::Graph& live = snap->graph();
+
+  // From-scratch reference: reload the effective edge set through the very
+  // same FromEdges path a cold restart would take, then carry over the
+  // epoch's node attributes (the check is about adjacency maintenance).
+  std::vector<float> weights;
+  std::vector<std::pair<int32_t, int32_t>> edges =
+      store.EffectiveEdges(store.weighted() ? &weights : nullptr);
+  graph::Graph reload =
+      graph::Graph::FromEdges(live.name() + "-reload", store.num_nodes(), std::move(edges),
+                              store.weighted() ? &weights : nullptr);
+  if (live.features().defined()) {
+    reload.SetFeatures(live.features());
+  }
+  if (live.labels().defined()) {
+    reload.SetLabels(live.labels(), live.num_classes());
+  }
+  reload.SetTrainIds(live.train_ids());
+
+  // --- Check 1: digest equality with the from-scratch load ---
+  {
+    CheckResult check;
+    check.name = "snapshot-digest";
+    const uint64_t reloaded = graph::Snapshot::DigestOf(reload);
+    if (reloaded != snap->digest()) {
+      check.ok = false;
+      std::ostringstream detail;
+      detail << "epoch " << snap->epoch() << ": snapshot digest " << std::hex << snap->digest()
+             << " != from-scratch digest " << reloaded << std::dec << " ("
+             << live.num_edges() << " vs " << reload.num_edges() << " edges)";
+      check.detail = detail.str();
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  // --- Check 2: bit-identical sampling under mirrored streams ---
+  //
+  // Identical CSC bytes must yield identical draws, so unlike the
+  // optimized-vs-reference differential this one compares floats exactly
+  // (tolerance 0): both sides run the SAME plan configuration over graphs
+  // that check 1 proved byte-equal.
+  {
+    CheckResult check;
+    check.name = "snapshot-sample";
+    Rng frontier_rng = Rng(options.seed).Fork(0xD1);
+    const tensor::IdArray frontiers =
+        MakeFrontiers(live, options.batch_size * options.num_batches, frontier_rng);
+    const std::vector<BatchFingerprint> on_snapshot =
+        RunEpoch(algorithm, live, optimized, frontiers, options.batch_size);
+    const std::vector<BatchFingerprint> on_reload =
+        RunEpoch(algorithm, reload, optimized, frontiers, options.batch_size);
+    if (on_snapshot.size() != on_reload.size()) {
+      check.ok = false;
+      check.detail = "batch count differs";
+    } else {
+      for (size_t b = 0; b < on_snapshot.size() && check.ok; ++b) {
+        const std::string why = CompareFingerprints(on_snapshot[b], on_reload[b], 0.0f);
+        if (!why.empty()) {
+          check.ok = false;
+          check.detail = "batch " + std::to_string(b) + ": " + why;
+        }
+      }
+    }
+    report.checks.push_back(std::move(check));
+  }
+
+  return report;
+}
+
 std::vector<CheckResult> VerifySamplingPrimitives(uint64_t seed, double significance) {
   std::vector<CheckResult> checks;
   Rng rng(seed);

@@ -31,6 +31,7 @@
 
 #include "core/plan.h"
 #include "graph/graph.h"
+#include "graph/store.h"
 #include "oracle/stats.h"
 
 namespace gs::oracle {
@@ -84,6 +85,18 @@ core::SamplerOptions ReferenceOptions(const core::SamplerOptions& optimized);
 OracleReport VerifyConfig(const std::string& algorithm, const graph::Graph& g,
                           const core::SamplerOptions& optimized,
                           const OracleOptions& options = {});
+
+// Snapshot equivalence (gs::dyn): asserts the store's current snapshot is
+// bit-identical to a from-scratch Graph::FromEdges load of the same
+// effective edge set — digest equality plus bit-exact sampled fingerprints
+// under mirrored RNG streams. This is the property that makes incremental
+// mutation maintenance trustworthy: however many MutationBatches (and
+// Seals) produced the epoch, sampling it is indistinguishable from sampling
+// a clean reload.
+OracleReport VerifySnapshotEquivalence(const std::string& algorithm,
+                                       const graph::GraphStore& store,
+                                       const core::SamplerOptions& optimized,
+                                       const OracleOptions& options = {});
 
 // Primitive-level distribution checks, independent of any algorithm:
 // alias-table vs. inverse-CDF sampling equivalence (chi-square homogeneity

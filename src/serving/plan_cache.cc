@@ -14,7 +14,7 @@
 
 namespace gs::serving {
 
-std::string PlanKey::Canonical() const {
+std::string PlanKey::CompileKey() const {
   std::ostringstream out;
   out << algorithm << '|' << dataset << '|' << device << '|' << pass_config << '|';
   for (int64_t f : fanouts) {
@@ -26,6 +26,16 @@ std::string PlanKey::Canonical() const {
   return out.str();
 }
 
+std::string PlanKey::Canonical() const {
+  std::string out = CompileKey();
+  if (dynamic) {
+    std::ostringstream g;
+    g << "|g" << graph_epoch << ':' << std::hex << graph_digest;
+    out += g.str();
+  }
+  return out;
+}
+
 PlanKey PlanKey::Parse(const std::string& canonical) {
   std::vector<std::string> parts;
   std::string part;
@@ -33,21 +43,38 @@ PlanKey PlanKey::Parse(const std::string& canonical) {
   while (std::getline(in, part, '|')) {
     parts.push_back(part);
   }
-  // 4 parts: trailing '|' with no fanouts; 6 parts: shard suffix "sN".
-  GS_CHECK(parts.size() >= 4 && parts.size() <= 6)
+  // 4 parts: trailing '|' with no fanouts; optional suffixes after the
+  // fanouts: "sN" (shard) then "g<epoch>:<digest>" (graph version).
+  GS_CHECK(parts.size() >= 4 && parts.size() <= 7)
       << "malformed plan key: '" << canonical << "'";
   PlanKey key;
   key.algorithm = parts[0];
   key.dataset = parts[1];
   key.device = parts[2];
   key.pass_config = parts[3];
-  if (parts.size() == 6) {
-    GS_CHECK(parts[5].size() > 1 && parts[5][0] == 's')
-        << "malformed plan key shard: '" << canonical << "'";
-    char* end = nullptr;
-    key.shard = static_cast<int>(std::strtol(parts[5].c_str() + 1, &end, 10));
-    GS_CHECK(end != nullptr && *end == '\0' && key.shard > 0)
-        << "malformed plan key shard: '" << canonical << "'";
+  for (size_t p = 5; p < parts.size(); ++p) {
+    const std::string& suffix = parts[p];
+    GS_CHECK(suffix.size() > 1) << "malformed plan key suffix: '" << canonical << "'";
+    if (suffix[0] == 's') {
+      char* end = nullptr;
+      key.shard = static_cast<int>(std::strtol(suffix.c_str() + 1, &end, 10));
+      GS_CHECK(end != nullptr && *end == '\0' && key.shard > 0)
+          << "malformed plan key shard: '" << canonical << "'";
+    } else if (suffix[0] == 'g') {
+      const size_t colon = suffix.find(':');
+      GS_CHECK(colon != std::string::npos && colon > 1 && colon + 1 < suffix.size())
+          << "malformed plan key graph version: '" << canonical << "'";
+      char* end = nullptr;
+      key.graph_epoch = std::strtoull(suffix.c_str() + 1, &end, 10);
+      GS_CHECK(end != nullptr && *end == ':')
+          << "malformed plan key graph version: '" << canonical << "'";
+      key.graph_digest = std::strtoull(suffix.c_str() + colon + 1, &end, 16);
+      GS_CHECK(end != nullptr && *end == '\0')
+          << "malformed plan key graph version: '" << canonical << "'";
+      key.dynamic = true;
+    } else {
+      GS_CHECK(false) << "malformed plan key suffix: '" << canonical << "'";
+    }
   }
   if (parts.size() >= 5 && !parts[4].empty()) {
     std::istringstream fin(parts[4]);
@@ -161,6 +188,27 @@ std::shared_ptr<core::SamplerSession> PlanCache::GetOrBuild(const PlanKey& key,
     *compile_ns = elapsed;
   }
   return session;
+}
+
+void PlanCache::Insert(const PlanKey& key, std::shared_ptr<core::SamplerSession> session) {
+  GS_CHECK(session != nullptr);
+  GS_CHECK(session->warmed_up()) << "Insert requires a warmed-up session";
+  Entry entry;
+  entry.resident_bytes = session->ResidentBytes();
+  entry.session = std::move(session);
+  const std::string canonical = key.Canonical();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(canonical);
+  if (it != entries_.end()) {
+    // Replace: retire the old entry's accounting first.
+    stats_.resident_bytes -= it->second.resident_bytes;
+    stats_.entries -= 1;
+    if (allocator_ != nullptr) {
+      allocator_->AdjustReserved(-it->second.resident_bytes);
+    }
+    entries_.erase(it);
+  }
+  InsertLocked(canonical, std::move(entry));
 }
 
 void PlanCache::InsertLocked(const std::string& canonical, Entry entry) {

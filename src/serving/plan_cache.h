@@ -50,8 +50,21 @@ struct PlanKey {
   // persisted plan digests — unchanged; coalescing across shards is ruled
   // out automatically because the shard is part of the key.
   int shard = 0;
+  // Dynamic graphs (gs::dyn): the snapshot the request resolved at
+  // admission. Only endpoints backed by a graph::GraphStore set `dynamic`,
+  // which appends a `|g<epoch>:<digest>` canonical component — every epoch
+  // is a distinct session key (coalescing never crosses epochs), while
+  // static endpoints' canonical forms, and every previously persisted plan
+  // artifact, are byte-for-byte unchanged.
+  bool dynamic = false;
+  uint64_t graph_epoch = 0;
+  uint64_t graph_digest = 0;
 
   std::string Canonical() const;
+  // The canonical form WITHOUT the graph-version component: the epoch-
+  // independent compile identity (dyn::PlanTable's key). Equal to
+  // Canonical() for static keys.
+  std::string CompileKey() const;
   // Inverse of Canonical() (persisted plan-index lines). Throws gs::Error on
   // malformed input.
   static PlanKey Parse(const std::string& canonical);
@@ -101,6 +114,12 @@ class PlanCache {
   std::shared_ptr<core::SamplerSession> GetOrBuild(const PlanKey& key, const Factory& factory,
                                                    bool* hit = nullptr,
                                                    int64_t* compile_ns = nullptr);
+
+  // Inserts (or replaces) a ready session for `key`. Used by the background
+  // replanner (gs::dyn) to publish a freshly recompiled session so the next
+  // request at that epoch hits instead of rebuilding; counts as neither hit
+  // nor miss.
+  void Insert(const PlanKey& key, std::shared_ptr<core::SamplerSession> session);
 
   // Persists every resident entry's CompiledPlan into `dir` (created if
   // missing): one `<digest>.plan` artifact per entry plus an `index.txt`

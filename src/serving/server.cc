@@ -64,6 +64,59 @@ std::vector<int64_t> ShedFanouts(const std::vector<int64_t>& fanouts) {
   return shed;
 }
 
+// Registry-backed program construction shared by the static and dynamic
+// endpoint factories. Fanout vectors are honored for the fanout-
+// parameterized algorithms; others compile with their defaults.
+algorithms::AlgorithmProgram BuildProgram(const std::string& algorithm, const graph::Graph& g,
+                                          const std::vector<int64_t>& fanouts) {
+  if (!fanouts.empty()) {
+    if (algorithm == "GraphSAGE") {
+      return algorithms::GraphSage(g, algorithms::SageParams{.fanouts = fanouts});
+    }
+    if (algorithm == "GCN-BS") {
+      return algorithms::GcnBs(g, algorithms::BanditParams{.fanouts = fanouts});
+    }
+    if (algorithm == "Thanos") {
+      return algorithms::Thanos(g, algorithms::BanditParams{.fanouts = fanouts});
+    }
+    if (algorithm == "PASS") {
+      algorithms::PassParams params;
+      params.fanouts = fanouts;
+      return algorithms::Pass(g, params);
+    }
+    if (algorithm == "FastGCN" || algorithm == "LADIES" || algorithm == "AS-GCN") {
+      algorithms::LayerWiseParams params;
+      params.num_layers = static_cast<int>(fanouts.size());
+      params.layer_width = fanouts.front();
+      if (algorithm == "FastGCN") {
+        return algorithms::FastGcn(g, params);
+      }
+      if (algorithm == "LADIES") {
+        return algorithms::Ladies(g, params);
+      }
+      return algorithms::Asgcn(g, params);
+    }
+  }
+  return algorithms::MakeAlgorithm(algorithm, g);
+}
+
+std::vector<int64_t> RegistryDefaultFanouts(const std::string& algorithm) {
+  if (algorithm == "GraphSAGE") {
+    return algorithms::SageParams{}.fanouts;
+  }
+  if (algorithm == "GCN-BS" || algorithm == "Thanos") {
+    return algorithms::BanditParams{}.fanouts;
+  }
+  if (algorithm == "PASS") {
+    return algorithms::PassParams{}.fanouts;
+  }
+  if (algorithm == "FastGCN" || algorithm == "LADIES" || algorithm == "AS-GCN") {
+    const algorithms::LayerWiseParams defaults;
+    return std::vector<int64_t>(static_cast<size_t>(defaults.num_layers), defaults.layer_width);
+  }
+  return {};
+}
+
 }  // namespace
 
 Endpoint MakeEndpoint(const std::string& algorithm, const std::string& dataset,
@@ -73,47 +126,24 @@ Endpoint MakeEndpoint(const std::string& algorithm, const std::string& dataset,
   ep.dataset = dataset;
   ep.graph = &graph;
   ep.options = options;
-  if (algorithm == "GraphSAGE") {
-    ep.default_fanouts = algorithms::SageParams{}.fanouts;
-  } else if (algorithm == "GCN-BS" || algorithm == "Thanos") {
-    ep.default_fanouts = algorithms::BanditParams{}.fanouts;
-  } else if (algorithm == "PASS") {
-    ep.default_fanouts = algorithms::PassParams{}.fanouts;
-  } else if (algorithm == "FastGCN" || algorithm == "LADIES" || algorithm == "AS-GCN") {
-    const algorithms::LayerWiseParams defaults;
-    ep.default_fanouts.assign(static_cast<size_t>(defaults.num_layers), defaults.layer_width);
-  }
+  ep.default_fanouts = RegistryDefaultFanouts(algorithm);
   const graph::Graph* g = &graph;
   ep.factory = [algorithm, g](const std::vector<int64_t>& fanouts) {
-    if (!fanouts.empty()) {
-      if (algorithm == "GraphSAGE") {
-        return algorithms::GraphSage(*g, algorithms::SageParams{.fanouts = fanouts});
-      }
-      if (algorithm == "GCN-BS") {
-        return algorithms::GcnBs(*g, algorithms::BanditParams{.fanouts = fanouts});
-      }
-      if (algorithm == "Thanos") {
-        return algorithms::Thanos(*g, algorithms::BanditParams{.fanouts = fanouts});
-      }
-      if (algorithm == "PASS") {
-        algorithms::PassParams params;
-        params.fanouts = fanouts;
-        return algorithms::Pass(*g, params);
-      }
-      if (algorithm == "FastGCN" || algorithm == "LADIES" || algorithm == "AS-GCN") {
-        algorithms::LayerWiseParams params;
-        params.num_layers = static_cast<int>(fanouts.size());
-        params.layer_width = fanouts.front();
-        if (algorithm == "FastGCN") {
-          return algorithms::FastGcn(*g, params);
-        }
-        if (algorithm == "LADIES") {
-          return algorithms::Ladies(*g, params);
-        }
-        return algorithms::Asgcn(*g, params);
-      }
-    }
-    return algorithms::MakeAlgorithm(algorithm, *g);
+    return BuildProgram(algorithm, *g, fanouts);
+  };
+  return ep;
+}
+
+Endpoint MakeDynamicEndpoint(const std::string& algorithm, const std::string& dataset,
+                             graph::GraphStore& store, core::SamplerOptions options) {
+  Endpoint ep;
+  ep.algorithm = algorithm;
+  ep.dataset = dataset;
+  ep.store = &store;
+  ep.options = options;
+  ep.default_fanouts = RegistryDefaultFanouts(algorithm);
+  ep.dynamic_factory = [algorithm](const graph::Graph& g, const std::vector<int64_t>& fanouts) {
+    return BuildProgram(algorithm, g, fanouts);
   };
   return ep;
 }
@@ -135,8 +165,13 @@ Server::~Server() { Stop(); }
 
 void Server::RegisterEndpoint(Endpoint endpoint) {
   GS_CHECK(!running_) << "endpoints must be registered before Start()";
-  GS_CHECK(endpoint.graph != nullptr);
-  GS_CHECK(endpoint.factory != nullptr);
+  if (endpoint.store != nullptr) {
+    GS_CHECK(endpoint.dynamic_factory != nullptr)
+        << "dynamic endpoints need a dynamic_factory (see MakeDynamicEndpoint)";
+  } else {
+    GS_CHECK(endpoint.graph != nullptr);
+    GS_CHECK(endpoint.factory != nullptr);
+  }
   const std::string key = EndpointKey(endpoint.algorithm, endpoint.dataset);
   endpoints_[key] = std::move(endpoint);
 }
@@ -158,13 +193,17 @@ void Server::Start() {
     // simulated device: per-shard sessions allocate there and locality
     // routing (Submit) resolves against these partitions. num_replicas > 1
     // additionally mirrors each shard's segment (chained declustering) so
-    // execution can fail over past dead devices.
+    // execution can fail over past dead devices. Dynamic endpoints
+    // partition the store's current snapshot; later epochs re-partition
+    // incrementally through the mutation listener (OnMutation).
     for (const auto& [key, endpoint] : endpoints_) {
       if (partitions_.find(endpoint.dataset) == partitions_.end()) {
+        const graph::Graph& graph =
+            endpoint.store != nullptr ? endpoint.store->Current()->graph() : *endpoint.graph;
+        std::lock_guard<std::mutex> lock(partition_mutex_);
         partitions_[endpoint.dataset] =
-            std::make_unique<graph::Partition>(graph::Partitioner::Build(
-                *endpoint.graph, options_.partition_kind, options_.num_shards,
-                options_.num_replicas));
+            std::make_shared<const graph::Partition>(graph::Partitioner::Build(
+                graph, options_.partition_kind, options_.num_shards, options_.num_replicas));
       }
     }
     shard_devices_.reserve(static_cast<size_t>(options_.num_shards));
@@ -184,12 +223,51 @@ void Server::Start() {
     // One store per dataset that actually has features; endpoints over
     // feature-less datasets keep serving bare frontiers.
     for (const auto& [key, endpoint] : endpoints_) {
-      if (endpoint.graph->features().defined() &&
+      const graph::Graph& graph =
+          endpoint.store != nullptr ? endpoint.store->Current()->graph() : *endpoint.graph;
+      if (graph.features().defined() &&
           feature_stores_.find(endpoint.dataset) == feature_stores_.end()) {
+        std::lock_guard<std::mutex> lock(feature_mutex_);
         feature_stores_[endpoint.dataset] =
-            std::make_unique<feature::FeatureStore>(endpoint.graph->features());
+            std::make_shared<const feature::FeatureStore>(graph.features());
       }
     }
+  }
+  // Dynamic endpoints: subscribe to each distinct store's mutation stream
+  // (incremental re-partition, feature refresh/invalidation, epoch
+  // accounting) and start the background replanner. Listeners run on the
+  // ingest thread — materialization, re-partitioning, and invalidation
+  // never touch the serving path.
+  bool any_dynamic = false;
+  for (const auto& [key, endpoint] : endpoints_) {
+    if (endpoint.store == nullptr) {
+      continue;
+    }
+    any_dynamic = true;
+    bool subscribed = false;
+    for (const auto& [store, id] : store_listeners_) {
+      if (store == endpoint.store) {
+        subscribed = true;
+        break;
+      }
+    }
+    if (subscribed) {
+      continue;
+    }
+    const std::string dataset = endpoint.dataset;
+    const int64_t id = endpoint.store->AddListener(
+        [this, dataset](const std::shared_ptr<const graph::Snapshot>& snapshot,
+                        const graph::MutationBatch& batch) {
+          OnMutation(dataset, snapshot, batch);
+        });
+    store_listeners_.emplace_back(endpoint.store, id);
+  }
+  if (any_dynamic && options_.background_recompile) {
+    replanner_ = std::make_unique<dyn::Replanner>(
+        [this](const std::string& key, std::shared_ptr<const graph::Snapshot> snapshot) {
+          CompileForSnapshot(key, snapshot, /*background=*/true);
+        });
+    replanner_->Start();
   }
   pool_ = std::make_unique<pipeline::WorkerPool>(device::Current().profile(),
                                                  options_.num_workers);
@@ -215,6 +293,16 @@ void Server::Start() {
 void Server::Stop() {
   if (!running_.exchange(false)) {
     return;
+  }
+  // Quiesce the dynamic-graph machinery first: unsubscribe from mutation
+  // streams (no callback may outlive the server) and stop the replanner
+  // after at most its in-flight compile.
+  for (const auto& [store, id] : store_listeners_) {
+    store->RemoveListener(id);
+  }
+  store_listeners_.clear();
+  if (replanner_ != nullptr) {
+    replanner_->Stop();
   }
   // Close() lets workers drain every queued admission token (each matching
   // an already-admitted request) before their Pop() returns nullopt.
@@ -351,14 +439,22 @@ std::future<SampleResponse> Server::Submit(SampleRequest request) {
   pending->key.device = device::Current().profile().name;
   pending->key.pass_config = PassConfigDigest(endpoint->options);
   pending->key.fanouts = std::move(fanouts);
+  if (endpoint->store != nullptr) {
+    // Dynamic endpoint: resolve the latest snapshot at admission and pin it
+    // for the request's lifetime. The epoch + digest join the plan key, so
+    // sessions and coalescing groups never mix epochs.
+    pending->snapshot = endpoint->store->Current();
+    pending->key.dynamic = true;
+    pending->key.graph_epoch = pending->snapshot->epoch();
+    pending->key.graph_digest = pending->snapshot->digest();
+  }
   if (options_.num_shards > 1) {
     // Locality-aware routing: execute on the shard owning the plurality of
     // the seeds. The shard is part of the plan key, so each shard warms its
     // own session and coalescing stays shard-local.
-    auto partition = partitions_.find(req.dataset);
-    if (partition != partitions_.end()) {
-      pending->home_shard =
-          partition->second->HomeShard(req.seeds.data(), req.seeds.size());
+    const std::shared_ptr<const graph::Partition> partition = PartitionFor(req.dataset);
+    if (partition != nullptr) {
+      pending->home_shard = partition->HomeShard(req.seeds.data(), req.seeds.size());
       pending->key.shard = pending->home_shard;
     }
   }
@@ -520,23 +616,179 @@ void Server::CompleteExpired(std::unique_ptr<Pending> pending) {
   ++stats_.deadline_exceeded;
 }
 
-std::shared_ptr<core::SamplerSession> Server::BuildPlan(const Endpoint& endpoint,
-                                                        const PlanKey& key) const {
-  algorithms::AlgorithmProgram algorithm = endpoint.factory(key.fanouts);
+std::shared_ptr<core::SamplerSession> Server::CompileDynamicSession(
+    const Endpoint& endpoint, const PlanKey& key,
+    const std::shared_ptr<const graph::Snapshot>& snapshot) {
   core::SamplerOptions options = endpoint.options;
-  // The server groups requests itself; epoch-style super-batching inside the
-  // plan would fight the coalescer.
   options.super_batch = 1;
+  algorithms::AlgorithmProgram algorithm =
+      endpoint.dynamic_factory(snapshot->graph(), key.fanouts);
   auto plan = std::make_shared<core::CompiledPlan>(std::move(algorithm.program), options,
                                                    endpoint.algorithm);
-  auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint.graph,
+  auto session = std::make_shared<core::SamplerSession>(std::move(plan), snapshot,
                                                         std::move(algorithm.tensors));
-  session->Warmup(WarmupFrontier(*endpoint.graph));
+  session->Warmup(WarmupFrontier(snapshot->graph()));
   return session;
 }
 
+std::shared_ptr<core::SamplerSession> Server::BuildPlan(
+    const Endpoint& endpoint, const PlanKey& key,
+    const std::shared_ptr<const graph::Snapshot>& snapshot) {
+  if (endpoint.store == nullptr || snapshot == nullptr) {
+    algorithms::AlgorithmProgram algorithm = endpoint.factory(key.fanouts);
+    core::SamplerOptions options = endpoint.options;
+    // The server groups requests itself; epoch-style super-batching inside
+    // the plan would fight the coalescer.
+    options.super_batch = 1;
+    auto plan = std::make_shared<core::CompiledPlan>(std::move(algorithm.program), options,
+                                                     endpoint.algorithm);
+    auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint.graph,
+                                                          std::move(algorithm.tensors));
+    session->Warmup(WarmupFrontier(*endpoint.graph));
+    return session;
+  }
+
+  // Dynamic endpoint: consult the epoch-independent compile table before
+  // paying for passes + calibration.
+  const std::string compile_key = key.CompileKey();
+  dyn::PlanTable::Entry entry;
+  std::string why;
+  const dyn::PlanJudgment judgment = plan_table_.Judge(compile_key, *snapshot, &entry, &why);
+  if (judgment == dyn::PlanJudgment::kMiss ||
+      (judgment == dyn::PlanJudgment::kDrifted && replanner_ == nullptr)) {
+    // Cold start, or drift with background recompilation disabled: the full
+    // compile runs here on the serving path.
+    std::shared_ptr<core::SamplerSession> session = CompileDynamicSession(endpoint, key, snapshot);
+    plan_table_.Publish(compile_key, session->plan_ptr(), *snapshot);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.recompiles_inline;
+    return session;
+  }
+
+  // Cheap path: rebuild a session over the resident frozen plan — the
+  // re-trace only recovers the named tensor bindings; no passes and no
+  // calibration run. A drifted plan still serves correct results (layout
+  // decisions affect cost, never values) while the replanner recompiles off
+  // the serving path.
+  algorithms::AlgorithmProgram algorithm =
+      endpoint.dynamic_factory(snapshot->graph(), key.fanouts);
+  auto session = std::make_shared<core::SamplerSession>(entry.plan, snapshot,
+                                                        std::move(algorithm.tensors));
+  session->Warmup(WarmupFrontier(snapshot->graph()));
+  if (judgment == dyn::PlanJudgment::kDrifted) {
+    GS_LOG(Info) << "serving: plan " << compile_key << " drifted past validity (" << why
+                 << "); serving stale, recompiling in the background";
+    replanner_->Enqueue(compile_key, snapshot);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.stale_plans_served;
+  } else {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.plan_reuses;
+  }
+  return session;
+}
+
+void Server::CompileForSnapshot(const std::string& compile_key,
+                                const std::shared_ptr<const graph::Snapshot>& snapshot,
+                                bool background) {
+  PlanKey key = PlanKey::Parse(compile_key);
+  const Endpoint* endpoint = FindEndpoint(key.algorithm, key.dataset);
+  if (endpoint == nullptr || endpoint->store == nullptr) {
+    return;  // endpoint vanished (shutdown race); nothing to publish
+  }
+  std::optional<device::ThreadDeviceGuard> shard_guard;
+  if (options_.num_shards > 1 && key.shard < static_cast<int>(shard_devices_.size())) {
+    shard_guard.emplace(*shard_devices_[static_cast<size_t>(key.shard)]);
+  }
+  std::shared_ptr<core::SamplerSession> session = CompileDynamicSession(*endpoint, key, snapshot);
+  plan_table_.Publish(compile_key, session->plan_ptr(), *snapshot);
+  // Publish the warmed session at its epoch so the next request there hits
+  // the cache instead of rebuilding.
+  key.dynamic = true;
+  key.graph_epoch = snapshot->epoch();
+  key.graph_digest = snapshot->digest();
+  plan_cache_->Insert(key, std::move(session));
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (background) {
+    ++stats_.recompiles_background;
+  } else {
+    ++stats_.recompiles_inline;
+  }
+}
+
+void Server::OnMutation(const std::string& dataset,
+                        const std::shared_ptr<const graph::Snapshot>& snapshot,
+                        const graph::MutationBatch& batch) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.graph_epochs;
+  }
+  // Incremental re-partition with pinned ownership: only shards owning a
+  // touched column get their CSC segment re-sliced; routing (and every
+  // global<->local map) stays stable, so in-flight requests keep resolving
+  // the same home shards.
+  if (options_.num_shards > 1) {
+    const std::shared_ptr<const graph::Partition> base = PartitionFor(dataset);
+    if (base != nullptr) {
+      auto next = std::make_shared<const graph::Partition>(
+          graph::Partitioner::Rebuild(*base, snapshot->graph(), batch.TouchedColumns()));
+      {
+        std::lock_guard<std::mutex> lock(partition_mutex_);
+        partitions_[dataset] = next;
+      }
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.partition_segments_rebuilt += next->segments_rebuilt();
+      stats_.partition_segments_reused += next->segments_reused();
+    }
+  }
+  // Feature tier: swap the store to the epoch's (copied-on-write) tensor
+  // and invalidate exactly the mutated rows in every cache partition of
+  // this dataset — un-touched rows are identical across epochs, so their
+  // cached copies stay valid.
+  if (!batch.update_features.empty()) {
+    int64_t invalidated = 0;
+    {
+      std::lock_guard<std::mutex> lock(feature_mutex_);
+      auto it = feature_stores_.find(dataset);
+      if (it != feature_stores_.end()) {
+        it->second = std::make_shared<const feature::FeatureStore>(snapshot->graph().features());
+        const std::string suffix = "|" + dataset;
+        for (auto& [cache_key, cache] : feature_caches_) {
+          if (cache_key.size() >= suffix.size() &&
+              cache_key.compare(cache_key.size() - suffix.size(), suffix.size(), suffix) == 0) {
+            for (const graph::FeatureUpdate& update : batch.update_features) {
+              cache->Invalidate(static_cast<uint64_t>(update.node));
+              ++invalidated;
+            }
+          }
+        }
+      }
+    }
+    if (invalidated > 0) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.feature_invalidations += invalidated;
+    }
+  }
+}
+
+std::shared_ptr<const graph::Partition> Server::PartitionFor(const std::string& dataset) const {
+  std::lock_guard<std::mutex> lock(partition_mutex_);
+  auto it = partitions_.find(dataset);
+  return it != partitions_.end() ? it->second : nullptr;
+}
+
+void Server::DrainRecompiles() {
+  if (replanner_ != nullptr) {
+    replanner_->Drain();
+  }
+}
+
+dyn::ReplannerStats Server::replanner_stats() const {
+  return replanner_ != nullptr ? replanner_->stats() : dyn::ReplannerStats{};
+}
+
 std::shared_ptr<core::SamplerSession> Server::ActivatePlan(
-    const PlanKey& key, std::shared_ptr<core::CompiledPlan> plan) const {
+    const PlanKey& key, std::shared_ptr<core::CompiledPlan> plan) {
   const Endpoint* endpoint = FindEndpoint(key.algorithm, key.dataset);
   if (endpoint == nullptr) {
     return nullptr;  // this server no longer serves the endpoint
@@ -550,14 +802,34 @@ std::shared_ptr<core::SamplerSession> Server::ActivatePlan(
   if (key.shard >= std::max(1, options_.num_shards)) {
     return nullptr;  // persisted by a server with more shards
   }
-  // The factory re-traces only to recover the named tensor bindings; the
-  // persisted plan (program + annotations + calibration) is used as-is, so
-  // no passes and no calibration run here.
-  algorithms::AlgorithmProgram algorithm = endpoint->factory(key.fanouts);
+  if (key.dynamic != (endpoint->store != nullptr)) {
+    return nullptr;  // endpoint changed between static and dynamic
+  }
   std::optional<device::ThreadDeviceGuard> shard_guard;
   if (options_.num_shards > 1) {
     shard_guard.emplace(*shard_devices_[static_cast<size_t>(key.shard)]);
   }
+  if (key.dynamic) {
+    // A persisted dynamic plan is only servable when the store's current
+    // epoch has the exact digest it was calibrated against; anything else
+    // must recompile through the plan table's validity machinery.
+    const std::shared_ptr<const graph::Snapshot> snapshot = endpoint->store->Current();
+    if (key.graph_digest != snapshot->digest()) {
+      return nullptr;
+    }
+    algorithms::AlgorithmProgram algorithm =
+        endpoint->dynamic_factory(snapshot->graph(), key.fanouts);
+    std::shared_ptr<core::CompiledPlan> shared = std::move(plan);
+    auto session = std::make_shared<core::SamplerSession>(shared, snapshot,
+                                                          std::move(algorithm.tensors));
+    session->Warmup(WarmupFrontier(snapshot->graph()));
+    plan_table_.Publish(key.CompileKey(), std::move(shared), *snapshot);
+    return session;
+  }
+  // The factory re-traces only to recover the named tensor bindings; the
+  // persisted plan (program + annotations + calibration) is used as-is, so
+  // no passes and no calibration run here.
+  algorithms::AlgorithmProgram algorithm = endpoint->factory(key.fanouts);
   auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint->graph,
                                                         std::move(algorithm.tensors));
   session->Warmup(WarmupFrontier(*endpoint->graph));
@@ -623,12 +895,16 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
   // which timeline is charged, never the outputs (sessions bind the full
   // graph).
   const int shard = leader.home_shard;
+  // Pin the partition for the whole execution: a mutation epoch may swap in
+  // an incrementally rebuilt partition mid-flight, and routing decisions
+  // must stay consistent within one group.
+  std::shared_ptr<const graph::Partition> pinned_partition;
   const graph::Partition* partition = nullptr;
   std::optional<device::ThreadDeviceGuard> shard_guard;
   std::optional<fault::ShardScope> fault_scope;
   if (options_.num_shards > 1) {
-    auto it = partitions_.find(endpoint->dataset);
-    partition = it != partitions_.end() ? it->second.get() : nullptr;
+    pinned_partition = PartitionFor(endpoint->dataset);
+    partition = pinned_partition.get();
   }
   int64_t exchange_hops = 0;
   int64_t exchange_remote_nodes = 0;
@@ -703,7 +979,7 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
       bool hit = false;
       int64_t build_ns = 0;
       std::shared_ptr<core::SamplerSession> plan = plan_cache_->GetOrBuild(
-          key, [&] { return BuildPlan(*endpoint, key); }, &hit, &build_ns);
+          key, [&] { return BuildPlan(*endpoint, key, leader.snapshot); }, &hit, &build_ns);
       cache_hit = hit;
       compile_ns += build_ns;
       auto run_group = [&](const std::vector<tensor::IdArray>& frontiers,
@@ -844,9 +1120,18 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
   int64_t feature_responses = 0;
   int64_t feature_wall_ns = 0;
   if (options_.serve_features && error.empty()) {
-    auto store_it = feature_stores_.find(endpoint->dataset);
-    if (store_it != feature_stores_.end()) {
-      const feature::FeatureStore& store = *store_it->second;
+    // Pin the store: a feature mutation swaps feature_stores_[dataset] under
+    // feature_mutex_, and this group must gather from one consistent tensor.
+    std::shared_ptr<const feature::FeatureStore> pinned_store;
+    {
+      std::lock_guard<std::mutex> lock(feature_mutex_);
+      auto store_it = feature_stores_.find(endpoint->dataset);
+      if (store_it != feature_stores_.end()) {
+        pinned_store = store_it->second;
+      }
+    }
+    if (pinned_store != nullptr) {
+      const feature::FeatureStore& store = *pinned_store;
       for (size_t i = 0; i < group.size(); ++i) {
         SampleResponse& response = responses[i];
         if (response.status != Status::kOk) {
@@ -984,7 +1269,8 @@ void Server::ServeDegraded(std::vector<std::unique_ptr<Pending>> group, const En
       bool hit = false;
       const PlanKey& key = group.front()->key;
       plan = plan_cache_->GetOrBuild(
-          key, [&] { return BuildPlan(endpoint, key); }, &hit, &compile_ns);
+          key, [&] { return BuildPlan(endpoint, key, group.front()->snapshot); }, &hit,
+          &compile_ns);
       cache_hit = hit;
     } catch (const std::exception& e) {
       plan_error = std::string("degraded plan resolution failed: ") + e.what();

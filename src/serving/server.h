@@ -55,10 +55,13 @@
 #include "algorithms/algorithms.h"
 #include "core/engine.h"
 #include "device/device.h"
+#include "dyn/plan_table.h"
+#include "dyn/replanner.h"
 #include "feature/hot_set_cache.h"
 #include "feature/store.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
+#include "graph/store.h"
 #include "ha/health.h"
 #include "pipeline/queue.h"
 #include "pipeline/worker_pool.h"
@@ -80,6 +83,16 @@ struct Endpoint {
   // Fallback fanouts used when a request does not specify any and overload
   // shedding needs something to halve.
   std::vector<int64_t> default_fanouts;
+  // Dynamic graphs (gs::dyn): a mutable versioned store instead of a static
+  // graph. When set, `graph`/`factory` are ignored: every request resolves
+  // the store's latest snapshot at admission (and pins it to completion),
+  // the plan key carries the snapshot's epoch + digest, and programs are
+  // traced by `dynamic_factory` against the pinned snapshot's graph. The
+  // store must outlive the server.
+  graph::GraphStore* store = nullptr;
+  std::function<algorithms::AlgorithmProgram(const graph::Graph& graph,
+                                             const std::vector<int64_t>& fanouts)>
+      dynamic_factory;
 };
 
 // Convenience endpoint over the Table-2 registry. Fanout vectors are honored
@@ -87,6 +100,13 @@ struct Endpoint {
 // FastGCN, LADIES); others compile with their defaults.
 Endpoint MakeEndpoint(const std::string& algorithm, const std::string& dataset,
                       const graph::Graph& graph, core::SamplerOptions options = {});
+
+// The dynamic twin of MakeEndpoint: serves `store`'s evolving graph. Same
+// algorithm registry, but programs are traced per epoch against the pinned
+// snapshot and compiled plans are reused across epochs while their validity
+// predicate holds (see dyn::PlanTable).
+Endpoint MakeDynamicEndpoint(const std::string& algorithm, const std::string& dataset,
+                             graph::GraphStore& store, core::SamplerOptions options = {});
 
 struct ServerOptions {
   int num_workers = 2;
@@ -146,6 +166,11 @@ struct ServerOptions {
   int64_t feature_cache_budget_bytes = int64_t{64} * 1024 * 1024;
   int feature_cache_partitions = 4;
   feature::Admission feature_admission = feature::Admission::kFrequencyEma;
+  // Dynamic graphs (gs::dyn): recompile drift-invalidated plans on the
+  // background replanner thread while the stale (still-correct) plan keeps
+  // serving. When false, a drifted judgment compiles inline on the serving
+  // path instead — the contrast bench/mutation_throughput measures.
+  bool background_recompile = true;
 };
 
 class Server {
@@ -178,6 +203,12 @@ class Server {
   // Exposed for tests and for operators polling failover state.
   const ha::HealthMonitor* health_monitor() const { return monitor_.get(); }
 
+  // Dynamic graphs: the epoch-independent compile table and a test hook
+  // that blocks until every queued background recompile has run.
+  dyn::PlanTableStats plan_table_stats() const { return plan_table_.stats(); }
+  dyn::ReplannerStats replanner_stats() const;
+  void DrainRecompiles();
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -190,6 +221,10 @@ class Server {
     int home_shard = 0;     // locality routing target (0 when unsharded)
     bool degraded = false;
     bool has_deadline = false;
+    // Dynamic endpoints: the snapshot resolved at admission, pinned until
+    // the response is fulfilled (mutations applied meanwhile never move a
+    // request off its epoch).
+    std::shared_ptr<const graph::Snapshot> snapshot;
     Clock::time_point deadline_abs{};
     Clock::time_point submitted{};
     Clock::time_point dequeued{};
@@ -210,12 +245,37 @@ class Server {
   void ServeDegraded(std::vector<std::unique_ptr<Pending>> group, const Endpoint& endpoint,
                      const graph::Partition& partition);
   // Compiles + warms up a fresh session for `key` (plan-cache miss path).
-  std::shared_ptr<core::SamplerSession> BuildPlan(const Endpoint& endpoint,
-                                                  const PlanKey& key) const;
+  // For dynamic endpoints (`snapshot` non-null) the compile table is
+  // consulted first: a still-valid frozen plan gets a cheap session rebuild
+  // (no passes, no calibration); a drifted one serves stale and schedules a
+  // background recompile.
+  std::shared_ptr<core::SamplerSession> BuildPlan(
+      const Endpoint& endpoint, const PlanKey& key,
+      const std::shared_ptr<const graph::Snapshot>& snapshot);
+  // Full compile (trace + passes + calibration + warmup) of a dynamic
+  // endpoint's session against one pinned snapshot.
+  std::shared_ptr<core::SamplerSession> CompileDynamicSession(
+      const Endpoint& endpoint, const PlanKey& key,
+      const std::shared_ptr<const graph::Snapshot>& snapshot);
+  // Replanner job body: full compile of `compile_key` against `snapshot`,
+  // publishing into the plan table and the session cache so the next
+  // request at that epoch hits. Runs on the replanner thread.
+  void CompileForSnapshot(const std::string& compile_key,
+                          const std::shared_ptr<const graph::Snapshot>& snapshot,
+                          bool background);
+  // Mutation listener (runs on the ingest thread, never a serving worker):
+  // incremental re-partition, feature-store refresh + cache invalidation,
+  // and epoch accounting.
+  void OnMutation(const std::string& dataset,
+                  const std::shared_ptr<const graph::Snapshot>& snapshot,
+                  const graph::MutationBatch& batch);
+  // The dataset's current partition (swapped by OnMutation); null when
+  // unsharded or unknown. Callers hold the returned shared_ptr across use.
+  std::shared_ptr<const graph::Partition> PartitionFor(const std::string& dataset) const;
   // PlanCache::LoadFrom activator: re-binds tensors and warms up a session
   // over a persisted plan; null when this server cannot serve the key.
   std::shared_ptr<core::SamplerSession> ActivatePlan(const PlanKey& key,
-                                                     std::shared_ptr<core::CompiledPlan> plan) const;
+                                                     std::shared_ptr<core::CompiledPlan> plan);
   // The feature-cache partition for (shard, tenant, dataset), created
   // lazily on the worker thread (with the shard's device active, so the
   // cache's backing pages land on — and are byte-accounted against — that
@@ -226,16 +286,25 @@ class Server {
   ServerOptions options_;
   std::map<std::string, Endpoint> endpoints_;  // "algorithm|dataset" -> endpoint
   // Sharded mode: dataset name -> partition, plus one device per shard.
-  std::map<std::string, std::unique_ptr<graph::Partition>> partitions_;
+  // Immutable snapshots swapped under partition_mutex_ by OnMutation;
+  // readers copy the shared_ptr (PartitionFor) and use it lock-free.
+  mutable std::mutex partition_mutex_;
+  std::map<std::string, std::shared_ptr<const graph::Partition>> partitions_;
   std::vector<std::unique_ptr<device::Device>> shard_devices_;
   std::unique_ptr<ha::HealthMonitor> monitor_;
   // Feature serving: one store per dataset with features, plus per-
   // (shard, tenant, dataset) cache partitions. Declared after
   // shard_devices_ so the caches (whose backing pages live on those
-  // devices) are destroyed first.
-  std::map<std::string, std::unique_ptr<feature::FeatureStore>> feature_stores_;
+  // devices) are destroyed first. Stores are swapped (under feature_mutex_)
+  // when a mutation epoch copies the feature tensor on write.
+  std::map<std::string, std::shared_ptr<const feature::FeatureStore>> feature_stores_;
   mutable std::mutex feature_mutex_;
   std::map<std::string, std::unique_ptr<feature::HotSetCache>> feature_caches_;
+  // Dynamic graphs: the epoch-independent compile table, the background
+  // recompilation worker, and the store listeners to unregister at Stop().
+  dyn::PlanTable plan_table_;
+  std::unique_ptr<dyn::Replanner> replanner_;
+  std::vector<std::pair<graph::GraphStore*, int64_t>> store_listeners_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<pipeline::BoundedQueue<uint64_t>> tokens_;
   std::unique_ptr<pipeline::WorkerPool> pool_;

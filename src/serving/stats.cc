@@ -94,6 +94,14 @@ std::string ServerStats::ToString() const {
     }
     out << "]";
   }
+  if (graph_epochs > 0) {
+    out << " dyn=[epochs=" << graph_epochs << " plan_reuses=" << plan_reuses
+        << " stale_served=" << stale_plans_served << " recompiles_inline=" << recompiles_inline
+        << " recompiles_bg=" << recompiles_background
+        << " feature_invalidations=" << feature_invalidations
+        << " partition_rebuilt=" << partition_segments_rebuilt
+        << " partition_reused=" << partition_segments_reused << "]";
+  }
   return out.str();
 }
 

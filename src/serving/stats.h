@@ -82,6 +82,21 @@ struct ServerStats {
   int64_t failovers = 0;         // executions served by a non-primary replica
   int64_t hedged_exchanges = 0;  // hedged cross-shard exchange re-issues
 
+  // Dynamic graphs (gs::dyn): online-mutation traffic and what each epoch
+  // cost the plan layer. `plan_reuses` + `stale_plans_served` are the
+  // cheap-path sessions (no passes, no calibration); `recompiles_inline`
+  // are full compiles on the serving path (cold starts, or drifted plans
+  // with background recompilation disabled); `recompiles_background` ran on
+  // the replanner thread, never blocking a request.
+  int64_t graph_epochs = 0;            // mutation epochs observed (all stores)
+  int64_t plan_reuses = 0;             // sessions rebuilt over a still-valid frozen plan
+  int64_t stale_plans_served = 0;      // drifted plans that kept serving while recompiling
+  int64_t recompiles_inline = 0;       // full compiles on the serving path
+  int64_t recompiles_background = 0;   // replanner compiles (off the serving path)
+  int64_t feature_invalidations = 0;   // cache rows invalidated by feature updates
+  int64_t partition_segments_rebuilt = 0;  // incremental re-partition: segments re-sliced
+  int64_t partition_segments_reused = 0;   // ... vs reused by reference
+
   // End-to-end wall latency of completed requests (submit -> response).
   int64_t latency_p50_ns = 0;
   int64_t latency_p95_ns = 0;

@@ -190,6 +190,26 @@ ShardGroup::ShardGroup(const graph::Graph& graph, std::shared_ptr<core::Compiled
   Init(graph, std::move(tensors));
 }
 
+ShardGroup::ShardGroup(std::shared_ptr<const graph::Snapshot> snapshot, core::Program program,
+                       std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options)
+    : options_(std::move(options)),
+      snapshot_(std::move(snapshot)),
+      graph_(&snapshot_->graph()),
+      plan_(std::make_shared<core::CompiledPlan>(std::move(program), options_.sampler)) {
+  Init(*graph_, std::move(tensors));
+}
+
+ShardGroup::ShardGroup(std::shared_ptr<const graph::Snapshot> snapshot,
+                       std::shared_ptr<core::CompiledPlan> plan,
+                       std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options)
+    : options_(std::move(options)),
+      snapshot_(std::move(snapshot)),
+      graph_(&snapshot_->graph()),
+      plan_(std::move(plan)) {
+  GS_CHECK(plan_ != nullptr) << "ShardGroup needs a plan";
+  Init(*graph_, std::move(tensors));
+}
+
 ShardGroup::~ShardGroup() = default;
 
 void ShardGroup::Init(const graph::Graph& graph, std::map<std::string, tensor::Tensor> tensors) {

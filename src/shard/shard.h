@@ -155,6 +155,14 @@ class ShardGroup {
   // Adopts an existing (possibly deserialized) plan instead of compiling.
   ShardGroup(const graph::Graph& graph, std::shared_ptr<core::CompiledPlan> plan,
              std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options);
+  // Snapshot-pinning constructors (gs::dyn): the group holds the snapshot's
+  // shared_ptr so the epoch outlives the store's later mutations. Sampling
+  // is bit-identical to the same-epoch static-graph constructors.
+  ShardGroup(std::shared_ptr<const graph::Snapshot> snapshot, core::Program program,
+             std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options);
+  ShardGroup(std::shared_ptr<const graph::Snapshot> snapshot,
+             std::shared_ptr<core::CompiledPlan> plan,
+             std::map<std::string, tensor::Tensor> tensors, ShardGroupOptions options);
 
   ShardGroup(const ShardGroup&) = delete;
   ShardGroup& operator=(const ShardGroup&) = delete;
@@ -216,6 +224,9 @@ class ShardGroup {
   void Init(const graph::Graph& graph, std::map<std::string, tensor::Tensor> tensors);
 
   ShardGroupOptions options_;
+  // Pinned graph epoch (null for groups over a caller-owned static graph).
+  // Declared before graph_ so graph_ may point into *snapshot_.
+  std::shared_ptr<const graph::Snapshot> snapshot_;
   const graph::Graph* graph_;
   std::shared_ptr<core::CompiledPlan> plan_;
   std::unique_ptr<graph::Partition> partition_;

@@ -144,6 +144,41 @@ TEST(HotSetCacheTest, FrequencyEmaKeepsHubsThroughScans) {
   EXPECT_EQ(run(lru), 0) << "LRU unexpectedly survived the scan (test is vacuous)";
 }
 
+// Mutated-row invalidation (gs::dyn): under every admission policy, a
+// resident key that is invalidated must re-fetch on its next access —
+// returning the CURRENT byte cost, not the admitted one — while untouched
+// keys stay resident and invalidating an absent key is a harmless no-op.
+TEST(HotSetCacheTest, InvalidateForcesRefetchUnderEveryAdmission) {
+  for (Admission admission :
+       {Admission::kStaticDegree, Admission::kLru, Admission::kFrequencyEma}) {
+    const std::string label = AdmissionName(admission);
+    HotSetCache cache(HotSetCacheOptions{.capacity = 8, .admission = admission});
+    // Admit two keys; both must be resident (capacity is ample).
+    EXPECT_EQ(cache.Access(3, 64), 64) << label;
+    EXPECT_EQ(cache.Access(4, 64), 64) << label;
+    ASSERT_EQ(cache.Access(3, 64), 0) << label << ": key 3 must be resident";
+    ASSERT_EQ(cache.Access(4, 64), 0) << label << ": key 4 must be resident";
+
+    // Mutate key 3's row: invalidate, then re-gather. The new access is a
+    // miss and charges the row's NEW byte size (the mutated row may have a
+    // different width under a feature-dim change).
+    cache.Invalidate(3);
+    EXPECT_EQ(cache.Access(3, 96), 96)
+        << label << ": invalidated key must re-fetch current bytes";
+    EXPECT_EQ(cache.Access(3, 96), 0) << label << ": re-admitted after the re-fetch";
+    // The untouched key was not collateral damage.
+    EXPECT_EQ(cache.Access(4, 64), 0) << label << ": untouched key must stay resident";
+
+    // Invalidating a key that is not resident is harmless (counted as a
+    // call, drops nothing) — mutation batches routinely touch uncached
+    // nodes.
+    cache.Invalidate(9999);
+    EXPECT_EQ(cache.Access(3, 96), 0) << label;
+    EXPECT_EQ(cache.Access(4, 64), 0) << label;
+    EXPECT_EQ(cache.stats().invalidations, 2) << label;
+  }
+}
+
 // Byte-accounted caches own a real device backing store, mirror it into the
 // allocator's reserved bytes (plan-cache style), give pages back under
 // pressure, and release everything on destruction.

@@ -48,6 +48,33 @@ TEST(Graph, OutOfRangeEdgeThrows) {
   EXPECT_THROW(Graph::FromEdges("t", 3, edges), Error);
 }
 
+// Regression: duplicate-edge weight resolution is FIRST-occurrence-wins by
+// input order, deterministically. The dedup sort used to order equal
+// (src, dst) keys arbitrarily (std::sort is not stable), so with many
+// duplicates the surviving weight depended on the sort implementation; the
+// comparator now tie-breaks on the original input index.
+TEST(Graph, DuplicateWeightFirstOccurrenceWinsDeterministically) {
+  std::vector<std::pair<int32_t, int32_t>> edges;
+  std::vector<float> weights;
+  // Enough equal keys that an unstable sort would scramble them, with the
+  // winning (first) occurrence buried among later conflicting weights.
+  for (int i = 0; i < 64; ++i) {
+    edges.push_back({3, 1});
+    weights.push_back(static_cast<float>(i));  // first occurrence carries 0.0f
+    edges.push_back({static_cast<int32_t>(i % 5), 5});
+    weights.push_back(static_cast<float>(100 + i));  // firsts: i = 0..4
+  }
+  Graph g = Graph::FromEdges("t", 6, edges, &weights);
+  const auto set = gs::testing::EdgeSet(g.adj());
+  EXPECT_FLOAT_EQ(set.at({3, 1}), 0.0f);
+  for (int32_t s = 0; s < 5; ++s) {
+    EXPECT_FLOAT_EQ(set.at({s, 5}), static_cast<float>(100 + s));
+  }
+  // And the artifact is reproducible build-to-build.
+  Graph h = Graph::FromEdges("t", 6, edges, &weights);
+  EXPECT_EQ(gs::testing::EdgeSet(h.adj()), set);
+}
+
 TEST(RMat, DeterministicForSeed) {
   RMatParams p;
   p.num_nodes = 128;

@@ -144,6 +144,103 @@ TEST(Coalescer, WalkPlansServeUncoalesced) {
 
 // --------------------------------------------------------- plan cache
 
+// Regression for dynamic graph keying (gs::dyn): the snapshot epoch/digest
+// is part of the canonical form (so mutation epochs never collide in the
+// cache and coalescing never crosses epochs), the compile key strips it (so
+// the plan table is epoch-independent), static keys are byte-for-byte
+// unchanged, and Parse round-trips every variant — including composed
+// shard + graph suffixes.
+TEST(PlanKeyTest, GraphVersionCanonicalFormAndParseRoundTrip) {
+  PlanKey key{"GraphSAGE", "PD", "v100", "cfg123", {10, 5}};
+  const std::string static_canonical = key.Canonical();
+  EXPECT_EQ(key.CompileKey(), static_canonical);
+  EXPECT_EQ(static_canonical.find("|g"), std::string::npos);
+
+  PlanKey dyn = key;
+  dyn.dynamic = true;
+  dyn.graph_epoch = 7;
+  dyn.graph_digest = 0xDEADBEEFCAFEULL;
+  EXPECT_NE(dyn.Canonical(), static_canonical);
+  EXPECT_EQ(dyn.CompileKey(), static_canonical);
+
+  PlanKey next_epoch = dyn;
+  next_epoch.graph_epoch = 8;
+  next_epoch.graph_digest = 0x1234;
+  EXPECT_NE(next_epoch.Canonical(), dyn.Canonical());
+  EXPECT_EQ(next_epoch.CompileKey(), dyn.CompileKey());
+
+  const PlanKey parsed = PlanKey::Parse(dyn.Canonical());
+  EXPECT_TRUE(parsed.dynamic);
+  EXPECT_EQ(parsed.graph_epoch, 7u);
+  EXPECT_EQ(parsed.graph_digest, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(parsed.Canonical(), dyn.Canonical());
+
+  const PlanKey parsed_static = PlanKey::Parse(static_canonical);
+  EXPECT_FALSE(parsed_static.dynamic);
+  EXPECT_EQ(parsed_static.Canonical(), static_canonical);
+
+  PlanKey sharded = dyn;
+  sharded.shard = 3;
+  const PlanKey parsed_sharded = PlanKey::Parse(sharded.Canonical());
+  EXPECT_EQ(parsed_sharded.shard, 3);
+  EXPECT_TRUE(parsed_sharded.dynamic);
+  EXPECT_EQ(parsed_sharded.graph_digest, 0xDEADBEEFCAFEULL);
+  EXPECT_EQ(parsed_sharded.Canonical(), sharded.Canonical());
+}
+
+// Two epochs of the same endpoint are distinct cache entries; the same
+// epoch is a hit.
+TEST(PlanCache, GraphEpochsAreDistinctCacheKeys) {
+  graph::Graph g = ServingGraph();
+  PlanCache cache(int64_t{64} * 1024 * 1024, nullptr);
+  PlanKey e7{"GraphSAGE", "rmat", "dev", "cfg", {4, 4}};
+  e7.dynamic = true;
+  e7.graph_epoch = 7;
+  e7.graph_digest = 0xABC;
+  PlanKey e8 = e7;
+  e8.graph_epoch = 8;
+  e8.graph_digest = 0xDEF;
+
+  cache.GetOrBuild(e7, [&] { return BuildSagePlan(g, {4, 4}); });
+  bool hit = true;
+  cache.GetOrBuild(e8, [&] { return BuildSagePlan(g, {4, 4}); }, &hit);
+  EXPECT_FALSE(hit) << "a new epoch must not hit the old epoch's session";
+  cache.GetOrBuild(e7, [&]() -> std::shared_ptr<core::SamplerSession> {
+    ADD_FAILURE() << "same epoch must hit";
+    return nullptr;
+  }, &hit);
+  EXPECT_TRUE(hit);
+  const PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2);
+  EXPECT_EQ(s.misses, 2);
+  EXPECT_EQ(s.hits, 1);
+}
+
+// Insert (the replanner's publish hook) replaces an existing entry without
+// counting a hit or a miss, and retires the replaced entry's accounting.
+TEST(PlanCache, InsertPublishesAndReplacesWithoutHitOrMiss) {
+  graph::Graph g = ServingGraph();
+  PlanCache cache(int64_t{64} * 1024 * 1024, nullptr);
+  PlanKey key{"GraphSAGE", "rmat", "dev", "cfg", {4, 4}};
+  key.dynamic = true;
+  key.graph_epoch = 3;
+  key.graph_digest = 0x33;
+
+  cache.Insert(key, BuildSagePlan(g, {4, 4}));
+  cache.Insert(key, BuildSagePlan(g, {4, 4}));  // replace, not accumulate
+  PlanCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1);
+  EXPECT_EQ(s.hits, 0);
+  EXPECT_EQ(s.misses, 0);
+
+  bool hit = false;
+  cache.GetOrBuild(key, [&]() -> std::shared_ptr<core::SamplerSession> {
+    ADD_FAILURE() << "published session must be resident";
+    return nullptr;
+  }, &hit);
+  EXPECT_TRUE(hit);
+}
+
 TEST(PlanCache, HitIsMuchCheaperThanCompile) {
   graph::Graph g = ServingGraph();
   PlanCache cache(int64_t{64} * 1024 * 1024, nullptr);

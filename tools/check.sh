@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha]
+# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha | dynamic]
 #
 #   (default)  configure + build + full ctest in ./build, then the plans
 #              tier, then the oracle tier, then the shard tier, then the
-#              feature tier, then the ha tier, then a -DGS_SANITIZE=thread
+#              feature tier, then the ha tier, then the dynamic tier, then
+#              a -DGS_SANITIZE=thread
 #              build in ./build-tsan running the threaded suites (pipeline,
 #              serving, device accounting, fault ladder) with pass-boundary
 #              verification (GS_VERIFY_PASSES=1), then the chaos tier.
@@ -43,6 +44,16 @@
 #              fixed-seed shard-kill fuzz (fuzz_passes --shards 2
 #              --kill-shard) requiring bit-identical samples with one shard
 #              permanently dead and 2 replicas.
+#   dynamic    dynamic-graph tier only (gs::dyn + graph::GraphStore): runs
+#              `ctest -L dynamic` (versioned-snapshot semantics, COW/seal
+#              accounting, plan judgment + background replanning, the
+#              all-algorithm snapshot-equivalence oracle over single-device,
+#              4-shard, and 2-replica configs, and the live-server mutation
+#              soak with zero failed requests), then the mutation soak under
+#              TSan (ingest thread racing serving workers and the
+#              replanner), then a fixed-seed mutation fuzz
+#              (fuzz_passes --mutate) requiring every maintained epoch to
+#              sample bit-identically to a from-scratch reload.
 #   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
 #              runs the gs::fault suites (test_fault + the chaos soak) under
 #              TSan — the deterministic-injection racing workout.
@@ -59,6 +70,7 @@ ORACLE=0
 SHARD=0
 FEATURE=0
 HA=0
+DYNAMIC=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -68,7 +80,8 @@ for arg in "$@"; do
     shard|--shard) SHARD=1 ;;
     feature|--feature) FEATURE=1 ;;
     ha|--ha) HA=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha])" >&2; exit 2 ;;
+    dynamic|--dynamic) DYNAMIC=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha | dynamic])" >&2; exit 2 ;;
   esac
 done
 
@@ -184,6 +197,35 @@ run_ha_tier() {
   ./build/tools/fuzz_passes --seeds 60 --shards 2 --kill-shard
 }
 
+# Dynamic-graph tier: the dynamic ctest label (GraphStore semantics, plan
+# judgment/replanning, the snapshot-equivalence oracle, the serving soak),
+# the mutation soak under TSan (the ingest thread applying epochs while
+# serving workers sample and the replanner publishes), and a fixed-seed
+# mutation fuzz differencing every maintained epoch against a from-scratch
+# FromEdges reload of the same effective edge set.
+run_dynamic_tier() {
+  echo "== dynamic: build test_dyn + fuzz_passes =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_dyn fuzz_passes
+
+  echo "== dynamic: ctest -L dynamic =="
+  (cd build && ctest -L dynamic --output-on-failure -j "$JOBS")
+
+  echo "== dynamic: mutation soak under TSan =="
+  cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_dyn
+  ./build-tsan/tests/test_dyn
+
+  echo "== dynamic: mutation fuzz (100 draws) =="
+  ./build/tools/fuzz_passes --seeds 100 --mutate
+}
+
+if [[ "$DYNAMIC" == 1 ]]; then
+  run_dynamic_tier
+  echo "check.sh: dynamic tier green"
+  exit 0
+fi
+
 if [[ "$HA" == 1 ]]; then
   run_ha_tier
   echo "check.sh: ha tier green"
@@ -242,6 +284,8 @@ run_shard_tier
 run_feature_tier
 
 run_ha_tier
+
+run_dynamic_tier
 
 echo "== TSan: configure + build (GS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null

@@ -31,11 +31,21 @@
 // sequence under a randomly drawn admission policy must report identical
 // hit/miss counts and identical gathered rows.
 //
+// With --mutate every draw additionally runs the gs::dyn differential: the
+// base graph is wrapped in a GraphStore, a seeded MutationGen stream applies
+// a drawn number of MutationBatches (with a mid-stream Seal), and the
+// resulting snapshot must satisfy gs::oracle::VerifySnapshotEquivalence —
+// digest-identical and bit-identical sampling against a from-scratch
+// FromEdges load of the same effective edge set. This is the versioned-graph
+// tier's core guarantee that incremental maintenance changes how the CSC is
+// stored, never what is sampled.
+//
 // Usage:
 //   fuzz_passes --seeds 200                 # fuzz 200 seeded draws
 //   fuzz_passes --seeds 50 --base-seed 7    # different deterministic stream
 //   fuzz_passes --seeds 100 --shards 2      # + 2-shard-vs-single differential
 //   fuzz_passes --seeds 100 --features      # + feature-gather differential
+//   fuzz_passes --seeds 100 --mutate        # + snapshot-equivalence differential
 //   fuzz_passes --out failures.txt          # append reproducer lines
 //   fuzz_passes --repro 'algo=LADIES nodes=200 ...'   # replay one line
 //
@@ -58,12 +68,14 @@
 #include "core/executor.h"
 #include "core/plan.h"
 #include "device/device.h"
+#include "dyn/mutation_gen.h"
 #include "fault/fault.h"
 #include "feature/hot_set_cache.h"
 #include "feature/store.h"
 #include "graph/generator.h"
 #include "graph/graph.h"
 #include "graph/partition.h"
+#include "graph/store.h"
 #include "oracle/oracle.h"
 #include "shard/shard.h"
 #include "tensor/tensor.h"
@@ -96,6 +108,9 @@ struct FuzzConfig {
   std::string admission = "frequency-ema";  // cache policy when features
   int replicas = 1;           // replication factor when shards > 1
   int kill = -1;              // shard killed permanently (-1 = none)
+  bool mutate = false;        // adds the snapshot-equivalence differential
+  int mutations = 0;          // MutationBatches applied when mutate
+  uint64_t mseed = 1;         // mutation-stream seed
 
   std::string ToLine() const {
     std::ostringstream os;
@@ -107,7 +122,8 @@ struct FuzzConfig {
        << " seed=" << seed << " profile=" << profile
        << " pass_limit=" << pass_limit << " shards=" << shards
        << " cut=" << cut << " features=" << features << " admission=" << admission
-       << " replicas=" << replicas << " kill=" << kill;
+       << " replicas=" << replicas << " kill=" << kill
+       << " mutate=" << mutate << " mutations=" << mutations << " mseed=" << mseed;
     return os.str();
   }
 
@@ -144,6 +160,9 @@ struct FuzzConfig {
       if (kv.count("admission")) out.admission = kv["admission"];
       if (kv.count("replicas")) out.replicas = std::stoi(kv["replicas"]);
       if (kv.count("kill")) out.kill = std::stoi(kv["kill"]);
+      if (kv.count("mutate")) out.mutate = std::stoi(kv["mutate"]) != 0;
+      if (kv.count("mutations")) out.mutations = std::stoi(kv["mutations"]);
+      if (kv.count("mseed")) out.mseed = std::stoull(kv["mseed"]);
     } catch (const std::exception&) {
       return false;
     }
@@ -347,9 +366,65 @@ std::string FeatureMismatch(const FuzzConfig& c, bool* ran = nullptr) {
   return "";
 }
 
+// Snapshot-equivalence differential (--mutate): apply a seeded mutation
+// stream to a GraphStore over the drawn base graph (Seal mid-stream so
+// compaction is exercised too), then require the oracle's
+// VerifySnapshotEquivalence to hold — the incremental snapshot must be
+// digest-identical and sample bit-identically to a from-scratch FromEdges
+// load of the same effective edge set. Returns an empty string when the
+// contract holds.
+std::string MutateMismatch(const FuzzConfig& c, bool* ran = nullptr) {
+  if (ran) *ran = false;
+  if (!c.mutate || c.mutations <= 0) {
+    return "";
+  }
+  try {
+    gs::device::Device device(c.profile == "t4" ? gs::device::T4Sim()
+                                                : gs::device::V100Sim());
+    gs::device::DeviceGuard guard(device);
+    gs::graph::Graph g = MakeGraph(c);
+    const int64_t feature_dim = g.features().defined() ? g.features().cols() : 0;
+    gs::graph::GraphStoreOptions store_opts;
+    store_opts.segment_cols = 64;  // small segments so COW sharing is exercised
+    gs::graph::GraphStore store(std::move(g), store_opts);
+    if (ran) *ran = true;
+
+    gs::dyn::MutationGenOptions gen_opts;
+    gen_opts.seed = c.mseed;
+    gen_opts.num_nodes = c.nodes;
+    gen_opts.adds_per_batch = 16;
+    gen_opts.removes_per_batch = 4;
+    gen_opts.feature_updates_per_batch = feature_dim > 0 ? 4 : 0;
+    gen_opts.feature_dim = feature_dim;
+    gen_opts.weighted = c.weighted;
+    gen_opts.skew = 0.8;
+    gs::dyn::MutationGen gen(gen_opts);
+    for (int m = 0; m < c.mutations; ++m) {
+      store.Apply(gen.Next());
+      if (m == c.mutations / 2) {
+        store.Seal();  // mid-stream compaction must not change the epoch
+      }
+    }
+
+    gs::oracle::OracleOptions opts;
+    opts.seed = c.seed ^ 0xD1D1D1D1ULL;
+    opts.num_batches = c.num_batches;
+    opts.batch_size = c.batch_size;
+    const gs::oracle::OracleReport report =
+        gs::oracle::VerifySnapshotEquivalence(c.algo, store, ToSamplerOptions(c), opts);
+    if (!report.ok()) {
+      return report.ToString();
+    }
+  } catch (const std::exception& e) {
+    return std::string("mutate THROW ") + e.what();
+  }
+  return "";
+}
+
 bool Fails(const FuzzConfig& c) {
   try {
-    return !RunConfig(c).ok() || !ShardMismatch(c).empty() || !FeatureMismatch(c).empty();
+    return !RunConfig(c).ok() || !ShardMismatch(c).empty() || !FeatureMismatch(c).empty() ||
+           !MutateMismatch(c).empty();
   } catch (const std::exception&) {
     return true;  // a throwing config is a failing config — keep minimizing
   }
@@ -366,6 +441,13 @@ void MinimizeFlags(FuzzConfig& c) {
     if (c.super_batch != 1) {
       trials.push_back(c);
       trials.back().super_batch = 1;
+    }
+    if (c.mutate) {
+      // Drop the mutate dimension first: a failure that survives on the
+      // static base graph is not a versioned-snapshot bug.
+      trials.push_back(c);
+      trials.back().mutate = false;
+      trials.back().mutations = 0;
     }
     if (c.kill >= 0) {
       // Drop the kill dimension before anything else: a failure that
@@ -462,6 +544,10 @@ void MinimizeShape(FuzzConfig& c) {
       trials.push_back(c);
       trials.back().batch_size = c.batch_size / 2;
     }
+    if (c.mutations > 1) {
+      trials.push_back(c);
+      trials.back().mutations = c.mutations / 2;
+    }
     for (const FuzzConfig& t : trials) {
       if (Fails(t)) {
         c = t;
@@ -473,7 +559,7 @@ void MinimizeShape(FuzzConfig& c) {
 }
 
 FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards, bool features,
-                bool kill_shard) {
+                bool kill_shard, bool mutate) {
   Rng rng = Rng(base_seed).Fork(index);
   const std::vector<std::string> algos = gs::algorithms::AllAlgorithmNames();
   FuzzConfig c;
@@ -509,12 +595,19 @@ FuzzConfig Draw(uint64_t base_seed, uint64_t index, int shards, bool features,
     c.kill = static_cast<int>(rng.UniformInt(shards));
     c.replicas = 2;
   }
+  // The mutate dimension is drawn after kill (and only under --mutate), so
+  // every pre-existing stream stays byte-identical without the flag.
+  if (mutate) {
+    c.mutate = true;
+    c.mutations = 1 + static_cast<int>(rng.UniformInt(4));  // 1..4 batches
+    c.mseed = rng.UniformInt(1 << 20);
+  }
   return c;
 }
 
 int Usage() {
   std::cerr << "usage: fuzz_passes [--seeds N] [--base-seed S] [--out FILE]\n"
-               "                   [--shards N] [--kill-shard] [--features]\n"
+               "                   [--shards N] [--kill-shard] [--features] [--mutate]\n"
                "                   [--repro 'key=value ...']\n";
   return 2;
 }
@@ -527,6 +620,7 @@ int main(int argc, char** argv) {
   int shards = 1;
   bool kill_shard = false;
   bool features = false;
+  bool mutate = false;
   std::string out_path;
   std::string repro_line;
   for (int i = 1; i < argc; ++i) {
@@ -549,6 +643,8 @@ int main(int argc, char** argv) {
       kill_shard = true;
     } else if (arg == "--features") {
       features = true;
+    } else if (arg == "--mutate") {
+      mutate = true;
     } else if (arg == "--out") {
       const char* v = next();
       if (!v) return Usage();
@@ -589,7 +685,18 @@ int main(int argc, char** argv) {
         std::cout << "feature differential: " << c.admission
                   << " bit-identical and deterministic\n";
       }
-      return report.ok() && mismatch.empty() && feature_mismatch.empty() ? 0 : 1;
+      bool mutate_ran = false;
+      const std::string mutate_mismatch = MutateMismatch(c, &mutate_ran);
+      if (!mutate_mismatch.empty()) {
+        std::cout << "mutate differential: " << mutate_mismatch << "\n";
+      } else if (mutate_ran) {
+        std::cout << "mutate differential: " << c.mutations
+                  << " batches snapshot-equivalent\n";
+      }
+      return report.ok() && mismatch.empty() && feature_mismatch.empty() &&
+                     mutate_mismatch.empty()
+                 ? 0
+                 : 1;
     } catch (const std::exception& e) {
       std::cout << c.algo << ": THROW " << e.what() << "\n";
       return 1;
@@ -598,18 +705,22 @@ int main(int argc, char** argv) {
 
   int64_t failures = 0;
   for (int64_t i = 0; i < num_seeds; ++i) {
-    FuzzConfig c = Draw(base_seed, static_cast<uint64_t>(i), shards, features, kill_shard);
+    FuzzConfig c =
+        Draw(base_seed, static_cast<uint64_t>(i), shards, features, kill_shard, mutate);
     std::string detail;
     try {
       const gs::oracle::OracleReport report = RunConfig(c);
       if (report.ok()) {
         const std::string mismatch = ShardMismatch(c);
         const std::string feature_mismatch = mismatch.empty() ? FeatureMismatch(c) : "";
-        if (mismatch.empty() && feature_mismatch.empty()) {
+        const std::string mutate_mismatch =
+            mismatch.empty() && feature_mismatch.empty() ? MutateMismatch(c) : "";
+        if (mismatch.empty() && feature_mismatch.empty() && mutate_mismatch.empty()) {
           continue;
         }
-        detail = mismatch.empty() ? "feature differential: " + feature_mismatch
-                                  : "shard differential: " + mismatch;
+        detail = !mismatch.empty()           ? "shard differential: " + mismatch
+                 : !feature_mismatch.empty() ? "feature differential: " + feature_mismatch
+                                             : "mutate differential: " + mutate_mismatch;
       } else {
         detail = report.ToString();
       }

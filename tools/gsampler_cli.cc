@@ -52,13 +52,21 @@
 //                      probe/injection counts are printed to stderr on exit.
 //   --fault-seed S     seed for the fault plan's deterministic draws
 //                      (default 0; same plan + seed => same fault sequence)
+//   --mutate-stream N  serve mode: register the dataset as a versioned
+//                      GraphStore endpoint (gs::dyn) and apply N seeded
+//                      MutationBatches from an ingest thread while the load
+//                      generator runs — plan reuse / stale-serving /
+//                      recompile counters land in the report and JSON
+//   --mutate-seed S    seed for the mutation stream (default 0x5EED)
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -66,8 +74,10 @@
 #include "common/error.h"
 #include "core/engine.h"
 #include "core/plan.h"
+#include "dyn/mutation_gen.h"
 #include "graph/datasets.h"
 #include "graph/io.h"
+#include "graph/store.h"
 #include "fault/fault.h"
 #include "pipeline/executor.h"
 #include "serving/loadgen.h"
@@ -102,6 +112,8 @@ struct Args {
   int workers = 2;
   std::string fault_plan;
   uint64_t fault_seed = 0;
+  int64_t mutate_stream = 0;
+  uint64_t mutate_seed = 0x5EED;
 };
 
 Args Parse(int argc, char** argv) {
@@ -168,6 +180,11 @@ Args Parse(int argc, char** argv) {
       args.fault_plan = value(i);
     } else if (flag == "--fault-seed") {
       args.fault_seed = static_cast<uint64_t>(std::atoll(value(i)));
+    } else if (flag == "--mutate-stream") {
+      args.mutate_stream = std::atoll(value(i));
+      GS_CHECK(args.mutate_stream > 0) << "--mutate-stream must be > 0";
+    } else if (flag == "--mutate-seed") {
+      args.mutate_seed = static_cast<uint64_t>(std::atoll(value(i)));
     } else {
       GS_CHECK(false) << "unknown flag: " << flag << " (see the header of tools/gsampler_cli.cc)";
     }
@@ -183,8 +200,44 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
   options.num_workers = args.workers;
   options.serve_features = args.serve_features;
   serving::Server server(options);
-  server.RegisterEndpoint(serving::MakeEndpoint(args.algorithm, args.dataset, g));
+  // --mutate-stream: the dataset becomes a versioned GraphStore endpoint;
+  // requests pin their admission-time snapshot while an ingest thread
+  // applies mutation epochs under the serving load.
+  std::unique_ptr<gs::graph::GraphStore> store;
+  if (args.mutate_stream > 0) {
+    store = std::make_unique<gs::graph::GraphStore>(g);
+    server.RegisterEndpoint(serving::MakeDynamicEndpoint(args.algorithm, args.dataset, *store));
+  } else {
+    server.RegisterEndpoint(serving::MakeEndpoint(args.algorithm, args.dataset, g));
+  }
   server.Start();
+
+  std::thread ingest;
+  if (store != nullptr) {
+    ingest = std::thread([&] {
+      gs::dyn::MutationGenOptions gen_opts;
+      gen_opts.seed = args.mutate_seed;
+      gen_opts.num_nodes = g.num_nodes();
+      gen_opts.adds_per_batch = 64;
+      gen_opts.removes_per_batch = 16;
+      if (g.features().defined()) {
+        gen_opts.feature_updates_per_batch = 8;
+        gen_opts.feature_dim = g.features().cols();
+      }
+      gen_opts.weighted = store->weighted();
+      gen_opts.skew = 0.8;
+      gs::dyn::MutationGen gen(gen_opts);
+      // Pace the batches across the expected run so mutation epochs
+      // interleave with serving instead of front-loading before admission.
+      const auto gap = std::chrono::microseconds(static_cast<int64_t>(
+          1e6 * static_cast<double>(args.requests) / args.rps /
+          static_cast<double>(args.mutate_stream + 1)));
+      for (int64_t b = 0; b < args.mutate_stream; ++b) {
+        std::this_thread::sleep_for(gap);
+        store->Apply(gen.Next());
+      }
+    });
+  }
 
   serving::LoadGenOptions load;
   load.algorithm = args.algorithm;
@@ -193,9 +246,26 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
   load.offered_rps = args.rps;
   load.batch_size = args.batch;
   const serving::LoadGenReport report = RunOpenLoop(server, g, load);
+  if (ingest.joinable()) {
+    ingest.join();
+  }
+  server.DrainRecompiles();
   server.Stop();
   const serving::ServerStats stats = server.stats();
 
+  char dyn_tail[320] = "";
+  if (args.mutate_stream > 0) {
+    std::snprintf(dyn_tail, sizeof(dyn_tail),
+                  ",\"graph_epochs\":%lld,\"plan_reuses\":%lld,"
+                  "\"stale_plans_served\":%lld,\"recompiles_inline\":%lld,"
+                  "\"recompiles_background\":%lld,\"feature_invalidations\":%lld",
+                  static_cast<long long>(stats.graph_epochs),
+                  static_cast<long long>(stats.plan_reuses),
+                  static_cast<long long>(stats.stale_plans_served),
+                  static_cast<long long>(stats.recompiles_inline),
+                  static_cast<long long>(stats.recompiles_background),
+                  static_cast<long long>(stats.feature_invalidations));
+  }
   if (args.json) {
     std::printf(
         "{\"mode\":\"serve\",\"algorithm\":\"%s\",\"dataset\":\"%s\","
@@ -206,7 +276,7 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
         "\"plan_cache_hits\":%lld,\"plan_cache_misses\":%lld,"
         "\"feature_requests\":%lld,\"feature_rows\":%lld,"
         "\"feature_hit_rate\":%.4f,\"feature_gather_bytes\":%lld,"
-        "\"feature_miss_bytes\":%lld,\"feature_gather_us\":%lld}\n",
+        "\"feature_miss_bytes\":%lld,\"feature_gather_us\":%lld%s}\n",
         args.algorithm.c_str(), args.dataset.c_str(),
         static_cast<long long>(report.submitted), static_cast<long long>(report.ok),
         static_cast<long long>(report.rejected),
@@ -222,7 +292,7 @@ int RunServe(const Args& args, gs::graph::Graph& g) {
         static_cast<long long>(stats.feature_rows), stats.FeatureHitRate(),
         static_cast<long long>(stats.feature_gather_bytes),
         static_cast<long long>(stats.feature_miss_bytes),
-        static_cast<long long>(stats.feature_gather_ns / 1000));
+        static_cast<long long>(stats.feature_gather_ns / 1000), dyn_tail);
   } else {
     std::printf("%s\n%s\n", report.ToString().c_str(), stats.ToString().c_str());
   }
@@ -361,6 +431,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, " (injected/probes)\n");
     };
 
+    GS_CHECK(args.mutate_stream == 0 || args.serve)
+        << "--mutate-stream requires --serve (mutations target a serving endpoint)";
     if (args.serve) {
       const int code = RunServe(args, g);
       report_faults();
