@@ -1,7 +1,10 @@
 #include "core/pass_manager.h"
 
 #include <cstdlib>
+#include <map>
+#include <mutex>
 #include <sstream>
+#include <string>
 #include <utility>
 
 #include "common/error.h"
@@ -21,16 +24,23 @@ std::string PassStats::ToString() const {
   return out.str();
 }
 
+bool EnvFlagEnabled(const char* name) {
+  static std::mutex mutex;
+  static std::map<std::string, bool> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto [it, inserted] = cache.emplace(name, false);
+  if (inserted) {
+    it->second = std::getenv(name) != nullptr;
+  }
+  return it->second;
+}
+
 bool PassVerificationEnabled(bool flag) {
 #if !defined(NDEBUG)
   (void)flag;
   return true;
 #else
-  if (flag) {
-    return true;
-  }
-  static const bool env = std::getenv("GS_VERIFY_PASSES") != nullptr;
-  return env;
+  return flag || EnvFlagEnabled("GS_VERIFY_PASSES");
 #endif
 }
 

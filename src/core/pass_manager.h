@@ -47,6 +47,12 @@ struct PassManagerOptions {
   int pass_limit = -1;
 };
 
+// True when the named environment toggle is present. Lookups are cached per
+// name, so the hooks that consult this on hot paths (pass-boundary
+// verification, the JIT's per-region self-check in src/jit) cost one map
+// probe after the first call.
+bool EnvFlagEnabled(const char* name);
+
 // True when pass-boundary verification should run: always in debug builds;
 // in release builds when `flag` is set or GS_VERIFY_PASSES is set in the
 // environment.

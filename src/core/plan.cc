@@ -365,6 +365,12 @@ uint64_t CompiledPlan::Digest() const {
   return Fnv1a(SemanticBody(program_, options_, label_, calibrated_, tuned_super_batch_));
 }
 
+std::string CompiledPlan::DigestHex() const {
+  char digest[24];
+  std::snprintf(digest, sizeof(digest), "%016llx", static_cast<unsigned long long>(Digest()));
+  return digest;
+}
+
 std::string CompiledPlan::Serialize() const {
   const std::string body =
       SemanticBody(program_, options_, label_, calibrated_, tuned_super_batch_);

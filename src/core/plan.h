@@ -199,6 +199,10 @@ class CompiledPlan {
   // calibration/tuning state, program, outputs) — stable across processes
   // for equal plans; excludes the informational report/pass-timing lines.
   uint64_t Digest() const;
+  // Digest() as the canonical 16-hex-digit artifact key — the filename stem
+  // the serving plan cache persists under, and the prefix the JIT kernel
+  // cache (src/jit) keys compiled regions by.
+  std::string DigestHex() const;
 
   std::string DebugString() const;
 

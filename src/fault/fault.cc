@@ -150,6 +150,8 @@ const char* SiteName(Site site) {
       return "exchange.timeout";
     case Site::kShardSlow:
       return "shard.slow";
+    case Site::kJitCompile:
+      return "jit.compile";
   }
   return "unknown";
 }
@@ -220,7 +222,7 @@ FaultPlan FaultPlan::Parse(const std::string& spec, uint64_t seed) {
     GS_CHECK(ParseSite(fields[site_field], &site))
         << "fault plan: unknown site '" << fields[site_field]
         << "' (expected alloc.oom, kernel.transient, kernel.stuck, transfer.error, "
-           "shard.lost, exchange.timeout, or shard.slow)";
+           "shard.lost, exchange.timeout, shard.slow, or jit.compile)";
     SiteSchedule& schedule = shard >= 0 ? plan.shard_site(site, shard) : plan.site(site);
     GS_CHECK(fields.size() > site_field + 1)
         << "fault plan: site '" << fields[site_field]

@@ -20,6 +20,10 @@
 //   shard.slow        a shard's exchange runs `magnitude`× slow without
 //                     failing — the gray-failure signal that drives the
 //                     health monitor's suspect state
+//   jit.compile       a JIT region compilation fails as if the toolchain
+//                     were unavailable; the region demotes to the
+//                     interpreter (gs::jit's fallback ladder) and requests
+//                     must keep succeeding
 //
 // Shard targeting: a clause may carry a `shardN:` qualifier
 // (`shard3:kernel.transient:p=0.5`) restricting it to probes made while
@@ -64,8 +68,9 @@ enum class Site : int {
   kShardLost,
   kExchangeTimeout,
   kShardSlow,
+  kJitCompile,
 };
-inline constexpr int kNumSites = 7;
+inline constexpr int kNumSites = 8;
 
 // Upper bound on shard ids a ShardScope may install; bounds the injector's
 // per-shard counter arrays.

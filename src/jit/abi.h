@@ -1,0 +1,69 @@
+// C ABI shared between the JIT host wrappers (jit.cc) and the code the
+// CodeEmitter prints into each generated translation unit.
+//
+// The generated source is self-contained — it must compile with no repo
+// headers on the include path — so it re-declares these structs textually
+// (see emitter.cc). Both sides therefore have to agree on layout by
+// construction: every struct below is standard-layout with only 8-byte
+// members (pointers, int64, function pointer), so there is no padding to
+// disagree about. Keep the member order here in sync with the emitter; the
+// static_asserts pin the contract.
+
+#ifndef GSAMPLER_JIT_ABI_H_
+#define GSAMPLER_JIT_ABI_H_
+
+#include <cstdint>
+#include <type_traits>
+
+namespace gs::jit::abi {
+
+// One resolved edge-map stage operand. Which fields are live depends on the
+// stage kind baked into the generated code; dead fields are null/0.
+struct Stage {
+  const float* a = nullptr;          // primary operand (u for dot stages)
+  const float* b = nullptr;          // v for dot stages
+  const std::int32_t* row_ids = nullptr;  // local->global row map (null = identity)
+  std::int64_t operand_rows = 0;     // 0 => operand indexed by local row
+  std::int64_t h = 0;                // dot width / dense row stride
+};
+
+// kFusedEdgeMap / kFusedEdgeMapReduce. For the map variant `out` has nnz
+// slots; for the reduce variant it is the pre-zeroed reduction vector (the
+// axis is baked into the generated code).
+struct EdgeMapArgs {
+  const std::int64_t* indptr = nullptr;   // CSC, num_cols + 1
+  const std::int32_t* indices = nullptr;  // CSC rows, nnz
+  const float* values = nullptr;          // null => unweighted (base = 1.0f)
+  std::int64_t num_cols = 0;
+  const Stage* stages = nullptr;          // one per baked stage
+  float* out = nullptr;
+};
+
+// kFusedSliceSample. `cols` is already localized to the matrix's column
+// space; output arrays have capacity k * num_cols. `uniform_int` routes
+// every draw through the interpreter's Rng so the emitted Floyd sampler
+// consumes the stream in exactly the interpreter's order.
+struct SliceSampleArgs {
+  const std::int64_t* indptr = nullptr;
+  const std::int32_t* indices = nullptr;
+  const float* values = nullptr;      // null => unweighted
+  const std::int32_t* cols = nullptr;
+  std::int64_t num_cols = 0;
+  std::int64_t* out_indptr = nullptr;  // num_cols + 1
+  std::int32_t* out_indices = nullptr;
+  float* out_values = nullptr;         // null => unweighted
+  void* rng = nullptr;
+  std::uint64_t (*uniform_int)(void* rng, std::uint64_t bound) = nullptr;
+};
+
+using KeyFn = const char* (*)();
+using EdgeMapFn = void (*)(const EdgeMapArgs*);
+using SliceSampleFn = std::int64_t (*)(const SliceSampleArgs*);
+
+static_assert(std::is_standard_layout_v<Stage> && sizeof(Stage) == 40);
+static_assert(std::is_standard_layout_v<EdgeMapArgs> && sizeof(EdgeMapArgs) == 48);
+static_assert(std::is_standard_layout_v<SliceSampleArgs> && sizeof(SliceSampleArgs) == 80);
+
+}  // namespace gs::jit::abi
+
+#endif  // GSAMPLER_JIT_ABI_H_

@@ -1,0 +1,50 @@
+// CodeEmitter: prints one self-contained C++ translation unit per region.
+//
+// The generated source compiles with no repo headers on the include path —
+// it textually re-declares the C ABI structs from jit/abi.h (layout agrees
+// by construction; see the note there) and bakes the region's
+// specialization inputs in as constants: the slice-sample fanout, the
+// reduce axis, and the whole edge-map stage pipeline (operator, operand
+// kind, scalar as an exact hexfloat literal, operand slots) are unrolled
+// into straight-line code instead of being interpreted per edge.
+//
+// Two entry points are exported with C linkage:
+//
+//   const char* gs_jit_key(void)   the cache key the artifact was built
+//                                  for; the KernelCache verifies it after
+//                                  dlopen so a stale or foreign .so can
+//                                  never serve a plan
+//   ...         gs_jit_run(...)    the kernel; signature depends on the
+//                                  region kind (abi::EdgeMapFn or
+//                                  abi::SliceSampleFn)
+//
+// Bit-identity with the interpreter is by construction: the emitted loops
+// mirror sparse/fused.cc and sparse/sample.cc statement for statement (same
+// iteration order, same float expression shapes, same std::pow overload),
+// and every random draw goes through the host Rng callback so the stream
+// advances exactly as the interpreter's would.
+
+#ifndef GSAMPLER_JIT_EMITTER_H_
+#define GSAMPLER_JIT_EMITTER_H_
+
+#include <string>
+
+#include "jit/region.h"
+
+namespace gs::jit {
+
+class CodeEmitter {
+ public:
+  // True when `region` is one this emitter can specialize (e.g. a fused
+  // sample needs a positive fanout). Non-emittable regions demote to the
+  // interpreter without counting as compile failures.
+  static bool CanEmit(const Region& region);
+
+  // The full translation unit for `region`; `key` is embedded verbatim as
+  // gs_jit_key()'s return value. Requires CanEmit(region).
+  static std::string Emit(const Region& region, const std::string& key);
+};
+
+}  // namespace gs::jit
+
+#endif  // GSAMPLER_JIT_EMITTER_H_

@@ -1,0 +1,183 @@
+#include "jit/kernel_cache.h"
+
+#include <dlfcn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "fault/fault.h"
+#include "jit/abi.h"
+
+namespace gs::jit {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string DefaultArtifactDir() {
+  std::error_code ec;
+  fs::path base = fs::temp_directory_path(ec);
+  if (ec) {
+    base = "/tmp";
+  }
+  return (base / "gsampler-jit").string();
+}
+
+std::string DefaultCompiler() {
+  const char* env = std::getenv("GS_JIT_CXX");
+  return env != nullptr && *env != '\0' ? env : "c++";
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  return out.good();
+}
+
+std::string ReadFileHead(const std::string& path, size_t limit = 512) {
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  if (content.size() > limit) {
+    content.resize(limit);
+    content += "...";
+  }
+  return content;
+}
+
+}  // namespace
+
+KernelCache::KernelCache(KernelCacheOptions options)
+    : artifact_dir_(options.artifact_dir.empty() ? DefaultArtifactDir()
+                                                 : std::move(options.artifact_dir)),
+      compiler_(options.compiler.empty() ? DefaultCompiler() : std::move(options.compiler)) {
+  std::error_code ec;
+  fs::create_directories(artifact_dir_, ec);  // best-effort; compile reports failures
+}
+
+void* KernelCache::LoadVerified(const std::string& so_path, const std::string& key,
+                                std::string* error) {
+  void* handle = ::dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle == nullptr) {
+    const char* why = ::dlerror();
+    *error = "dlopen failed: " + std::string(why != nullptr ? why : "unknown");
+    return nullptr;
+  }
+  auto key_fn = reinterpret_cast<abi::KeyFn>(::dlsym(handle, "gs_jit_key"));
+  void* run_fn = ::dlsym(handle, "gs_jit_run");
+  if (key_fn == nullptr || run_fn == nullptr) {
+    *error = "artifact exports no gs_jit_key/gs_jit_run";
+    ::dlclose(handle);
+    return nullptr;
+  }
+  const char* artifact_key = key_fn();
+  if (artifact_key == nullptr || key != artifact_key) {
+    *error = "artifact key mismatch: expected " + key + ", got " +
+             (artifact_key != nullptr ? artifact_key : "(null)");
+    ::dlclose(handle);
+    return nullptr;
+  }
+  // Verified handles stay open for the process lifetime (see header).
+  return run_fn;
+}
+
+bool KernelCache::Compile(const std::string& key, const std::string& source, std::string* error) {
+  const fs::path dir(artifact_dir_);
+  const std::string cc_path = (dir / (key + ".cc")).string();
+  const std::string so_path = (dir / (key + ".so")).string();
+  const std::string tmp_path = so_path + ".tmp" + std::to_string(::getpid());
+  const std::string log_path = so_path + ".log";
+
+  if (!WriteFile(cc_path, source)) {
+    *error = "cannot write source " + cc_path;
+    return false;
+  }
+  std::ostringstream cmd;
+  cmd << compiler_ << " -std=c++17 -O2 -shared -fPIC -o \"" << tmp_path << "\" \"" << cc_path
+      << "\" > \"" << log_path << "\" 2>&1";
+  const int status = std::system(cmd.str().c_str());
+  const bool ok = status != -1 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (!ok) {
+    *error = "compile failed (" + compiler_ + "): " + ReadFileHead(log_path);
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  // Built under a process-unique name, published with an atomic rename so a
+  // concurrent process can never dlopen a half-written object.
+  std::error_code ec;
+  fs::rename(tmp_path, so_path, ec);
+  if (ec) {
+    *error = "cannot publish artifact " + so_path + ": " + ec.message();
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  fs::remove(log_path, ec);
+  return true;
+}
+
+void* KernelCache::LoadOrCompile(const std::string& key, const std::string& source,
+                                 std::string* error, bool* from_artifact) {
+  if (from_artifact != nullptr) {
+    *from_artifact = false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    if (it->second == nullptr) {
+      *error = "previously failed (memoized)";
+    }
+    return it->second;
+  }
+
+  // The injectable failure: the whole load-or-compile resolution fails as
+  // if the toolchain were unavailable, and the region demotes.
+  if (fault::Injected(fault::Site::kJitCompile)) {
+    *error = "injected jit.compile fault";
+    entries_[key] = nullptr;
+    ++counters_.failures;
+    return nullptr;
+  }
+
+  const std::string so_path = (fs::path(artifact_dir_) / (key + ".so")).string();
+  std::error_code ec;
+  if (fs::exists(so_path, ec)) {
+    std::string load_error;
+    if (void* entry = LoadVerified(so_path, key, &load_error); entry != nullptr) {
+      entries_[key] = entry;
+      ++counters_.artifact_hits;
+      if (from_artifact != nullptr) {
+        *from_artifact = true;
+      }
+      return entry;
+    }
+    // Stale or corrupted artifact: drop it and rebuild from source.
+    GS_LOG(Warning) << "jit: discarding artifact " << so_path << ": " << load_error;
+    fs::remove(so_path, ec);
+  }
+
+  if (!Compile(key, source, error)) {
+    entries_[key] = nullptr;
+    ++counters_.failures;
+    return nullptr;
+  }
+  void* entry = LoadVerified(so_path, key, error);
+  entries_[key] = entry;
+  if (entry == nullptr) {
+    ++counters_.failures;
+  } else {
+    ++counters_.compiles;
+  }
+  return entry;
+}
+
+KernelCacheCounters KernelCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace gs::jit

@@ -1,0 +1,78 @@
+// KernelCache: compiles emitted region sources to shared objects and keeps
+// them loaded for the process lifetime.
+//
+// Artifacts are content-addressed: "<plan digest hex>-r<rank>.cc/.so" in the
+// cache's artifact directory. When that directory is the serving plan_dir,
+// a warm restart finds the .so next to the persisted plan and dlopens it
+// directly — zero recompiles (counted as artifact_hits). A loaded object is
+// trusted only after its exported gs_jit_key() matches the requested key;
+// a stale or corrupted artifact fails verification, is deleted, and is
+// rebuilt from source once before the region gives up and demotes.
+//
+// Every failure mode — injected fault (fault::Site::kJitCompile probes at
+// compile entry), missing toolchain, compiler error, dlopen/dlsym failure,
+// key mismatch — resolves to a null entry plus a diagnostic, never an
+// exception: the caller's contract is "null means interpret".
+//
+// Loaded handles are deliberately never dlclosed: jump tables holding the
+// entry pointers are shared across sessions with arbitrary lifetimes, and
+// the handful of small .so mappings per process is the standard price of a
+// JIT.
+
+#ifndef GSAMPLER_JIT_KERNEL_CACHE_H_
+#define GSAMPLER_JIT_KERNEL_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace gs::jit {
+
+struct KernelCacheOptions {
+  // Where .cc/.so artifacts live. Empty selects a per-user temp directory
+  // (artifacts still persist across processes, just not next to the plans).
+  std::string artifact_dir;
+  // Compiler driver; empty means $GS_JIT_CXX when set, else "c++".
+  std::string compiler;
+};
+
+struct KernelCacheCounters {
+  int64_t compiles = 0;       // sources built in this process
+  int64_t artifact_hits = 0;  // persisted .so reused without compiling
+  int64_t failures = 0;       // keys that resolved to "interpret"
+};
+
+class KernelCache {
+ public:
+  explicit KernelCache(KernelCacheOptions options = {});
+
+  KernelCache(const KernelCache&) = delete;
+  KernelCache& operator=(const KernelCache&) = delete;
+
+  // Resolves `key` to the artifact's gs_jit_run entry point, compiling
+  // `source` if no loadable artifact exists. Returns nullptr on any
+  // failure, with the reason in *error (results — including failures — are
+  // memoized per key). `from_artifact`, when non-null, reports whether the
+  // entry was reloaded from a persisted .so rather than compiled here.
+  // Thread-safe.
+  void* LoadOrCompile(const std::string& key, const std::string& source, std::string* error,
+                      bool* from_artifact = nullptr);
+
+  KernelCacheCounters counters() const;
+  const std::string& artifact_dir() const { return artifact_dir_; }
+
+ private:
+  void* LoadVerified(const std::string& so_path, const std::string& key, std::string* error);
+  bool Compile(const std::string& key, const std::string& source, std::string* error);
+
+  std::string artifact_dir_;
+  std::string compiler_;
+  mutable std::mutex mutex_;
+  std::map<std::string, void*> entries_;  // key -> entry (nullptr = known bad)
+  KernelCacheCounters counters_;
+};
+
+}  // namespace gs::jit
+
+#endif  // GSAMPLER_JIT_KERNEL_CACHE_H_

@@ -1,0 +1,83 @@
+#include "jit/region.h"
+
+#include <sstream>
+
+namespace gs::jit {
+
+namespace {
+
+bool IsFusedOp(core::OpKind kind) {
+  return kind == core::OpKind::kFusedSliceSample || kind == core::OpKind::kFusedEdgeMap ||
+         kind == core::OpKind::kFusedEdgeMapReduce;
+}
+
+// Structure-shaping operators worth reporting as a region's feeders: the
+// extracts a fused op was split from plus the layout pass's conversions.
+bool IsFeederOp(core::OpKind kind) {
+  switch (kind) {
+    case core::OpKind::kSliceCols:
+    case core::OpKind::kSliceRows:
+    case core::OpKind::kCompactRows:
+    case core::OpKind::kConvertFormat:
+    case core::OpKind::kFusedSliceSample:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<int> FeederChain(const core::Program& program, const core::Node& node) {
+  std::vector<int> feeders;
+  if (node.inputs.empty()) {
+    return feeders;
+  }
+  int cursor = node.inputs[0];
+  while (cursor >= 0 && IsFeederOp(program.node(cursor).kind)) {
+    feeders.push_back(cursor);
+    const core::Node& feeder = program.node(cursor);
+    cursor = feeder.inputs.empty() ? -1 : feeder.inputs[0];
+  }
+  return feeders;
+}
+
+}  // namespace
+
+std::string Region::Signature() const {
+  std::ostringstream out;
+  out << "r" << rank << " node=" << node_id << " " << core::OpKindName(kind);
+  if (kind == core::OpKind::kFusedSliceSample) {
+    out << " k=" << k;
+  } else {
+    if (kind == core::OpKind::kFusedEdgeMapReduce) {
+      out << " axis=" << axis;
+    }
+    out << " stages=" << stages.size();
+  }
+  out << " feeds=[";
+  for (size_t i = 0; i < feeders.size(); ++i) {
+    out << (i > 0 ? "," : "") << feeders[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+std::vector<Region> RegionExtractor::Extract(const core::Program& program) {
+  std::vector<Region> regions;
+  for (const core::Node& node : program.nodes()) {
+    if (!IsFusedOp(node.kind)) {
+      continue;
+    }
+    Region region;
+    region.rank = static_cast<int>(regions.size());
+    region.node_id = node.id;
+    region.kind = node.kind;
+    region.k = node.attrs.k;
+    region.axis = node.attrs.axis;
+    region.stages = node.attrs.stages;
+    region.feeders = FeederChain(program, node);
+    regions.push_back(std::move(region));
+  }
+  return regions;
+}
+
+}  // namespace gs::jit

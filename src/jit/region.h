@@ -1,0 +1,54 @@
+// Region extraction: which parts of a compiled Program the JIT compiles.
+//
+// A *region* is one fused operator — kFusedSliceSample, kFusedEdgeMap, or
+// kFusedEdgeMapReduce — together with the attributes the CodeEmitter bakes
+// into its specialized translation unit (fanout, reduce axis, stage
+// pipeline) and the chain of extract/layout nodes feeding its matrix
+// operand (recorded for reporting; the feeders themselves stay interpreted).
+//
+// Regions are assigned *computation ranks*: position in the program's
+// topological node order, counting fused nodes only. The rank is the stable
+// half of the kernel-cache key ("<plan digest>-r<rank>"): two processes
+// compiling the same plan produce the same rank for the same region, so a
+// warm restart can reuse persisted artifacts without recompiling.
+
+#ifndef GSAMPLER_JIT_REGION_H_
+#define GSAMPLER_JIT_REGION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/ir.h"
+
+namespace gs::jit {
+
+struct Region {
+  int rank = 0;      // computation rank among the program's fused nodes
+  int node_id = -1;  // the fused node this region compiles
+  core::OpKind kind = core::OpKind::kFusedEdgeMap;
+
+  // Baked specialization inputs (which are meaningful depends on kind).
+  int64_t k = 0;                             // kFusedSliceSample fanout
+  int axis = 0;                              // kFusedEdgeMapReduce axis
+  std::vector<sparse::EdgeMapStage> stages;  // edge-map pipeline
+
+  // Extract/layout nodes feeding the region's matrix operand, nearest
+  // first (e.g. the kSliceCols a fused sample was split from).
+  std::vector<int> feeders;
+
+  // Stable one-line description, e.g.
+  //   "r1 node=9 fused_edge_map_reduce axis=1 stages=3 feeds=[7,4]".
+  std::string Signature() const;
+};
+
+// Walks `program` in topological order and assigns computation ranks to its
+// fused subgraphs. Programs without fused nodes yield an empty vector (the
+// executor then runs pure interpretation).
+class RegionExtractor {
+ public:
+  static std::vector<Region> Extract(const core::Program& program);
+};
+
+}  // namespace gs::jit
+
+#endif  // GSAMPLER_JIT_REGION_H_

@@ -273,8 +273,15 @@ int64_t PlanCache::LoadFrom(const std::string& dir, const Activator& activate) {
     if (line.empty()) {
       continue;
     }
+    // Per-artifact fault isolation: one corrupted index line or plan file
+    // must cost exactly that plan, never the whole warm start — a thrown
+    // Error here would unwind out of Server::Start's warm-start block and
+    // abandon every remaining (valid) artifact.
     const size_t space = line.find(' ');
-    GS_CHECK(space != std::string::npos) << "malformed plan index line: '" << line << "'";
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      GS_LOG(Warning) << "plan cache: skipping malformed index line: '" << line << "'";
+      continue;
+    }
     const std::string digest = line.substr(0, space);
     const std::string canonical = line.substr(space + 1);
     {
@@ -299,7 +306,9 @@ int64_t PlanCache::LoadFrom(const std::string& dir, const Activator& activate) {
       InsertLocked(canonical, std::move(entry));
       ++stats_.plans_loaded;
       ++loaded;
-    } catch (const Error& e) {
+    } catch (const std::exception& e) {
+      // Covers gs::Error (digest mismatch from Deserialize, malformed
+      // canonical keys, I/O failures) and any std failure underneath them.
       GS_LOG(Warning) << "plan cache: skipping persisted plan " << canonical << ": " << e.what();
     }
   }

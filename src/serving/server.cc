@@ -13,6 +13,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "device/device.h"
+#include "jit/jit.h"
 #include "serving/coalescer.h"
 #include "shard/shard.h"
 
@@ -271,6 +272,13 @@ void Server::Start() {
   }
   pool_ = std::make_unique<pipeline::WorkerPool>(device::Current().profile(),
                                                  options_.num_workers);
+  if (options_.jit) {
+    // Created before the plan warm start so warm-started sessions re-attach
+    // persisted kernel artifacts (which live next to the plans in plan_dir).
+    jit::JitEngineOptions jit_options;
+    jit_options.artifact_dir = options_.plan_dir;
+    jit_ = std::make_unique<jit::JitEngine>(jit_options);
+  }
   if (!options_.plan_dir.empty()) {
     // Warm start: activate persisted plans before workers begin serving, so
     // the first request of every restored endpoint is a cache hit with no
@@ -628,6 +636,7 @@ std::shared_ptr<core::SamplerSession> Server::CompileDynamicSession(
   auto session = std::make_shared<core::SamplerSession>(std::move(plan), snapshot,
                                                         std::move(algorithm.tensors));
   session->Warmup(WarmupFrontier(snapshot->graph()));
+  AttachJit(session);
   return session;
 }
 
@@ -645,6 +654,7 @@ std::shared_ptr<core::SamplerSession> Server::BuildPlan(
     auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint.graph,
                                                           std::move(algorithm.tensors));
     session->Warmup(WarmupFrontier(*endpoint.graph));
+    AttachJit(session);
     return session;
   }
 
@@ -675,6 +685,7 @@ std::shared_ptr<core::SamplerSession> Server::BuildPlan(
   auto session = std::make_shared<core::SamplerSession>(entry.plan, snapshot,
                                                         std::move(algorithm.tensors));
   session->Warmup(WarmupFrontier(snapshot->graph()));
+  AttachJit(session);
   if (judgment == dyn::PlanJudgment::kDrifted) {
     GS_LOG(Info) << "serving: plan " << compile_key << " drifted past validity (" << why
                  << "); serving stale, recompiling in the background";
@@ -823,6 +834,7 @@ std::shared_ptr<core::SamplerSession> Server::ActivatePlan(
     auto session = std::make_shared<core::SamplerSession>(shared, snapshot,
                                                           std::move(algorithm.tensors));
     session->Warmup(WarmupFrontier(snapshot->graph()));
+    AttachJit(session);
     plan_table_.Publish(key.CompileKey(), std::move(shared), *snapshot);
     return session;
   }
@@ -833,7 +845,21 @@ std::shared_ptr<core::SamplerSession> Server::ActivatePlan(
   auto session = std::make_shared<core::SamplerSession>(std::move(plan), *endpoint->graph,
                                                         std::move(algorithm.tensors));
   session->Warmup(WarmupFrontier(*endpoint->graph));
+  AttachJit(session);
   return session;
+}
+
+// Called after Warmup: warmup calibrates the plan, and the calibration state
+// is part of CompiledPlan::Digest() — attaching earlier would key artifacts
+// under a digest the persisted (calibrated) plan no longer has, defeating
+// warm-restart reuse.
+void Server::AttachJit(const std::shared_ptr<core::SamplerSession>& session) {
+  if (jit_ == nullptr || session == nullptr) {
+    return;
+  }
+  // TableFor never throws: unresolvable regions demote to the interpreter,
+  // and a plan with no fused regions yields no table at all.
+  session->SetJitTable(jit_->TableFor(session->plan()));
 }
 
 feature::HotSetCache* Server::TenantFeatureCache(int shard, const std::string& tenant,
@@ -868,6 +894,14 @@ int64_t Server::SavePlans(const std::string& dir) {
   return plan_cache_->SaveAll(dir);
 }
 
+// GCC 12's -Wmaybe-uninitialized loses track of std::optional's engaged flag
+// for the shard_guard below and claims ThreadDeviceGuard::previous_ may be
+// read uninitialized in the destructor; the guard is only ever destroyed
+// engaged (reset()/emplace() pair inside the retry loop).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
   const Clock::time_point dequeued = Clock::now();
   for (auto& pending : group) {
@@ -1243,6 +1277,9 @@ void Server::ExecuteAndScatter(std::vector<std::unique_ptr<Pending>> group) {
     group[i]->promise.set_value(std::move(responses[i]));
   }
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 void Server::ServeDegraded(std::vector<std::unique_ptr<Pending>> group, const Endpoint& endpoint,
                            const graph::Partition& partition) {
@@ -1388,6 +1425,14 @@ ServerStats Server::stats() const {
     snapshot.plan_resident_bytes = cache.resident_bytes;
     snapshot.plans_saved = cache.plans_saved;
     snapshot.plans_loaded = cache.plans_loaded;
+  }
+  if (jit_ != nullptr) {
+    const jit::JitStats jit_stats = jit::GlobalJitStats();
+    snapshot.jit_regions = jit_stats.regions;
+    snapshot.jit_compiled = jit_stats.compiled;
+    snapshot.jit_artifact_hits = jit_stats.artifact_hits;
+    snapshot.jit_hits = jit_stats.hits;
+    snapshot.jit_demotions = jit_stats.demotions;
   }
   // Per-shard histograms merge exactly (aligned log-scale buckets) into the
   // server-level percentile report; unsharded servers have a single shard.

@@ -69,6 +69,10 @@
 #include "serving/request.h"
 #include "serving/stats.h"
 
+namespace gs::jit {
+class JitEngine;
+}  // namespace gs::jit
+
 namespace gs::serving {
 
 // A servable (algorithm, dataset) pair. The factory builds the traced
@@ -171,6 +175,14 @@ struct ServerOptions {
   // serving. When false, a drifted judgment compiles inline on the serving
   // path instead — the contrast bench/mutation_throughput measures.
   bool background_recompile = true;
+  // JIT-compile fused IR regions (gs::jit): every session built or
+  // warm-started by this server gets its plan's compiled-kernel jump table
+  // attached before warmup. Kernel artifacts persist in plan_dir (when set)
+  // next to the plans they specialize, so a warm restart re-attaches native
+  // kernels without recompiling. Region compile/load/verify failures demote
+  // to the interpreter (jit_demotions in ServerStats) — never a failed
+  // request. Results are bit-identical either way.
+  bool jit = false;
 };
 
 class Server {
@@ -282,6 +294,10 @@ class Server {
   // shard's allocator). `row_bytes` sizes the entries.
   feature::HotSetCache* TenantFeatureCache(int shard, const std::string& tenant,
                                            const std::string& dataset, int64_t row_bytes);
+  // Installs the plan's JIT jump table on a freshly built session (no-op
+  // when options_.jit is off). Must run before the session's Warmup so even
+  // the warmup batch exercises the compiled kernels.
+  void AttachJit(const std::shared_ptr<core::SamplerSession>& session);
 
   ServerOptions options_;
   std::map<std::string, Endpoint> endpoints_;  // "algorithm|dataset" -> endpoint
@@ -305,6 +321,10 @@ class Server {
   dyn::PlanTable plan_table_;
   std::unique_ptr<dyn::Replanner> replanner_;
   std::vector<std::pair<graph::GraphStore*, int64_t>> store_listeners_;
+  // JIT region compiler (ServerOptions::jit); artifacts live in plan_dir.
+  // Declared before plan_cache_ so cached sessions (which hold jump tables)
+  // are destroyed first.
+  std::unique_ptr<jit::JitEngine> jit_;
   std::unique_ptr<PlanCache> plan_cache_;
   std::unique_ptr<pipeline::BoundedQueue<uint64_t>> tokens_;
   std::unique_ptr<pipeline::WorkerPool> pool_;

@@ -35,13 +35,26 @@ int64_t LatencyHistogram::Percentile(double p) const {
     return 0;
   }
   const double rank = std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count_);
+  // The last occupied bucket interpolates toward the observed maximum, not
+  // its 2^(i+1) edge: the samples in that bucket cannot exceed max_ns_, and
+  // extrapolating past it (then clamping) flattens every quantile that
+  // lands beyond the maximum's position onto max_ns_ itself — e.g. a
+  // handful of 513ns samples under a 520ns majority would read p50 = p99 =
+  // 520 instead of interpolating across [512, 520].
+  size_t top = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      top = i;
+    }
+  }
   int64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     if (buckets_[i] == 0) {
       continue;
     }
     const int64_t lower = int64_t{1} << i;
-    const int64_t upper = i >= 62 ? max_ns_ : int64_t{1} << (i + 1);
+    const int64_t upper =
+        i >= top ? std::max(max_ns_, lower) : int64_t{1} << (i + 1);
     // p = 0 resolves to the lower edge of the first occupied bucket instead
     // of charging a full bucket's width to the minimum.
     if (rank <= static_cast<double>(seen)) {
@@ -79,6 +92,11 @@ std::string ServerStats::ToString() const {
       << " hedged_exchanges=" << hedged_exchanges
       << " p50_us=" << latency_p50_ns / 1000 << " p95_us=" << latency_p95_ns / 1000
       << " p99_us=" << latency_p99_ns / 1000;
+  if (jit_regions > 0) {
+    out << " jit=[regions=" << jit_regions << " compiled=" << jit_compiled
+        << " artifact_hits=" << jit_artifact_hits << " hits=" << jit_hits
+        << " demotions=" << jit_demotions << "]";
+  }
   if (feature_requests > 0) {
     out << " features=[requests=" << feature_requests << " rows=" << feature_rows
         << " hit_rate=" << FeatureHitRate() << " gather_mb="

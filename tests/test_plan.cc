@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <set>
 #include <string>
@@ -500,6 +501,76 @@ TEST(ServerWarmRestart, StalePassConfigIsIgnored) {
   serving::SampleResponse r = restarted.Submit(req).get();
   ASSERT_EQ(r.status, serving::Status::kOk) << r.error;
   EXPECT_FALSE(r.stages.plan_cache_hit);
+  restarted.Stop();
+}
+
+// Regression: one corrupted artifact (or malformed index line) in plan_dir
+// must cost exactly that plan, never the warm start. The digest-mismatch
+// GS_CHECK inside Deserialize used to unwind out of Server::Start's
+// warm-start block, abandoning every remaining valid artifact; a malformed
+// index line threw before any artifact was even opened.
+TEST(ServerWarmRestart, CorruptedArtifactIsSkippedNotFatal) {
+  graph::Graph g = PlanGraph();
+  const std::string dir = ScratchDir("skipcorrupt");
+  {
+    serving::ServerOptions options;
+    options.num_workers = 1;
+    options.plan_dir = dir;
+    serving::Server server(options);
+    server.RegisterEndpoint(serving::MakeEndpoint("GraphSAGE", "rmat", g));
+    server.RegisterEndpoint(serving::MakeEndpoint("ShaDow", "rmat", g));
+    server.Start();
+    for (const std::string algorithm : {"GraphSAGE", "ShaDow"}) {
+      serving::SampleRequest req;
+      req.algorithm = algorithm;
+      req.dataset = "rmat";
+      req.seeds = Seeds({1, 2, 3});
+      ASSERT_EQ(server.Submit(req).get().status, serving::Status::kOk);
+    }
+    server.Stop();
+    ASSERT_GE(server.stats().plans_saved, 2);
+  }
+
+  // Corrupt one artifact so its body no longer matches the stored digest:
+  // flip a hex digit in the "digest <hex>" header. The file still parses,
+  // so the failure is specifically Deserialize's digest check.
+  bool corrupted = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".plan" || corrupted) {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    const size_t pos = text.find("digest ");
+    ASSERT_NE(pos, std::string::npos);
+    text[pos + 7] = text[pos + 7] == '0' ? '1' : '0';
+    std::ofstream(entry.path(), std::ios::trunc) << text;
+    corrupted = true;
+  }
+  ASSERT_TRUE(corrupted);
+  // And damage the index itself: a line with no separator and a line with an
+  // empty canonical key, both of which used to abort the whole load.
+  std::ofstream(dir + "/index.txt", std::ios::app) << "nospacetoken\ndeadbeef \n";
+
+  serving::ServerOptions options;
+  options.num_workers = 1;
+  options.plan_dir = dir;
+  serving::Server restarted(options);
+  restarted.RegisterEndpoint(serving::MakeEndpoint("GraphSAGE", "rmat", g));
+  restarted.RegisterEndpoint(serving::MakeEndpoint("ShaDow", "rmat", g));
+  restarted.Start();  // must not throw
+  // Exactly the intact artifact warm-started; the corrupted one was skipped.
+  EXPECT_EQ(restarted.stats().plans_loaded, 1);
+  // Both endpoints still serve: one from the warm plan, one recompiled.
+  for (const std::string algorithm : {"GraphSAGE", "ShaDow"}) {
+    serving::SampleRequest req;
+    req.algorithm = algorithm;
+    req.dataset = "rmat";
+    req.seeds = Seeds({1, 2, 3});
+    serving::SampleResponse r = restarted.Submit(req).get();
+    EXPECT_EQ(r.status, serving::Status::kOk) << algorithm << ": " << r.error;
+  }
   restarted.Stop();
 }
 

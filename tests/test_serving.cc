@@ -708,6 +708,36 @@ TEST(ServerStatsTest, ZeroCompletionShardsReportCleanly) {
   EXPECT_LE(stats.latency_p99_ns, stats.latency_max_ns);
 }
 
+// Regression: the last occupied bucket must interpolate toward the observed
+// maximum, not its 2^(i+1) edge. Extrapolating to the power-of-two edge and
+// then clamping flattened every quantile that landed past the maximum's
+// position onto max_ns itself — a 10/90 split of 513ns and 520ns samples
+// (all in the [512, 1024) bucket) read p50 == p99 == 520.
+TEST(LatencyHistogramTest, TopBucketInterpolatesTowardObservedMax) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Record(513);
+  }
+  for (int i = 0; i < 90; ++i) {
+    h.Record(520);
+  }
+  const int64_t p50 = h.Percentile(50);
+  const int64_t p99 = h.Percentile(99);
+  EXPECT_GE(p50, 512);
+  EXPECT_LT(p50, 520);  // previously clamped: p50 == p99 == 520
+  EXPECT_LT(p50, p99);  // quantiles spread across [512, 520] again
+  EXPECT_LE(p99, 520);
+
+  // Only the top bucket's upper edge is replaced by the max; lower buckets
+  // keep their power-of-two edges.
+  LatencyHistogram two;
+  two.Record(600);
+  two.Record(5000);
+  EXPECT_EQ(two.Percentile(100), 5000);
+  EXPECT_GE(two.Percentile(75), 4096);
+  EXPECT_LT(two.Percentile(75), 5000);
+}
+
 TEST(LatencyHistogramTest, SingleSampleAllPercentiles) {
   LatencyHistogram h;
   h.Record(700);

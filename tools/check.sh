@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification plus the concurrency-sensitive suites under TSan.
 #
-# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha | dynamic]
+# Usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha | dynamic | jit]
 #
 #   (default)  configure + build + full ctest in ./build, then the plans
 #              tier, then the oracle tier, then the shard tier, then the
 #              feature tier, then the ha tier, then the dynamic tier, then
-#              a -DGS_SANITIZE=thread
+#              the jit tier, then a -DGS_SANITIZE=thread
 #              build in ./build-tsan running the threaded suites (pipeline,
 #              serving, device accounting, fault ladder) with pass-boundary
 #              verification (GS_VERIFY_PASSES=1), then the chaos tier.
@@ -54,6 +54,14 @@
 #              replanner), then a fixed-seed mutation fuzz
 #              (fuzz_passes --mutate) requiring every maintained epoch to
 #              sample bit-identically to a from-scratch reload.
+#   jit        JIT-compilation tier only (gs::jit): runs `ctest -L jit`
+#              (region extraction, kernel-cache artifact reuse + corruption
+#              recovery, compile-fault demotion, the JIT-vs-interpreter
+#              bit-identity oracle over all algorithms including sharded and
+#              mutated-epoch serving), then the same suite under TSan
+#              (serving workers racing the per-plan compile), then a
+#              fixed-seed JIT fuzz (fuzz_passes --jit) differencing native
+#              kernels against the interpreter for every drawn config.
 #   chaos      fault-injection tier only: builds with GS_SANITIZE=thread and
 #              runs the gs::fault suites (test_fault + the chaos soak) under
 #              TSan — the deterministic-injection racing workout.
@@ -71,6 +79,7 @@ SHARD=0
 FEATURE=0
 HA=0
 DYNAMIC=0
+JIT=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
@@ -81,7 +90,8 @@ for arg in "$@"; do
     feature|--feature) FEATURE=1 ;;
     ha|--ha) HA=1 ;;
     dynamic|--dynamic) DYNAMIC=1 ;;
-    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha | dynamic])" >&2; exit 2 ;;
+    jit|--jit) JIT=1 ;;
+    *) echo "unknown flag: $arg (usage: tools/check.sh [--fast | chaos | plans | oracle | shard | feature | ha | dynamic | jit])" >&2; exit 2 ;;
   esac
 done
 
@@ -220,6 +230,38 @@ run_dynamic_tier() {
   ./build/tools/fuzz_passes --seeds 100 --mutate
 }
 
+# JIT tier: the jit ctest label (region extraction, kernel-cache artifact
+# reuse and corruption recovery, compile-fault demotion, and the
+# JIT-vs-interpreter bit-identity oracle over every algorithm including
+# 4-shard serving and a mutated-epoch snapshot), the same suite under TSan
+# (serving workers race TableFor's per-plan compile + memoization), and a
+# fixed-seed JIT fuzz: every drawn config samples once through the
+# interpreter and once through the compiled kernels, and the outputs must be
+# bit-identical. In the fuzzer's minimizer the jit dimension is dropped
+# first, so a repro that survives without --jit is a plain interpreter bug.
+run_jit_tier() {
+  echo "== jit: build test_jit + test_fused + fuzz_passes =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$JOBS" --target test_jit test_fused fuzz_passes
+
+  echo "== jit: ctest -L jit =="
+  (cd build && ctest -L jit --output-on-failure -j "$JOBS")
+
+  echo "== jit: suite under TSan =="
+  cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS" --target test_jit
+  ./build-tsan/tests/test_jit
+
+  echo "== jit: differential fuzz (60 draws, native vs interpreter) =="
+  ./build/tools/fuzz_passes --seeds 60 --jit
+}
+
+if [[ "$JIT" == 1 ]]; then
+  run_jit_tier
+  echo "check.sh: jit tier green"
+  exit 0
+fi
+
 if [[ "$DYNAMIC" == 1 ]]; then
   run_dynamic_tier
   echo "check.sh: dynamic tier green"
@@ -286,6 +328,8 @@ run_feature_tier
 run_ha_tier
 
 run_dynamic_tier
+
+run_jit_tier
 
 echo "== TSan: configure + build (GS_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DGS_SANITIZE=thread >/dev/null
